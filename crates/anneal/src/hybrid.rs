@@ -1,0 +1,500 @@
+//! The hybrid CQM solver — the stand-in for D-Wave's Leap hybrid service.
+//!
+//! Leap hybrid solvers run a classical frontend (presolve, candidate
+//! generation, local search) and delegate sampling to quantum annealing
+//! hardware, returning the best feasible solution found within a time/read
+//! budget. [`HybridCqmSolver`] reproduces that workflow:
+//!
+//! 1. **Compile** the CQM with auto-scaled penalties.
+//! 2. **Seed** reads with caller-provided candidate states (the classical
+//!    frontend's role — the LRP layer passes the identity assignment and a
+//!    greedy construction) plus random states.
+//! 3. **Portfolio**: reads run in parallel (rayon), each independently
+//!    seeded, cycling through SA / SQA / tabu samplers.
+//! 4. **Polish + repair** every read's best state, then score it against the
+//!    *original* CQM.
+//! 5. **Select** feasible-first, lowest objective.
+//!
+//! Timing is split into true CPU wall time and a deterministic simulated
+//! "QPU access time" — `16 ms + 4 ms per SQA read` — standing in for the
+//! hardware anneal charge the paper reports (≈32 ms per Table V solve).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qlrb_model::cqm::Cqm;
+use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+use qlrb_model::presolve::presolve;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::descent::greedy_descent;
+use crate::pt::{parallel_tempering, PtParams};
+use crate::repair::repair;
+use crate::sa::{simulated_annealing, SaParams};
+use crate::sampleset::{Sample, SampleSet, SolverTiming};
+use crate::schedule::{auto_geometric, estimate_delta_scale, TransverseSchedule};
+use crate::sqa::{simulated_quantum_annealing, SqaParams};
+use crate::tabu::{tabu_search, TabuParams};
+
+/// Portfolio member identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerKind {
+    /// Metropolis simulated annealing.
+    Sa,
+    /// Path-integral simulated quantum annealing (the "QPU" side).
+    Sqa,
+    /// Tabu search (classical frontend refinement).
+    Tabu,
+    /// Parallel tempering (replica exchange) — extension, not in the
+    /// default portfolio.
+    Pt,
+}
+
+impl std::fmt::Display for SamplerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplerKind::Sa => write!(f, "SA"),
+            SamplerKind::Sqa => write!(f, "SQA"),
+            SamplerKind::Tabu => write!(f, "TABU"),
+            SamplerKind::Pt => write!(f, "PT"),
+        }
+    }
+}
+
+/// Configuration of the hybrid solve.
+///
+/// ```
+/// use qlrb_anneal::HybridCqmSolver;
+/// use qlrb_model::{Cqm, LinearExpr, Var, Sense};
+/// // minimize (x0 + x1 + x2 − 2)²  s.t.  x0 + x1 ≤ 1
+/// let mut cqm = Cqm::new(3);
+/// let mut sum = LinearExpr::new();
+/// for v in 0..3 { sum.add_term(Var(v), 1.0); }
+/// cqm.add_squared_term(sum, 2.0, 1.0);
+/// let mut cap = LinearExpr::new();
+/// cap.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
+/// cqm.add_constraint(cap, Sense::Le, 1.0, "cap");
+///
+/// let set = HybridCqmSolver::fast().solve(&cqm, &[]);
+/// let best = set.best_feasible().expect("feasible sample");
+/// assert_eq!(best.objective, 0.0); // e.g. x2 = 1 plus one of x0/x1
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridCqmSolver {
+    /// Number of independent reads (samples drawn).
+    pub num_reads: usize,
+    /// Sweeps per SA read (SQA uses `sweeps / 4`, tabu `2·sweeps` moves).
+    pub sweeps: usize,
+    /// Trotter replicas for SQA reads.
+    pub sqa_replicas: usize,
+    /// Master seed; the whole solve is deterministic given it.
+    pub seed: u64,
+    /// Headroom multiplier on the auto-scaled penalty weights.
+    pub penalty_factor: f64,
+    /// Inequality penalty scheme.
+    pub style: PenaltyStyle,
+    /// Portfolio rotation; read `r` uses `samplers[r % len]`.
+    pub samplers: Vec<SamplerKind>,
+    /// Models wider than this fall back from tabu to SA (tabu's
+    /// full-neighbourhood scans are quadratic-ish in width).
+    pub tabu_max_vars: usize,
+    /// Post-anneal greedy polish sweep budget.
+    pub polish_sweeps: usize,
+    /// Feasibility-repair step budget.
+    pub repair_steps: usize,
+    /// Optional wall-clock budget, mirroring Leap's `time_limit` API: reads
+    /// are executed in parallel waves and no new wave starts once the
+    /// budget is spent (at least one wave always runs). **Non-deterministic
+    /// across machines** — leave `None` (the default) for reproducible
+    /// sample sets.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for HybridCqmSolver {
+    fn default() -> Self {
+        Self {
+            num_reads: 8,
+            sweeps: 1200,
+            sqa_replicas: 12,
+            seed: 0x5eed,
+            penalty_factor: 2.0,
+            style: PenaltyStyle::ViolationQuadratic,
+            samplers: vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu],
+            tabu_max_vars: 2048,
+            polish_sweeps: 50,
+            repair_steps: 5_000,
+            time_limit: None,
+        }
+    }
+}
+
+impl HybridCqmSolver {
+    /// A cheaper configuration for large models or quick tests.
+    pub fn fast() -> Self {
+        Self {
+            num_reads: 4,
+            sweeps: 300,
+            sqa_replicas: 6,
+            ..Default::default()
+        }
+    }
+
+    /// Solves `cqm`, seeding the first reads with `seeds` (candidate states
+    /// of CQM width; may be empty). Returns all reads, best first.
+    pub fn solve(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> SampleSet {
+        let started = Instant::now();
+        let width = cqm.num_vars();
+        if width == 0 || self.num_reads == 0 {
+            let state: Vec<u8> = Vec::new();
+            let mut set = SampleSet {
+                samples: vec![Sample {
+                    objective: cqm.objective(&state),
+                    violation: cqm.total_violation(&state),
+                    feasible: cqm.is_feasible(&state),
+                    state,
+                    sampler: SamplerKind::Sa,
+                }],
+                timing: SolverTiming::default(),
+            };
+            set.sort();
+            set.timing.cpu = started.elapsed();
+            return set;
+        }
+
+        // Classical presolve: bound-based variable fixing and redundant
+        // constraint elimination (with a tight migration budget this alone
+        // can kill a large fraction of the search space).
+        let pre = presolve(cqm);
+        let penalty = PenaltyConfig::auto(&pre.cqm, self.penalty_factor, self.style);
+        let compiled = CompiledCqm::compile(&pre.cqm, penalty);
+        let seeds: Vec<Vec<u8>> = seeds
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                pre.apply_to_state(&mut s);
+                s
+            })
+            .collect();
+
+        let mut samples: Vec<Sample> = match self.time_limit {
+            None => (0..self.num_reads)
+                .into_par_iter()
+                .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r))
+                .collect(),
+            Some(limit) => {
+                // Waves of one read per worker thread; stop issuing waves
+                // once the budget is spent.
+                let wave = rayon::current_num_threads().max(1);
+                let mut out = Vec::with_capacity(self.num_reads);
+                let mut next = 0usize;
+                while next < self.num_reads {
+                    let end = (next + wave).min(self.num_reads);
+                    let batch: Vec<Sample> = (next..end)
+                        .into_par_iter()
+                        .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r))
+                        .collect();
+                    out.extend(batch);
+                    next = end;
+                    if started.elapsed() >= limit {
+                        break;
+                    }
+                }
+                out
+            }
+        };
+
+        // Score against the ORIGINAL model (penalties, slacks, and presolve
+        // fixings stripped back out — fixed bits are stamped to their
+        // proven values first, since they carry no incidence the samplers
+        // could have felt).
+        for s in &mut samples {
+            s.state.truncate(width);
+            pre.apply_to_state(&mut s.state);
+            s.objective = cqm.objective(&s.state);
+            s.violation = cqm.total_violation(&s.state);
+            s.feasible = s.violation == 0.0;
+        }
+
+        let sqa_reads = samples
+            .iter()
+            .filter(|s| s.sampler == SamplerKind::Sqa)
+            .count() as u32;
+        let mut set = SampleSet {
+            samples,
+            timing: SolverTiming {
+                cpu: started.elapsed(),
+                qpu: if sqa_reads > 0 {
+                    Duration::from_millis(16) + Duration::from_millis(4) * sqa_reads
+                } else {
+                    Duration::ZERO
+                },
+            },
+        };
+        set.sort();
+        set
+    }
+
+    /// One independent read: seed → sample → polish → repair.
+    fn run_read(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        seeds: &[Vec<u8>],
+        read_index: usize,
+    ) -> Sample {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(read_index as u64 * 0x9e37));
+        let mut sampler = self.samplers[read_index % self.samplers.len().max(1)];
+        if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
+            sampler = SamplerKind::Sa;
+        }
+
+        // Initial state: rotate through provided seeds, then random states.
+        let initial: Vec<u8> = if read_index < seeds.len() {
+            seeds[read_index].clone()
+        } else {
+            (0..cqm_width)
+                .map(|_| u8::from(rng.random::<bool>()))
+                .collect()
+        };
+        let mut ev = CqmEvaluator::with_state(Arc::clone(compiled), &initial);
+        // Seeds are CQM-width: under slack compilation their slack bits are
+        // zero and the rewritten equalities start violated. Repair first so
+        // a good classical seed enters the anneal as a *feasible* state.
+        if !ev.is_feasible() {
+            repair(&mut ev, self.repair_steps, &mut rng);
+        }
+
+        // Auto-scale the temperature ladder by probing, then restore.
+        let scale = {
+            let mut probe = ev.clone();
+            estimate_delta_scale(&mut probe, &mut rng, 128)
+        };
+
+        let best_state = match sampler {
+            SamplerKind::Sa => {
+                let params = SaParams {
+                    sweeps: self.sweeps,
+                    schedule: auto_geometric(scale),
+                    resync_interval: 256,
+                };
+                simulated_annealing(&mut ev, &params, &mut rng).state
+            }
+            SamplerKind::Sqa => {
+                let params = SqaParams {
+                    replicas: self.sqa_replicas,
+                    sweeps: (self.sweeps / 4).max(50),
+                    beta: 30.0 / scale,
+                    transverse: TransverseSchedule {
+                        gamma0: 3.0 * scale,
+                        gamma1: 1e-3 * scale,
+                    },
+                    global_move_fraction: 0.1,
+                    resync_interval: 128,
+                };
+                simulated_quantum_annealing(&ev, &params, &mut rng).state
+            }
+            SamplerKind::Tabu => {
+                let params = TabuParams {
+                    tenure: 0,
+                    max_iters: self.sweeps * 2,
+                    stall_limit: (self.sweeps / 2).max(100),
+                };
+                tabu_search(&mut ev, &params, &mut rng).state
+            }
+            SamplerKind::Pt => {
+                let params = PtParams {
+                    replicas: self.sqa_replicas.clamp(4, 12),
+                    sweeps: (self.sweeps / 4).max(50),
+                    beta_max: 60.0 / scale,
+                    beta_min: 0.2 / scale,
+                    resync_interval: 128,
+                };
+                parallel_tempering(&ev, &params, &mut rng).state
+            }
+        };
+
+        ev.set_state(&best_state);
+        greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+        if !ev.is_feasible() {
+            repair(&mut ev, self.repair_steps, &mut rng);
+            greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+            // Keep the repaired state only if it actually reached
+            // feasibility or at least did not lose ground.
+        }
+
+        let state = ev.state().to_vec();
+        Sample {
+            objective: 0.0, // rescored by `solve`
+            violation: 0.0,
+            feasible: false,
+            state,
+            sampler,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::cqm::Sense;
+    use qlrb_model::expr::{LinearExpr, Var};
+
+    /// A small partition problem: split weights {3,1,1,2,2,1} into two halves
+    /// of equal sum (x_i = 1 ⇒ item i in part A), with exactly 3 items in A.
+    fn partition_cqm() -> Cqm {
+        let w = [3.0, 1.0, 1.0, 2.0, 2.0, 1.0];
+        let total: f64 = w.iter().sum();
+        let mut cqm = Cqm::new(w.len());
+        let mut sum = LinearExpr::new();
+        for (i, &wi) in w.iter().enumerate() {
+            sum.add_term(Var(i as u32), wi);
+        }
+        cqm.add_squared_term(sum, total / 2.0, 1.0);
+        let mut card = LinearExpr::new();
+        for i in 0..w.len() {
+            card.add_term(Var(i as u32), 1.0);
+        }
+        cqm.add_constraint(card, Sense::Le, 3.0, "at_most_3");
+        cqm
+    }
+
+    #[test]
+    fn finds_feasible_optimum() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 6,
+            sweeps: 300,
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        let best = set.best_feasible().expect("a feasible sample");
+        assert_eq!(best.objective, 0.0, "perfect split exists: e.g. {{3,2}} vs rest");
+        assert!(set.timing.cpu > Duration::ZERO);
+        assert!(set.timing.qpu > Duration::ZERO, "portfolio includes SQA reads");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 4,
+            sweeps: 100,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = solver.solve(&cqm, &[]);
+        let b = solver.solve(&cqm, &[]);
+        let states_a: Vec<_> = a.samples.iter().map(|s| s.state.clone()).collect();
+        let states_b: Vec<_> = b.samples.iter().map(|s| s.state.clone()).collect();
+        assert_eq!(states_a, states_b);
+    }
+
+    #[test]
+    fn seeded_read_keeps_good_seed() {
+        let cqm = partition_cqm();
+        // Hand the solver the known optimum as a seed; it must not come back
+        // with anything worse.
+        let seed_state = vec![1u8, 0, 0, 1, 0, 0]; // {3,2} = 5 = total/2
+        assert!(cqm.is_feasible(&seed_state));
+        assert_eq!(cqm.objective(&seed_state), 0.0);
+        let solver = HybridCqmSolver {
+            num_reads: 2,
+            sweeps: 50,
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[seed_state]);
+        assert_eq!(set.best_feasible().unwrap().objective, 0.0);
+    }
+
+    #[test]
+    fn portfolio_rotates_through_all_samplers() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 6,
+            sweeps: 50,
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        for kind in [SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu] {
+            assert!(
+                set.samples.iter().any(|s| s.sampler == kind),
+                "{kind} never ran"
+            );
+        }
+    }
+
+    #[test]
+    fn tabu_falls_back_to_sa_on_wide_models() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 3,
+            sweeps: 50,
+            tabu_max_vars: 0, // force the fallback
+            samplers: vec![SamplerKind::Tabu],
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        assert!(
+            set.samples.iter().all(|s| s.sampler == SamplerKind::Sa),
+            "every tabu read must have downgraded to SA"
+        );
+    }
+
+    #[test]
+    fn time_limit_truncates_reads_but_still_solves() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 64,
+            sweeps: 200,
+            time_limit: Some(Duration::from_millis(1)),
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        // At least one wave ran; with a 1 ms budget on 64 requested reads
+        // we almost certainly stopped early, but the contract is only
+        // "some samples, best feasible first".
+        assert!(!set.samples.is_empty());
+        assert!(set.samples.len() <= 64);
+        assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
+    fn empty_model_returns_trivial_sample() {
+        let cqm = Cqm::new(0);
+        let set = HybridCqmSolver::default().solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 1);
+        assert!(set.samples[0].feasible);
+    }
+
+    #[test]
+    fn unbalanced_style_also_solves() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 6,
+            sweeps: 300,
+            style: PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 },
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
+    fn slack_style_strips_slack_bits() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 4,
+            sweeps: 300,
+            style: PenaltyStyle::Slack,
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        for s in &set.samples {
+            assert_eq!(s.state.len(), cqm.num_vars());
+        }
+        assert!(set.best_feasible().is_some());
+    }
+}

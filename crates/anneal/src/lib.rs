@@ -1,0 +1,45 @@
+//! # qlrb-anneal — annealing substrate and hybrid CQM solver
+//!
+//! The paper solves its CQM formulations on D-Wave's Leap hybrid CQM solver,
+//! a cloud service that pairs a classical heuristic frontend with quantum
+//! annealing hardware. No D-Wave bindings exist for this environment, so this
+//! crate implements the closest faithful stand-in, from scratch:
+//!
+//! * [`sa`] — Metropolis simulated annealing over any
+//!   [`qlrb_model::eval::Evaluator`], with auto-scaled geometric temperature
+//!   schedules.
+//! * [`sqa`] — *simulated quantum annealing*: path-integral Monte Carlo of
+//!   the transverse-field Ising model (Trotter replicas coupled along
+//!   imaginary time, with the standard
+//!   `J⊥(Γ) = −(P·T/2)·ln tanh(Γ/(P·T))` coupling schedule). This is the
+//!   textbook classical simulation of the quantum annealing dynamics D-Wave
+//!   hardware performs.
+//! * [`descent`] / [`tabu`] — greedy polish and tabu search, the classical
+//!   post-processing Leap-style solvers apply to raw anneal samples.
+//! * [`repair`] — constraint-directed feasibility repair.
+//! * [`hybrid`] — [`hybrid::HybridCqmSolver`]: presolve → penalty compile →
+//!   a rayon-parallel portfolio of SA/SQA/tabu reads seeded with classical
+//!   candidate states → polish → repair → best-feasible selection, with the
+//!   CPU/"QPU" time split the paper reports in its runtime columns.
+//!
+//! Determinism: every entry point takes a seed; identical seeds produce
+//! identical sample sets (rayon parallelism is over independently-seeded
+//! reads, so scheduling order cannot leak into results).
+
+pub mod descent;
+pub mod hybrid;
+pub mod pt;
+pub mod repair;
+pub mod sa;
+pub mod sampleset;
+pub mod schedule;
+pub mod sqa;
+pub mod tabu;
+
+pub use hybrid::{HybridCqmSolver, SamplerKind};
+pub use pt::PtParams;
+pub use sa::SaParams;
+pub use sampleset::{Sample, SampleSet, SolverTiming};
+pub use schedule::BetaSchedule;
+pub use sqa::SqaParams;
+pub use tabu::TabuParams;

@@ -1,0 +1,216 @@
+//! Parallel tempering (replica exchange) — a portfolio extension.
+//!
+//! `R` walkers run Metropolis sweeps at fixed inverse temperatures along a
+//! geometric ladder; after every sweep, adjacent temperature pairs attempt a
+//! configuration swap with the standard acceptance
+//! `min(1, exp(Δβ · ΔE))`. Hot walkers roam, cold walkers exploit, and
+//! swaps carry discoveries down the ladder — often stronger than plain SA on
+//! rugged landscapes like the penalized LRP objective. Not part of the
+//! paper's solver; provided as an ablation/extension of the hybrid
+//! portfolio.
+
+use qlrb_model::eval::Evaluator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sa::AnnealResult;
+
+/// Parallel tempering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtParams {
+    /// Number of temperature rungs (≥ 2).
+    pub replicas: usize,
+    /// Sweeps (each sweep = one Metropolis pass per rung + one swap phase).
+    pub sweeps: usize,
+    /// Coldest inverse temperature.
+    pub beta_max: f64,
+    /// Hottest inverse temperature.
+    pub beta_min: f64,
+    /// Cache resync cadence.
+    pub resync_interval: usize,
+}
+
+impl Default for PtParams {
+    fn default() -> Self {
+        Self {
+            replicas: 8,
+            sweeps: 400,
+            beta_max: 50.0,
+            beta_min: 0.2,
+            resync_interval: 128,
+        }
+    }
+}
+
+/// Runs parallel tempering from the prototype's current state (all rungs
+/// start there). Returns the best state seen at any rung.
+pub fn parallel_tempering<E: Evaluator + Clone>(
+    proto: &E,
+    params: &PtParams,
+    rng: &mut impl Rng,
+) -> AnnealResult {
+    let n = proto.num_vars();
+    let r = params.replicas.max(2);
+    let mut best_state = proto.state().to_vec();
+    let mut best_energy = proto.energy();
+    let mut accepted = 0u64;
+    if n == 0 || params.sweeps == 0 {
+        return AnnealResult {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+    // Geometric ladder, coldest first.
+    let ratio = (params.beta_min / params.beta_max).powf(1.0 / (r - 1) as f64);
+    let betas: Vec<f64> = (0..r).map(|i| params.beta_max * ratio.powi(i as i32)).collect();
+    let mut walkers: Vec<E> = (0..r).map(|_| proto.clone()).collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    for sweep in 0..params.sweeps {
+        for (walker, &beta) in walkers.iter_mut().zip(&betas) {
+            order.shuffle(rng);
+            for &v in &order {
+                let delta = walker.flip_delta(v);
+                let accept = delta <= 0.0 || {
+                    let x = -beta * delta;
+                    x > -60.0 && rng.random::<f64>() < x.exp()
+                };
+                if accept {
+                    walker.flip(v);
+                    accepted += 1;
+                }
+            }
+            if walker.energy() < best_energy {
+                best_energy = walker.energy();
+                best_state.clear();
+                best_state.extend_from_slice(walker.state());
+            }
+        }
+        // Swap phase: adjacent rungs, alternating parity to avoid bias.
+        let start = sweep % 2;
+        for a in (start..r - 1).step_by(2) {
+            let (ea, eb) = (walkers[a].energy(), walkers[a + 1].energy());
+            let arg = (betas[a] - betas[a + 1]) * (ea - eb);
+            let accept = arg >= 0.0 || (arg > -60.0 && rng.random::<f64>() < arg.exp());
+            if accept {
+                // Swap configurations by swapping the evaluators themselves.
+                walkers.swap(a, a + 1);
+            }
+        }
+        if params.resync_interval > 0 && (sweep + 1) % params.resync_interval == 0 {
+            for w in &mut walkers {
+                w.resync();
+            }
+        }
+    }
+    for w in &mut walkers {
+        w.resync();
+        if w.energy() < best_energy {
+            best_energy = w.energy();
+            best_state.clear();
+            best_state.extend_from_slice(w.state());
+        }
+    }
+    AnnealResult {
+        state: best_state,
+        energy: best_energy,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::bqm::BinaryQuadraticModel;
+    use qlrb_model::eval::BqmEvaluator;
+    use qlrb_model::Var;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn rugged() -> (BinaryQuadraticModel, Vec<u8>) {
+        // All-ones is the deep minimum behind a +1 single-flip barrier.
+        let n = 8;
+        let mut bqm = BinaryQuadraticModel::new(n);
+        for i in 0..n as u32 {
+            bqm.add_linear(Var(i), 1.0);
+        }
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                bqm.add_quadratic(Var(i), Var(j), -0.8);
+            }
+        }
+        (bqm, vec![1; n])
+    }
+
+    #[test]
+    fn crosses_barriers_to_ground_state() {
+        let (bqm, ground) = rugged();
+        let ground_e = bqm.energy(&ground);
+        let ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let res = parallel_tempering(&ev, &PtParams::default(), &mut rng);
+        assert_eq!(res.state, ground);
+        assert!((res.energy - ground_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (bqm, _) = rugged();
+        let model = Arc::new(bqm);
+        let run = || {
+            let ev = BqmEvaluator::new(Arc::clone(&model));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+            parallel_tempering(
+                &ev,
+                &PtParams {
+                    sweeps: 60,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn zero_sweeps_identity() {
+        let (bqm, _) = rugged();
+        let ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let res = parallel_tempering(
+            &ev,
+            &PtParams {
+                sweeps: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(res.state, vec![0; 8]);
+        assert_eq!(res.accepted, 0);
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_ordered() {
+        // Indirect check through behaviour: with beta_min == beta_max all
+        // rungs are identical, so swaps are always accepted and the result
+        // is still well-formed.
+        let (bqm, _) = rugged();
+        let ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let res = parallel_tempering(
+            &ev,
+            &PtParams {
+                beta_min: 5.0,
+                beta_max: 5.0,
+                sweeps: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(res.state.len(), 8);
+    }
+}

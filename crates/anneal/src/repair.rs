@@ -1,0 +1,139 @@
+//! Constraint-directed feasibility repair.
+//!
+//! Raw anneal samples can land slightly outside the feasible region
+//! (penalties are soft). Leap-style hybrid solvers post-process samples back
+//! to feasibility; this module does the same with a violation-first local
+//! search: every step applies the flip that most reduces the *true* total
+//! violation, breaking ties by energy, with a few random kicks when stuck on
+//! a violation plateau.
+
+use qlrb_model::eval::{CqmEvaluator, Evaluator};
+use rand::Rng;
+
+/// Repair outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Whether the final state satisfies every constraint.
+    pub feasible: bool,
+    /// Flips applied.
+    pub steps: usize,
+}
+
+/// Walks the evaluator's state toward feasibility. Stops when feasible, when
+/// no flip reduces violation and kicks are exhausted, or after `max_steps`.
+pub fn repair(ev: &mut CqmEvaluator, max_steps: usize, rng: &mut impl Rng) -> RepairOutcome {
+    let n = ev.num_vars();
+    let mut steps = 0usize;
+    let mut kicks_left = 8usize;
+    while steps < max_steps {
+        if ev.is_feasible() {
+            return RepairOutcome {
+                feasible: true,
+                steps,
+            };
+        }
+        // Best violation-reducing flip; ties by plain energy delta.
+        let mut best: Option<usize> = None;
+        let mut best_key = (0.0f64, f64::INFINITY);
+        for v in 0..n {
+            let dv = ev.violation_flip_delta(v);
+            if dv < -1e-12 {
+                let de = ev.flip_delta(v);
+                if dv < best_key.0 - 1e-12 || (dv <= best_key.0 + 1e-12 && de < best_key.1) {
+                    best_key = (dv, de);
+                    best = Some(v);
+                }
+            }
+        }
+        match best {
+            Some(v) => {
+                ev.flip(v);
+                steps += 1;
+            }
+            None => {
+                // Violation plateau: random kick, then keep trying.
+                if kicks_left == 0 || n == 0 {
+                    break;
+                }
+                kicks_left -= 1;
+                for _ in 0..(n / 20).max(1) {
+                    let v = rng.random_range(0..n);
+                    ev.flip(v);
+                    steps += 1;
+                }
+            }
+        }
+    }
+    ev.resync();
+    RepairOutcome {
+        feasible: ev.is_feasible(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::cqm::{Cqm, Sense};
+    use qlrb_model::eval::CompiledCqm;
+    use qlrb_model::expr::{LinearExpr, Var};
+    use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+    use rand::SeedableRng;
+
+    fn cardinality_model() -> std::sync::Arc<CompiledCqm> {
+        // x0 + x1 + x2 + x3 = 2
+        let mut cqm = Cqm::new(4);
+        let mut e = LinearExpr::new();
+        for i in 0..4 {
+            e.add_term(Var(i), 1.0);
+        }
+        cqm.add_constraint(e, Sense::Eq, 2.0, "card");
+        CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::uniform(10.0, PenaltyStyle::ViolationQuadratic),
+        )
+    }
+
+    #[test]
+    fn repairs_undershoot_and_overshoot() {
+        let model = cardinality_model();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        for start in [vec![0u8, 0, 0, 0], vec![1, 1, 1, 1], vec![1, 0, 0, 0]] {
+            let mut ev = CqmEvaluator::with_state(std::sync::Arc::clone(&model), &start);
+            let out = repair(&mut ev, 100, &mut rng);
+            assert!(out.feasible, "start {start:?}");
+            assert_eq!(
+                ev.state().iter().filter(|&&b| b == 1).count(),
+                2,
+                "start {start:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_feasible_is_zero_steps() {
+        let model = cardinality_model();
+        let mut ev = CqmEvaluator::with_state(model, &[1, 1, 0, 0]);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let out = repair(&mut ev, 100, &mut rng);
+        assert!(out.feasible);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn impossible_constraint_reports_infeasible() {
+        // x0 + x1 = 5 can never hold.
+        let mut cqm = Cqm::new(2);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
+        cqm.add_constraint(e, Sense::Eq, 5.0, "never");
+        let model = CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::uniform(10.0, PenaltyStyle::ViolationQuadratic),
+        );
+        let mut ev = CqmEvaluator::new(model);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let out = repair(&mut ev, 200, &mut rng);
+        assert!(!out.feasible);
+    }
+}

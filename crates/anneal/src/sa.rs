@@ -1,0 +1,186 @@
+//! Metropolis simulated annealing over an [`Evaluator`].
+
+use qlrb_model::eval::Evaluator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::schedule::BetaSchedule;
+
+/// Simulated annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaParams {
+    /// Number of full sweeps (each sweep proposes every variable once, in
+    /// random order).
+    pub sweeps: usize,
+    /// Inverse-temperature schedule over the sweeps.
+    pub schedule: BetaSchedule,
+    /// Caches are recomputed from scratch every `resync_interval` sweeps to
+    /// flush accumulated floating-point drift.
+    pub resync_interval: usize,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        Self {
+            sweeps: 1000,
+            schedule: BetaSchedule::Geometric {
+                beta0: 0.1,
+                beta1: 50.0,
+            },
+            resync_interval: 256,
+        }
+    }
+}
+
+/// Result of an annealing run: the best state seen and its energy.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// The lowest-energy assignment encountered (not necessarily the final
+    /// state of the walk).
+    pub state: Vec<u8>,
+    /// Its energy.
+    pub energy: f64,
+    /// Number of accepted moves (diagnostic).
+    pub accepted: u64,
+}
+
+/// Runs simulated annealing starting from the evaluator's current state.
+///
+/// The evaluator is left at the *final* walk state; the best-seen state is
+/// returned separately so callers can restore or compare.
+pub fn simulated_annealing<E: Evaluator>(
+    ev: &mut E,
+    params: &SaParams,
+    rng: &mut impl Rng,
+) -> AnnealResult {
+    let n = ev.num_vars();
+    let mut best_state = ev.state().to_vec();
+    let mut best_energy = ev.energy();
+    let mut accepted = 0u64;
+    if n == 0 || params.sweeps == 0 {
+        return AnnealResult {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
+    for sweep in 0..params.sweeps {
+        let beta = params.schedule.beta(sweep as f64 / denom);
+        order.shuffle(rng);
+        for &v in &order {
+            let delta = ev.flip_delta(v);
+            let accept = delta <= 0.0 || {
+                let x = -beta * delta;
+                // exp underflows harmlessly; skip the rng draw when hopeless.
+                x > -60.0 && rng.random::<f64>() < x.exp()
+            };
+            if accept {
+                ev.flip(v);
+                accepted += 1;
+                if ev.energy() < best_energy {
+                    best_energy = ev.energy();
+                    best_state.copy_from_slice(ev.state());
+                }
+            }
+        }
+        if params.resync_interval > 0 && (sweep + 1) % params.resync_interval == 0 {
+            ev.resync();
+        }
+    }
+    // One final resync so reported energies are exact, then re-check best.
+    ev.resync();
+    if ev.energy() < best_energy {
+        best_energy = ev.energy();
+        best_state.copy_from_slice(ev.state());
+    }
+    AnnealResult {
+        state: best_state,
+        energy: best_energy,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{auto_geometric, estimate_delta_scale};
+    use qlrb_model::bqm::BinaryQuadraticModel;
+    use qlrb_model::eval::BqmEvaluator;
+    use qlrb_model::Var;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// A frustrated 8-variable QUBO with a known unique ground state.
+    fn chain_bqm() -> (BinaryQuadraticModel, Vec<u8>, f64) {
+        // Antiferromagnetic chain with a field pinning x0 = 1:
+        // minimized by alternating 1,0,1,0,...
+        let n = 8;
+        let mut bqm = BinaryQuadraticModel::new(n);
+        bqm.add_linear(Var(0), -2.0);
+        for i in 0..n - 1 {
+            bqm.add_quadratic(Var(i as u32), Var(i as u32 + 1), 3.0);
+            bqm.add_linear(Var(i as u32 + 1), -1.0);
+        }
+        let ground: Vec<u8> = (0..n).map(|i| (1 - i % 2) as u8).collect();
+        let e = bqm.energy(&ground);
+        (bqm, ground, e)
+    }
+
+    #[test]
+    fn finds_chain_ground_state() {
+        let (bqm, ground, ground_e) = chain_bqm();
+        let mut ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let scale = estimate_delta_scale(&mut ev, &mut rng, 64);
+        ev.set_state(&[0; 8]);
+        let params = SaParams {
+            sweeps: 400,
+            schedule: auto_geometric(scale),
+            resync_interval: 64,
+        };
+        let res = simulated_annealing(&mut ev, &params, &mut rng);
+        assert_eq!(res.state, ground);
+        assert!((res.energy - ground_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (bqm, _, _) = chain_bqm();
+        let model = Arc::new(bqm);
+        let run = |seed: u64| {
+            let mut ev = BqmEvaluator::new(Arc::clone(&model));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            simulated_annealing(&mut ev, &SaParams::default(), &mut rng)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn zero_sweeps_is_identity() {
+        let (bqm, _, _) = chain_bqm();
+        let mut ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let params = SaParams {
+            sweeps: 0,
+            ..Default::default()
+        };
+        let res = simulated_annealing(&mut ev, &params, &mut rng);
+        assert_eq!(res.state, vec![0; 8]);
+        assert_eq!(res.accepted, 0);
+    }
+
+    #[test]
+    fn best_energy_never_above_final() {
+        let (bqm, _, _) = chain_bqm();
+        let mut ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let res = simulated_annealing(&mut ev, &SaParams::default(), &mut rng);
+        assert!(res.energy <= ev.energy() + 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Sample sets returned by the hybrid solver.
+
+use std::time::Duration;
+
+use crate::hybrid::SamplerKind;
+
+/// One solution sample: a binary assignment with its quality metrics,
+/// measured against the *original* CQM (not the penalized surrogate).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The assignment, truncated to the CQM's variable width (slack
+    /// variables, if any, are stripped).
+    pub state: Vec<u8>,
+    /// Objective value of the original CQM.
+    pub objective: f64,
+    /// Total true violation magnitude (0 iff feasible).
+    pub violation: f64,
+    /// Whether every constraint is satisfied.
+    pub feasible: bool,
+    /// Which portfolio member produced it.
+    pub sampler: SamplerKind,
+}
+
+/// CPU vs (simulated) QPU time split, mirroring the paper's Table V runtime
+/// columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverTiming {
+    /// Wall-clock time of the whole hybrid solve (classical side).
+    pub cpu: Duration,
+    /// Deterministic surrogate for quantum-processor access time: the
+    /// D-Wave-style charge for the annealing portion of the workflow.
+    pub qpu: Duration,
+}
+
+/// An ordered collection of samples: feasible ones first, then by objective.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    /// Samples, best first.
+    pub samples: Vec<Sample>,
+    /// Timing split.
+    pub timing: SolverTiming,
+}
+
+impl SampleSet {
+    /// Sorts samples best-first: feasibility strictly dominates, then lower
+    /// objective, then lower violation.
+    pub fn sort(&mut self) {
+        self.samples.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then(a.objective.total_cmp(&b.objective))
+                .then(a.violation.total_cmp(&b.violation))
+        });
+    }
+
+    /// The best feasible sample, if any.
+    pub fn best_feasible(&self) -> Option<&Sample> {
+        self.samples.iter().find(|s| s.feasible)
+    }
+
+    /// The best sample overall (feasible-first ordering).
+    pub fn best(&self) -> Option<&Sample> {
+        self.samples.first()
+    }
+
+    /// Number of feasible samples.
+    pub fn num_feasible(&self) -> usize {
+        self.samples.iter().filter(|s| s.feasible).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(feasible: bool, objective: f64) -> Sample {
+        Sample {
+            state: vec![],
+            objective,
+            violation: if feasible { 0.0 } else { 1.0 },
+            feasible,
+            sampler: SamplerKind::Sa,
+        }
+    }
+
+    #[test]
+    fn sort_prefers_feasible_then_objective() {
+        let mut set = SampleSet {
+            samples: vec![sample(false, -10.0), sample(true, 5.0), sample(true, 2.0)],
+            timing: SolverTiming::default(),
+        };
+        set.sort();
+        assert!(set.samples[0].feasible && set.samples[0].objective == 2.0);
+        assert!(set.samples[1].feasible && set.samples[1].objective == 5.0);
+        assert!(!set.samples[2].feasible);
+        assert_eq!(set.num_feasible(), 2);
+        assert_eq!(set.best_feasible().unwrap().objective, 2.0);
+    }
+
+    #[test]
+    fn empty_set_has_no_best() {
+        let set = SampleSet::default();
+        assert!(set.best().is_none());
+        assert!(set.best_feasible().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Temperature and transverse-field schedules.
+
+use qlrb_model::eval::Evaluator;
+use rand::Rng;
+
+/// An inverse-temperature schedule over normalized time `t ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BetaSchedule {
+    /// `β(t) = β₀ · (β₁/β₀)^t` — the standard annealing default.
+    Geometric {
+        /// Starting (hot) inverse temperature.
+        beta0: f64,
+        /// Final (cold) inverse temperature.
+        beta1: f64,
+    },
+    /// `β(t) = β₀ + (β₁ − β₀)·t`.
+    Linear {
+        /// Starting inverse temperature.
+        beta0: f64,
+        /// Final inverse temperature.
+        beta1: f64,
+    },
+    /// Constant temperature (used for fixed-β SQA sweeps).
+    Constant {
+        /// The inverse temperature.
+        beta: f64,
+    },
+}
+
+impl BetaSchedule {
+    /// Inverse temperature at normalized time `t ∈ [0, 1]`.
+    pub fn beta(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match *self {
+            BetaSchedule::Geometric { beta0, beta1 } => beta0 * (beta1 / beta0).powf(t),
+            BetaSchedule::Linear { beta0, beta1 } => beta0 + (beta1 - beta0) * t,
+            BetaSchedule::Constant { beta } => beta,
+        }
+    }
+
+    /// Final inverse temperature.
+    pub fn final_beta(&self) -> f64 {
+        self.beta(1.0)
+    }
+}
+
+/// Linearly decaying transverse field `Γ(t) = Γ₀ + (Γ₁ − Γ₀)·t` for SQA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransverseSchedule {
+    /// Initial (strong) transverse field.
+    pub gamma0: f64,
+    /// Final (weak) transverse field; must stay > 0 so `ln tanh` is finite.
+    pub gamma1: f64,
+}
+
+impl TransverseSchedule {
+    /// Field strength at normalized time `t ∈ [0, 1]`.
+    pub fn gamma(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        (self.gamma0 + (self.gamma1 - self.gamma0) * t).max(1e-12)
+    }
+}
+
+/// Estimates the typical magnitude of a single-flip energy delta by probing
+/// random flips from random states. Used to auto-scale β so schedules are
+/// problem-size independent (LRP energies grow like `(n·w)²`).
+///
+/// Returns a strictly positive scale (1.0 for a totally flat landscape).
+pub fn estimate_delta_scale<E: Evaluator>(ev: &mut E, rng: &mut impl Rng, probes: usize) -> f64 {
+    let n = ev.num_vars();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for _ in 0..probes.max(1) {
+        let v = rng.random_range(0..n);
+        let d = ev.flip_delta(v).abs();
+        if d.is_finite() {
+            acc += d;
+            count += 1;
+        }
+        // Take a random step so probes see varied neighbourhoods.
+        let w = rng.random_range(0..n);
+        ev.flip(w);
+    }
+    let mean = if count > 0 { acc / count as f64 } else { 0.0 };
+    if mean > 0.0 {
+        mean
+    } else {
+        1.0
+    }
+}
+
+/// A geometric schedule auto-scaled to the probed delta scale: starts around
+/// 50% uphill acceptance for a typical move and ends effectively frozen.
+pub fn auto_geometric(delta_scale: f64) -> BetaSchedule {
+    let scale = delta_scale.max(1e-12);
+    BetaSchedule::Geometric {
+        beta0: std::f64::consts::LN_2 / scale,
+        beta1: 60.0 / scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_interpolates_endpoints() {
+        let s = BetaSchedule::Geometric {
+            beta0: 0.1,
+            beta1: 10.0,
+        };
+        assert!((s.beta(0.0) - 0.1).abs() < 1e-12);
+        assert!((s.beta(1.0) - 10.0).abs() < 1e-12);
+        assert!((s.beta(0.5) - 1.0).abs() < 1e-9); // geometric midpoint
+    }
+
+    #[test]
+    fn linear_and_constant() {
+        let l = BetaSchedule::Linear {
+            beta0: 1.0,
+            beta1: 3.0,
+        };
+        assert_eq!(l.beta(0.5), 2.0);
+        let c = BetaSchedule::Constant { beta: 7.0 };
+        assert_eq!(c.beta(0.3), 7.0);
+        assert_eq!(c.final_beta(), 7.0);
+    }
+
+    #[test]
+    fn beta_clamps_time() {
+        let s = BetaSchedule::Linear {
+            beta0: 1.0,
+            beta1: 2.0,
+        };
+        assert_eq!(s.beta(-1.0), 1.0);
+        assert_eq!(s.beta(2.0), 2.0);
+    }
+
+    #[test]
+    fn transverse_stays_positive() {
+        let t = TransverseSchedule {
+            gamma0: 3.0,
+            gamma1: 0.0,
+        };
+        assert!(t.gamma(1.0) > 0.0);
+        assert_eq!(t.gamma(0.0), 3.0);
+    }
+
+    #[test]
+    fn auto_geometric_orders_betas() {
+        let s = auto_geometric(5.0);
+        assert!(s.beta(0.0) < s.beta(1.0));
+    }
+}

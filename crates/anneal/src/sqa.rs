@@ -1,0 +1,267 @@
+//! Simulated quantum annealing (path-integral Monte Carlo).
+//!
+//! Quantum annealing hardware evolves the transverse-field Ising Hamiltonian
+//! `H(t) = −Γ(t)·Σ σᵢˣ + H_problem`. Its standard classical simulation is
+//! path-integral Monte Carlo over the Suzuki–Trotter decomposition: `P`
+//! replicas ("imaginary-time slices") of the classical state, each feeling
+//! `H_problem / P`, with neighbouring slices ferromagnetically coupled by
+//!
+//! ```text
+//! J⊥(Γ) = −(P·T / 2) · ln tanh( Γ / (P·T) )       (T = 1/β)
+//! ```
+//!
+//! As `Γ` decays the coupling stiffens and the replicas collapse onto a
+//! single classical configuration; quantum tunnelling shows up as replicas
+//! disagreeing mid-anneal. The routine works over any cloneable
+//! [`Evaluator`], so it anneals the structured CQM energy directly without
+//! materializing a QUBO.
+
+use qlrb_model::eval::Evaluator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sa::AnnealResult;
+use crate::schedule::TransverseSchedule;
+
+/// SQA parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqaParams {
+    /// Number of Trotter replicas `P` (≥ 2).
+    pub replicas: usize,
+    /// Monte-Carlo sweeps (each proposes every (variable, replica) pair).
+    pub sweeps: usize,
+    /// Fixed inverse temperature `β` of the quantum bath.
+    pub beta: f64,
+    /// Transverse-field schedule (strong → weak).
+    pub transverse: TransverseSchedule,
+    /// Fraction of variables tried as *global* (all-replica) moves per sweep;
+    /// global moves cross energy barriers that single-slice moves cannot.
+    pub global_move_fraction: f64,
+    /// Replica caches resync every this many sweeps.
+    pub resync_interval: usize,
+}
+
+impl Default for SqaParams {
+    fn default() -> Self {
+        Self {
+            replicas: 12,
+            sweeps: 500,
+            beta: 10.0,
+            transverse: TransverseSchedule {
+                gamma0: 3.0,
+                gamma1: 1e-3,
+            },
+            global_move_fraction: 0.1,
+            resync_interval: 128,
+        }
+    }
+}
+
+#[inline]
+fn spin(x: u8) -> f64 {
+    if x != 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Runs SQA starting every replica from `proto`'s current state (replicas
+/// beyond the first receive a small random perturbation to decorrelate the
+/// initial world lines).
+///
+/// Returns the best *classical* (single-replica) state encountered, judged by
+/// the evaluator's full energy.
+pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
+    proto: &E,
+    params: &SqaParams,
+    rng: &mut impl Rng,
+) -> AnnealResult {
+    let n = proto.num_vars();
+    let p = params.replicas.max(2);
+    let mut best_state = proto.state().to_vec();
+    let mut best_energy = proto.energy();
+    let mut accepted = 0u64;
+    if n == 0 || params.sweeps == 0 {
+        return AnnealResult {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+
+    let mut replicas: Vec<E> = (0..p).map(|_| proto.clone()).collect();
+    for (k, r) in replicas.iter_mut().enumerate().skip(1) {
+        // ~2% perturbation, at least one flip, per extra replica.
+        let flips = (n / 50).max(1).min(n);
+        for _ in 0..(flips * k).min(n) {
+            let v = rng.random_range(0..n);
+            r.flip(v);
+        }
+    }
+
+    let pf = p as f64;
+    let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
+    let mut order: Vec<usize> = (0..n).collect();
+    for sweep in 0..params.sweeps {
+        let t = sweep as f64 / denom;
+        let gamma = params.transverse.gamma(t);
+        // J⊥ = −(P/(2β)) ln tanh(βΓ/P); clamp the argument away from 0/1.
+        let arg = (params.beta * gamma / pf).clamp(1e-12, 30.0);
+        let jperp = -(pf / (2.0 * params.beta)) * arg.tanh().ln();
+
+        order.shuffle(rng);
+        for &v in &order {
+            for k in 0..p {
+                let delta_cl = replicas[k].flip_delta(v);
+                let s = spin(replicas[k].state()[v]);
+                let s_prev = spin(replicas[(k + p - 1) % p].state()[v]);
+                let s_next = spin(replicas[(k + 1) % p].state()[v]);
+                // Coupling energy is −J⊥·s·(s_prev + s_next); flipping s
+                // changes it by +2·J⊥·s·(s_prev + s_next).
+                let delta = delta_cl / pf + 2.0 * jperp * s * (s_prev + s_next);
+                let accept = delta <= 0.0 || {
+                    let x = -params.beta * delta;
+                    x > -60.0 && rng.random::<f64>() < x.exp()
+                };
+                if accept {
+                    replicas[k].flip(v);
+                    accepted += 1;
+                }
+            }
+        }
+
+        // Global (all-replica) moves: coupling-invariant barrier hops.
+        let global_moves = ((n as f64) * params.global_move_fraction) as usize;
+        for _ in 0..global_moves {
+            let v = rng.random_range(0..n);
+            let delta: f64 = replicas.iter().map(|r| r.flip_delta(v)).sum::<f64>() / pf;
+            let accept = delta <= 0.0 || {
+                let x = -params.beta * delta;
+                x > -60.0 && rng.random::<f64>() < x.exp()
+            };
+            if accept {
+                for r in &mut replicas {
+                    r.flip(v);
+                }
+                accepted += 1;
+            }
+        }
+
+        if params.resync_interval > 0 && (sweep + 1) % params.resync_interval == 0 {
+            for r in &mut replicas {
+                r.resync();
+            }
+        }
+        for r in &replicas {
+            if r.energy() < best_energy {
+                best_energy = r.energy();
+                best_state.clear();
+                best_state.extend_from_slice(r.state());
+            }
+        }
+    }
+    for r in &mut replicas {
+        r.resync();
+        if r.energy() < best_energy {
+            best_energy = r.energy();
+            best_state.clear();
+            best_state.extend_from_slice(r.state());
+        }
+    }
+    AnnealResult {
+        state: best_state,
+        energy: best_energy,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::bqm::BinaryQuadraticModel;
+    use qlrb_model::eval::BqmEvaluator;
+    use qlrb_model::Var;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn frustrated() -> (BinaryQuadraticModel, Vec<u8>) {
+        // Deep minimum at all-ones behind a barrier (cf. tabu tests).
+        let mut bqm = BinaryQuadraticModel::new(6);
+        for i in 0..6u32 {
+            bqm.add_linear(Var(i), 1.0);
+        }
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                bqm.add_quadratic(Var(i), Var(j), -1.0);
+            }
+        }
+        // E(0…0)=0; E(1…1)=6 − 15 = −9; single flip from zeros costs +1.
+        (bqm, vec![1; 6])
+    }
+
+    #[test]
+    fn tunnels_through_barrier() {
+        let (bqm, ground) = frustrated();
+        let ground_e = bqm.energy(&ground);
+        let ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        // Each slice feels H/P, so β must scale with P for the slices to
+        // freeze: β = 16 with P = 8 gives an effective classical β of 2.
+        let params = SqaParams {
+            replicas: 8,
+            sweeps: 600,
+            beta: 16.0,
+            transverse: TransverseSchedule {
+                gamma0: 2.0,
+                gamma1: 1e-3,
+            },
+            global_move_fraction: 0.5,
+            ..Default::default()
+        };
+        let res = simulated_quantum_annealing(&ev, &params, &mut rng);
+        assert_eq!(res.state, ground);
+        assert!((res.energy - ground_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (bqm, _) = frustrated();
+        let model = Arc::new(bqm);
+        let run = || {
+            let ev = BqmEvaluator::new(Arc::clone(&model));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+            simulated_quantum_annealing(&ev, &SqaParams::default(), &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn zero_sweeps_returns_start() {
+        let (bqm, _) = frustrated();
+        let ev = BqmEvaluator::new(Arc::new(bqm));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let res = simulated_quantum_annealing(
+            &ev,
+            &SqaParams {
+                sweeps: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(res.state, vec![0; 6]);
+    }
+
+    #[test]
+    fn result_energy_is_true_energy() {
+        let (bqm, _) = frustrated();
+        let model = Arc::new(bqm);
+        let ev = BqmEvaluator::new(Arc::clone(&model));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(33);
+        let res = simulated_quantum_annealing(&ev, &SqaParams::default(), &mut rng);
+        assert!((model.energy(&res.state) - res.energy).abs() < 1e-9);
+    }
+}

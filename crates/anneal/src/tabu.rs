@@ -1,0 +1,186 @@
+//! Single-flip tabu search.
+//!
+//! Steepest-descent moves with a recency-based tabu list and the standard
+//! aspiration criterion (a tabu move is allowed if it beats the incumbent).
+//! Used inside the hybrid portfolio for small and mid-size models, where its
+//! full-neighbourhood scans are affordable and its cycling resistance
+//! complements annealing.
+
+use qlrb_model::eval::Evaluator;
+use rand::Rng;
+
+/// Tabu search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TabuParams {
+    /// How many iterations a flipped variable stays tabu. `0` picks
+    /// `max(8, n/10)` at run time.
+    pub tenure: usize,
+    /// Total move budget.
+    pub max_iters: usize,
+    /// Stop early after this many non-improving moves in a row.
+    pub stall_limit: usize,
+}
+
+impl Default for TabuParams {
+    fn default() -> Self {
+        Self {
+            tenure: 0,
+            max_iters: 2_000,
+            stall_limit: 400,
+        }
+    }
+}
+
+/// Result of a tabu run.
+#[derive(Debug, Clone)]
+pub struct TabuResult {
+    /// Best assignment found.
+    pub state: Vec<u8>,
+    /// Its energy.
+    pub energy: f64,
+    /// Moves performed.
+    pub iterations: usize,
+}
+
+/// Runs tabu search from the evaluator's current state.
+#[allow(clippy::needless_range_loop)] // indexed loops here touch several parallel arrays
+pub fn tabu_search<E: Evaluator>(
+    ev: &mut E,
+    params: &TabuParams,
+    rng: &mut impl Rng,
+) -> TabuResult {
+    let n = ev.num_vars();
+    let mut best_state = ev.state().to_vec();
+    let mut best_energy = ev.energy();
+    if n == 0 || params.max_iters == 0 {
+        return TabuResult {
+            state: best_state,
+            energy: best_energy,
+            iterations: 0,
+        };
+    }
+    let tenure = if params.tenure == 0 {
+        (n / 10).max(8)
+    } else {
+        params.tenure
+    };
+    // tabu_until[v]: first iteration at which v may be flipped again.
+    let mut tabu_until = vec![0usize; n];
+    let mut stall = 0usize;
+    let mut iters = 0usize;
+    for iter in 0..params.max_iters {
+        // Steepest admissible move; ties broken by a random perturbation so
+        // plateaus don't lock onto variable 0.
+        let mut chosen: Option<(usize, f64)> = None;
+        let mut chosen_key = f64::INFINITY;
+        for v in 0..n {
+            let delta = ev.flip_delta(v);
+            let aspiration = ev.energy() + delta < best_energy - 1e-12;
+            if tabu_until[v] > iter && !aspiration {
+                continue;
+            }
+            let key = delta + rng.random::<f64>() * 1e-9;
+            if key < chosen_key {
+                chosen_key = key;
+                chosen = Some((v, delta));
+            }
+        }
+        let Some((v, delta)) = chosen else { break };
+        ev.flip(v);
+        tabu_until[v] = iter + tenure;
+        iters = iter + 1;
+        if ev.energy() < best_energy - 1e-12 {
+            best_energy = ev.energy();
+            best_state.copy_from_slice(ev.state());
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= params.stall_limit {
+                break;
+            }
+        }
+        let _ = delta;
+        if iters.is_multiple_of(512) {
+            ev.resync();
+        }
+    }
+    ev.resync();
+    if ev.energy() < best_energy {
+        best_energy = ev.energy();
+        best_state.copy_from_slice(ev.state());
+    }
+    TabuResult {
+        state: best_state,
+        energy: best_energy,
+        iterations: iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::bqm::BinaryQuadraticModel;
+    use qlrb_model::eval::BqmEvaluator;
+    use qlrb_model::Var;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// A two-minimum landscape where plain descent gets stuck: tabu must
+    /// cross a barrier.
+    fn barrier_bqm() -> BinaryQuadraticModel {
+        // E(x) over 4 vars: deep minimum at 1111 (E = -6), shallow at 0000
+        // (E = 0); any single flip from 0000 costs +1.
+        let mut bqm = BinaryQuadraticModel::new(4);
+        for i in 0..4u32 {
+            bqm.add_linear(Var(i), 1.0);
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                bqm.add_quadratic(Var(i), Var(j), -5.0 / 3.0);
+            }
+        }
+        bqm
+    }
+
+    #[test]
+    fn escapes_local_minimum() {
+        let bqm = barrier_bqm();
+        let ground = bqm.energy(&[1, 1, 1, 1]);
+        assert!(ground < 0.0);
+        let mut ev = BqmEvaluator::new(Arc::new(bqm)); // starts at 0000 (local min)
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let res = tabu_search(&mut ev, &TabuParams::default(), &mut rng);
+        assert_eq!(res.state, vec![1, 1, 1, 1]);
+        assert!((res.energy - ground).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_zero_budget() {
+        let mut ev = BqmEvaluator::new(Arc::new(barrier_bqm()));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let res = tabu_search(
+            &mut ev,
+            &TabuParams {
+                max_iters: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.state, vec![0; 4]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = Arc::new(barrier_bqm());
+        let run = |seed| {
+            let mut ev = BqmEvaluator::new(Arc::clone(&model));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            tabu_search(&mut ev, &TabuParams::default(), &mut rng)
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

@@ -1,0 +1,63 @@
+//! Runtime of the classical rebalancing methods (the paper's Table II and
+//! Table V "Runtime" columns): Greedy, KK, ProactLB on the Table II MxM
+//! configuration (8 nodes × 50 tasks), the largest MxM scale (8 × 2048),
+//! and the sam(oa)² Table V instance (32 × 208).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qlrb_classical::{Greedy, GreedyRelabeled, KarmarkarKarp, ProactLb};
+use qlrb_core::{Instance, Rebalancer};
+
+fn instances() -> Vec<(&'static str, Instance)> {
+    let imb3 = qlrb_workloads::groups::imbalance_levels()
+        .into_iter()
+        .find(|(l, _)| l == "Imb.3")
+        .unwrap()
+        .1;
+    let big = qlrb_workloads::groups::task_scaling()
+        .into_iter()
+        .find(|(n, _)| *n == 2048)
+        .unwrap()
+        .1;
+    let samoa = samoa_mini::scenario::table5_instance();
+    vec![("mxm_8x50", imb3), ("mxm_8x2048", big), ("samoa_32x208", samoa)]
+}
+
+fn bench_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical");
+    for (label, inst) in instances() {
+        group.bench_with_input(BenchmarkId::new("greedy", label), &inst, |b, inst| {
+            b.iter(|| black_box(Greedy.rebalance(inst).unwrap().matrix.num_migrated()))
+        });
+        group.bench_with_input(BenchmarkId::new("kk", label), &inst, |b, inst| {
+            b.iter(|| black_box(KarmarkarKarp.rebalance(inst).unwrap().matrix.num_migrated()))
+        });
+        group.bench_with_input(BenchmarkId::new("proactlb", label), &inst, |b, inst| {
+            b.iter(|| black_box(ProactLb.rebalance(inst).unwrap().matrix.num_migrated()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_relabeled", label),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        GreedyRelabeled
+                            .rebalance(inst)
+                            .unwrap()
+                            .matrix
+                            .num_migrated(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classical
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Hybrid CQM solver throughput (the paper's Table II/V hybrid "Runtime"
+//! columns): one full solve per variant on a small MxM instance, plus the
+//! three samplers in isolation on a fixed model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qlrb_anneal::hybrid::{HybridCqmSolver, SamplerKind};
+use qlrb_core::cqm::{LrpCqm, Variant};
+use qlrb_core::{Instance, QuantumRebalancer, Rebalancer};
+
+fn small_instance() -> Instance {
+    // 8 nodes × 50 tasks, the Table II configuration at the Imb.3 spread.
+    qlrb_workloads::groups::imbalance_levels()
+        .into_iter()
+        .find(|(l, _)| l == "Imb.3")
+        .unwrap()
+        .1
+}
+
+fn solver(reads: usize, samplers: Vec<SamplerKind>) -> HybridCqmSolver {
+    HybridCqmSolver {
+        num_reads: reads,
+        sweeps: 300,
+        sqa_replicas: 8,
+        seed: 11,
+        samplers,
+        ..HybridCqmSolver::default()
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let inst = small_instance();
+    let k = inst.num_tasks() / 4;
+    let mut group = c.benchmark_group("hybrid_solve");
+    group.sample_size(10);
+    for variant in [Variant::Reduced, Variant::Full] {
+        group.bench_with_input(
+            BenchmarkId::new("variant", format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                let method = QuantumRebalancer {
+                    variant,
+                    k,
+                    solver: solver(4, vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu]),
+                    label: None,
+                    extra_seed_plans: Vec::new(),
+                    prune_tolerance: 0.02,
+                    migration_penalty: 0.0,
+                };
+                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let inst = small_instance();
+    let k = inst.num_tasks() / 4;
+    let lrp = LrpCqm::build(&inst, Variant::Reduced, k).unwrap();
+    let mut group = c.benchmark_group("hybrid_samplers");
+    group.sample_size(10);
+    for kind in [SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu] {
+        group.bench_with_input(BenchmarkId::new("sampler", format!("{kind}")), &kind, |b, &kind| {
+            let s = solver(2, vec![kind]);
+            b.iter(|| {
+                let set = s.solve(&lrp.cqm, &[]);
+                black_box(set.samples.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Structured CQM evaluation vs materialized-QUBO evaluation: the same SA
+/// budget through the incremental sum-of-squares evaluator and through the
+/// dense explicit QUBO — the design choice that makes the paper's largest
+/// configurations tractable.
+fn bench_structured_vs_qubo(c: &mut Criterion) {
+    use qlrb_anneal::sa::{simulated_annealing, SaParams};
+    use qlrb_anneal::schedule::BetaSchedule;
+    use qlrb_model::eval::{BqmEvaluator, CompiledCqm, CqmEvaluator};
+    use qlrb_model::penalty::{to_bqm, PenaltyConfig, PenaltyStyle};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let inst = small_instance();
+    let k = inst.num_tasks() / 4;
+    let lrp = LrpCqm::build(&inst, Variant::Full, k).unwrap();
+    let cfg = PenaltyConfig::auto(&lrp.cqm, 2.0, PenaltyStyle::Slack);
+    let compiled = CompiledCqm::compile(&lrp.cqm, cfg);
+    let bqm = Arc::new(to_bqm(&lrp.cqm, &cfg).expect("slack is representable"));
+    let params = SaParams {
+        sweeps: 100,
+        schedule: BetaSchedule::Geometric {
+            beta0: 1e-4,
+            beta1: 1e-1,
+        },
+        resync_interval: 64,
+    };
+    let mut group = c.benchmark_group("structured_vs_qubo");
+    group.sample_size(10);
+    group.bench_function("structured_evaluator", |b| {
+        b.iter(|| {
+            let mut ev = CqmEvaluator::new(Arc::clone(&compiled));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+            black_box(simulated_annealing(&mut ev, &params, &mut rng).energy)
+        })
+    });
+    group.bench_function("materialized_qubo", |b| {
+        b.iter(|| {
+            let mut ev = BqmEvaluator::new(Arc::clone(&bqm));
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+            black_box(simulated_annealing(&mut ev, &params, &mut rng).energy)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_samplers, bench_structured_vs_qubo);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Substrate microbenchmarks: the MxM kernel (load calibration), the
+//! adaptive mesh build, CQM evaluator flip throughput (the annealing inner
+//! loop), and the runtime simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use chameleon_sim::{simulate, SimConfig, SimInput};
+use qlrb_core::cqm::{LrpCqm, Variant};
+use qlrb_core::Instance;
+use qlrb_model::eval::{CqmEvaluator, Evaluator};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+use qlrb_workloads::Matrix;
+
+fn bench_mxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxm_kernel");
+    for size in [64usize, 128] {
+        let a = Matrix::patterned(size);
+        let b = Matrix::patterned(size);
+        group.throughput(Throughput::Elements((2 * size * size * size) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.multiply_blocked(&b, 64).frobenius()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("samoa_mesh_depth12", |b| {
+        let lake = samoa_mini::OscillatingLake::default();
+        b.iter(|| {
+            let mesh = samoa_mini::Mesh::adaptive(12, 13, |p| {
+                lake.near_shoreline(p[0], p[1], 0.0, 0.05)
+            });
+            black_box(mesh.num_cells())
+        })
+    });
+}
+
+fn bench_evaluator_flips(c: &mut Criterion) {
+    // The annealing inner loop: flip-delta + flip on the Table V-scale CQM.
+    let inst = Instance::uniform(208, (0..32).map(|i| 1.0 + i as f64 * 0.3).collect()).unwrap();
+    let lrp = LrpCqm::build(&inst, Variant::Full, 500).unwrap();
+    let compiled = qlrb_model::eval::CompiledCqm::compile(
+        &lrp.cqm,
+        PenaltyConfig::auto(&lrp.cqm, 2.0, PenaltyStyle::ViolationQuadratic),
+    );
+    let mut ev = CqmEvaluator::new(compiled);
+    let n = ev.num_vars();
+    let mut group = c.benchmark_group("evaluator");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("full_sweep_flip_delta", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in 0..n {
+                acc += ev.flip_delta(v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("full_sweep_flip_apply", |b| {
+        b.iter(|| {
+            for v in 0..n {
+                ev.flip(v);
+            }
+            black_box(ev.energy())
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let inst = samoa_mini::scenario::table5_instance();
+    let input = SimInput::from_instance(&inst);
+    c.bench_function("chameleon_sim_32x208", |b| {
+        b.iter(|| black_box(simulate(&input, &SimConfig::default()).total_makespan))
+    });
+    let _ = Arc::new(());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mxm, bench_mesh, bench_evaluator_flips, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: bounded-coefficient vs plain-binary count encoding (paper §IV).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::ablations::encoding_ablation(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

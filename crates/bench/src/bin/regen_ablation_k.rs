@@ -1,0 +1,6 @@
+//! Ablation: sweep of the migration budget k (paper §VI future work).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::ablations::k_sweep(&cfg);
+    qlrb_bench::emit(&exp, true);
+}

@@ -1,0 +1,7 @@
+//! Ablation: inequality-penalty encodings (violation-quadratic vs
+//! unbalanced penalization vs slack variables) on Q_CQM1.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::ablations::penalty_ablation(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

@@ -1,0 +1,6 @@
+//! Ablation: hybrid portfolio members in isolation (SA vs SQA vs tabu).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::ablations::sampler_ablation(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

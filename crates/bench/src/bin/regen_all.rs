@@ -1,0 +1,24 @@
+//! Regenerates every table and figure of the paper plus the ablations.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    println!("{}", qlrb_harness::table1());
+    for exp in [
+        qlrb_harness::varied_imbalance(&cfg),
+        qlrb_harness::varied_procs(&cfg),
+        qlrb_harness::varied_tasks(&cfg),
+        qlrb_harness::samoa_case(&cfg),
+        qlrb_harness::groups::tsunami_case(&cfg),
+        qlrb_harness::ablations::k_sweep(&cfg),
+        qlrb_harness::ablations::penalty_ablation(&cfg),
+        qlrb_harness::ablations::sampler_ablation(&cfg),
+        qlrb_harness::ablations::encoding_ablation(&cfg),
+        qlrb_harness::extensions::optimality_gap(&cfg),
+        qlrb_harness::extensions::dynamic_comparison(&cfg),
+        qlrb_harness::extensions::drift_study(&cfg),
+        qlrb_harness::extensions::replan_frequency(&cfg),
+        qlrb_harness::extensions::soft_penalty_sweep(&cfg),
+        qlrb_harness::extensions::noise_robustness(&cfg),
+    ] {
+        qlrb_bench::emit(&exp, exp.cases.len() > 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension: how rebalancing plans age as the oscillating lake moves.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::drift_study(&cfg);
+    qlrb_bench::emit(&exp, true);
+}

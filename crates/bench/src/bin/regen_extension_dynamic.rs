@@ -1,0 +1,6 @@
+//! Extension: work stealing vs migrate-then-run on the simulated runtime.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::dynamic_comparison(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

@@ -1,0 +1,7 @@
+//! Extension: heuristics and the hybrid solver against the certified
+//! branch-and-bound optimum on small instances.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::optimality_gap(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

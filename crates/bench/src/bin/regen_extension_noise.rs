@@ -1,0 +1,6 @@
+//! Extension: robustness of plans to task-time noise (incorrect cost model).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::noise_robustness(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

@@ -1,0 +1,6 @@
+//! Extension: re-planning frequency under the oscillating lake.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::replan_frequency(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

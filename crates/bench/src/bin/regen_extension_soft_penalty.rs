@@ -1,0 +1,6 @@
+//! Extension: soft per-migration penalty (multi-objective) vs the hard k.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::extensions::soft_penalty_sweep(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

@@ -1,0 +1,6 @@
+//! Extension: the tsunami realistic use case (FV-driven costs).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::groups::tsunami_case(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

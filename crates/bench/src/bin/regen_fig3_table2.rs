@@ -1,0 +1,21 @@
+//! Regenerates Fig. 3 (imbalance ratio + speedup across five imbalance
+//! levels) and Table II (average migration counts and runtimes).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::varied_imbalance(&cfg);
+    qlrb_bench::emit(&exp, true);
+
+    // Table II: averages over the five cases.
+    println!("== table2 — Averages over the 5 imbalance cases ==");
+    println!(
+        "{:<14} {:>16} {:>18} {:>14} {:>10}",
+        "Algorithm", "# total mig (avg)", "# mig/proc (avg)", "Runtime(ms)", "QPU(ms)"
+    );
+    for r in exp.averages() {
+        let qpu = r.qpu_ms.map(|q| format!("{q:.1}")).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<14} {:>16.1} {:>18.2} {:>14.4} {:>10}",
+            r.algorithm, r.migrated as f64, r.migrated_per_proc, r.runtime_ms, qpu
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4 (imbalance + speedup vs node count) and Table III
+//! (total migrated tasks per scale).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::varied_procs(&cfg);
+    qlrb_bench::emit(&exp, true);
+}

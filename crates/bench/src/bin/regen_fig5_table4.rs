@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5 (imbalance + speedup vs tasks per node) and Table IV
+//! (total migrated tasks per scale).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::varied_tasks(&cfg);
+    qlrb_bench::emit(&exp, true);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (complexity & logical-qubit overview).
+fn main() {
+    println!("{}", qlrb_harness::table1());
+}

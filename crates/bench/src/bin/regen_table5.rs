@@ -1,0 +1,7 @@
+//! Regenerates Table V: the sam(oa)² oscillating-lake realistic use case
+//! (32 nodes × 208 tasks, baseline R_imb = 4.1994).
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let exp = qlrb_harness::samoa_case(&cfg);
+    qlrb_bench::emit(&exp, false);
+}

@@ -1,0 +1,65 @@
+//! # qlrb-bench — benchmark harness and table/figure regeneration
+//!
+//! Two kinds of targets:
+//!
+//! * **Regeneration binaries** (`src/bin/regen_*.rs`) — one per paper table
+//!   and figure. Each prints the paper-style rows/series to stdout and
+//!   writes machine-readable JSON under `results/`. Run them in release
+//!   mode, e.g.
+//!
+//!   ```text
+//!   cargo run --release -p qlrb-bench --bin regen_table5
+//!   cargo run --release -p qlrb-bench --bin regen_all
+//!   ```
+//!
+//! * **Criterion benches** (`benches/`) — micro/meso benchmarks of the
+//!   classical algorithms (the paper's runtime columns), the hybrid solver,
+//!   and the substrates (MxM kernel, mesh construction, evaluator flip
+//!   throughput, runtime simulator).
+
+use std::path::PathBuf;
+
+use qlrb_harness::ExperimentResult;
+
+/// Where regeneration binaries drop their JSON artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Prints an experiment (tables + figure panels) and persists its JSON.
+pub fn emit(exp: &ExperimentResult, with_figures: bool) {
+    println!("{}", exp.to_table());
+    if with_figures {
+        println!("{}", qlrb_harness::figures::figure_panels(exp));
+        println!(
+            "{}",
+            qlrb_harness::figures::series_table(exp, qlrb_harness::figures::Metric::Migrated)
+        );
+    }
+    let path = results_dir().join(format!("{}.json", exp.id));
+    std::fs::write(&path, exp.to_json()).expect("write results json");
+    println!("[saved {}]", path.display());
+}
+
+/// The harness configuration used by all regen binaries: the default,
+/// unless `QLRB_FAST=1` asks for the cheap test profile.
+pub fn regen_config() -> qlrb_harness::HarnessConfig {
+    if std::env::var("QLRB_FAST").is_ok_and(|v| v == "1") {
+        qlrb_harness::HarnessConfig::fast()
+    } else {
+        qlrb_harness::HarnessConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = super::results_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,76 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model and topology of the simulated cluster.
+///
+/// Defaults approximate the paper's CoolMUC2 setting: 28-core Haswell nodes
+/// (one core reserved for the Chameleon communication thread) on a
+/// high-bandwidth fabric where migrating a task costs far less than
+/// executing it, but is not free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Compute threads per node (excluding the communication thread).
+    pub comp_threads: usize,
+    /// Fixed per-message overhead of a task migration (same time unit as
+    /// task loads).
+    pub comm_latency: f64,
+    /// Transfer cost proportional to the migrated task's load (stands in
+    /// for payload-size / bandwidth; task data scales with its work).
+    pub comm_cost_per_load: f64,
+    /// BSP iterations to simulate. Migrations execute once, in the first
+    /// iteration; later iterations run with the new task residency.
+    pub iterations: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            comp_threads: 27,
+            comm_latency: 0.01,
+            comm_cost_per_load: 0.05,
+            iterations: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Single-worker configuration: node makespan equals the plain sum of
+    /// its task loads, which is exactly the paper's analytic `L_i` model.
+    /// Used to cross-check the simulator against `Instance::loads`.
+    pub fn analytic() -> Self {
+        Self {
+            comp_threads: 1,
+            comm_latency: 0.0,
+            comm_cost_per_load: 0.0,
+            iterations: 1,
+        }
+    }
+
+    /// Transfer time of one task of the given load.
+    pub fn transfer_cost(&self, load: f64) -> f64 {
+        self.comm_latency + self.comm_cost_per_load * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_combines_latency_and_volume() {
+        let cfg = SimConfig {
+            comm_latency: 2.0,
+            comm_cost_per_load: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(cfg.transfer_cost(10.0), 7.0);
+    }
+
+    #[test]
+    fn analytic_config_is_free_of_overheads() {
+        let cfg = SimConfig::analytic();
+        assert_eq!(cfg.transfer_cost(100.0), 0.0);
+        assert_eq!(cfg.comp_threads, 1);
+    }
+}

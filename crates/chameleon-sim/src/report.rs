@@ -1,0 +1,121 @@
+//! Simulation reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::TraceSpan;
+
+/// Per-node outcome of one BSP iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Time the node finished all its work (compute and communication).
+    pub finish: f64,
+    /// Idle time spent at the barrier waiting for the slowest node.
+    pub wait: f64,
+    /// Total compute-thread busy time (sum of executed task loads).
+    pub busy: f64,
+    /// Communication-thread busy time (iteration 0 only).
+    pub comm_busy: f64,
+    /// `busy / (makespan · comp_threads)`.
+    pub utilization: f64,
+}
+
+/// One BSP iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Barrier time: the slowest node's finish.
+    pub makespan: f64,
+    /// Per-node details.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl IterationReport {
+    /// Total wait time across nodes — the cost of imbalance this iteration.
+    pub fn total_wait(&self) -> f64 {
+        self.nodes.iter().map(|n| n.wait).sum()
+    }
+
+    /// Mean compute utilization across nodes.
+    pub fn mean_utilization(&self) -> f64 {
+        self.nodes.iter().map(|n| n.utilization).sum::<f64>() / self.nodes.len() as f64
+    }
+}
+
+/// A whole simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-iteration reports.
+    pub iterations: Vec<IterationReport>,
+    /// Sum of iteration makespans.
+    pub total_makespan: f64,
+    /// Span trace of iteration 0 (compute, send/recv, wait).
+    pub trace: Vec<TraceSpan>,
+}
+
+impl SimReport {
+    /// Achieved speedup of this run relative to a baseline run.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.total_makespan > 0.0 {
+            baseline.total_makespan / self.total_makespan
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespans: &[f64]) -> SimReport {
+        SimReport {
+            iterations: makespans
+                .iter()
+                .map(|&m| IterationReport {
+                    makespan: m,
+                    nodes: vec![NodeReport {
+                        finish: m,
+                        wait: 0.0,
+                        busy: m,
+                        comm_busy: 0.0,
+                        utilization: 1.0,
+                    }],
+                })
+                .collect(),
+            total_makespan: makespans.iter().sum(),
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn speedup_compares_total_makespans() {
+        let base = report(&[10.0, 10.0]);
+        let fast = report(&[5.0, 5.0]);
+        assert_eq!(fast.speedup_over(&base), 2.0);
+        assert_eq!(base.speedup_over(&base), 1.0);
+    }
+
+    #[test]
+    fn iteration_aggregates() {
+        let it = IterationReport {
+            makespan: 10.0,
+            nodes: vec![
+                NodeReport {
+                    finish: 10.0,
+                    wait: 0.0,
+                    busy: 10.0,
+                    comm_busy: 0.0,
+                    utilization: 1.0,
+                },
+                NodeReport {
+                    finish: 6.0,
+                    wait: 4.0,
+                    busy: 6.0,
+                    comm_busy: 0.0,
+                    utilization: 0.6,
+                },
+            ],
+        };
+        assert_eq!(it.total_wait(), 4.0);
+        assert!((it.mean_utilization() - 0.8).abs() < 1e-12);
+    }
+}

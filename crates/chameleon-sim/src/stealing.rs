@@ -1,0 +1,175 @@
+//! Work stealing — the classic *dynamic* load-balancing baseline.
+//!
+//! The paper's related work (§III) contrasts upfront rebalancing with work
+//! stealing (Blumofe & Leiserson), where idle workers pull tasks from busy
+//! nodes at runtime, paying a per-steal communication delay that HPC
+//! interconnects make non-trivial. This module simulates one BSP iteration
+//! under work stealing so the trade-off is measurable against the paper's
+//! migrate-then-run methods: stealing needs no prediction, but each stolen
+//! task costs `steal_cost(load)` in latency, and late steals can't be
+//! amortized.
+
+use qlrb_core::Instance;
+
+use crate::config::SimConfig;
+
+/// Outcome of a work-stealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StealReport {
+    /// Iteration makespan.
+    pub makespan: f64,
+    /// Number of successful steals.
+    pub steals: u64,
+    /// Per-node executed load (own + stolen work).
+    pub executed: Vec<f64>,
+}
+
+/// Simulates one BSP iteration with work stealing.
+///
+/// Each node runs `cfg.comp_threads` workers over its local FIFO queue.
+/// A worker whose local queue is empty steals the *tail* task of the node
+/// with the largest remaining queue; the stolen task only starts after
+/// `cfg.transfer_cost(load)` (the victim's data must travel). With
+/// `enabled = false` this degrades to static per-node execution — the
+/// baseline the paper's `L_max` metric models.
+pub fn simulate_work_stealing(
+    nodes: &[Vec<f64>],
+    cfg: &SimConfig,
+    enabled: bool,
+) -> StealReport {
+    let m = nodes.len();
+    assert!(m >= 1, "need at least one node");
+    assert!(cfg.comp_threads >= 1);
+    // Local queues (FIFO at the head; thieves take from the tail).
+    let mut queues: Vec<std::collections::VecDeque<f64>> =
+        nodes.iter().map(|t| t.iter().copied().collect()).collect();
+    let mut executed = vec![0.0f64; m];
+    let mut steals = 0u64;
+
+    // All workers become free at t = 0; a min-heap orders wake-ups.
+    use std::cmp::Reverse;
+    #[derive(PartialEq)]
+    struct Free(f64, usize); // (time, worker id); node = id / comp_threads
+    impl Eq for Free {}
+    impl PartialOrd for Free {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Free {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let mut heap: std::collections::BinaryHeap<Reverse<Free>> = (0..m * cfg.comp_threads)
+        .map(|w| Reverse(Free(0.0, w)))
+        .collect();
+
+    let mut makespan = 0.0f64;
+    while let Some(Reverse(Free(t, w))) = heap.pop() {
+        let node = w / cfg.comp_threads;
+        if let Some(dur) = queues[node].pop_front() {
+            executed[node] += dur;
+            let end = t + dur;
+            makespan = makespan.max(end);
+            heap.push(Reverse(Free(end, w)));
+            continue;
+        }
+        if !enabled {
+            continue; // static mode: idle once local work is done
+        }
+        // Steal from the victim with the largest remaining queue.
+        let victim = (0..m)
+            .max_by_key(|&v| queues[v].len())
+            .filter(|&v| !queues[v].is_empty());
+        let Some(v) = victim else { continue };
+        let dur = queues[v].pop_back().expect("non-empty by selection");
+        steals += 1;
+        executed[node] += dur;
+        let end = t + cfg.transfer_cost(dur) + dur;
+        makespan = makespan.max(end);
+        heap.push(Reverse(Free(end, w)));
+    }
+
+    StealReport {
+        makespan,
+        steals,
+        executed,
+    }
+}
+
+/// Convenience wrapper over a uniform [`Instance`].
+pub fn steal_from_instance(inst: &Instance, cfg: &SimConfig, enabled: bool) -> StealReport {
+    let n = inst.tasks_per_proc() as usize;
+    let nodes: Vec<Vec<f64>> = inst.weights().iter().map(|&w| vec![w; n]).collect();
+    simulate_work_stealing(&nodes, cfg, enabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threads: usize, latency: f64) -> SimConfig {
+        SimConfig {
+            comp_threads: threads,
+            comm_latency: latency,
+            comm_cost_per_load: 0.0,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_matches_static_lmax() {
+        let inst = Instance::uniform(10, vec![1.0, 4.0, 2.0]).unwrap();
+        let report = steal_from_instance(&inst, &cfg(1, 0.0), false);
+        assert_eq!(report.steals, 0);
+        assert!((report.makespan - inst.stats().l_max).abs() < 1e-9);
+        for (e, l) in report.executed.iter().zip(inst.loads()) {
+            assert!((e - l).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn free_stealing_approaches_perfect_balance() {
+        let inst = Instance::uniform(10, vec![1.0, 4.0, 2.0]).unwrap();
+        let report = steal_from_instance(&inst, &cfg(1, 0.0), true);
+        assert!(report.steals > 0);
+        let l_avg = inst.stats().l_avg;
+        let w_max = 4.0;
+        assert!(
+            report.makespan <= l_avg + w_max + 1e-9,
+            "free stealing is near-optimal: {} vs avg {}",
+            report.makespan,
+            l_avg
+        );
+        // Work is conserved.
+        let total: f64 = report.executed.iter().sum();
+        assert!((total - inst.loads().iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steal_latency_erodes_the_benefit() {
+        let inst = Instance::uniform(20, vec![1.0, 8.0]).unwrap();
+        let free = steal_from_instance(&inst, &cfg(1, 0.0), true);
+        let pricey = steal_from_instance(&inst, &cfg(1, 2.0), true);
+        assert!(pricey.makespan > free.makespan);
+        // But even pricey stealing beats doing nothing here.
+        let none = steal_from_instance(&inst, &cfg(1, 2.0), false);
+        assert!(pricey.makespan < none.makespan);
+    }
+
+    #[test]
+    fn multithreaded_nodes_share_local_queue() {
+        let inst = Instance::uniform(8, vec![2.0]).unwrap();
+        let report = steal_from_instance(&inst, &cfg(4, 0.0), false);
+        // 8 tasks × 2.0 over 4 workers = 2 rounds.
+        assert!((report.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_tasks_terminates() {
+        let report = simulate_work_stealing(&[vec![], vec![]], &cfg(2, 0.0), true);
+        assert_eq!(report.makespan, 0.0);
+        assert_eq!(report.steals, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Execution traces and ASCII Gantt rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// What a trace span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A task executing on a compute thread; payload = task load.
+    Compute,
+    /// The communication thread sending a migrated task.
+    Send,
+    /// The communication thread receiving a migrated task.
+    Recv,
+    /// Idle time between a node's local finish and the global barrier.
+    Wait,
+}
+
+/// One span of activity on one thread of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Node index.
+    pub node: usize,
+    /// Thread index within the node; the communication thread is
+    /// `usize::MAX`.
+    pub thread: usize,
+    /// Span start time.
+    pub start: f64,
+    /// Span end time.
+    pub end: f64,
+    /// Activity kind.
+    pub kind: SpanKind,
+}
+
+impl TraceSpan {
+    /// Span length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Renders node-level activity as an ASCII Gantt chart, one row per node:
+/// `#` compute, `~` communication, `.` idle/wait. Rows are scaled to
+/// `width` columns over `[0, horizon]`.
+#[allow(clippy::needless_range_loop)] // indexed loops here touch several parallel arrays
+pub fn render_gantt(spans: &[TraceSpan], num_nodes: usize, width: usize) -> String {
+    let horizon = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+    let width = width.max(10);
+    let mut rows = vec![vec![b'.'; width]; num_nodes];
+    if horizon > 0.0 {
+        for s in spans {
+            let glyph = match s.kind {
+                SpanKind::Compute => b'#',
+                SpanKind::Send | SpanKind::Recv => b'~',
+                SpanKind::Wait => b'.',
+            };
+            if glyph == b'.' {
+                continue;
+            }
+            let a = ((s.start / horizon) * width as f64).floor() as usize;
+            let b = ((s.end / horizon) * width as f64).ceil() as usize;
+            for c in a..b.min(width) {
+                // Compute wins over comm when both map to one cell.
+                if rows[s.node][c] != b'#' {
+                    rows[s.node][c] = glyph;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("P{:<3}|", i + 1));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("     0{:>width$.3}\n", horizon, width = width + 3));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gantt_marks_compute_and_comm() {
+        let spans = vec![
+            TraceSpan {
+                node: 0,
+                thread: 0,
+                start: 0.0,
+                end: 5.0,
+                kind: SpanKind::Compute,
+            },
+            TraceSpan {
+                node: 1,
+                thread: usize::MAX,
+                start: 5.0,
+                end: 10.0,
+                kind: SpanKind::Send,
+            },
+        ];
+        let g = render_gantt(&spans, 2, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].contains('#'));
+        assert!(!lines[0].contains('~'));
+        assert!(lines[1].contains('~'));
+        // First half of node 0's row is compute, second half idle.
+        assert!(lines[0].starts_with("P1  |##########"));
+    }
+
+    #[test]
+    fn gantt_handles_empty_trace() {
+        let g = render_gantt(&[], 2, 20);
+        assert_eq!(g.lines().count(), 3);
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let s = TraceSpan {
+            node: 0,
+            thread: 0,
+            start: 1.5,
+            end: 4.0,
+            kind: SpanKind::Compute,
+        };
+        assert!((s.duration() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # qlrb-classical — classical load-rebalancing baselines
+//!
+//! The three classical methods the paper compares against, plus extensions:
+//!
+//! * [`greedy::Greedy`] — Graham's LPT rule applied as multiway number
+//!   partitioning: sort all `N` tasks by weight descending, place each into
+//!   the currently least-loaded partition. Partition `p` is identified with
+//!   process `p` (no relabeling), exactly as the paper runs it — which is
+//!   why Greedy migrates ≈ `N·(M−1)/M` tasks.
+//! * [`kk::KarmarkarKarp`] — the multiway differencing method: repeatedly
+//!   combine the two tuples with the largest internal spread, adding the
+//!   largest part of one to the smallest part of the other.
+//! * [`proactlb::ProactLb`] — the proactive load balancer of Chung et al.
+//!   (the paper's ref. \[8\]): a *distributed* view that only moves tasks from
+//!   overloaded to underloaded processes, sized by the load gap — trading a
+//!   little balance for far fewer migrations.
+//! * [`relabel::GreedyRelabeled`] — an extension/ablation: Greedy's
+//!   partitioning followed by a Hungarian assignment of partitions to
+//!   processes that maximizes kept tasks, quantifying how much of Greedy's
+//!   migration overhead is a pure labeling artifact.
+//! * [`complexity`] — the complexity/qubit overview of the paper's Table I.
+//!
+//! All methods implement [`qlrb_core::Rebalancer`] and return validated
+//! [`qlrb_core::MigrationMatrix`] plans.
+
+pub mod complexity;
+pub mod greedy;
+pub mod kk;
+pub mod optimal;
+pub mod partition;
+pub mod proactlb;
+pub mod relabel;
+
+pub use greedy::Greedy;
+pub use kk::KarmarkarKarp;
+pub use optimal::BranchAndBound;
+pub use proactlb::ProactLb;
+pub use relabel::GreedyRelabeled;

@@ -1,0 +1,314 @@
+//! Exact (anytime) branch-and-bound for small LRP instances.
+//!
+//! The classical methods are heuristics and the hybrid solver is stochastic;
+//! neither certifies optimality. For small instances this module computes
+//! the true optimum, giving the test-suite and the ablations a quality
+//! anchor (the paper's Table I row "optimal algorithms … help prune the
+//! search space" in spirit).
+//!
+//! The uniform LRP structure keeps the search tractable: a solution is a
+//! per-class *composition* — how class `j`'s `n` identical tasks split
+//! across the `M` processes — so the tree has one level per class, not per
+//! task. Branching heaviest class first with two prunes:
+//!
+//! * **bound prune**: a partial assignment whose current max load already
+//!   meets or exceeds the incumbent can never win;
+//! * **perfection stop**: an incumbent at the `L_total/M` lower bound is
+//!   provably optimal.
+//!
+//! Objective: lexicographic (minimize `L_max`, then migrations). A node
+//! budget makes the search anytime — `optimal: false` in the result means
+//! the incumbent is best-effort.
+
+use std::time::Instant;
+
+use qlrb_core::{Instance, MigrationMatrix, RebalanceError, RebalanceOutcome, Rebalancer};
+
+/// Branch-and-bound solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchAndBound {
+    /// Maximum search-tree nodes to expand before returning the incumbent.
+    pub node_budget: u64,
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        Self {
+            node_budget: 2_000_000,
+        }
+    }
+}
+
+/// Search result.
+#[derive(Debug, Clone)]
+pub struct BnbResult {
+    /// The best plan found.
+    pub matrix: MigrationMatrix,
+    /// Its `L_max`.
+    pub l_max: f64,
+    /// Whether the search completed (result certified optimal).
+    pub optimal: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+}
+
+struct SearchCtx<'a> {
+    weights_desc: Vec<(f64, usize)>, // (weight, original class), heaviest first
+    n: u64,
+    m: usize,
+    lower_bound: f64,
+    budget: u64,
+    nodes: u64,
+    best_lmax: f64,
+    best_migrations: u64,
+    best: Vec<Vec<u64>>, // counts[class position][proc]
+    inst: &'a Instance,
+}
+
+impl SearchCtx<'_> {
+    /// Recursive branch over class `depth`'s composition.
+    fn search(&mut self, depth: usize, loads: &mut Vec<f64>, counts: &mut Vec<Vec<u64>>) {
+        if self.nodes >= self.budget || self.best_lmax <= self.lower_bound + 1e-12 {
+            return;
+        }
+        self.nodes += 1;
+        let cur_max = loads.iter().copied().fold(0.0f64, f64::max);
+        if cur_max >= self.best_lmax - 1e-12 {
+            // Equal max can still win on migrations only if it ties exactly;
+            // allow exact ties through, prune strict worse.
+            if cur_max > self.best_lmax + 1e-12 {
+                return;
+            }
+        }
+        if depth == self.weights_desc.len() {
+            let migrations = self.migrations_of(counts);
+            if cur_max < self.best_lmax - 1e-12
+                || (cur_max <= self.best_lmax + 1e-12 && migrations < self.best_migrations)
+            {
+                self.best_lmax = cur_max;
+                self.best_migrations = migrations;
+                self.best = counts.clone();
+            }
+            return;
+        }
+        let (w, _) = self.weights_desc[depth];
+        // Enumerate compositions of n into m parts, lexicographically, by
+        // recursion over processes.
+        self.compose(depth, 0, self.n, w, loads, counts);
+    }
+
+    /// Distributes `remaining` tasks of weight `w` over processes `p..`.
+    fn compose(
+        &mut self,
+        depth: usize,
+        p: usize,
+        remaining: u64,
+        w: f64,
+        loads: &mut Vec<f64>,
+        counts: &mut Vec<Vec<u64>>,
+    ) {
+        if self.nodes >= self.budget || self.best_lmax <= self.lower_bound + 1e-12 {
+            return;
+        }
+        if p == self.m - 1 {
+            // Last process takes the rest.
+            loads[p] += remaining as f64 * w;
+            counts[depth][p] = remaining;
+            if loads[p] < self.best_lmax + 1e-12 {
+                self.search(depth + 1, loads, counts);
+            }
+            loads[p] -= remaining as f64 * w;
+            counts[depth][p] = 0;
+            return;
+        }
+        // Cap the count so this process alone cannot exceed the incumbent
+        // (when w = 0 any count is load-neutral; take them all greedily).
+        let max_here = if w > 0.0 {
+            let room = ((self.best_lmax - loads[p]) / w).floor();
+            if room < 0.0 {
+                0
+            } else {
+                (room as u64).min(remaining)
+            }
+        } else {
+            remaining
+        };
+        for c in 0..=max_here {
+            loads[p] += c as f64 * w;
+            counts[depth][p] = c;
+            self.compose(depth, p + 1, remaining - c, w, loads, counts);
+            loads[p] -= c as f64 * w;
+            counts[depth][p] = 0;
+            if self.nodes >= self.budget {
+                return;
+            }
+        }
+    }
+
+    fn migrations_of(&self, counts: &[Vec<u64>]) -> u64 {
+        let mut kept = 0;
+        for (pos, &(_, class)) in self.weights_desc.iter().enumerate() {
+            kept += counts[pos][class];
+        }
+        self.inst.num_tasks() - kept
+    }
+}
+
+impl BranchAndBound {
+    /// Runs the search.
+    pub fn solve(&self, inst: &Instance) -> BnbResult {
+        let m = inst.num_procs();
+        let n = inst.tasks_per_proc();
+        let mut weights_desc: Vec<(f64, usize)> = inst
+            .weights()
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(c, w)| (w, c))
+            .collect();
+        weights_desc.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let total: f64 = inst.loads().iter().sum();
+        let lower_bound = total / m as f64;
+
+        // Incumbent: the better of Greedy and the identity, lexicographic
+        // on (L_max, migrations). Seeding with the identity matters because
+        // the perfection stop below ends the search once L_max reaches the
+        // lower bound — on an already-balanced instance the zero-migration
+        // identity must already be in hand at that point.
+        let greedy = crate::Greedy::partition(inst).into_matrix();
+        let greedy_lmax = inst.stats_after(&greedy).l_max;
+        let identity = MigrationMatrix::identity(inst);
+        let identity_lmax = inst.stats().l_max;
+        let (incumbent, inc_lmax) = if identity_lmax <= greedy_lmax + 1e-12 {
+            (identity, identity_lmax)
+        } else {
+            (greedy, greedy_lmax)
+        };
+
+        let mut ctx = SearchCtx {
+            weights_desc,
+            n,
+            m,
+            lower_bound,
+            budget: self.node_budget,
+            nodes: 0,
+            best_lmax: inc_lmax,
+            best_migrations: incumbent.num_migrated(),
+            best: Vec::new(),
+            inst,
+        };
+        let mut loads = vec![0.0; m];
+        let mut counts = vec![vec![0u64; m]; inst.num_procs()];
+        ctx.search(0, &mut loads, &mut counts);
+
+        let matrix = if ctx.best.is_empty() {
+            incumbent
+        } else {
+            let mut mat = MigrationMatrix::zeros(m);
+            for (pos, &(_, class)) in ctx.weights_desc.iter().enumerate() {
+                for p in 0..m {
+                    mat.add(p, class, ctx.best[pos][p]);
+                }
+            }
+            mat
+        };
+        let l_max = inst.stats_after(&matrix).l_max;
+        BnbResult {
+            matrix,
+            l_max,
+            optimal: ctx.nodes < self.node_budget,
+            nodes: ctx.nodes,
+        }
+    }
+}
+
+impl Rebalancer for BranchAndBound {
+    fn name(&self) -> String {
+        "BnB-optimal".into()
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        let started = Instant::now();
+        let result = self.solve(inst);
+        result.matrix.validate(inst)?;
+        Ok(RebalanceOutcome {
+            matrix: result.matrix,
+            runtime: started.elapsed(),
+            qpu_time: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Greedy, KarmarkarKarp};
+
+    #[test]
+    fn finds_perfect_split_when_one_exists() {
+        // Weights {1, 3} with n = 3 over 2 procs: total 12, perfect = 6
+        // via {3,3}/{3,1,1,1}.
+        let inst = Instance::uniform(3, vec![1.0, 3.0]).unwrap();
+        let res = BranchAndBound::default().solve(&inst);
+        assert!(res.optimal);
+        assert!((res.l_max - 6.0).abs() < 1e-9, "L_max = {}", res.l_max);
+        res.matrix.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn never_worse_than_the_heuristics() {
+        for weights in [
+            vec![1.0, 2.0, 4.0],
+            vec![5.0, 3.0, 2.0, 7.0],
+            vec![1.0, 1.0, 10.0],
+        ] {
+            let inst = Instance::uniform(4, weights).unwrap();
+            let opt = BranchAndBound::default().solve(&inst);
+            assert!(opt.optimal);
+            for heuristic in [
+                Greedy.rebalance(&inst).unwrap().matrix,
+                KarmarkarKarp.rebalance(&inst).unwrap().matrix,
+            ] {
+                let h_lmax = inst.stats_after(&heuristic).l_max;
+                assert!(
+                    opt.l_max <= h_lmax + 1e-9,
+                    "BnB {} worse than heuristic {h_lmax}",
+                    opt.l_max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_tiebreak_prefers_staying() {
+        // Already balanced: L_max can't improve, so the optimum is the
+        // zero-migration identity.
+        let inst = Instance::uniform(4, vec![2.0, 2.0, 2.0]).unwrap();
+        let res = BranchAndBound::default().solve(&inst);
+        assert!(res.optimal);
+        assert_eq!(res.matrix.num_migrated(), 0, "{:?}", res.matrix);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_gracefully() {
+        // Integer loads make the L_total/M bound unattainable (7.5), so the
+        // perfection stop can't fire and the tiny budget must run out.
+        let inst = Instance::uniform(3, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let res = BranchAndBound { node_budget: 10 }.solve(&inst);
+        assert!(!res.optimal);
+        res.matrix.validate(&inst).unwrap();
+        // Still no worse than the incumbent it started from.
+        let greedy = Greedy.rebalance(&inst).unwrap().matrix;
+        assert!(res.l_max <= inst.stats_after(&greedy).l_max + 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_classes_are_handled() {
+        let inst = Instance::uniform(3, vec![0.0, 2.0]).unwrap();
+        let res = BranchAndBound::default().solve(&inst);
+        assert!(res.optimal);
+        // Perfect split of three w=2 tasks over two procs: L_max = 4.
+        assert!((res.l_max - 4.0).abs() < 1e-9);
+        res.matrix.validate(&inst).unwrap();
+    }
+}

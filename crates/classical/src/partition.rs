@@ -1,0 +1,108 @@
+//! Shared machinery for partition-style algorithms.
+//!
+//! Greedy and KK solve the LRP as multiway number partitioning: they
+//! produce, for each partition `p`, counts of how many tasks of each *class*
+//! (source process) landed there. Identifying partition `p` with process `p`
+//! — the paper's convention, with no relabeling — turns those counts
+//! directly into a migration matrix.
+
+use qlrb_core::{Instance, MigrationMatrix};
+
+/// Per-partition class counts: `counts[p][j]` = tasks of class `j` (i.e.
+/// originally owned by process `j`) placed into partition `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionCounts {
+    /// `m × m` counts, row = partition, column = task class.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl PartitionCounts {
+    /// An empty counts table for `m` partitions/classes.
+    pub fn zeros(m: usize) -> Self {
+        Self {
+            counts: vec![vec![0; m]; m],
+        }
+    }
+
+    /// Load of partition `p` under per-class weights `w`.
+    pub fn load(&self, p: usize, w: &[f64]) -> f64 {
+        self.counts[p]
+            .iter()
+            .zip(w)
+            .map(|(&c, &wj)| c as f64 * wj)
+            .sum()
+    }
+
+    /// Converts to a migration matrix with the identity partition→process
+    /// mapping: `x[i][j] = counts[i][j]`.
+    pub fn into_matrix(self) -> MigrationMatrix {
+        let m = self.counts.len();
+        let mut mat = MigrationMatrix::zeros(m);
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                mat.set(i, j, c);
+            }
+        }
+        mat
+    }
+
+    /// Converts with an explicit partition→process mapping `assign[p] = i`
+    /// (each partition's tasks land on process `assign[p]`).
+    pub fn into_matrix_with_assignment(self, assign: &[usize]) -> MigrationMatrix {
+        let m = self.counts.len();
+        assert_eq!(assign.len(), m);
+        let mut mat = MigrationMatrix::zeros(m);
+        for (p, row) in self.counts.iter().enumerate() {
+            let i = assign[p];
+            for (j, &c) in row.iter().enumerate() {
+                mat.add(i, j, c);
+            }
+        }
+        mat
+    }
+}
+
+/// Sanity-check helper used by tests: counts conserve each class.
+pub fn conserves_classes(counts: &PartitionCounts, inst: &Instance) -> bool {
+    let m = inst.num_procs();
+    (0..m).all(|j| {
+        let total: u64 = counts.counts.iter().map(|row| row[j]).sum();
+        total == inst.tasks_per_proc()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_conversion_identity_mapping() {
+        let mut pc = PartitionCounts::zeros(2);
+        pc.counts[0] = vec![3, 1];
+        pc.counts[1] = vec![0, 2];
+        let mat = pc.into_matrix();
+        assert_eq!(mat.get(0, 0), 3);
+        assert_eq!(mat.get(0, 1), 1);
+        assert_eq!(mat.get(1, 1), 2);
+        assert_eq!(mat.num_migrated(), 1);
+    }
+
+    #[test]
+    fn matrix_conversion_with_swap() {
+        let mut pc = PartitionCounts::zeros(2);
+        pc.counts[0] = vec![0, 3];
+        pc.counts[1] = vec![3, 0];
+        // Swapping labels turns a full shuffle into zero migrations.
+        let mat = pc.into_matrix_with_assignment(&[1, 0]);
+        assert_eq!(mat.num_migrated(), 0);
+        assert_eq!(mat.get(0, 0), 3);
+        assert_eq!(mat.get(1, 1), 3);
+    }
+
+    #[test]
+    fn load_uses_class_weights() {
+        let mut pc = PartitionCounts::zeros(2);
+        pc.counts[0] = vec![2, 1];
+        assert_eq!(pc.load(0, &[1.0, 10.0]), 12.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! ProactLB — proactive, migration-aware load balancing (Chung et al. 2023).
+//!
+//! Unlike Greedy/KK, ProactLB takes the *distributed* view: the current
+//! assignment is the starting point, and only the load **difference**
+//! between overloaded and underloaded processes is moved. Each overloaded
+//! process sheds `⌊(L_i − L_avg)/w_i⌋` of its own tasks toward the
+//! processes with the largest deficits, never overfilling a receiver past
+//! the average. The result is a near-balanced plan whose migration count is
+//! a small fraction of the partitioning baselines' — the paper's `k1`.
+
+use std::time::Instant;
+
+use qlrb_core::{Instance, MigrationMatrix, RebalanceError, RebalanceOutcome, Rebalancer};
+
+/// The ProactLB baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProactLb;
+
+impl ProactLb {
+    /// Computes the migration plan without timing/validation wrapping.
+    pub fn plan(inst: &Instance) -> MigrationMatrix {
+        let m = inst.num_procs();
+        let loads = inst.loads();
+        let l_avg = loads.iter().sum::<f64>() / m as f64;
+        let mut plan = MigrationMatrix::identity(inst);
+
+        // Overloaded donors, most loaded first.
+        let mut donors: Vec<usize> = (0..m).filter(|&i| loads[i] > l_avg).collect();
+        donors.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]));
+        // Receivers with their current deficit, largest first.
+        let mut deficits: Vec<(usize, f64)> = (0..m)
+            .filter(|&j| loads[j] < l_avg)
+            .map(|j| (j, l_avg - loads[j]))
+            .collect();
+        deficits.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        for &i in &donors {
+            let w = inst.weights()[i];
+            if w <= 0.0 {
+                continue;
+            }
+            // Shed only whole tasks, never dipping below the average.
+            let mut to_shed = ((loads[i] - l_avg) / w).floor() as u64;
+            to_shed = to_shed.min(inst.tasks_per_proc());
+            for entry in deficits.iter_mut() {
+                if to_shed == 0 {
+                    break;
+                }
+                let (j, deficit) = (entry.0, entry.1);
+                // Fill the receiver's deficit in whole tasks, rounding: an
+                // overshoot of at most w/2 is allowed, which still stays
+                // strictly below the donor's original load (a donor only
+                // sheds when it sits ≥ w above the average).
+                let take = ((deficit / w + 0.5).floor() as u64).min(to_shed);
+                if take == 0 {
+                    continue;
+                }
+                plan.migrate(i, j, take).expect("bounded by resident tasks");
+                entry.1 -= take as f64 * w;
+                to_shed -= take;
+            }
+        }
+        plan
+    }
+}
+
+impl Rebalancer for ProactLb {
+    fn name(&self) -> String {
+        "ProactLB".into()
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        let started = Instant::now();
+        let matrix = Self::plan(inst);
+        let runtime = started.elapsed();
+        matrix.validate(inst)?;
+        Ok(RebalanceOutcome {
+            matrix,
+            runtime,
+            qpu_time: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balances_without_overshooting() {
+        let inst = Instance::uniform(100, vec![1.0, 2.0, 3.0, 10.0]).unwrap();
+        let out = ProactLb.rebalance(&inst).unwrap();
+        let before = inst.stats();
+        let after = inst.stats_after(&out.matrix);
+        assert!(after.imbalance_ratio < before.imbalance_ratio / 4.0);
+        assert!(after.l_max <= before.l_max + 1e-9);
+        // Receivers may overshoot the average by at most half the heaviest
+        // task weight (the rounding rule), never more.
+        let l_avg = before.l_avg;
+        let w_max = inst.weights().iter().copied().fold(0.0f64, f64::max);
+        for (j, load) in out.matrix.new_loads(&inst).iter().enumerate() {
+            if inst.loads()[j] < l_avg {
+                assert!(
+                    *load <= l_avg + w_max / 2.0 + 1e-9,
+                    "receiver {j} pushed too far past average: {load} > {l_avg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migrates_far_fewer_than_greedy() {
+        // Paper Table II: ProactLB ≈ 60 vs Greedy ≈ 350 on 8×50 instances.
+        let weights: Vec<f64> = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5];
+        let inst = Instance::uniform(50, weights).unwrap();
+        let proact = ProactLb.rebalance(&inst).unwrap().matrix.num_migrated();
+        let greedy = crate::Greedy.rebalance(&inst).unwrap().matrix.num_migrated();
+        assert!(
+            proact * 3 < greedy,
+            "ProactLB ({proact}) should migrate well under a third of Greedy ({greedy})"
+        );
+    }
+
+    #[test]
+    fn balanced_input_means_no_migration() {
+        let inst = Instance::uniform(20, vec![2.0; 6]).unwrap();
+        let out = ProactLb.rebalance(&inst).unwrap();
+        assert_eq!(out.matrix.num_migrated(), 0);
+    }
+
+    #[test]
+    fn only_overloaded_processes_donate() {
+        let inst = Instance::uniform(10, vec![1.0, 2.0, 6.0]).unwrap();
+        let plan = ProactLb::plan(&inst);
+        // Processes 0 and 1 are below average ((10+20+60)/3 = 30): they must
+        // not send anything.
+        for j in 0..2 {
+            for i in 0..3 {
+                if i != j {
+                    assert_eq!(plan.get(i, j), 0, "underloaded {j} donated to {i}");
+                }
+            }
+        }
+        assert!(plan.num_migrated() > 0);
+    }
+
+    #[test]
+    fn zero_weight_donor_is_skipped() {
+        // A zero-weight process can never be overloaded, but guard the
+        // division anyway via an all-zero instance.
+        let inst = Instance::uniform(5, vec![0.0, 0.0]).unwrap();
+        let out = ProactLb.rebalance(&inst).unwrap();
+        assert_eq!(out.matrix.num_migrated(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn never_worsens_and_conserves(
+            n in 1u64..60,
+            weights in proptest::collection::vec(0.0f64..30.0, 1..12),
+        ) {
+            let inst = Instance::uniform(n, weights).unwrap();
+            let plan = ProactLb::plan(&inst);
+            prop_assert!(plan.validate(&inst).is_ok());
+            prop_assert!(inst.stats_after(&plan).l_max <= inst.stats().l_max + 1e-9);
+        }
+    }
+}

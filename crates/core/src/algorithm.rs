@@ -1,0 +1,66 @@
+//! The common interface every rebalancing method implements.
+
+use std::time::Duration;
+
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::migration::MigrationMatrix;
+
+/// Result of running a rebalancing method on an instance.
+#[derive(Debug, Clone)]
+pub struct RebalanceOutcome {
+    /// The migration plan (validated against the instance).
+    pub matrix: MigrationMatrix,
+    /// Wall-clock (CPU) time of the method itself — the paper's "Runtime"
+    /// column.
+    pub runtime: Duration,
+    /// Simulated quantum-processor access time, for hybrid methods only —
+    /// the paper's Table V "QPU" column.
+    pub qpu_time: Option<Duration>,
+}
+
+/// A load-rebalancing method: classical baseline or hybrid quantum.
+///
+/// Implementations must return plans that pass
+/// [`MigrationMatrix::validate`]; the harness re-validates defensively.
+pub trait Rebalancer {
+    /// Display name as used in the paper's tables (e.g. `"Greedy"`,
+    /// `"Q_CQM1_k1"`).
+    fn name(&self) -> String;
+
+    /// Computes a migration plan for `inst`.
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError>;
+}
+
+/// The do-nothing baseline ("Baseline" row of Table V): every task stays.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOp;
+
+impl Rebalancer for NoOp {
+    fn name(&self) -> String {
+        "Baseline".into()
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        Ok(RebalanceOutcome {
+            matrix: MigrationMatrix::identity(inst),
+            runtime: Duration::ZERO,
+            qpu_time: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_keeps_everything() {
+        let inst = Instance::uniform(5, vec![1.0, 2.0]).unwrap();
+        let out = NoOp.rebalance(&inst).unwrap();
+        out.matrix.validate(&inst).unwrap();
+        assert_eq!(out.matrix.num_migrated(), 0);
+        assert_eq!(inst.speedup(&out.matrix), 1.0);
+        assert_eq!(NoOp.name(), "Baseline");
+    }
+}

@@ -1,0 +1,532 @@
+//! Construction, encoding, and decoding of the LRP CQMs.
+
+use qlrb_model::cqm::{Cqm, Sense};
+use qlrb_model::encoding::CoefficientSet;
+use qlrb_model::expr::{LinearExpr, Var};
+
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::migration::MigrationMatrix;
+
+/// Which of the paper's two formulations to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `Q_CQM1`: diagonal variables eliminated; all-inequality constraints.
+    Reduced,
+    /// `Q_CQM2`: all `M²` pairs kept; `M` equalities + `M+1` inequalities.
+    Full,
+}
+
+impl Variant {
+    /// The paper's method name prefix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Reduced => "Q_CQM1",
+            Variant::Full => "Q_CQM2",
+        }
+    }
+}
+
+/// An LRP instance compiled into a constrained quadratic model, together
+/// with everything needed to move between migration matrices and binary
+/// assignments.
+#[derive(Debug, Clone)]
+pub struct LrpCqm {
+    /// The formulation variant.
+    pub variant: Variant,
+    /// The constrained quadratic model (objective + constraints).
+    pub cqm: Cqm,
+    /// The bounded-coefficient encoding `C(n)` shared by all pair counts.
+    pub coeffs: CoefficientSet,
+    m: usize,
+    n: u64,
+    k: u64,
+    weights: Vec<f64>,
+}
+
+impl LrpCqm {
+    /// Builds the CQM for `inst` with migration budget `k` (at most `k`
+    /// tasks may move in total), using the paper's bounded-coefficient
+    /// encoding.
+    pub fn build(inst: &Instance, variant: Variant, k: u64) -> Result<Self, RebalanceError> {
+        Self::build_with_encoding(inst, variant, k, CoefficientSet::new(inst.tasks_per_proc()))
+    }
+
+    /// Builds with an explicit count encoding — e.g.
+    /// [`CoefficientSet::new_plain_binary`] for the encoding ablation, where
+    /// "all bits set" overshoots `n` and correctness leans entirely on the
+    /// constraints.
+    #[allow(clippy::needless_range_loop)] // indexed loops here touch several parallel arrays
+    pub fn build_with_encoding(
+        inst: &Instance,
+        variant: Variant,
+        k: u64,
+        coeffs: CoefficientSet,
+    ) -> Result<Self, RebalanceError> {
+        if coeffs.n() != inst.tasks_per_proc() {
+            return Err(RebalanceError::InvalidInstance(format!(
+                "encoding covers counts up to {}, instance has n = {}",
+                coeffs.n(),
+                inst.tasks_per_proc()
+            )));
+        }
+        let m = inst.num_procs();
+        let n = inst.tasks_per_proc();
+        let weights = inst.weights().to_vec();
+        let bits = coeffs.len();
+        let stats = inst.stats();
+        let (l_avg, l_max) = (stats.l_avg, stats.l_max);
+
+        let num_vars = match variant {
+            Variant::Full => m * m * bits,
+            Variant::Reduced => m * (m - 1) * bits,
+        };
+        let mut cqm = Cqm::new(num_vars);
+        let this = Self {
+            variant,
+            cqm: Cqm::new(0), // placeholder; replaced below
+            coeffs,
+            m,
+            n,
+            k,
+            weights: weights.clone(),
+        };
+
+        // Objective: Σ_i (L'_i − L_avg)².
+        for i in 0..m {
+            let mut expr = LinearExpr::with_capacity(m * bits);
+            match variant {
+                Variant::Full => {
+                    for j in 0..m {
+                        for l in 0..bits {
+                            let c = this.coeffs.coeffs()[l] as f64;
+                            expr.add_term(this.var(i, j, l).expect("full has all pairs"), weights[j] * c);
+                        }
+                    }
+                }
+                Variant::Reduced => {
+                    // L'_i = n·w_i + Σ_{j≠i} w_j·in_{i,j} − w_i·out_i
+                    expr.add_constant(n as f64 * weights[i]);
+                    for j in 0..m {
+                        if j == i {
+                            continue;
+                        }
+                        for l in 0..bits {
+                            let c = this.coeffs.coeffs()[l] as f64;
+                            // Tasks arriving at i from j.
+                            expr.add_term(this.var(i, j, l).expect("off-diag"), weights[j] * c);
+                            // Tasks leaving i toward j.
+                            expr.add_term(this.var(j, i, l).expect("off-diag"), -weights[i] * c);
+                        }
+                    }
+                }
+            }
+            cqm.add_squared_term(expr, l_avg, 1.0);
+        }
+
+        // Conservation (Full: equality; Reduced: send-bound inequality).
+        for j in 0..m {
+            let mut expr = LinearExpr::with_capacity(m * bits);
+            for i in 0..m {
+                if variant == Variant::Reduced && i == j {
+                    continue;
+                }
+                for l in 0..bits {
+                    let c = this.coeffs.coeffs()[l] as f64;
+                    expr.add_term(this.var(i, j, l).expect("indexed"), c);
+                }
+            }
+            match variant {
+                Variant::Full => cqm.add_constraint(expr, Sense::Eq, n as f64, format!("conserve[{j}]")),
+                Variant::Reduced => {
+                    cqm.add_constraint(expr, Sense::Le, n as f64, format!("sendable[{j}]"))
+                }
+            }
+        }
+
+        // Capacity: L'_i ≤ L_max (the original maximum — never worsen).
+        for i in 0..m {
+            let mut expr = LinearExpr::with_capacity(m * bits);
+            match variant {
+                Variant::Full => {
+                    for j in 0..m {
+                        for l in 0..bits {
+                            let c = this.coeffs.coeffs()[l] as f64;
+                            expr.add_term(this.var(i, j, l).expect("full"), weights[j] * c);
+                        }
+                    }
+                }
+                Variant::Reduced => {
+                    expr.add_constant(n as f64 * weights[i]);
+                    for j in 0..m {
+                        if j == i {
+                            continue;
+                        }
+                        for l in 0..bits {
+                            let c = this.coeffs.coeffs()[l] as f64;
+                            expr.add_term(this.var(i, j, l).expect("off-diag"), weights[j] * c);
+                            expr.add_term(this.var(j, i, l).expect("off-diag"), -weights[i] * c);
+                        }
+                    }
+                }
+            }
+            cqm.add_constraint(expr, Sense::Le, l_max, format!("capacity[{i}]"));
+        }
+
+        // Migration budget: Σ_{i≠j} x_{i,j} ≤ k.
+        let mut budget = LinearExpr::with_capacity(m * m * bits);
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                for l in 0..bits {
+                    let c = this.coeffs.coeffs()[l] as f64;
+                    budget.add_term(this.var(i, j, l).expect("off-diag"), c);
+                }
+            }
+        }
+        cqm.add_constraint(budget, Sense::Le, k as f64, "budget");
+
+        Ok(Self { cqm, ..this })
+    }
+
+    /// Number of processes.
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// Tasks per process.
+    pub fn tasks_per_proc(&self) -> u64 {
+        self.n
+    }
+
+    /// The migration budget `k`.
+    pub fn budget(&self) -> u64 {
+        self.k
+    }
+
+    /// The per-process task weights the formulation was built from.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Adds a *soft* migration penalty `μ · Σ_{i≠j} x_{i,j}` to the
+    /// objective — the multi-objective alternative to the hard budget `k`
+    /// (cf. the paper's §VI pointer to multi-objective formulations). With
+    /// `μ > 0` the solver is inherently migration-averse: instead of
+    /// saturating a cap it trades each move against the imbalance it cures.
+    /// Typically combined with a slack budget (`k = N`) so the hard
+    /// constraint never binds.
+    pub fn add_migration_penalty(&mut self, mu: f64) {
+        assert!(mu >= 0.0, "penalty must be non-negative");
+        if mu == 0.0 {
+            return;
+        }
+        let bits = self.coeffs.len();
+        let mut lin = std::mem::take(&mut self.cqm.linear_objective);
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if i == j {
+                    continue;
+                }
+                for l in 0..bits {
+                    let c = self.coeffs.coeffs()[l] as f64;
+                    if let Some(v) = self.var(i, j, l) {
+                        lin.add_term(v, mu * c);
+                    }
+                }
+            }
+        }
+        lin.compress();
+        self.cqm.linear_objective = lin;
+    }
+
+    /// The binary variable for "move `c_l` tasks to `i` from `j`", or `None`
+    /// for a diagonal pair in the reduced formulation.
+    pub fn var(&self, i: usize, j: usize, l: usize) -> Option<Var> {
+        debug_assert!(i < self.m && j < self.m && l < self.coeffs.len());
+        let bits = self.coeffs.len();
+        match self.variant {
+            Variant::Full => Some(Var(((i * self.m + j) * bits + l) as u32)),
+            Variant::Reduced => {
+                if i == j {
+                    return None;
+                }
+                let col = if j < i { j } else { j - 1 };
+                let pair = i * (self.m - 1) + col;
+                Some(Var((pair * bits + l) as u32))
+            }
+        }
+    }
+
+    /// Decodes a binary assignment into a migration matrix.
+    ///
+    /// For the reduced variant the diagonal is inferred as
+    /// `n − Σ_{i≠j} x_{i,j}`; an assignment whose sends exceed `n` cannot be
+    /// decoded (such states also violate the `sendable` constraint).
+    pub fn decode(&self, state: &[u8]) -> Result<MigrationMatrix, RebalanceError> {
+        if state.len() < self.cqm.num_vars() {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "state has {} bits, formulation needs {}",
+                state.len(),
+                self.cqm.num_vars()
+            )));
+        }
+        let bits = self.coeffs.len();
+        let mut mat = MigrationMatrix::zeros(self.m);
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if self.var(i, j, 0).is_none() {
+                    continue; // reduced diagonal: inferred below
+                }
+                let mut slice = Vec::with_capacity(bits);
+                for l in 0..bits {
+                    let v = self.var(i, j, l).expect("same pair");
+                    slice.push(state[v.index()]);
+                }
+                mat.set(i, j, self.coeffs.decode(&slice));
+            }
+        }
+        if self.variant == Variant::Reduced {
+            for j in 0..self.m {
+                let sent: u64 = (0..self.m).filter(|&i| i != j).map(|i| mat.get(i, j)).sum();
+                if sent > self.n {
+                    return Err(RebalanceError::InvalidPlan(format!(
+                        "process {j} sends {sent} tasks but owns only {}",
+                        self.n
+                    )));
+                }
+                mat.set(j, j, self.n - sent);
+            }
+        }
+        Ok(mat)
+    }
+
+    /// Encodes a migration plan as a binary assignment (used to seed the
+    /// hybrid solver with classical candidates).
+    pub fn encode_plan(&self, plan: &MigrationMatrix) -> Result<Vec<u8>, RebalanceError> {
+        if plan.num_procs() != self.m {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "plan covers {} processes, formulation has {}",
+                plan.num_procs(),
+                self.m
+            )));
+        }
+        let mut state = vec![0u8; self.cqm.num_vars()];
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if self.variant == Variant::Reduced && i == j {
+                    continue;
+                }
+                let count = plan.get(i, j);
+                let enc = self.coeffs.encode(count).ok_or_else(|| {
+                    RebalanceError::InvalidPlan(format!(
+                        "count {count} for (to {i}, from {j}) exceeds n = {}",
+                        self.n
+                    ))
+                })?;
+                for (l, &b) in enc.iter().enumerate() {
+                    let v = self.var(i, j, l).expect("non-diagonal or full");
+                    state[v.index()] = b;
+                }
+            }
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::uniform(13, vec![1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn variable_counts_match_construction() {
+        let i = inst();
+        let bits = CoefficientSet::new(13).len(); // 4
+        let full = LrpCqm::build(&i, Variant::Full, 10).unwrap();
+        assert_eq!(full.cqm.num_vars(), 9 * bits);
+        let red = LrpCqm::build(&i, Variant::Reduced, 10).unwrap();
+        assert_eq!(red.cqm.num_vars(), 6 * bits);
+    }
+
+    #[test]
+    fn constraint_structure_matches_paper() {
+        let i = inst();
+        let m = 3;
+        let full = LrpCqm::build(&i, Variant::Full, 10).unwrap();
+        assert_eq!(full.cqm.num_eq_constraints(), m);
+        assert_eq!(full.cqm.num_le_constraints(), m + 1);
+        let red = LrpCqm::build(&i, Variant::Reduced, 10).unwrap();
+        assert_eq!(red.cqm.num_eq_constraints(), 0);
+        assert_eq!(red.cqm.num_le_constraints(), 2 * m + 1);
+    }
+
+    #[test]
+    fn identity_plan_is_feasible_in_both_variants() {
+        let i = inst();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&i, variant, 0).unwrap();
+            let state = lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap();
+            assert!(
+                lrp.cqm.is_feasible(&state),
+                "{variant:?}: identity must satisfy all constraints even at k = 0"
+            );
+            let back = lrp.decode(&state).unwrap();
+            assert_eq!(back, MigrationMatrix::identity(&i));
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_arbitrary_plan() {
+        let i = inst();
+        let mut plan = MigrationMatrix::identity(&i);
+        plan.migrate(2, 0, 7).unwrap();
+        plan.migrate(2, 1, 3).unwrap();
+        plan.migrate(1, 0, 2).unwrap();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&i, variant, 100).unwrap();
+            let state = lrp.encode_plan(&plan).unwrap();
+            assert_eq!(lrp.decode(&state).unwrap(), plan, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn objective_matches_hand_computed_imbalance() {
+        let i = inst();
+        let stats = i.stats();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&i, variant, 50).unwrap();
+            let state = lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap();
+            let expect: f64 = i
+                .loads()
+                .iter()
+                .map(|l| (l - stats.l_avg).powi(2))
+                .sum();
+            assert!(
+                (lrp.cqm.objective(&state) - expect).abs() < 1e-6,
+                "{variant:?}: {} vs {expect}",
+                lrp.cqm.objective(&state)
+            );
+        }
+    }
+
+    #[test]
+    fn budget_constraint_counts_migrations() {
+        let i = inst();
+        let mut plan = MigrationMatrix::identity(&i);
+        plan.migrate(2, 0, 5).unwrap();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp_tight = LrpCqm::build(&i, variant, 4).unwrap();
+            let state = lrp_tight.encode_plan(&plan).unwrap();
+            assert!(
+                !lrp_tight.cqm.is_feasible(&state),
+                "{variant:?}: 5 moves must violate k = 4"
+            );
+            let lrp_ok = LrpCqm::build(&i, variant, 5).unwrap();
+            let state = lrp_ok.encode_plan(&plan).unwrap();
+            // Plan moves load 5·w0 = 5 from the heaviest... capacity also ok:
+            // new loads (18, 26, 47) vs L_max = 52.
+            assert!(lrp_ok.cqm.is_feasible(&state), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_constraint_rejects_worsening() {
+        let i = inst();
+        // Move 13 heavy tasks (w = 4) onto process 0: L'_0 = 13 + 52 = 65 > 52.
+        let mut plan = MigrationMatrix::identity(&i);
+        plan.migrate(2, 0, 13).unwrap();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&i, variant, 1000).unwrap();
+            let state = lrp.encode_plan(&plan).unwrap();
+            assert!(!lrp.cqm.is_feasible(&state), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_foreign_plan() {
+        let i = inst();
+        let lrp = LrpCqm::build(&i, Variant::Full, 5).unwrap();
+        let other = MigrationMatrix::zeros(5);
+        assert!(lrp.encode_plan(&other).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_short_state() {
+        let i = inst();
+        let lrp = LrpCqm::build(&i, Variant::Full, 5).unwrap();
+        assert!(lrp.decode(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn reduced_decode_rejects_oversend() {
+        let i = Instance::uniform(2, vec![1.0, 1.0]).unwrap();
+        let lrp = LrpCqm::build(&i, Variant::Reduced, 100).unwrap();
+        // All bits set: every off-diagonal pair sends n = 2 tasks; with
+        // M = 2 each process sends 2 ≤ n, fine — craft an oversend with M=3.
+        let i3 = Instance::uniform(2, vec![1.0, 1.0, 1.0]).unwrap();
+        let lrp3 = LrpCqm::build(&i3, Variant::Reduced, 100).unwrap();
+        let all_ones = vec![1u8; lrp3.cqm.num_vars()];
+        // Every process sends 2 tasks to each of 2 others = 4 > n = 2.
+        assert!(lrp3.decode(&all_ones).is_err());
+        let _ = lrp;
+    }
+
+    #[test]
+    fn migration_penalty_charges_moves_linearly() {
+        let i = inst();
+        let mut plan = MigrationMatrix::identity(&i);
+        plan.migrate(2, 0, 5).unwrap();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let mut lrp = LrpCqm::build(&i, variant, 100).unwrap();
+            let base_id = lrp.cqm.objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
+            let base_mv = lrp.cqm.objective(&lrp.encode_plan(&plan).unwrap());
+            lrp.add_migration_penalty(2.0);
+            let pen_id = lrp.cqm.objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
+            let pen_mv = lrp.cqm.objective(&lrp.encode_plan(&plan).unwrap());
+            assert!((pen_id - base_id).abs() < 1e-9, "{variant:?}: identity moves nothing");
+            assert!(
+                ((pen_mv - base_mv) - 2.0 * 5.0).abs() < 1e-6,
+                "{variant:?}: 5 moves at mu = 2 cost exactly 10, got {}",
+                pen_mv - base_mv
+            );
+        }
+    }
+
+    #[test]
+    fn zero_penalty_is_identity_transform() {
+        let i = inst();
+        let mut lrp = LrpCqm::build(&i, Variant::Full, 10).unwrap();
+        let before = lrp.cqm.linear_objective.clone();
+        lrp.add_migration_penalty(0.0);
+        assert_eq!(lrp.cqm.linear_objective, before);
+    }
+
+    #[test]
+    fn var_indexing_is_bijective() {
+        let i = inst();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&i, variant, 5).unwrap();
+            let mut seen = vec![false; lrp.cqm.num_vars()];
+            for a in 0..3 {
+                for b in 0..3 {
+                    for l in 0..lrp.coeffs.len() {
+                        if let Some(v) = lrp.var(a, b, l) {
+                            assert!(!seen[v.index()], "{variant:?}: duplicate var");
+                            seen[v.index()] = true;
+                        } else {
+                            assert_eq!(variant, Variant::Reduced);
+                            assert_eq!(a, b);
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{variant:?}: gap in indexing");
+        }
+    }
+}

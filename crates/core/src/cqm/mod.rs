@@ -1,0 +1,28 @@
+//! The paper's CQM formulations of the LRP (§IV).
+//!
+//! Both formulations share the variable semantics: the binary
+//! `x_{i,j,l} = 1` iff `c_l` tasks move to process `i` from process `j`
+//! (`i = j` meaning "stay"), with `c_l` drawn from the bounded-coefficient
+//! set `C(n)` so all counts `0..=n` are representable in `⌊log₂n⌋ + 1` bits.
+//!
+//! * **`Q_CQM2` ([`Variant::Full`])** keeps all `M²` (to, from) pairs:
+//!   `M²·(⌊log₂n⌋+1)` binaries, `M` equality constraints (conservation)
+//!   plus `M + 1` inequalities (capacity per process, global migration
+//!   budget `k`).
+//! * **`Q_CQM1` ([`Variant::Reduced`])** eliminates the diagonal
+//!   "stay" variables by substituting
+//!   `x_{j,j} = n − Σ_{i≠j} x_{i,j}`: fewer qubits, and the conservation
+//!   equalities become `≤ n` send-bound inequalities — the paper's
+//!   observation that the reduced model has *the same number* of
+//!   constraints, all inequalities (`2M + 1`).
+//!
+//! Note on qubit counts: the paper states `(M−1)²·(⌊log₂n⌋+1)` for Q_CQM1,
+//! but eliminating the `M` diagonal groups from `M²` leaves `M(M−1)` groups;
+//! we implement the reduction as described and report both counts (see
+//! [`qubits`]).
+
+mod builder;
+pub mod qubits;
+
+pub use builder::{LrpCqm, Variant};
+pub use qubits::{logical_qubits, paper_qubit_formula, qubit_budget, QubitBudget};

@@ -1,0 +1,97 @@
+//! Logical-qubit accounting (paper Table I).
+//!
+//! The paper counts one logical qubit per binary variable, assuming
+//! inequality constraints need no ancillas (true for unbalanced
+//! penalization, and for D-Wave's CQM solver which handles constraints
+//! natively). It reports
+//!
+//! * `Q_CQM1`: `(M−1)²·(⌊log₂ n⌋+1)`
+//! * `Q_CQM2`: `M²·(⌊log₂ n⌋+1)`
+//!
+//! The reduction the paper *describes* — inferring the diagonal
+//! `x_{j,j}` from the off-diagonal sends — removes exactly `M` of the `M²`
+//! pair groups, leaving `M(M−1)` groups. We therefore track both numbers:
+//! [`logical_qubits`] is what this implementation actually allocates,
+//! [`paper_qubit_formula`] is the figure printed in the paper.
+
+use super::builder::Variant;
+
+/// Both qubit counts for one formulation of an `(M, n)` instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QubitBudget {
+    /// Binary variables this implementation allocates.
+    pub actual: u64,
+    /// The count printed in the paper's Table I.
+    pub paper: u64,
+}
+
+/// Bits per pair count: `⌊log₂ n⌋ + 1`.
+fn bits(n: u64) -> u64 {
+    assert!(n >= 1);
+    u64::from(n.ilog2()) + 1
+}
+
+/// Logical qubits actually allocated by [`super::LrpCqm::build`].
+pub fn logical_qubits(variant: Variant, m: u64, n: u64) -> u64 {
+    match variant {
+        Variant::Full => m * m * bits(n),
+        Variant::Reduced => m * (m - 1) * bits(n),
+    }
+}
+
+/// The formula as printed in the paper.
+pub fn paper_qubit_formula(variant: Variant, m: u64, n: u64) -> u64 {
+    match variant {
+        Variant::Full => m * m * bits(n),
+        Variant::Reduced => (m - 1) * (m - 1) * bits(n),
+    }
+}
+
+/// Both counts together.
+pub fn qubit_budget(variant: Variant, m: u64, n: u64) -> QubitBudget {
+    QubitBudget {
+        actual: logical_qubits(variant, m, n),
+        paper: paper_qubit_formula(variant, m, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::LrpCqm;
+    use crate::instance::Instance;
+
+    #[test]
+    fn full_counts_match_paper() {
+        // M = 8, n = 50: bits = ⌊log₂50⌋+1 = 6.
+        assert_eq!(logical_qubits(Variant::Full, 8, 50), 64 * 6);
+        assert_eq!(paper_qubit_formula(Variant::Full, 8, 50), 64 * 6);
+    }
+
+    #[test]
+    fn reduced_actual_vs_paper() {
+        assert_eq!(logical_qubits(Variant::Reduced, 8, 50), 8 * 7 * 6);
+        assert_eq!(paper_qubit_formula(Variant::Reduced, 8, 50), 49 * 6);
+        let b = qubit_budget(Variant::Reduced, 8, 50);
+        assert!(b.actual > b.paper);
+    }
+
+    #[test]
+    fn counts_agree_with_built_models() {
+        let inst = Instance::uniform(50, vec![1.0; 8]).unwrap();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&inst, variant, 10).unwrap();
+            assert_eq!(
+                lrp.cqm.num_vars() as u64,
+                logical_qubits(variant, 8, 50),
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn largest_paper_config() {
+        // M = 64, n = 100 (Fig. 4 rightmost point): 28 672 binaries.
+        assert_eq!(logical_qubits(Variant::Full, 64, 100), 28_672);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types shared across the LRP layer.
+
+/// Errors from constructing instances, validating plans, or solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// The instance parameters are invalid (empty, zero tasks, negative or
+    /// non-finite weights, …).
+    InvalidInstance(String),
+    /// A migration matrix fails validation against its instance.
+    InvalidPlan(String),
+    /// The solver produced no feasible, decodable sample.
+    NoFeasibleSolution(String),
+    /// CSV input/output failure.
+    Io(String),
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::InvalidInstance(m) => write!(f, "invalid instance: {m}"),
+            RebalanceError::InvalidPlan(m) => write!(f, "invalid migration plan: {m}"),
+            RebalanceError::NoFeasibleSolution(m) => write!(f, "no feasible solution: {m}"),
+            RebalanceError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RebalanceError::InvalidPlan("column 3 sums to 7, expected 5".into());
+        assert!(e.to_string().contains("column 3"));
+        assert!(e.to_string().starts_with("invalid migration plan"));
+    }
+}

@@ -1,0 +1,412 @@
+//! The general (task-level) Load Rebalancing Problem.
+//!
+//! The paper's CQM formulation assumes tasks on one process share a weight —
+//! a deliberate restriction (`§IV`: "all n tasks of a process have uniform
+//! execution times") that makes migration counts encodable in
+//! `⌊log₂ n⌋+1` binaries per pair. The *general* LRP of Aggarwal et al.
+//! (the paper's ref. \[4\]) has arbitrary per-task weights; this module
+//! provides that model so the classical methods remain usable beyond the
+//! paper's scope:
+//!
+//! * [`TaskInstance`] — every task carries its own weight and current
+//!   process.
+//! * [`TaskPlan`] — a per-task destination map with migration counting and
+//!   validation.
+//! * [`greedy_lpt`] / [`proact_tasks`] — the task-level analogues of the
+//!   Greedy and ProactLB baselines.
+//!
+//! A [`TaskInstance`] whose per-process weights happen to be uniform
+//! round-trips losslessly with the paper's [`Instance`]/[`MigrationMatrix`]
+//! model (see [`TaskInstance::from_uniform`] and [`TaskPlan::to_matrix`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::metrics::ImbalanceStats;
+use crate::migration::MigrationMatrix;
+
+/// A task-level LRP instance: arbitrary weights, arbitrary initial
+/// assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    weights: Vec<f64>,
+    origin: Vec<usize>,
+    num_procs: usize,
+}
+
+impl TaskInstance {
+    /// Builds from per-process task lists.
+    ///
+    /// # Errors
+    /// Rejects zero processes and negative/non-finite weights. Empty
+    /// processes are allowed (unlike the uniform model).
+    pub fn new(per_proc: Vec<Vec<f64>>) -> Result<Self, RebalanceError> {
+        if per_proc.is_empty() {
+            return Err(RebalanceError::InvalidInstance(
+                "at least one process is required".into(),
+            ));
+        }
+        let num_procs = per_proc.len();
+        let mut weights = Vec::new();
+        let mut origin = Vec::new();
+        for (p, tasks) in per_proc.into_iter().enumerate() {
+            for w in tasks {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(RebalanceError::InvalidInstance(format!(
+                        "task weight {w} on process {p} must be finite and >= 0"
+                    )));
+                }
+                weights.push(w);
+                origin.push(p);
+            }
+        }
+        Ok(Self {
+            weights,
+            origin,
+            num_procs,
+        })
+    }
+
+    /// Expands a uniform instance into the task-level model.
+    pub fn from_uniform(inst: &Instance) -> Self {
+        let n = inst.tasks_per_proc() as usize;
+        let per_proc = inst.weights().iter().map(|&w| vec![w; n]).collect();
+        Self::new(per_proc).expect("uniform instances are valid")
+    }
+
+    /// Number of processes.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Task weights, indexed by task id.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Initial process of each task.
+    pub fn origin(&self) -> &[usize] {
+        &self.origin
+    }
+
+    /// Initial per-process loads.
+    pub fn loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.num_procs];
+        for (&w, &p) in self.weights.iter().zip(&self.origin) {
+            loads[p] += w;
+        }
+        loads
+    }
+
+    /// Imbalance statistics of the initial assignment.
+    pub fn stats(&self) -> ImbalanceStats {
+        ImbalanceStats::from_loads(&self.loads())
+    }
+
+    /// Statistics after applying a plan.
+    pub fn stats_after(&self, plan: &TaskPlan) -> ImbalanceStats {
+        ImbalanceStats::from_loads(&plan.new_loads(self))
+    }
+
+    /// Speedup of a plan (`L_max` ratio).
+    pub fn speedup(&self, plan: &TaskPlan) -> f64 {
+        crate::metrics::speedup(self.stats().l_max, self.stats_after(plan).l_max)
+    }
+}
+
+/// A task-level rebalancing solution: destination process per task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPlan {
+    dest: Vec<usize>,
+}
+
+impl TaskPlan {
+    /// The identity plan for an instance.
+    pub fn identity(inst: &TaskInstance) -> Self {
+        Self {
+            dest: inst.origin.clone(),
+        }
+    }
+
+    /// Builds from an explicit destination vector.
+    ///
+    /// # Errors
+    /// Rejects length mismatches and out-of-range destinations.
+    pub fn new(inst: &TaskInstance, dest: Vec<usize>) -> Result<Self, RebalanceError> {
+        if dest.len() != inst.num_tasks() {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "plan covers {} tasks, instance has {}",
+                dest.len(),
+                inst.num_tasks()
+            )));
+        }
+        if let Some((t, &d)) = dest.iter().enumerate().find(|(_, &d)| d >= inst.num_procs()) {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "task {t} sent to process {d}, but only {} exist",
+                inst.num_procs()
+            )));
+        }
+        Ok(Self { dest })
+    }
+
+    /// Destination of each task.
+    pub fn destinations(&self) -> &[usize] {
+        &self.dest
+    }
+
+    /// Moves `task` to `process`.
+    pub fn assign(&mut self, task: usize, process: usize) {
+        self.dest[task] = process;
+    }
+
+    /// Number of tasks whose destination differs from their origin.
+    pub fn num_migrated(&self, inst: &TaskInstance) -> u64 {
+        self.dest
+            .iter()
+            .zip(&inst.origin)
+            .filter(|(d, o)| d != o)
+            .count() as u64
+    }
+
+    /// Per-process loads after the plan.
+    pub fn new_loads(&self, inst: &TaskInstance) -> Vec<f64> {
+        let mut loads = vec![0.0; inst.num_procs];
+        for (&w, &d) in inst.weights.iter().zip(&self.dest) {
+            loads[d] += w;
+        }
+        loads
+    }
+
+    /// Collapses a task-level plan on a class-uniform instance into the
+    /// paper's migration-count matrix.
+    pub fn to_matrix(&self, inst: &TaskInstance) -> MigrationMatrix {
+        let mut mat = MigrationMatrix::zeros(inst.num_procs());
+        for (&o, &d) in inst.origin.iter().zip(&self.dest) {
+            mat.add(d, o, 1);
+        }
+        mat
+    }
+}
+
+/// Task-level Greedy (LPT): repartitions *all* tasks from scratch, heaviest
+/// first onto the least-loaded process — migration-oblivious, like the
+/// paper's Greedy.
+pub fn greedy_lpt(inst: &TaskInstance) -> TaskPlan {
+    let mut order: Vec<usize> = (0..inst.num_tasks()).collect();
+    // Heaviest first; ties by task id for determinism.
+    order.sort_by(|&a, &b| {
+        inst.weights[b]
+            .total_cmp(&inst.weights[a])
+            .then(a.cmp(&b))
+    });
+    let mut loads = vec![0.0f64; inst.num_procs()];
+    let mut dest = vec![0usize; inst.num_tasks()];
+    for t in order {
+        let (p, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .expect("at least one process");
+        dest[t] = p;
+        loads[p] += inst.weights[t];
+    }
+    TaskPlan { dest }
+}
+
+/// Task-level ProactLB: donors above the average shed their *smallest
+/// sufficient* tasks toward the largest deficits, never overshooting a
+/// receiver by more than half the moved task's weight.
+pub fn proact_tasks(inst: &TaskInstance) -> TaskPlan {
+    let mut plan = TaskPlan::identity(inst);
+    let loads = inst.loads();
+    let l_avg = loads.iter().sum::<f64>() / inst.num_procs() as f64;
+
+    let mut donors: Vec<usize> = (0..inst.num_procs())
+        .filter(|&p| loads[p] > l_avg)
+        .collect();
+    donors.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]));
+    let mut deficits: Vec<(usize, f64)> = (0..inst.num_procs())
+        .filter(|&p| loads[p] < l_avg)
+        .map(|p| (p, l_avg - loads[p]))
+        .collect();
+    deficits.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    for &donor in &donors {
+        let mut excess = loads[donor] - l_avg;
+        // Donor's own tasks, lightest first, so precision moves are
+        // available for small deficits.
+        let mut mine: Vec<usize> = (0..inst.num_tasks())
+            .filter(|&t| inst.origin[t] == donor)
+            .collect();
+        mine.sort_by(|&a, &b| inst.weights[a].total_cmp(&inst.weights[b]).then(a.cmp(&b)));
+        for entry in deficits.iter_mut() {
+            if excess <= 0.0 {
+                break;
+            }
+            // Move tasks while they fit the deficit (with w/2 rounding
+            // slack) and the donor stays above the average.
+            while entry.1 > 0.0 && excess > 0.0 {
+                let Some(&t) = mine.iter().find(|&&t| {
+                    let w = inst.weights[t];
+                    w > 0.0 && w <= excess + 1e-12 && w <= entry.1 + w / 2.0
+                }) else {
+                    break;
+                };
+                let w = inst.weights[t];
+                plan.assign(t, entry.0);
+                mine.retain(|&x| x != t);
+                entry.1 -= w;
+                excess -= w;
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn heterogeneous() -> TaskInstance {
+        TaskInstance::new(vec![
+            vec![5.0, 1.0, 1.0],
+            vec![9.0, 4.0],
+            vec![2.0],
+            vec![],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_loads() {
+        let inst = heterogeneous();
+        assert_eq!(inst.num_procs(), 4);
+        assert_eq!(inst.num_tasks(), 6);
+        assert_eq!(inst.loads(), vec![7.0, 13.0, 2.0, 0.0]);
+        assert!(inst.stats().imbalance_ratio > 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(TaskInstance::new(vec![]).is_err());
+        assert!(TaskInstance::new(vec![vec![-1.0]]).is_err());
+        assert!(TaskInstance::new(vec![vec![f64::NAN]]).is_err());
+        let inst = heterogeneous();
+        assert!(TaskPlan::new(&inst, vec![0; 5]).is_err());
+        assert!(TaskPlan::new(&inst, vec![9; 6]).is_err());
+    }
+
+    #[test]
+    fn uniform_bridge_roundtrips() {
+        let uni = Instance::uniform(3, vec![1.0, 2.0]).unwrap();
+        let inst = TaskInstance::from_uniform(&uni);
+        assert_eq!(inst.num_tasks(), 6);
+        assert_eq!(inst.loads(), uni.loads());
+        // A task-level plan collapses to a valid matrix.
+        let mut plan = TaskPlan::identity(&inst);
+        plan.assign(3, 0); // move one w=2 task from P1 to P0
+        let mat = plan.to_matrix(&inst);
+        mat.validate(&uni).unwrap();
+        assert_eq!(mat.num_migrated(), plan.num_migrated(&inst));
+        assert_eq!(mat.get(0, 1), 1);
+    }
+
+    #[test]
+    fn greedy_lpt_balances_heterogeneous_tasks() {
+        let inst = heterogeneous();
+        let plan = greedy_lpt(&inst);
+        let after = inst.stats_after(&plan);
+        assert!(after.l_max <= inst.stats().l_max);
+        // Total 22 over 4 procs: LPT gets within one task of the 5.5 mean.
+        assert!(after.l_max <= 9.0, "L_max = {}", after.l_max);
+        // Loads are conserved.
+        let total: f64 = plan.new_loads(&inst).iter().sum();
+        assert!((total - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proact_tasks_moves_few_and_never_worsens() {
+        let inst = heterogeneous();
+        let plan = proact_tasks(&inst);
+        let after = inst.stats_after(&plan);
+        assert!(after.l_max <= inst.stats().l_max + 1e-9);
+        assert!(after.imbalance_ratio < inst.stats().imbalance_ratio);
+        let greedy_migrations = greedy_lpt(&inst).num_migrated(&inst);
+        assert!(plan.num_migrated(&inst) <= greedy_migrations);
+        // Only overloaded processes donate.
+        for (t, (&o, &d)) in inst.origin().iter().zip(plan.destinations()).enumerate() {
+            if o != d {
+                assert!(
+                    inst.loads()[o] > inst.stats().l_avg,
+                    "task {t} donated by an underloaded process"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_process_can_receive() {
+        let inst = heterogeneous();
+        let plan = proact_tasks(&inst);
+        // Process 3 (empty, deficit = avg) should have received something.
+        assert!(
+            plan.new_loads(&inst)[3] > 0.0,
+            "the empty process stayed empty: {:?}",
+            plan.new_loads(&inst)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn plans_conserve_and_never_worsen(
+            tasks in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..20.0, 0..8), 1..6),
+        ) {
+            let inst = TaskInstance::new(tasks).unwrap();
+            let total: f64 = inst.weights().iter().sum();
+            let w_max = inst.weights().iter().copied().fold(0.0f64, f64::max);
+            let avg = total / inst.num_procs() as f64;
+            for plan in [greedy_lpt(&inst), proact_tasks(&inst), TaskPlan::identity(&inst)] {
+                let loads = plan.new_loads(&inst);
+                prop_assert!((loads.iter().sum::<f64>() - total).abs() < 1e-9);
+                // List-scheduling bound; from-scratch LPT may exceed the
+                // *original* L_max (Graham's anomaly) but never this.
+                let bound = (avg + w_max).max(inst.stats().l_max);
+                prop_assert!(inst.stats_after(&plan).l_max <= bound + 1e-9);
+            }
+            // The migration-aware methods additionally never worsen.
+            for plan in [proact_tasks(&inst), TaskPlan::identity(&inst)] {
+                prop_assert!(inst.stats_after(&plan).l_max <= inst.stats().l_max + 1e-9);
+            }
+        }
+
+        #[test]
+        fn uniform_agreement_with_matrix_model(
+            n in 1u64..12,
+            weights in proptest::collection::vec(0.1f64..10.0, 2..5),
+        ) {
+            // On a uniform instance the task-level Greedy matches the
+            // matrix-level Greedy's load quality (same algorithm, different
+            // representation).
+            let uni = Instance::uniform(n, weights).unwrap();
+            let tl = TaskInstance::from_uniform(&uni);
+            let plan = greedy_lpt(&tl);
+            let mat = plan.to_matrix(&tl);
+            prop_assert!(mat.validate(&uni).is_ok());
+            let via_tasks = inst_lmax(&tl, &plan);
+            let via_matrix = uni.stats_after(&mat).l_max;
+            prop_assert!((via_tasks - via_matrix).abs() < 1e-9);
+        }
+    }
+
+    fn inst_lmax(inst: &TaskInstance, plan: &TaskPlan) -> f64 {
+        inst.stats_after(plan).l_max
+    }
+}

@@ -1,0 +1,162 @@
+//! LRP problem instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RebalanceError;
+use crate::metrics::ImbalanceStats;
+use crate::migration::MigrationMatrix;
+
+/// A Load Rebalancing Problem instance in the paper's input model (§IV):
+/// `M` processes, each initially holding `n` tasks, where every task on
+/// process `i` has the same weight `w_i` (execution time). Imbalance comes
+/// from the weights differing *across* processes.
+///
+/// ```
+/// use qlrb_core::Instance;
+/// // The paper's Fig. 7 example: 4 processes x 5 tasks.
+/// let inst = Instance::uniform(5, vec![1.87, 1.97, 3.12, 2.81]).unwrap();
+/// assert_eq!(inst.num_tasks(), 20);
+/// assert!((inst.stats().l_max - 15.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    tasks_per_proc: u64,
+    weights: Vec<f64>,
+}
+
+impl Instance {
+    /// Builds an instance with `n` tasks per process and per-process task
+    /// weights `weights` (one entry per process).
+    ///
+    /// # Errors
+    /// Rejects `n == 0`, an empty weight vector, and negative or non-finite
+    /// weights.
+    pub fn uniform(n: u64, weights: Vec<f64>) -> Result<Self, RebalanceError> {
+        if n == 0 {
+            return Err(RebalanceError::InvalidInstance(
+                "tasks per process must be >= 1".into(),
+            ));
+        }
+        if weights.is_empty() {
+            return Err(RebalanceError::InvalidInstance(
+                "at least one process is required".into(),
+            ));
+        }
+        if let Some((i, &w)) = weights
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.is_finite() || **w < 0.0)
+        {
+            return Err(RebalanceError::InvalidInstance(format!(
+                "weight of process {i} is {w}; weights must be finite and >= 0"
+            )));
+        }
+        Ok(Self {
+            tasks_per_proc: n,
+            weights,
+        })
+    }
+
+    /// Number of processes `M`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Tasks per process `n`.
+    #[inline]
+    pub fn tasks_per_proc(&self) -> u64 {
+        self.tasks_per_proc
+    }
+
+    /// Total number of tasks `N = n·M`.
+    #[inline]
+    pub fn num_tasks(&self) -> u64 {
+        self.tasks_per_proc * self.weights.len() as u64
+    }
+
+    /// Per-process task weights `w_i`.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Initial per-process loads `L_i = n·w_i`.
+    pub fn loads(&self) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| w * self.tasks_per_proc as f64)
+            .collect()
+    }
+
+    /// Imbalance statistics of the initial assignment.
+    pub fn stats(&self) -> ImbalanceStats {
+        ImbalanceStats::from_loads(&self.loads())
+    }
+
+    /// Imbalance statistics after applying a migration plan.
+    pub fn stats_after(&self, plan: &MigrationMatrix) -> ImbalanceStats {
+        ImbalanceStats::from_loads(&plan.new_loads(self))
+    }
+
+    /// Speedup delivered by a plan: `L_max(before) / L_max(after)`.
+    pub fn speedup(&self, plan: &MigrationMatrix) -> f64 {
+        crate::metrics::speedup(self.stats().l_max, self.stats_after(plan).l_max)
+    }
+
+    /// The task multiset as `(weight, source process)` pairs, heaviest first
+    /// — the view classical partitioning algorithms (Greedy, KK) operate on.
+    pub fn tasks_by_weight_desc(&self) -> Vec<(f64, usize)> {
+        let mut classes: Vec<usize> = (0..self.num_procs()).collect();
+        classes.sort_by(|&a, &b| self.weights[b].total_cmp(&self.weights[a]));
+        let mut tasks = Vec::with_capacity(self.num_tasks() as usize);
+        for &p in &classes {
+            for _ in 0..self.tasks_per_proc {
+                tasks.push((self.weights[p], p));
+            }
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let inst = Instance::uniform(5, vec![1.87, 1.97, 3.12, 2.81]).unwrap();
+        assert_eq!(inst.num_procs(), 4);
+        assert_eq!(inst.tasks_per_proc(), 5);
+        assert_eq!(inst.num_tasks(), 20);
+        let loads = inst.loads();
+        assert!((loads[2] - 15.6).abs() < 1e-9);
+        assert!((inst.stats().l_max - 15.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_instances() {
+        assert!(Instance::uniform(0, vec![1.0]).is_err());
+        assert!(Instance::uniform(3, vec![]).is_err());
+        assert!(Instance::uniform(3, vec![1.0, -2.0]).is_err());
+        assert!(Instance::uniform(3, vec![f64::NAN]).is_err());
+        assert!(Instance::uniform(3, vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_is_allowed() {
+        // A process whose tasks are free is a legal (if degenerate) input.
+        let inst = Instance::uniform(2, vec![0.0, 1.0]).unwrap();
+        assert_eq!(inst.loads(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn tasks_sorted_heaviest_first() {
+        let inst = Instance::uniform(2, vec![1.0, 3.0, 2.0]).unwrap();
+        let tasks = inst.tasks_by_weight_desc();
+        assert_eq!(tasks.len(), 6);
+        let weights: Vec<f64> = tasks.iter().map(|t| t.0).collect();
+        assert_eq!(weights, vec![3.0, 3.0, 2.0, 2.0, 1.0, 1.0]);
+        assert_eq!(tasks[0].1, 1); // heaviest tasks come from process 1
+    }
+}

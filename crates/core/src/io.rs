@@ -1,0 +1,233 @@
+//! The artifact's CSV input/output formats (paper appendix, Tables VI/VII).
+//!
+//! * **Input** (`Table VI`): one row per process; columns `P1..PM` hold the
+//!   assignment-count matrix (initially diagonal `n`), then `w` (per-task
+//!   weight) and `L` (total load).
+//! * **Output** (`Table VII`): one row per (destination) process; columns
+//!   `P1..PM` hold the migration matrix `x[i][j]`, then the cross-check
+//!   columns `num_total`, `num_local`, `num_remote` and the new load `L`.
+//!
+//! The parsers are hand-rolled (the formats are tiny and fixed) and accept
+//! exactly what the writers emit, so round-trips are lossless up to float
+//! formatting.
+
+use std::fmt::Write as _;
+
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::migration::MigrationMatrix;
+
+/// Serializes an instance in the paper's input CSV format.
+#[allow(clippy::needless_range_loop)] // indexed loops here touch several parallel arrays
+pub fn write_input_csv(inst: &Instance) -> String {
+    let m = inst.num_procs();
+    let mut out = String::new();
+    out.push_str("Process");
+    for j in 0..m {
+        let _ = write!(out, ",P{}", j + 1);
+    }
+    out.push_str(",w,L\n");
+    let loads = inst.loads();
+    for i in 0..m {
+        let _ = write!(out, "P{}", i + 1);
+        for j in 0..m {
+            let count = if i == j { inst.tasks_per_proc() } else { 0 };
+            let _ = write!(out, ",{count}");
+        }
+        let _ = writeln!(out, ",{},{}", inst.weights()[i], loads[i]);
+    }
+    out
+}
+
+/// Parses the paper's input CSV format back into an instance.
+///
+/// The assignment matrix must be diagonal (an *input* describes the state
+/// before rebalancing) with a uniform diagonal value `n`.
+pub fn read_input_csv(csv: &str) -> Result<Instance, RebalanceError> {
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| RebalanceError::Io("empty input".into()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 4 || cols[0] != "Process" {
+        return Err(RebalanceError::Io(format!("unrecognized header: {header}")));
+    }
+    let m = cols.len() - 3; // Process, P1..PM, w, L
+    let mut n: Option<u64> = None;
+    let mut weights = Vec::with_capacity(m);
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != m + 3 {
+            return Err(RebalanceError::Io(format!(
+                "row {i}: expected {} fields, got {}",
+                m + 3,
+                fields.len()
+            )));
+        }
+        for (j, f) in fields[1..=m].iter().enumerate() {
+            let count: u64 = f
+                .trim()
+                .parse()
+                .map_err(|_| RebalanceError::Io(format!("row {i}: bad count '{f}'")))?;
+            if i == j {
+                match n {
+                    None => n = Some(count),
+                    Some(prev) if prev != count => {
+                        return Err(RebalanceError::Io(format!(
+                            "non-uniform diagonal: {prev} vs {count}"
+                        )))
+                    }
+                    _ => {}
+                }
+            } else if count != 0 {
+                return Err(RebalanceError::Io(format!(
+                    "row {i}: off-diagonal count {count}; inputs must be diagonal"
+                )));
+            }
+        }
+        let w: f64 = fields[m + 1]
+            .trim()
+            .parse()
+            .map_err(|_| RebalanceError::Io(format!("row {i}: bad weight")))?;
+        weights.push(w);
+    }
+    if weights.len() != m {
+        return Err(RebalanceError::Io(format!(
+            "expected {m} process rows, got {}",
+            weights.len()
+        )));
+    }
+    let n = n.ok_or_else(|| RebalanceError::Io("no process rows".into()))?;
+    Instance::uniform(n, weights)
+}
+
+/// Serializes a migration plan in the paper's output CSV format.
+#[allow(clippy::needless_range_loop)] // indexed loops here touch several parallel arrays
+pub fn write_output_csv(inst: &Instance, plan: &MigrationMatrix) -> String {
+    let m = plan.num_procs();
+    let mut out = String::new();
+    out.push_str("Process");
+    for j in 0..m {
+        let _ = write!(out, ",P{}", j + 1);
+    }
+    out.push_str(",num_total,num_local,num_remote,L\n");
+    let loads = plan.new_loads(inst);
+    for i in 0..m {
+        let _ = write!(out, "P{}", i + 1);
+        for j in 0..m {
+            let _ = write!(out, ",{}", plan.get(i, j));
+        }
+        let total = plan.tasks_on(i);
+        let local = plan.get(i, i);
+        let _ = writeln!(out, ",{total},{local},{},{}", total - local, loads[i]);
+    }
+    out
+}
+
+/// Parses the output CSV format back into a migration matrix (the
+/// cross-check and load columns are verified, not just skipped).
+pub fn read_output_csv(csv: &str) -> Result<MigrationMatrix, RebalanceError> {
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| RebalanceError::Io("empty output".into()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 6 || cols[0] != "Process" {
+        return Err(RebalanceError::Io(format!("unrecognized header: {header}")));
+    }
+    let m = cols.len() - 5; // Process, P1..PM, num_total, num_local, num_remote, L
+    let mut rows: Vec<u64> = Vec::with_capacity(m * m);
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != m + 5 {
+            return Err(RebalanceError::Io(format!(
+                "row {i}: expected {} fields, got {}",
+                m + 5,
+                fields.len()
+            )));
+        }
+        let mut row_total = 0u64;
+        for f in &fields[1..=m] {
+            let count: u64 = f
+                .trim()
+                .parse()
+                .map_err(|_| RebalanceError::Io(format!("row {i}: bad count '{f}'")))?;
+            row_total += count;
+            rows.push(count);
+        }
+        let declared: u64 = fields[m + 1]
+            .trim()
+            .parse()
+            .map_err(|_| RebalanceError::Io(format!("row {i}: bad num_total")))?;
+        if declared != row_total {
+            return Err(RebalanceError::Io(format!(
+                "row {i}: num_total {declared} != row sum {row_total}"
+            )));
+        }
+    }
+    MigrationMatrix::from_rows(m, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_instance() -> Instance {
+        // Table VI exactly.
+        Instance::uniform(100, vec![1.87, 1.97, 14.86, 103.23]).unwrap()
+    }
+
+    #[test]
+    fn input_roundtrip() {
+        let inst = paper_instance();
+        let csv = write_input_csv(&inst);
+        assert!(csv.starts_with("Process,P1,P2,P3,P4,w,L"));
+        let back = read_input_csv(&csv).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn output_roundtrip_table7() {
+        let inst = paper_instance();
+        let mut plan = MigrationMatrix::identity(&inst);
+        for from in 0..4 {
+            for to in 0..4 {
+                if from != to {
+                    plan.migrate(from, to, 25).unwrap();
+                }
+            }
+        }
+        let csv = write_output_csv(&inst, &plan);
+        // Spot-check the paper's row shape: "P1,25,25,25,25,100,25,75,<L>".
+        let line1 = csv.lines().nth(1).unwrap();
+        assert!(line1.starts_with("P1,25,25,25,25,100,25,75,"));
+        let back = read_output_csv(&csv).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn input_rejects_off_diagonal() {
+        let csv = "Process,P1,P2,w,L\nP1,5,1,1.0,5.0\nP2,0,5,2.0,10.0\n";
+        assert!(read_input_csv(csv).is_err());
+    }
+
+    #[test]
+    fn input_rejects_ragged_rows() {
+        let csv = "Process,P1,P2,w,L\nP1,5,0,1.0\n";
+        assert!(read_input_csv(csv).is_err());
+    }
+
+    #[test]
+    fn output_rejects_inconsistent_cross_check() {
+        let csv = "Process,P1,P2,num_total,num_local,num_remote,L\n\
+                   P1,3,2,99,3,2,7.0\nP2,2,3,5,3,2,8.0\n";
+        let err = read_output_csv(csv).unwrap_err();
+        assert!(err.to_string().contains("num_total"));
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(read_input_csv("").is_err());
+        assert!(read_output_csv("\n\n").is_err());
+    }
+}

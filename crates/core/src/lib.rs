@@ -1,0 +1,42 @@
+//! # qlrb-core — the Load Rebalancing Problem and its quantum formulations
+//!
+//! This crate is the paper's primary contribution, as a library:
+//!
+//! * [`instance::Instance`] — the LRP input: `N = n·M` tasks on `M`
+//!   processes, one (uniform) task weight per process, exactly the model of
+//!   the paper's §IV and artifact appendix (Table VI).
+//! * [`migration::MigrationMatrix`] — a rebalancing solution: `x[i][j]` =
+//!   tasks moved **to** process `i` **from** process `j` (diagonal = tasks
+//!   that stay), with conservation validation and all derived metrics.
+//! * [`metrics`] — `L_max`, `L_avg`, the imbalance ratio
+//!   `R_imb = (L_max − L_avg)/L_avg`, and speedup.
+//! * [`cqm`] — the two constrained-quadratic-model formulations:
+//!   **Q_CQM1** (qubit-reduced, all-inequality constraints) and **Q_CQM2**
+//!   (full, `M` equalities + `M+1` inequalities), with sample decoding and
+//!   logical-qubit accounting (paper Table I).
+//! * [`solve::QuantumRebalancer`] — the end-to-end hybrid workflow: build
+//!   the CQM, seed the hybrid solver with classical candidates, decode the
+//!   best feasible sample into a validated migration plan.
+//! * [`io`] — the artifact's CSV input/output formats (Tables VI/VII).
+//!
+//! Classical baselines (Greedy, KK, ProactLB) live in `qlrb-classical`, and
+//! implement the same [`algorithm::Rebalancer`] trait, so the experiment
+//! harness treats all seven methods of the paper uniformly.
+
+pub mod algorithm;
+pub mod cqm;
+pub mod error;
+pub mod general;
+pub mod instance;
+pub mod io;
+pub mod metrics;
+pub mod migration;
+pub mod solve;
+
+pub use algorithm::{RebalanceOutcome, Rebalancer};
+pub use cqm::{LrpCqm, Variant};
+pub use error::RebalanceError;
+pub use instance::Instance;
+pub use metrics::ImbalanceStats;
+pub use migration::MigrationMatrix;
+pub use solve::QuantumRebalancer;

@@ -1,0 +1,108 @@
+//! Load-imbalance metrics.
+//!
+//! The paper's metrics (§II): with per-process total loads `L_i`,
+//!
+//! * `L_max = max_i L_i`, `L_avg = (1/M)·Σ_i L_i`;
+//! * imbalance ratio `R_imb = (L_max − L_avg) / L_avg` (Menon & Kalé);
+//! * speedup of a rebalancing solution = `L_max(before) / L_max(after)` —
+//!   in a bulk-synchronous step the slowest process sets the pace, so the
+//!   makespan ratio is exactly the `L_max` ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a per-process load vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceStats {
+    /// Largest per-process load.
+    pub l_max: f64,
+    /// Smallest per-process load.
+    pub l_min: f64,
+    /// Mean per-process load.
+    pub l_avg: f64,
+    /// `(L_max − L_avg) / L_avg`; `0` for a perfectly balanced (or all-zero)
+    /// load vector.
+    pub imbalance_ratio: f64,
+}
+
+impl ImbalanceStats {
+    /// Computes the statistics of a load vector.
+    ///
+    /// # Panics
+    /// Panics if `loads` is empty — an instance always has ≥ 1 process.
+    pub fn from_loads(loads: &[f64]) -> Self {
+        assert!(!loads.is_empty(), "load vector must be non-empty");
+        let l_max = loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let l_min = loads.iter().copied().fold(f64::INFINITY, f64::min);
+        let l_avg = loads.iter().sum::<f64>() / loads.len() as f64;
+        let imbalance_ratio = if l_avg > 0.0 {
+            (l_max - l_avg) / l_avg
+        } else {
+            0.0
+        };
+        Self {
+            l_max,
+            l_min,
+            l_avg,
+            imbalance_ratio,
+        }
+    }
+}
+
+/// Speedup of a rebalanced load vector relative to a baseline: the ratio of
+/// the two makespans (`L_max` values). Returns `1.0` when the rebalanced
+/// `L_max` is zero (nothing to speed up).
+pub fn speedup(baseline_l_max: f64, rebalanced_l_max: f64) -> f64 {
+    if rebalanced_l_max > 0.0 {
+        baseline_l_max / rebalanced_l_max
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig7_example() {
+        // 4 processes × 5 tasks, weights 1.87/1.97/3.12/2.81 ms.
+        let loads = [9.35, 9.85, 15.6, 14.05];
+        let s = ImbalanceStats::from_loads(&loads);
+        assert!((s.l_max - 15.6).abs() < 1e-12);
+        assert!((s.l_avg - 12.2125).abs() < 1e-12);
+        assert!((s.imbalance_ratio - (15.6 - 12.2125) / 12.2125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_vector_has_zero_ratio() {
+        let s = ImbalanceStats::from_loads(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.imbalance_ratio, 0.0);
+        assert_eq!(s.l_min, 3.0);
+    }
+
+    #[test]
+    fn all_zero_loads_are_defined() {
+        let s = ImbalanceStats::from_loads(&[0.0, 0.0]);
+        assert_eq!(s.imbalance_ratio, 0.0);
+        assert_eq!(s.l_max, 0.0);
+    }
+
+    #[test]
+    fn single_process_is_trivially_balanced() {
+        let s = ImbalanceStats::from_loads(&[42.0]);
+        assert_eq!(s.imbalance_ratio, 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(10.0, 5.0), 2.0);
+        assert_eq!(speedup(10.0, 10.0), 1.0);
+        assert_eq!(speedup(10.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_loads_panic() {
+        ImbalanceStats::from_loads(&[]);
+    }
+}

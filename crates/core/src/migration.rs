@@ -1,0 +1,265 @@
+//! Migration plans as the paper's task-count matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+
+/// A rebalancing solution: `x[i][j]` counts the tasks moved **to** process
+/// `i` **from** process `j`; the diagonal `x[j][j]` counts the tasks that
+/// stay on `j`. Conservation requires each *column* `j` to sum to `n`
+/// (every task of `j` either stays or goes somewhere).
+///
+/// This is exactly the matrix of the paper's artifact output format
+/// (Table VII), and the object the CQM variables `x_{i,j,l}` encode.
+///
+/// ```
+/// use qlrb_core::{Instance, MigrationMatrix};
+/// let inst = Instance::uniform(10, vec![1.0, 3.0]).unwrap();
+/// let mut plan = MigrationMatrix::identity(&inst);
+/// plan.migrate(1, 0, 3).unwrap(); // 3 heavy tasks to the light process
+/// plan.validate(&inst).unwrap();
+/// assert_eq!(plan.num_migrated(), 3);
+/// assert!(inst.speedup(&plan) > 1.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationMatrix {
+    m: usize,
+    /// Row-major `m × m` counts.
+    x: Vec<u64>,
+}
+
+impl MigrationMatrix {
+    /// An all-zero matrix for `m` processes.
+    pub fn zeros(m: usize) -> Self {
+        assert!(m >= 1, "need at least one process");
+        Self { m, x: vec![0; m * m] }
+    }
+
+    /// The identity plan for an instance: every task stays put.
+    pub fn identity(inst: &Instance) -> Self {
+        let m = inst.num_procs();
+        let mut mat = Self::zeros(m);
+        for i in 0..m {
+            mat.set(i, i, inst.tasks_per_proc());
+        }
+        mat
+    }
+
+    /// Builds from row-major counts.
+    ///
+    /// # Errors
+    /// Rejects a length that is not a perfect square of `m ≥ 1`.
+    pub fn from_rows(m: usize, x: Vec<u64>) -> Result<Self, RebalanceError> {
+        if m == 0 || x.len() != m * m {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "expected {m}×{m} = {} counts, got {}",
+                m * m,
+                x.len()
+            )));
+        }
+        Ok(Self { m, x })
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// Tasks moved to `i` from `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.x[i * self.m + j]
+    }
+
+    /// Sets the count for (to `i`, from `j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, count: u64) {
+        self.x[i * self.m + j] = count;
+    }
+
+    /// Adds to the count for (to `i`, from `j`).
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, count: u64) {
+        self.x[i * self.m + j] += count;
+    }
+
+    /// Moves `count` tasks from `from` to `to`, debiting the stay-diagonal.
+    ///
+    /// # Errors
+    /// Fails if fewer than `count` tasks remain on `from`'s diagonal.
+    pub fn migrate(&mut self, from: usize, to: usize, count: u64) -> Result<(), RebalanceError> {
+        if from == to || count == 0 {
+            return Ok(());
+        }
+        let stay = self.get(from, from);
+        if stay < count {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "process {from} has only {stay} resident tasks, cannot move {count}"
+            )));
+        }
+        self.set(from, from, stay - count);
+        self.add(to, from, count);
+        Ok(())
+    }
+
+    /// Total number of migrated tasks (off-diagonal sum) — the paper's
+    /// "# mig. tasks" column.
+    pub fn num_migrated(&self) -> u64 {
+        let mut total = 0;
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if i != j {
+                    total += self.get(i, j);
+                }
+            }
+        }
+        total
+    }
+
+    /// Average migrated tasks per process.
+    pub fn migrated_per_proc(&self) -> f64 {
+        self.num_migrated() as f64 / self.m as f64
+    }
+
+    /// New per-process loads: `L'_i = Σ_j w_j · x[i][j]`.
+    pub fn new_loads(&self, inst: &Instance) -> Vec<f64> {
+        let w = inst.weights();
+        (0..self.m)
+            .map(|i| (0..self.m).map(|j| w[j] * self.get(i, j) as f64).sum())
+            .collect()
+    }
+
+    /// Tasks residing on process `i` after rebalancing (row sum).
+    pub fn tasks_on(&self, i: usize) -> u64 {
+        (0..self.m).map(|j| self.get(i, j)).sum()
+    }
+
+    /// Tasks contributed by process `j` (column sum); conservation requires
+    /// this to equal `n` for every `j`.
+    pub fn tasks_from(&self, j: usize) -> u64 {
+        (0..self.m).map(|i| self.get(i, j)).sum()
+    }
+
+    /// Validates the plan against an instance: matching process count and
+    /// column sums equal to `n`.
+    pub fn validate(&self, inst: &Instance) -> Result<(), RebalanceError> {
+        if self.m != inst.num_procs() {
+            return Err(RebalanceError::InvalidPlan(format!(
+                "plan covers {} processes, instance has {}",
+                self.m,
+                inst.num_procs()
+            )));
+        }
+        let n = inst.tasks_per_proc();
+        for j in 0..self.m {
+            let total = self.tasks_from(j);
+            if total != n {
+                return Err(RebalanceError::InvalidPlan(format!(
+                    "column {j} sums to {total}, expected {n}: tasks were lost or invented"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn inst() -> Instance {
+        Instance::uniform(100, vec![1.87, 1.97, 14.86, 103.23]).unwrap()
+    }
+
+    #[test]
+    fn identity_is_valid_and_migration_free() {
+        let inst = inst();
+        let id = MigrationMatrix::identity(&inst);
+        id.validate(&inst).unwrap();
+        assert_eq!(id.num_migrated(), 0);
+        let loads = id.new_loads(&inst);
+        for (a, b) in loads.iter().zip(inst.loads()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_table7_greedy_output() {
+        // Table VII: every process keeps 25 tasks and sends 25 to each other.
+        let inst = inst();
+        let mut mat = MigrationMatrix::identity(&inst);
+        for from in 0..4 {
+            for to in 0..4 {
+                if from != to {
+                    mat.migrate(from, to, 25).unwrap();
+                }
+            }
+        }
+        mat.validate(&inst).unwrap();
+        for i in 0..4 {
+            assert_eq!(mat.tasks_on(i), 100);
+            assert_eq!(mat.get(i, i), 25);
+        }
+        assert_eq!(mat.num_migrated(), 300);
+        assert_eq!(mat.migrated_per_proc(), 75.0);
+        let loads = mat.new_loads(&inst);
+        let expect = 25.0 * (1.87 + 1.97 + 14.86 + 103.23);
+        for l in loads {
+            assert!((l - expect).abs() < 1e-9, "{l} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn migrate_rejects_overdraw() {
+        let inst = Instance::uniform(5, vec![1.0, 2.0]).unwrap();
+        let mut mat = MigrationMatrix::identity(&inst);
+        assert!(mat.migrate(0, 1, 6).is_err());
+        mat.migrate(0, 1, 5).unwrap();
+        assert!(mat.migrate(0, 1, 1).is_err());
+        mat.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_lost_tasks() {
+        let inst = Instance::uniform(5, vec![1.0, 2.0]).unwrap();
+        let mut mat = MigrationMatrix::identity(&inst);
+        mat.set(0, 0, 4); // one task vanished
+        let err = mat.validate(&inst).unwrap_err();
+        assert!(err.to_string().contains("column 0"));
+    }
+
+    #[test]
+    fn validate_catches_dimension_mismatch() {
+        let inst = Instance::uniform(5, vec![1.0, 2.0]).unwrap();
+        let mat = MigrationMatrix::zeros(3);
+        assert!(mat.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_shape() {
+        assert!(MigrationMatrix::from_rows(2, vec![1, 2, 3]).is_err());
+        assert!(MigrationMatrix::from_rows(0, vec![]).is_err());
+        assert!(MigrationMatrix::from_rows(2, vec![1, 2, 3, 4]).is_ok());
+    }
+
+    proptest! {
+        /// Random sequences of legal migrations preserve conservation.
+        #[test]
+        fn random_migrations_conserve_tasks(
+            moves in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10), 0..50)
+        ) {
+            let inst = Instance::uniform(30, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+            let mut mat = MigrationMatrix::identity(&inst);
+            for (from, to, count) in moves {
+                let _ = mat.migrate(from, to, count); // overdraws rejected
+            }
+            prop_assert!(mat.validate(&inst).is_ok());
+            // Row sums redistribute but the grand total is constant.
+            let total: u64 = (0..4).map(|i| mat.tasks_on(i)).sum();
+            prop_assert_eq!(total, inst.num_tasks());
+        }
+    }
+}

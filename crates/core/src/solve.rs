@@ -1,0 +1,445 @@
+//! The end-to-end hybrid classical-quantum rebalancing workflow.
+//!
+//! Mirrors the paper's pipeline: build the CQM for a chosen migration budget
+//! `k`, hand it to the hybrid solver (with classical candidate states as
+//! seeds, playing the role of Leap's classical frontend), and decode the best
+//! feasible sample into a validated [`MigrationMatrix`].
+
+use qlrb_anneal::hybrid::HybridCqmSolver;
+
+use crate::algorithm::{RebalanceOutcome, Rebalancer};
+use crate::cqm::{LrpCqm, Variant};
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::migration::MigrationMatrix;
+
+/// A hybrid classical-quantum rebalancer: one of the paper's `Q_CQM*_k*`
+/// methods, parameterized by formulation variant and migration budget.
+#[derive(Debug, Clone)]
+pub struct QuantumRebalancer {
+    /// Formulation: `Q_CQM1` (reduced) or `Q_CQM2` (full).
+    pub variant: Variant,
+    /// Migration budget `k` (at most this many tasks move).
+    pub k: u64,
+    /// The underlying hybrid solver configuration.
+    pub solver: HybridCqmSolver,
+    /// Optional display label (e.g. `"Q_CQM1_k1"`); defaults to
+    /// `"<variant>(k=<k>)"`.
+    pub label: Option<String>,
+    /// Additional warm-start plans (e.g. the classical methods' solutions —
+    /// the paper runs them first anyway to derive `k1`/`k2`, and Leap-style
+    /// hybrid solvers accept classical candidates). Plans whose migration
+    /// count exceeds `k` are skipped as infeasible seeds.
+    pub extra_seed_plans: Vec<MigrationMatrix>,
+    /// Relative objective slack granted to the migration-pruning
+    /// post-process (see [`prune_migrations`]): redundant migrations are
+    /// undone as long as the imbalance objective worsens by at most this
+    /// fraction. `0.0` disables pruning.
+    pub prune_tolerance: f64,
+    /// Soft per-migration objective charge `μ` (see
+    /// [`crate::cqm::LrpCqm::add_migration_penalty`]); `0.0` keeps the
+    /// paper's pure hard-budget formulation.
+    pub migration_penalty: f64,
+}
+
+impl QuantumRebalancer {
+    /// A rebalancer with default solver settings.
+    pub fn new(variant: Variant, k: u64) -> Self {
+        Self {
+            variant,
+            k,
+            solver: HybridCqmSolver::default(),
+            label: None,
+            extra_seed_plans: Vec::new(),
+            prune_tolerance: 0.02,
+            migration_penalty: 0.0,
+        }
+    }
+
+    /// Sets the display label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Builds the classical candidate plans used to seed the solver: the
+    /// identity (always feasible, even at `k = 0`) and a greedy
+    /// peak-shaving construction that respects the budget.
+    fn seed_plans(&self, inst: &Instance) -> Vec<MigrationMatrix> {
+        let mut seeds = vec![
+            MigrationMatrix::identity(inst),
+            greedy_seed_plan(inst, self.k),
+        ];
+        seeds.extend(
+            self.extra_seed_plans
+                .iter()
+                .filter(|p| p.num_migrated() <= self.k && p.validate(inst).is_ok())
+                .cloned(),
+        );
+        seeds
+    }
+}
+
+impl Rebalancer for QuantumRebalancer {
+    fn name(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{}(k={})", self.variant.label(), self.k))
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        let mut lrp = LrpCqm::build(inst, self.variant, self.k)?;
+        if self.migration_penalty > 0.0 {
+            lrp.add_migration_penalty(self.migration_penalty);
+        }
+        let seeds: Vec<Vec<u8>> = self
+            .seed_plans(inst)
+            .iter()
+            .filter_map(|p| lrp.encode_plan(p).ok())
+            .collect();
+        let set = self.solver.solve(&lrp.cqm, &seeds);
+
+        for sample in &set.samples {
+            if !sample.feasible {
+                continue;
+            }
+            let Ok(matrix) = lrp.decode(&sample.state) else {
+                continue;
+            };
+            if matrix.validate(inst).is_ok() {
+                let mut matrix = matrix;
+                if self.prune_tolerance > 0.0 {
+                    prune_migrations(inst, &mut matrix, self.prune_tolerance);
+                }
+                return Ok(RebalanceOutcome {
+                    matrix,
+                    runtime: set.timing.cpu,
+                    qpu_time: Some(set.timing.qpu),
+                });
+            }
+        }
+        // The identity seed is feasible by construction, so reaching this
+        // point means the solver degraded every read; fall back explicitly
+        // rather than failing the experiment.
+        Ok(RebalanceOutcome {
+            matrix: MigrationMatrix::identity(inst),
+            runtime: set.timing.cpu,
+            qpu_time: Some(set.timing.qpu),
+        })
+    }
+}
+
+/// Greedy deficit-capped peak shaving under a migration budget — the
+/// "classical frontend" candidate the hybrid solver starts from; annealing
+/// then explores around it.
+///
+/// Every donor above the average sheds whole tasks toward the processes
+/// with the largest deficits, never pushing a receiver past the average and
+/// never spending more than `k` moves in total. (Receiver capping matters:
+/// without it a single 64×-heavy task class can bury a light node far above
+/// the average and the seed is worse than useless.)
+pub fn greedy_seed_plan(inst: &Instance, k: u64) -> MigrationMatrix {
+    let m = inst.num_procs();
+    let loads = inst.loads();
+    let l_avg = loads.iter().sum::<f64>() / m as f64;
+    let mut plan = MigrationMatrix::identity(inst);
+    let mut budget = k;
+
+    let mut donors: Vec<usize> = (0..m).filter(|&i| loads[i] > l_avg).collect();
+    donors.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]));
+    let mut deficits: Vec<(usize, f64)> = (0..m)
+        .filter(|&j| loads[j] < l_avg)
+        .map(|j| (j, l_avg - loads[j]))
+        .collect();
+    deficits.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    for &i in &donors {
+        if budget == 0 {
+            break;
+        }
+        let w = inst.weights()[i];
+        if w <= 0.0 {
+            continue;
+        }
+        let mut to_shed = (((loads[i] - l_avg) / w).floor() as u64)
+            .min(inst.tasks_per_proc())
+            .min(budget);
+        for entry in deficits.iter_mut() {
+            if to_shed == 0 {
+                break;
+            }
+            // Round (overshoot ≤ w/2): still strictly below the donor's
+            // original load, since donors only shed when ≥ w above average.
+            let take = ((entry.1 / w + 0.5).floor() as u64).min(to_shed);
+            if take == 0 {
+                continue;
+            }
+            plan.migrate(i, entry.0, take)
+                .expect("bounded by resident tasks");
+            entry.1 -= take as f64 * w;
+            to_shed -= take;
+            budget -= take;
+        }
+    }
+    plan
+}
+
+/// Migration-pruning post-process: undoes migrations that barely help.
+///
+/// Classical cleanup of the kind Leap-style hybrid solvers apply to raw
+/// samples. For each off-diagonal entry the pass tries to return tasks to
+/// their origin (largest batch first, halving on rejection), accepting a
+/// reduction when
+///
+/// * the origin process stays at or below the instance's original `L_max`
+///   (the CQM capacity constraint), and
+/// * the imbalance objective `Σ (L_i − L_avg)²` stays within
+///   `(1 + rel_tol)` of its value *before pruning started*.
+///
+/// Returns the number of migrations removed. The budget constraint can only
+/// get slacker (migrations are strictly removed), so a valid plan stays
+/// valid.
+pub fn prune_migrations(inst: &Instance, plan: &mut MigrationMatrix, rel_tol: f64) -> u64 {
+    let m = inst.num_procs();
+    let w = inst.weights();
+    let stats = inst.stats();
+    let (l_max0, l_avg) = (stats.l_max, stats.l_avg);
+    let mut loads = plan.new_loads(inst);
+    let objective =
+        |loads: &[f64]| -> f64 { loads.iter().map(|l| (l - l_avg) * (l - l_avg)).sum() };
+    let mut current = objective(&loads);
+    // Fixed budget: tolerance is relative to the *incoming* solution, with a
+    // small absolute floor so perfectly balanced plans can still shed
+    // strictly-redundant moves.
+    let allowance = current * (1.0 + rel_tol.max(0.0)) + 1e-12;
+    let cap = l_max0 * (1.0 + 1e-12) + 1e-12;
+
+    let mut removed = 0u64;
+    loop {
+        let mut improved = false;
+        for i in 0..m {
+            for j in 0..m {
+                if i == j || plan.get(i, j) == 0 || w[j] <= 0.0 {
+                    continue;
+                }
+                let mut r = plan.get(i, j);
+                while r >= 1 {
+                    let new_li = loads[i] - r as f64 * w[j];
+                    let new_lj = loads[j] + r as f64 * w[j];
+                    let new_obj = current
+                        - (loads[i] - l_avg).powi(2)
+                        - (loads[j] - l_avg).powi(2)
+                        + (new_li - l_avg).powi(2)
+                        + (new_lj - l_avg).powi(2);
+                    if new_lj <= cap && new_obj <= allowance {
+                        plan.set(i, j, plan.get(i, j) - r);
+                        plan.set(j, j, plan.get(j, j) + r);
+                        loads[i] = new_li;
+                        loads[j] = new_lj;
+                        current = new_obj;
+                        removed += r;
+                        improved = true;
+                        break;
+                    }
+                    r /= 2;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_anneal::hybrid::HybridCqmSolver;
+
+    fn small_inst() -> Instance {
+        // Loads 10, 20, 40 → L_avg = 23.3, L_max = 40.
+        Instance::uniform(10, vec![1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn greedy_seed_respects_budget_and_improves() {
+        let inst = small_inst();
+        for k in [0u64, 1, 3, 10, 100] {
+            let plan = greedy_seed_plan(&inst, k);
+            plan.validate(&inst).unwrap();
+            assert!(plan.num_migrated() <= k, "k = {k}");
+            let after = inst.stats_after(&plan);
+            assert!(after.l_max <= inst.stats().l_max + 1e-9, "k = {k}");
+        }
+        // With a generous budget the seed meaningfully reduces imbalance.
+        let plan = greedy_seed_plan(&inst, 100);
+        assert!(inst.stats_after(&plan).imbalance_ratio < inst.stats().imbalance_ratio / 2.0);
+    }
+
+    #[test]
+    fn quantum_rebalancer_produces_valid_improving_plan() {
+        let inst = small_inst();
+        for variant in [Variant::Reduced, Variant::Full] {
+            let qr = QuantumRebalancer {
+                variant,
+                k: 10,
+                solver: HybridCqmSolver {
+                    num_reads: 4,
+                    sweeps: 300,
+                    seed: 3,
+                    ..Default::default()
+                },
+                label: None,
+                extra_seed_plans: Vec::new(),
+                prune_tolerance: 0.02,
+                migration_penalty: 0.0,
+            };
+            let out = qr.rebalance(&inst).unwrap();
+            out.matrix.validate(&inst).unwrap();
+            assert!(out.matrix.num_migrated() <= 10, "{variant:?}");
+            let after = inst.stats_after(&out.matrix);
+            assert!(
+                after.imbalance_ratio < inst.stats().imbalance_ratio,
+                "{variant:?}: {} !< {}",
+                after.imbalance_ratio,
+                inst.stats().imbalance_ratio
+            );
+            assert!(out.qpu_time.is_some());
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_identity() {
+        let inst = small_inst();
+        let qr = QuantumRebalancer {
+            variant: Variant::Full,
+            k: 0,
+            solver: HybridCqmSolver {
+                num_reads: 2,
+                sweeps: 100,
+                ..Default::default()
+            },
+            label: None,
+            extra_seed_plans: Vec::new(),
+            prune_tolerance: 0.02,
+            migration_penalty: 0.0,
+        };
+        let out = qr.rebalance(&inst).unwrap();
+        assert_eq!(out.matrix.num_migrated(), 0);
+        out.matrix.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn pruning_removes_pointless_migrations() {
+        // A plan that shuffles two tasks between the equal-weight processes
+        // 0 ↔ 1 for no benefit, on top of a useful move from process 2.
+        let inst = small_inst();
+        let mut plan = MigrationMatrix::identity(&inst);
+        plan.migrate(0, 1, 2).unwrap();
+        plan.migrate(1, 0, 2).unwrap();
+        plan.migrate(2, 0, 4).unwrap();
+        let before_obj: f64 = {
+            let avg = inst.stats().l_avg;
+            plan.new_loads(&inst).iter().map(|l| (l - avg).powi(2)).sum()
+        };
+        let before = plan.num_migrated();
+        let removed = prune_migrations(&inst, &mut plan, 0.02);
+        plan.validate(&inst).unwrap();
+        assert!(removed >= 4, "the 0↔1 shuffle is free to undo: removed {removed}");
+        assert_eq!(plan.num_migrated(), before - removed);
+        let after_obj: f64 = {
+            let avg = inst.stats().l_avg;
+            plan.new_loads(&inst).iter().map(|l| (l - avg).powi(2)).sum()
+        };
+        assert!(after_obj <= before_obj * 1.02 + 1e-9);
+        // The useful move from the overloaded process survives.
+        assert!(plan.get(0, 2) > 0);
+    }
+
+    #[test]
+    fn pruning_respects_capacity() {
+        // Returning tasks to the heavy donor would push it back above
+        // L_max — pruning must refuse.
+        let inst = small_inst(); // loads 10, 20, 40; L_max = 40
+        let mut plan = MigrationMatrix::identity(&inst);
+        plan.migrate(2, 0, 4).unwrap(); // loads: 26, 20, 24 — balanced-ish
+        let removed = prune_migrations(&inst, &mut plan, 0.0);
+        assert_eq!(removed, 0, "undoing would blow the objective budget");
+        // Even with generous tolerance the capacity bound keeps the donor
+        // at or below the original L_max.
+        let mut plan2 = plan.clone();
+        prune_migrations(&inst, &mut plan2, 1e9);
+        let l_max = inst.stats_after(&plan2).l_max;
+        assert!(l_max <= inst.stats().l_max + 1e-6, "L_max = {l_max}");
+    }
+
+    #[test]
+    fn pruning_identity_is_noop() {
+        let inst = small_inst();
+        let mut plan = MigrationMatrix::identity(&inst);
+        assert_eq!(prune_migrations(&inst, &mut plan, 0.5), 0);
+        assert_eq!(plan, MigrationMatrix::identity(&inst));
+    }
+
+    #[test]
+    fn name_defaults_and_labels() {
+        let qr = QuantumRebalancer::new(Variant::Reduced, 7);
+        assert_eq!(qr.name(), "Q_CQM1(k=7)");
+        let qr = qr.labeled("Q_CQM1_k1");
+        assert_eq!(qr.name(), "Q_CQM1_k1");
+    }
+
+    #[test]
+    fn pruning_preserves_validity_on_random_plans() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(0.1f64..10.0, 2..6),
+                    proptest::collection::vec((0usize..6, 0usize..6, 1u64..8), 0..20),
+                    0.0f64..0.5,
+                ),
+                |(weights, moves, tol)| {
+                    let m = weights.len();
+                    let inst = Instance::uniform(20, weights).unwrap();
+                    let mut plan = MigrationMatrix::identity(&inst);
+                    for (from, to, count) in moves {
+                        if from < m && to < m {
+                            let _ = plan.migrate(from, to, count);
+                        }
+                    }
+                    let before = plan.num_migrated();
+                    prune_migrations(&inst, &mut plan, tol);
+                    prop_assert!(plan.validate(&inst).is_ok());
+                    prop_assert!(plan.num_migrated() <= before, "pruning only removes");
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn balanced_instance_needs_no_migrations() {
+        let inst = Instance::uniform(8, vec![2.0, 2.0, 2.0, 2.0]).unwrap();
+        let qr = QuantumRebalancer {
+            variant: Variant::Reduced,
+            k: 20,
+            solver: HybridCqmSolver {
+                num_reads: 3,
+                sweeps: 200,
+                ..Default::default()
+            },
+            label: None,
+            extra_seed_plans: Vec::new(),
+            prune_tolerance: 0.02,
+            migration_penalty: 0.0,
+        };
+        let out = qr.rebalance(&inst).unwrap();
+        // Already balanced: the optimum objective is 0 with zero migrations;
+        // any solution it returns must keep R_imb at 0.
+        assert_eq!(inst.stats_after(&out.matrix).imbalance_ratio, 0.0);
+    }
+}

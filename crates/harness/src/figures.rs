@@ -1,0 +1,189 @@
+//! Figure rendering: series tables and ASCII charts for Figs. 3–5.
+//!
+//! The paper's figures are grouped bar charts of imbalance ratio and
+//! speedup across cases. In a terminal we render (a) a *series table* —
+//! one column per case, one row per algorithm — which is the exact data a
+//! plotting script needs, and (b) an ASCII bar panel per case for quick
+//! visual inspection.
+
+use std::fmt::Write as _;
+
+use crate::rows::{CaseResult, ExperimentResult};
+
+/// Which metric a figure panel shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Imbalance ratio after rebalancing (left panels of Figs. 3–5).
+    RImb,
+    /// Speedup (right panels of Figs. 3–5).
+    Speedup,
+    /// Total migrated tasks (Tables III/IV).
+    Migrated,
+}
+
+impl Metric {
+    fn name(self) -> &'static str {
+        match self {
+            Metric::RImb => "R_imb",
+            Metric::Speedup => "Speedup",
+            Metric::Migrated => "# migrated",
+        }
+    }
+
+    fn value(self, row: &crate::rows::MethodRow) -> f64 {
+        match self {
+            Metric::RImb => row.r_imb,
+            Metric::Speedup => row.speedup,
+            Metric::Migrated => row.migrated as f64,
+        }
+    }
+}
+
+fn algorithms(exp: &ExperimentResult) -> Vec<String> {
+    let mut names = Vec::new();
+    for case in &exp.cases {
+        for r in &case.rows {
+            if !names.contains(&r.algorithm) {
+                names.push(r.algorithm.clone());
+            }
+        }
+    }
+    names
+}
+
+/// One row per algorithm, one column per case — the figure's underlying
+/// series.
+pub fn series_table(exp: &ExperimentResult, metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {} ({}) --", exp.id, metric.name());
+    let _ = write!(out, "{:<14}", "Algorithm");
+    for case in &exp.cases {
+        let _ = write!(out, " {:>12}", case.label);
+    }
+    let _ = writeln!(out);
+    for name in algorithms(exp) {
+        let _ = write!(out, "{name:<14}");
+        for case in &exp.cases {
+            match case.row(&name) {
+                Some(r) => {
+                    let v = metric.value(r);
+                    if metric == Metric::Migrated {
+                        let _ = write!(out, " {:>12}", v as u64);
+                    } else {
+                        let _ = write!(out, " {v:>12.5}");
+                    }
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Horizontal ASCII bars for one case and metric.
+pub fn ascii_bars(case: &CaseResult, metric: Metric, width: usize) -> String {
+    let width = width.max(10);
+    let max = case
+        .rows
+        .iter()
+        .map(|r| metric.value(r))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(out, "[{}] {}", case.label, metric.name());
+    for r in &case.rows {
+        let v = metric.value(r);
+        let filled = ((v / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:<14} |{}{}| {:.5}",
+            r.algorithm,
+            "█".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+            v
+        );
+    }
+    out
+}
+
+/// Both figure panels (imbalance + speedup) for an experiment, as the paper
+/// lays them out.
+pub fn figure_panels(exp: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&series_table(exp, Metric::RImb));
+    out.push('\n');
+    out.push_str(&series_table(exp, Metric::Speedup));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rows::MethodRow;
+
+    fn experiment() -> ExperimentResult {
+        let row = |name: &str, v: f64| MethodRow {
+            algorithm: name.into(),
+            r_imb: v,
+            speedup: 1.0 / (v + 0.5),
+            migrated: (v * 100.0) as u64,
+            migrated_per_proc: v,
+            runtime_ms: 1.0,
+            qpu_ms: None,
+        };
+        ExperimentResult {
+            id: "fig".into(),
+            title: "t".into(),
+            cases: vec![
+                CaseResult {
+                    label: "c1".into(),
+                    baseline_r_imb: 1.0,
+                    rows: vec![row("Greedy", 0.1), row("KK", 0.2)],
+                },
+                CaseResult {
+                    label: "c2".into(),
+                    baseline_r_imb: 2.0,
+                    rows: vec![row("Greedy", 0.3), row("KK", 0.4)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn series_table_has_case_columns() {
+        let t = series_table(&experiment(), Metric::RImb);
+        assert!(t.contains("c1"));
+        assert!(t.contains("c2"));
+        assert!(t.contains("Greedy"));
+        assert!(t.contains("0.10000"));
+        assert!(t.contains("0.40000"));
+    }
+
+    #[test]
+    fn migrated_renders_as_integers() {
+        let t = series_table(&experiment(), Metric::Migrated);
+        assert!(t.contains("10"));
+        assert!(!t.contains("10.00000"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let exp = experiment();
+        let bars = ascii_bars(&exp.cases[0], Metric::RImb, 20);
+        // KK (0.2) is the max → full bar; Greedy (0.1) half bar.
+        let lines: Vec<&str> = bars.lines().collect();
+        let count = |l: &str| l.matches('█').count();
+        assert_eq!(count(lines[2]), 20);
+        assert_eq!(count(lines[1]), 10);
+    }
+
+    #[test]
+    fn panels_combine_both_metrics() {
+        let p = figure_panels(&experiment());
+        assert!(p.contains("R_imb"));
+        assert!(p.contains("Speedup"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # qlrb-harness — regenerate every table and figure of the paper
+//!
+//! One runner per experiment of the evaluation section (§V):
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Table I (complexity & qubits) | [`groups::table1`] |
+//! | Fig. 3 + Table II (imbalance levels) | [`groups::varied_imbalance`] |
+//! | Fig. 4 + Table III (node scaling) | [`groups::varied_procs`] |
+//! | Fig. 5 + Table IV (task scaling) | [`groups::varied_tasks`] |
+//! | Table V (sam(oa)² oscillating lake) | [`groups::samoa_case`] |
+//! | k-sweep / penalty / sampler ablations (§VI future work) | [`ablations`] |
+//!
+//! Every runner executes the paper's seven methods — `Greedy`, `KK`,
+//! `ProactLB`, `Q_CQM1_k1`, `Q_CQM1_k2`, `Q_CQM2_k1`, `Q_CQM2_k2` — where
+//! `k1`/`k2` are derived at run time from ProactLB's and Greedy's migration
+//! counts, exactly as in §V-B. Results come back as serializable rows plus
+//! paper-style text tables; [`figures`] renders the figure panels as
+//! aligned series tables and ASCII charts.
+
+pub mod ablations;
+pub mod config;
+pub mod extensions;
+pub mod figures;
+pub mod groups;
+pub mod rows;
+pub mod runtime;
+
+pub use config::HarnessConfig;
+pub use groups::{samoa_case, table1, varied_imbalance, varied_procs, varied_tasks};
+pub use rows::{CaseResult, ExperimentResult, MethodRow};

@@ -1,0 +1,233 @@
+//! Result rows and paper-style table formatting.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use qlrb_core::{Instance, RebalanceOutcome, Rebalancer};
+
+/// One method's result on one instance — the union of every column the
+/// paper's tables report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRow {
+    /// Method name (`Greedy`, `Q_CQM1_k1`, …).
+    pub algorithm: String,
+    /// Imbalance ratio after rebalancing.
+    pub r_imb: f64,
+    /// `L_max(baseline) / L_max(after)`.
+    pub speedup: f64,
+    /// Total migrated tasks.
+    pub migrated: u64,
+    /// Average migrated tasks per process.
+    pub migrated_per_proc: f64,
+    /// Method runtime (CPU side), milliseconds.
+    pub runtime_ms: f64,
+    /// Simulated QPU access time, milliseconds (hybrid methods only).
+    pub qpu_ms: Option<f64>,
+}
+
+impl MethodRow {
+    /// Derives a row from a rebalancing outcome.
+    pub fn from_outcome(inst: &Instance, name: &str, out: &RebalanceOutcome) -> Self {
+        let after = inst.stats_after(&out.matrix);
+        Self {
+            algorithm: name.to_string(),
+            r_imb: after.imbalance_ratio,
+            speedup: inst.speedup(&out.matrix),
+            migrated: out.matrix.num_migrated(),
+            migrated_per_proc: out.matrix.migrated_per_proc(),
+            runtime_ms: out.runtime.as_secs_f64() * 1e3,
+            qpu_ms: out.qpu_time.map(|d| d.as_secs_f64() * 1e3),
+        }
+    }
+}
+
+/// Runs a method and converts straight to a row, re-validating the plan.
+pub fn run_method(inst: &Instance, method: &dyn Rebalancer) -> MethodRow {
+    let out = method
+        .rebalance(inst)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+    out.matrix
+        .validate(inst)
+        .unwrap_or_else(|e| panic!("{} returned an invalid plan: {e}", method.name()));
+    MethodRow::from_outcome(inst, &method.name(), &out)
+}
+
+/// One experiment case: a labelled instance and all method rows on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Case label (`Imb.3`, `16 nodes`, `512 tasks`, …).
+    pub label: String,
+    /// Baseline imbalance ratio (no rebalancing).
+    pub baseline_r_imb: f64,
+    /// Per-method rows.
+    pub rows: Vec<MethodRow>,
+}
+
+impl CaseResult {
+    /// The row for a given algorithm, if present.
+    pub fn row(&self, algorithm: &str) -> Option<&MethodRow> {
+        self.rows.iter().find(|r| r.algorithm == algorithm)
+    }
+}
+
+/// A whole experiment (one paper table/figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`table2`, `fig4_table3`, …).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// All cases.
+    pub cases: Vec<CaseResult>,
+}
+
+impl ExperimentResult {
+    /// Formats every case as an aligned text table (paper-table style).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for case in &self.cases {
+            let _ = writeln!(
+                out,
+                "\n[{}]  baseline R_imb = {:.5}",
+                case.label, case.baseline_r_imb
+            );
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>9} {:>10} {:>10} {:>12} {:>9}",
+                "Algorithm", "R_imb", "Speedup", "# mig.", "mig/proc", "Runtime(ms)", "QPU(ms)"
+            );
+            for r in &case.rows {
+                let qpu = r
+                    .qpu_ms
+                    .map(|q| format!("{q:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>10.5} {:>9.4} {:>10} {:>10.2} {:>12.4} {:>9}",
+                    r.algorithm, r.r_imb, r.speedup, r.migrated, r.migrated_per_proc, r.runtime_ms, qpu
+                );
+            }
+        }
+        out
+    }
+
+    /// Aggregates a column across cases per algorithm — the form of the
+    /// paper's Table II ("average over the 5 imbalance cases").
+    pub fn averages(&self) -> Vec<MethodRow> {
+        let mut names: Vec<String> = Vec::new();
+        for case in &self.cases {
+            for r in &case.rows {
+                if !names.contains(&r.algorithm) {
+                    names.push(r.algorithm.clone());
+                }
+            }
+        }
+        names
+            .iter()
+            .map(|name| {
+                let rows: Vec<&MethodRow> = self
+                    .cases
+                    .iter()
+                    .filter_map(|c| c.row(name))
+                    .collect();
+                let n = rows.len().max(1) as f64;
+                let any_qpu = rows.iter().any(|r| r.qpu_ms.is_some());
+                MethodRow {
+                    algorithm: name.clone(),
+                    r_imb: rows.iter().map(|r| r.r_imb).sum::<f64>() / n,
+                    speedup: rows.iter().map(|r| r.speedup).sum::<f64>() / n,
+                    migrated: (rows.iter().map(|r| r.migrated).sum::<u64>() as f64 / n).round()
+                        as u64,
+                    migrated_per_proc: rows.iter().map(|r| r.migrated_per_proc).sum::<f64>() / n,
+                    runtime_ms: rows.iter().map(|r| r.runtime_ms).sum::<f64>() / n,
+                    qpu_ms: any_qpu.then(|| {
+                        rows.iter().filter_map(|r| r.qpu_ms).sum::<f64>()
+                            / rows.iter().filter(|r| r.qpu_ms.is_some()).count().max(1) as f64
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes to pretty JSON (for EXPERIMENTS.md bookkeeping).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("rows serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, migrated: u64) -> MethodRow {
+        MethodRow {
+            algorithm: name.into(),
+            r_imb: 0.1,
+            speedup: 2.0,
+            migrated,
+            migrated_per_proc: migrated as f64 / 4.0,
+            runtime_ms: 1.0,
+            qpu_ms: name.starts_with("Q_").then_some(32.0),
+        }
+    }
+
+    fn experiment() -> ExperimentResult {
+        ExperimentResult {
+            id: "t".into(),
+            title: "test".into(),
+            cases: vec![
+                CaseResult {
+                    label: "a".into(),
+                    baseline_r_imb: 1.0,
+                    rows: vec![row("Greedy", 10), row("Q_CQM1_k1", 4)],
+                },
+                CaseResult {
+                    label: "b".into(),
+                    baseline_r_imb: 2.0,
+                    rows: vec![row("Greedy", 20), row("Q_CQM1_k1", 6)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn averages_per_algorithm() {
+        let avg = experiment().averages();
+        assert_eq!(avg.len(), 2);
+        let greedy = avg.iter().find(|r| r.algorithm == "Greedy").unwrap();
+        assert_eq!(greedy.migrated, 15);
+        assert!(greedy.qpu_ms.is_none());
+        let q = avg.iter().find(|r| r.algorithm == "Q_CQM1_k1").unwrap();
+        assert_eq!(q.migrated, 5);
+        assert_eq!(q.qpu_ms, Some(32.0));
+    }
+
+    #[test]
+    fn table_renders_all_cases() {
+        let t = experiment().to_table();
+        assert!(t.contains("[a]"));
+        assert!(t.contains("[b]"));
+        assert!(t.contains("Greedy"));
+        assert!(t.contains("Q_CQM1_k1"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let e = experiment();
+        let back: ExperimentResult = serde_json::from_str(&e.to_json()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn rows_from_outcome() {
+        use qlrb_core::algorithm::NoOp;
+        let inst = Instance::uniform(5, vec![1.0, 3.0]).unwrap();
+        let r = run_method(&inst, &NoOp);
+        assert_eq!(r.algorithm, "Baseline");
+        assert_eq!(r.migrated, 0);
+        assert_eq!(r.speedup, 1.0);
+        assert!(r.qpu_ms.is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Executing plans on the simulated Chameleon runtime.
+//!
+//! The paper computes speedup analytically from `L_max` ratios. Here a plan
+//! can additionally be *executed* on the discrete-event runtime, which
+//! charges real communication costs for each migrated task — quantifying
+//! the overhead the paper's "number of migrated tasks" column proxies.
+
+use chameleon_sim::{simulate, SimConfig, SimInput, SimReport};
+use qlrb_core::{Instance, MigrationMatrix};
+
+/// Analytic vs achieved speedup of one plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeComparison {
+    /// `L_max(before) / L_max(after)` — the paper's metric.
+    pub analytic_speedup: f64,
+    /// Makespan ratio measured on the simulated runtime, including
+    /// migration communication.
+    pub achieved_speedup: f64,
+    /// Communication-thread busy time attributable to the plan's
+    /// migrations (summed over nodes, iteration 0).
+    pub migration_comm_time: f64,
+}
+
+/// Runs baseline and plan through the simulator under `sim_cfg`.
+pub fn execute_plan(
+    inst: &Instance,
+    plan: &MigrationMatrix,
+    sim_cfg: &SimConfig,
+) -> RuntimeComparison {
+    let baseline = simulate(&SimInput::from_instance(inst), sim_cfg);
+    let rebalanced = simulate(&SimInput::from_plan(inst, plan), sim_cfg);
+    RuntimeComparison {
+        analytic_speedup: inst.speedup(plan),
+        achieved_speedup: rebalanced.speedup_over(&baseline),
+        migration_comm_time: rebalanced.iterations[0]
+            .nodes
+            .iter()
+            .map(|n| n.comm_busy)
+            .sum(),
+    }
+}
+
+/// Convenience: the full report pair for custom analysis.
+pub fn execute_plan_reports(
+    inst: &Instance,
+    plan: &MigrationMatrix,
+    sim_cfg: &SimConfig,
+) -> (SimReport, SimReport) {
+    (
+        simulate(&SimInput::from_instance(inst), sim_cfg),
+        simulate(&SimInput::from_plan(inst, plan), sim_cfg),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_classical::ProactLb;
+    use qlrb_core::Rebalancer;
+
+    #[test]
+    fn analytic_config_matches_paper_metric() {
+        let inst = Instance::uniform(20, vec![1.0, 2.0, 5.0, 8.0]).unwrap();
+        let plan = ProactLb.rebalance(&inst).unwrap().matrix;
+        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic());
+        assert!(
+            (cmp.analytic_speedup - cmp.achieved_speedup).abs() < 1e-9,
+            "with free communication the simulator reproduces the L_max ratio: \
+             {} vs {}",
+            cmp.analytic_speedup,
+            cmp.achieved_speedup
+        );
+        assert_eq!(cmp.migration_comm_time, 0.0);
+    }
+
+    #[test]
+    fn communication_costs_eat_into_speedup() {
+        let inst = Instance::uniform(20, vec![1.0, 2.0, 5.0, 8.0]).unwrap();
+        let plan = ProactLb.rebalance(&inst).unwrap().matrix;
+        // Expensive enough that iteration 0 is communication-bound: the
+        // donor sheds ~10 tasks at 2 + 8 time units each, exceeding the
+        // balanced compute makespan.
+        let costly = SimConfig {
+            comp_threads: 1,
+            comm_latency: 2.0,
+            comm_cost_per_load: 1.0,
+            iterations: 1,
+        };
+        let cmp = execute_plan(&inst, &plan, &costly);
+        assert!(cmp.migration_comm_time > 0.0);
+        assert!(
+            cmp.achieved_speedup <= cmp.analytic_speedup + 1e-9,
+            "communication can only reduce the analytic speedup"
+        );
+        // Amortized over many iterations the migration pays off again.
+        let amortized = SimConfig {
+            iterations: 50,
+            ..costly
+        };
+        let cmp50 = execute_plan(&inst, &plan, &amortized);
+        assert!(cmp50.achieved_speedup > cmp.achieved_speedup);
+    }
+}

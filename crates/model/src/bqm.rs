@@ -1,0 +1,264 @@
+//! Binary quadratic models (QUBO) and the Ising view.
+//!
+//! `E(x) = Σ_i h_i x_i + Σ_{i<j} J_ij x_i x_j + offset`, `x ∈ {0,1}ⁿ`.
+//!
+//! The quadratic terms are stored as symmetric adjacency lists so flip deltas
+//! are O(degree). A [`BinaryQuadraticModel`] is what the CQM penalty
+//! conversion in [`crate::penalty`] produces, and is also the natural input
+//! for the Ising-based simulated quantum annealer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Var;
+
+/// A QUBO: linear biases, symmetric quadratic couplings, constant offset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BinaryQuadraticModel {
+    linear: Vec<f64>,
+    /// `adj[i]` lists `(j, J_ij)` for every neighbour `j` of `i` (both
+    /// directions are stored; the coupling is counted once in the energy).
+    adj: Vec<Vec<(u32, f64)>>,
+    offset: f64,
+}
+
+impl BinaryQuadraticModel {
+    /// A model with `n` variables and all-zero biases.
+    pub fn new(n: usize) -> Self {
+        Self {
+            linear: vec![0.0; n],
+            adj: vec![Vec::new(); n],
+            offset: 0.0,
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Constant energy offset.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Adds to the constant offset.
+    pub fn add_offset(&mut self, c: f64) {
+        self.offset += c;
+    }
+
+    /// Adds `c · x_v` to the model.
+    pub fn add_linear(&mut self, v: Var, c: f64) {
+        self.linear[v.index()] += c;
+    }
+
+    /// Linear bias of `v`.
+    pub fn linear(&self, v: Var) -> f64 {
+        self.linear[v.index()]
+    }
+
+    /// Adds `c · x_u x_v` to the model (`u != v`). Repeated calls accumulate.
+    ///
+    /// For `u == v`, `x² = x` for binaries, so the coupling folds into the
+    /// linear bias.
+    pub fn add_quadratic(&mut self, u: Var, v: Var, c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        if u == v {
+            self.add_linear(u, c);
+            return;
+        }
+        // Accumulate into an existing entry when present to bound degree.
+        match self.adj[u.index()].iter_mut().find(|(j, _)| *j == v.0) {
+            Some(slot) => {
+                slot.1 += c;
+                let back = self.adj[v.index()]
+                    .iter_mut()
+                    .find(|(j, _)| *j == u.0)
+                    .expect("symmetric adjacency");
+                back.1 += c;
+            }
+            None => {
+                self.adj[u.index()].push((v.0, c));
+                self.adj[v.index()].push((u.0, c));
+            }
+        }
+    }
+
+    /// Neighbours of `v` with coupling strengths.
+    pub fn neighbours(&self, v: Var) -> &[(u32, f64)] {
+        &self.adj[v.index()]
+    }
+
+    /// Total number of (undirected) couplings.
+    pub fn num_interactions(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Full energy of a 0/1 assignment.
+    pub fn energy(&self, state: &[u8]) -> f64 {
+        debug_assert_eq!(state.len(), self.num_vars());
+        let mut e = self.offset;
+        for (i, (&h, row)) in self.linear.iter().zip(&self.adj).enumerate() {
+            if state[i] == 0 {
+                continue;
+            }
+            e += h;
+            for &(j, c) in row {
+                // Count each pair once.
+                if (j as usize) > i && state[j as usize] != 0 {
+                    e += c;
+                }
+            }
+        }
+        e
+    }
+
+    /// Energy change if `v` were flipped in `state` (without flipping it).
+    pub fn flip_delta(&self, state: &[u8], v: Var) -> f64 {
+        let i = v.index();
+        let mut field = self.linear[i];
+        for &(j, c) in &self.adj[i] {
+            if state[j as usize] != 0 {
+                field += c;
+            }
+        }
+        if state[i] == 0 {
+            field
+        } else {
+            -field
+        }
+    }
+
+    /// Converts to an Ising model `E(s) = Σ h'_i s_i + Σ J'_ij s_i s_j + off`,
+    /// `s ∈ {−1,+1}`, via `x = (s+1)/2`. Returns `(h, couplings, offset)`
+    /// where `couplings` lists each pair once as `(i, j, J'_ij)` with `i<j`.
+    pub fn to_ising(&self) -> (Vec<f64>, Vec<(u32, u32, f64)>, f64) {
+        let n = self.num_vars();
+        let mut h = vec![0.0; n];
+        let mut couplings = Vec::with_capacity(self.num_interactions());
+        let mut offset = self.offset;
+        for (i, &hi) in self.linear.iter().enumerate() {
+            h[i] += hi / 2.0;
+            offset += hi / 2.0;
+        }
+        for (i, row) in self.adj.iter().enumerate() {
+            for &(j, c) in row {
+                if (j as usize) > i {
+                    couplings.push((i as u32, j, c / 4.0));
+                    h[i] += c / 4.0;
+                    h[j as usize] += c / 4.0;
+                    offset += c / 4.0;
+                }
+            }
+        }
+        (h, couplings, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> BinaryQuadraticModel {
+        let mut bqm = BinaryQuadraticModel::new(3);
+        bqm.add_linear(Var(0), 1.0);
+        bqm.add_linear(Var(1), -2.0);
+        bqm.add_quadratic(Var(0), Var(1), 3.0);
+        bqm.add_quadratic(Var(1), Var(2), -1.0);
+        bqm.add_offset(0.5);
+        bqm
+    }
+
+    #[test]
+    fn energy_by_hand() {
+        let bqm = sample();
+        assert_eq!(bqm.energy(&[0, 0, 0]), 0.5);
+        assert_eq!(bqm.energy(&[1, 0, 0]), 1.5);
+        assert_eq!(bqm.energy(&[1, 1, 0]), 1.0 - 2.0 + 3.0 + 0.5);
+        assert_eq!(bqm.energy(&[0, 1, 1]), -2.0 - 1.0 + 0.5);
+    }
+
+    #[test]
+    fn self_coupling_folds_into_linear() {
+        let mut bqm = BinaryQuadraticModel::new(1);
+        bqm.add_quadratic(Var(0), Var(0), 2.0);
+        assert_eq!(bqm.linear(Var(0)), 2.0);
+        assert_eq!(bqm.num_interactions(), 0);
+    }
+
+    #[test]
+    fn repeated_couplings_accumulate() {
+        let mut bqm = BinaryQuadraticModel::new(2);
+        bqm.add_quadratic(Var(0), Var(1), 1.0);
+        bqm.add_quadratic(Var(1), Var(0), 2.0);
+        assert_eq!(bqm.num_interactions(), 1);
+        assert_eq!(bqm.energy(&[1, 1]), 3.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let bqm = sample();
+        for bits in 0..8u8 {
+            let state = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
+            for v in 0..3 {
+                let mut flipped = state;
+                flipped[v] ^= 1;
+                let expect = bqm.energy(&flipped) - bqm.energy(&state);
+                let got = bqm.flip_delta(&state, Var(v as u32));
+                assert!((expect - got).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ising_roundtrip_energy() {
+        let bqm = sample();
+        let (h, couplings, offset) = bqm.to_ising();
+        for bits in 0..8u8 {
+            let state = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
+            let spins: Vec<f64> = state.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+            let mut e = offset;
+            for (i, &hi) in h.iter().enumerate() {
+                e += hi * spins[i];
+            }
+            for &(i, j, c) in &couplings {
+                e += c * spins[i as usize] * spins[j as usize];
+            }
+            assert!(
+                (e - bqm.energy(&state)).abs() < 1e-12,
+                "state {state:?}: ising {e} vs qubo {}",
+                bqm.energy(&state)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_flip_deltas_consistent(
+            seedbits in proptest::collection::vec(0u8..=1, 6),
+            hs in proptest::collection::vec(-5.0f64..5.0, 6),
+        ) {
+            let mut bqm = BinaryQuadraticModel::new(6);
+            for (i, &h) in hs.iter().enumerate() {
+                bqm.add_linear(Var(i as u32), h);
+            }
+            for i in 0..6u32 {
+                for j in (i + 1)..6 {
+                    bqm.add_quadratic(Var(i), Var(j), (i as f64) - (j as f64) / 2.0);
+                }
+            }
+            let state = seedbits.clone();
+            for v in 0..6 {
+                let mut flipped = state.clone();
+                flipped[v] ^= 1;
+                let expect = bqm.energy(&flipped) - bqm.energy(&state);
+                let got = bqm.flip_delta(&state, Var(v as u32));
+                prop_assert!((expect - got).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Constrained quadratic models over binary variables.
+//!
+//! A [`Cqm`] mirrors what the paper submits to D-Wave's Leap hybrid CQM
+//! solver: binary variables, a quadratic objective, and linear constraints
+//! with `=` or `≤` sense. The objective is represented structurally as a
+//! weighted sum of squared linear expressions plus an optional plain linear
+//! part, because that is exactly the shape of the LRP objective
+//! `Σ_i (L'_i − L_avg)²` — and the structure is what enables O(1)-ish
+//! incremental flip deltas in [`crate::eval`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{LinearExpr, Var};
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≤ rhs`
+    Le,
+}
+
+/// A linear constraint `expr (sense) rhs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinearExpr,
+    /// Sense (`=` or `≤`).
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Human-readable label, e.g. `"conserve[j=3]"`.
+    pub label: String,
+}
+
+impl Constraint {
+    /// Signed violation of the constraint for a binary assignment:
+    /// `0.0` when satisfied, positive magnitude of the violation otherwise.
+    ///
+    /// Floating-point tolerance: values within `1e-9 · (1 + |rhs|)` of the
+    /// boundary count as satisfied, which matters because constraint sums are
+    /// accumulated incrementally during annealing.
+    pub fn violation(&self, state: &[u8]) -> f64 {
+        let s = self.expr.value(state);
+        violation_of(self.sense, s, self.rhs)
+    }
+}
+
+/// Violation magnitude for a computed lhs sum `s` against `sense rhs`.
+#[inline]
+pub fn violation_of(sense: Sense, s: f64, rhs: f64) -> f64 {
+    let tol = 1e-9 * (1.0 + rhs.abs());
+    match sense {
+        Sense::Eq => {
+            let d = (s - rhs).abs();
+            if d <= tol {
+                0.0
+            } else {
+                d
+            }
+        }
+        Sense::Le => {
+            let d = s - rhs;
+            if d <= tol {
+                0.0
+            } else {
+                d
+            }
+        }
+    }
+}
+
+/// One objective term `weight · (expr − target)²`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SquaredTerm {
+    /// The linear expression being squared.
+    pub expr: LinearExpr,
+    /// The value the expression is pulled toward.
+    pub target: f64,
+    /// Non-negative weight.
+    pub weight: f64,
+}
+
+impl SquaredTerm {
+    /// Objective contribution for a binary assignment.
+    pub fn value(&self, state: &[u8]) -> f64 {
+        let d = self.expr.value(state) - self.target;
+        self.weight * d * d
+    }
+}
+
+/// A constrained quadratic model over binary variables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cqm {
+    num_vars: usize,
+    /// Objective: `Σ weight·(expr − target)²`.
+    pub squared_terms: Vec<SquaredTerm>,
+    /// Plus an optional plain linear objective part.
+    pub linear_objective: LinearExpr,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Cqm {
+    /// Creates a model with `num_vars` binary variables and no terms.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            ..Default::default()
+        }
+    }
+
+    /// Number of binary variables (= logical qubits in the paper's counting,
+    /// assuming inequality constraints need no ancillas).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Appends `count` fresh variables, returning the index of the first.
+    pub fn add_vars(&mut self, count: usize) -> Var {
+        let first = Var(self.num_vars as u32);
+        self.num_vars += count;
+        first
+    }
+
+    /// Adds an objective term `weight·(expr − target)²`.
+    ///
+    /// # Panics
+    /// Panics if `weight < 0` (the evaluators assume a convex penalty shape).
+    pub fn add_squared_term(&mut self, mut expr: LinearExpr, target: f64, weight: f64) {
+        assert!(weight >= 0.0, "squared-term weight must be non-negative");
+        expr.compress();
+        self.squared_terms.push(SquaredTerm {
+            expr,
+            target,
+            weight,
+        });
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(
+        &mut self,
+        mut expr: LinearExpr,
+        sense: Sense,
+        rhs: f64,
+        label: impl Into<String>,
+    ) {
+        expr.compress();
+        self.constraints.push(Constraint {
+            expr,
+            sense,
+            rhs,
+            label: label.into(),
+        });
+    }
+
+    /// The objective value (squared terms + linear part) for an assignment.
+    pub fn objective(&self, state: &[u8]) -> f64 {
+        let sq: f64 = self.squared_terms.iter().map(|t| t.value(state)).sum();
+        sq + self.linear_objective.value(state)
+    }
+
+    /// Violations of every constraint for an assignment.
+    pub fn violations(&self, state: &[u8]) -> Vec<f64> {
+        self.constraints.iter().map(|c| c.violation(state)).collect()
+    }
+
+    /// Whether an assignment satisfies every constraint.
+    pub fn is_feasible(&self, state: &[u8]) -> bool {
+        self.constraints.iter().all(|c| c.violation(state) == 0.0)
+    }
+
+    /// Total violation magnitude (0 iff feasible).
+    pub fn total_violation(&self, state: &[u8]) -> f64 {
+        self.constraints.iter().map(|c| c.violation(state)).sum()
+    }
+
+    /// Number of equality constraints.
+    pub fn num_eq_constraints(&self) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| c.sense == Sense::Eq)
+            .count()
+    }
+
+    /// Number of inequality constraints.
+    pub fn num_le_constraints(&self) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| c.sense == Sense::Le)
+            .count()
+    }
+
+    /// A conservative scale for penalty weights: a bound on how much the
+    /// objective can improve per unit of constraint violation.
+    ///
+    /// For each squared term, the objective's sensitivity to a change `δ` in
+    /// one expression sum is at most `w·(2·B + δ)·δ` where `B` bounds
+    /// `|expr − target|`; summing the per-term bounds for `δ = 1` gives a
+    /// Lipschitz-style constant that a penalty weight must dominate.
+    pub fn objective_unit_scale(&self) -> f64 {
+        let mut scale = self.linear_objective.max_abs_coeff();
+        for t in &self.squared_terms {
+            let lo = t.expr.min_value() - t.target;
+            let hi = t.expr.max_value() - t.target;
+            let bound = lo.abs().max(hi.abs());
+            let cmax = t.expr.max_abs_coeff();
+            scale += t.weight * cmax * (2.0 * bound + cmax);
+        }
+        scale.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Cqm {
+        // minimize (x0 + x1 - 1)^2 subject to x0 + x1 <= 1, x0 = 1
+        let mut cqm = Cqm::new(2);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
+        cqm.add_squared_term(obj.clone(), 1.0, 1.0);
+        cqm.add_constraint(obj, Sense::Le, 1.0, "cap");
+        let mut fix = LinearExpr::new();
+        fix.add_term(Var(0), 1.0);
+        cqm.add_constraint(fix, Sense::Eq, 1.0, "fix_x0");
+        cqm
+    }
+
+    #[test]
+    fn objective_and_feasibility() {
+        let cqm = toy();
+        assert_eq!(cqm.objective(&[1, 0]), 0.0);
+        assert_eq!(cqm.objective(&[0, 0]), 1.0);
+        assert!(cqm.is_feasible(&[1, 0]));
+        assert!(!cqm.is_feasible(&[0, 1])); // violates fix_x0
+        assert!(!cqm.is_feasible(&[1, 1])); // violates cap
+        assert_eq!(cqm.total_violation(&[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn violation_tolerance_absorbs_rounding() {
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 0.1 + 0.2); // 0.30000000000000004
+        let c = Constraint {
+            expr: e,
+            sense: Sense::Le,
+            rhs: 0.3,
+            label: "t".into(),
+        };
+        assert_eq!(c.violation(&[1]), 0.0);
+    }
+
+    #[test]
+    fn counts_by_sense() {
+        let cqm = toy();
+        assert_eq!(cqm.num_eq_constraints(), 1);
+        assert_eq!(cqm.num_le_constraints(), 1);
+    }
+
+    #[test]
+    fn add_vars_extends() {
+        let mut cqm = Cqm::new(3);
+        let first = cqm.add_vars(4);
+        assert_eq!(first, Var(3));
+        assert_eq!(cqm.num_vars(), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_semantics() {
+        let cqm = toy();
+        let json = serde_json::to_string(&cqm).expect("serializes");
+        let back: Cqm = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.num_vars(), cqm.num_vars());
+        for state in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            assert_eq!(back.objective(&state), cqm.objective(&state));
+            assert_eq!(back.violations(&state), cqm.violations(&state));
+        }
+    }
+
+    #[test]
+    fn unit_scale_dominates_single_flip_gain() {
+        let cqm = toy();
+        let scale = cqm.objective_unit_scale();
+        // Flipping any single bit changes the objective by at most `scale`.
+        for a in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            for bit in 0..2 {
+                let mut b = a;
+                b[bit] ^= 1;
+                let d = (cqm.objective(&a) - cqm.objective(&b)).abs();
+                assert!(d <= scale + 1e-12, "delta {d} > scale {scale}");
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The paper's non-standard binary ("bounded coefficient") encoding.
+//!
+//! To express a task count `x ∈ {0, …, n}` with binary variables, the paper
+//! (§IV) uses the coefficient multiset
+//!
+//! ```text
+//! C(n) = { 2^(l-1) | l = 1, …, ⌊log₂ n⌋ }  ∪  { n − 2^⌊log₂ n⌋ + 1 }
+//! ```
+//!
+//! e.g. `C(13) = {1, 2, 4, 6}`, so `13 = 1+2+4+6` is `1111_C`. The key
+//! property is that the coefficients sum to exactly `n`: setting *all* bits
+//! represents "all `n` tasks", so the conservation constraint "every task is
+//! either migrated or stays" becomes a simple linear sum. The encoding uses
+//! `⌊log₂ n⌋ + 1` bits — the factor that appears in every qubit count of the
+//! paper's Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// The bounded-coefficient set `C(n)` for a maximum value `n ≥ 1`.
+///
+/// Coefficients are stored largest-power-first followed by the residual
+/// coefficient, i.e. `[2^(f-1), …, 2, 1, r]` with `f = ⌊log₂ n⌋` and
+/// `r = n − 2^f + 1`.
+///
+/// ```
+/// use qlrb_model::CoefficientSet;
+/// let c = CoefficientSet::new(13); // the paper's example
+/// assert_eq!(c.coeffs(), &[4, 2, 1, 6]);
+/// let bits = c.encode(11).unwrap();
+/// assert_eq!(c.decode(&bits), 11);
+/// assert_eq!(c.max_representable(), 13); // all bits set == all n tasks
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoefficientSet {
+    n: u64,
+    coeffs: Vec<u64>,
+    /// Whether this is the paper's bounded encoding (sums to exactly `n`)
+    /// or the plain power-of-two ladder.
+    bounded: bool,
+}
+
+impl CoefficientSet {
+    /// Builds `C(n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`; a process with zero tasks has nothing to encode.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "CoefficientSet requires n >= 1");
+        let f = n.ilog2(); // ⌊log₂ n⌋
+        let mut coeffs: Vec<u64> = (0..f).rev().map(|l| 1u64 << l).collect();
+        let residual = n - (1u64 << f) + 1;
+        coeffs.push(residual);
+        debug_assert_eq!(coeffs.iter().sum::<u64>(), n);
+        Self {
+            n,
+            coeffs,
+            bounded: true,
+        }
+    }
+
+    /// The *plain* binary alternative the paper's encoding improves on:
+    /// `⌈log₂(n+1)⌉` power-of-two coefficients, representing `0..2^b − 1` —
+    /// a range that generally **overshoots** `n`, so "all bits set" no
+    /// longer means "all tasks accounted for" and infeasible counts become
+    /// representable. Kept for the encoding ablation.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new_plain_binary(n: u64) -> Self {
+        assert!(n >= 1, "CoefficientSet requires n >= 1");
+        let bits = (u64::BITS - n.leading_zeros()) as u64; // ⌈log₂(n+1)⌉
+        let coeffs: Vec<u64> = (0..bits).rev().map(|l| 1u64 << l).collect();
+        Self {
+            n,
+            coeffs,
+            bounded: false,
+        }
+    }
+
+    /// Largest value the coefficients can express (equals `n` for the
+    /// bounded encoding; `2^b − 1 ≥ n` for plain binary).
+    pub fn max_representable(&self) -> u64 {
+        self.coeffs.iter().sum()
+    }
+
+    /// The maximum representable value (`n`).
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The coefficients, powers of two descending, then the residual.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Number of bits, i.e. `|C(n)| = ⌊log₂ n⌋ + 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `C(n)` is never empty for valid `n`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The residual coefficient `n − 2^⌊log₂ n⌋ + 1`.
+    pub fn residual(&self) -> u64 {
+        *self.coeffs.last().expect("non-empty by construction")
+    }
+
+    /// Decomposes `value ∈ 0..=n` into bits over `C(n)` such that
+    /// `Σ bit_l · c_l = value`.
+    ///
+    /// Strategy: the plain powers of two cover `0..2^f − 1`; any value at or
+    /// above `2^f` must use the residual coefficient (and the remainder is
+    /// then `< 2^f`, so plain binary decomposition finishes the job).
+    ///
+    /// Returns `None` if `value > n`.
+    pub fn encode(&self, value: u64) -> Option<Vec<u8>> {
+        if value > self.n {
+            return None;
+        }
+        let mut bits = vec![0u8; self.coeffs.len()];
+        let mut rest = value;
+        if self.bounded {
+            let f = self.n.ilog2();
+            let powers_max = (1u64 << f) - 1;
+            if rest > powers_max {
+                rest -= self.residual();
+                *bits.last_mut().expect("non-empty") = 1;
+            }
+            debug_assert!(rest <= powers_max);
+            for (slot, l) in (0..f).rev().enumerate() {
+                let c = 1u64 << l;
+                if rest >= c {
+                    rest -= c;
+                    bits[slot] = 1;
+                }
+            }
+        } else {
+            // Plain binary: coefficients are descending powers of two.
+            for (slot, &c) in self.coeffs.iter().enumerate() {
+                if rest >= c {
+                    rest -= c;
+                    bits[slot] = 1;
+                }
+            }
+        }
+        debug_assert_eq!(rest, 0);
+        Some(bits)
+    }
+
+    /// Reconstructs the value from a bit assignment.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != self.len()`.
+    pub fn decode(&self, bits: &[u8]) -> u64 {
+        assert_eq!(bits.len(), self.coeffs.len(), "bit width mismatch");
+        bits.iter()
+            .zip(&self.coeffs)
+            .filter(|&(&b, _)| b != 0)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_13() {
+        let c = CoefficientSet::new(13);
+        // Paper lists {2^0, 2^1, 2^2, 6}; we store powers descending.
+        assert_eq!(c.coeffs(), &[4, 2, 1, 6]);
+        assert_eq!(c.len(), 4); // ⌊log₂ 13⌋ + 1
+        assert_eq!(c.encode(13).unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn tiny_n() {
+        assert_eq!(CoefficientSet::new(1).coeffs(), &[1]);
+        assert_eq!(CoefficientSet::new(2).coeffs(), &[1, 1]);
+        assert_eq!(CoefficientSet::new(3).coeffs(), &[1, 2]);
+        assert_eq!(CoefficientSet::new(4).coeffs(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn exact_power_of_two() {
+        let c = CoefficientSet::new(8);
+        assert_eq!(c.coeffs(), &[4, 2, 1, 1]);
+        assert_eq!(c.residual(), 1);
+        for v in 0..=8 {
+            assert_eq!(c.decode(&c.encode(v).unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn width_matches_paper_formula() {
+        for n in [1u64, 2, 3, 7, 8, 50, 100, 208, 2048] {
+            let c = CoefficientSet::new(n);
+            assert_eq!(c.len() as u32, n.ilog2() + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn encode_out_of_range_is_none() {
+        let c = CoefficientSet::new(50);
+        assert!(c.encode(51).is_none());
+        assert!(c.encode(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn all_bits_set_sums_to_n() {
+        for n in 1..300u64 {
+            let c = CoefficientSet::new(n);
+            let all = vec![1u8; c.len()];
+            assert_eq!(c.decode(&all), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_small() {
+        for n in 1..200u64 {
+            let c = CoefficientSet::new(n);
+            for v in 0..=n {
+                let bits = c.encode(v).unwrap_or_else(|| panic!("encode {v} of {n}"));
+                assert_eq!(c.decode(&bits), v, "n = {n}, v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_binary_overshoots_where_bounded_cannot() {
+        let plain = CoefficientSet::new_plain_binary(13);
+        assert_eq!(plain.coeffs(), &[8, 4, 2, 1]);
+        assert_eq!(plain.max_representable(), 15, "can express counts > n");
+        let bounded = CoefficientSet::new(13);
+        assert_eq!(bounded.max_representable(), 13, "all bits = exactly n");
+        // Both round-trip every legal value.
+        for v in 0..=13 {
+            assert_eq!(plain.decode(&plain.encode(v).unwrap()), v);
+        }
+        // The all-ones state decodes past n for plain binary.
+        assert_eq!(plain.decode(&[1, 1, 1, 1]), 15);
+    }
+
+    #[test]
+    fn plain_binary_exact_power_edge() {
+        // n = 8 needs 4 bits either way, but ranges differ: 0..=15 vs 0..=8.
+        let plain = CoefficientSet::new_plain_binary(8);
+        assert_eq!(plain.len(), 4);
+        assert_eq!(plain.max_representable(), 15);
+        assert_eq!(plain.decode(&plain.encode(8).unwrap()), 8);
+        // n = 7: plain binary is exact (7 = 2³−1) and matches bounded width.
+        let plain7 = CoefficientSet::new_plain_binary(7);
+        assert_eq!(plain7.max_representable(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn plain_binary_roundtrip(n in 1u64..100_000, frac in 0.0f64..=1.0) {
+            let v = ((n as f64) * frac).floor() as u64;
+            let c = CoefficientSet::new_plain_binary(n);
+            prop_assert_eq!(c.decode(&c.encode(v).unwrap()), v);
+            prop_assert!(c.max_representable() >= n);
+        }
+
+        #[test]
+        fn roundtrip(n in 1u64..100_000, frac in 0.0f64..=1.0) {
+            let v = ((n as f64) * frac).floor() as u64;
+            let c = CoefficientSet::new(n);
+            let bits = c.encode(v).unwrap();
+            prop_assert_eq!(c.decode(&bits), v);
+            prop_assert_eq!(bits.len(), c.len());
+        }
+
+        #[test]
+        fn coefficients_sum_to_n(n in 1u64..1_000_000) {
+            let c = CoefficientSet::new(n);
+            prop_assert_eq!(c.coeffs().iter().sum::<u64>(), n);
+        }
+    }
+}

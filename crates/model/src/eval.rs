@@ -1,0 +1,540 @@
+//! Incremental energy evaluation for annealing.
+//!
+//! Samplers in `qlrb-anneal` drive models exclusively through the
+//! [`Evaluator`] trait: a mutable cursor that owns a binary state, answers
+//! "what would flipping bit `v` cost" in better-than-full-reevaluation time,
+//! and applies flips while keeping internal caches coherent.
+//!
+//! [`CqmEvaluator`] exploits the LRP structure: the objective is a sum of
+//! squares of *linear* expressions and every constraint is linear, so it
+//! caches one running sum per expression. A bit of the LRP CQM occurs in at
+//! most four expressions (its process-load objective term, its conservation
+//! constraint, its capacity constraint, and the global migration budget), so
+//! flip deltas cost O(4) regardless of problem size.
+
+use std::sync::Arc;
+
+use crate::cqm::{violation_of, Cqm, Sense};
+use crate::penalty::{PenaltyConfig, PenaltyStyle};
+
+/// A mutable annealing cursor over a binary energy landscape.
+pub trait Evaluator: Send {
+    /// Number of binary variables.
+    fn num_vars(&self) -> usize;
+
+    /// The current assignment.
+    fn state(&self) -> &[u8];
+
+    /// Current total energy (objective + penalties).
+    fn energy(&self) -> f64;
+
+    /// Energy change that flipping `var` would cause (state unchanged).
+    fn flip_delta(&self, var: usize) -> f64;
+
+    /// Flips `var`, updating caches. Returns the applied delta.
+    fn flip(&mut self, var: usize) -> f64;
+
+    /// Replaces the state wholesale, rebuilding caches.
+    fn set_state(&mut self, state: &[u8]);
+
+    /// Recomputes caches from the raw state, clearing accumulated
+    /// floating-point drift. Samplers call this periodically.
+    fn resync(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled CQM + evaluator
+// ---------------------------------------------------------------------------
+
+/// Which bucket a flattened expression belongs to.
+#[derive(Debug, Clone, Copy)]
+enum ExprKind {
+    /// Objective term `weight·(sum − target)²`.
+    Squared { target: f64, weight: f64 },
+    /// Constraint with penalty parameters resolved at compile time.
+    Constraint { sense: Sense, rhs: f64, weight: f64 },
+}
+
+/// A CQM compiled into flat expression tables plus a variable→expression
+/// adjacency, shareable across evaluator clones (annealing reads/replicas).
+#[derive(Debug)]
+pub struct CompiledCqm {
+    num_vars: usize,
+    kinds: Vec<ExprKind>,
+    consts: Vec<f64>,
+    /// `incidence[v]` lists `(expr_index, coeff)`.
+    incidence: Vec<Vec<(u32, f64)>>,
+    /// Plain linear objective coefficient per variable.
+    linear: Vec<f64>,
+    linear_const: f64,
+    penalty: PenaltyConfig,
+}
+
+impl CompiledCqm {
+    /// Compiles `cqm` under a penalty configuration.
+    ///
+    /// With [`PenaltyStyle::Slack`] the model is slack-augmented first, so
+    /// the evaluator may report more variables than the CQM; the caller
+    /// truncates sampled states to the CQM width before decoding.
+    pub fn compile(cqm: &Cqm, penalty: PenaltyConfig) -> Arc<Self> {
+        let working;
+        let src: &Cqm = if penalty.style == PenaltyStyle::Slack {
+            working = crate::penalty::augment_slacks(cqm).cqm;
+            &working
+        } else {
+            cqm
+        };
+        let num_vars = src.num_vars();
+        let mut kinds = Vec::with_capacity(src.squared_terms.len() + src.constraints.len());
+        let mut consts = Vec::with_capacity(kinds.capacity());
+        let mut incidence: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_vars];
+        for t in &src.squared_terms {
+            let id = kinds.len() as u32;
+            kinds.push(ExprKind::Squared {
+                target: t.target,
+                weight: t.weight,
+            });
+            consts.push(t.expr.constant_part());
+            for &(v, c) in t.expr.terms() {
+                incidence[v.index()].push((id, c));
+            }
+        }
+        for c in &src.constraints {
+            let id = kinds.len() as u32;
+            let weight = match c.sense {
+                Sense::Eq => penalty.eq_weight,
+                Sense::Le => penalty.le_weight,
+            };
+            kinds.push(ExprKind::Constraint {
+                sense: c.sense,
+                rhs: c.rhs,
+                weight,
+            });
+            consts.push(c.expr.constant_part());
+            for &(v, co) in c.expr.terms() {
+                incidence[v.index()].push((id, co));
+            }
+        }
+        let mut linear = vec![0.0; num_vars];
+        for &(v, c) in src.linear_objective.terms() {
+            linear[v.index()] += c;
+        }
+        Arc::new(Self {
+            num_vars,
+            kinds,
+            consts,
+            incidence,
+            linear,
+            linear_const: src.linear_objective.constant_part(),
+            penalty,
+        })
+    }
+
+    /// Number of variables after any slack augmentation.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The penalty configuration this model was compiled with.
+    pub fn penalty(&self) -> &PenaltyConfig {
+        &self.penalty
+    }
+
+    /// Penalty energy for one constraint sum.
+    #[inline]
+    fn penalty_energy(&self, kind: &ExprKind, sum: f64) -> f64 {
+        match *kind {
+            ExprKind::Squared { target, weight } => {
+                let d = sum - target;
+                weight * d * d
+            }
+            ExprKind::Constraint { sense, rhs, weight } => match sense {
+                Sense::Eq => {
+                    let d = sum - rhs;
+                    weight * d * d
+                }
+                Sense::Le => match self.penalty.style {
+                    PenaltyStyle::Unbalanced { l1, l2 } => {
+                        // The quadratic surrogate of exp(g) grows again for
+                        // g far below the bound — a known artifact that, at
+                        // auto-scaled weights, turns into a huge reward for
+                        // deep slack and swamps the true objective. exp(g)
+                        // is flat there, so we flatten too: clamp g at the
+                        // parabola's vertex g* = −l1/(2·l2).
+                        let vertex = if l2 > 0.0 { -l1 / (2.0 * l2) } else { 0.0 };
+                        let g = (sum - rhs).max(vertex);
+                        weight * (l1 * g + l2 * g * g)
+                    }
+                    // Slack-augmented models contain no Le constraints, so
+                    // this arm is the ViolationQuadratic (and fallback) path.
+                    _ => {
+                        let d = (sum - rhs).max(0.0);
+                        weight * d * d
+                    }
+                },
+            },
+        }
+    }
+}
+
+/// Incremental evaluator over a [`CompiledCqm`].
+#[derive(Debug, Clone)]
+pub struct CqmEvaluator {
+    model: Arc<CompiledCqm>,
+    state: Vec<u8>,
+    sums: Vec<f64>,
+    energy: f64,
+}
+
+impl CqmEvaluator {
+    /// Creates an evaluator positioned at the all-zeros state.
+    pub fn new(model: Arc<CompiledCqm>) -> Self {
+        let n = model.num_vars();
+        let mut ev = Self {
+            model,
+            state: vec![0; n],
+            sums: Vec::new(),
+            energy: 0.0,
+        };
+        ev.resync();
+        ev
+    }
+
+    /// Creates an evaluator positioned at `state` (must match width; states
+    /// narrower than the compiled width — e.g. CQM-width states for a
+    /// slack-augmented model — are zero-extended).
+    pub fn with_state(model: Arc<CompiledCqm>, state: &[u8]) -> Self {
+        let mut ev = Self::new(model);
+        ev.set_state(state);
+        ev
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> &Arc<CompiledCqm> {
+        &self.model
+    }
+
+    /// Objective value (squared terms + linear part, no penalties) at the
+    /// current state.
+    pub fn objective(&self) -> f64 {
+        let m = &*self.model;
+        let mut obj = m.linear_const;
+        for (i, x) in self.state.iter().enumerate() {
+            if *x != 0 {
+                obj += m.linear[i];
+            }
+        }
+        for (kind, &sum) in m.kinds.iter().zip(&self.sums) {
+            if let ExprKind::Squared { target, weight } = *kind {
+                let d = sum - target;
+                obj += weight * d * d;
+            }
+        }
+        obj
+    }
+
+    /// Total true violation magnitude (independent of the penalty style).
+    pub fn total_violation(&self) -> f64 {
+        let m = &*self.model;
+        let mut v = 0.0;
+        for (kind, &sum) in m.kinds.iter().zip(&self.sums) {
+            if let ExprKind::Constraint { sense, rhs, .. } = *kind {
+                v += violation_of(sense, sum, rhs);
+            }
+        }
+        v
+    }
+
+    /// Whether the current state satisfies all constraints.
+    pub fn is_feasible(&self) -> bool {
+        self.total_violation() == 0.0
+    }
+
+    /// For each constraint (in declaration order), its true violation.
+    pub fn constraint_violations(&self) -> Vec<f64> {
+        let m = &*self.model;
+        m.kinds
+            .iter()
+            .zip(&self.sums)
+            .filter_map(|(kind, &sum)| match *kind {
+                ExprKind::Constraint { sense, rhs, .. } => Some(violation_of(sense, sum, rhs)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The flip delta restricted to constraint-penalty energy — used by the
+    /// feasibility-repair pass to walk downhill in violation space.
+    pub fn violation_flip_delta(&self, var: usize) -> f64 {
+        let m = &*self.model;
+        let x = self.state[var];
+        let dir = if x == 0 { 1.0 } else { -1.0 };
+        let mut delta = 0.0;
+        for &(e, c) in &m.incidence[var] {
+            let e = e as usize;
+            if let ExprKind::Constraint { sense, rhs, .. } = m.kinds[e] {
+                let old = self.sums[e];
+                let new = old + dir * c;
+                delta += violation_of(sense, new, rhs) - violation_of(sense, old, rhs);
+            }
+        }
+        delta
+    }
+}
+
+impl Evaluator for CqmEvaluator {
+    fn num_vars(&self) -> usize {
+        self.model.num_vars()
+    }
+
+    fn state(&self) -> &[u8] {
+        &self.state
+    }
+
+    fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    fn flip_delta(&self, var: usize) -> f64 {
+        let m = &*self.model;
+        let x = self.state[var];
+        let dir = if x == 0 { 1.0 } else { -1.0 };
+        let mut delta = dir * m.linear[var];
+        for &(e, c) in &m.incidence[var] {
+            let e = e as usize;
+            let old = self.sums[e];
+            let new = old + dir * c;
+            let kind = &m.kinds[e];
+            delta += m.penalty_energy(kind, new) - m.penalty_energy(kind, old);
+        }
+        delta
+    }
+
+    fn flip(&mut self, var: usize) -> f64 {
+        let delta = self.flip_delta(var);
+        let dir = if self.state[var] == 0 { 1.0 } else { -1.0 };
+        for &(e, c) in &self.model.incidence[var] {
+            self.sums[e as usize] += dir * c;
+        }
+        self.state[var] ^= 1;
+        self.energy += delta;
+        delta
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        assert!(
+            state.len() <= self.state.len(),
+            "state wider than compiled model"
+        );
+        self.state.fill(0);
+        self.state[..state.len()].copy_from_slice(state);
+        self.resync();
+    }
+
+    fn resync(&mut self) {
+        let m = &*self.model;
+        self.sums = m.consts.clone();
+        for (v, &x) in self.state.iter().enumerate() {
+            if x != 0 {
+                for &(e, c) in &m.incidence[v] {
+                    self.sums[e as usize] += c;
+                }
+            }
+        }
+        let mut e = m.linear_const;
+        for (v, &x) in self.state.iter().enumerate() {
+            if x != 0 {
+                e += m.linear[v];
+            }
+        }
+        for (kind, &sum) in m.kinds.iter().zip(&self.sums) {
+            e += m.penalty_energy(kind, sum);
+        }
+        self.energy = e;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BQM evaluator
+// ---------------------------------------------------------------------------
+
+/// Incremental evaluator over an explicit [`crate::bqm::BinaryQuadraticModel`].
+#[derive(Debug, Clone)]
+pub struct BqmEvaluator {
+    model: Arc<crate::bqm::BinaryQuadraticModel>,
+    state: Vec<u8>,
+    energy: f64,
+}
+
+impl BqmEvaluator {
+    /// Creates an evaluator at the all-zeros state.
+    pub fn new(model: Arc<crate::bqm::BinaryQuadraticModel>) -> Self {
+        let n = model.num_vars();
+        let energy = model.offset();
+        Self {
+            model,
+            state: vec![0; n],
+            energy,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Arc<crate::bqm::BinaryQuadraticModel> {
+        &self.model
+    }
+}
+
+impl Evaluator for BqmEvaluator {
+    fn num_vars(&self) -> usize {
+        self.model.num_vars()
+    }
+
+    fn state(&self) -> &[u8] {
+        &self.state
+    }
+
+    fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    fn flip_delta(&self, var: usize) -> f64 {
+        self.model.flip_delta(&self.state, crate::expr::Var(var as u32))
+    }
+
+    fn flip(&mut self, var: usize) -> f64 {
+        let d = self.flip_delta(var);
+        self.state[var] ^= 1;
+        self.energy += d;
+        d
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        assert!(state.len() <= self.state.len());
+        self.state.fill(0);
+        self.state[..state.len()].copy_from_slice(state);
+        self.resync();
+    }
+
+    fn resync(&mut self) {
+        self.energy = self.model.energy(&self.state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::Cqm;
+    use crate::expr::{LinearExpr, Var};
+    use proptest::prelude::*;
+
+    fn model(style: PenaltyStyle) -> Arc<CompiledCqm> {
+        // minimize (x0 + 2·x1 + 3·x2 − 3)²  s.t.  x0 + x1 + x2 ≤ 2, x0 = 1
+        let mut cqm = Cqm::new(3);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 3.0);
+        cqm.add_squared_term(obj, 3.0, 1.0);
+        let mut cap = LinearExpr::new();
+        cap.add_term(Var(0), 1.0).add_term(Var(1), 1.0).add_term(Var(2), 1.0);
+        cqm.add_constraint(cap, Sense::Le, 2.0, "cap");
+        let mut fix = LinearExpr::new();
+        fix.add_term(Var(0), 1.0);
+        cqm.add_constraint(fix, Sense::Eq, 1.0, "fix");
+        CompiledCqm::compile(&cqm, PenaltyConfig::uniform(25.0, style))
+    }
+
+    #[test]
+    fn incremental_matches_resync_quadratic() {
+        let m = model(PenaltyStyle::ViolationQuadratic);
+        let mut ev = CqmEvaluator::new(m);
+        let flips = [0, 1, 2, 1, 0, 2, 2, 1];
+        for &v in &flips {
+            let before = ev.energy();
+            let delta = ev.flip(v);
+            assert!((ev.energy() - (before + delta)).abs() < 1e-9);
+            let tracked = ev.energy();
+            ev.resync();
+            assert!(
+                (ev.energy() - tracked).abs() < 1e-9,
+                "drift after flip {v}: {} vs {}",
+                tracked,
+                ev.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_resync_unbalanced() {
+        let m = model(PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 });
+        let mut ev = CqmEvaluator::new(m);
+        for &v in &[2, 2, 0, 1, 2, 0] {
+            let tracked = ev.energy() + ev.flip_delta(v);
+            ev.flip(v);
+            ev.resync();
+            assert!((ev.energy() - tracked).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slack_compile_widens_state() {
+        let m = model(PenaltyStyle::Slack);
+        assert!(m.num_vars() > 3);
+        let mut ev = CqmEvaluator::new(m);
+        // Narrow state is accepted and zero-extended.
+        ev.set_state(&[1, 0, 0]);
+        assert_eq!(&ev.state()[..3], &[1, 0, 0]);
+    }
+
+    #[test]
+    fn objective_and_violation_split() {
+        let m = model(PenaltyStyle::ViolationQuadratic);
+        let mut ev = CqmEvaluator::new(m);
+        ev.set_state(&[1, 1, 0]); // obj (1+2-3)²=0, feasible
+        assert_eq!(ev.objective(), 0.0);
+        assert_eq!(ev.total_violation(), 0.0);
+        assert!(ev.is_feasible());
+        ev.set_state(&[1, 1, 1]); // cap violated by 1, obj (6-3)²=9
+        assert_eq!(ev.objective(), 9.0);
+        assert_eq!(ev.total_violation(), 1.0);
+        assert!(!ev.is_feasible());
+        assert_eq!(ev.constraint_violations(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn violation_flip_delta_guides_repair() {
+        let m = model(PenaltyStyle::ViolationQuadratic);
+        let ev = CqmEvaluator::with_state(m, &[1, 1, 1]);
+        // Flipping x1 or x2 off reduces the cap violation by 1.
+        assert_eq!(ev.violation_flip_delta(1), -1.0);
+        assert_eq!(ev.violation_flip_delta(2), -1.0);
+        // Flipping x0 off fixes cap but breaks fix_x0: net 0.
+        assert_eq!(ev.violation_flip_delta(0), 0.0);
+    }
+
+    #[test]
+    fn bqm_evaluator_tracks_energy() {
+        let mut bqm = crate::bqm::BinaryQuadraticModel::new(2);
+        bqm.add_linear(Var(0), 1.0);
+        bqm.add_quadratic(Var(0), Var(1), -3.0);
+        let mut ev = BqmEvaluator::new(Arc::new(bqm));
+        ev.flip(0);
+        ev.flip(1);
+        let tracked = ev.energy();
+        ev.resync();
+        assert!((tracked - ev.energy()).abs() < 1e-12);
+        assert_eq!(ev.energy(), 1.0 - 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn random_walk_never_drifts(flips in proptest::collection::vec(0usize..3, 1..200)) {
+            let m = model(PenaltyStyle::ViolationQuadratic);
+            let mut ev = CqmEvaluator::new(m);
+            for &v in &flips {
+                ev.flip(v);
+            }
+            let tracked = ev.energy();
+            ev.resync();
+            prop_assert!((tracked - ev.energy()).abs() < 1e-6);
+        }
+    }
+}

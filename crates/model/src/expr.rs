@@ -1,0 +1,213 @@
+//! Variables and sparse linear expressions.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary decision variable, identified by its dense index within a model.
+///
+/// Variables are plain indices rather than interned names: the LRP
+/// formulations create variables in bulk and keep their semantic meaning
+/// (`x_{i,j,l}`) in a side table owned by the formulation, which is both
+/// faster and keeps this layer application-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A sparse linear expression `Σ coeff·x + constant` over binary variables.
+///
+/// Terms are kept in insertion order; [`LinearExpr::compress`] merges
+/// duplicate variables and drops zero coefficients. Model builders call it
+/// once after construction so evaluators can assume one term per variable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearExpr {
+    terms: Vec<(Var, f64)>,
+    constant: f64,
+}
+
+impl LinearExpr {
+    /// An empty expression (value 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression with pre-allocated capacity for `cap` terms.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            terms: Vec::with_capacity(cap),
+            constant: 0.0,
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn add_term(&mut self, var: Var, coeff: f64) -> &mut Self {
+        if coeff != 0.0 {
+            self.terms.push((var, coeff));
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Adds `scale · other` to this expression.
+    pub fn add_scaled(&mut self, other: &LinearExpr, scale: f64) -> &mut Self {
+        if scale != 0.0 {
+            self.terms
+                .extend(other.terms.iter().map(|&(v, c)| (v, c * scale)));
+            self.constant += other.constant * scale;
+        }
+        self
+    }
+
+    /// Merges duplicate variables and removes zero coefficients.
+    pub fn compress(&mut self) {
+        if self.terms.is_empty() {
+            return;
+        }
+        self.terms.sort_unstable_by_key(|&(v, _)| v);
+        let mut out: Vec<(Var, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        self.terms = out;
+    }
+
+    /// The variable/coefficient terms.
+    #[inline]
+    pub fn terms(&self) -> &[(Var, f64)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    #[inline]
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Number of terms (after compression: number of distinct variables).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for a 0/1 assignment given as a byte slice.
+    pub fn value(&self, state: &[u8]) -> f64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            if state[v.index()] != 0 {
+                acc += c;
+            }
+        }
+        acc
+    }
+
+    /// Smallest value the expression can take over all binary assignments.
+    pub fn min_value(&self) -> f64 {
+        self.constant + self.terms.iter().map(|&(_, c)| c.min(0.0)).sum::<f64>()
+    }
+
+    /// Largest value the expression can take over all binary assignments.
+    pub fn max_value(&self) -> f64 {
+        self.constant + self.terms.iter().map(|&(_, c)| c.max(0.0)).sum::<f64>()
+    }
+
+    /// Largest absolute coefficient (0 for a constant expression).
+    pub fn max_abs_coeff(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|&(_, c)| c.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl FromIterator<(Var, f64)> for LinearExpr {
+    fn from_iter<T: IntoIterator<Item = (Var, f64)>>(iter: T) -> Self {
+        let mut e = LinearExpr::new();
+        for (v, c) in iter {
+            e.add_term(v, c);
+        }
+        e.compress();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_merges_duplicates_and_drops_zeros() {
+        let mut e = LinearExpr::new();
+        e.add_term(Var(3), 1.5)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(3), -1.5)
+            .add_term(Var(2), 4.0);
+        e.compress();
+        assert_eq!(e.terms(), &[(Var(1), 2.0), (Var(2), 4.0)]);
+    }
+
+    #[test]
+    fn value_counts_set_bits() {
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 2.0).add_term(Var(2), 3.0).add_constant(1.0);
+        assert_eq!(e.value(&[1, 0, 0]), 3.0);
+        assert_eq!(e.value(&[1, 0, 1]), 6.0);
+        assert_eq!(e.value(&[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 2.0).add_term(Var(1), -3.0).add_constant(1.0);
+        assert_eq!(e.min_value(), -2.0);
+        assert_eq!(e.max_value(), 3.0);
+        assert_eq!(e.max_abs_coeff(), 3.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = LinearExpr::new();
+        a.add_term(Var(0), 1.0);
+        let mut b = LinearExpr::new();
+        b.add_term(Var(0), 2.0).add_term(Var(1), 1.0).add_constant(5.0);
+        a.add_scaled(&b, 2.0);
+        a.compress();
+        assert_eq!(a.terms(), &[(Var(0), 5.0), (Var(1), 2.0)]);
+        assert_eq!(a.constant_part(), 10.0);
+    }
+
+    #[test]
+    fn zero_scale_is_noop() {
+        let mut a = LinearExpr::new();
+        a.add_term(Var(0), 1.0);
+        let b = LinearExpr::constant(7.0);
+        a.add_scaled(&b, 0.0);
+        assert_eq!(a.constant_part(), 0.0);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qlrb-model — quadratic model substrate
+//!
+//! This crate provides the optimization-model layer that the paper's
+//! constrained quadratic model (CQM) formulations of the Load Rebalancing
+//! Problem are built on. It is a from-scratch replacement for the parts of
+//! D-Wave's `dimod` stack the paper relies on:
+//!
+//! * [`bqm::BinaryQuadraticModel`] — an unconstrained binary quadratic model
+//!   (QUBO), convertible to an Ising spin model.
+//! * [`cqm::Cqm`] — a constrained quadratic model: binary variables, a
+//!   quadratic objective expressed as a weighted sum of squared linear
+//!   expressions, and linear equality / inequality constraints.
+//! * [`encoding::CoefficientSet`] — the paper's non-standard ("bounded
+//!   coefficient") binary encoding `C(n)` used to represent integer task
+//!   counts `0..=n` with exactly `⌊log₂ n⌋ + 1` bits.
+//! * [`penalty`] — CQM → QUBO conversions: quadratic penalties for
+//!   equalities, and for inequalities either binary slack variables or the
+//!   *unbalanced penalization* scheme (Montañez-Barrera et al., 2024) the
+//!   paper cites, which needs no ancillary qubits.
+//! * [`eval`] — incremental energy evaluation. Because the LRP objective is a
+//!   sum of squares of *linear* expressions, a single bit flip changes only
+//!   the handful of expression sums the bit participates in; the evaluators
+//!   here exploit that to give O(#incident expressions) flip deltas instead
+//!   of O(n²) re-evaluation. This is what makes annealing the paper's
+//!   largest configurations (M=64, n=100 → 28 672 binaries) tractable.
+//!
+//! The samplers living in `qlrb-anneal` only see the [`eval::Evaluator`]
+//! trait, so every model in this crate can be annealed interchangeably.
+
+pub mod bqm;
+pub mod cqm;
+pub mod encoding;
+pub mod eval;
+pub mod expr;
+pub mod penalty;
+pub mod presolve;
+pub mod state;
+
+pub use bqm::BinaryQuadraticModel;
+pub use cqm::{Cqm, Constraint, Sense, SquaredTerm};
+pub use encoding::CoefficientSet;
+pub use eval::{CqmEvaluator, Evaluator};
+pub use expr::{LinearExpr, Var};
+pub use penalty::{PenaltyConfig, PenaltyStyle};
+pub use presolve::{presolve, Presolve};

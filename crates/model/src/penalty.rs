@@ -1,0 +1,348 @@
+//! CQM → penalized-model conversions.
+//!
+//! The hybrid solver never hands constraints to a sampler directly; they are
+//! folded into the energy. Three schemes are provided:
+//!
+//! * **Violation-quadratic** — `λ·max(0, s − rhs)²` for `≤`, `λ·(s − rhs)²`
+//!   for `=`. Exact (zero penalty inside the feasible region) but not
+//!   expressible as a QUBO; usable only through the incremental
+//!   [`crate::eval::CqmEvaluator`].
+//! * **Unbalanced penalization** (Montañez-Barrera et al. 2024, the paper's
+//!   ref. \[24\]) — for `s ≤ rhs`, penalize with `λ₁·g + λ₂·g²` where
+//!   `g = s − rhs`, a quadratic surrogate of `exp(g)`. No ancillary qubits,
+//!   QUBO-representable; mildly rewards slack inside the feasible region.
+//! * **Slack variables** — rewrite `s ≤ rhs` as `s + slack = rhs` with a
+//!   bounded-coefficient binary slack, then penalize the equality. The
+//!   textbook Glover et al. construction; costs extra qubits.
+//!
+//! [`to_bqm`] materializes an explicit [`BinaryQuadraticModel`] for the
+//! QUBO-representable schemes (used by the Ising-based SQA path and tests).
+
+use crate::bqm::BinaryQuadraticModel;
+use crate::cqm::{Cqm, Sense};
+use crate::encoding::CoefficientSet;
+use crate::expr::{LinearExpr, Var};
+
+/// How inequality constraints are penalized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum PenaltyStyle {
+    /// `λ·max(0, s − rhs)²` — exact, evaluator-only.
+    #[default]
+    ViolationQuadratic,
+    /// `λ·(λ₁·g + λ₂·g²)`, `g = s − rhs` — unbalanced penalization.
+    Unbalanced {
+        /// Linear coefficient `λ₁` (relative to the constraint weight).
+        l1: f64,
+        /// Quadratic coefficient `λ₂` (relative to the constraint weight).
+        l2: f64,
+    },
+    /// Binary slack variables turn `≤` into `=`, penalized quadratically.
+    Slack,
+}
+
+
+/// Weights and style for folding constraints into the energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyConfig {
+    /// Weight on equality-constraint penalties.
+    pub eq_weight: f64,
+    /// Weight on inequality-constraint penalties.
+    pub le_weight: f64,
+    /// Inequality scheme.
+    pub style: PenaltyStyle,
+}
+
+impl PenaltyConfig {
+    /// Derives penalty weights from the model so that violating any
+    /// constraint by one unit always costs more than the largest possible
+    /// single-flip objective gain, times `factor` headroom.
+    pub fn auto(cqm: &Cqm, factor: f64, style: PenaltyStyle) -> Self {
+        let scale = cqm.objective_unit_scale() * factor.max(1.0);
+        Self {
+            eq_weight: scale,
+            le_weight: scale,
+            style,
+        }
+    }
+
+    /// A config with explicit identical weights.
+    pub fn uniform(weight: f64, style: PenaltyStyle) -> Self {
+        Self {
+            eq_weight: weight,
+            le_weight: weight,
+            style,
+        }
+    }
+}
+
+impl Default for PenaltyConfig {
+    fn default() -> Self {
+        PenaltyConfig::uniform(1.0, PenaltyStyle::default())
+    }
+}
+
+/// Result of slack augmentation: the Eq-only model plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SlackAugmented {
+    /// The rewritten model; original variables keep their indices, slack
+    /// variables are appended at the end.
+    pub cqm: Cqm,
+    /// Index of the first slack variable (== original `num_vars`).
+    pub first_slack: usize,
+}
+
+/// Rewrites `≤` constraints with *integral* coefficients as equalities with
+/// a binary slack using the paper's bounded-coefficient encoding on the
+/// slack range `R = rhs − min(expr)`.
+///
+/// Constraints with non-integral coefficients are left as `≤`: a binary
+/// ladder can only approximate a real-valued slack, so the rewritten
+/// equality would be violated by up to half the ladder resolution in
+/// *every* state — poisoning the penalty landscape and feasibility checks.
+/// Downstream consumers (the evaluator and [`to_bqm`]) penalize the
+/// remaining inequalities directly instead.
+///
+/// Constraints with `R < 0` are structurally infeasible and are kept
+/// unchanged (they will show up as permanent violations, which the solver
+/// reports rather than hiding).
+pub fn augment_slacks(cqm: &Cqm) -> SlackAugmented {
+    let mut out = cqm.clone();
+    let first_slack = out.num_vars();
+    let mut constraints = std::mem::take(&mut out.constraints);
+    for c in &mut constraints {
+        if c.sense != Sense::Le {
+            continue;
+        }
+        let range = c.rhs - c.expr.min_value();
+        if range < 0.0 {
+            continue; // structurally infeasible; leave visible
+        }
+        let integral = c.rhs.fract().abs() < 1e-9
+            && c.expr
+                .terms()
+                .iter()
+                .all(|&(_, co)| co.fract().abs() < 1e-9)
+            && c.expr.constant_part().fract().abs() < 1e-9;
+        if !integral {
+            continue; // keep as Le; penalized directly
+        }
+        let r = range.round() as u64;
+        if r >= 1 {
+            let coeffs = CoefficientSet::new(r);
+            let first = out.add_vars(coeffs.len());
+            for (k, &co) in coeffs.coeffs().iter().enumerate() {
+                c.expr.add_term(Var(first.0 + k as u32), co as f64);
+            }
+        }
+        c.sense = Sense::Eq;
+        c.expr.compress();
+    }
+    out.constraints = constraints;
+    SlackAugmented {
+        cqm: out,
+        first_slack,
+    }
+}
+
+/// Adds `weight · (expr + shift)²` to a BQM, expanding the square.
+fn add_squared_expansion(bqm: &mut BinaryQuadraticModel, expr: &LinearExpr, shift: f64, weight: f64) {
+    let k = expr.constant_part() + shift;
+    bqm.add_offset(weight * k * k);
+    let terms = expr.terms();
+    for (a, &(va, ca)) in terms.iter().enumerate() {
+        // x² = x for binaries: diagonal folds into linear.
+        bqm.add_linear(va, weight * (ca * ca + 2.0 * k * ca));
+        for &(vb, cb) in &terms[a + 1..] {
+            bqm.add_quadratic(va, vb, 2.0 * weight * ca * cb);
+        }
+    }
+}
+
+/// Error cases for [`to_bqm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BqmConversionError {
+    /// `ViolationQuadratic` has no QUBO representation; use the evaluator.
+    StyleNotRepresentable,
+}
+
+impl std::fmt::Display for BqmConversionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BqmConversionError::StyleNotRepresentable => write!(
+                f,
+                "ViolationQuadratic penalties cannot be expressed as a QUBO; \
+                 use PenaltyStyle::Slack or PenaltyStyle::Unbalanced"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BqmConversionError {}
+
+/// Materializes the penalized CQM as an explicit QUBO.
+///
+/// With [`PenaltyStyle::Slack`] the returned model has more variables than
+/// the CQM (the slacks); sampled states must be truncated to the original
+/// width before decoding.
+pub fn to_bqm(cqm: &Cqm, cfg: &PenaltyConfig) -> Result<BinaryQuadraticModel, BqmConversionError> {
+    let working;
+    let source: &Cqm = match cfg.style {
+        PenaltyStyle::ViolationQuadratic => return Err(BqmConversionError::StyleNotRepresentable),
+        PenaltyStyle::Slack => {
+            working = augment_slacks(cqm).cqm;
+            &working
+        }
+        PenaltyStyle::Unbalanced { .. } => cqm,
+    };
+
+    let mut bqm = BinaryQuadraticModel::new(source.num_vars());
+    // Objective.
+    for t in &source.squared_terms {
+        add_squared_expansion(&mut bqm, &t.expr, -t.target, t.weight);
+    }
+    for &(v, c) in source.linear_objective.terms() {
+        bqm.add_linear(v, c);
+    }
+    bqm.add_offset(source.linear_objective.constant_part());
+    // Constraints.
+    for c in &source.constraints {
+        match c.sense {
+            Sense::Eq => add_squared_expansion(&mut bqm, &c.expr, -c.rhs, cfg.eq_weight),
+            Sense::Le => {
+                // Direct QUBO penalty for an inequality: the unbalanced
+                // form. Under PenaltyStyle::Slack this arm only sees the
+                // constraints slack augmentation skipped (non-integral
+                // coefficients, structural infeasibility); default
+                // unbalanced coefficients are used for those.
+                let (l1, l2) = match cfg.style {
+                    PenaltyStyle::Unbalanced { l1, l2 } => (l1, l2),
+                    PenaltyStyle::Slack => (0.96, 0.0331),
+                    PenaltyStyle::ViolationQuadratic => unreachable!("rejected above"),
+                };
+                let w = cfg.le_weight;
+                add_squared_expansion(&mut bqm, &c.expr, -c.rhs, w * l2);
+                for &(v, co) in c.expr.terms() {
+                    bqm.add_linear(v, w * l1 * co);
+                }
+                bqm.add_offset(w * l1 * (c.expr.constant_part() - c.rhs));
+            }
+        }
+    }
+    Ok(bqm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::Cqm;
+
+    fn knapsackish() -> Cqm {
+        // minimize (x0 + x1 + x2 - 2)^2  s.t.  2·x0 + x1 ≤ 2,  x2 = 1
+        let mut cqm = Cqm::new(3);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0).add_term(Var(1), 1.0).add_term(Var(2), 1.0);
+        cqm.add_squared_term(obj, 2.0, 1.0);
+        let mut cap = LinearExpr::new();
+        cap.add_term(Var(0), 2.0).add_term(Var(1), 1.0);
+        cqm.add_constraint(cap, Sense::Le, 2.0, "cap");
+        let mut fix = LinearExpr::new();
+        fix.add_term(Var(2), 1.0);
+        cqm.add_constraint(fix, Sense::Eq, 1.0, "fix");
+        cqm
+    }
+
+    fn enumerate_min(bqm: &BinaryQuadraticModel, width: usize) -> (Vec<u8>, f64) {
+        let mut best = (vec![], f64::INFINITY);
+        for bits in 0..(1u32 << width) {
+            let state: Vec<u8> = (0..width).map(|i| ((bits >> i) & 1) as u8).collect();
+            let e = bqm.energy(&state);
+            if e < best.1 {
+                best = (state, e);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn violation_quadratic_rejected_for_qubo() {
+        let cqm = knapsackish();
+        let cfg = PenaltyConfig::uniform(10.0, PenaltyStyle::ViolationQuadratic);
+        assert_eq!(
+            to_bqm(&cqm, &cfg).unwrap_err(),
+            BqmConversionError::StyleNotRepresentable
+        );
+    }
+
+    #[test]
+    fn slack_qubo_minimum_is_feasible_optimum() {
+        let cqm = knapsackish();
+        let cfg = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::Slack);
+        let bqm = to_bqm(&cqm, &cfg).unwrap();
+        assert!(bqm.num_vars() > cqm.num_vars(), "slacks were added");
+        let (state, _) = enumerate_min(&bqm, bqm.num_vars());
+        let orig = &state[..cqm.num_vars()];
+        assert!(cqm.is_feasible(orig), "qubo minimum decodes feasible: {orig:?}");
+        // Feasible optimum: x = (0,1,1) or (1,0,1) giving objective 0... cap
+        // forbids x0=x1=1 with x0 weighted 2 only when sum 3 > 2.
+        assert_eq!(cqm.objective(orig), 0.0);
+    }
+
+    #[test]
+    fn unbalanced_qubo_keeps_variable_count() {
+        let cqm = knapsackish();
+        let cfg = PenaltyConfig {
+            eq_weight: 50.0,
+            le_weight: 50.0,
+            style: PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 },
+        };
+        let bqm = to_bqm(&cqm, &cfg).unwrap();
+        assert_eq!(bqm.num_vars(), cqm.num_vars());
+        let (state, _) = enumerate_min(&bqm, bqm.num_vars());
+        assert!(cqm.is_feasible(&state), "unbalanced minimum feasible: {state:?}");
+    }
+
+    #[test]
+    fn squared_expansion_matches_direct_evaluation() {
+        let mut expr = LinearExpr::new();
+        expr.add_term(Var(0), 3.0).add_term(Var(1), -2.0).add_constant(1.0);
+        let mut bqm = BinaryQuadraticModel::new(2);
+        add_squared_expansion(&mut bqm, &expr, -2.0, 1.5);
+        for bits in 0..4u8 {
+            let state = [bits & 1, (bits >> 1) & 1];
+            let v = expr.value(&state) - 2.0;
+            assert!((bqm.energy(&state) - 1.5 * v * v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slack_augmentation_integral_uses_bounded_encoding() {
+        let mut cqm = Cqm::new(2);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 3.0).add_term(Var(1), 2.0);
+        cqm.add_constraint(e, Sense::Le, 5.0, "c");
+        let aug = augment_slacks(&cqm);
+        // range = 5 → C(5) = {2,1,2}? C(5): f=2, powers {2,1}, residual 5-4+1=2.
+        assert_eq!(aug.cqm.num_vars() - aug.first_slack, CoefficientSet::new(5).len());
+        assert_eq!(aug.cqm.num_le_constraints(), 0);
+        assert_eq!(aug.cqm.num_eq_constraints(), 1);
+        // Any original-feasible point extends to a slack assignment with 0 violation.
+        let c = &aug.cqm.constraints[0];
+        // x = (1,1): lhs 5 → slack 0 → satisfied.
+        let mut state = vec![0u8; aug.cqm.num_vars()];
+        state[0] = 1;
+        state[1] = 1;
+        assert_eq!(c.violation(&state), 0.0);
+    }
+
+    #[test]
+    fn infeasible_le_left_visible() {
+        let mut cqm = Cqm::new(1);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_constant(5.0);
+        cqm.add_constraint(e, Sense::Le, 2.0, "never");
+        let aug = augment_slacks(&cqm);
+        assert_eq!(aug.cqm.num_le_constraints(), 1, "kept as-is");
+        assert!(aug.cqm.total_violation(&[0]) > 0.0);
+    }
+}

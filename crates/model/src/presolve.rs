@@ -1,0 +1,281 @@
+//! CQM presolve: bound-based variable fixing and constraint reduction.
+//!
+//! Hybrid solvers run a classical presolve before sampling; for the LRP
+//! CQMs it is surprisingly effective because the migration budget is a
+//! single knapsack-style row over *all* off-diagonal bits:
+//!
+//! * with `k = 0` every migration bit is forced off (the whole model
+//!   collapses to the identity);
+//! * with small `k`, every bit whose bounded coefficient `c_l > k` can never
+//!   be set — e.g. `k1 = 42` on an `n = 50` instance kills the 32-weight
+//!   bit of every pair, a sixth of the search space.
+//!
+//! The pass iterates to fixpoint:
+//!
+//! 1. **forcing**: in a `≤` constraint, a variable whose activation pushes
+//!    the minimum activity above the rhs must be 0; in an `=` constraint the
+//!    same test applies in both directions (forced 0 or forced 1).
+//! 2. **substitution**: forced variables fold into expression constants.
+//! 3. **redundancy**: constraints whose maximum activity already satisfies
+//!    them are dropped.
+//!
+//! Fixed variables keep their indices (no reindexing); they simply lose all
+//! incidence, and [`Presolve::apply_to_state`] stamps their values onto any
+//! assignment.
+
+use crate::cqm::{Cqm, Sense};
+use crate::expr::LinearExpr;
+
+/// The outcome of presolving a CQM.
+#[derive(Debug, Clone)]
+pub struct Presolve {
+    /// The simplified model (same variable count and indices).
+    pub cqm: Cqm,
+    /// `fixed[v] = Some(bit)` when presolve proved `x_v = bit`.
+    pub fixed: Vec<Option<u8>>,
+    /// Constraints dropped as always-satisfied.
+    pub dropped_constraints: usize,
+    /// `true` when a constraint was proven unsatisfiable.
+    pub infeasible: bool,
+}
+
+impl Presolve {
+    /// Number of variables fixed.
+    pub fn num_fixed(&self) -> usize {
+        self.fixed.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Overwrites fixed positions in `state` with their proven values.
+    pub fn apply_to_state(&self, state: &mut [u8]) {
+        for (v, f) in self.fixed.iter().enumerate() {
+            if let Some(bit) = *f {
+                if v < state.len() {
+                    state[v] = bit;
+                }
+            }
+        }
+    }
+}
+
+/// Substitutes fixed variables into an expression, folding them into the
+/// constant. Returns the rewritten expression.
+fn substitute(expr: &LinearExpr, fixed: &[Option<u8>]) -> LinearExpr {
+    let mut out = LinearExpr::with_capacity(expr.len());
+    out.add_constant(expr.constant_part());
+    for &(v, c) in expr.terms() {
+        match fixed[v.index()] {
+            Some(1) => {
+                out.add_constant(c);
+            }
+            Some(_) => {}
+            None => {
+                out.add_term(v, c);
+            }
+        }
+    }
+    out.compress();
+    out
+}
+
+/// Runs presolve to fixpoint (bounded at 16 rounds — each round either
+/// fixes a variable or terminates, so the bound is never the limiter in
+/// practice).
+pub fn presolve(cqm: &Cqm) -> Presolve {
+    let mut fixed: Vec<Option<u8>> = vec![None; cqm.num_vars()];
+    let mut work = cqm.clone();
+    let mut dropped = 0usize;
+    let mut infeasible = false;
+
+    for _round in 0..16 {
+        let mut changed = false;
+
+        // 1. Forcing tests per constraint.
+        for c in &work.constraints {
+            let min_act = c.expr.min_value();
+            let max_act = c.expr.max_value();
+            match c.sense {
+                Sense::Le => {
+                    if min_act > c.rhs + 1e-9 {
+                        infeasible = true;
+                    }
+                    for &(v, coeff) in c.expr.terms() {
+                        if fixed[v.index()].is_some() {
+                            continue;
+                        }
+                        // Activity with x_v forced on, everything else at
+                        // its minimum.
+                        let with_v = min_act - coeff.min(0.0) + coeff.max(0.0);
+                        if with_v > c.rhs + 1e-9 {
+                            // x_v = 1 is impossible at the constraint's own
+                            // optimum ⇒ x_v must take the other value.
+                            fixed[v.index()] = Some(u8::from(coeff < 0.0));
+                            changed = true;
+                        }
+                    }
+                }
+                Sense::Eq => {
+                    if min_act > c.rhs + 1e-9 || max_act < c.rhs - 1e-9 {
+                        infeasible = true;
+                    }
+                    for &(v, coeff) in c.expr.terms() {
+                        if fixed[v.index()].is_some() {
+                            continue;
+                        }
+                        let min_with_on = min_act - coeff.min(0.0) + coeff.max(0.0);
+                        let max_with_off = max_act - coeff.max(0.0) + coeff.min(0.0);
+                        if min_with_on > c.rhs + 1e-9 {
+                            fixed[v.index()] = Some(u8::from(coeff < 0.0));
+                            changed = true;
+                        } else if max_with_off < c.rhs - 1e-9 {
+                            // x_v must contribute its positive part.
+                            fixed[v.index()] = Some(u8::from(coeff > 0.0));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+
+        // 2. Substitute into every expression.
+        for t in &mut work.squared_terms {
+            t.expr = substitute(&t.expr, &fixed);
+        }
+        for c in &mut work.constraints {
+            c.expr = substitute(&c.expr, &fixed);
+        }
+        work.linear_objective = substitute(&work.linear_objective, &fixed);
+    }
+
+    // 3. Drop constraints that can no longer be violated.
+    let before = work.constraints.len();
+    work.constraints.retain(|c| match c.sense {
+        Sense::Le => c.expr.max_value() > c.rhs + 1e-9,
+        Sense::Eq => !(c.expr.min_value() >= c.rhs - 1e-9 && c.expr.max_value() <= c.rhs + 1e-9),
+    });
+    dropped += before - work.constraints.len();
+
+    Presolve {
+        cqm: work,
+        fixed,
+        dropped_constraints: dropped,
+        infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Var;
+
+    #[test]
+    fn zero_budget_fixes_everything() {
+        // x0 + 2·x1 + 4·x2 ≤ 0 forces all three off.
+        let mut cqm = Cqm::new(3);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 4.0);
+        cqm.add_constraint(e, Sense::Le, 0.0, "budget");
+        let p = presolve(&cqm);
+        assert_eq!(p.num_fixed(), 3);
+        assert!(p.fixed.iter().all(|f| *f == Some(0)));
+        assert!(!p.infeasible);
+        // The constraint becomes trivially satisfied and is dropped.
+        assert_eq!(p.dropped_constraints, 1);
+        assert!(p.cqm.constraints.is_empty());
+    }
+
+    #[test]
+    fn oversized_coefficients_die_smaller_survive() {
+        // x0 + 2·x1 + 32·x2 ≤ 6: only the 32-bit is impossible.
+        let mut cqm = Cqm::new(3);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 32.0);
+        cqm.add_constraint(e, Sense::Le, 6.0, "budget");
+        let p = presolve(&cqm);
+        assert_eq!(p.fixed[2], Some(0));
+        assert_eq!(p.fixed[0], None);
+        assert_eq!(p.fixed[1], None);
+    }
+
+    #[test]
+    fn equality_forces_on_and_off() {
+        // x0 + 2·x1 = 2 with only two variables: x1 must be 1, x0 must be 0.
+        let mut cqm = Cqm::new(2);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_term(Var(1), 2.0);
+        cqm.add_constraint(e, Sense::Eq, 2.0, "exact");
+        let p = presolve(&cqm);
+        assert_eq!(p.fixed[1], Some(1), "without x1 the max is 1 < 2");
+        assert_eq!(p.fixed[0], Some(0), "with x0 and x1 the min is 3 > 2");
+        assert!(!p.infeasible);
+    }
+
+    #[test]
+    fn negative_coefficients_force_on() {
+        // −3·x0 + x1 ≤ −2: x0 must be 1 (otherwise min activity is 0 > −2).
+        let mut cqm = Cqm::new(2);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), -3.0).add_term(Var(1), 1.0);
+        cqm.add_constraint(e, Sense::Le, -2.0, "need_x0");
+        let p = presolve(&cqm);
+        assert_eq!(p.fixed[0], Some(1));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut cqm = Cqm::new(1);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_constant(5.0);
+        cqm.add_constraint(e, Sense::Le, 2.0, "never");
+        let p = presolve(&cqm);
+        assert!(p.infeasible);
+    }
+
+    #[test]
+    fn substitution_reaches_the_objective() {
+        // Budget fixes x1 = 0; the squared term must lose it.
+        let mut cqm = Cqm::new(2);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0).add_term(Var(1), 5.0);
+        cqm.add_squared_term(obj, 3.0, 1.0);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(1), 9.0);
+        cqm.add_constraint(e, Sense::Le, 4.0, "kill_x1");
+        let p = presolve(&cqm);
+        assert_eq!(p.fixed[1], Some(0));
+        assert_eq!(p.cqm.squared_terms[0].expr.len(), 1, "x1 substituted away");
+        // Objective values agree with the original model under the fixing.
+        for x0 in [0u8, 1] {
+            let state = [x0, 0];
+            assert!((p.cqm.objective(&state) - cqm.objective(&state)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_to_state_stamps_values() {
+        let mut cqm = Cqm::new(3);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(2), 5.0);
+        cqm.add_constraint(e, Sense::Le, 1.0, "kill_x2");
+        let p = presolve(&cqm);
+        let mut state = vec![1u8, 1, 1];
+        p.apply_to_state(&mut state);
+        assert_eq!(state, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn clean_model_is_untouched() {
+        let mut cqm = Cqm::new(2);
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
+        cqm.add_constraint(e, Sense::Le, 1.0, "pick_one");
+        let p = presolve(&cqm);
+        assert_eq!(p.num_fixed(), 0);
+        assert_eq!(p.dropped_constraints, 0);
+        assert!(!p.infeasible);
+        assert_eq!(p.cqm.constraints.len(), 1);
+    }
+}

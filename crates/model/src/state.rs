@@ -1,0 +1,62 @@
+//! Small helpers for binary assignment vectors.
+//!
+//! States are plain `Vec<u8>` with values 0/1: byte-per-bit wastes memory
+//! versus a bitset, but flip-heavy annealing kernels index single variables
+//! constantly and the byte form avoids shift/mask work on the hot path.
+
+/// Asserts (in debug builds) that a state is strictly 0/1-valued.
+#[inline]
+pub fn debug_check_binary(state: &[u8]) {
+    debug_assert!(
+        state.iter().all(|&b| b <= 1),
+        "state contains non-binary values"
+    );
+}
+
+/// Hamming distance between two equal-length states.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance needs equal widths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Number of set bits.
+pub fn popcount(state: &[u8]) -> usize {
+    state.iter().filter(|&&b| b != 0).count()
+}
+
+/// Converts 0/1 bytes to ±1 spins (`0 → −1`, `1 → +1`).
+pub fn to_spins(state: &[u8]) -> Vec<i8> {
+    state.iter().map(|&b| if b != 0 { 1 } else { -1 }).collect()
+}
+
+/// Converts ±1 spins back to 0/1 bytes.
+pub fn from_spins(spins: &[i8]) -> Vec<u8> {
+    spins.iter().map(|&s| u8::from(s > 0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_and_popcount() {
+        assert_eq!(hamming(&[0, 1, 1, 0], &[1, 1, 0, 0]), 2);
+        assert_eq!(popcount(&[0, 1, 1, 0, 1]), 3);
+    }
+
+    #[test]
+    fn spin_roundtrip() {
+        let s = [0u8, 1, 1, 0, 1];
+        assert_eq!(from_spins(&to_spins(&s)), s.to_vec());
+        assert_eq!(to_spins(&s), vec![-1, 1, 1, -1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn hamming_length_mismatch_panics() {
+        hamming(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-representation consistency: the incremental evaluator and the
+//! materialized QUBO must agree on the energy of every state, for every
+//! penalty scheme that both sides can express.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+
+use qlrb_model::cqm::{Cqm, Sense};
+use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
+use qlrb_model::expr::{LinearExpr, Var};
+use qlrb_model::penalty::{to_bqm, PenaltyConfig, PenaltyStyle};
+
+/// A small random CQM: one squared objective term over all vars, one
+/// integral `≤` constraint, one equality.
+fn random_cqm(seed: u64, n: usize) -> Cqm {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut cqm = Cqm::new(n);
+    let mut obj = LinearExpr::new();
+    for v in 0..n {
+        obj.add_term(Var(v as u32), rng.random_range(-3.0..3.0));
+    }
+    cqm.add_squared_term(obj, rng.random_range(-2.0..2.0), 1.0);
+    let mut le = LinearExpr::new();
+    for v in 0..n {
+        le.add_term(Var(v as u32), rng.random_range(1..4) as f64);
+    }
+    let le_max = le.max_value();
+    cqm.add_constraint(le, Sense::Le, (le_max / 2.0).floor(), "cap");
+    let mut eq = LinearExpr::new();
+    for v in 0..n {
+        eq.add_term(Var(v as u32), rng.random_range(1..3) as f64);
+    }
+    cqm.add_constraint(eq, Sense::Eq, 2.0, "pin");
+    cqm
+}
+
+fn all_states(n: usize) -> impl Iterator<Item = Vec<u8>> {
+    (0..(1u32 << n)).map(move |bits| (0..n).map(|i| ((bits >> i) & 1) as u8).collect())
+}
+
+#[test]
+fn slack_qubo_matches_evaluator_exhaustively() {
+    for seed in 0..5u64 {
+        let cqm = random_cqm(seed, 5);
+        let cfg = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::Slack);
+        let bqm = to_bqm(&cqm, &cfg).expect("slack is QUBO-representable");
+        let compiled = CompiledCqm::compile(&cqm, cfg);
+        assert_eq!(
+            bqm.num_vars(),
+            compiled.num_vars(),
+            "seed {seed}: both sides see the same slack augmentation"
+        );
+        let mut ev = CqmEvaluator::new(std::sync::Arc::clone(&compiled));
+        for state in all_states(bqm.num_vars().min(12)) {
+            let mut full = state.clone();
+            full.resize(bqm.num_vars(), 0);
+            ev.set_state(&full);
+            let via_eval = ev.energy();
+            let via_bqm = bqm.energy(&full);
+            assert!(
+                (via_eval - via_bqm).abs() < 1e-6 * (1.0 + via_bqm.abs()),
+                "seed {seed}, state {full:?}: evaluator {via_eval} vs qubo {via_bqm}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unbalanced_qubo_matches_evaluator_above_the_vertex() {
+    // The evaluator flattens the unbalanced parabola below its vertex
+    // (exp-faithful); the QUBO keeps the pure quadratic. They must agree
+    // wherever no constraint sits below its vertex.
+    let (l1, l2) = (0.96, 0.0331);
+    for seed in 5..10u64 {
+        let cqm = random_cqm(seed, 5);
+        let cfg = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::Unbalanced { l1, l2 });
+        let bqm = to_bqm(&cqm, &cfg).expect("unbalanced is QUBO-representable");
+        let compiled = CompiledCqm::compile(&cqm, cfg);
+        let mut ev = CqmEvaluator::new(std::sync::Arc::clone(&compiled));
+        let vertex = -l1 / (2.0 * l2);
+        for state in all_states(5) {
+            // Skip states where some Le constraint is below the vertex.
+            let below = cqm.constraints.iter().any(|c| {
+                c.sense == Sense::Le && c.expr.value(&state) - c.rhs < vertex
+            });
+            if below {
+                continue;
+            }
+            ev.set_state(&state);
+            let via_eval = ev.energy();
+            let via_bqm = bqm.energy(&state);
+            assert!(
+                (via_eval - via_bqm).abs() < 1e-6 * (1.0 + via_bqm.abs()),
+                "seed {seed}, state {state:?}: evaluator {via_eval} vs qubo {via_bqm}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Incremental flips through the compiled model stay consistent with
+    /// the materialized QUBO along random walks.
+    #[test]
+    fn random_walk_energy_agreement(
+        seed in 0u64..50,
+        flips in proptest::collection::vec(0usize..5, 1..40),
+    ) {
+        let cqm = random_cqm(seed, 5);
+        let cfg = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::Slack);
+        let bqm = to_bqm(&cqm, &cfg).expect("representable");
+        let compiled = CompiledCqm::compile(&cqm, cfg);
+        let mut ev = CqmEvaluator::new(compiled);
+        for &v in &flips {
+            ev.flip(v);
+        }
+        let via_bqm = bqm.energy(ev.state());
+        prop_assert!((ev.energy() - via_bqm).abs() < 1e-6 * (1.0 + via_bqm.abs()));
+    }
+}

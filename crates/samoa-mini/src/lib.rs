@@ -1,0 +1,37 @@
+//! # samoa-mini — an AMR shallow-water mini-app standing in for sam(oa)²
+//!
+//! The paper's realistic workload is sam(oa)², an adaptive-mesh-refinement
+//! framework solving 2D shallow-water equations on tree-structured
+//! triangular meshes whose cells are contiguous along a Sierpinski
+//! space-filling curve; mesh sections (contiguous SFC ranges) are the
+//! migratable tasks, and an ADER-DG scheme with a-posteriori finite-volume
+//! limiting makes per-cell cost vary (troubled cells near the wet/dry front
+//! are recomputed). Load imbalance arises because the runtime partitions
+//! sections with an *incorrect* (uniform-cost) model.
+//!
+//! This crate rebuilds that pipeline at mini-app scale, from scratch:
+//!
+//! * [`mesh`] — newest-vertex-bisection triangular refinement of the unit
+//!   square; depth-first leaf order **is** the Sierpinski traversal order.
+//! * [`swe`] — Thacker's exact oscillating-lake solution of the
+//!   shallow-water equations in a parabolic bowl (the very scenario the
+//!   paper simulates), giving analytic wet/dry state at any time.
+//! * [`scenario`] — the cost model (dry cells cheap, wet cells pay the
+//!   DG update, shoreline cells pay the limiter recompute), equal-cell-count
+//!   sectioning (the wrong cost model), and extraction of LRP
+//!   [`qlrb_core::Instance`]s — including the paper's pinned Table V
+//!   configuration (32 nodes × 208 tasks, baseline `R_imb = 4.1994`).
+//! * [`sfc`] — section range splitting along the space-filling curve.
+
+pub mod fv;
+pub mod mesh;
+pub mod scenario;
+pub mod sfc;
+pub mod swe;
+pub mod tsunami;
+
+pub use fv::FvSolver;
+pub use mesh::{Mesh, Triangle};
+pub use scenario::{CostModel, LakeScenario};
+pub use tsunami::TsunamiScenario;
+pub use swe::OscillatingLake;

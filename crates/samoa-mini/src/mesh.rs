@@ -1,0 +1,233 @@
+//! Newest-vertex-bisection triangular meshes with Sierpinski leaf order.
+//!
+//! The unit square is covered by two right isosceles triangles; refining a
+//! triangle bisects it across its hypotenuse through the right-angle apex,
+//! and the midpoint becomes the *newest vertex* (the children's apex). A
+//! depth-first traversal that always visits the child sharing the previous
+//! leaf's edge first enumerates the leaves along a Sierpinski curve — this
+//! is exactly how sam(oa)² linearizes its cells.
+
+/// One triangle: right-angle apex plus the two hypotenuse endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// The right-angle / newest vertex.
+    pub apex: [f64; 2],
+    /// First hypotenuse endpoint.
+    pub a: [f64; 2],
+    /// Second hypotenuse endpoint.
+    pub b: [f64; 2],
+    /// Refinement depth (root = 0).
+    pub depth: u32,
+}
+
+fn mid(p: [f64; 2], q: [f64; 2]) -> [f64; 2] {
+    [(p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0]
+}
+
+impl Triangle {
+    /// Bisects across the hypotenuse: the midpoint becomes both children's
+    /// apex. Child order (`a`-side first, `b`-side second) is what makes the
+    /// DFS order a space-filling curve.
+    pub fn children(&self) -> (Triangle, Triangle) {
+        let m = mid(self.a, self.b);
+        (
+            Triangle {
+                apex: m,
+                a: self.a,
+                b: self.apex,
+                depth: self.depth + 1,
+            },
+            Triangle {
+                apex: m,
+                a: self.apex,
+                b: self.b,
+                depth: self.depth + 1,
+            },
+        )
+    }
+
+    /// Triangle centroid.
+    pub fn centroid(&self) -> [f64; 2] {
+        [
+            (self.apex[0] + self.a[0] + self.b[0]) / 3.0,
+            (self.apex[1] + self.a[1] + self.b[1]) / 3.0,
+        ]
+    }
+
+    /// Unsigned area.
+    pub fn area(&self) -> f64 {
+        let (p, q, r) = (self.apex, self.a, self.b);
+        0.5 * ((q[0] - p[0]) * (r[1] - p[1]) - (r[0] - p[0]) * (q[1] - p[1])).abs()
+    }
+
+    /// Whether two triangles share at least one vertex (used to check the
+    /// locality of the Sierpinski order).
+    pub fn touches(&self, other: &Triangle) -> bool {
+        let mine = [self.apex, self.a, self.b];
+        let theirs = [other.apex, other.a, other.b];
+        mine.iter().any(|p| {
+            theirs
+                .iter()
+                .any(|q| (p[0] - q[0]).abs() < 1e-12 && (p[1] - q[1]).abs() < 1e-12)
+        })
+    }
+}
+
+/// An adaptively refined mesh: the leaves of the bisection tree, in
+/// Sierpinski (depth-first) order.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    leaves: Vec<Triangle>,
+}
+
+impl Mesh {
+    /// Builds a mesh over the unit square. Every cell is refined to at least
+    /// `d_min`; cells for which `indicator(centroid)` holds are refined
+    /// further, up to `d_max`.
+    ///
+    /// # Panics
+    /// Panics if `d_max < d_min`.
+    pub fn adaptive(d_min: u32, d_max: u32, indicator: impl Fn([f64; 2]) -> bool) -> Self {
+        assert!(d_max >= d_min, "d_max must be >= d_min");
+        // Two root triangles along the square's main diagonal, oriented so
+        // the DFS order is continuous across the diagonal.
+        let roots = [
+            Triangle {
+                apex: [0.0, 0.0],
+                a: [0.0, 1.0],
+                b: [1.0, 0.0],
+                depth: 0,
+            },
+            Triangle {
+                apex: [1.0, 1.0],
+                a: [1.0, 0.0],
+                b: [0.0, 1.0],
+                depth: 0,
+            },
+        ];
+        let mut leaves = Vec::new();
+        for root in roots {
+            let mut stack = vec![root];
+            while let Some(t) = stack.pop() {
+                // A cell is refined if the indicator fires anywhere we can
+                // cheaply probe it — centroid or any vertex — so coarse
+                // cells overlapping the region cannot slip through.
+                let hit = || {
+                    indicator(t.centroid())
+                        || indicator(t.apex)
+                        || indicator(t.a)
+                        || indicator(t.b)
+                };
+                let refine = t.depth < d_min || (t.depth < d_max && hit());
+                if refine {
+                    let (c1, c2) = t.children();
+                    // Push second child first so the stack pops `a`-side
+                    // (curve-continuous) first.
+                    stack.push(c2);
+                    stack.push(c1);
+                } else {
+                    leaves.push(t);
+                }
+            }
+        }
+        Self { leaves }
+    }
+
+    /// A uniformly refined mesh of depth `d` (`2^(d+1)` cells).
+    pub fn uniform(d: u32) -> Self {
+        Self::adaptive(d, d, |_| false)
+    }
+
+    /// The leaf triangles in Sierpinski order.
+    pub fn leaves(&self) -> &[Triangle] {
+        &self.leaves
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total mesh area (should be 1 for the unit square).
+    pub fn total_area(&self) -> f64 {
+        self.leaves.iter().map(Triangle::area).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_and_area() {
+        for d in 0..8 {
+            let mesh = Mesh::uniform(d);
+            assert_eq!(mesh.num_cells(), 2usize << d, "depth {d}");
+            assert!((mesh.total_area() - 1.0).abs() < 1e-12, "depth {d}");
+            assert!(mesh.leaves().iter().all(|t| t.depth == d));
+        }
+    }
+
+    #[test]
+    fn adaptive_refines_only_where_indicated() {
+        // Refine near the center point.
+        let mesh = Mesh::adaptive(3, 6, |c| {
+            let (dx, dy) = (c[0] - 0.5, c[1] - 0.5);
+            (dx * dx + dy * dy).sqrt() < 0.15
+        });
+        assert!((mesh.total_area() - 1.0).abs() < 1e-12);
+        let depths: Vec<u32> = mesh.leaves().iter().map(|t| t.depth).collect();
+        assert!(depths.iter().any(|&d| d > 3), "some refinement happened");
+        assert!(depths.iter().all(|&d| (3..=6).contains(&d)));
+        // Deep cells cluster near the center.
+        for t in mesh.leaves().iter().filter(|t| t.depth == 6) {
+            let c = t.centroid();
+            let r = ((c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2)).sqrt();
+            assert!(r < 0.3, "deep cell far from indicator region: r = {r}");
+        }
+    }
+
+    #[test]
+    fn sierpinski_order_is_local() {
+        // Consecutive leaves along the curve always share a vertex.
+        let mesh = Mesh::uniform(6);
+        for pair in mesh.leaves().windows(2) {
+            assert!(
+                pair[0].touches(&pair[1]),
+                "consecutive leaves disconnected: {:?} / {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_order_is_local_too() {
+        let mesh = Mesh::adaptive(4, 7, |c| c[0] < 0.3);
+        for pair in mesh.leaves().windows(2) {
+            assert!(pair[0].touches(&pair[1]));
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let t = Triangle {
+            apex: [0.0, 0.0],
+            a: [0.0, 1.0],
+            b: [1.0, 0.0],
+            depth: 0,
+        };
+        let (c1, c2) = t.children();
+        assert!((c1.area() + c2.area() - t.area()).abs() < 1e-12);
+        assert_eq!(c1.depth, 1);
+        // Both children's apex is the hypotenuse midpoint.
+        assert_eq!(c1.apex, [0.5, 0.5]);
+        assert_eq!(c2.apex, [0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_max")]
+    fn bad_depth_bounds_panic() {
+        Mesh::adaptive(5, 3, |_| false);
+    }
+}

@@ -1,0 +1,82 @@
+//! Sectioning along the space-filling curve.
+
+use std::ops::Range;
+
+/// Splits `num_cells` SFC-ordered cells into `num_sections` contiguous
+/// ranges of (nearly) equal *cell count* — the uniform cost model that the
+/// paper deliberately assumes to be wrong, creating the imbalance the
+/// rebalancers must fix. The first `num_cells % num_sections` sections get
+/// one extra cell.
+///
+/// # Panics
+/// Panics if `num_sections == 0` or there are fewer cells than sections.
+pub fn split_even(num_cells: usize, num_sections: usize) -> Vec<Range<usize>> {
+    assert!(num_sections >= 1, "need at least one section");
+    assert!(
+        num_cells >= num_sections,
+        "cannot split {num_cells} cells into {num_sections} non-empty sections"
+    );
+    let base = num_cells / num_sections;
+    let extra = num_cells % num_sections;
+    let mut ranges = Vec::with_capacity(num_sections);
+    let mut start = 0;
+    for s in 0..num_sections {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_cells);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_division() {
+        let r = split_even(12, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..9, 9..12]);
+    }
+
+    #[test]
+    fn remainder_spreads_to_leading_sections() {
+        let r = split_even(10, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn one_cell_per_section() {
+        let r = split_even(3, 3);
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn too_many_sections_panics() {
+        split_even(2, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_is_exact_and_balanced(
+            cells in 1usize..10_000,
+            sections in 1usize..100,
+        ) {
+            prop_assume!(cells >= sections);
+            let ranges = split_even(cells, sections);
+            prop_assert_eq!(ranges.len(), sections);
+            // Contiguous cover.
+            prop_assert_eq!(ranges[0].start, 0);
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            prop_assert_eq!(ranges.last().unwrap().end, cells);
+            // Counts differ by at most one.
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+}

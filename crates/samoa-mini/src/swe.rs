@@ -1,0 +1,195 @@
+//! Thacker's exact oscillating-lake solution of the shallow-water equations.
+//!
+//! The paper's sam(oa)² run simulates an *oscillating lake*: water sloshing
+//! in a parabolic bowl, a classic wet/dry benchmark because an exact
+//! solution exists (Thacker 1981, the radially-symmetric curved-surface
+//! case). With bowl profile `z_b(r) = h₀·(r²/a² − 1)` the water depth is
+//!
+//! ```text
+//! h(r, t) = h₀·( √(1−A²)/f(t) − (r²/a²)·(1−A²)/f(t)² ),   f(t) = 1 − A·cos(ωt)
+//! ```
+//!
+//! clamped at zero (dry), with frequency `ω = √(8·g·h₀)/a` and amplitude
+//! parameter `A ∈ [0, 1)`. The wet disc's radius breathes periodically; the
+//! moving shoreline is where the a-posteriori limiter in an ADER-DG scheme
+//! fires, which is exactly the cost heterogeneity the cost model in
+//! [`crate::scenario`] charges for.
+
+/// The analytic oscillating-lake state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillatingLake {
+    /// Still-water depth at the bowl center.
+    pub h0: f64,
+    /// Bowl radius (shoreline radius of the lake at rest).
+    pub a: f64,
+    /// Oscillation amplitude `A ∈ [0, 1)`.
+    pub amplitude: f64,
+    /// Gravity.
+    pub g: f64,
+    /// Bowl center in domain coordinates.
+    pub center: [f64; 2],
+}
+
+impl Default for OscillatingLake {
+    fn default() -> Self {
+        Self {
+            h0: 0.1,
+            a: 0.25,
+            amplitude: 0.5,
+            g: 9.81,
+            // Deliberately off-center: the Sierpinski curve's node spans are
+            // symmetric around the domain center, so a centered lake loads
+            // every node identically and no imbalance arises.
+            center: [0.4, 0.35],
+        }
+    }
+}
+
+impl OscillatingLake {
+    /// Angular frequency `ω = √(8·g·h₀)/a`.
+    pub fn omega(&self) -> f64 {
+        (8.0 * self.g * self.h0).sqrt() / self.a
+    }
+
+    /// Oscillation period.
+    pub fn period(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.omega()
+    }
+
+    /// Water depth at `(x, y)` and time `t` (0 where dry).
+    pub fn depth(&self, x: f64, y: f64, t: f64) -> f64 {
+        let a2 = self.amplitude * self.amplitude;
+        let f = 1.0 - self.amplitude * (self.omega() * t).cos();
+        let r2 = (x - self.center[0]).powi(2) + (y - self.center[1]).powi(2);
+        let h = self.h0 * ((1.0 - a2).sqrt() / f - (r2 / (self.a * self.a)) * (1.0 - a2) / (f * f));
+        h.max(0.0)
+    }
+
+    /// Whether `(x, y)` is wet at time `t`.
+    pub fn is_wet(&self, x: f64, y: f64, t: f64) -> bool {
+        self.depth(x, y, t) > 0.0
+    }
+
+    /// Current wet radius: `R_w(t)² = a²·f(t)/√(1−A²)`.
+    pub fn wet_radius(&self, t: f64) -> f64 {
+        let f = 1.0 - self.amplitude * (self.omega() * t).cos();
+        (self.a * self.a * f / (1.0 - self.amplitude * self.amplitude).sqrt()).sqrt()
+    }
+
+    /// Whether `(x, y)` lies in the shoreline band at time `t`: wet but with
+    /// depth below `band` (the "troubled cell" criterion for the limiter),
+    /// or dry but within the band of the shoreline radius.
+    pub fn near_shoreline(&self, x: f64, y: f64, t: f64, band: f64) -> bool {
+        let d = self.depth(x, y, t);
+        if d > 0.0 {
+            d < band
+        } else {
+            let r = ((x - self.center[0]).powi(2) + (y - self.center[1]).powi(2)).sqrt();
+            (r - self.wet_radius(t)).abs() < band * 4.0
+        }
+    }
+
+    /// Total water volume by quadrature over a grid (for conservation
+    /// tests); the analytic value is `π·h₀·a²/2`, independent of `t`.
+    pub fn volume_quadrature(&self, t: f64, cells_per_side: usize) -> f64 {
+        let h = 1.0 / cells_per_side as f64;
+        let mut vol = 0.0;
+        for i in 0..cells_per_side {
+            for j in 0..cells_per_side {
+                let x = (i as f64 + 0.5) * h;
+                let y = (j as f64 + 0.5) * h;
+                vol += self.depth(x, y, t) * h * h;
+            }
+        }
+        vol
+    }
+
+    /// The exact total volume `π·h₀·a²/2`.
+    pub fn exact_volume(&self) -> f64 {
+        std::f64::consts::PI * self.h0 * self.a * self.a / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rest_state_when_amplitude_zero() {
+        let lake = OscillatingLake {
+            amplitude: 0.0,
+            ..Default::default()
+        };
+        // h(r) = h0(1 − r²/a²) at any time.
+        let [cx, cy] = lake.center;
+        for t in [0.0, 1.0, 10.0] {
+            assert!((lake.depth(cx, cy, t) - lake.h0).abs() < 1e-12);
+            assert!((lake.depth(cx + lake.a, cy, t)).abs() < 1e-12);
+            let half = lake.depth(cx + lake.a / 2.0_f64.sqrt(), cy, t);
+            assert!((half - lake.h0 / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn center_always_wet_far_corner_always_dry() {
+        let lake = OscillatingLake::default();
+        let period = lake.period();
+        let [cx, cy] = lake.center;
+        for step in 0..20 {
+            let t = period * step as f64 / 20.0;
+            assert!(lake.is_wet(cx, cy, t), "center dry at t = {t}");
+            assert!(!lake.is_wet(0.98, 0.98, t), "corner wet at t = {t}");
+        }
+    }
+
+    #[test]
+    fn wet_radius_breathes_periodically() {
+        let lake = OscillatingLake::default();
+        let p = lake.period();
+        let r0 = lake.wet_radius(0.0);
+        let r_half = lake.wet_radius(p / 2.0);
+        let r_full = lake.wet_radius(p);
+        assert!(r_half > r0, "lake expands after the contracted phase");
+        assert!((r_full - r0).abs() < 1e-9, "period closes the cycle");
+    }
+
+    #[test]
+    fn depth_boundary_matches_wet_radius() {
+        let lake = OscillatingLake::default();
+        let [cx, cy] = lake.center;
+        for t in [0.0, 0.3, 1.7] {
+            let rw = lake.wet_radius(t);
+            assert!(lake.depth(cx + rw * 0.99, cy, t) > 0.0);
+            assert!(lake.depth(cx + rw * 1.01, cy, t) == 0.0);
+        }
+    }
+
+    #[test]
+    fn volume_is_conserved() {
+        let lake = OscillatingLake::default();
+        let exact = lake.exact_volume();
+        let p = lake.period();
+        for step in 0..5 {
+            let t = p * step as f64 / 5.0;
+            let vol = lake.volume_quadrature(t, 400);
+            assert!(
+                (vol - exact).abs() / exact < 0.01,
+                "volume drift at t = {t}: {vol} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn shoreline_band_is_a_thin_annulus() {
+        let lake = OscillatingLake::default();
+        let t = 0.25 * lake.period();
+        let rw = lake.wet_radius(t);
+        let [cx, cy] = lake.center;
+        // Just inside the shoreline: troubled.
+        assert!(lake.near_shoreline(cx + rw - 1e-3, cy, t, 0.01));
+        // Deep center: not troubled.
+        assert!(!lake.near_shoreline(cx, cy, t, 0.01));
+        // Far outside: not troubled.
+        assert!(!lake.near_shoreline(0.95, 0.95, t, 0.01));
+    }
+}

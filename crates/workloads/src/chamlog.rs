@@ -1,0 +1,191 @@
+//! Chameleon-style execution logs.
+//!
+//! The paper's artifact extracts its LRP inputs from Chameleon run logs
+//! (`experiments/*/cham_logs/`, parsed by `cham_log_parser.py`). This module
+//! reproduces that pipeline: a writer that emits per-rank per-iteration
+//! lines in a Chameleon-flavoured format, and a parser that recovers the
+//! imbalance input ([`qlrb_core::Instance`]) from the *last* iteration —
+//! which is exactly what the artifact's scripts do.
+//!
+//! Log line shape (one per rank per iteration):
+//!
+//! ```text
+//! it=3 rank=2 ntasks=50 w=3.375000 load=168.750000
+//! ```
+
+use qlrb_core::{Instance, RebalanceError};
+
+/// Serializes a synthetic Chameleon log: `iterations` BSP iterations of the
+/// given instance (loads are stationary without rebalancing, as in the
+/// paper's imbalance captures).
+pub fn write_log(inst: &Instance, iterations: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# chameleon log: ranks={} tasks_per_rank={}",
+        inst.num_procs(),
+        inst.tasks_per_proc()
+    );
+    for it in 0..iterations.max(1) {
+        for (rank, &w) in inst.weights().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "it={it} rank={rank} ntasks={} w={:.6} load={:.6}",
+                inst.tasks_per_proc(),
+                w,
+                w * inst.tasks_per_proc() as f64
+            );
+        }
+    }
+    out
+}
+
+/// Parses a log back into the last iteration's imbalance input.
+///
+/// Tolerant of comment lines (`#`) and blank lines; strict about field
+/// structure, rank contiguity, and the `load = w·ntasks` cross-check.
+pub fn parse_log(log: &str) -> Result<Instance, RebalanceError> {
+    let mut last_it: Option<u64> = None;
+    // (rank, ntasks, w) of the most recent iteration seen.
+    let mut rows: Vec<(usize, u64, f64)> = Vec::new();
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = None;
+        let mut rank = None;
+        let mut ntasks = None;
+        let mut w = None;
+        let mut load = None;
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=').ok_or_else(|| {
+                RebalanceError::Io(format!("line {}: malformed field '{field}'", lineno + 1))
+            })?;
+            let bad = |what: &str| {
+                RebalanceError::Io(format!("line {}: bad {what} '{value}'", lineno + 1))
+            };
+            match key {
+                "it" => it = Some(value.parse::<u64>().map_err(|_| bad("iteration"))?),
+                "rank" => rank = Some(value.parse::<usize>().map_err(|_| bad("rank"))?),
+                "ntasks" => ntasks = Some(value.parse::<u64>().map_err(|_| bad("ntasks"))?),
+                "w" => w = Some(value.parse::<f64>().map_err(|_| bad("weight"))?),
+                "load" => load = Some(value.parse::<f64>().map_err(|_| bad("load"))?),
+                other => {
+                    return Err(RebalanceError::Io(format!(
+                        "line {}: unknown field '{other}'",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        let (Some(it), Some(rank), Some(ntasks), Some(w), Some(load)) =
+            (it, rank, ntasks, w, load)
+        else {
+            return Err(RebalanceError::Io(format!(
+                "line {}: missing fields",
+                lineno + 1
+            )));
+        };
+        if (load - w * ntasks as f64).abs() > 1e-6 * (1.0 + load.abs()) {
+            return Err(RebalanceError::Io(format!(
+                "line {}: load {load} inconsistent with w*ntasks = {}",
+                lineno + 1,
+                w * ntasks as f64
+            )));
+        }
+        if last_it != Some(it) {
+            last_it = Some(it);
+            rows.clear();
+        }
+        rows.push((rank, ntasks, w));
+    }
+    if rows.is_empty() {
+        return Err(RebalanceError::Io("log contains no data lines".into()));
+    }
+    rows.sort_by_key(|&(rank, _, _)| rank);
+    let n = rows[0].1;
+    let mut weights = Vec::with_capacity(rows.len());
+    for (expect, &(rank, ntasks, w)) in rows.iter().enumerate() {
+        if rank != expect {
+            return Err(RebalanceError::Io(format!(
+                "rank {expect} missing or duplicated in the last iteration"
+            )));
+        }
+        if ntasks != n {
+            return Err(RebalanceError::Io(format!(
+                "rank {rank} holds {ntasks} tasks; the LRP input model needs a uniform count ({n})"
+            )));
+        }
+        weights.push(w);
+    }
+    Instance::uniform(n, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::uniform(50, vec![1.0, 3.375, 8.0, 15.625]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_last_iteration() {
+        let log = write_log(&inst(), 5);
+        let back = parse_log(&log).unwrap();
+        assert_eq!(back, inst());
+    }
+
+    #[test]
+    fn parser_takes_the_last_iteration() {
+        // First iteration balanced, last imbalanced.
+        let balanced = Instance::uniform(50, vec![2.0; 4]).unwrap();
+        let mut log = write_log(&balanced, 1);
+        // Manually append a second iteration with different weights.
+        let imb = inst();
+        for (rank, &w) in imb.weights().iter().enumerate() {
+            log.push_str(&format!(
+                "it=1 rank={rank} ntasks=50 w={w:.6} load={:.6}\n",
+                w * 50.0
+            ));
+        }
+        let back = parse_log(&log).unwrap();
+        assert_eq!(back, imb);
+    }
+
+    #[test]
+    fn rejects_inconsistent_load() {
+        let log = "it=0 rank=0 ntasks=10 w=2.0 load=999.0\n";
+        assert!(parse_log(log).unwrap_err().to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn rejects_missing_rank() {
+        let log = "it=0 rank=0 ntasks=10 w=2.0 load=20.0\n\
+                   it=0 rank=2 ntasks=10 w=3.0 load=30.0\n";
+        assert!(parse_log(log).unwrap_err().to_string().contains("rank 1"));
+    }
+
+    #[test]
+    fn rejects_nonuniform_counts() {
+        let log = "it=0 rank=0 ntasks=10 w=2.0 load=20.0\n\
+                   it=0 rank=1 ntasks=11 w=3.0 load=33.0\n";
+        assert!(parse_log(log).unwrap_err().to_string().contains("uniform"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_log("").is_err());
+        assert!(parse_log("# only comments\n").is_err());
+        assert!(parse_log("it=0 rank=zero ntasks=1 w=1 load=1").is_err());
+        assert!(parse_log("hello world").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let log = format!("# header\n\n{}", write_log(&inst(), 1));
+        assert!(parse_log(&log).is_ok());
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic generators for the paper's three MxM experiment groups.
+//!
+//! In every group a node's tasks share one matrix size, drawn from the
+//! paper's range `{128, 192, 256, …, 512}` (step 64); per-task load follows
+//! the cubic [`crate::mxm::load_model`]. Each generator returns labelled
+//! [`Instance`]s ready for the rebalancing methods.
+
+use qlrb_core::Instance;
+
+use crate::mxm::load_model;
+
+/// The matrix sizes the paper sweeps (§V-B: "in the range {128, 192, 256,
+/// …, 512}").
+pub const MXM_SIZES: [u32; 7] = [128, 192, 256, 320, 384, 448, 512];
+
+fn instance_from_sizes(n: u64, sizes: &[u32]) -> Instance {
+    let weights = sizes.iter().map(|&s| load_model(s)).collect();
+    Instance::uniform(n, weights).expect("generator parameters are valid")
+}
+
+/// Group 1 (Fig. 3 / Table II): five imbalance levels on 8 nodes × 50
+/// tasks. `Imb.0` is perfectly balanced; the spread of matrix sizes (and
+/// with it `R_imb`) grows monotonically through `Imb.4`.
+pub fn imbalance_levels() -> Vec<(String, Instance)> {
+    let cases: [(&str, [u32; 8]); 5] = [
+        ("Imb.0", [256; 8]),
+        ("Imb.1", [256, 256, 256, 256, 256, 256, 320, 320]),
+        ("Imb.2", [192, 192, 256, 256, 256, 320, 320, 384]),
+        ("Imb.3", [128, 192, 256, 256, 320, 384, 448, 512]),
+        ("Imb.4", [128, 128, 128, 128, 128, 128, 128, 512]),
+    ];
+    cases
+        .iter()
+        .map(|(label, sizes)| (label.to_string(), instance_from_sizes(50, sizes)))
+        .collect()
+}
+
+/// Group 2 (Fig. 4 / Table III): node counts {4, 8, 16, 32, 64}, 100 tasks
+/// per node, sizes assigned cyclically through [`MXM_SIZES`] so every scale
+/// has a comparable mix of light and heavy nodes.
+pub fn node_scaling() -> Vec<(usize, Instance)> {
+    [4usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&m| {
+            let sizes: Vec<u32> = (0..m).map(|i| MXM_SIZES[i % MXM_SIZES.len()]).collect();
+            (m, instance_from_sizes(100, &sizes))
+        })
+        .collect()
+}
+
+/// Group 3 (Fig. 5 / Table IV): 8 nodes, tasks per node doubling from 8 to
+/// 2048, the same cyclic size mix at every scale.
+pub fn task_scaling() -> Vec<(u64, Instance)> {
+    let sizes: Vec<u32> = (0..8).map(|i| MXM_SIZES[i % MXM_SIZES.len()]).collect();
+    [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        .iter()
+        .map(|&n| (n, instance_from_sizes(n, &sizes)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_levels_are_monotone() {
+        let cases = imbalance_levels();
+        assert_eq!(cases.len(), 5);
+        assert_eq!(cases[0].1.stats().imbalance_ratio, 0.0, "Imb.0 balanced");
+        let ratios: Vec<f64> = cases.iter().map(|(_, i)| i.stats().imbalance_ratio).collect();
+        for w in ratios.windows(2) {
+            assert!(w[0] < w[1], "imbalance must increase: {ratios:?}");
+        }
+        for (_, inst) in &cases {
+            assert_eq!(inst.num_procs(), 8);
+            assert_eq!(inst.tasks_per_proc(), 50);
+        }
+    }
+
+    #[test]
+    fn node_scaling_shapes() {
+        let cases = node_scaling();
+        let ms: Vec<usize> = cases.iter().map(|c| c.0).collect();
+        assert_eq!(ms, vec![4, 8, 16, 32, 64]);
+        for (m, inst) in &cases {
+            assert_eq!(inst.num_procs(), *m);
+            assert_eq!(inst.tasks_per_proc(), 100);
+            assert!(inst.stats().imbalance_ratio > 0.0, "every scale is imbalanced");
+        }
+    }
+
+    #[test]
+    fn task_scaling_shapes() {
+        let cases = task_scaling();
+        assert_eq!(cases.len(), 9);
+        for (n, inst) in &cases {
+            assert_eq!(inst.tasks_per_proc(), *n);
+            assert_eq!(inst.num_procs(), 8);
+        }
+        // R_imb is scale-free in n: identical mixes give identical ratios.
+        let r0 = cases[0].1.stats().imbalance_ratio;
+        for (_, inst) in &cases[1..] {
+            assert!((inst.stats().imbalance_ratio - r0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_sizes_come_from_the_paper_range() {
+        for (_, inst) in imbalance_levels() {
+            for &w in inst.weights() {
+                assert!(
+                    MXM_SIZES.iter().any(|&s| (load_model(s) - w).abs() < 1e-12),
+                    "weight {w} not from the size range"
+                );
+            }
+        }
+    }
+}

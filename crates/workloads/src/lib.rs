@@ -1,0 +1,24 @@
+//! # qlrb-workloads — the paper's MxM workload and experiment inputs
+//!
+//! The paper's synthetic benchmark decomposes a matrix multiplication into
+//! per-task `A = B × C` kernels: a task's load is set by its matrix size,
+//! and imbalance is created by giving different nodes different sizes
+//! (uniform within a node). This crate provides
+//!
+//! * [`mxm`] — an actual matrix-multiply kernel (naive and cache-blocked)
+//!   used to calibrate the load-vs-size model (`load ∝ size³`), plus the
+//!   analytic model itself;
+//! * [`groups`] — deterministic generators for the paper's three MxM
+//!   experiment groups (§V-B): varying imbalance level, varying node count,
+//!   varying tasks per node;
+//! * [`synthetic`] — seeded random instance generators for tests and
+//!   property-based fuzzing.
+
+pub mod chamlog;
+pub mod groups;
+pub mod mxm;
+pub mod synthetic;
+
+pub use chamlog::{parse_log, write_log};
+pub use groups::{imbalance_levels, node_scaling, task_scaling, MXM_SIZES};
+pub use mxm::{load_model, Matrix};

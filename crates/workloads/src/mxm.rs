@@ -1,0 +1,206 @@
+//! The MxM compute kernel and its load model.
+//!
+//! One task is one `A = B × C` multiplication of square `size × size`
+//! matrices (2·size³ flops). The experiments only need *relative* loads, so
+//! the analytic model normalizes to the smallest size the paper uses
+//! (128): `load(size) = (size/128)³`. [`calibrate`] runs the real kernel to
+//! verify the cubic model on the current machine.
+
+use std::time::Instant;
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// A deterministic pseudo-random matrix (values in `[0, 1)`), seeded by
+    /// position — no RNG state needed, fully reproducible.
+    pub fn patterned(n: usize) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                // A simple LCG-style hash of the position.
+                let h = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(j as u64)
+                    .wrapping_mul(1442695040888963407);
+                data.push((h >> 11) as f64 / (1u64 << 53) as f64);
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Naive triple-loop multiply (ikj order, so the inner loop streams).
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let (orow, brow) = (i * n, k * n);
+                for j in 0..n {
+                    out.data[orow + j] += a * rhs.data[brow + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked multiply (block size `b`).
+    pub fn multiply_blocked(&self, rhs: &Matrix, b: usize) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        assert!(b >= 1);
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for ii in (0..n).step_by(b) {
+            for kk in (0..n).step_by(b) {
+                for jj in (0..n).step_by(b) {
+                    for i in ii..(ii + b).min(n) {
+                        for k in kk..(kk + b).min(n) {
+                            let a = self.data[i * n + k];
+                            for j in jj..(jj + b).min(n) {
+                                out.data[i * n + j] += a * rhs.data[k * n + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm (used by tests to compare products cheaply).
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Analytic task-load model: `(size/128)³`, normalized so the smallest
+/// matrix size the paper uses costs 1.0.
+pub fn load_model(size: u32) -> f64 {
+    let s = size as f64 / 128.0;
+    s * s * s
+}
+
+/// One calibration sample: measured kernel time for a size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationPoint {
+    /// Matrix dimension.
+    pub size: u32,
+    /// Measured seconds for one multiply.
+    pub seconds: f64,
+    /// `seconds / load_model(size)` — constant if the cubic model holds.
+    pub seconds_per_unit: f64,
+}
+
+/// Times the real kernel at each size. Used by the calibration example; the
+/// experiment generators use [`load_model`] directly so they are
+/// machine-independent and fast.
+pub fn calibrate(sizes: &[u32]) -> Vec<CalibrationPoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let a = Matrix::patterned(size as usize);
+            let b = Matrix::patterned(size as usize);
+            let started = Instant::now();
+            let c = a.multiply_blocked(&b, 64);
+            let seconds = started.elapsed().as_secs_f64().max(1e-12);
+            std::hint::black_box(c.frobenius());
+            CalibrationPoint {
+                size,
+                seconds,
+                seconds_per_unit: seconds / load_model(size),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_identity() {
+        let n = 8;
+        let mut id = Matrix::zeros(n);
+        for i in 0..n {
+            id.set(i, i, 1.0);
+        }
+        let a = Matrix::patterned(n);
+        let prod = a.multiply(&id);
+        assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = Matrix::patterned(17); // deliberately not a multiple of block
+        let b = Matrix::patterned(17);
+        let naive = a.multiply(&b);
+        for blk in [1, 4, 8, 16, 32] {
+            let blocked = a.multiply_blocked(&b, blk);
+            for i in 0..17 {
+                for j in 0..17 {
+                    assert!(
+                        (naive.get(i, j) - blocked.get(i, j)).abs() < 1e-9,
+                        "block {blk} mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_model_is_cubic_and_normalized() {
+        assert_eq!(load_model(128), 1.0);
+        assert_eq!(load_model(256), 8.0);
+        assert_eq!(load_model(512), 64.0);
+        assert!((load_model(192) - 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patterned_is_deterministic() {
+        assert_eq!(Matrix::patterned(9), Matrix::patterned(9));
+    }
+
+    #[test]
+    fn calibration_reports_positive_times() {
+        let pts = calibrate(&[16, 32]);
+        assert_eq!(pts.len(), 2);
+        for p in pts {
+            assert!(p.seconds > 0.0);
+            assert!(p.seconds_per_unit > 0.0);
+        }
+    }
+}

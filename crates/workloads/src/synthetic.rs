@@ -1,0 +1,90 @@
+//! Seeded random instance generators for tests and fuzzing.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qlrb_core::Instance;
+
+/// A uniformly random instance: `m` processes, `n` tasks each, per-process
+/// weights drawn from `[w_min, w_max)`.
+pub fn random_instance(seed: u64, m: usize, n: u64, w_min: f64, w_max: f64) -> Instance {
+    assert!(m >= 1 && n >= 1 && w_min >= 0.0 && w_max > w_min);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weights = (0..m).map(|_| rng.random_range(w_min..w_max)).collect();
+    Instance::uniform(n, weights).expect("parameters validated above")
+}
+
+/// A "hot spot" instance: all processes share the base weight except
+/// `num_hot` of them, whose tasks are `factor`× heavier — the shape that
+/// stresses migration budgets the hardest.
+pub fn hotspot_instance(m: usize, n: u64, num_hot: usize, factor: f64) -> Instance {
+    assert!(num_hot <= m && factor >= 1.0);
+    let weights = (0..m)
+        .map(|i| if i < num_hot { factor } else { 1.0 })
+        .collect();
+    Instance::uniform(n, weights).expect("parameters validated above")
+}
+
+/// A heavy-tailed instance: per-process weights drawn lognormally
+/// (`exp(σ·z)` with `z` standard normal), the shape empirical task-time
+/// distributions in AMR codes tend toward — a few processes dominate.
+pub fn lognormal_instance(seed: u64, m: usize, n: u64, sigma: f64) -> Instance {
+    assert!(m >= 1 && n >= 1 && sigma >= 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weights = (0..m)
+        .map(|_| {
+            // Box–Muller standard normal.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (sigma * z).exp()
+        })
+        .collect();
+    Instance::uniform(n, weights).expect("lognormal weights are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = random_instance(9, 6, 20, 0.5, 5.0);
+        let b = random_instance(9, 6, 20, 0.5, 5.0);
+        assert_eq!(a, b);
+        let c = random_instance(10, 6, 20, 0.5, 5.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let inst = random_instance(1, 32, 5, 2.0, 3.0);
+        for &w in inst.weights() {
+            assert!((2.0..3.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_heavy_tailed_and_deterministic() {
+        let a = lognormal_instance(3, 64, 10, 1.0);
+        let b = lognormal_instance(3, 64, 10, 1.0);
+        assert_eq!(a, b);
+        // σ = 0 degenerates to all-ones.
+        let flat = lognormal_instance(3, 16, 10, 0.0);
+        assert!(flat.weights().iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        // At σ = 1 the max/median ratio is substantial.
+        let mut w: Vec<f64> = a.weights().to_vec();
+        w.sort_by(f64::total_cmp);
+        assert!(w[63] / w[32] > 2.0, "heavy tail expected: {:?}", &w[60..]);
+    }
+
+    #[test]
+    fn hotspot_shape() {
+        let inst = hotspot_instance(8, 10, 2, 16.0);
+        assert_eq!(inst.weights()[0], 16.0);
+        assert_eq!(inst.weights()[1], 16.0);
+        assert_eq!(inst.weights()[2], 1.0);
+        assert!(inst.stats().imbalance_ratio > 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Calibrates the MxM load model against the real kernel: runs actual
+//! `A = B × C` multiplications at increasing sizes and checks that measured
+//! time per model unit is roughly constant (the cubic law the experiment
+//! generators rely on).
+//!
+//! ```text
+//! cargo run --release --example calibrate_mxm
+//! ```
+
+use qlrb::workloads::mxm::{calibrate, load_model};
+
+fn main() {
+    let sizes = [64u32, 128, 192, 256, 320];
+    println!("{:>6} {:>12} {:>12} {:>16}", "size", "seconds", "model", "sec/model-unit");
+    let points = calibrate(&sizes);
+    for p in &points {
+        println!(
+            "{:>6} {:>12.6} {:>12.3} {:>16.6}",
+            p.size,
+            p.seconds,
+            load_model(p.size),
+            p.seconds_per_unit
+        );
+    }
+    let units: Vec<f64> = points.iter().map(|p| p.seconds_per_unit).collect();
+    let mean = units.iter().sum::<f64>() / units.len() as f64;
+    let max_dev = units
+        .iter()
+        .map(|u| (u - mean).abs() / mean)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmean = {mean:.6} s/unit, max relative deviation = {:.1}% \
+         (cubic model {})",
+        max_dev * 100.0,
+        if max_dev < 0.5 { "holds" } else { "is off on this machine" }
+    );
+}

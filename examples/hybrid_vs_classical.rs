@@ -1,0 +1,100 @@
+//! A deep dive into the hybrid solver on one instance: formulation
+//! variants, penalty encodings, samplers in isolation, and the migration
+//! budget trade-off (the paper's §VI discussion points, runnable).
+//!
+//! ```text
+//! cargo run --release --example hybrid_vs_classical
+//! ```
+
+use qlrb::anneal::hybrid::SamplerKind;
+use qlrb::core::cqm::{logical_qubits, Variant};
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::HarnessConfig;
+use qlrb::model::penalty::PenaltyStyle;
+
+fn main() {
+    let inst = Instance::uniform(32, vec![1.0, 1.5, 2.25, 3.375, 5.0, 7.5, 11.0, 16.0])
+        .expect("valid instance");
+    let before = inst.stats();
+    println!(
+        "Instance: M = {}, n = {}, R_imb = {:.4}",
+        inst.num_procs(),
+        inst.tasks_per_proc(),
+        before.imbalance_ratio
+    );
+    let m = inst.num_procs() as u64;
+    let n = inst.tasks_per_proc();
+    println!(
+        "Logical qubits: Q_CQM1 = {}, Q_CQM2 = {}\n",
+        logical_qubits(Variant::Reduced, m, n),
+        logical_qubits(Variant::Full, m, n)
+    );
+    let cfg = HarnessConfig::default();
+    let k = inst.num_tasks() / 4;
+
+    println!("-- Formulation variants (k = N/4 = {k}) --");
+    for variant in [Variant::Reduced, Variant::Full] {
+        let method = cfg.quantum(&inst, variant, k, variant.label());
+        let out = method.rebalance(&inst).expect("solve");
+        let after = inst.stats_after(&out.matrix);
+        println!(
+            "{:<8} R_imb = {:.4}  migrated = {:3}  cpu = {:6.1} ms",
+            variant.label(),
+            after.imbalance_ratio,
+            out.matrix.num_migrated(),
+            out.runtime.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n-- Inequality penalty encodings (Q_CQM1) --");
+    for (style, name) in [
+        (PenaltyStyle::ViolationQuadratic, "violation-quadratic"),
+        (PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 }, "unbalanced"),
+        (PenaltyStyle::Slack, "slack-variables"),
+    ] {
+        let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
+        method.solver.style = style;
+        let out = method.rebalance(&inst).expect("solve");
+        let after = inst.stats_after(&out.matrix);
+        println!(
+            "{:<20} R_imb = {:.4}  migrated = {:3}",
+            name,
+            after.imbalance_ratio,
+            out.matrix.num_migrated()
+        );
+    }
+
+    println!("\n-- Portfolio members in isolation (Q_CQM1) --");
+    for (kind, name) in [
+        (SamplerKind::Sa, "SA"),
+        (SamplerKind::Sqa, "SQA"),
+        (SamplerKind::Tabu, "Tabu"),
+    ] {
+        let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
+        method.solver.samplers = vec![kind];
+        let out = method.rebalance(&inst).expect("solve");
+        let after = inst.stats_after(&out.matrix);
+        println!(
+            "{:<6} R_imb = {:.4}  migrated = {:3}  cpu = {:6.1} ms",
+            name,
+            after.imbalance_ratio,
+            out.matrix.num_migrated(),
+            out.runtime.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n-- Migration budget sweep (Q_CQM1) --");
+    let n_total = inst.num_tasks();
+    for k in [0, n_total / 32, n_total / 8, n_total / 4, n_total / 2] {
+        let method = cfg.quantum(&inst, Variant::Reduced, k, &format!("k={k}"));
+        let out = method.rebalance(&inst).expect("solve");
+        let after = inst.stats_after(&out.matrix);
+        println!(
+            "k = {:>4}: R_imb = {:.4}  migrated = {:3}  speedup = {:.3}",
+            k,
+            after.imbalance_ratio,
+            out.matrix.num_migrated(),
+            inst.speedup(&out.matrix)
+        );
+    }
+}

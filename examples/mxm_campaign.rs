@@ -1,0 +1,30 @@
+//! The MxM experiment campaign: runs the paper's Fig. 3 group (five
+//! imbalance levels on 8 nodes × 50 tasks) and prints the figure panels.
+//!
+//! ```text
+//! cargo run --release --example mxm_campaign            # full budget
+//! QLRB_FAST=1 cargo run --release --example mxm_campaign # quick look
+//! ```
+//!
+//! For the other two groups (node scaling, task scaling) use the dedicated
+//! regeneration binaries in `qlrb-bench`.
+
+use qlrb::harness::figures::{ascii_bars, figure_panels, Metric};
+use qlrb::harness::{varied_imbalance, HarnessConfig};
+
+fn main() {
+    let cfg = if std::env::var("QLRB_FAST").is_ok_and(|v| v == "1") {
+        HarnessConfig::fast()
+    } else {
+        HarnessConfig::default()
+    };
+    let exp = varied_imbalance(&cfg);
+
+    println!("{}", exp.to_table());
+    println!("{}", figure_panels(&exp));
+
+    // A quick visual of the most imbalanced case.
+    let worst = exp.cases.last().expect("five cases");
+    println!("{}", ascii_bars(worst, Metric::RImb, 40));
+    println!("{}", ascii_bars(worst, Metric::Migrated, 40));
+}

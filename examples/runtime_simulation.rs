@@ -1,0 +1,59 @@
+//! Executing a rebalancing plan on the simulated Chameleon runtime: the
+//! BSP Gantt chart of the paper's Fig. 1, before and after rebalancing,
+//! plus achieved speedup including migration communication costs.
+//!
+//! ```text
+//! cargo run --release --example runtime_simulation
+//! ```
+
+use qlrb::classical::ProactLb;
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::runtime::execute_plan;
+use qlrb::runtime::{render_gantt, simulate, SimConfig, SimInput};
+
+fn main() {
+    // Fig. 1's shape: 4 processes × 5 tasks, process 3 the slowest.
+    let inst = Instance::uniform(5, vec![1.87, 1.97, 3.12, 2.81]).expect("valid instance");
+    let cfg = SimConfig {
+        comp_threads: 2,
+        comm_latency: 0.05,
+        comm_cost_per_load: 0.02,
+        iterations: 1,
+    };
+
+    let baseline = simulate(&SimInput::from_instance(&inst), &cfg);
+    println!("== Baseline execution (no rebalancing) ==");
+    println!("{}", render_gantt(&baseline.trace, inst.num_procs(), 60));
+    println!(
+        "makespan = {:.2}, total wait = {:.2}\n",
+        baseline.iterations[0].makespan,
+        baseline.iterations[0].total_wait()
+    );
+
+    let plan = ProactLb.rebalance(&inst).expect("proactlb").matrix;
+    let rebalanced = simulate(&SimInput::from_plan(&inst, &plan), &cfg);
+    println!("== After ProactLB rebalancing ({} migrations) ==", plan.num_migrated());
+    println!("{}", render_gantt(&rebalanced.trace, inst.num_procs(), 60));
+    println!(
+        "makespan = {:.2}, total wait = {:.2}",
+        rebalanced.iterations[0].makespan,
+        rebalanced.iterations[0].total_wait()
+    );
+
+    let cmp = execute_plan(&inst, &plan, &cfg);
+    println!(
+        "\nanalytic speedup (paper metric) = {:.3}, achieved speedup = {:.3}, \
+         migration comm time = {:.3}",
+        cmp.analytic_speedup, cmp.achieved_speedup, cmp.migration_comm_time
+    );
+
+    // Amortization: one migration, many BSP iterations.
+    for iters in [1usize, 4, 16] {
+        let cfg_n = SimConfig { iterations: iters, ..cfg };
+        let cmp = execute_plan(&inst, &plan, &cfg_n);
+        println!(
+            "iterations = {iters:>2}: achieved speedup = {:.3}",
+            cmp.achieved_speedup
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The realistic use case end to end: build the oscillating-lake AMR
+//! scenario, extract the imbalanced LRP instance, and rebalance it with
+//! classical and hybrid methods (the paper's Table V, at adjustable scale).
+//!
+//! ```text
+//! cargo run --release --example samoa_rebalance           # small scenario
+//! QLRB_TABLE5=1 cargo run --release --example samoa_rebalance  # full 32x208
+//! ```
+
+use qlrb::classical::{Greedy, KarmarkarKarp, ProactLb};
+use qlrb::core::cqm::Variant;
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::HarnessConfig;
+use qlrb::samoa::scenario::{table5_instance, LakeScenario};
+
+fn main() {
+    let full = std::env::var("QLRB_TABLE5").is_ok_and(|v| v == "1");
+    let inst: Instance = if full {
+        println!("Scenario: paper Table V configuration (32 nodes x 208 tasks)");
+        table5_instance()
+    } else {
+        let scenario = LakeScenario::small();
+        let mesh = scenario.build_mesh();
+        println!(
+            "Scenario: oscillating lake, {} cells ({} nodes x {} sections), t = {:.2}",
+            mesh.num_cells(),
+            scenario.nodes,
+            scenario.sections_per_node,
+            scenario.time
+        );
+        scenario.to_instance()
+    };
+
+    let before = inst.stats();
+    println!(
+        "Baseline: R_imb = {:.4}, L_max = {:.2}, L_avg = {:.2}\n",
+        before.imbalance_ratio, before.l_max, before.l_avg
+    );
+
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>12} {:>9}",
+        "Algorithm", "R_imb", "Speedup", "# mig.", "CPU(ms)", "QPU(ms)"
+    );
+    let cfg = HarnessConfig::fast();
+    let greedy = Greedy.rebalance(&inst).expect("greedy");
+    let proact = ProactLb.rebalance(&inst).expect("proactlb");
+    let k1 = proact.matrix.num_migrated();
+    let k2 = greedy.matrix.num_migrated();
+
+    let mut methods: Vec<(String, qlrb::core::RebalanceOutcome)> = vec![
+        ("Greedy".into(), greedy),
+        ("KK".into(), KarmarkarKarp.rebalance(&inst).expect("kk")),
+        ("ProactLB".into(), proact),
+    ];
+    for (variant, k, name) in [
+        (Variant::Reduced, k1, "Q_CQM1_k1"),
+        (Variant::Reduced, k2, "Q_CQM1_k2"),
+    ] {
+        let method = cfg.quantum(&inst, variant, k, name);
+        methods.push((name.to_string(), method.rebalance(&inst).expect("hybrid")));
+    }
+
+    for (name, out) in &methods {
+        let after = inst.stats_after(&out.matrix);
+        println!(
+            "{:<12} {:>9.5} {:>9.4} {:>9} {:>12.3} {:>9}",
+            name,
+            after.imbalance_ratio,
+            inst.speedup(&out.matrix),
+            out.matrix.num_migrated(),
+            out.runtime.as_secs_f64() * 1e3,
+            out.qpu_time
+                .map(|q| format!("{:.1}", q.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}

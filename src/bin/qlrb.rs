@@ -1,0 +1,278 @@
+//! `qlrb` — command-line interface to the load-rebalancing library.
+//!
+//! Mirrors the paper artifact's script workflow (generate imbalance input →
+//! run rebalancing methods → inspect/simulate the output) as one binary:
+//!
+//! ```text
+//! qlrb generate --workload samoa-table5 --out input.csv
+//! qlrb info --input input.csv
+//! qlrb rebalance --input input.csv --method qcqm1 --k-frac 0.25 --out plan.csv
+//! qlrb simulate --input input.csv --plan plan.csv --threads 4 --iterations 8
+//! ```
+//!
+//! Argument parsing is hand-rolled (four subcommands, a handful of flags) to
+//! keep the dependency set identical to the library's.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use qlrb::classical::{BranchAndBound, Greedy, GreedyRelabeled, KarmarkarKarp, ProactLb};
+use qlrb::core::cqm::Variant;
+use qlrb::core::io::{read_input_csv, read_output_csv, write_input_csv, write_output_csv};
+use qlrb::core::{Instance, QuantumRebalancer, Rebalancer};
+use qlrb::runtime::{render_gantt, simulate, SimConfig, SimInput};
+
+const USAGE: &str = "\
+qlrb — hybrid classical-quantum load rebalancing for HPC
+
+USAGE:
+  qlrb generate  --workload <NAME> [--case <LABEL>] [--out <FILE>]
+  qlrb info      --input <FILE>
+  qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
+                 [--seed <S>] [--out <FILE>]
+  qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
+                 [--latency <F>] [--cost <F>] [--iterations <N>]
+
+WORKLOADS:
+  mxm-imbalance   the paper's Fig. 3 group (pass --case Imb.0 … Imb.4)
+  mxm-nodes       Fig. 4 group (pass --case 4|8|16|32|64)
+  mxm-tasks       Fig. 5 group (pass --case 8|16|…|2048)
+  samoa           small oscillating-lake scenario
+  samoa-table5    the paper's Table V configuration (32 nodes x 208 tasks)
+
+METHODS:
+  greedy | kk | proactlb | greedy-relabel | bnb | qcqm1 | qcqm2
+  (qcqm* default to k = ProactLB's migration count unless --k/--k-frac)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `args` into a subcommand and `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{flag}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "info" => info(&flags),
+        "rebalance" => rebalance(&flags),
+        "simulate" => simulate_cmd(&flags),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let path = required(flags, "input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    read_input_csv(&text).map_err(|e| e.to_string())
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let workload = required(flags, "workload")?;
+    let case = flags.get("case").map(String::as_str);
+    let inst = match workload {
+        "mxm-imbalance" => {
+            let label = case.unwrap_or("Imb.3");
+            qlrb::workloads::imbalance_levels()
+                .into_iter()
+                .find(|(l, _)| l == label)
+                .ok_or_else(|| format!("unknown case '{label}' (Imb.0 … Imb.4)"))?
+                .1
+        }
+        "mxm-nodes" => {
+            let m: usize = case.unwrap_or("8").parse().map_err(|_| "bad --case")?;
+            qlrb::workloads::node_scaling()
+                .into_iter()
+                .find(|(nodes, _)| *nodes == m)
+                .ok_or_else(|| format!("unknown node count {m} (4|8|16|32|64)"))?
+                .1
+        }
+        "mxm-tasks" => {
+            let n: u64 = case.unwrap_or("128").parse().map_err(|_| "bad --case")?;
+            qlrb::workloads::task_scaling()
+                .into_iter()
+                .find(|(tasks, _)| *tasks == n)
+                .ok_or_else(|| format!("unknown task count {n} (8…2048, powers of two)"))?
+                .1
+        }
+        "samoa" => qlrb::samoa::LakeScenario::small().to_instance(),
+        "samoa-table5" => qlrb::samoa::scenario::table5_instance(),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let csv = write_input_csv(&inst);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} ({} processes x {} tasks, R_imb = {:.4})",
+                path,
+                inst.num_procs(),
+                inst.tasks_per_proc(),
+                inst.stats().imbalance_ratio
+            );
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let stats = inst.stats();
+    println!("processes        : {}", inst.num_procs());
+    println!("tasks per process: {}", inst.tasks_per_proc());
+    println!("total tasks      : {}", inst.num_tasks());
+    println!("L_max / L_avg    : {:.4} / {:.4}", stats.l_max, stats.l_avg);
+    println!("imbalance ratio  : {:.5}", stats.imbalance_ratio);
+    let (m, n) = (inst.num_procs() as u64, inst.tasks_per_proc());
+    println!(
+        "logical qubits   : Q_CQM1 = {}, Q_CQM2 = {}",
+        qlrb::core::cqm::logical_qubits(Variant::Reduced, m, n),
+        qlrb::core::cqm::logical_qubits(Variant::Full, m, n),
+    );
+    Ok(())
+}
+
+fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let method_name = required(flags, "method")?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(2024);
+    let k = match (flags.get("k"), flags.get("k-frac")) {
+        (Some(k), _) => Some(k.parse::<u64>().map_err(|_| "bad --k")?),
+        (None, Some(f)) => {
+            let frac: f64 = f.parse().map_err(|_| "bad --k-frac")?;
+            Some((inst.num_tasks() as f64 * frac).round() as u64)
+        }
+        (None, None) => None,
+    };
+
+    let quantum = |variant: Variant| -> Result<Box<dyn Rebalancer>, String> {
+        let k = match k {
+            Some(k) => k,
+            None => ProactLb
+                .rebalance(&inst)
+                .map_err(|e| e.to_string())?
+                .matrix
+                .num_migrated(),
+        };
+        let mut q = QuantumRebalancer::new(variant, k);
+        q.solver.seed = seed;
+        Ok(Box::new(q))
+    };
+    let method: Box<dyn Rebalancer> = match method_name {
+        "greedy" => Box::new(Greedy),
+        "kk" => Box::new(KarmarkarKarp),
+        "proactlb" => Box::new(ProactLb),
+        "greedy-relabel" => Box::new(GreedyRelabeled),
+        "bnb" => Box::new(BranchAndBound::default()),
+        "qcqm1" => quantum(Variant::Reduced)?,
+        "qcqm2" => quantum(Variant::Full)?,
+        other => return Err(format!("unknown method '{other}'")),
+    };
+
+    let out = method.rebalance(&inst).map_err(|e| e.to_string())?;
+    out.matrix.validate(&inst).map_err(|e| e.to_string())?;
+    let after = inst.stats_after(&out.matrix);
+    println!(
+        "{}: R_imb {:.5} -> {:.5}, speedup {:.4}, migrated {} ({:.2}/proc), cpu {:?}{}",
+        method.name(),
+        inst.stats().imbalance_ratio,
+        after.imbalance_ratio,
+        inst.speedup(&out.matrix),
+        out.matrix.num_migrated(),
+        out.matrix.migrated_per_proc(),
+        out.runtime,
+        out.qpu_time
+            .map(|q| format!(", qpu {q:?}"))
+            .unwrap_or_default()
+    );
+    let csv = write_output_csv(&inst, &out.matrix);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let plan_path = required(flags, "plan")?;
+    let plan_text =
+        std::fs::read_to_string(plan_path).map_err(|e| format!("reading {plan_path}: {e}"))?;
+    let plan = read_output_csv(&plan_text).map_err(|e| e.to_string())?;
+    plan.validate(&inst).map_err(|e| e.to_string())?;
+
+    let get_f = |name: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|_| format!("bad --{name}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let get_u = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|_| format!("bad --{name}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let cfg = SimConfig {
+        comp_threads: get_u("threads", 4)?,
+        comm_latency: get_f("latency", 0.01)?,
+        comm_cost_per_load: get_f("cost", 0.05)?,
+        iterations: get_u("iterations", 1)?,
+    };
+
+    let baseline = simulate(&SimInput::from_instance(&inst), &cfg);
+    let rebalanced = simulate(&SimInput::from_plan(&inst, &plan), &cfg);
+    println!("== baseline ==");
+    println!("{}", render_gantt(&baseline.trace, inst.num_procs(), 60));
+    println!("== rebalanced ({} migrations) ==", plan.num_migrated());
+    println!("{}", render_gantt(&rebalanced.trace, inst.num_procs(), 60));
+    println!(
+        "analytic speedup = {:.4}, achieved speedup = {:.4} over {} iteration(s)",
+        inst.speedup(&plan),
+        rebalanced.speedup_over(&baseline),
+        cfg.iterations
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # qlrb — hybrid classical-quantum load rebalancing for HPC
+//!
+//! A Rust reproduction of *"Leveraging Hybrid Classical-Quantum Methods for
+//! Efficient Load Rebalancing in HPC"* (SC 2024). This facade crate
+//! re-exports the whole workspace so downstream users depend on one crate:
+//!
+//! * [`core`] — the Load Rebalancing Problem (LRP): instances, metrics,
+//!   migration plans, the paper's `Q_CQM1`/`Q_CQM2` formulations, and the
+//!   end-to-end hybrid solve workflow.
+//! * [`classical`] — the baselines: Greedy (Graham LPT), Karmarkar–Karp
+//!   multiway differencing, CKK, and ProactLB.
+//! * [`model`] — quadratic models: QUBO/BQM, CQM, the bounded-coefficient
+//!   encoding, penalty conversions.
+//! * [`anneal`] — the solver substrate: simulated annealing, path-integral
+//!   simulated *quantum* annealing, tabu search, and the hybrid CQM solver
+//!   that stands in for D-Wave's Leap service.
+//! * [`runtime`] — a discrete-event simulator of a Chameleon-style
+//!   MPI+OpenMP bulk-synchronous task runtime, used to execute migration
+//!   plans and measure achieved makespans.
+//! * [`workloads`] — MxM kernel calibration and the paper's experiment
+//!   groups; [`samoa`] — the AMR shallow-water mini-app standing in for
+//!   sam(oa)².
+//! * [`harness`] — the runners that regenerate every table and figure of the
+//!   paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qlrb::core::{Instance, Rebalancer};
+//! use qlrb::classical::ProactLb;
+//!
+//! // 4 processes, 5 tasks each; per-process task weights as in the paper's
+//! // Fig. 7 example (milliseconds).
+//! let inst = Instance::uniform(5, vec![1.87, 1.97, 3.12, 2.81]).unwrap();
+//! assert!(inst.stats().imbalance_ratio > 0.2);
+//!
+//! let plan = ProactLb::default().rebalance(&inst).unwrap();
+//! let after = inst.stats_after(&plan.matrix);
+//! assert!(after.imbalance_ratio < inst.stats().imbalance_ratio);
+//! ```
+
+pub use chameleon_sim as runtime;
+pub use qlrb_anneal as anneal;
+pub use qlrb_classical as classical;
+pub use qlrb_core as core;
+pub use qlrb_harness as harness;
+pub use qlrb_model as model;
+pub use qlrb_workloads as workloads;
+pub use samoa_mini as samoa;

@@ -1,0 +1,99 @@
+//! End-to-end tests of the `qlrb` CLI binary: the artifact workflow
+//! (generate → info → rebalance → simulate) through real process spawns.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qlrb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qlrb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qlrb-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_artifact_workflow() {
+    let input = tmpfile("input.csv");
+    let plan = tmpfile("plan.csv");
+
+    // generate
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "mxm-imbalance",
+        "--case",
+        "Imb.3",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&input).unwrap();
+    assert!(text.starts_with("Process,P1"));
+
+    // info
+    let out = qlrb(&["info", "--input", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("imbalance ratio"), "{stdout}");
+    assert!(stdout.contains("logical qubits"), "{stdout}");
+
+    // rebalance (classical, fast)
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "proactlb",
+        "--out",
+        plan.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ProactLB"), "{stdout}");
+    assert!(plan.exists());
+
+    // simulate
+    let out = qlrb(&[
+        "simulate",
+        "--input",
+        input.to_str().unwrap(),
+        "--plan",
+        plan.to_str().unwrap(),
+        "--iterations",
+        "4",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("achieved speedup"), "{stdout}");
+    assert!(stdout.contains('█') || stdout.contains('#'), "gantt rendered: {stdout}");
+}
+
+#[test]
+fn generate_to_stdout_roundtrips() {
+    let out = qlrb(&["generate", "--workload", "samoa"]);
+    assert!(out.status.success());
+    let csv = String::from_utf8(out.stdout).unwrap();
+    let inst = qlrb::core::io::read_input_csv(&csv).expect("parseable");
+    assert_eq!(inst.num_procs(), 8);
+}
+
+#[test]
+fn helpful_errors() {
+    let out = qlrb(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = qlrb(&["rebalance", "--method", "greedy"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input is required"));
+
+    let out = qlrb(&["generate", "--workload", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}

@@ -1,0 +1,73 @@
+//! Reproducibility: the paper notes hybrid-solver results are
+//! non-deterministic across cloud runs; this implementation is instead
+//! fully deterministic under a fixed seed, and seed changes genuinely
+//! re-randomize.
+
+use qlrb::core::cqm::Variant;
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::groups::run_paper_methods;
+use qlrb::harness::HarnessConfig;
+
+fn inst() -> Instance {
+    Instance::uniform(12, vec![1.0, 3.0, 5.0, 9.0]).unwrap()
+}
+
+#[test]
+fn full_method_suite_is_deterministic_per_seed() {
+    let cfg = HarnessConfig::fast();
+    let a = run_paper_methods(&inst(), &cfg, "run");
+    let b = run_paper_methods(&inst(), &cfg, "run");
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.algorithm, rb.algorithm);
+        assert_eq!(ra.migrated, rb.migrated, "{}", ra.algorithm);
+        assert_eq!(ra.r_imb, rb.r_imb, "{}", ra.algorithm);
+        assert_eq!(ra.speedup, rb.speedup, "{}", ra.algorithm);
+    }
+}
+
+#[test]
+fn different_seeds_stay_feasible_and_rerandomize_the_sample_set() {
+    let inst = inst();
+    // The *returned plan* may legitimately coincide across seeds (the best
+    // feasible solution can be unique); what must change with the seed is
+    // the underlying sample set the solver explored.
+    let mut state_sets = Vec::new();
+    for seed in 0..4u64 {
+        let cfg = HarnessConfig {
+            seed,
+            ..HarnessConfig::fast()
+        };
+        let method = cfg.quantum(&inst, Variant::Full, 15, "q");
+        let out = method.rebalance(&inst).unwrap();
+        out.matrix.validate(&inst).unwrap();
+        assert!(out.matrix.num_migrated() <= 15);
+
+        let lrp = qlrb::core::LrpCqm::build(&inst, Variant::Full, 15).unwrap();
+        let set = method.solver.solve(&lrp.cqm, &[]);
+        state_sets.push(
+            set.samples
+                .iter()
+                .map(|s| s.state.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+    let distinct = state_sets.windows(2).any(|w| w[0] != w[1]);
+    assert!(
+        distinct,
+        "four seeds producing byte-identical sample sets suggests the seed is ignored"
+    );
+}
+
+#[test]
+fn workload_generators_are_pure() {
+    let a = qlrb::workloads::imbalance_levels();
+    let b = qlrb::workloads::imbalance_levels();
+    assert_eq!(a.len(), b.len());
+    for ((la, ia), (lb, ib)) in a.iter().zip(&b) {
+        assert_eq!(la, lb);
+        assert_eq!(ia, ib);
+    }
+    let s1 = qlrb::samoa::scenario::table5_instance();
+    let s2 = qlrb::samoa::scenario::table5_instance();
+    assert_eq!(s1, s2);
+}

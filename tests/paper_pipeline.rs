@@ -1,0 +1,122 @@
+//! End-to-end pipeline tests: workload generation → all seven methods →
+//! invariants the paper's evaluation relies on.
+
+use qlrb::classical::{Greedy, KarmarkarKarp, ProactLb};
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::groups::run_paper_methods;
+use qlrb::harness::HarnessConfig;
+
+fn small_mxm() -> Instance {
+    // A scaled-down Imb.3 shape so hybrid solves stay fast in debug tests.
+    let sizes = [128u32, 192, 256, 256, 320, 384, 448, 512];
+    let weights = sizes.iter().map(|&s| qlrb::workloads::load_model(s)).collect();
+    Instance::uniform(10, weights).unwrap()
+}
+
+#[test]
+fn all_methods_reduce_imbalance_on_mxm() {
+    let inst = small_mxm();
+    let case = run_paper_methods(&inst, &HarnessConfig::fast(), "small");
+    let baseline = inst.stats().imbalance_ratio;
+    assert!(baseline > 1.0, "input is genuinely imbalanced: {baseline}");
+    for row in &case.rows {
+        assert!(
+            row.r_imb < baseline,
+            "{} failed to improve: {} !< {baseline}",
+            row.algorithm,
+            row.r_imb
+        );
+        assert!(row.speedup >= 1.0, "{} slowed things down", row.algorithm);
+    }
+}
+
+#[test]
+fn migration_budgets_are_respected() {
+    let inst = small_mxm();
+    let case = run_paper_methods(&inst, &HarnessConfig::fast(), "small");
+    let k1 = case.row("ProactLB").unwrap().migrated;
+    let k2 = case.row("Greedy").unwrap().migrated;
+    for (name, k) in [
+        ("Q_CQM1_k1", k1),
+        ("Q_CQM2_k1", k1),
+        ("Q_CQM1_k2", k2),
+        ("Q_CQM2_k2", k2),
+    ] {
+        let row = case.row(name).unwrap();
+        assert!(
+            row.migrated <= k,
+            "{name} migrated {} > budget {k}",
+            row.migrated
+        );
+    }
+}
+
+#[test]
+fn quantum_with_k1_matches_proactlb_quality_with_fewer_moves_than_greedy() {
+    // The paper's headline: hybrid methods reach classical balance with a
+    // fraction of the migrations (≈¼ in the realistic case).
+    let inst = small_mxm();
+    let case = run_paper_methods(&inst, &HarnessConfig::fast(), "small");
+    let greedy = case.row("Greedy").unwrap();
+    let q1k1 = case.row("Q_CQM1_k1").unwrap();
+    assert!(
+        q1k1.migrated * 2 < greedy.migrated,
+        "Q_CQM1_k1 ({}) should migrate well under half of Greedy ({})",
+        q1k1.migrated,
+        greedy.migrated
+    );
+    let proact = case.row("ProactLB").unwrap();
+    assert!(
+        q1k1.r_imb <= proact.r_imb + 1e-9,
+        "warm-started hybrid never loses to ProactLB: {} vs {}",
+        q1k1.r_imb,
+        proact.r_imb
+    );
+}
+
+#[test]
+fn classical_methods_scale_as_the_paper_tables() {
+    // Table III shape: Greedy/KK migrate ≈ N·(M−1)/M, ProactLB far less.
+    for (m, inst) in qlrb::workloads::node_scaling() {
+        if m > 16 {
+            continue; // keep debug-mode test time modest
+        }
+        let n_total = inst.num_tasks();
+        let expected = n_total - n_total / m as u64;
+        let g = Greedy.rebalance(&inst).unwrap().matrix.num_migrated();
+        let kk = KarmarkarKarp.rebalance(&inst).unwrap().matrix.num_migrated();
+        let p = ProactLb.rebalance(&inst).unwrap().matrix.num_migrated();
+        let tol = n_total / 10;
+        assert!(
+            g.abs_diff(expected) <= tol,
+            "{m} nodes: Greedy {g} far from {expected}"
+        );
+        assert!(
+            kk.abs_diff(expected) <= tol,
+            "{m} nodes: KK {kk} far from {expected}"
+        );
+        assert!(p * 2 < g, "{m} nodes: ProactLB {p} should be << Greedy {g}");
+    }
+}
+
+#[test]
+fn plans_never_lose_tasks_across_methods() {
+    let inst = small_mxm();
+    let methods: Vec<Box<dyn Rebalancer>> = vec![
+        Box::new(Greedy),
+        Box::new(KarmarkarKarp),
+        Box::new(ProactLb),
+        Box::new(HarnessConfig::fast().quantum(
+            &inst,
+            qlrb::core::cqm::Variant::Reduced,
+            20,
+            "q",
+        )),
+    ];
+    for method in methods {
+        let out = method.rebalance(&inst).unwrap();
+        out.matrix.validate(&inst).unwrap();
+        let total: u64 = (0..inst.num_procs()).map(|i| out.matrix.tasks_on(i)).sum();
+        assert_eq!(total, inst.num_tasks(), "{}", method.name());
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-checks between the analytic metrics (the paper's) and the
+//! discrete-event runtime simulator.
+
+use qlrb::classical::{Greedy, KarmarkarKarp, ProactLb};
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::harness::runtime::execute_plan;
+use qlrb::runtime::SimConfig;
+
+fn instance() -> Instance {
+    Instance::uniform(30, vec![1.0, 2.5, 4.0, 8.0, 1.5, 3.0]).unwrap()
+}
+
+#[test]
+fn analytic_simulator_agrees_with_lmax_metric_for_every_method() {
+    let inst = instance();
+    let methods: Vec<Box<dyn Rebalancer>> =
+        vec![Box::new(Greedy), Box::new(KarmarkarKarp), Box::new(ProactLb)];
+    for method in methods {
+        let plan = method.rebalance(&inst).unwrap().matrix;
+        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic());
+        assert!(
+            (cmp.analytic_speedup - cmp.achieved_speedup).abs() < 1e-9,
+            "{}: analytic {} vs simulated {}",
+            method.name(),
+            cmp.analytic_speedup,
+            cmp.achieved_speedup
+        );
+    }
+}
+
+#[test]
+fn migration_heavy_plans_pay_more_communication() {
+    let inst = instance();
+    let greedy = Greedy.rebalance(&inst).unwrap().matrix;
+    let proact = ProactLb.rebalance(&inst).unwrap().matrix;
+    assert!(greedy.num_migrated() > proact.num_migrated());
+    let cfg = SimConfig {
+        comp_threads: 4,
+        comm_latency: 0.05,
+        comm_cost_per_load: 0.05,
+        iterations: 1,
+    };
+    let g = execute_plan(&inst, &greedy, &cfg);
+    let p = execute_plan(&inst, &proact, &cfg);
+    assert!(
+        g.migration_comm_time > p.migration_comm_time,
+        "more migrations must cost more comm time: {} vs {}",
+        g.migration_comm_time,
+        p.migration_comm_time
+    );
+}
+
+#[test]
+fn rebalancing_helps_even_with_communication_when_amortized() {
+    let inst = instance();
+    let plan = ProactLb.rebalance(&inst).unwrap().matrix;
+    let cfg = SimConfig {
+        comp_threads: 4,
+        comm_latency: 0.05,
+        comm_cost_per_load: 0.05,
+        iterations: 20,
+    };
+    let cmp = execute_plan(&inst, &plan, &cfg);
+    assert!(
+        cmp.achieved_speedup > 1.2,
+        "amortized over 20 iterations rebalancing must win: {}",
+        cmp.achieved_speedup
+    );
+}
+
+#[test]
+fn multithreaded_nodes_change_absolute_but_not_relative_ordering() {
+    let inst = instance();
+    let greedy = Greedy.rebalance(&inst).unwrap().matrix;
+    let proact = ProactLb.rebalance(&inst).unwrap().matrix;
+    for threads in [1usize, 4, 28] {
+        let cfg = SimConfig {
+            comp_threads: threads,
+            comm_latency: 0.0,
+            comm_cost_per_load: 0.0,
+            iterations: 1,
+        };
+        let g = execute_plan(&inst, &greedy, &cfg);
+        let p = execute_plan(&inst, &proact, &cfg);
+        // Both beat baseline regardless of per-node parallelism.
+        assert!(g.achieved_speedup >= 1.0 - 1e-9, "threads = {threads}");
+        assert!(p.achieved_speedup >= 1.0 - 1e-9, "threads = {threads}");
+    }
+}

@@ -1,0 +1,89 @@
+//! The realistic use case end to end: AMR mesh → section costs → LRP
+//! instance → rebalancing, including the paper's pinned Table V baseline.
+
+use qlrb::classical::{Greedy, ProactLb};
+use qlrb::core::Rebalancer;
+use qlrb::samoa::scenario::{table5_instance, LakeScenario};
+
+#[test]
+fn table5_baseline_matches_paper_exactly() {
+    let inst = table5_instance();
+    assert_eq!(inst.num_procs(), 32);
+    assert_eq!(inst.tasks_per_proc(), 208);
+    assert!((inst.stats().imbalance_ratio - 4.1994).abs() < 1e-9);
+}
+
+#[test]
+fn classical_methods_nearly_flatten_the_lake_imbalance() {
+    let inst = table5_instance();
+    // Greedy reaches near-perfect balance at the cost of mass migration
+    // (paper: R_imb 0.00007, ~6447 of 6656 tasks moved).
+    let g = Greedy.rebalance(&inst).unwrap();
+    let after = inst.stats_after(&g.matrix);
+    assert!(after.imbalance_ratio < 0.05, "Greedy R_imb = {}", after.imbalance_ratio);
+    let n_total = inst.num_tasks();
+    assert!(
+        g.matrix.num_migrated() > n_total * 8 / 10,
+        "Greedy moves most tasks: {}",
+        g.matrix.num_migrated()
+    );
+    // ProactLB balances with a fraction of the moves (paper: 1568 ≈ ¼).
+    let p = ProactLb.rebalance(&inst).unwrap();
+    let after_p = inst.stats_after(&p.matrix);
+    assert!(after_p.imbalance_ratio < 0.25, "ProactLB R_imb = {}", after_p.imbalance_ratio);
+    assert!(
+        p.matrix.num_migrated() * 3 < g.matrix.num_migrated(),
+        "ProactLB {} vs Greedy {}",
+        p.matrix.num_migrated(),
+        g.matrix.num_migrated()
+    );
+    // Speedup close to the paper's ≈5.2 (speedup = (1+R_baseline)/(1+R_after)).
+    let speedup = inst.speedup(&g.matrix);
+    assert!(
+        (4.5..=5.5).contains(&speedup),
+        "Greedy speedup {speedup} far from the paper's ≈5.2"
+    );
+}
+
+#[test]
+fn hybrid_method_on_a_scaled_lake() {
+    // A smaller lake so the CQM stays debug-test-sized; same pipeline.
+    let scenario = LakeScenario::small();
+    let inst = scenario.to_instance();
+    let cfg = qlrb::harness::HarnessConfig::fast();
+    let proact = ProactLb.rebalance(&inst).unwrap();
+    let k1 = proact.matrix.num_migrated();
+    let method = cfg.quantum_seeded(
+        &inst,
+        qlrb::core::cqm::Variant::Reduced,
+        k1,
+        "Q_CQM1_k1",
+        vec![proact.matrix.clone()],
+    );
+    let out = method.rebalance(&inst).unwrap();
+    out.matrix.validate(&inst).unwrap();
+    assert!(out.matrix.num_migrated() <= k1);
+    let after = inst.stats_after(&out.matrix);
+    let after_proact = inst.stats_after(&proact.matrix);
+    assert!(
+        after.imbalance_ratio <= after_proact.imbalance_ratio + 1e-9,
+        "hybrid ({}) no worse than its classical warm start ({})",
+        after.imbalance_ratio,
+        after_proact.imbalance_ratio
+    );
+}
+
+#[test]
+fn mesh_scales_with_scenario_depth() {
+    let shallow = LakeScenario {
+        d_min: 8,
+        d_max: 9,
+        ..LakeScenario::small()
+    };
+    let deep = LakeScenario {
+        d_min: 11,
+        d_max: 12,
+        ..LakeScenario::small()
+    };
+    assert!(deep.build_mesh().num_cells() > 4 * shallow.build_mesh().num_cells());
+}

@@ -1,0 +1,97 @@
+//! Cross-family stress tests: every rebalancing method against every
+//! workload generator family, checking the invariants that must hold
+//! regardless of instance shape.
+
+use qlrb::classical::{Greedy, GreedyRelabeled, KarmarkarKarp, ProactLb};
+use qlrb::core::{Instance, Rebalancer};
+use qlrb::workloads::synthetic::{hotspot_instance, lognormal_instance, random_instance};
+
+fn families() -> Vec<(String, Instance)> {
+    let mut out: Vec<(String, Instance)> = Vec::new();
+    for seed in 0..3u64 {
+        out.push((
+            format!("random#{seed}"),
+            random_instance(seed, 6, 15, 0.5, 8.0),
+        ));
+        out.push((
+            format!("lognormal#{seed}"),
+            lognormal_instance(seed, 6, 15, 1.2),
+        ));
+    }
+    out.push(("hotspot-1".into(), hotspot_instance(6, 15, 1, 20.0)));
+    out.push(("hotspot-3".into(), hotspot_instance(6, 15, 3, 5.0)));
+    out.push(("degenerate-equal".into(), Instance::uniform(15, vec![2.0; 6]).unwrap()));
+    out.push(("single-proc".into(), Instance::uniform(15, vec![3.0]).unwrap()));
+    out
+}
+
+#[test]
+fn every_method_returns_valid_conserving_plans() {
+    let methods: Vec<Box<dyn Rebalancer>> = vec![
+        Box::new(Greedy),
+        Box::new(KarmarkarKarp),
+        Box::new(ProactLb),
+        Box::new(GreedyRelabeled),
+    ];
+    for (label, inst) in families() {
+        for method in &methods {
+            let out = method
+                .rebalance(&inst)
+                .unwrap_or_else(|e| panic!("{} on {label}: {e}", method.name()));
+            out.matrix
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{} on {label}: {e}", method.name()));
+            let total: u64 = (0..inst.num_procs()).map(|i| out.matrix.tasks_on(i)).sum();
+            assert_eq!(total, inst.num_tasks(), "{} on {label}", method.name());
+        }
+    }
+}
+
+#[test]
+fn migration_aware_methods_never_worsen_anywhere() {
+    for (label, inst) in families() {
+        let out = ProactLb.rebalance(&inst).unwrap();
+        let after = inst.stats_after(&out.matrix);
+        assert!(
+            after.l_max <= inst.stats().l_max + 1e-9,
+            "ProactLB worsened {label}: {} > {}",
+            after.l_max,
+            inst.stats().l_max
+        );
+    }
+}
+
+#[test]
+fn relabeling_dominates_plain_greedy_on_migrations_everywhere() {
+    for (label, inst) in families() {
+        let plain = Greedy.rebalance(&inst).unwrap().matrix;
+        let relabeled = GreedyRelabeled.rebalance(&inst).unwrap().matrix;
+        assert!(
+            relabeled.num_migrated() <= plain.num_migrated(),
+            "{label}: {} > {}",
+            relabeled.num_migrated(),
+            plain.num_migrated()
+        );
+        // Identical partition quality — only labels differ.
+        let a = inst.stats_after(&plain).l_max;
+        let b = inst.stats_after(&relabeled).l_max;
+        assert!((a - b).abs() < 1e-9, "{label}");
+    }
+}
+
+#[test]
+fn hybrid_handles_the_nastiest_family() {
+    // One hybrid solve on the most extreme shape (a single 20x hotspot),
+    // fast budget: must stay within budget and improve.
+    let inst = hotspot_instance(6, 15, 1, 20.0);
+    let cfg = qlrb::harness::HarnessConfig::fast();
+    let k = inst.num_tasks() / 3;
+    let method = cfg.quantum(&inst, qlrb::core::cqm::Variant::Reduced, k, "Q_CQM1");
+    let out = method.rebalance(&inst).unwrap();
+    out.matrix.validate(&inst).unwrap();
+    assert!(out.matrix.num_migrated() <= k);
+    assert!(
+        inst.stats_after(&out.matrix).imbalance_ratio < inst.stats().imbalance_ratio / 2.0,
+        "hybrid should at least halve a hotspot's imbalance"
+    );
+}
