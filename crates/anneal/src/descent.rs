@@ -8,20 +8,32 @@ use rand::Rng;
 /// applying every energy-reducing flip, until a full sweep makes no progress
 /// or `max_sweeps` is exhausted.
 ///
+/// Reads candidate deltas from the evaluator's flip-delta cache when one is
+/// available ([`Evaluator::enable_delta_cache`]): polish runs are dominated
+/// by rejected proposals, so a flat array read per candidate beats an
+/// on-demand delta recomputation. Evaluators without cache support fall
+/// back transparently.
+///
 /// Returns the number of improving flips applied.
 pub fn greedy_descent<E: Evaluator>(ev: &mut E, max_sweeps: usize, rng: &mut impl Rng) -> u64 {
     let n = ev.num_vars();
     if n == 0 {
         return 0;
     }
+    let use_cache = ev.enable_delta_cache();
     let mut order: Vec<usize> = (0..n).collect();
     let mut total = 0u64;
     for _ in 0..max_sweeps {
         order.shuffle(rng);
         let mut improved = false;
         for &v in &order {
-            if ev.flip_delta(v) < -1e-12 {
-                ev.flip(v);
+            let delta = if use_cache {
+                ev.cached_deltas().expect("cache enabled above")[v]
+            } else {
+                ev.flip_delta(v)
+            };
+            if delta < -1e-12 {
+                ev.flip_known(v, delta);
                 improved = true;
                 total += 1;
             }

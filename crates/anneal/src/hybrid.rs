@@ -96,20 +96,25 @@ pub struct HybridCqmSolver {
     pub penalty_factor: f64,
     /// Inequality penalty scheme.
     pub style: PenaltyStyle,
-    /// Portfolio rotation; read `r` uses `samplers[r % len]`.
+    /// Portfolio rotation; read `r` uses `samplers[r % len]`. An empty
+    /// portfolio is tolerated: every read falls back to [`SamplerKind::Sa`].
     pub samplers: Vec<SamplerKind>,
-    /// Models wider than this fall back from tabu to SA (tabu's
-    /// full-neighbourhood scans are quadratic-ish in width).
+    /// Models wider than this fall back from tabu to SA. With the
+    /// evaluator's incremental flip-delta cache, tabu's full-neighbourhood
+    /// scan is a flat O(n) array read, so this guard only needs to exclude
+    /// genuinely huge models.
     pub tabu_max_vars: usize,
     /// Post-anneal greedy polish sweep budget.
     pub polish_sweeps: usize,
     /// Feasibility-repair step budget.
     pub repair_steps: usize,
     /// Optional wall-clock budget, mirroring Leap's `time_limit` API: reads
-    /// are executed in parallel waves and no new wave starts once the
-    /// budget is spent (at least one wave always runs). **Non-deterministic
-    /// across machines** — leave `None` (the default) for reproducible
-    /// sample sets.
+    /// are executed in parallel waves and the budget is checked *before*
+    /// each wave launches, so an exhausted budget never starts extra work.
+    /// The first wave is exempt from the check — at least one wave always
+    /// runs, so the solver always returns at least one genuine sample no
+    /// matter how small the budget. **Non-deterministic across machines** —
+    /// leave `None` (the default) for reproducible sample sets.
     pub time_limit: Option<Duration>,
 }
 
@@ -123,7 +128,7 @@ impl Default for HybridCqmSolver {
             penalty_factor: 2.0,
             style: PenaltyStyle::ViolationQuadratic,
             samplers: vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu],
-            tabu_max_vars: 2048,
+            tabu_max_vars: 32_768,
             polish_sweeps: 50,
             repair_steps: 5_000,
             time_limit: None,
@@ -185,12 +190,17 @@ impl HybridCqmSolver {
                 .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r))
                 .collect(),
             Some(limit) => {
-                // Waves of one read per worker thread; stop issuing waves
-                // once the budget is spent.
+                // Waves of one read per worker thread. The budget is
+                // checked before a wave launches (never after), so spent
+                // budget cannot trigger extra work; the first wave skips
+                // the check to honour the at-least-one-wave guarantee.
                 let wave = rayon::current_num_threads().max(1);
                 let mut out = Vec::with_capacity(self.num_reads);
                 let mut next = 0usize;
                 while next < self.num_reads {
+                    if next > 0 && started.elapsed() >= limit {
+                        break;
+                    }
                     let end = (next + wave).min(self.num_reads);
                     let batch: Vec<Sample> = (next..end)
                         .into_par_iter()
@@ -198,9 +208,6 @@ impl HybridCqmSolver {
                         .collect();
                     out.extend(batch);
                     next = end;
-                    if started.elapsed() >= limit {
-                        break;
-                    }
                 }
                 out
             }
@@ -246,7 +253,13 @@ impl HybridCqmSolver {
         read_index: usize,
     ) -> Sample {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(read_index as u64 * 0x9e37));
-        let mut sampler = self.samplers[read_index % self.samplers.len().max(1)];
+        // An empty portfolio would make the modular lookup panic; degrade
+        // to plain SA instead so a misconfigured solver still samples.
+        let mut sampler = if self.samplers.is_empty() {
+            SamplerKind::Sa
+        } else {
+            self.samplers[read_index % self.samplers.len()]
+        };
         if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
             sampler = SamplerKind::Sa;
         }
@@ -371,9 +384,15 @@ mod tests {
         };
         let set = solver.solve(&cqm, &[]);
         let best = set.best_feasible().expect("a feasible sample");
-        assert_eq!(best.objective, 0.0, "perfect split exists: e.g. {{3,2}} vs rest");
+        assert_eq!(
+            best.objective, 0.0,
+            "perfect split exists: e.g. {{3,2}} vs rest"
+        );
         assert!(set.timing.cpu > Duration::ZERO);
-        assert!(set.timing.qpu > Duration::ZERO, "portfolio includes SQA reads");
+        assert!(
+            set.timing.qpu > Duration::ZERO,
+            "portfolio includes SQA reads"
+        );
     }
 
     #[test]
@@ -444,6 +463,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_samplers_falls_back_to_sa() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver {
+            num_reads: 3,
+            sweeps: 50,
+            samplers: vec![], // misconfigured portfolio must not panic
+            ..Default::default()
+        };
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 3);
+        assert!(
+            set.samples.iter().all(|s| s.sampler == SamplerKind::Sa),
+            "every read of an empty portfolio degrades to SA"
+        );
+        assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
     fn time_limit_truncates_reads_but_still_solves() {
         let cqm = partition_cqm();
         let solver = HybridCqmSolver {
@@ -475,7 +512,10 @@ mod tests {
         let solver = HybridCqmSolver {
             num_reads: 6,
             sweeps: 300,
-            style: PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 },
+            style: PenaltyStyle::Unbalanced {
+                l1: 0.96,
+                l2: 0.0331,
+            },
             ..Default::default()
         };
         let set = solver.solve(&cqm, &[]);

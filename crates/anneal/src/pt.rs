@@ -63,21 +63,27 @@ pub fn parallel_tempering<E: Evaluator + Clone>(
     }
     // Geometric ladder, coldest first.
     let ratio = (params.beta_min / params.beta_max).powf(1.0 / (r - 1) as f64);
-    let betas: Vec<f64> = (0..r).map(|i| params.beta_max * ratio.powi(i as i32)).collect();
+    let betas: Vec<f64> = (0..r)
+        .map(|i| params.beta_max * ratio.powi(i as i32))
+        .collect();
     let mut walkers: Vec<E> = (0..r).map(|_| proto.clone()).collect();
 
     let mut order: Vec<usize> = (0..n).collect();
+    let mut accept_u: Vec<f64> = Vec::with_capacity(n);
     for sweep in 0..params.sweeps {
         for (walker, &beta) in walkers.iter_mut().zip(&betas) {
             order.shuffle(rng);
-            for &v in &order {
+            // Batched acceptance uniforms, one per proposal (cf. `sa`).
+            accept_u.clear();
+            accept_u.extend((0..n).map(|_| rng.random::<f64>()));
+            for (i, &v) in order.iter().enumerate() {
                 let delta = walker.flip_delta(v);
                 let accept = delta <= 0.0 || {
                     let x = -beta * delta;
-                    x > -60.0 && rng.random::<f64>() < x.exp()
+                    x > -60.0 && accept_u[i] < x.exp()
                 };
                 if accept {
-                    walker.flip(v);
+                    walker.flip_known(v, delta);
                     accepted += 1;
                 }
             }

@@ -1,4 +1,18 @@
 //! Metropolis simulated annealing over an [`Evaluator`].
+//!
+//! The inner loop draws its acceptance uniforms in one batch per sweep (one
+//! draw per proposal, consumed whether or not the Metropolis test needs it),
+//! which keeps the RNG call count per sweep fixed and off the per-proposal
+//! hot path, and applies accepted moves through
+//! [`Evaluator::flip_known`] so the delta computed for the acceptance test
+//! is not recomputed inside the flip.
+//!
+//! SA deliberately does *not* opt into the evaluator's flip-delta cache
+//! ([`Evaluator::enable_delta_cache`]): it examines exactly one candidate
+//! per proposal, and on LRP models — where the migration-budget constraint
+//! couples every variable — maintaining the cache costs O(n) per accepted
+//! flip, which at annealing acceptance rates is slower than recomputing the
+//! single needed delta on demand.
 
 use qlrb_model::eval::Evaluator;
 use rand::seq::SliceRandom;
@@ -65,19 +79,23 @@ pub fn simulated_annealing<E: Evaluator>(
         };
     }
     let mut order: Vec<usize> = (0..n).collect();
+    let mut accept_u: Vec<f64> = Vec::with_capacity(n);
     let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
     for sweep in 0..params.sweeps {
         let beta = params.schedule.beta(sweep as f64 / denom);
         order.shuffle(rng);
-        for &v in &order {
+        // One uniform per proposal, drawn up front for the whole sweep.
+        accept_u.clear();
+        accept_u.extend((0..n).map(|_| rng.random::<f64>()));
+        for (i, &v) in order.iter().enumerate() {
             let delta = ev.flip_delta(v);
             let accept = delta <= 0.0 || {
                 let x = -beta * delta;
-                // exp underflows harmlessly; skip the rng draw when hopeless.
-                x > -60.0 && rng.random::<f64>() < x.exp()
+                // exp underflows harmlessly; skip the exp when hopeless.
+                x > -60.0 && accept_u[i] < x.exp()
             };
             if accept {
-                ev.flip(v);
+                ev.flip_known(v, delta);
                 accepted += 1;
                 if ev.energy() < best_energy {
                     best_energy = ev.energy();
@@ -112,7 +130,7 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    /// A frustrated 8-variable QUBO with a known unique ground state.
+    /// A frustrated 8-variable QUBO with known (degenerate) ground energy.
     fn chain_bqm() -> (BinaryQuadraticModel, Vec<u8>, f64) {
         // Antiferromagnetic chain with a field pinning x0 = 1:
         // minimized by alternating 1,0,1,0,...
@@ -141,8 +159,17 @@ mod tests {
             resync_interval: 64,
         };
         let res = simulated_annealing(&mut ev, &params, &mut rng);
-        assert_eq!(res.state, ground);
-        assert!((res.energy - ground_e).abs() < 1e-9);
+        // The ground energy is degenerate (any independent set of 4 ones
+        // with x0 = 1 reaches −5), so assert on energy, not the exact bit
+        // pattern — which exact ground state the walk lands in depends on
+        // the RNG stream.
+        let _ = ground;
+        assert!(
+            (res.energy - ground_e).abs() < 1e-9,
+            "best energy {} vs ground {}",
+            res.energy,
+            ground_e
+        );
     }
 
     #[test]

@@ -15,10 +15,25 @@
 //! disagreeing mid-anneal. The routine works over any cloneable
 //! [`Evaluator`], so it anneals the structured CQM energy directly without
 //! materializing a QUBO.
+//!
+//! # Parallel sweep structure
+//!
+//! Replica sweeps run in parallel over rayon using a checkerboard (parity)
+//! decomposition of the Trotter ring: even-index slices only couple to
+//! odd-index neighbours and vice versa, so each parity class updates
+//! concurrently against a snapshot of its neighbours' spins taken at phase
+//! start (for odd `P` the last slice forms a third, singleton phase to keep
+//! the ring conflict-free). Each slice owns a private `ChaCha8` stream
+//! derived from the caller's RNG, so the result is identical for a given
+//! seed regardless of thread count or scheduling. Initial-state
+//! perturbation, the transverse-field schedule, and global (all-replica)
+//! moves remain on the caller's RNG, serially.
 
 use qlrb_model::eval::Evaluator;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use crate::sa::AnnealResult;
 use crate::schedule::TransverseSchedule;
@@ -90,19 +105,52 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
         };
     }
 
-    let mut replicas: Vec<E> = (0..p).map(|_| proto.clone()).collect();
-    for (k, r) in replicas.iter_mut().enumerate().skip(1) {
+    // One worker per Trotter slice: the evaluator, a private RNG stream,
+    // and a local acceptance counter.
+    struct Slice<E> {
+        ev: E,
+        rng: ChaCha8Rng,
+        accepted: u64,
+    }
+
+    let stream_base = rng.next_u64();
+    let mut slices: Vec<Slice<E>> = (0..p)
+        .map(|k| Slice {
+            ev: proto.clone(),
+            rng: ChaCha8Rng::seed_from_u64(
+                stream_base ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            accepted: 0,
+        })
+        .collect();
+    for (k, s) in slices.iter_mut().enumerate().skip(1) {
         // ~2% perturbation, at least one flip, per extra replica.
         let flips = (n / 50).max(1).min(n);
         for _ in 0..(flips * k).min(n) {
             let v = rng.random_range(0..n);
-            r.flip(v);
+            s.ev.flip(v);
         }
+    }
+
+    // Checkerboard phases over the Trotter ring: slices within one phase
+    // share no ring edge, so they sweep concurrently against neighbour
+    // spins frozen at phase start. Even P → {evens, odds}; odd P → the
+    // last slice (adjacent to slice 0, also even) gets its own phase.
+    let mut phase_of = vec![0u8; p];
+    let num_phases: u8 = if p.is_multiple_of(2) { 2 } else { 3 };
+    for (k, ph) in phase_of.iter_mut().enumerate() {
+        *ph = if !p.is_multiple_of(2) && k == p - 1 {
+            2
+        } else {
+            (k % 2) as u8
+        };
     }
 
     let pf = p as f64;
     let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
     let mut order: Vec<usize> = (0..n).collect();
+    let mut spins: Vec<Vec<u8>> = vec![vec![0u8; n]; p];
+    let mut deltas = vec![0.0f64; p];
     for sweep in 0..params.sweeps {
         let t = sweep as f64 / denom;
         let gamma = params.transverse.gamma(t);
@@ -111,64 +159,78 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
         let jperp = -(pf / (2.0 * params.beta)) * arg.tanh().ln();
 
         order.shuffle(rng);
-        for &v in &order {
-            for k in 0..p {
-                let delta_cl = replicas[k].flip_delta(v);
-                let s = spin(replicas[k].state()[v]);
-                let s_prev = spin(replicas[(k + p - 1) % p].state()[v]);
-                let s_next = spin(replicas[(k + 1) % p].state()[v]);
-                // Coupling energy is −J⊥·s·(s_prev + s_next); flipping s
-                // changes it by +2·J⊥·s·(s_prev + s_next).
-                let delta = delta_cl / pf + 2.0 * jperp * s * (s_prev + s_next);
-                let accept = delta <= 0.0 || {
-                    let x = -params.beta * delta;
-                    x > -60.0 && rng.random::<f64>() < x.exp()
-                };
-                if accept {
-                    replicas[k].flip(v);
-                    accepted += 1;
-                }
+        for phase in 0..num_phases {
+            for (snap, s) in spins.iter_mut().zip(&slices) {
+                snap.copy_from_slice(s.ev.state());
             }
+            let order = &order;
+            let spins = &spins;
+            slices
+                .par_iter_mut()
+                .enumerate()
+                .filter(|&(k, _)| phase_of[k] == phase)
+                .for_each(|(k, slice)| {
+                    let prev = &spins[(k + p - 1) % p];
+                    let next = &spins[(k + 1) % p];
+                    for &v in order {
+                        let delta_cl = slice.ev.flip_delta(v);
+                        let s = spin(slice.ev.state()[v]);
+                        // Coupling energy is −J⊥·s·(s_prev + s_next);
+                        // flipping s changes it by +2·J⊥·s·(s_prev + s_next).
+                        let delta =
+                            delta_cl / pf + 2.0 * jperp * s * (spin(prev[v]) + spin(next[v]));
+                        let accept = delta <= 0.0 || {
+                            let x = -params.beta * delta;
+                            x > -60.0 && slice.rng.random::<f64>() < x.exp()
+                        };
+                        if accept {
+                            slice.ev.flip_known(v, delta_cl);
+                            slice.accepted += 1;
+                        }
+                    }
+                });
         }
 
         // Global (all-replica) moves: coupling-invariant barrier hops.
         let global_moves = ((n as f64) * params.global_move_fraction) as usize;
         for _ in 0..global_moves {
             let v = rng.random_range(0..n);
-            let delta: f64 = replicas.iter().map(|r| r.flip_delta(v)).sum::<f64>() / pf;
+            for (d, s) in deltas.iter_mut().zip(&slices) {
+                *d = s.ev.flip_delta(v);
+            }
+            let delta: f64 = deltas.iter().sum::<f64>() / pf;
             let accept = delta <= 0.0 || {
                 let x = -params.beta * delta;
                 x > -60.0 && rng.random::<f64>() < x.exp()
             };
             if accept {
-                for r in &mut replicas {
-                    r.flip(v);
+                for (s, &d) in slices.iter_mut().zip(&deltas) {
+                    s.ev.flip_known(v, d);
                 }
                 accepted += 1;
             }
         }
 
         if params.resync_interval > 0 && (sweep + 1) % params.resync_interval == 0 {
-            for r in &mut replicas {
-                r.resync();
-            }
+            slices.par_iter_mut().for_each(|s| s.ev.resync());
         }
-        for r in &replicas {
-            if r.energy() < best_energy {
-                best_energy = r.energy();
+        for s in &slices {
+            if s.ev.energy() < best_energy {
+                best_energy = s.ev.energy();
                 best_state.clear();
-                best_state.extend_from_slice(r.state());
+                best_state.extend_from_slice(s.ev.state());
             }
         }
     }
-    for r in &mut replicas {
-        r.resync();
-        if r.energy() < best_energy {
-            best_energy = r.energy();
+    for s in &mut slices {
+        s.ev.resync();
+        if s.ev.energy() < best_energy {
+            best_energy = s.ev.energy();
             best_state.clear();
-            best_state.extend_from_slice(r.state());
+            best_state.extend_from_slice(s.ev.state());
         }
     }
+    accepted += slices.iter().map(|s| s.accepted).sum::<u64>();
     AnnealResult {
         state: best_state,
         energy: best_energy,

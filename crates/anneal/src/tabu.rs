@@ -2,9 +2,17 @@
 //!
 //! Steepest-descent moves with a recency-based tabu list and the standard
 //! aspiration criterion (a tabu move is allowed if it beats the incumbent).
-//! Used inside the hybrid portfolio for small and mid-size models, where its
-//! full-neighbourhood scans are affordable and its cycling resistance
+//! Used inside the hybrid portfolio, where its cycling resistance
 //! complements annealing.
+//!
+//! Tabu reads every candidate delta on every iteration, so it opts into the
+//! evaluator's incrementally maintained flip-delta cache
+//! ([`Evaluator::enable_delta_cache`]) when available: the full-neighbourhood
+//! scan becomes a flat array read (O(n)) instead of n on-demand delta
+//! recomputations (O(n·nnz) with per-expression penalty evaluations), and
+//! the single accepted flip per iteration pays the cache maintenance.
+//! Evaluators without cache support (e.g. [`qlrb_model::eval::BqmEvaluator`])
+//! fall back to the on-demand scan unchanged.
 
 use qlrb_model::eval::Evaluator;
 use rand::Rng;
@@ -68,25 +76,42 @@ pub fn tabu_search<E: Evaluator>(
     let mut tabu_until = vec![0usize; n];
     let mut stall = 0usize;
     let mut iters = 0usize;
+    let use_cache = ev.enable_delta_cache();
     for iter in 0..params.max_iters {
         // Steepest admissible move; ties broken by a random perturbation so
         // plateaus don't lock onto variable 0.
         let mut chosen: Option<(usize, f64)> = None;
         let mut chosen_key = f64::INFINITY;
-        for v in 0..n {
-            let delta = ev.flip_delta(v);
-            let aspiration = ev.energy() + delta < best_energy - 1e-12;
-            if tabu_until[v] > iter && !aspiration {
-                continue;
+        let energy = ev.energy();
+        if use_cache {
+            let deltas = ev.cached_deltas().expect("cache enabled above");
+            for (v, &delta) in deltas.iter().enumerate() {
+                let aspiration = energy + delta < best_energy - 1e-12;
+                if tabu_until[v] > iter && !aspiration {
+                    continue;
+                }
+                let key = delta + rng.random::<f64>() * 1e-9;
+                if key < chosen_key {
+                    chosen_key = key;
+                    chosen = Some((v, delta));
+                }
             }
-            let key = delta + rng.random::<f64>() * 1e-9;
-            if key < chosen_key {
-                chosen_key = key;
-                chosen = Some((v, delta));
+        } else {
+            for v in 0..n {
+                let delta = ev.flip_delta(v);
+                let aspiration = energy + delta < best_energy - 1e-12;
+                if tabu_until[v] > iter && !aspiration {
+                    continue;
+                }
+                let key = delta + rng.random::<f64>() * 1e-9;
+                if key < chosen_key {
+                    chosen_key = key;
+                    chosen = Some((v, delta));
+                }
             }
         }
         let Some((v, delta)) = chosen else { break };
-        ev.flip(v);
+        ev.flip_known(v, delta);
         tabu_until[v] = iter + tenure;
         iters = iter + 1;
         if ev.energy() < best_energy - 1e-12 {
@@ -99,7 +124,6 @@ pub fn tabu_search<E: Evaluator>(
                 break;
             }
         }
-        let _ = delta;
         if iters.is_multiple_of(512) {
             ev.resync();
         }
@@ -182,5 +206,39 @@ mod tests {
         let b = run(5);
         assert_eq!(a.state, b.state);
         assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn uses_delta_cache_on_cqm_models() {
+        use qlrb_model::cqm::{Cqm, Sense};
+        use qlrb_model::eval::{CompiledCqm, CqmEvaluator};
+        use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+        use qlrb_model::{LinearExpr, Var};
+
+        // minimize (x0 + 2·x1 + 3·x2 − 3)²  s.t.  x0 + x1 + x2 ≤ 2;
+        // optimum 0 at e.g. x2 = 1 alone.
+        let mut cqm = Cqm::new(3);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(2), 3.0);
+        cqm.add_squared_term(obj, 3.0, 1.0);
+        let mut cap = LinearExpr::new();
+        cap.add_term(Var(0), 1.0)
+            .add_term(Var(1), 1.0)
+            .add_term(Var(2), 1.0);
+        cqm.add_constraint(cap, Sense::Le, 2.0, "cap");
+        let compiled = CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::uniform(25.0, PenaltyStyle::ViolationQuadratic),
+        );
+        let mut ev = CqmEvaluator::new(compiled);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let res = tabu_search(&mut ev, &TabuParams::default(), &mut rng);
+        assert!(
+            ev.cached_deltas().is_some(),
+            "tabu must opt the CQM evaluator into the delta cache"
+        );
+        assert!(res.energy.abs() < 1e-9, "optimum is 0, got {}", res.energy);
     }
 }

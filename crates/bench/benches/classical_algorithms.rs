@@ -21,7 +21,11 @@ fn instances() -> Vec<(&'static str, Instance)> {
         .unwrap()
         .1;
     let samoa = samoa_mini::scenario::table5_instance();
-    vec![("mxm_8x50", imb3), ("mxm_8x2048", big), ("samoa_32x208", samoa)]
+    vec![
+        ("mxm_8x50", imb3),
+        ("mxm_8x2048", big),
+        ("samoa_32x208", samoa),
+    ]
 }
 
 fn bench_classical(c: &mut Criterion) {

@@ -42,7 +42,10 @@ fn bench_variants(c: &mut Criterion) {
                 let method = QuantumRebalancer {
                     variant,
                     k,
-                    solver: solver(4, vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu]),
+                    solver: solver(
+                        4,
+                        vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu],
+                    ),
                     label: None,
                     extra_seed_plans: Vec::new(),
                     prune_tolerance: 0.02,
@@ -62,13 +65,17 @@ fn bench_samplers(c: &mut Criterion) {
     let mut group = c.benchmark_group("hybrid_samplers");
     group.sample_size(10);
     for kind in [SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu] {
-        group.bench_with_input(BenchmarkId::new("sampler", format!("{kind}")), &kind, |b, &kind| {
-            let s = solver(2, vec![kind]);
-            b.iter(|| {
-                let set = s.solve(&lrp.cqm, &[]);
-                black_box(set.samples.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sampler", format!("{kind}")),
+            &kind,
+            |b, &kind| {
+                let s = solver(2, vec![kind]);
+                b.iter(|| {
+                    let set = s.solve(&lrp.cqm, &[]);
+                    black_box(set.samples.len())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -118,5 +125,43 @@ fn bench_structured_vs_qubo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_variants, bench_samplers, bench_structured_vs_qubo);
+/// Table-V scale (sam(oa)² oscillating lake, M = 32 × n = 208; 7 936
+/// logical variables in the reduced formulation): one default-config hybrid
+/// solve — the headline number `bench_summary` tracks across PRs.
+fn bench_table5_scale(c: &mut Criterion) {
+    let inst = samoa_mini::scenario::table5_instance();
+    let k = 128;
+    let mut group = c.benchmark_group("hybrid_table5");
+    group.sample_size(10);
+    for variant in [Variant::Reduced, Variant::Full] {
+        group.bench_with_input(
+            BenchmarkId::new("default_solver", format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                let method = QuantumRebalancer {
+                    variant,
+                    k,
+                    solver: HybridCqmSolver {
+                        seed: 11,
+                        ..Default::default()
+                    },
+                    label: None,
+                    extra_seed_plans: Vec::new(),
+                    prune_tolerance: 0.02,
+                    migration_penalty: 0.0,
+                };
+                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variants,
+    bench_samplers,
+    bench_structured_vs_qubo,
+    bench_table5_scale
+);
 criterion_main!(benches);

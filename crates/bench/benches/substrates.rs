@@ -30,9 +30,8 @@ fn bench_mesh(c: &mut Criterion) {
     c.bench_function("samoa_mesh_depth12", |b| {
         let lake = samoa_mini::OscillatingLake::default();
         b.iter(|| {
-            let mesh = samoa_mini::Mesh::adaptive(12, 13, |p| {
-                lake.near_shoreline(p[0], p[1], 0.0, 0.05)
-            });
+            let mesh =
+                samoa_mini::Mesh::adaptive(12, 13, |p| lake.near_shoreline(p[0], p[1], 0.0, 0.05));
             black_box(mesh.num_cells())
         })
     });

@@ -1,0 +1,153 @@
+//! Compact perf-trajectory snapshot: times a fixed set of hot-path
+//! scenarios with plain [`std::time::Instant`] and writes
+//! `results/bench_summary.json` (per-scenario median wall time plus
+//! machine info), so successive PRs can compare headline numbers without
+//! re-running the full Criterion suite.
+//!
+//! All scenarios are deterministic under their fixed seeds and run at the
+//! paper's Table-V scale (sam(oa)² oscillating lake, M = 32 nodes ×
+//! n = 208 tasks — 7 936 / 8 192 logical variables):
+//!
+//! * `hybrid_solve_table5_reduced` / `hybrid_solve_table5_full` — one
+//!   default-config [`HybridCqmSolver`] solve per iteration through
+//!   [`QuantumRebalancer`], the quantity the paper's "Runtime" columns
+//!   report.
+//! * `sa_table5` / `sqa_table5` / `tabu_table5` — two single-sampler reads
+//!   each, isolating the three portfolio members.
+//!
+//! `QLRB_BENCH_ITERS` overrides the per-scenario iteration count
+//! (default 3; the median is reported).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use qlrb_anneal::hybrid::{HybridCqmSolver, SamplerKind};
+use qlrb_core::cqm::{LrpCqm, Variant};
+use qlrb_core::{QuantumRebalancer, Rebalancer};
+
+/// A named timing scenario: label plus the closure timed per iteration.
+type Scenario<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+fn time_median_ms(iters: usize, f: &mut dyn FnMut()) -> (f64, f64, f64) {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    (median, samples[0], samples[samples.len() - 1])
+}
+
+fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
+    QuantumRebalancer {
+        variant,
+        k,
+        solver: HybridCqmSolver {
+            seed: 11,
+            ..Default::default()
+        },
+        label: None,
+        extra_seed_plans: Vec::new(),
+        prune_tolerance: 0.02,
+        migration_penalty: 0.0,
+    }
+}
+
+fn main() {
+    let iters: usize = std::env::var("QLRB_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+
+    let inst = samoa_mini::scenario::table5_instance();
+    // A Table-V-magnitude migration budget; fixed so the scenario is stable
+    // across PRs instead of tracking the classical methods' plans.
+    let k = 128u64;
+    let lrp = LrpCqm::build(&inst, Variant::Reduced, k).expect("table5 CQM");
+
+    let single = |kind: SamplerKind| HybridCqmSolver {
+        num_reads: 2,
+        seed: 11,
+        samplers: vec![kind],
+        ..Default::default()
+    };
+
+    let scenarios: Vec<Scenario> = vec![
+        (
+            "hybrid_solve_table5_reduced",
+            Box::new(|| {
+                let m = rebalancer(Variant::Reduced, k);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "hybrid_solve_table5_full",
+            Box::new(|| {
+                let m = rebalancer(Variant::Full, k);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "sa_table5",
+            Box::new(|| {
+                let set = single(SamplerKind::Sa).solve(&lrp.cqm, &[]);
+                std::hint::black_box(set.samples.len());
+            }),
+        ),
+        (
+            "sqa_table5",
+            Box::new(|| {
+                let set = single(SamplerKind::Sqa).solve(&lrp.cqm, &[]);
+                std::hint::black_box(set.samples.len());
+            }),
+        ),
+        (
+            "tabu_table5",
+            Box::new(|| {
+                let set = single(SamplerKind::Tabu).solve(&lrp.cqm, &[]);
+                std::hint::black_box(set.samples.len());
+            }),
+        ),
+    ];
+
+    // Hand-rolled JSON: the schema is flat and fixed, and keeping the binary
+    // free of serde derives keeps it honest as a pure timing harness.
+    let mut bench_json = String::new();
+    for (i, (name, mut f)) in scenarios.into_iter().enumerate() {
+        let (median_ms, min_ms, max_ms) = time_median_ms(iters, &mut *f);
+        eprintln!(
+            "{name}: median {median_ms:.1} ms  (min {min_ms:.1}, max {max_ms:.1}, n = {iters})"
+        );
+        let _ = write!(
+            bench_json,
+            "{}    {{\"name\": \"{name}\", \"iters\": {iters}, \
+             \"median_ms\": {median_ms:.3}, \"min_ms\": {min_ms:.3}, \"max_ms\": {max_ms:.3}}}",
+            if i == 0 { "" } else { ",\n" },
+        );
+    }
+
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let summary = format!(
+        "{{\n  \"schema\": 1,\n  \"generated_unix_s\": {unix_s},\n  \
+         \"scale\": {{\"nodes\": {}, \"tasks_per_node\": {}}},\n  \
+         \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"logical_cpus\": {cpus}}},\n  \
+         \"benches\": [\n{bench_json}\n  ]\n}}\n",
+        inst.num_procs(),
+        inst.tasks_per_proc(),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
+    let path = qlrb_bench::results_dir().join("bench_summary.json");
+    std::fs::write(&path, summary).expect("write bench summary");
+    println!("[saved {}]", path.display());
+}

@@ -12,7 +12,10 @@ fn main() {
         "Algorithm", "# total mig (avg)", "# mig/proc (avg)", "Runtime(ms)", "QPU(ms)"
     );
     for r in exp.averages() {
-        let qpu = r.qpu_ms.map(|q| format!("{q:.1}")).unwrap_or_else(|| "-".into());
+        let qpu = r
+            .qpu_ms
+            .map(|q| format!("{q:.1}"))
+            .unwrap_or_else(|| "-".into());
         println!(
             "{:<14} {:>16.1} {:>18.2} {:>14.4} {:>10}",
             r.algorithm, r.migrated as f64, r.migrated_per_proc, r.runtime_ms, qpu

@@ -58,7 +58,8 @@ impl SimInput {
     /// Panics if the plan fails validation against the instance.
     #[allow(clippy::needless_range_loop)] // (i, j) jointly index the matrix and nodes
     pub fn from_plan(inst: &Instance, plan: &MigrationMatrix) -> Self {
-        plan.validate(inst).expect("plan must be valid for the instance");
+        plan.validate(inst)
+            .expect("plan must be valid for the instance");
         let m = inst.num_procs();
         let mut nodes = vec![NodeTasks::default(); m];
         let mut migrations = Vec::new();
@@ -70,13 +71,14 @@ impl SimInput {
                         .durations
                         .extend(std::iter::repeat_n(inst.weights()[i], count));
                 } else {
-                    migrations.extend(
-                        std::iter::repeat_n(Migration {
+                    migrations.extend(std::iter::repeat_n(
+                        Migration {
                             from: j,
                             to: i,
                             load: inst.weights()[j],
-                        }, count),
-                    );
+                        },
+                        count,
+                    ));
                 }
             }
         }
@@ -347,7 +349,10 @@ mod tests {
         // Second receiver gets its task at 2+1 = 3, runs 10 → finish 13...
         // receivers are ordered by arrival; one of nodes 1/2 finishes at 12,
         // the other at 13.
-        let mut f: Vec<f64> = report.iterations[0].nodes[1..].iter().map(|n| n.finish).collect();
+        let mut f: Vec<f64> = report.iterations[0].nodes[1..]
+            .iter()
+            .map(|n| n.finish)
+            .collect();
         f.sort_by(f64::total_cmp);
         assert!((f[0] - 12.0).abs() < 1e-9);
         assert!((f[1] - 13.0).abs() < 1e-9);

@@ -32,11 +32,7 @@ pub struct StealReport {
 /// `cfg.transfer_cost(load)` (the victim's data must travel). With
 /// `enabled = false` this degrades to static per-node execution — the
 /// baseline the paper's `L_max` metric models.
-pub fn simulate_work_stealing(
-    nodes: &[Vec<f64>],
-    cfg: &SimConfig,
-    enabled: bool,
-) -> StealReport {
+pub fn simulate_work_stealing(nodes: &[Vec<f64>], cfg: &SimConfig, enabled: bool) -> StealReport {
     let m = nodes.len();
     assert!(m >= 1, "need at least one node");
     assert!(cfg.comp_threads >= 1);

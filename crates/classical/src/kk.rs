@@ -152,7 +152,11 @@ mod tests {
         let out = KarmarkarKarp.rebalance(&inst).unwrap();
         let after = inst.stats_after(&out.matrix);
         assert!(after.l_max <= inst.stats().l_max + 1e-9);
-        assert!(after.imbalance_ratio < 0.05, "KK should nearly balance uniform classes: {}", after.imbalance_ratio);
+        assert!(
+            after.imbalance_ratio < 0.05,
+            "KK should nearly balance uniform classes: {}",
+            after.imbalance_ratio
+        );
     }
 
     #[test]
@@ -160,7 +164,11 @@ mod tests {
         // Paper Tables III/IV: KK and Greedy migrate nearly identical counts.
         let weights: Vec<f64> = (0..8).map(|i| 1.0 + 0.5 * i as f64).collect();
         let inst = Instance::uniform(100, weights).unwrap();
-        let kk = KarmarkarKarp.rebalance(&inst).unwrap().matrix.num_migrated();
+        let kk = KarmarkarKarp
+            .rebalance(&inst)
+            .unwrap()
+            .matrix
+            .num_migrated();
         assert!(
             (600..=760).contains(&kk),
             "expected ≈700 migrations, got {kk}"

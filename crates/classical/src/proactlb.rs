@@ -115,7 +115,11 @@ mod tests {
         let weights: Vec<f64> = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5];
         let inst = Instance::uniform(50, weights).unwrap();
         let proact = ProactLb.rebalance(&inst).unwrap().matrix.num_migrated();
-        let greedy = crate::Greedy.rebalance(&inst).unwrap().matrix.num_migrated();
+        let greedy = crate::Greedy
+            .rebalance(&inst)
+            .unwrap()
+            .matrix
+            .num_migrated();
         assert!(
             proact * 3 < greedy,
             "ProactLB ({proact}) should migrate well under a third of Greedy ({greedy})"

@@ -24,13 +24,7 @@ impl GreedyRelabeled {
     /// The kept-task-maximizing partition→process assignment for `counts`.
     pub fn best_assignment(counts: &PartitionCounts) -> Vec<usize> {
         // Maximize Σ_p counts[p][assign(p)] ⇔ minimize negated counts.
-        let big = counts
-            .counts
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as i64;
+        let big = counts.counts.iter().flatten().copied().max().unwrap_or(0) as i64;
         let cost: Vec<Vec<i64>> = counts
             .counts
             .iter()
@@ -67,7 +61,10 @@ impl Rebalancer for GreedyRelabeled {
 /// potentials `u`/`v`; 1-indexed internally to keep the sentinel column 0.
 pub fn hungarian(cost: &[Vec<i64>]) -> Vec<usize> {
     let n = cost.len();
-    assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
     if n == 0 {
         return Vec::new();
     }

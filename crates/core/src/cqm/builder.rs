@@ -100,7 +100,10 @@ impl LrpCqm {
                     for j in 0..m {
                         for l in 0..bits {
                             let c = this.coeffs.coeffs()[l] as f64;
-                            expr.add_term(this.var(i, j, l).expect("full has all pairs"), weights[j] * c);
+                            expr.add_term(
+                                this.var(i, j, l).expect("full has all pairs"),
+                                weights[j] * c,
+                            );
                         }
                     }
                 }
@@ -137,7 +140,9 @@ impl LrpCqm {
                 }
             }
             match variant {
-                Variant::Full => cqm.add_constraint(expr, Sense::Eq, n as f64, format!("conserve[{j}]")),
+                Variant::Full => {
+                    cqm.add_constraint(expr, Sense::Eq, n as f64, format!("conserve[{j}]"))
+                }
                 Variant::Reduced => {
                     cqm.add_constraint(expr, Sense::Le, n as f64, format!("sendable[{j}]"))
                 }
@@ -204,6 +209,26 @@ impl LrpCqm {
     /// The migration budget `k`.
     pub fn budget(&self) -> u64 {
         self.k
+    }
+
+    /// A copy of this formulation with a different migration budget `k`.
+    ///
+    /// The budget only enters the CQM as the right-hand side of the final
+    /// constraint (labelled `"budget"`, always added last by
+    /// [`Self::build_with_encoding`]), so variants sharing an instance and
+    /// encoding can reuse one compiled base model instead of rebuilding the
+    /// full objective and constraint set per budget.
+    pub fn with_budget(&self, k: u64) -> Self {
+        let mut out = self.clone();
+        let budget = out
+            .cqm
+            .constraints
+            .last_mut()
+            .expect("LRP CQM always has a budget constraint");
+        debug_assert_eq!(budget.label, "budget");
+        budget.rhs = k as f64;
+        out.k = k;
+        out
     }
 
     /// The per-process task weights the formulation was built from.
@@ -367,6 +392,26 @@ mod tests {
     }
 
     #[test]
+    fn with_budget_matches_fresh_build() {
+        let i = inst();
+        for variant in [Variant::Full, Variant::Reduced] {
+            let base = LrpCqm::build(&i, variant, 0).unwrap();
+            for k in [0u64, 3, 10, 100] {
+                let rebudgeted = base.with_budget(k);
+                let fresh = LrpCqm::build(&i, variant, k).unwrap();
+                assert_eq!(rebudgeted.budget(), k);
+                // `Cqm` has no `PartialEq`; its exhaustive `Debug` output is
+                // a faithful structural fingerprint.
+                assert_eq!(
+                    format!("{:?}", rebudgeted.cqm),
+                    format!("{:?}", fresh.cqm),
+                    "{variant:?}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn identity_plan_is_feasible_in_both_variants() {
         let i = inst();
         for variant in [Variant::Full, Variant::Reduced] {
@@ -402,11 +447,7 @@ mod tests {
         for variant in [Variant::Full, Variant::Reduced] {
             let lrp = LrpCqm::build(&i, variant, 50).unwrap();
             let state = lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap();
-            let expect: f64 = i
-                .loads()
-                .iter()
-                .map(|l| (l - stats.l_avg).powi(2))
-                .sum();
+            let expect: f64 = i.loads().iter().map(|l| (l - stats.l_avg).powi(2)).sum();
             assert!(
                 (lrp.cqm.objective(&state) - expect).abs() < 1e-6,
                 "{variant:?}: {} vs {expect}",
@@ -484,12 +525,19 @@ mod tests {
         plan.migrate(2, 0, 5).unwrap();
         for variant in [Variant::Full, Variant::Reduced] {
             let mut lrp = LrpCqm::build(&i, variant, 100).unwrap();
-            let base_id = lrp.cqm.objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
+            let base_id = lrp
+                .cqm
+                .objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
             let base_mv = lrp.cqm.objective(&lrp.encode_plan(&plan).unwrap());
             lrp.add_migration_penalty(2.0);
-            let pen_id = lrp.cqm.objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
+            let pen_id = lrp
+                .cqm
+                .objective(&lrp.encode_plan(&MigrationMatrix::identity(&i)).unwrap());
             let pen_mv = lrp.cqm.objective(&lrp.encode_plan(&plan).unwrap());
-            assert!((pen_id - base_id).abs() < 1e-9, "{variant:?}: identity moves nothing");
+            assert!(
+                (pen_id - base_id).abs() < 1e-9,
+                "{variant:?}: identity moves nothing"
+            );
             assert!(
                 ((pen_mv - base_mv) - 2.0 * 5.0).abs() < 1e-6,
                 "{variant:?}: 5 moves at mu = 2 cost exactly 10, got {}",

@@ -146,7 +146,11 @@ impl TaskPlan {
                 inst.num_tasks()
             )));
         }
-        if let Some((t, &d)) = dest.iter().enumerate().find(|(_, &d)| d >= inst.num_procs()) {
+        if let Some((t, &d)) = dest
+            .iter()
+            .enumerate()
+            .find(|(_, &d)| d >= inst.num_procs())
+        {
             return Err(RebalanceError::InvalidPlan(format!(
                 "task {t} sent to process {d}, but only {} exist",
                 inst.num_procs()
@@ -200,11 +204,7 @@ impl TaskPlan {
 pub fn greedy_lpt(inst: &TaskInstance) -> TaskPlan {
     let mut order: Vec<usize> = (0..inst.num_tasks()).collect();
     // Heaviest first; ties by task id for determinism.
-    order.sort_by(|&a, &b| {
-        inst.weights[b]
-            .total_cmp(&inst.weights[a])
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| inst.weights[b].total_cmp(&inst.weights[a]).then(a.cmp(&b)));
     let mut loads = vec![0.0f64; inst.num_procs()];
     let mut dest = vec![0usize; inst.num_tasks()];
     for t in order {
@@ -275,13 +275,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn heterogeneous() -> TaskInstance {
-        TaskInstance::new(vec![
-            vec![5.0, 1.0, 1.0],
-            vec![9.0, 4.0],
-            vec![2.0],
-            vec![],
-        ])
-        .unwrap()
+        TaskInstance::new(vec![vec![5.0, 1.0, 1.0], vec![9.0, 4.0], vec![2.0], vec![]]).unwrap()
     }
 
     #[test]

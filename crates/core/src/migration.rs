@@ -33,7 +33,10 @@ impl MigrationMatrix {
     /// An all-zero matrix for `m` processes.
     pub fn zeros(m: usize) -> Self {
         assert!(m >= 1, "need at least one process");
-        Self { m, x: vec![0; m * m] }
+        Self {
+            m,
+            x: vec![0; m * m],
+        }
     }
 
     /// The identity plan for an instance: every task stays put.

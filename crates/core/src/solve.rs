@@ -78,17 +78,41 @@ impl QuantumRebalancer {
         );
         seeds
     }
-}
 
-impl Rebalancer for QuantumRebalancer {
-    fn name(&self) -> String {
-        self.label
-            .clone()
-            .unwrap_or_else(|| format!("{}(k={})", self.variant.label(), self.k))
+    /// Rebalances against a pre-built base formulation, rewriting only the
+    /// budget right-hand side (see [`LrpCqm::with_budget`]). This lets the
+    /// `k1`/`k2` budget variants of one `Q_CQM*` formulation share a single
+    /// compiled CQM instead of rebuilding the objective per budget.
+    ///
+    /// `base` must have been built from `inst` with this rebalancer's
+    /// variant; mismatches return [`RebalanceError::InvalidInstance`].
+    pub fn rebalance_with_base(
+        &self,
+        inst: &Instance,
+        base: &LrpCqm,
+    ) -> Result<RebalanceOutcome, RebalanceError> {
+        if base.variant != self.variant {
+            return Err(RebalanceError::InvalidInstance(format!(
+                "base CQM is {:?}, rebalancer wants {:?}",
+                base.variant, self.variant
+            )));
+        }
+        if base.num_procs() != inst.num_procs() || base.tasks_per_proc() != inst.tasks_per_proc() {
+            return Err(RebalanceError::InvalidInstance(
+                "base CQM was built from a different instance".into(),
+            ));
+        }
+        self.rebalance_prebuilt(inst, base.with_budget(self.k))
     }
 
-    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
-        let mut lrp = LrpCqm::build(inst, self.variant, self.k)?;
+    /// Shared solve/decode tail for [`Rebalancer::rebalance`] and
+    /// [`Self::rebalance_with_base`]: applies the optional migration
+    /// penalty, seeds, solves, and decodes the best feasible sample.
+    fn rebalance_prebuilt(
+        &self,
+        inst: &Instance,
+        mut lrp: LrpCqm,
+    ) -> Result<RebalanceOutcome, RebalanceError> {
         if self.migration_penalty > 0.0 {
             lrp.add_migration_penalty(self.migration_penalty);
         }
@@ -126,6 +150,19 @@ impl Rebalancer for QuantumRebalancer {
             runtime: set.timing.cpu,
             qpu_time: Some(set.timing.qpu),
         })
+    }
+}
+
+impl Rebalancer for QuantumRebalancer {
+    fn name(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{}(k={})", self.variant.label(), self.k))
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        let lrp = LrpCqm::build(inst, self.variant, self.k)?;
+        self.rebalance_prebuilt(inst, lrp)
     }
 }
 
@@ -226,9 +263,7 @@ pub fn prune_migrations(inst: &Instance, plan: &mut MigrationMatrix, rel_tol: f6
                 while r >= 1 {
                     let new_li = loads[i] - r as f64 * w[j];
                     let new_lj = loads[j] + r as f64 * w[j];
-                    let new_obj = current
-                        - (loads[i] - l_avg).powi(2)
-                        - (loads[j] - l_avg).powi(2)
+                    let new_obj = current - (loads[i] - l_avg).powi(2) - (loads[j] - l_avg).powi(2)
                         + (new_li - l_avg).powi(2)
                         + (new_lj - l_avg).powi(2);
                     if new_lj <= cap && new_obj <= allowance {
@@ -341,16 +376,25 @@ mod tests {
         plan.migrate(2, 0, 4).unwrap();
         let before_obj: f64 = {
             let avg = inst.stats().l_avg;
-            plan.new_loads(&inst).iter().map(|l| (l - avg).powi(2)).sum()
+            plan.new_loads(&inst)
+                .iter()
+                .map(|l| (l - avg).powi(2))
+                .sum()
         };
         let before = plan.num_migrated();
         let removed = prune_migrations(&inst, &mut plan, 0.02);
         plan.validate(&inst).unwrap();
-        assert!(removed >= 4, "the 0↔1 shuffle is free to undo: removed {removed}");
+        assert!(
+            removed >= 4,
+            "the 0↔1 shuffle is free to undo: removed {removed}"
+        );
         assert_eq!(plan.num_migrated(), before - removed);
         let after_obj: f64 = {
             let avg = inst.stats().l_avg;
-            plan.new_loads(&inst).iter().map(|l| (l - avg).powi(2)).sum()
+            plan.new_loads(&inst)
+                .iter()
+                .map(|l| (l - avg).powi(2))
+                .sum()
         };
         assert!(after_obj <= before_obj * 1.02 + 1e-9);
         // The useful move from the overloaded process survives.
@@ -380,6 +424,41 @@ mod tests {
         let mut plan = MigrationMatrix::identity(&inst);
         assert_eq!(prune_migrations(&inst, &mut plan, 0.5), 0);
         assert_eq!(plan, MigrationMatrix::identity(&inst));
+    }
+
+    #[test]
+    fn rebalance_with_base_matches_fresh_build() {
+        // Sharing one compiled base across budgets must be observationally
+        // identical to rebuilding the CQM per budget.
+        let inst = small_inst();
+        let base = LrpCqm::build(&inst, Variant::Reduced, 0).unwrap();
+        for k in [2u64, 10] {
+            let qr = QuantumRebalancer {
+                variant: Variant::Reduced,
+                k,
+                solver: HybridCqmSolver {
+                    num_reads: 3,
+                    sweeps: 200,
+                    seed: 17,
+                    ..Default::default()
+                },
+                label: None,
+                extra_seed_plans: Vec::new(),
+                prune_tolerance: 0.02,
+                migration_penalty: 0.0,
+            };
+            let fresh = qr.rebalance(&inst).unwrap();
+            let shared = qr.rebalance_with_base(&inst, &base).unwrap();
+            assert_eq!(fresh.matrix, shared.matrix, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn rebalance_with_base_rejects_variant_mismatch() {
+        let inst = small_inst();
+        let base = LrpCqm::build(&inst, Variant::Full, 5).unwrap();
+        let qr = QuantumRebalancer::new(Variant::Reduced, 5);
+        assert!(qr.rebalance_with_base(&inst, &base).is_err());
     }
 
     #[test]

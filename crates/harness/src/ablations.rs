@@ -10,9 +10,9 @@
 //!   which solver actually earns the samples.
 
 use qlrb_anneal::hybrid::SamplerKind;
-use qlrb_model::penalty::PenaltyStyle;
 use qlrb_core::cqm::Variant;
 use qlrb_core::Instance;
+use qlrb_model::penalty::PenaltyStyle;
 
 use crate::config::HarnessConfig;
 use crate::rows::{run_method, CaseResult, ExperimentResult};
@@ -128,7 +128,10 @@ pub fn encoding_ablation(cfg: &HarnessConfig) -> ExperimentResult {
                 qlrb_core::solve::greedy_seed_plan(&inst, k),
             ]
             .iter()
-            .map(|p| lrp.encode_plan(p).expect("plans encode in any count encoding"))
+            .map(|p| {
+                lrp.encode_plan(p)
+                    .expect("plans encode in any count encoding")
+            })
             .collect();
             let solver = cfg.quantum(&inst, Variant::Full, k, name).solver;
             let started = std::time::Instant::now();

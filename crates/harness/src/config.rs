@@ -39,7 +39,13 @@ impl HarnessConfig {
     /// budget shrinks as the binary-variable count grows, mirroring how a
     /// fixed hybrid-solver time budget covers less search space on bigger
     /// problems (the effect behind the paper's Q_CQM2 instability at scale).
-    pub fn quantum(&self, inst: &Instance, variant: Variant, k: u64, label: &str) -> QuantumRebalancer {
+    pub fn quantum(
+        &self,
+        inst: &Instance,
+        variant: Variant,
+        k: u64,
+        label: &str,
+    ) -> QuantumRebalancer {
         self.quantum_seeded(inst, variant, k, label, Vec::new())
     }
 

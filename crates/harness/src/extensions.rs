@@ -71,7 +71,11 @@ pub fn dynamic_comparison(cfg: &HarnessConfig) -> ExperimentResult {
     let m = inst.num_procs() as f64;
     let perfect = inst.loads().iter().sum::<f64>() / m;
     let mut cases = Vec::new();
-    for (latency, label) in [(0.0, "free steals"), (0.5, "cheap steals"), (4.0, "costly steals")] {
+    for (latency, label) in [
+        (0.0, "free steals"),
+        (0.5, "cheap steals"),
+        (4.0, "costly steals"),
+    ] {
         let sim_cfg = SimConfig {
             comp_threads: 1,
             comm_latency: latency,
@@ -94,7 +98,10 @@ pub fn dynamic_comparison(cfg: &HarnessConfig) -> ExperimentResult {
         });
         // Migrate-then-run methods, executed on the same runtime model.
         for (name, plan) in [
-            ("ProactLB", ProactLb.rebalance(&inst).expect("proactlb").matrix),
+            (
+                "ProactLB",
+                ProactLb.rebalance(&inst).expect("proactlb").matrix,
+            ),
             ("Greedy", Greedy.rebalance(&inst).expect("greedy").matrix),
             (
                 "Q_CQM1",
@@ -139,10 +146,20 @@ pub fn drift_study(cfg: &HarnessConfig) -> ExperimentResult {
     use qlrb_core::ImbalanceStats;
     let scenario = samoa_mini::LakeScenario::small();
     let inst = scenario.to_instance();
-    let k1 = ProactLb.rebalance(&inst).expect("proactlb").matrix.num_migrated();
+    let k1 = ProactLb
+        .rebalance(&inst)
+        .expect("proactlb")
+        .matrix
+        .num_migrated();
     let plans: Vec<(String, qlrb_core::MigrationMatrix)> = vec![
-        ("Greedy".into(), Greedy.rebalance(&inst).expect("greedy").matrix),
-        ("ProactLB".into(), ProactLb.rebalance(&inst).expect("proactlb").matrix),
+        (
+            "Greedy".into(),
+            Greedy.rebalance(&inst).expect("greedy").matrix,
+        ),
+        (
+            "ProactLB".into(),
+            ProactLb.rebalance(&inst).expect("proactlb").matrix,
+        ),
         (
             "Q_CQM1_k1".into(),
             cfg.quantum(&inst, Variant::Reduced, k1, "Q_CQM1_k1")
@@ -355,8 +372,14 @@ pub fn noise_robustness(cfg: &HarnessConfig) -> ExperimentResult {
 
     let inst = crate::ablations::ablation_instance();
     let plans: Vec<(String, qlrb_core::MigrationMatrix)> = vec![
-        ("Greedy".into(), Greedy.rebalance(&inst).expect("greedy").matrix),
-        ("ProactLB".into(), ProactLb.rebalance(&inst).expect("proactlb").matrix),
+        (
+            "Greedy".into(),
+            Greedy.rebalance(&inst).expect("greedy").matrix,
+        ),
+        (
+            "ProactLB".into(),
+            ProactLb.rebalance(&inst).expect("proactlb").matrix,
+        ),
         (
             "Q_CQM1".into(),
             cfg.quantum(&inst, Variant::Reduced, inst.num_tasks() / 4, "Q_CQM1")
@@ -406,8 +429,7 @@ pub fn noise_robustness(cfg: &HarnessConfig) -> ExperimentResult {
         .collect();
     ExperimentResult {
         id: "extension_noise".into(),
-        title: "Robustness to cost-model error (achieved speedup under task-time noise)"
-            .into(),
+        title: "Robustness to cost-model error (achieved speedup under task-time noise)".into(),
         cases,
     }
 }
@@ -423,7 +445,11 @@ mod tests {
         let row = |name: &str| case.row(name).unwrap();
         // μ = 0 balances hard; huge μ freezes migration entirely.
         assert!(row("mu=0").r_imb < 0.2, "{}", row("mu=0").r_imb);
-        assert_eq!(row("mu=100u").migrated, 0, "prohibitive charge freezes moves");
+        assert_eq!(
+            row("mu=100u").migrated,
+            0,
+            "prohibitive charge freezes moves"
+        );
         // Monotone-ish: more charge, fewer moves (compare extremes).
         assert!(row("mu=10u").migrated <= row("mu=0").migrated);
     }
@@ -440,7 +466,12 @@ mod tests {
         // average... not guaranteed pointwise, so assert the mild case.
         let mild = &exp.cases[1];
         for row in &mild.rows {
-            assert!(row.speedup > 1.0, "{} at cv=0.2: {}", row.algorithm, row.speedup);
+            assert!(
+                row.speedup > 1.0,
+                "{} at cv=0.2: {}",
+                row.algorithm,
+                row.speedup
+            );
         }
     }
 
@@ -476,9 +507,8 @@ mod tests {
             );
         }
         // Somewhere later, some plan's advantage has shrunk substantially.
-        let gap = |case: &CaseResult, name: &str| {
-            case.baseline_r_imb - case.row(name).unwrap().r_imb
-        };
+        let gap =
+            |case: &CaseResult, name: &str| case.baseline_r_imb - case.row(name).unwrap().r_imb;
         let g0 = gap(first, "Greedy");
         let decayed = exp.cases[1..].iter().any(|c| gap(c, "Greedy") < 0.75 * g0);
         assert!(decayed, "Greedy's benefit never decayed");
@@ -510,7 +540,10 @@ mod tests {
         let costly = &exp.cases[2];
         let ws_free = free.row("WorkStealing").unwrap().r_imb;
         let ws_costly = costly.row("WorkStealing").unwrap().r_imb;
-        assert!(ws_free < ws_costly, "steal cost must hurt: {ws_free} vs {ws_costly}");
+        assert!(
+            ws_free < ws_costly,
+            "steal cost must hurt: {ws_free} vs {ws_costly}"
+        );
         // With free steals, work stealing is essentially perfect.
         assert!(ws_free < 1.1, "free stealing near the bound: {ws_free}");
         // With costly steals, the proactive migrator beats it.

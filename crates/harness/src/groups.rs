@@ -4,15 +4,25 @@ use std::fmt::Write as _;
 
 use qlrb_classical::{complexity, Greedy, KarmarkarKarp, ProactLb};
 use qlrb_core::cqm::Variant;
-use qlrb_core::Instance;
+use qlrb_core::{Instance, LrpCqm};
 use qlrb_workloads::groups as mxm_groups;
+use rayon::prelude::*;
 
 use crate::config::HarnessConfig;
-use crate::rows::{run_method, CaseResult, ExperimentResult};
+use crate::rows::{run_method, run_method_with_base, CaseResult, ExperimentResult, MethodRow};
 
 /// Runs the paper's seven methods on one instance. The quantum budgets
 /// `k1`/`k2` are derived from ProactLB's and Greedy's migration counts on
 /// this same instance, exactly as §V-B prescribes.
+///
+/// The classical methods run serially (the quantum budgets depend on their
+/// migration counts); the four `Q_CQM*_k*` variants then run in parallel
+/// over rayon. Each formulation's base CQM is compiled once and shared by
+/// its two budget variants — only the budget right-hand side differs (see
+/// [`LrpCqm::with_budget`]). Solver seeds depend only on the harness seed,
+/// the budget, and the variable count, and the indexed parallel collect
+/// preserves order, so rows are deterministic and arrive in the paper's
+/// fixed method order regardless of scheduling.
 pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> CaseResult {
     use qlrb_core::Rebalancer as _;
     let greedy_plan = Greedy.rebalance(inst).expect("greedy").matrix;
@@ -24,19 +34,33 @@ pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> C
     let k1 = proact.migrated;
     let k2 = greedy.migrated;
 
-    let mut rows = vec![greedy, kk, proact];
-    for (variant, k, name) in [
+    // One compiled base formulation per variant; the budget is rewritten
+    // per method inside `rebalance_with_base`.
+    let base_reduced = LrpCqm::build(inst, Variant::Reduced, 0).expect("Q_CQM1 base");
+    let base_full = LrpCqm::build(inst, Variant::Full, 0).expect("Q_CQM2 base");
+
+    let quantum: Vec<MethodRow> = [
         (Variant::Reduced, k1, "Q_CQM1_k1"),
         (Variant::Reduced, k2, "Q_CQM1_k2"),
         (Variant::Full, k1, "Q_CQM2_k1"),
         (Variant::Full, k2, "Q_CQM2_k2"),
-    ] {
+    ]
+    .into_par_iter()
+    .map(|(variant, k, name)| {
         // Warm starts: every classical plan that fits the budget (the
         // quantum method filters them again defensively).
         let seeds = vec![greedy_plan.clone(), kk_plan.clone(), proact_plan.clone()];
         let method = cfg.quantum_seeded(inst, variant, k, name, seeds);
-        rows.push(run_method(inst, &method));
-    }
+        let base = match variant {
+            Variant::Reduced => &base_reduced,
+            Variant::Full => &base_full,
+        };
+        run_method_with_base(inst, &method, base)
+    })
+    .collect();
+
+    let mut rows = vec![greedy, kk, proact];
+    rows.extend(quantum);
     CaseResult {
         label: label.to_string(),
         baseline_r_imb: inst.stats().imbalance_ratio,
@@ -45,9 +69,13 @@ pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> C
 }
 
 /// Fig. 3 + Table II: five imbalance levels, 8 nodes × 50 MxM tasks.
+///
+/// Cases run in parallel over rayon; the indexed collect keeps them in
+/// definition order and per-case results are seed-deterministic, so the
+/// output is identical to the serial run.
 pub fn varied_imbalance(cfg: &HarnessConfig) -> ExperimentResult {
     let cases = mxm_groups::imbalance_levels()
-        .into_iter()
+        .into_par_iter()
         .map(|(label, inst)| run_paper_methods(&inst, cfg, &label))
         .collect();
     ExperimentResult {
@@ -60,7 +88,7 @@ pub fn varied_imbalance(cfg: &HarnessConfig) -> ExperimentResult {
 /// Fig. 4 + Table III: node scaling {4, 8, 16, 32, 64} × 100 tasks.
 pub fn varied_procs(cfg: &HarnessConfig) -> ExperimentResult {
     let cases = mxm_groups::node_scaling()
-        .into_iter()
+        .into_par_iter()
         .map(|(m, inst)| run_paper_methods(&inst, cfg, &format!("{m} nodes")))
         .collect();
     ExperimentResult {
@@ -73,7 +101,7 @@ pub fn varied_procs(cfg: &HarnessConfig) -> ExperimentResult {
 /// Fig. 5 + Table IV: tasks per node {8 … 2048} on 8 nodes.
 pub fn varied_tasks(cfg: &HarnessConfig) -> ExperimentResult {
     let cases = mxm_groups::task_scaling()
-        .into_iter()
+        .into_par_iter()
         .map(|(n, inst)| run_paper_methods(&inst, cfg, &format!("{n} tasks")))
         .collect();
     ExperimentResult {
@@ -117,7 +145,11 @@ pub fn tsunami_case(cfg: &HarnessConfig) -> ExperimentResult {
 pub fn table1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== table1 — Complexity and logical qubits ==\n");
-    let _ = writeln!(out, "{:<16} {:<22} Logical qubits", "Algorithm", "Complexity");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<22} Logical qubits",
+        "Algorithm", "Complexity"
+    );
     for row in complexity::table1_rows() {
         let _ = writeln!(
             out,
@@ -181,7 +213,12 @@ mod tests {
         assert!(case.row("Q_CQM2_k2").unwrap().migrated <= k2);
         // Hybrid rows carry QPU time; classical rows don't.
         for r in &case.rows {
-            assert_eq!(r.qpu_ms.is_some(), r.algorithm.starts_with("Q_"), "{}", r.algorithm);
+            assert_eq!(
+                r.qpu_ms.is_some(),
+                r.algorithm.starts_with("Q_"),
+                "{}",
+                r.algorithm
+            );
         }
     }
 
@@ -203,6 +240,9 @@ mod tests {
         for name in ["Greedy", "KK", "ProactLB", "Q_CQM1", "Q_CQM2"] {
             assert!(t.contains(name), "missing {name}");
         }
-        assert!(t.contains("28672") || t.contains("28 672"), "largest config count");
+        assert!(
+            t.contains("28672") || t.contains("28 672"),
+            "largest config count"
+        );
     }
 }

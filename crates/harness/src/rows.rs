@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
-use qlrb_core::{Instance, RebalanceOutcome, Rebalancer};
+use qlrb_core::{Instance, LrpCqm, QuantumRebalancer, RebalanceOutcome, Rebalancer};
 
 /// One method's result on one instance — the union of every column the
 /// paper's tables report.
@@ -46,6 +46,24 @@ impl MethodRow {
 pub fn run_method(inst: &Instance, method: &dyn Rebalancer) -> MethodRow {
     let out = method
         .rebalance(inst)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+    out.matrix
+        .validate(inst)
+        .unwrap_or_else(|e| panic!("{} returned an invalid plan: {e}", method.name()));
+    MethodRow::from_outcome(inst, &method.name(), &out)
+}
+
+/// Like [`run_method`], but solves against a pre-built base CQM shared
+/// across budget variants (see [`QuantumRebalancer::rebalance_with_base`]):
+/// only the budget right-hand side is rewritten per call, so the quadratic
+/// objective is compiled once per formulation instead of once per method.
+pub fn run_method_with_base(
+    inst: &Instance,
+    method: &QuantumRebalancer,
+    base: &LrpCqm,
+) -> MethodRow {
+    let out = method
+        .rebalance_with_base(inst, base)
         .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
     out.matrix
         .validate(inst)
@@ -106,7 +124,13 @@ impl ExperimentResult {
                 let _ = writeln!(
                     out,
                     "{:<14} {:>10.5} {:>9.4} {:>10} {:>10.2} {:>12.4} {:>9}",
-                    r.algorithm, r.r_imb, r.speedup, r.migrated, r.migrated_per_proc, r.runtime_ms, qpu
+                    r.algorithm,
+                    r.r_imb,
+                    r.speedup,
+                    r.migrated,
+                    r.migrated_per_proc,
+                    r.runtime_ms,
+                    qpu
                 );
             }
         }
@@ -127,11 +151,7 @@ impl ExperimentResult {
         names
             .iter()
             .map(|name| {
-                let rows: Vec<&MethodRow> = self
-                    .cases
-                    .iter()
-                    .filter_map(|c| c.row(name))
-                    .collect();
+                let rows: Vec<&MethodRow> = self.cases.iter().filter_map(|c| c.row(name)).collect();
                 let n = rows.len().max(1) as f64;
                 let any_qpu = rows.iter().any(|r| r.qpu_ms.is_some());
                 MethodRow {

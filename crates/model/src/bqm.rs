@@ -220,7 +220,10 @@ mod tests {
         let (h, couplings, offset) = bqm.to_ising();
         for bits in 0..8u8 {
             let state = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
-            let spins: Vec<f64> = state.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+            let spins: Vec<f64> = state
+                .iter()
+                .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+                .collect();
             let mut e = offset;
             for (i, &hi) in h.iter().enumerate() {
                 e += hi * spins[i];

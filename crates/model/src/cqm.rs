@@ -164,7 +164,10 @@ impl Cqm {
 
     /// Violations of every constraint for an assignment.
     pub fn violations(&self, state: &[u8]) -> Vec<f64> {
-        self.constraints.iter().map(|c| c.violation(state)).collect()
+        self.constraints
+            .iter()
+            .map(|c| c.violation(state))
+            .collect()
     }
 
     /// Whether an assignment satisfies every constraint.

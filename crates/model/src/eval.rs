@@ -11,6 +11,48 @@
 //! most four expressions (its process-load objective term, its conservation
 //! constraint, its capacity constraint, and the global migration budget), so
 //! flip deltas cost O(4) regardless of problem size.
+//!
+//! # Memory layout
+//!
+//! [`CompiledCqm`] stores both adjacency directions as CSR (compressed
+//! sparse row) parallel arrays rather than nested `Vec<Vec<..>>`:
+//!
+//! * variable → expression (`inc_*`), walked by [`Evaluator::flip_delta`];
+//!   entries for one variable are contiguous and expression-ascending, so
+//!   the delta loop streams three flat arrays instead of chasing one heap
+//!   allocation per variable;
+//! * expression → variable (`mem_*`), the transpose, walked by the
+//!   flip-delta cache to find which *other* variables' deltas an accepted
+//!   flip perturbs.
+//!
+//! # Flip-delta cache
+//!
+//! Samplers that scan all candidate deltas every iteration (tabu search,
+//! steepest-descent polish) can opt into an incrementally maintained cache
+//! via [`Evaluator::enable_delta_cache`]. After an accepted `flip(v)` the
+//! cache applies, for every expression `e ∋ v` whose sum moved `os → ns`
+//! and every other member `u` of `e`, the second-difference correction
+//!
+//! ```text
+//! corr = E(ns + dc) − E(ns) − E(os + dc) + E(os),   dc = dir_u · c_u
+//! ```
+//!
+//! which is exactly how much `u`'s own flip delta changed. For purely
+//! quadratic penalties (objective squares, `Eq` constraints) this collapses
+//! to the closed form `2·w·dc·(ns − os)`; for piecewise `Le` penalties the
+//! cache short-circuits to `0` when all four probe points sit in the flat
+//! region, uses the closed quadratic form when all four sit past the knee,
+//! and only falls back to four penalty evaluations when the flip straddles
+//! it. [`Evaluator::resync`] rebuilds the cache from scratch, so the same
+//! periodic resync that clears energy drift also clears cache drift.
+//!
+//! The cache is *opt-in* because maintaining it costs O(Σ_{e∋v} |e|) per
+//! accepted flip — the LRP migration-budget constraint touches every
+//! migration bit, so an accepted flip updates O(n) cached deltas. That is a
+//! bargain for samplers that read all n deltas per iteration anyway (tabu
+//! turns an O(n · nnz) scan into an O(n) array read) and a pessimization
+//! for single-candidate samplers like SA at high acceptance rates, which
+//! should leave it off and keep using on-demand [`Evaluator::flip_delta`].
 
 use std::sync::Arc;
 
@@ -34,6 +76,29 @@ pub trait Evaluator: Send {
     /// Flips `var`, updating caches. Returns the applied delta.
     fn flip(&mut self, var: usize) -> f64;
 
+    /// Flips `var` using a delta the caller already computed (via
+    /// [`Evaluator::flip_delta`] or [`Evaluator::cached_deltas`]), skipping
+    /// the recomputation that [`Evaluator::flip`] performs. Passing a stale
+    /// delta corrupts the tracked energy until the next
+    /// [`Evaluator::resync`]. The default implementation ignores the hint.
+    fn flip_known(&mut self, var: usize, delta: f64) -> f64 {
+        let _ = delta;
+        self.flip(var)
+    }
+
+    /// Opts into an incrementally maintained per-variable flip-delta cache,
+    /// exposed through [`Evaluator::cached_deltas`]. Returns `false` if the
+    /// implementation does not support caching (the default).
+    fn enable_delta_cache(&mut self) -> bool {
+        false
+    }
+
+    /// All current flip deltas, if a cache is enabled: `deltas[v]` equals
+    /// `flip_delta(v)` up to floating-point drift cleared by `resync`.
+    fn cached_deltas(&self) -> Option<&[f64]> {
+        None
+    }
+
     /// Replaces the state wholesale, rebuilding caches.
     fn set_state(&mut self, state: &[u8]);
 
@@ -55,15 +120,24 @@ enum ExprKind {
     Constraint { sense: Sense, rhs: f64, weight: f64 },
 }
 
-/// A CQM compiled into flat expression tables plus a variable→expression
-/// adjacency, shareable across evaluator clones (annealing reads/replicas).
+/// A CQM compiled into flat expression tables plus CSR adjacency in both
+/// directions, shareable across evaluator clones (annealing reads/replicas).
 #[derive(Debug)]
 pub struct CompiledCqm {
     num_vars: usize,
     kinds: Vec<ExprKind>,
     consts: Vec<f64>,
-    /// `incidence[v]` lists `(expr_index, coeff)`.
-    incidence: Vec<Vec<(u32, f64)>>,
+    /// CSR variable → expression: entries for `v` live at
+    /// `inc_offsets[v]..inc_offsets[v+1]` in `inc_expr`/`inc_coeff`,
+    /// expression-ascending.
+    inc_offsets: Vec<u32>,
+    inc_expr: Vec<u32>,
+    inc_coeff: Vec<f64>,
+    /// CSR expression → variable (transpose of the above): members of `e`
+    /// live at `mem_offsets[e]..mem_offsets[e+1]` in `mem_var`/`mem_coeff`.
+    mem_offsets: Vec<u32>,
+    mem_var: Vec<u32>,
+    mem_coeff: Vec<f64>,
     /// Plain linear objective coefficient per variable.
     linear: Vec<f64>,
     linear_const: f64,
@@ -85,22 +159,17 @@ impl CompiledCqm {
             cqm
         };
         let num_vars = src.num_vars();
-        let mut kinds = Vec::with_capacity(src.squared_terms.len() + src.constraints.len());
-        let mut consts = Vec::with_capacity(kinds.capacity());
-        let mut incidence: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_vars];
+        let num_exprs = src.squared_terms.len() + src.constraints.len();
+        let mut kinds = Vec::with_capacity(num_exprs);
+        let mut consts = Vec::with_capacity(num_exprs);
         for t in &src.squared_terms {
-            let id = kinds.len() as u32;
             kinds.push(ExprKind::Squared {
                 target: t.target,
                 weight: t.weight,
             });
             consts.push(t.expr.constant_part());
-            for &(v, c) in t.expr.terms() {
-                incidence[v.index()].push((id, c));
-            }
         }
         for c in &src.constraints {
-            let id = kinds.len() as u32;
             let weight = match c.sense {
                 Sense::Eq => penalty.eq_weight,
                 Sense::Le => penalty.le_weight,
@@ -111,10 +180,53 @@ impl CompiledCqm {
                 weight,
             });
             consts.push(c.expr.constant_part());
-            for &(v, co) in c.expr.terms() {
-                incidence[v.index()].push((id, co));
+        }
+
+        // Expression terms in expression-id order; the expr→var CSR is just
+        // the concatenation, and a counting pass over it yields the var→expr
+        // transpose with per-variable entries expression-ascending.
+        let expr_terms = |e: usize| -> &[(crate::expr::Var, f64)] {
+            if e < src.squared_terms.len() {
+                src.squared_terms[e].expr.terms()
+            } else {
+                src.constraints[e - src.squared_terms.len()].expr.terms()
+            }
+        };
+        let nnz: usize = (0..num_exprs).map(|e| expr_terms(e).len()).sum();
+
+        let mut mem_offsets = Vec::with_capacity(num_exprs + 1);
+        let mut mem_var = Vec::with_capacity(nnz);
+        let mut mem_coeff = Vec::with_capacity(nnz);
+        mem_offsets.push(0u32);
+        let mut counts = vec![0u32; num_vars];
+        for e in 0..num_exprs {
+            for &(v, c) in expr_terms(e) {
+                mem_var.push(v.0);
+                mem_coeff.push(c);
+                counts[v.index()] += 1;
+            }
+            mem_offsets.push(mem_var.len() as u32);
+        }
+
+        let mut inc_offsets = Vec::with_capacity(num_vars + 1);
+        inc_offsets.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            inc_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = inc_offsets[..num_vars].to_vec();
+        let mut inc_expr = vec![0u32; nnz];
+        let mut inc_coeff = vec![0.0f64; nnz];
+        for e in 0..num_exprs {
+            for &(v, c) in expr_terms(e) {
+                let slot = cursor[v.index()] as usize;
+                inc_expr[slot] = e as u32;
+                inc_coeff[slot] = c;
+                cursor[v.index()] += 1;
             }
         }
+
         let mut linear = vec![0.0; num_vars];
         for &(v, c) in src.linear_objective.terms() {
             linear[v.index()] += c;
@@ -123,7 +235,12 @@ impl CompiledCqm {
             num_vars,
             kinds,
             consts,
-            incidence,
+            inc_offsets,
+            inc_expr,
+            inc_coeff,
+            mem_offsets,
+            mem_var,
+            mem_coeff,
             linear,
             linear_const: src.linear_objective.constant_part(),
             penalty,
@@ -135,9 +252,30 @@ impl CompiledCqm {
         self.num_vars
     }
 
+    /// Number of compiled expressions (squared terms + constraints).
+    pub fn num_exprs(&self) -> usize {
+        self.kinds.len()
+    }
+
     /// The penalty configuration this model was compiled with.
     pub fn penalty(&self) -> &PenaltyConfig {
         &self.penalty
+    }
+
+    /// `(expressions, coefficients)` incident to `var`, expr-ascending.
+    #[inline]
+    fn incident(&self, var: usize) -> (&[u32], &[f64]) {
+        let a = self.inc_offsets[var] as usize;
+        let b = self.inc_offsets[var + 1] as usize;
+        (&self.inc_expr[a..b], &self.inc_coeff[a..b])
+    }
+
+    /// `(variables, coefficients)` that make up expression `expr`.
+    #[inline]
+    fn members(&self, expr: usize) -> (&[u32], &[f64]) {
+        let a = self.mem_offsets[expr] as usize;
+        let b = self.mem_offsets[expr + 1] as usize;
+        (&self.mem_var[a..b], &self.mem_coeff[a..b])
     }
 
     /// Penalty energy for one constraint sum.
@@ -175,6 +313,47 @@ impl CompiledCqm {
             },
         }
     }
+
+    /// Second difference `E(ns+dc) − E(ns) − E(os+dc) + E(os)` of one
+    /// expression's penalty: how much variable `u`'s flip delta (with probe
+    /// step `dc = dir_u·c_u`) changes when the expression sum moves
+    /// `os → ns`. Affine energy segments contribute nothing, so quadratic
+    /// kinds collapse to a closed form and piecewise kinds short-circuit
+    /// whenever all four probe points share one segment.
+    #[inline]
+    fn flip_correction(&self, kind: &ExprKind, os: f64, ns: f64, dc: f64) -> f64 {
+        match *kind {
+            ExprKind::Squared { weight, .. } => 2.0 * weight * dc * (ns - os),
+            ExprKind::Constraint { sense, rhs, weight } => match sense {
+                Sense::Eq => 2.0 * weight * dc * (ns - os),
+                Sense::Le => {
+                    // Knee of the piecewise penalty in sum space: rhs for
+                    // ViolationQuadratic, rhs + vertex for the clamped
+                    // Unbalanced parabola. Left of it the energy is flat
+                    // (corr = 0), right of it purely quadratic.
+                    let (knee, quad_w) = match self.penalty.style {
+                        PenaltyStyle::Unbalanced { l1, l2 } => {
+                            let vertex = if l2 > 0.0 { -l1 / (2.0 * l2) } else { 0.0 };
+                            (rhs + vertex, weight * l2)
+                        }
+                        _ => (rhs, weight),
+                    };
+                    let lo = os.min(ns).min(os + dc).min(ns + dc);
+                    if lo >= knee {
+                        return 2.0 * quad_w * dc * (ns - os);
+                    }
+                    let hi = os.max(ns).max(os + dc).max(ns + dc);
+                    if hi <= knee {
+                        return 0.0;
+                    }
+                    self.penalty_energy(kind, ns + dc)
+                        - self.penalty_energy(kind, ns)
+                        - self.penalty_energy(kind, os + dc)
+                        + self.penalty_energy(kind, os)
+                }
+            },
+        }
+    }
 }
 
 /// Incremental evaluator over a [`CompiledCqm`].
@@ -184,6 +363,10 @@ pub struct CqmEvaluator {
     state: Vec<u8>,
     sums: Vec<f64>,
     energy: f64,
+    /// Per-variable flip deltas, maintained incrementally when
+    /// `deltas_live`; empty otherwise.
+    deltas: Vec<f64>,
+    deltas_live: bool,
 }
 
 impl CqmEvaluator {
@@ -195,6 +378,8 @@ impl CqmEvaluator {
             state: vec![0; n],
             sums: Vec::new(),
             energy: 0.0,
+            deltas: Vec::new(),
+            deltas_live: false,
         };
         ev.resync();
         ev
@@ -270,7 +455,8 @@ impl CqmEvaluator {
         let x = self.state[var];
         let dir = if x == 0 { 1.0 } else { -1.0 };
         let mut delta = 0.0;
-        for &(e, c) in &m.incidence[var] {
+        let (exprs, coeffs) = m.incident(var);
+        for (&e, &c) in exprs.iter().zip(coeffs) {
             let e = e as usize;
             if let ExprKind::Constraint { sense, rhs, .. } = m.kinds[e] {
                 let old = self.sums[e];
@@ -279,6 +465,47 @@ impl CqmEvaluator {
             }
         }
         delta
+    }
+
+    /// Rebuilds every cached delta from scratch (O(nnz)).
+    fn rebuild_deltas(&mut self) {
+        for v in 0..self.model.num_vars() {
+            let d = self.flip_delta(v);
+            self.deltas[v] = d;
+        }
+    }
+
+    /// Applies a flip whose delta is already known, updating sums, energy,
+    /// and (when live) the delta cache.
+    fn apply_flip(&mut self, var: usize, delta: f64) {
+        let m = Arc::clone(&self.model);
+        let dir = if self.state[var] == 0 { 1.0 } else { -1.0 };
+        let (exprs, coeffs) = m.incident(var);
+        if self.deltas_live {
+            for (&e, &c) in exprs.iter().zip(coeffs) {
+                let ei = e as usize;
+                let os = self.sums[ei];
+                let ns = os + dir * c;
+                let kind = &m.kinds[ei];
+                let (vars_e, coeffs_e) = m.members(ei);
+                for (&u, &cu) in vars_e.iter().zip(coeffs_e) {
+                    let u = u as usize;
+                    if u == var {
+                        continue;
+                    }
+                    let du = if self.state[u] == 0 { 1.0 } else { -1.0 };
+                    self.deltas[u] += m.flip_correction(kind, os, ns, du * cu);
+                }
+                self.sums[ei] = ns;
+            }
+            self.deltas[var] = -delta;
+        } else {
+            for (&e, &c) in exprs.iter().zip(coeffs) {
+                self.sums[e as usize] += dir * c;
+            }
+        }
+        self.state[var] ^= 1;
+        self.energy += delta;
     }
 }
 
@@ -300,7 +527,8 @@ impl Evaluator for CqmEvaluator {
         let x = self.state[var];
         let dir = if x == 0 { 1.0 } else { -1.0 };
         let mut delta = dir * m.linear[var];
-        for &(e, c) in &m.incidence[var] {
+        let (exprs, coeffs) = m.incident(var);
+        for (&e, &c) in exprs.iter().zip(coeffs) {
             let e = e as usize;
             let old = self.sums[e];
             let new = old + dir * c;
@@ -311,14 +539,35 @@ impl Evaluator for CqmEvaluator {
     }
 
     fn flip(&mut self, var: usize) -> f64 {
-        let delta = self.flip_delta(var);
-        let dir = if self.state[var] == 0 { 1.0 } else { -1.0 };
-        for &(e, c) in &self.model.incidence[var] {
-            self.sums[e as usize] += dir * c;
-        }
-        self.state[var] ^= 1;
-        self.energy += delta;
+        let delta = if self.deltas_live {
+            self.deltas[var]
+        } else {
+            self.flip_delta(var)
+        };
+        self.apply_flip(var, delta);
         delta
+    }
+
+    fn flip_known(&mut self, var: usize, delta: f64) -> f64 {
+        self.apply_flip(var, delta);
+        delta
+    }
+
+    fn enable_delta_cache(&mut self) -> bool {
+        if !self.deltas_live {
+            self.deltas = vec![0.0; self.model.num_vars()];
+            self.deltas_live = true;
+            self.rebuild_deltas();
+        }
+        true
+    }
+
+    fn cached_deltas(&self) -> Option<&[f64]> {
+        if self.deltas_live {
+            Some(&self.deltas)
+        } else {
+            None
+        }
     }
 
     fn set_state(&mut self, state: &[u8]) {
@@ -332,11 +581,12 @@ impl Evaluator for CqmEvaluator {
     }
 
     fn resync(&mut self) {
-        let m = &*self.model;
+        let m = Arc::clone(&self.model);
         self.sums = m.consts.clone();
         for (v, &x) in self.state.iter().enumerate() {
             if x != 0 {
-                for &(e, c) in &m.incidence[v] {
+                let (exprs, coeffs) = m.incident(v);
+                for (&e, &c) in exprs.iter().zip(coeffs) {
                     self.sums[e as usize] += c;
                 }
             }
@@ -351,6 +601,9 @@ impl Evaluator for CqmEvaluator {
             e += m.penalty_energy(kind, sum);
         }
         self.energy = e;
+        if self.deltas_live {
+            self.rebuild_deltas();
+        }
     }
 }
 
@@ -398,7 +651,8 @@ impl Evaluator for BqmEvaluator {
     }
 
     fn flip_delta(&self, var: usize) -> f64 {
-        self.model.flip_delta(&self.state, crate::expr::Var(var as u32))
+        self.model
+            .flip_delta(&self.state, crate::expr::Var(var as u32))
     }
 
     fn flip(&mut self, var: usize) -> f64 {
@@ -431,15 +685,30 @@ mod tests {
         // minimize (x0 + 2·x1 + 3·x2 − 3)²  s.t.  x0 + x1 + x2 ≤ 2, x0 = 1
         let mut cqm = Cqm::new(3);
         let mut obj = LinearExpr::new();
-        obj.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 3.0);
+        obj.add_term(Var(0), 1.0)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(2), 3.0);
         cqm.add_squared_term(obj, 3.0, 1.0);
         let mut cap = LinearExpr::new();
-        cap.add_term(Var(0), 1.0).add_term(Var(1), 1.0).add_term(Var(2), 1.0);
+        cap.add_term(Var(0), 1.0)
+            .add_term(Var(1), 1.0)
+            .add_term(Var(2), 1.0);
         cqm.add_constraint(cap, Sense::Le, 2.0, "cap");
         let mut fix = LinearExpr::new();
         fix.add_term(Var(0), 1.0);
         cqm.add_constraint(fix, Sense::Eq, 1.0, "fix");
         CompiledCqm::compile(&cqm, PenaltyConfig::uniform(25.0, style))
+    }
+
+    fn styles() -> [PenaltyStyle; 3] {
+        [
+            PenaltyStyle::ViolationQuadratic,
+            PenaltyStyle::Unbalanced {
+                l1: 0.96,
+                l2: 0.0331,
+            },
+            PenaltyStyle::Slack,
+        ]
     }
 
     #[test]
@@ -464,7 +733,10 @@ mod tests {
 
     #[test]
     fn incremental_matches_resync_unbalanced() {
-        let m = model(PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 });
+        let m = model(PenaltyStyle::Unbalanced {
+            l1: 0.96,
+            l2: 0.0331,
+        });
         let mut ev = CqmEvaluator::new(m);
         for &v in &[2, 2, 0, 1, 2, 0] {
             let tracked = ev.energy() + ev.flip_delta(v);
@@ -524,6 +796,57 @@ mod tests {
         assert_eq!(ev.energy(), 1.0 - 3.0);
     }
 
+    #[test]
+    fn bqm_evaluator_has_no_delta_cache() {
+        let mut bqm = crate::bqm::BinaryQuadraticModel::new(2);
+        bqm.add_linear(Var(0), 1.0);
+        let mut ev = BqmEvaluator::new(Arc::new(bqm));
+        assert!(!ev.enable_delta_cache());
+        assert!(ev.cached_deltas().is_none());
+        // flip_known falls back to a plain flip.
+        let d = ev.flip_delta(0);
+        assert_eq!(ev.flip_known(0, d), d);
+        assert_eq!(ev.state(), &[1, 0]);
+    }
+
+    #[test]
+    fn flip_known_matches_flip() {
+        for style in styles() {
+            let m = model(style);
+            let mut a = CqmEvaluator::new(Arc::clone(&m));
+            let mut b = CqmEvaluator::new(Arc::clone(&m));
+            for &v in &[0, 2, 1, 2, 0, 1, 2] {
+                let da = a.flip(v);
+                let db = b.flip_known(v, b.flip_delta(v));
+                assert_eq!(da, db, "style {style:?} var {v}");
+                assert_eq!(a.state(), b.state());
+                assert!((a.energy() - b.energy()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_cache_tracks_flips() {
+        for style in styles() {
+            let m = model(style);
+            let n = m.num_vars();
+            let mut ev = CqmEvaluator::new(Arc::clone(&m));
+            assert!(ev.enable_delta_cache());
+            for &v in &[0, 1, 2, 2, 1, 0, 2, 1, 1, 0] {
+                ev.flip(v % n);
+                let fresh = CqmEvaluator::with_state(Arc::clone(&m), ev.state());
+                let cached = ev.cached_deltas().expect("cache enabled");
+                for (u, &got) in cached.iter().enumerate() {
+                    let want = fresh.flip_delta(u);
+                    assert!(
+                        (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                        "style {style:?} var {u}: cached {got} vs fresh {want}"
+                    );
+                }
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn random_walk_never_drifts(flips in proptest::collection::vec(0usize..3, 1..200)) {
@@ -535,6 +858,31 @@ mod tests {
             let tracked = ev.energy();
             ev.resync();
             prop_assert!((tracked - ev.energy()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn delta_cache_matches_fresh_evaluator(
+            flips in proptest::collection::vec(0usize..64, 1..120),
+            style_idx in 0usize..3,
+        ) {
+            let style = styles()[style_idx];
+            let m = model(style);
+            let n = m.num_vars();
+            let mut ev = CqmEvaluator::new(Arc::clone(&m));
+            ev.enable_delta_cache();
+            for &v in &flips {
+                ev.flip(v % n);
+            }
+            let fresh = CqmEvaluator::with_state(Arc::clone(&m), ev.state());
+            let cached = ev.cached_deltas().expect("cache enabled");
+            for (u, &got) in cached.iter().enumerate() {
+                let want = fresh.flip_delta(u);
+                prop_assert!(
+                    (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                    "style {:?} var {}: cached {} vs fresh {}",
+                    style, u, got, want
+                );
+            }
         }
     }
 }

@@ -138,10 +138,7 @@ impl LinearExpr {
 
     /// Largest absolute coefficient (0 for a constant expression).
     pub fn max_abs_coeff(&self) -> f64 {
-        self.terms
-            .iter()
-            .map(|&(_, c)| c.abs())
-            .fold(0.0, f64::max)
+        self.terms.iter().map(|&(_, c)| c.abs()).fold(0.0, f64::max)
     }
 }
 
@@ -174,7 +171,9 @@ mod tests {
     #[test]
     fn value_counts_set_bits() {
         let mut e = LinearExpr::new();
-        e.add_term(Var(0), 2.0).add_term(Var(2), 3.0).add_constant(1.0);
+        e.add_term(Var(0), 2.0)
+            .add_term(Var(2), 3.0)
+            .add_constant(1.0);
         assert_eq!(e.value(&[1, 0, 0]), 3.0);
         assert_eq!(e.value(&[1, 0, 1]), 6.0);
         assert_eq!(e.value(&[0, 1, 0]), 1.0);
@@ -183,7 +182,9 @@ mod tests {
     #[test]
     fn min_max_bounds() {
         let mut e = LinearExpr::new();
-        e.add_term(Var(0), 2.0).add_term(Var(1), -3.0).add_constant(1.0);
+        e.add_term(Var(0), 2.0)
+            .add_term(Var(1), -3.0)
+            .add_constant(1.0);
         assert_eq!(e.min_value(), -2.0);
         assert_eq!(e.max_value(), 3.0);
         assert_eq!(e.max_abs_coeff(), 3.0);
@@ -194,7 +195,9 @@ mod tests {
         let mut a = LinearExpr::new();
         a.add_term(Var(0), 1.0);
         let mut b = LinearExpr::new();
-        b.add_term(Var(0), 2.0).add_term(Var(1), 1.0).add_constant(5.0);
+        b.add_term(Var(0), 2.0)
+            .add_term(Var(1), 1.0)
+            .add_constant(5.0);
         a.add_scaled(&b, 2.0);
         a.compress();
         assert_eq!(a.terms(), &[(Var(0), 5.0), (Var(1), 2.0)]);

@@ -37,7 +37,7 @@ pub mod presolve;
 pub mod state;
 
 pub use bqm::BinaryQuadraticModel;
-pub use cqm::{Cqm, Constraint, Sense, SquaredTerm};
+pub use cqm::{Constraint, Cqm, Sense, SquaredTerm};
 pub use encoding::CoefficientSet;
 pub use eval::{CqmEvaluator, Evaluator};
 pub use expr::{LinearExpr, Var};

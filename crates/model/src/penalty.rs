@@ -24,8 +24,7 @@ use crate::encoding::CoefficientSet;
 use crate::expr::{LinearExpr, Var};
 
 /// How inequality constraints are penalized.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PenaltyStyle {
     /// `λ·max(0, s − rhs)²` — exact, evaluator-only.
     #[default]
@@ -40,7 +39,6 @@ pub enum PenaltyStyle {
     /// Binary slack variables turn `≤` into `=`, penalized quadratically.
     Slack,
 }
-
 
 /// Weights and style for folding constraints into the energy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,7 +144,12 @@ pub fn augment_slacks(cqm: &Cqm) -> SlackAugmented {
 }
 
 /// Adds `weight · (expr + shift)²` to a BQM, expanding the square.
-fn add_squared_expansion(bqm: &mut BinaryQuadraticModel, expr: &LinearExpr, shift: f64, weight: f64) {
+fn add_squared_expansion(
+    bqm: &mut BinaryQuadraticModel,
+    expr: &LinearExpr,
+    shift: f64,
+    weight: f64,
+) {
     let k = expr.constant_part() + shift;
     bqm.add_offset(weight * k * k);
     let terms = expr.terms();
@@ -241,7 +244,9 @@ mod tests {
         // minimize (x0 + x1 + x2 - 2)^2  s.t.  2·x0 + x1 ≤ 2,  x2 = 1
         let mut cqm = Cqm::new(3);
         let mut obj = LinearExpr::new();
-        obj.add_term(Var(0), 1.0).add_term(Var(1), 1.0).add_term(Var(2), 1.0);
+        obj.add_term(Var(0), 1.0)
+            .add_term(Var(1), 1.0)
+            .add_term(Var(2), 1.0);
         cqm.add_squared_term(obj, 2.0, 1.0);
         let mut cap = LinearExpr::new();
         cap.add_term(Var(0), 2.0).add_term(Var(1), 1.0);
@@ -282,7 +287,10 @@ mod tests {
         assert!(bqm.num_vars() > cqm.num_vars(), "slacks were added");
         let (state, _) = enumerate_min(&bqm, bqm.num_vars());
         let orig = &state[..cqm.num_vars()];
-        assert!(cqm.is_feasible(orig), "qubo minimum decodes feasible: {orig:?}");
+        assert!(
+            cqm.is_feasible(orig),
+            "qubo minimum decodes feasible: {orig:?}"
+        );
         // Feasible optimum: x = (0,1,1) or (1,0,1) giving objective 0... cap
         // forbids x0=x1=1 with x0 weighted 2 only when sum 3 > 2.
         assert_eq!(cqm.objective(orig), 0.0);
@@ -294,18 +302,26 @@ mod tests {
         let cfg = PenaltyConfig {
             eq_weight: 50.0,
             le_weight: 50.0,
-            style: PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 },
+            style: PenaltyStyle::Unbalanced {
+                l1: 0.96,
+                l2: 0.0331,
+            },
         };
         let bqm = to_bqm(&cqm, &cfg).unwrap();
         assert_eq!(bqm.num_vars(), cqm.num_vars());
         let (state, _) = enumerate_min(&bqm, bqm.num_vars());
-        assert!(cqm.is_feasible(&state), "unbalanced minimum feasible: {state:?}");
+        assert!(
+            cqm.is_feasible(&state),
+            "unbalanced minimum feasible: {state:?}"
+        );
     }
 
     #[test]
     fn squared_expansion_matches_direct_evaluation() {
         let mut expr = LinearExpr::new();
-        expr.add_term(Var(0), 3.0).add_term(Var(1), -2.0).add_constant(1.0);
+        expr.add_term(Var(0), 3.0)
+            .add_term(Var(1), -2.0)
+            .add_constant(1.0);
         let mut bqm = BinaryQuadraticModel::new(2);
         add_squared_expansion(&mut bqm, &expr, -2.0, 1.5);
         for bits in 0..4u8 {
@@ -323,7 +339,10 @@ mod tests {
         cqm.add_constraint(e, Sense::Le, 5.0, "c");
         let aug = augment_slacks(&cqm);
         // range = 5 → C(5) = {2,1,2}? C(5): f=2, powers {2,1}, residual 5-4+1=2.
-        assert_eq!(aug.cqm.num_vars() - aug.first_slack, CoefficientSet::new(5).len());
+        assert_eq!(
+            aug.cqm.num_vars() - aug.first_slack,
+            CoefficientSet::new(5).len()
+        );
         assert_eq!(aug.cqm.num_le_constraints(), 0);
         assert_eq!(aug.cqm.num_eq_constraints(), 1);
         // Any original-feasible point extends to a slack assignment with 0 violation.

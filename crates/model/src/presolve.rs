@@ -176,7 +176,9 @@ mod tests {
         // x0 + 2·x1 + 4·x2 ≤ 0 forces all three off.
         let mut cqm = Cqm::new(3);
         let mut e = LinearExpr::new();
-        e.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 4.0);
+        e.add_term(Var(0), 1.0)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(2), 4.0);
         cqm.add_constraint(e, Sense::Le, 0.0, "budget");
         let p = presolve(&cqm);
         assert_eq!(p.num_fixed(), 3);
@@ -192,7 +194,9 @@ mod tests {
         // x0 + 2·x1 + 32·x2 ≤ 6: only the 32-bit is impossible.
         let mut cqm = Cqm::new(3);
         let mut e = LinearExpr::new();
-        e.add_term(Var(0), 1.0).add_term(Var(1), 2.0).add_term(Var(2), 32.0);
+        e.add_term(Var(0), 1.0)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(2), 32.0);
         cqm.add_constraint(e, Sense::Le, 6.0, "budget");
         let p = presolve(&cqm);
         assert_eq!(p.fixed[2], Some(0));

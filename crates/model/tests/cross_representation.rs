@@ -81,9 +81,10 @@ fn unbalanced_qubo_matches_evaluator_above_the_vertex() {
         let vertex = -l1 / (2.0 * l2);
         for state in all_states(5) {
             // Skip states where some Le constraint is below the vertex.
-            let below = cqm.constraints.iter().any(|c| {
-                c.sense == Sense::Le && c.expr.value(&state) - c.rhs < vertex
-            });
+            let below = cqm
+                .constraints
+                .iter()
+                .any(|c| c.sense == Sense::Le && c.expr.value(&state) - c.rhs < vertex);
             if below {
                 continue;
             }

@@ -81,7 +81,11 @@ impl FvSolver {
         let mut h = Vec::with_capacity(n * n);
         for _j in 0..n {
             for i in 0..n {
-                h.push(if (i as f64 + 0.5) * dx < 0.5 { h_left } else { h_right });
+                h.push(if (i as f64 + 0.5) * dx < 0.5 {
+                    h_left
+                } else {
+                    h_right
+                });
             }
         }
         Self {
@@ -411,7 +415,11 @@ mod tests {
             max_dev < 1e-10,
             "lake at rest drifted by {max_dev} (not well-balanced)"
         );
-        let max_mom = fv.hu.iter().chain(&fv.hv).fold(0.0f64, |m, &q| m.max(q.abs()));
+        let max_mom = fv
+            .hu
+            .iter()
+            .chain(&fv.hv)
+            .fold(0.0f64, |m, &q| m.max(q.abs()));
         assert!(max_mom < 1e-10, "spurious momentum {max_mom}");
     }
 
@@ -509,7 +517,10 @@ mod tests {
                     let x = (i as f64 + 0.5) * fv.dx;
                     let y = (j as f64 + 0.5) * fv.dx;
                     let r = ((x - lake.center[0]).powi(2) + (y - lake.center[1]).powi(2)).sqrt();
-                    assert!(r > rw * 0.4, "troubled cell deep inside the lake at r = {r}");
+                    assert!(
+                        r > rw * 0.4,
+                        "troubled cell deep inside the lake at r = {r}"
+                    );
                 }
             }
         }

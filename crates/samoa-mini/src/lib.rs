@@ -33,5 +33,5 @@ pub mod tsunami;
 pub use fv::FvSolver;
 pub use mesh::{Mesh, Triangle};
 pub use scenario::{CostModel, LakeScenario};
-pub use tsunami::TsunamiScenario;
 pub use swe::OscillatingLake;
+pub use tsunami::TsunamiScenario;

@@ -113,10 +113,7 @@ impl Mesh {
                 // cheaply probe it — centroid or any vertex — so coarse
                 // cells overlapping the region cannot slip through.
                 let hit = || {
-                    indicator(t.centroid())
-                        || indicator(t.apex)
-                        || indicator(t.a)
-                        || indicator(t.b)
+                    indicator(t.centroid()) || indicator(t.apex) || indicator(t.a) || indicator(t.b)
                 };
                 let refine = t.depth < d_min || (t.depth < d_max && hit());
                 if refine {

@@ -175,7 +175,10 @@ impl LakeScenario {
                     continue;
                 }
                 for _ in 0..plan.get(i, j) {
-                    assert!(next_tail > j * n, "plan moves more sections than node {j} owns");
+                    assert!(
+                        next_tail > j * n,
+                        "plan moves more sections than node {j} owns"
+                    );
                     next_tail -= 1;
                     owner[next_tail] = i;
                 }
@@ -208,11 +211,7 @@ impl LakeScenario {
     /// uniform, exactly like the paper's synthesized inputs).
     pub fn to_instance(&self) -> Instance {
         let n = self.sections_per_node as u64;
-        let weights = self
-            .node_loads()
-            .iter()
-            .map(|l| l / n as f64)
-            .collect();
+        let weights = self.node_loads().iter().map(|l| l / n as f64).collect();
         Instance::uniform(n, weights).expect("scenario produces valid weights")
     }
 }
@@ -282,9 +281,9 @@ mod tests {
         let s = LakeScenario::small();
         let loads = s.node_loads();
         assert_eq!(loads.len(), 8);
-        let (min, max) = loads
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| (lo.min(l), hi.max(l)));
+        let (min, max) = loads.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| {
+            (lo.min(l), hi.max(l))
+        });
         assert!(
             max / min > 2.0,
             "wet/dry cost contrast should create real imbalance: {loads:?}"
@@ -327,8 +326,12 @@ mod tests {
         let inst = s.to_instance();
         // A hand-made plan: node with max load sheds 3 sections to min.
         let loads = inst.loads();
-        let hi = (0..8).max_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
-        let lo = (0..8).min_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
+        let hi = (0..8)
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap();
+        let lo = (0..8)
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap();
         let mut plan = MigrationMatrix::identity(&inst);
         plan.migrate(hi, lo, 3).unwrap();
         let drift0 = s.drifted_loads(&plan, s.time);
@@ -379,7 +382,11 @@ mod tests {
         // The identity plan's drift matches a re-extracted instance.
         let t2 = s.time + s.lake.period() / 4.0;
         let drifted = s.drifted_loads(&id, t2);
-        let re_extracted = LakeScenario { time: t2, ..s.clone() }.node_loads();
+        let re_extracted = LakeScenario {
+            time: t2,
+            ..s.clone()
+        }
+        .node_loads();
         for (a, b) in drifted.iter().zip(&re_extracted) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -80,8 +80,7 @@ pub fn parse_log(log: &str) -> Result<Instance, RebalanceError> {
                 }
             }
         }
-        let (Some(it), Some(rank), Some(ntasks), Some(w), Some(load)) =
-            (it, rank, ntasks, w, load)
+        let (Some(it), Some(rank), Some(ntasks), Some(w), Some(load)) = (it, rank, ntasks, w, load)
         else {
             return Err(RebalanceError::Io(format!(
                 "line {}: missing fields",
@@ -158,7 +157,10 @@ mod tests {
     #[test]
     fn rejects_inconsistent_load() {
         let log = "it=0 rank=0 ntasks=10 w=2.0 load=999.0\n";
-        assert!(parse_log(log).unwrap_err().to_string().contains("inconsistent"));
+        assert!(parse_log(log)
+            .unwrap_err()
+            .to_string()
+            .contains("inconsistent"));
     }
 
     #[test]

@@ -67,7 +67,10 @@ mod tests {
         let cases = imbalance_levels();
         assert_eq!(cases.len(), 5);
         assert_eq!(cases[0].1.stats().imbalance_ratio, 0.0, "Imb.0 balanced");
-        let ratios: Vec<f64> = cases.iter().map(|(_, i)| i.stats().imbalance_ratio).collect();
+        let ratios: Vec<f64> = cases
+            .iter()
+            .map(|(_, i)| i.stats().imbalance_ratio)
+            .collect();
         for w in ratios.windows(2) {
             assert!(w[0] < w[1], "imbalance must increase: {ratios:?}");
         }
@@ -85,7 +88,10 @@ mod tests {
         for (m, inst) in &cases {
             assert_eq!(inst.num_procs(), *m);
             assert_eq!(inst.tasks_per_proc(), 100);
-            assert!(inst.stats().imbalance_ratio > 0.0, "every scale is imbalanced");
+            assert!(
+                inst.stats().imbalance_ratio > 0.0,
+                "every scale is imbalanced"
+            );
         }
     }
 

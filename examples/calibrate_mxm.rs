@@ -11,7 +11,10 @@ use qlrb::workloads::mxm::{calibrate, load_model};
 
 fn main() {
     let sizes = [64u32, 128, 192, 256, 320];
-    println!("{:>6} {:>12} {:>12} {:>16}", "size", "seconds", "model", "sec/model-unit");
+    println!(
+        "{:>6} {:>12} {:>12} {:>16}",
+        "size", "seconds", "model", "sec/model-unit"
+    );
     let points = calibrate(&sizes);
     for p in &points {
         println!(
@@ -32,6 +35,10 @@ fn main() {
         "\nmean = {mean:.6} s/unit, max relative deviation = {:.1}% \
          (cubic model {})",
         max_dev * 100.0,
-        if max_dev < 0.5 { "holds" } else { "is off on this machine" }
+        if max_dev < 0.5 {
+            "holds"
+        } else {
+            "is off on this machine"
+        }
     );
 }

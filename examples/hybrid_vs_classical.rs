@@ -49,7 +49,13 @@ fn main() {
     println!("\n-- Inequality penalty encodings (Q_CQM1) --");
     for (style, name) in [
         (PenaltyStyle::ViolationQuadratic, "violation-quadratic"),
-        (PenaltyStyle::Unbalanced { l1: 0.96, l2: 0.0331 }, "unbalanced"),
+        (
+            PenaltyStyle::Unbalanced {
+                l1: 0.96,
+                l2: 0.0331,
+            },
+            "unbalanced",
+        ),
         (PenaltyStyle::Slack, "slack-variables"),
     ] {
         let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);

@@ -14,7 +14,11 @@ fn main() {
     // weights 1.87 / 1.97 / 3.12 / 2.81 ms.
     let inst = Instance::uniform(5, vec![1.87, 1.97, 3.12, 2.81]).expect("valid instance");
     let before = inst.stats();
-    println!("Input: {} processes x {} tasks", inst.num_procs(), inst.tasks_per_proc());
+    println!(
+        "Input: {} processes x {} tasks",
+        inst.num_procs(),
+        inst.tasks_per_proc()
+    );
     println!(
         "Baseline: L_max = {:.2}, L_avg = {:.2}, R_imb = {:.4}\n",
         before.l_max, before.l_avg, before.imbalance_ratio
@@ -50,5 +54,9 @@ fn main() {
     );
 
     // The artifact's output CSV format (paper Table VII).
-    println!("\nMigration plan ({}):\n{}", quantum.name(), qlrb::core::io::write_output_csv(&inst, &out.matrix));
+    println!(
+        "\nMigration plan ({}):\n{}",
+        quantum.name(),
+        qlrb::core::io::write_output_csv(&inst, &out.matrix)
+    );
 }

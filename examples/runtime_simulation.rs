@@ -32,7 +32,10 @@ fn main() {
 
     let plan = ProactLb.rebalance(&inst).expect("proactlb").matrix;
     let rebalanced = simulate(&SimInput::from_plan(&inst, &plan), &cfg);
-    println!("== After ProactLB rebalancing ({} migrations) ==", plan.num_migrated());
+    println!(
+        "== After ProactLB rebalancing ({} migrations) ==",
+        plan.num_migrated()
+    );
     println!("{}", render_gantt(&rebalanced.trace, inst.num_procs(), 60));
     println!(
         "makespan = {:.2}, total wait = {:.2}",
@@ -49,7 +52,10 @@ fn main() {
 
     // Amortization: one migration, many BSP iterations.
     for iters in [1usize, 4, 16] {
-        let cfg_n = SimConfig { iterations: iters, ..cfg };
+        let cfg_n = SimConfig {
+            iterations: iters,
+            ..cfg
+        };
         let cmp = execute_plan(&inst, &plan, &cfg_n);
         println!(
             "iterations = {iters:>2}: achieved speedup = {:.3}",

@@ -13,10 +13,10 @@ use qlrb::core::{Instance, Rebalancer};
 fn main() {
     // --- General model: every task has its own weight --------------------
     let inst = TaskInstance::new(vec![
-        vec![12.0, 3.0, 1.5, 1.5],  // P1: one dominating task
-        vec![4.0, 4.0, 4.0],        // P2
-        vec![0.5, 0.5, 0.5, 0.5],   // P3: many light tasks
-        vec![],                      // P4: idle
+        vec![12.0, 3.0, 1.5, 1.5], // P1: one dominating task
+        vec![4.0, 4.0, 4.0],       // P2
+        vec![0.5, 0.5, 0.5, 0.5],  // P3: many light tasks
+        vec![],                    // P4: idle
     ])
     .expect("valid task instance");
     println!(
@@ -48,12 +48,7 @@ fn main() {
         uni.stats().imbalance_ratio
     );
     let opt = BranchAndBound::default();
-    for method in [
-        &Greedy as &dyn Rebalancer,
-        &KarmarkarKarp,
-        &ProactLb,
-        &opt,
-    ] {
+    for method in [&Greedy as &dyn Rebalancer, &KarmarkarKarp, &ProactLb, &opt] {
         let out = method.rebalance(&uni).expect("solve");
         let after = uni.stats_after(&out.matrix);
         println!(

@@ -22,11 +22,7 @@ fn main() {
     // Watch the wave travel ('!' marks troubled cells — the limiter's work).
     let mut fv = scenario.initial_state();
     for frame in 0..4 {
-        println!(
-            "t = {:.3}  (volume {:.5})",
-            fv.time(),
-            fv.volume()
-        );
+        println!("t = {:.3}  (volume {:.5})", fv.time(), fv.volume());
         println!("{}", fv.render_ascii(64, scenario.cost.trouble_band));
         if frame < 3 {
             fv.run_until(fv.time() + scenario.time / 3.0, 0.4);

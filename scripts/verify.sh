@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the lint gate (see ROADMAP.md):
+# format check, clippy with warnings denied, release build, tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -50,10 +50,7 @@ fn general_and_uniform_models_agree_on_uniform_data() {
     let uni = Instance::uniform(12, vec![1.0, 2.5, 4.0]).unwrap();
     let general = TaskInstance::from_uniform(&uni);
     assert_eq!(general.loads(), uni.loads());
-    assert_eq!(
-        general.stats().imbalance_ratio,
-        uni.stats().imbalance_ratio
-    );
+    assert_eq!(general.stats().imbalance_ratio, uni.stats().imbalance_ratio);
     // Task-level LPT's plan collapses to a valid matrix on the uniform view.
     let plan = greedy_lpt(&general);
     let matrix = plan.to_matrix(&general);

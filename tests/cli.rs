@@ -32,7 +32,11 @@ fn full_artifact_workflow() {
         "--out",
         input.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&input).unwrap();
     assert!(text.starts_with("Process,P1"));
 
@@ -53,7 +57,11 @@ fn full_artifact_workflow() {
         "--out",
         plan.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ProactLB"), "{stdout}");
     assert!(plan.exists());
@@ -68,10 +76,17 @@ fn full_artifact_workflow() {
         "--iterations",
         "4",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("achieved speedup"), "{stdout}");
-    assert!(stdout.contains('█') || stdout.contains('#'), "gantt rendered: {stdout}");
+    assert!(
+        stdout.contains('█') || stdout.contains('#'),
+        "gantt rendered: {stdout}"
+    );
 }
 
 #[test]

@@ -59,6 +59,41 @@ fn different_seeds_stay_feasible_and_rerandomize_the_sample_set() {
 }
 
 #[test]
+fn solver_sample_sets_are_byte_identical_per_seed() {
+    // Cross-layer check: with a fixed seed and `time_limit: None`, the
+    // hybrid solver's *entire sample set* — states, energies, feasibility,
+    // sampler attribution — is byte-identical across invocations, and
+    // identical whether the CQM was built fresh for the budget or derived
+    // from a shared base via `with_budget` (the harness's shared-base path).
+    let inst = inst();
+    let k = 15;
+    let fresh = qlrb::core::LrpCqm::build(&inst, Variant::Reduced, k).unwrap();
+    let shared = qlrb::core::LrpCqm::build(&inst, Variant::Reduced, 0)
+        .unwrap()
+        .with_budget(k);
+    let solver = qlrb::anneal::HybridCqmSolver {
+        num_reads: 6,
+        sweeps: 200,
+        seed: 77,
+        time_limit: None,
+        ..Default::default()
+    };
+    let a = solver.solve(&fresh.cqm, &[]);
+    let b = solver.solve(&fresh.cqm, &[]);
+    let c = solver.solve(&shared.cqm, &[]);
+    for other in [&b, &c] {
+        assert_eq!(a.samples.len(), other.samples.len());
+        for (sa, sb) in a.samples.iter().zip(&other.samples) {
+            assert_eq!(sa.state, sb.state);
+            assert_eq!(sa.objective, sb.objective);
+            assert_eq!(sa.violation, sb.violation);
+            assert_eq!(sa.feasible, sb.feasible);
+            assert_eq!(sa.sampler, sb.sampler);
+        }
+    }
+}
+
+#[test]
 fn workload_generators_are_pure() {
     let a = qlrb::workloads::imbalance_levels();
     let b = qlrb::workloads::imbalance_levels();

@@ -9,7 +9,10 @@ use qlrb::harness::HarnessConfig;
 fn small_mxm() -> Instance {
     // A scaled-down Imb.3 shape so hybrid solves stay fast in debug tests.
     let sizes = [128u32, 192, 256, 256, 320, 384, 448, 512];
-    let weights = sizes.iter().map(|&s| qlrb::workloads::load_model(s)).collect();
+    let weights = sizes
+        .iter()
+        .map(|&s| qlrb::workloads::load_model(s))
+        .collect();
     Instance::uniform(10, weights).unwrap()
 }
 
@@ -84,7 +87,11 @@ fn classical_methods_scale_as_the_paper_tables() {
         let n_total = inst.num_tasks();
         let expected = n_total - n_total / m as u64;
         let g = Greedy.rebalance(&inst).unwrap().matrix.num_migrated();
-        let kk = KarmarkarKarp.rebalance(&inst).unwrap().matrix.num_migrated();
+        let kk = KarmarkarKarp
+            .rebalance(&inst)
+            .unwrap()
+            .matrix
+            .num_migrated();
         let p = ProactLb.rebalance(&inst).unwrap().matrix.num_migrated();
         let tol = n_total / 10;
         assert!(
@@ -106,12 +113,7 @@ fn plans_never_lose_tasks_across_methods() {
         Box::new(Greedy),
         Box::new(KarmarkarKarp),
         Box::new(ProactLb),
-        Box::new(HarnessConfig::fast().quantum(
-            &inst,
-            qlrb::core::cqm::Variant::Reduced,
-            20,
-            "q",
-        )),
+        Box::new(HarnessConfig::fast().quantum(&inst, qlrb::core::cqm::Variant::Reduced, 20, "q")),
     ];
     for method in methods {
         let out = method.rebalance(&inst).unwrap();

@@ -13,8 +13,11 @@ fn instance() -> Instance {
 #[test]
 fn analytic_simulator_agrees_with_lmax_metric_for_every_method() {
     let inst = instance();
-    let methods: Vec<Box<dyn Rebalancer>> =
-        vec![Box::new(Greedy), Box::new(KarmarkarKarp), Box::new(ProactLb)];
+    let methods: Vec<Box<dyn Rebalancer>> = vec![
+        Box::new(Greedy),
+        Box::new(KarmarkarKarp),
+        Box::new(ProactLb),
+    ];
     for method in methods {
         let plan = method.rebalance(&inst).unwrap().matrix;
         let cmp = execute_plan(&inst, &plan, &SimConfig::analytic());

@@ -20,7 +20,11 @@ fn classical_methods_nearly_flatten_the_lake_imbalance() {
     // (paper: R_imb 0.00007, ~6447 of 6656 tasks moved).
     let g = Greedy.rebalance(&inst).unwrap();
     let after = inst.stats_after(&g.matrix);
-    assert!(after.imbalance_ratio < 0.05, "Greedy R_imb = {}", after.imbalance_ratio);
+    assert!(
+        after.imbalance_ratio < 0.05,
+        "Greedy R_imb = {}",
+        after.imbalance_ratio
+    );
     let n_total = inst.num_tasks();
     assert!(
         g.matrix.num_migrated() > n_total * 8 / 10,
@@ -30,7 +34,11 @@ fn classical_methods_nearly_flatten_the_lake_imbalance() {
     // ProactLB balances with a fraction of the moves (paper: 1568 ≈ ¼).
     let p = ProactLb.rebalance(&inst).unwrap();
     let after_p = inst.stats_after(&p.matrix);
-    assert!(after_p.imbalance_ratio < 0.25, "ProactLB R_imb = {}", after_p.imbalance_ratio);
+    assert!(
+        after_p.imbalance_ratio < 0.25,
+        "ProactLB R_imb = {}",
+        after_p.imbalance_ratio
+    );
     assert!(
         p.matrix.num_migrated() * 3 < g.matrix.num_migrated(),
         "ProactLB {} vs Greedy {}",

@@ -20,8 +20,14 @@ fn families() -> Vec<(String, Instance)> {
     }
     out.push(("hotspot-1".into(), hotspot_instance(6, 15, 1, 20.0)));
     out.push(("hotspot-3".into(), hotspot_instance(6, 15, 3, 5.0)));
-    out.push(("degenerate-equal".into(), Instance::uniform(15, vec![2.0; 6]).unwrap()));
-    out.push(("single-proc".into(), Instance::uniform(15, vec![3.0]).unwrap()));
+    out.push((
+        "degenerate-equal".into(),
+        Instance::uniform(15, vec![2.0; 6]).unwrap(),
+    ));
+    out.push((
+        "single-proc".into(),
+        Instance::uniform(15, vec![3.0]).unwrap(),
+    ));
     out
 }
 
