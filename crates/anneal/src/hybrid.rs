@@ -10,7 +10,8 @@
 //!    frontend's role — the LRP layer passes the identity assignment and a
 //!    greedy construction) plus random states.
 //! 3. **Portfolio**: reads run in parallel (rayon), each independently
-//!    seeded, cycling through SA / SQA / tabu samplers.
+//!    seeded, cycling through SA / SQA / tabu samplers via
+//!    [`crate::run::SamplerRun`].
 //! 4. **Polish + repair** every read's best state, then score it against the
 //!    *original* CQM.
 //! 5. **Select** feasible-first, lowest objective.
@@ -18,6 +19,16 @@
 //! Timing is split into true CPU wall time and a deterministic simulated
 //! "QPU access time" — `16 ms + 4 ms per SQA read` — standing in for the
 //! hardware anneal charge the paper reports (≈32 ms per Table V solve).
+//!
+//! # Configuration and telemetry
+//!
+//! Configuration goes through a validating [`HybridSolverBuilder`]
+//! ([`HybridCqmSolver::builder`]); [`Default`] and [`HybridCqmSolver::fast`]
+//! remain as known-good presets. An optional [`TraceSink`] observes the
+//! solve: with the default [`NoopSink`] nothing is recorded and the hot path
+//! pays a single branch per solve; with a recording sink every read emits a
+//! [`ReadRecord`] and the solve a [`SolveRecord`]. Observers never draw
+//! randomness, so recorded and unrecorded solves are byte-identical.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,18 +37,19 @@ use qlrb_model::cqm::Cqm;
 use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
 use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
 use qlrb_model::presolve::presolve;
+use qlrb_telemetry::{
+    NoopSink, ReadObserver, ReadRecord, SolveRecord, SolverConfig, TimingRecord, TraceSink,
+    WaveRecord,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::descent::greedy_descent;
-use crate::pt::{parallel_tempering, PtParams};
 use crate::repair::repair;
-use crate::sa::{simulated_annealing, SaParams};
+use crate::run::SamplerRun;
 use crate::sampleset::{Sample, SampleSet, SolverTiming};
-use crate::schedule::{auto_geometric, estimate_delta_scale, TransverseSchedule};
-use crate::sqa::{simulated_quantum_annealing, SqaParams};
-use crate::tabu::{tabu_search, TabuParams};
+use crate::schedule::estimate_delta_scale;
 
 /// Portfolio member identities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,7 +76,42 @@ impl std::fmt::Display for SamplerKind {
     }
 }
 
+/// Rejected solver configurations (see [`HybridSolverBuilder::build`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverBuildError {
+    /// `num_reads == 0`: the solver would return no genuine samples.
+    ZeroReads,
+    /// `sweeps == 0`: every sampler's budget derives from `sweeps`, so
+    /// nothing would anneal.
+    ZeroSweeps,
+    /// An empty portfolio has no sampler to rotate through.
+    EmptyPortfolio,
+    /// A tabu-only portfolio with `tabu_max_vars == 0` would silently
+    /// degrade every read to SA — reject the contradiction instead.
+    TabuOnlyOverflow,
+}
+
+impl std::fmt::Display for SolverBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroReads => write!(f, "num_reads must be at least 1"),
+            Self::ZeroSweeps => write!(f, "sweeps must be at least 1"),
+            Self::EmptyPortfolio => write!(f, "sampler portfolio must not be empty"),
+            Self::TabuOnlyOverflow => write!(
+                f,
+                "tabu-only portfolio with tabu_max_vars = 0 would downgrade every read; \
+                 raise tabu_max_vars or add another sampler"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolverBuildError {}
+
 /// Configuration of the hybrid solve.
+///
+/// Constructed through [`HybridCqmSolver::builder`] (validating) or the
+/// [`Default`] / [`HybridCqmSolver::fast`] presets:
 ///
 /// ```
 /// use qlrb_anneal::HybridCqmSolver;
@@ -78,36 +125,41 @@ impl std::fmt::Display for SamplerKind {
 /// cap.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
 /// cqm.add_constraint(cap, Sense::Le, 1.0, "cap");
 ///
-/// let set = HybridCqmSolver::fast().solve(&cqm, &[]);
+/// let solver = HybridCqmSolver::builder()
+///     .num_reads(4)
+///     .sweeps(300)
+///     .seed(7)
+///     .build()
+///     .expect("valid configuration");
+/// let set = solver.solve(&cqm, &[]);
 /// let best = set.best_feasible().expect("feasible sample");
 /// assert_eq!(best.objective, 0.0); // e.g. x2 = 1 plus one of x0/x1
 /// ```
 #[derive(Debug, Clone)]
 pub struct HybridCqmSolver {
     /// Number of independent reads (samples drawn).
-    pub num_reads: usize,
+    num_reads: usize,
     /// Sweeps per SA read (SQA uses `sweeps / 4`, tabu `2·sweeps` moves).
-    pub sweeps: usize,
+    sweeps: usize,
     /// Trotter replicas for SQA reads.
-    pub sqa_replicas: usize,
+    sqa_replicas: usize,
     /// Master seed; the whole solve is deterministic given it.
-    pub seed: u64,
+    seed: u64,
     /// Headroom multiplier on the auto-scaled penalty weights.
-    pub penalty_factor: f64,
+    penalty_factor: f64,
     /// Inequality penalty scheme.
-    pub style: PenaltyStyle,
-    /// Portfolio rotation; read `r` uses `samplers[r % len]`. An empty
-    /// portfolio is tolerated: every read falls back to [`SamplerKind::Sa`].
-    pub samplers: Vec<SamplerKind>,
+    style: PenaltyStyle,
+    /// Portfolio rotation; read `r` uses `samplers[r % len]`.
+    samplers: Vec<SamplerKind>,
     /// Models wider than this fall back from tabu to SA. With the
     /// evaluator's incremental flip-delta cache, tabu's full-neighbourhood
     /// scan is a flat O(n) array read, so this guard only needs to exclude
     /// genuinely huge models.
-    pub tabu_max_vars: usize,
+    tabu_max_vars: usize,
     /// Post-anneal greedy polish sweep budget.
-    pub polish_sweeps: usize,
+    polish_sweeps: usize,
     /// Feasibility-repair step budget.
-    pub repair_steps: usize,
+    repair_steps: usize,
     /// Optional wall-clock budget, mirroring Leap's `time_limit` API: reads
     /// are executed in parallel waves and the budget is checked *before*
     /// each wave launches, so an exhausted budget never starts extra work.
@@ -115,7 +167,9 @@ pub struct HybridCqmSolver {
     /// runs, so the solver always returns at least one genuine sample no
     /// matter how small the budget. **Non-deterministic across machines** —
     /// leave `None` (the default) for reproducible sample sets.
-    pub time_limit: Option<Duration>,
+    time_limit: Option<Duration>,
+    /// Telemetry sink; [`NoopSink`] disables all record collection.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Default for HybridCqmSolver {
@@ -132,11 +186,129 @@ impl Default for HybridCqmSolver {
             polish_sweeps: 50,
             repair_steps: 5_000,
             time_limit: None,
+            sink: Arc::new(NoopSink),
         }
     }
 }
 
+/// Validating builder for [`HybridCqmSolver`]; obtained from
+/// [`HybridCqmSolver::builder`] (defaults) or
+/// [`HybridCqmSolver::to_builder`] (tweak an existing configuration).
+#[derive(Debug, Clone)]
+pub struct HybridSolverBuilder {
+    cfg: HybridCqmSolver,
+}
+
+impl HybridSolverBuilder {
+    /// Sets the number of independent reads.
+    pub fn num_reads(mut self, num_reads: usize) -> Self {
+        self.cfg.num_reads = num_reads;
+        self
+    }
+
+    /// Sets the sweep budget per SA read (other samplers derive theirs).
+    pub fn sweeps(mut self, sweeps: usize) -> Self {
+        self.cfg.sweeps = sweeps;
+        self
+    }
+
+    /// Sets the Trotter replica count for SQA reads.
+    pub fn sqa_replicas(mut self, sqa_replicas: usize) -> Self {
+        self.cfg.sqa_replicas = sqa_replicas;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the penalty headroom multiplier.
+    pub fn penalty_factor(mut self, penalty_factor: f64) -> Self {
+        self.cfg.penalty_factor = penalty_factor;
+        self
+    }
+
+    /// Sets the inequality penalty scheme.
+    pub fn style(mut self, style: PenaltyStyle) -> Self {
+        self.cfg.style = style;
+        self
+    }
+
+    /// Sets the portfolio rotation.
+    pub fn samplers(mut self, samplers: Vec<SamplerKind>) -> Self {
+        self.cfg.samplers = samplers;
+        self
+    }
+
+    /// Sets the width guard above which tabu reads fall back to SA.
+    pub fn tabu_max_vars(mut self, tabu_max_vars: usize) -> Self {
+        self.cfg.tabu_max_vars = tabu_max_vars;
+        self
+    }
+
+    /// Sets the greedy polish sweep budget.
+    pub fn polish_sweeps(mut self, polish_sweeps: usize) -> Self {
+        self.cfg.polish_sweeps = polish_sweeps;
+        self
+    }
+
+    /// Sets the feasibility-repair step budget.
+    pub fn repair_steps(mut self, repair_steps: usize) -> Self {
+        self.cfg.repair_steps = repair_steps;
+        self
+    }
+
+    /// Sets (or clears) the wall-clock budget. Accepts a bare `Duration`
+    /// or an `Option<Duration>`.
+    pub fn time_limit(mut self, time_limit: impl Into<Option<Duration>>) -> Self {
+        self.cfg.time_limit = time_limit.into();
+        self
+    }
+
+    /// Attaches a telemetry sink; pass `Arc::new(NoopSink)` to detach.
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.cfg.sink = sink;
+        self
+    }
+
+    /// Validates and produces the solver. Rejects configurations that could
+    /// only misbehave at solve time: zero reads or sweeps, an empty
+    /// portfolio, and a tabu-only portfolio whose width guard would
+    /// downgrade every read.
+    pub fn build(self) -> Result<HybridCqmSolver, SolverBuildError> {
+        let cfg = self.cfg;
+        if cfg.num_reads == 0 {
+            return Err(SolverBuildError::ZeroReads);
+        }
+        if cfg.sweeps == 0 {
+            return Err(SolverBuildError::ZeroSweeps);
+        }
+        if cfg.samplers.is_empty() {
+            return Err(SolverBuildError::EmptyPortfolio);
+        }
+        if cfg.tabu_max_vars == 0 && cfg.samplers.iter().all(|&s| s == SamplerKind::Tabu) {
+            return Err(SolverBuildError::TabuOnlyOverflow);
+        }
+        Ok(cfg)
+    }
+}
+
 impl HybridCqmSolver {
+    /// A builder seeded with the [`Default`] configuration.
+    pub fn builder() -> HybridSolverBuilder {
+        HybridSolverBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// A builder seeded with this solver's configuration (including its
+    /// sink) — the supported way to tweak an existing solver.
+    pub fn to_builder(&self) -> HybridSolverBuilder {
+        HybridSolverBuilder { cfg: self.clone() }
+    }
+
     /// A cheaper configuration for large models or quick tests.
     pub fn fast() -> Self {
         Self {
@@ -147,11 +319,89 @@ impl HybridCqmSolver {
         }
     }
 
+    /// Number of independent reads per solve.
+    pub fn num_reads(&self) -> usize {
+        self.num_reads
+    }
+
+    /// Sweep budget per SA read.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Trotter replicas for SQA reads.
+    pub fn sqa_replicas(&self) -> usize {
+        self.sqa_replicas
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Penalty headroom multiplier.
+    pub fn penalty_factor(&self) -> f64 {
+        self.penalty_factor
+    }
+
+    /// Inequality penalty scheme.
+    pub fn style(&self) -> PenaltyStyle {
+        self.style
+    }
+
+    /// Portfolio rotation.
+    pub fn samplers(&self) -> &[SamplerKind] {
+        &self.samplers
+    }
+
+    /// Width guard above which tabu reads fall back to SA.
+    pub fn tabu_max_vars(&self) -> usize {
+        self.tabu_max_vars
+    }
+
+    /// Greedy polish sweep budget.
+    pub fn polish_sweeps(&self) -> usize {
+        self.polish_sweeps
+    }
+
+    /// Feasibility-repair step budget.
+    pub fn repair_steps(&self) -> usize {
+        self.repair_steps
+    }
+
+    /// Wall-clock budget, if any.
+    pub fn time_limit(&self) -> Option<Duration> {
+        self.time_limit
+    }
+
+    /// The attached telemetry sink.
+    pub fn trace_sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// A serializable snapshot of this configuration, for run manifests.
+    pub fn config(&self) -> SolverConfig {
+        SolverConfig {
+            num_reads: self.num_reads,
+            sweeps: self.sweeps,
+            sqa_replicas: self.sqa_replicas,
+            seed: self.seed,
+            penalty_factor: self.penalty_factor,
+            style: format!("{:?}", self.style),
+            samplers: self.samplers.iter().map(|s| s.to_string()).collect(),
+            tabu_max_vars: self.tabu_max_vars,
+            polish_sweeps: self.polish_sweeps,
+            repair_steps: self.repair_steps,
+            time_limit_ms: self.time_limit.map(|d| d.as_secs_f64() * 1e3),
+        }
+    }
+
     /// Solves `cqm`, seeding the first reads with `seeds` (candidate states
     /// of CQM width; may be empty). Returns all reads, best first.
     pub fn solve(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> SampleSet {
         let started = Instant::now();
         let width = cqm.num_vars();
+        let tracing = self.sink.enabled();
         if width == 0 || self.num_reads == 0 {
             let state: Vec<u8> = Vec::new();
             let mut set = SampleSet {
@@ -166,6 +416,17 @@ impl HybridCqmSolver {
             };
             set.sort();
             set.timing.cpu = started.elapsed();
+            if tracing {
+                self.sink.record_solve(SolveRecord {
+                    num_vars: width,
+                    compiled_vars: 0,
+                    requested_reads: self.num_reads,
+                    reads: Vec::new(),
+                    waves: Vec::new(),
+                    timing: timing_record(&set.timing),
+                    summary: set.summary(),
+                });
+            }
             return set;
         }
 
@@ -184,11 +445,24 @@ impl HybridCqmSolver {
             })
             .collect();
 
-        let mut samples: Vec<Sample> = match self.time_limit {
-            None => (0..self.num_reads)
-                .into_par_iter()
-                .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r))
-                .collect(),
+        let mut waves: Vec<WaveRecord> = Vec::new();
+        let mut results: Vec<(Sample, Option<ReadRecord>)> = match self.time_limit {
+            None => {
+                let wave_start = Instant::now();
+                let out: Vec<_> = (0..self.num_reads)
+                    .into_par_iter()
+                    .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
+                    .collect();
+                if tracing {
+                    waves.push(WaveRecord {
+                        wave: 0,
+                        first_read: 0,
+                        reads: out.len(),
+                        wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+                out
+            }
             Some(limit) => {
                 // Waves of one read per worker thread. The budget is
                 // checked before a wave launches (never after), so spent
@@ -202,10 +476,19 @@ impl HybridCqmSolver {
                         break;
                     }
                     let end = (next + wave).min(self.num_reads);
-                    let batch: Vec<Sample> = (next..end)
+                    let wave_start = Instant::now();
+                    let batch: Vec<_> = (next..end)
                         .into_par_iter()
-                        .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r))
+                        .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
                         .collect();
+                    if tracing {
+                        waves.push(WaveRecord {
+                            wave: waves.len(),
+                            first_read: next,
+                            reads: batch.len(),
+                            wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
+                        });
+                    }
                     out.extend(batch);
                     next = end;
                 }
@@ -216,14 +499,28 @@ impl HybridCqmSolver {
         // Score against the ORIGINAL model (penalties, slacks, and presolve
         // fixings stripped back out — fixed bits are stamped to their
         // proven values first, since they carry no incidence the samplers
-        // could have felt).
-        for s in &mut samples {
+        // could have felt). Read records learn the same verdicts.
+        for (s, rec) in &mut results {
             s.state.truncate(width);
             pre.apply_to_state(&mut s.state);
             s.objective = cqm.objective(&s.state);
             s.violation = cqm.total_violation(&s.state);
             s.feasible = s.violation == 0.0;
+            if let Some(rec) = rec {
+                rec.objective = s.objective;
+                rec.violation = s.violation;
+                rec.feasible = s.feasible;
+            }
         }
+
+        let mut reads: Vec<ReadRecord> = Vec::new();
+        let samples: Vec<Sample> = results
+            .into_iter()
+            .map(|(s, rec)| {
+                reads.extend(rec);
+                s
+            })
+            .collect();
 
         let sqa_reads = samples
             .iter()
@@ -241,6 +538,17 @@ impl HybridCqmSolver {
             },
         };
         set.sort();
+        if tracing {
+            self.sink.record_solve(SolveRecord {
+                num_vars: width,
+                compiled_vars: compiled.num_vars(),
+                requested_reads: self.num_reads,
+                reads,
+                waves,
+                timing: timing_record(&set.timing),
+                summary: set.summary(),
+            });
+        }
         set
     }
 
@@ -251,8 +559,10 @@ impl HybridCqmSolver {
         compiled: &Arc<CompiledCqm>,
         seeds: &[Vec<u8>],
         read_index: usize,
-    ) -> Sample {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(read_index as u64 * 0x9e37));
+        tracing: bool,
+    ) -> (Sample, Option<ReadRecord>) {
+        let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
+        let mut rng = ChaCha8Rng::seed_from_u64(read_seed);
         // An empty portfolio would make the modular lookup panic; degrade
         // to plain SA instead so a misconfigured solver still samples.
         let mut sampler = if self.samplers.is_empty() {
@@ -265,7 +575,13 @@ impl HybridCqmSolver {
         }
 
         // Initial state: rotate through provided seeds, then random states.
-        let initial: Vec<u8> = if read_index < seeds.len() {
+        let seeded = read_index < seeds.len();
+        let mut obs = if tracing {
+            ReadObserver::recording(read_index, read_seed, seeded)
+        } else {
+            ReadObserver::disabled()
+        };
+        let initial: Vec<u8> = if seeded {
             seeds[read_index].clone()
         } else {
             (0..cqm_width)
@@ -277,7 +593,8 @@ impl HybridCqmSolver {
         // zero and the rewritten equalities start violated. Repair first so
         // a good classical seed enters the anneal as a *feasible* state.
         if !ev.is_feasible() {
-            repair(&mut ev, self.repair_steps, &mut rng);
+            let out = repair(&mut ev, self.repair_steps, &mut rng);
+            obs.repair(out.steps as u64);
         }
 
         // Auto-scale the temperature ladder by probing, then restore.
@@ -286,66 +603,44 @@ impl HybridCqmSolver {
             estimate_delta_scale(&mut probe, &mut rng, 128)
         };
 
-        let best_state = match sampler {
-            SamplerKind::Sa => {
-                let params = SaParams {
-                    sweeps: self.sweeps,
-                    schedule: auto_geometric(scale),
-                    resync_interval: 256,
-                };
-                simulated_annealing(&mut ev, &params, &mut rng).state
-            }
-            SamplerKind::Sqa => {
-                let params = SqaParams {
-                    replicas: self.sqa_replicas,
-                    sweeps: (self.sweeps / 4).max(50),
-                    beta: 30.0 / scale,
-                    transverse: TransverseSchedule {
-                        gamma0: 3.0 * scale,
-                        gamma1: 1e-3 * scale,
-                    },
-                    global_move_fraction: 0.1,
-                    resync_interval: 128,
-                };
-                simulated_quantum_annealing(&ev, &params, &mut rng).state
-            }
-            SamplerKind::Tabu => {
-                let params = TabuParams {
-                    tenure: 0,
-                    max_iters: self.sweeps * 2,
-                    stall_limit: (self.sweeps / 2).max(100),
-                };
-                tabu_search(&mut ev, &params, &mut rng).state
-            }
-            SamplerKind::Pt => {
-                let params = PtParams {
-                    replicas: self.sqa_replicas.clamp(4, 12),
-                    sweeps: (self.sweeps / 4).max(50),
-                    beta_max: 60.0 / scale,
-                    beta_min: 0.2 / scale,
-                    resync_interval: 128,
-                };
-                parallel_tempering(&ev, &params, &mut rng).state
-            }
-        };
+        let run = SamplerRun::for_portfolio(sampler, self.sweeps, self.sqa_replicas, scale);
+        let best_state = run.run(&mut ev, &mut rng, &mut obs).state;
 
         ev.set_state(&best_state);
-        greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+        let pre_polish = ev.energy();
+        let flips = greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+        obs.polish(flips, pre_polish - ev.energy());
         if !ev.is_feasible() {
-            repair(&mut ev, self.repair_steps, &mut rng);
-            greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+            let out = repair(&mut ev, self.repair_steps, &mut rng);
+            obs.repair(out.steps as u64);
+            let pre_polish = ev.energy();
+            let flips = greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+            obs.polish(flips, pre_polish - ev.energy());
             // Keep the repaired state only if it actually reached
             // feasibility or at least did not lose ground.
         }
 
+        let record = obs.finish(ev.energy());
         let state = ev.state().to_vec();
-        Sample {
-            objective: 0.0, // rescored by `solve`
-            violation: 0.0,
-            feasible: false,
-            state,
-            sampler,
-        }
+        (
+            Sample {
+                objective: 0.0, // rescored by `solve`
+                violation: 0.0,
+                feasible: false,
+                state,
+                sampler,
+            },
+            record,
+        )
+    }
+}
+
+/// Converts the internal [`SolverTiming`] into the serializable
+/// millisecond-based [`TimingRecord`].
+fn timing_record(timing: &SolverTiming) -> TimingRecord {
+    TimingRecord {
+        cpu_ms: timing.cpu.as_secs_f64() * 1e3,
+        qpu_ms: timing.qpu.as_secs_f64() * 1e3,
     }
 }
 
@@ -354,6 +649,7 @@ mod tests {
     use super::*;
     use qlrb_model::cqm::Sense;
     use qlrb_model::expr::{LinearExpr, Var};
+    use qlrb_telemetry::MemorySink;
 
     /// A small partition problem: split weights {3,1,1,2,2,1} into two halves
     /// of equal sum (x_i = 1 ⇒ item i in part A), with exactly 3 items in A.
@@ -377,11 +673,11 @@ mod tests {
     #[test]
     fn finds_feasible_optimum() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 6,
-            sweeps: 300,
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(300)
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         let best = set.best_feasible().expect("a feasible sample");
         assert_eq!(
@@ -398,12 +694,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 4,
-            sweeps: 100,
-            seed: 77,
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(100)
+            .seed(77)
+            .build()
+            .unwrap();
         let a = solver.solve(&cqm, &[]);
         let b = solver.solve(&cqm, &[]);
         let states_a: Vec<_> = a.samples.iter().map(|s| s.state.clone()).collect();
@@ -419,11 +715,11 @@ mod tests {
         let seed_state = vec![1u8, 0, 0, 1, 0, 0]; // {3,2} = 5 = total/2
         assert!(cqm.is_feasible(&seed_state));
         assert_eq!(cqm.objective(&seed_state), 0.0);
-        let solver = HybridCqmSolver {
-            num_reads: 2,
-            sweeps: 50,
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[seed_state]);
         assert_eq!(set.best_feasible().unwrap().objective, 0.0);
     }
@@ -431,11 +727,11 @@ mod tests {
     #[test]
     fn portfolio_rotates_through_all_samplers() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 6,
-            sweeps: 50,
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(50)
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         for kind in [SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu] {
             assert!(
@@ -448,27 +744,68 @@ mod tests {
     #[test]
     fn tabu_falls_back_to_sa_on_wide_models() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 3,
-            sweeps: 50,
-            tabu_max_vars: 0, // force the fallback
-            samplers: vec![SamplerKind::Tabu],
-            ..Default::default()
-        };
+        // A mixed portfolio with a 1-variable width guard: every tabu read
+        // must downgrade to SA at run time (the builder rejects only the
+        // tabu-*only* contradiction).
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(50)
+            .tabu_max_vars(1)
+            .samplers(vec![SamplerKind::Tabu, SamplerKind::Sqa])
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         assert!(
-            set.samples.iter().all(|s| s.sampler == SamplerKind::Sa),
-            "every tabu read must have downgraded to SA"
+            set.samples.iter().all(|s| s.sampler != SamplerKind::Tabu),
+            "every tabu read must have downgraded"
+        );
+        assert!(
+            set.samples.iter().any(|s| s.sampler == SamplerKind::Sa),
+            "downgraded reads run SA"
         );
     }
 
     #[test]
-    fn empty_samplers_falls_back_to_sa() {
+    fn builder_rejects_degenerate_configs() {
+        assert_eq!(
+            HybridCqmSolver::builder().num_reads(0).build().unwrap_err(),
+            SolverBuildError::ZeroReads
+        );
+        assert_eq!(
+            HybridCqmSolver::builder().sweeps(0).build().unwrap_err(),
+            SolverBuildError::ZeroSweeps
+        );
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .samplers(vec![])
+                .build()
+                .unwrap_err(),
+            SolverBuildError::EmptyPortfolio
+        );
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .samplers(vec![SamplerKind::Tabu])
+                .tabu_max_vars(0)
+                .build()
+                .unwrap_err(),
+            SolverBuildError::TabuOnlyOverflow
+        );
+        // The same portfolio with a sane width guard is fine.
+        assert!(HybridCqmSolver::builder()
+            .samplers(vec![SamplerKind::Tabu])
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_samplers_still_degrades_to_sa_at_runtime() {
+        // The builder rejects empty portfolios, but the runtime guard stays
+        // as defence in depth for in-crate construction.
         let cqm = partition_cqm();
         let solver = HybridCqmSolver {
             num_reads: 3,
             sweeps: 50,
-            samplers: vec![], // misconfigured portfolio must not panic
+            samplers: vec![],
             ..Default::default()
         };
         let set = solver.solve(&cqm, &[]);
@@ -481,14 +818,39 @@ mod tests {
     }
 
     #[test]
+    fn to_builder_round_trips_and_overrides() {
+        let solver = HybridCqmSolver::fast();
+        let tweaked = solver.to_builder().seed(123).build().unwrap();
+        assert_eq!(tweaked.num_reads(), solver.num_reads());
+        assert_eq!(tweaked.sweeps(), solver.sweeps());
+        assert_eq!(tweaked.seed(), 123);
+    }
+
+    #[test]
+    fn config_snapshot_reflects_fields() {
+        let solver = HybridCqmSolver::builder()
+            .num_reads(3)
+            .sweeps(77)
+            .time_limit(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        let cfg = solver.config();
+        assert_eq!(cfg.num_reads, 3);
+        assert_eq!(cfg.sweeps, 77);
+        assert_eq!(cfg.samplers, vec!["SA", "SQA", "TABU"]);
+        assert_eq!(cfg.style, "ViolationQuadratic");
+        assert_eq!(cfg.time_limit_ms, Some(250.0));
+    }
+
+    #[test]
     fn time_limit_truncates_reads_but_still_solves() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 64,
-            sweeps: 200,
-            time_limit: Some(Duration::from_millis(1)),
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(64)
+            .sweeps(200)
+            .time_limit(Duration::from_millis(1))
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         // At least one wave ran; with a 1 ms budget on 64 requested reads
         // we almost certainly stopped early, but the contract is only
@@ -509,15 +871,15 @@ mod tests {
     #[test]
     fn unbalanced_style_also_solves() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 6,
-            sweeps: 300,
-            style: PenaltyStyle::Unbalanced {
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(300)
+            .style(PenaltyStyle::Unbalanced {
                 l1: 0.96,
                 l2: 0.0331,
-            },
-            ..Default::default()
-        };
+            })
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         assert!(set.best_feasible().is_some());
     }
@@ -525,16 +887,107 @@ mod tests {
     #[test]
     fn slack_style_strips_slack_bits() {
         let cqm = partition_cqm();
-        let solver = HybridCqmSolver {
-            num_reads: 4,
-            sweeps: 300,
-            style: PenaltyStyle::Slack,
-            ..Default::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(300)
+            .style(PenaltyStyle::Slack)
+            .build()
+            .unwrap();
         let set = solver.solve(&cqm, &[]);
         for s in &set.samples {
             assert_eq!(s.state.len(), cqm.num_vars());
         }
         assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
+    fn recording_sink_captures_full_solve_trace() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(60)
+            .seed(5)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[vec![1, 0, 0, 1, 0, 0]]);
+
+        let mut records = sink.take();
+        assert_eq!(records.len(), 1);
+        let rec = records.pop().unwrap();
+        assert_eq!(rec.num_vars, cqm.num_vars());
+        assert_eq!(rec.requested_reads, 6);
+        assert_eq!(rec.reads.len(), 6, "one record per read");
+        assert_eq!(rec.waves.len(), 1, "unbudgeted solve is a single wave");
+        assert_eq!(rec.waves[0].reads, 6);
+        assert_eq!(rec.summary.num_samples, set.samples.len());
+        assert_eq!(rec.summary.num_feasible, set.num_feasible());
+        assert!(rec.timing.cpu_ms > 0.0);
+
+        // Reads arrive in read order and rotate through the portfolio.
+        for (i, r) in rec.reads.iter().enumerate() {
+            assert_eq!(r.read, i);
+            assert!(r.proposals > 0);
+            assert!(r.wall_ms >= 0.0);
+            assert!((0.0..=1.0).contains(&r.acceptance_rate));
+        }
+        assert!(rec.reads[0].seeded, "first read took the provided seed");
+        assert!(!rec.reads[5].seeded);
+        for kind in ["SA", "SQA", "TABU"] {
+            assert!(
+                rec.reads.iter().any(|r| r.sampler == kind),
+                "{kind} missing from trace"
+            );
+        }
+        // Rescored verdicts must agree between trace and sample set.
+        let feasible_reads = rec.reads.iter().filter(|r| r.feasible).count();
+        assert_eq!(feasible_reads, set.num_feasible());
+    }
+
+    #[test]
+    fn recording_sink_does_not_perturb_samples() {
+        let cqm = partition_cqm();
+        let plain = HybridCqmSolver::builder()
+            .num_reads(5)
+            .sweeps(80)
+            .seed(9)
+            .build()
+            .unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let traced = plain
+            .to_builder()
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+
+        let a = plain.solve(&cqm, &[]);
+        let b = traced.solve(&cqm, &[]);
+        let states_a: Vec<_> = a.samples.iter().map(|s| s.state.clone()).collect();
+        let states_b: Vec<_> = b.samples.iter().map(|s| s.state.clone()).collect();
+        assert_eq!(states_a, states_b, "telemetry must not perturb the solve");
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn time_limited_trace_records_waves() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(64)
+            .sweeps(100)
+            .time_limit(Duration::from_millis(1))
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.reads.len(), set.samples.len());
+        assert!(!rec.waves.is_empty());
+        let wave_reads: usize = rec.waves.iter().map(|w| w.reads).sum();
+        assert_eq!(wave_reads, set.samples.len());
+        for (i, w) in rec.waves.iter().enumerate() {
+            assert_eq!(w.wave, i);
+        }
     }
 }

@@ -30,16 +30,20 @@ pub mod descent;
 pub mod hybrid;
 pub mod pt;
 pub mod repair;
+pub mod run;
 pub mod sa;
 pub mod sampleset;
 pub mod schedule;
 pub mod sqa;
 pub mod tabu;
 
-pub use hybrid::{HybridCqmSolver, SamplerKind};
+pub use hybrid::{HybridCqmSolver, HybridSolverBuilder, SamplerKind, SolverBuildError};
 pub use pt::PtParams;
+pub use run::{SamplerExtras, SamplerRun};
 pub use sa::SaParams;
-pub use sampleset::{Sample, SampleSet, SolverTiming};
+pub use sampleset::{Sample, SampleSet, SampleSetSummary, SolverTiming};
 pub use schedule::BetaSchedule;
 pub use sqa::SqaParams;
 pub use tabu::TabuParams;
+
+pub use qlrb_telemetry as telemetry;

@@ -1,0 +1,396 @@
+//! Unified sampler dispatch: one entry point over the four samplers.
+//!
+//! [`SamplerRun`] carries the fields every sampler shares (sweep budget,
+//! cache-resync cadence) plus a per-kind [`SamplerExtras`] payload, and its
+//! [`SamplerRun::run`] drives the underlying free function *unchanged* — the
+//! RNG consumption pattern is byte-for-byte what calling the sampler
+//! directly would produce, so solver determinism is untouched. The telemetry
+//! [`ReadObserver`] attaches here, uniformly, instead of in four
+//! copy-pasted match arms inside `hybrid.rs`.
+
+use qlrb_model::eval::Evaluator;
+use qlrb_telemetry::ReadObserver;
+use rand::Rng;
+
+use crate::hybrid::SamplerKind;
+use crate::pt::{parallel_tempering, PtParams};
+use crate::sa::{simulated_annealing, AnnealResult, SaParams};
+use crate::schedule::{auto_geometric, BetaSchedule, TransverseSchedule};
+use crate::sqa::{simulated_quantum_annealing, SqaParams};
+use crate::tabu::{tabu_search, TabuParams};
+
+/// Per-sampler parameters beyond the shared ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerExtras {
+    /// Metropolis simulated annealing.
+    Sa {
+        /// Inverse-temperature schedule over the sweeps.
+        schedule: BetaSchedule,
+    },
+    /// Path-integral simulated quantum annealing.
+    Sqa {
+        /// Trotter replicas `P`.
+        replicas: usize,
+        /// Inverse temperature of the quantum bath.
+        beta: f64,
+        /// Transverse-field schedule.
+        transverse: TransverseSchedule,
+        /// Fraction of variables tried as all-replica moves per sweep.
+        global_move_fraction: f64,
+    },
+    /// Tabu search; here `SamplerRun::sweeps` is the *move* budget
+    /// (`max_iters`).
+    Tabu {
+        /// Tabu tenure (`0` = auto).
+        tenure: usize,
+        /// Stop after this many non-improving moves in a row.
+        stall_limit: usize,
+    },
+    /// Parallel tempering.
+    Pt {
+        /// Temperature rungs.
+        replicas: usize,
+        /// Coldest inverse temperature.
+        beta_max: f64,
+        /// Hottest inverse temperature.
+        beta_min: f64,
+    },
+}
+
+/// One sampler invocation: shared budget fields plus kind-specific extras.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerRun {
+    /// Sweep budget (tabu: total move budget).
+    pub sweeps: usize,
+    /// Evaluator caches resync every this many sweeps (tabu manages its own
+    /// cadence internally).
+    pub resync_interval: usize,
+    /// Kind-specific parameters.
+    pub extras: SamplerExtras,
+}
+
+impl SamplerRun {
+    /// Which portfolio member this run drives.
+    pub fn kind(&self) -> SamplerKind {
+        match self.extras {
+            SamplerExtras::Sa { .. } => SamplerKind::Sa,
+            SamplerExtras::Sqa { .. } => SamplerKind::Sqa,
+            SamplerExtras::Tabu { .. } => SamplerKind::Tabu,
+            SamplerExtras::Pt { .. } => SamplerKind::Pt,
+        }
+    }
+
+    /// Wraps explicit SA parameters.
+    pub fn sa(params: SaParams) -> Self {
+        Self {
+            sweeps: params.sweeps,
+            resync_interval: params.resync_interval,
+            extras: SamplerExtras::Sa {
+                schedule: params.schedule,
+            },
+        }
+    }
+
+    /// Wraps explicit SQA parameters.
+    pub fn sqa(params: SqaParams) -> Self {
+        Self {
+            sweeps: params.sweeps,
+            resync_interval: params.resync_interval,
+            extras: SamplerExtras::Sqa {
+                replicas: params.replicas,
+                beta: params.beta,
+                transverse: params.transverse,
+                global_move_fraction: params.global_move_fraction,
+            },
+        }
+    }
+
+    /// Wraps explicit tabu parameters (`max_iters` becomes the shared
+    /// `sweeps` budget).
+    pub fn tabu(params: TabuParams) -> Self {
+        Self {
+            sweeps: params.max_iters,
+            resync_interval: 512, // tabu's fixed internal cadence
+            extras: SamplerExtras::Tabu {
+                tenure: params.tenure,
+                stall_limit: params.stall_limit,
+            },
+        }
+    }
+
+    /// Wraps explicit parallel-tempering parameters.
+    pub fn pt(params: PtParams) -> Self {
+        Self {
+            sweeps: params.sweeps,
+            resync_interval: params.resync_interval,
+            extras: SamplerExtras::Pt {
+                replicas: params.replicas,
+                beta_max: params.beta_max,
+                beta_min: params.beta_min,
+            },
+        }
+    }
+
+    /// The hybrid solver's portfolio sizing rules: derives each member's
+    /// budget from the configured SA `sweeps`, the SQA replica count, and
+    /// the probed energy-delta `scale` of the model at hand.
+    ///
+    /// SA runs the full sweep budget on an auto-scaled geometric ladder;
+    /// SQA takes `sweeps / 4` (each sweep touches every replica) at
+    /// scale-adjusted temperature and transverse field; tabu gets a
+    /// `2·sweeps` move budget with a `sweeps / 2` stall cutoff; PT takes
+    /// `sweeps / 4` over a scale-adjusted ladder.
+    pub fn for_portfolio(
+        kind: SamplerKind,
+        sweeps: usize,
+        sqa_replicas: usize,
+        scale: f64,
+    ) -> Self {
+        match kind {
+            SamplerKind::Sa => Self::sa(SaParams {
+                sweeps,
+                schedule: auto_geometric(scale),
+                resync_interval: 256,
+            }),
+            SamplerKind::Sqa => Self::sqa(SqaParams {
+                replicas: sqa_replicas,
+                sweeps: (sweeps / 4).max(50),
+                beta: 30.0 / scale,
+                transverse: TransverseSchedule {
+                    gamma0: 3.0 * scale,
+                    gamma1: 1e-3 * scale,
+                },
+                global_move_fraction: 0.1,
+                resync_interval: 128,
+            }),
+            SamplerKind::Tabu => Self::tabu(TabuParams {
+                tenure: 0,
+                max_iters: sweeps * 2,
+                stall_limit: (sweeps / 2).max(100),
+            }),
+            SamplerKind::Pt => Self::pt(PtParams {
+                replicas: sqa_replicas.clamp(4, 12),
+                sweeps: (sweeps / 4).max(50),
+                beta_max: 60.0 / scale,
+                beta_min: 0.2 / scale,
+                resync_interval: 128,
+            }),
+        }
+    }
+
+    /// Runs the sampler from the evaluator's current state and reports the
+    /// stage to `obs`. RNG consumption is identical to calling the
+    /// underlying sampler directly; the observer only reads statistics the
+    /// sampler already produced.
+    pub fn run<E: Evaluator + Clone>(
+        &self,
+        ev: &mut E,
+        rng: &mut impl Rng,
+        obs: &mut ReadObserver,
+    ) -> AnnealResult {
+        let n = ev.num_vars() as u64;
+        let initial_energy = ev.energy();
+        let kind = self.kind().to_string();
+        match self.extras {
+            SamplerExtras::Sa { schedule } => {
+                let params = SaParams {
+                    sweeps: self.sweeps,
+                    schedule,
+                    resync_interval: self.resync_interval,
+                };
+                let res = simulated_annealing(ev, &params, rng);
+                obs.anneal(
+                    &kind,
+                    initial_energy,
+                    res.energy,
+                    self.sweeps as u64,
+                    self.sweeps as u64 * n,
+                    res.accepted,
+                );
+                res
+            }
+            SamplerExtras::Sqa {
+                replicas,
+                beta,
+                transverse,
+                global_move_fraction,
+            } => {
+                let params = SqaParams {
+                    replicas,
+                    sweeps: self.sweeps,
+                    beta,
+                    transverse,
+                    global_move_fraction,
+                    resync_interval: self.resync_interval,
+                };
+                let res = simulated_quantum_annealing(&*ev, &params, rng);
+                let p = replicas.max(2) as u64;
+                let global_per_sweep = (n as f64 * global_move_fraction) as u64;
+                obs.anneal(
+                    &kind,
+                    initial_energy,
+                    res.energy,
+                    self.sweeps as u64,
+                    self.sweeps as u64 * (n * p + global_per_sweep),
+                    res.accepted,
+                );
+                res
+            }
+            SamplerExtras::Tabu {
+                tenure,
+                stall_limit,
+            } => {
+                let params = TabuParams {
+                    tenure,
+                    max_iters: self.sweeps,
+                    stall_limit,
+                };
+                let res = tabu_search(ev, &params, rng);
+                // Each tabu iteration scans the full neighbourhood and
+                // commits exactly one move.
+                obs.anneal(
+                    &kind,
+                    initial_energy,
+                    res.energy,
+                    res.iterations as u64,
+                    res.iterations as u64 * n,
+                    res.iterations as u64,
+                );
+                AnnealResult {
+                    state: res.state,
+                    energy: res.energy,
+                    accepted: res.iterations as u64,
+                }
+            }
+            SamplerExtras::Pt {
+                replicas,
+                beta_max,
+                beta_min,
+            } => {
+                let params = PtParams {
+                    replicas,
+                    sweeps: self.sweeps,
+                    beta_max,
+                    beta_min,
+                    resync_interval: self.resync_interval,
+                };
+                let res = parallel_tempering(&*ev, &params, rng);
+                let r = replicas.max(2) as u64;
+                obs.anneal(
+                    &kind,
+                    initial_energy,
+                    res.energy,
+                    self.sweeps as u64,
+                    self.sweeps as u64 * n * r,
+                    res.accepted,
+                );
+                res
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_model::bqm::BinaryQuadraticModel;
+    use qlrb_model::eval::BqmEvaluator;
+    use qlrb_model::Var;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn model() -> Arc<BinaryQuadraticModel> {
+        let mut bqm = BinaryQuadraticModel::new(6);
+        for i in 0..6u32 {
+            bqm.add_linear(Var(i), 1.0);
+        }
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                bqm.add_quadratic(Var(i), Var(j), -1.0);
+            }
+        }
+        Arc::new(bqm)
+    }
+
+    #[test]
+    fn kind_round_trips_through_for_portfolio() {
+        for kind in [
+            SamplerKind::Sa,
+            SamplerKind::Sqa,
+            SamplerKind::Tabu,
+            SamplerKind::Pt,
+        ] {
+            assert_eq!(SamplerRun::for_portfolio(kind, 100, 8, 1.0).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn unified_run_matches_direct_sampler_call() {
+        // The whole point of SamplerRun: identical RNG stream, identical
+        // result, observer attached on the side.
+        let m = model();
+        let params = SaParams {
+            sweeps: 80,
+            schedule: auto_geometric(1.0),
+            resync_interval: 256,
+        };
+
+        let mut ev_direct = BqmEvaluator::new(Arc::clone(&m));
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let direct = simulated_annealing(&mut ev_direct, &params, &mut rng);
+
+        let mut ev_unified = BqmEvaluator::new(Arc::clone(&m));
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut obs = ReadObserver::recording(0, 17, false);
+        let unified = SamplerRun::sa(params).run(&mut ev_unified, &mut rng, &mut obs);
+
+        assert_eq!(direct.state, unified.state);
+        assert_eq!(direct.accepted, unified.accepted);
+        let rec = obs.finish(unified.energy).unwrap();
+        assert_eq!(rec.sampler, "SA");
+        assert_eq!(rec.sweeps, 80);
+        assert_eq!(rec.proposals, 80 * 6);
+        assert_eq!(rec.accepted, direct.accepted);
+    }
+
+    #[test]
+    fn observer_sees_every_kind() {
+        let m = model();
+        for kind in [
+            SamplerKind::Sa,
+            SamplerKind::Sqa,
+            SamplerKind::Tabu,
+            SamplerKind::Pt,
+        ] {
+            let mut ev = BqmEvaluator::new(Arc::clone(&m));
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let mut obs = ReadObserver::recording(0, 5, false);
+            let run = SamplerRun::for_portfolio(kind, 40, 4, 1.0);
+            let res = run.run(&mut ev, &mut rng, &mut obs);
+            let rec = obs.finish(res.energy).unwrap();
+            assert_eq!(rec.sampler, kind.to_string());
+            assert!(rec.proposals > 0, "{kind} reported no proposals");
+            assert!(rec.accepted <= rec.proposals, "{kind} over-counts accepts");
+        }
+    }
+
+    #[test]
+    fn disabled_observer_changes_nothing() {
+        let m = model();
+        let run = SamplerRun::for_portfolio(SamplerKind::Sqa, 40, 4, 1.0);
+
+        let mut ev_a = BqmEvaluator::new(Arc::clone(&m));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut obs = ReadObserver::disabled();
+        let a = run.run(&mut ev_a, &mut rng, &mut obs);
+
+        let mut ev_b = BqmEvaluator::new(Arc::clone(&m));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut obs = ReadObserver::recording(0, 3, false);
+        let b = run.run(&mut ev_b, &mut rng, &mut obs);
+
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.accepted, b.accepted);
+    }
+}

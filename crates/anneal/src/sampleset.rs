@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+pub use qlrb_telemetry::SampleSetSummary;
+
 use crate::hybrid::SamplerKind;
 
 /// One solution sample: a binary assignment with its quality metrics,
@@ -67,6 +69,26 @@ impl SampleSet {
     pub fn num_feasible(&self) -> usize {
         self.samples.iter().filter(|s| s.feasible).count()
     }
+
+    /// The stable reporting surface over this set: counts, objective range,
+    /// and spread — what manifests and benches consume instead of poking
+    /// sample fields.
+    pub fn summary(&self) -> SampleSetSummary {
+        let mut best: Option<f64> = None;
+        let mut worst: Option<f64> = None;
+        for s in &self.samples {
+            best = Some(best.map_or(s.objective, |b| b.min(s.objective)));
+            worst = Some(worst.map_or(s.objective, |w| w.max(s.objective)));
+        }
+        SampleSetSummary {
+            num_samples: self.samples.len(),
+            num_feasible: self.num_feasible(),
+            best_objective: best,
+            worst_objective: worst,
+            objective_spread: best.zip(worst).map(|(b, w)| w - b),
+            best_feasible_objective: self.best_feasible().map(|s| s.objective),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +117,31 @@ mod tests {
         assert!(!set.samples[2].feasible);
         assert_eq!(set.num_feasible(), 2);
         assert_eq!(set.best_feasible().unwrap().objective, 2.0);
+    }
+
+    #[test]
+    fn summary_reports_range_and_counts() {
+        let mut set = SampleSet {
+            samples: vec![sample(false, -10.0), sample(true, 5.0), sample(true, 2.0)],
+            timing: SolverTiming::default(),
+        };
+        set.sort();
+        let sum = set.summary();
+        assert_eq!(sum.num_samples, 3);
+        assert_eq!(sum.num_feasible, 2);
+        assert_eq!(sum.best_objective, Some(-10.0));
+        assert_eq!(sum.worst_objective, Some(5.0));
+        assert_eq!(sum.objective_spread, Some(15.0));
+        assert_eq!(sum.best_feasible_objective, Some(2.0));
+    }
+
+    #[test]
+    fn empty_set_summary_is_all_none() {
+        let sum = SampleSet::default().summary();
+        assert_eq!(sum.num_samples, 0);
+        assert_eq!(sum.best_objective, None);
+        assert_eq!(sum.objective_spread, None);
+        assert_eq!(sum.best_feasible_objective, None);
     }
 
     #[test]

@@ -19,14 +19,14 @@ fn small_instance() -> Instance {
 }
 
 fn solver(reads: usize, samplers: Vec<SamplerKind>) -> HybridCqmSolver {
-    HybridCqmSolver {
-        num_reads: reads,
-        sweeps: 300,
-        sqa_replicas: 8,
-        seed: 11,
-        samplers,
-        ..HybridCqmSolver::default()
-    }
+    HybridCqmSolver::builder()
+        .num_reads(reads)
+        .sweeps(300)
+        .sqa_replicas(8)
+        .seed(11)
+        .samplers(samplers)
+        .build()
+        .expect("bench solver config is valid")
 }
 
 fn bench_variants(c: &mut Criterion) {
@@ -72,7 +72,7 @@ fn bench_samplers(c: &mut Criterion) {
                 let s = solver(2, vec![kind]);
                 b.iter(|| {
                     let set = s.solve(&lrp.cqm, &[]);
-                    black_box(set.samples.len())
+                    black_box(set.summary().num_samples)
                 })
             },
         );
@@ -141,10 +141,10 @@ fn bench_table5_scale(c: &mut Criterion) {
                 let method = QuantumRebalancer {
                     variant,
                     k,
-                    solver: HybridCqmSolver {
-                        seed: 11,
-                        ..Default::default()
-                    },
+                    solver: HybridCqmSolver::builder()
+                        .seed(11)
+                        .build()
+                        .expect("default config with a fixed seed is valid"),
                     label: None,
                     extra_seed_plans: Vec::new(),
                     prune_tolerance: 0.02,

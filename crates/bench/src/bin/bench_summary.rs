@@ -45,10 +45,10 @@ fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
     QuantumRebalancer {
         variant,
         k,
-        solver: HybridCqmSolver {
-            seed: 11,
-            ..Default::default()
-        },
+        solver: HybridCqmSolver::builder()
+            .seed(11)
+            .build()
+            .expect("default config with a fixed seed is valid"),
         label: None,
         extra_seed_plans: Vec::new(),
         prune_tolerance: 0.02,
@@ -69,11 +69,13 @@ fn main() {
     let k = 128u64;
     let lrp = LrpCqm::build(&inst, Variant::Reduced, k).expect("table5 CQM");
 
-    let single = |kind: SamplerKind| HybridCqmSolver {
-        num_reads: 2,
-        seed: 11,
-        samplers: vec![kind],
-        ..Default::default()
+    let single = |kind: SamplerKind| {
+        HybridCqmSolver::builder()
+            .num_reads(2)
+            .seed(11)
+            .samplers(vec![kind])
+            .build()
+            .expect("single-sampler portfolio is valid")
     };
 
     let scenarios: Vec<Scenario> = vec![
@@ -95,21 +97,21 @@ fn main() {
             "sa_table5",
             Box::new(|| {
                 let set = single(SamplerKind::Sa).solve(&lrp.cqm, &[]);
-                std::hint::black_box(set.samples.len());
+                std::hint::black_box(set.summary().num_samples);
             }),
         ),
         (
             "sqa_table5",
             Box::new(|| {
                 let set = single(SamplerKind::Sqa).solve(&lrp.cqm, &[]);
-                std::hint::black_box(set.samples.len());
+                std::hint::black_box(set.summary().num_samples);
             }),
         ),
         (
             "tabu_table5",
             Box::new(|| {
                 let set = single(SamplerKind::Tabu).solve(&lrp.cqm, &[]);
-                std::hint::black_box(set.samples.len());
+                std::hint::black_box(set.summary().num_samples);
             }),
         ),
     ];

@@ -1,7 +1,18 @@
 //! Regenerates Table V: the sam(oa)² oscillating-lake realistic use case
-//! (32 nodes × 208 tasks, baseline R_imb = 4.1994).
+//! (32 nodes × 208 tasks, baseline R_imb = 4.1994). Runs traced: alongside
+//! the rows JSON it writes `results/table5_manifest.json`, the telemetry
+//! run manifest with per-read solve records and timing medians.
 fn main() {
     let cfg = qlrb_bench::regen_config();
-    let exp = qlrb_harness::samoa_case(&cfg);
+    let (exp, trace) = qlrb_harness::samoa_case_traced(&cfg);
     qlrb_bench::emit(&exp, false);
+
+    let manifest = qlrb_harness::assemble_manifest("regen_table5", &cfg, vec![trace]);
+    manifest
+        .validate()
+        .expect("traced run produces a valid manifest");
+    print!("{}", manifest.summarize());
+    let path = qlrb_bench::results_dir().join("table5_manifest.json");
+    std::fs::write(&path, manifest.to_json_pretty()).expect("write table5 manifest");
+    println!("[saved {}]", path.display());
 }

@@ -1,8 +1,9 @@
 //! Simulation reports.
 
+use qlrb_telemetry::SimCounters;
 use serde::{Deserialize, Serialize};
 
-use crate::trace::TraceSpan;
+use crate::trace::{SpanKind, TraceSpan};
 
 /// Per-node outcome of one BSP iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +61,41 @@ impl SimReport {
             1.0
         }
     }
+
+    /// Runtime counters for the telemetry manifest: migration traffic from
+    /// the iteration-0 span trace (the only iteration that migrates) plus
+    /// barrier-wait and communication-thread totals over all iterations.
+    pub fn counters(&self) -> SimCounters {
+        let sent = self
+            .trace
+            .iter()
+            .filter(|s| s.kind == SpanKind::Send)
+            .count();
+        let recv = self
+            .trace
+            .iter()
+            .filter(|s| s.kind == SpanKind::Recv)
+            .count();
+        let mut wait_total = 0.0;
+        let mut wait_max = 0.0f64;
+        let mut comm_busy = 0.0;
+        for it in &self.iterations {
+            wait_total += it.total_wait();
+            for node in &it.nodes {
+                wait_max = wait_max.max(node.wait);
+                comm_busy += node.comm_busy;
+            }
+        }
+        SimCounters {
+            iterations: self.iterations.len(),
+            migration_messages: sent,
+            recv_messages: recv,
+            barrier_wait_total: wait_total,
+            barrier_wait_max: wait_max,
+            comm_busy_total: comm_busy,
+            total_makespan: self.total_makespan,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +128,45 @@ mod tests {
         let fast = report(&[5.0, 5.0]);
         assert_eq!(fast.speedup_over(&base), 2.0);
         assert_eq!(base.speedup_over(&base), 1.0);
+    }
+
+    #[test]
+    fn counters_tally_messages_and_waits() {
+        let mut rep = report(&[10.0, 8.0]);
+        rep.iterations[0].nodes[0].wait = 3.0;
+        rep.iterations[0].nodes[0].comm_busy = 1.5;
+        rep.iterations[1].nodes[0].wait = 1.0;
+        rep.trace = vec![
+            TraceSpan {
+                node: 0,
+                thread: usize::MAX,
+                start: 0.0,
+                end: 1.0,
+                kind: SpanKind::Send,
+            },
+            TraceSpan {
+                node: 1,
+                thread: usize::MAX,
+                start: 0.0,
+                end: 1.0,
+                kind: SpanKind::Recv,
+            },
+            TraceSpan {
+                node: 1,
+                thread: 0,
+                start: 1.0,
+                end: 9.0,
+                kind: SpanKind::Compute,
+            },
+        ];
+        let c = rep.counters();
+        assert_eq!(c.iterations, 2);
+        assert_eq!(c.migration_messages, 1);
+        assert_eq!(c.recv_messages, 1);
+        assert_eq!(c.barrier_wait_total, 4.0);
+        assert_eq!(c.barrier_wait_max, 3.0);
+        assert_eq!(c.comm_busy_total, 1.5);
+        assert_eq!(c.total_makespan, 18.0);
     }
 
     #[test]

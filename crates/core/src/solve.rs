@@ -319,12 +319,12 @@ mod tests {
             let qr = QuantumRebalancer {
                 variant,
                 k: 10,
-                solver: HybridCqmSolver {
-                    num_reads: 4,
-                    sweeps: 300,
-                    seed: 3,
-                    ..Default::default()
-                },
+                solver: HybridCqmSolver::builder()
+                    .num_reads(4)
+                    .sweeps(300)
+                    .seed(3)
+                    .build()
+                    .unwrap(),
                 label: None,
                 extra_seed_plans: Vec::new(),
                 prune_tolerance: 0.02,
@@ -350,11 +350,11 @@ mod tests {
         let qr = QuantumRebalancer {
             variant: Variant::Full,
             k: 0,
-            solver: HybridCqmSolver {
-                num_reads: 2,
-                sweeps: 100,
-                ..Default::default()
-            },
+            solver: HybridCqmSolver::builder()
+                .num_reads(2)
+                .sweeps(100)
+                .build()
+                .unwrap(),
             label: None,
             extra_seed_plans: Vec::new(),
             prune_tolerance: 0.02,
@@ -436,12 +436,12 @@ mod tests {
             let qr = QuantumRebalancer {
                 variant: Variant::Reduced,
                 k,
-                solver: HybridCqmSolver {
-                    num_reads: 3,
-                    sweeps: 200,
-                    seed: 17,
-                    ..Default::default()
-                },
+                solver: HybridCqmSolver::builder()
+                    .num_reads(3)
+                    .sweeps(200)
+                    .seed(17)
+                    .build()
+                    .unwrap(),
                 label: None,
                 extra_seed_plans: Vec::new(),
                 prune_tolerance: 0.02,
@@ -506,11 +506,11 @@ mod tests {
         let qr = QuantumRebalancer {
             variant: Variant::Reduced,
             k: 20,
-            solver: HybridCqmSolver {
-                num_reads: 3,
-                sweeps: 200,
-                ..Default::default()
-            },
+            solver: HybridCqmSolver::builder()
+                .num_reads(3)
+                .sweeps(200)
+                .build()
+                .unwrap(),
             label: None,
             extra_seed_plans: Vec::new(),
             prune_tolerance: 0.02,

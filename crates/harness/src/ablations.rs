@@ -82,7 +82,12 @@ pub fn penalty_ablation(cfg: &HarnessConfig) -> ExperimentResult {
         .iter()
         .map(|&(style, name)| {
             let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
-            method.solver.style = style;
+            method.solver = method
+                .solver
+                .to_builder()
+                .style(style)
+                .build()
+                .expect("style override keeps the config valid");
             run_method(&inst, &method)
         })
         .collect();
@@ -137,8 +142,8 @@ pub fn encoding_ablation(cfg: &HarnessConfig) -> ExperimentResult {
             let started = std::time::Instant::now();
             let set = solver.solve(&lrp.cqm, &seeds);
             let elapsed = started.elapsed();
-            let feasible = set.num_feasible();
-            let total = set.samples.len();
+            let sum = set.summary();
+            let (feasible, total) = (sum.num_feasible, sum.num_samples);
             let decoded = set
                 .best_feasible()
                 .and_then(|s| lrp.decode(&s.state).ok())
@@ -188,7 +193,12 @@ pub fn sampler_ablation(cfg: &HarnessConfig) -> ExperimentResult {
         .iter()
         .map(|&(kind, name)| {
             let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
-            method.solver.samplers = vec![kind];
+            method.solver = method
+                .solver
+                .to_builder()
+                .samplers(vec![kind])
+                .build()
+                .expect("single-sampler portfolio is valid");
             run_method(&inst, &method)
         })
         .collect();

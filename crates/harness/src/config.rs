@@ -71,14 +71,14 @@ impl HarnessConfig {
         } else {
             1
         };
-        let solver = HybridCqmSolver {
-            num_reads: (self.reads / if shrink >= 4 { 2 } else { 1 }).max(2),
-            sweeps: (self.sweeps / shrink).max(60),
-            sqa_replicas: if shrink >= 4 { 6 } else { 10 },
-            seed: self.seed ^ (k.rotate_left(17)) ^ (vars as u64),
-            samplers: vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu],
-            ..HybridCqmSolver::default()
-        };
+        let solver = HybridCqmSolver::builder()
+            .num_reads((self.reads / if shrink >= 4 { 2 } else { 1 }).max(2))
+            .sweeps((self.sweeps / shrink).max(60))
+            .sqa_replicas(if shrink >= 4 { 6 } else { 10 })
+            .seed(self.seed ^ (k.rotate_left(17)) ^ (vars as u64))
+            .samplers(vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu])
+            .build()
+            .expect("harness sizing always yields a valid configuration");
         QuantumRebalancer {
             variant,
             k,
@@ -102,8 +102,8 @@ mod tests {
         let big = Instance::uniform(100, vec![1.0; 64]).unwrap();
         let qs = cfg.quantum(&small, Variant::Full, 5, "s");
         let qb = cfg.quantum(&big, Variant::Full, 5, "b");
-        assert!(qb.solver.sweeps < qs.solver.sweeps);
-        assert!(qb.solver.num_reads <= qs.solver.num_reads);
+        assert!(qb.solver.sweeps() < qs.solver.sweeps());
+        assert!(qb.solver.num_reads() <= qs.solver.num_reads());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The paper's experiment groups (§V).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use qlrb_classical::{complexity, Greedy, KarmarkarKarp, ProactLb};
 use qlrb_core::cqm::Variant;
 use qlrb_core::{Instance, LrpCqm};
+use qlrb_telemetry::{CaseTrace, MemorySink, MethodTrace, TraceSink};
 use qlrb_workloads::groups as mxm_groups;
 use rayon::prelude::*;
 
@@ -24,6 +26,29 @@ use crate::rows::{run_method, run_method_with_base, CaseResult, ExperimentResult
 /// preserves order, so rows are deterministic and arrive in the paper's
 /// fixed method order regardless of scheduling.
 pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> CaseResult {
+    run_paper_methods_inner(inst, cfg, label, false).0
+}
+
+/// [`run_paper_methods`] with telemetry: every quantum method solves
+/// through its own recording [`MemorySink`], and the per-read traces come
+/// back as a [`CaseTrace`] for manifest assembly. Rows are identical to the
+/// untraced runner (recording only observes statistics the samplers already
+/// produce; it never touches their RNG streams).
+pub fn run_paper_methods_traced(
+    inst: &Instance,
+    cfg: &HarnessConfig,
+    label: &str,
+) -> (CaseResult, CaseTrace) {
+    let (case, trace) = run_paper_methods_inner(inst, cfg, label, true);
+    (case, trace.expect("tracing was requested"))
+}
+
+fn run_paper_methods_inner(
+    inst: &Instance,
+    cfg: &HarnessConfig,
+    label: &str,
+    tracing: bool,
+) -> (CaseResult, Option<CaseTrace>) {
     use qlrb_core::Rebalancer as _;
     let greedy_plan = Greedy.rebalance(inst).expect("greedy").matrix;
     let kk_plan = KarmarkarKarp.rebalance(inst).expect("kk").matrix;
@@ -39,7 +64,7 @@ pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> C
     let base_reduced = LrpCqm::build(inst, Variant::Reduced, 0).expect("Q_CQM1 base");
     let base_full = LrpCqm::build(inst, Variant::Full, 0).expect("Q_CQM2 base");
 
-    let quantum: Vec<MethodRow> = [
+    let quantum: Vec<(MethodRow, Option<MethodTrace>)> = [
         (Variant::Reduced, k1, "Q_CQM1_k1"),
         (Variant::Reduced, k2, "Q_CQM1_k2"),
         (Variant::Full, k1, "Q_CQM2_k1"),
@@ -50,22 +75,48 @@ pub fn run_paper_methods(inst: &Instance, cfg: &HarnessConfig, label: &str) -> C
         // Warm starts: every classical plan that fits the budget (the
         // quantum method filters them again defensively).
         let seeds = vec![greedy_plan.clone(), kk_plan.clone(), proact_plan.clone()];
-        let method = cfg.quantum_seeded(inst, variant, k, name, seeds);
+        let mut method = cfg.quantum_seeded(inst, variant, k, name, seeds);
+        let sink = tracing.then(|| Arc::new(MemorySink::new()));
+        if let Some(sink) = &sink {
+            method.solver = method
+                .solver
+                .to_builder()
+                .sink(Arc::clone(sink) as Arc<dyn TraceSink>)
+                .build()
+                .expect("attaching a sink keeps the config valid");
+        }
         let base = match variant {
             Variant::Reduced => &base_reduced,
             Variant::Full => &base_full,
         };
-        run_method_with_base(inst, &method, base)
+        let row = run_method_with_base(inst, &method, base);
+        let trace = sink
+            .and_then(|s| s.take().into_iter().next())
+            .map(|solve| MethodTrace {
+                method: name.to_string(),
+                solve,
+            });
+        (row, trace)
     })
     .collect();
 
     let mut rows = vec![greedy, kk, proact];
-    rows.extend(quantum);
-    CaseResult {
+    let mut methods = Vec::new();
+    for (row, trace) in quantum {
+        rows.push(row);
+        methods.extend(trace);
+    }
+    let case = CaseResult {
         label: label.to_string(),
         baseline_r_imb: inst.stats().imbalance_ratio,
         rows,
-    }
+    };
+    let trace = tracing.then(|| CaseTrace {
+        label: label.to_string(),
+        methods,
+        sim: None,
+    });
+    (case, trace)
 }
 
 /// Fig. 3 + Table II: five imbalance levels, 8 nodes × 50 MxM tasks.
@@ -123,6 +174,21 @@ pub fn samoa_case(cfg: &HarnessConfig) -> ExperimentResult {
         title: "Realistic use case: sam(oa)2 oscillating lake (32 nodes x 208 tasks)".into(),
         cases: vec![case],
     }
+}
+
+/// [`samoa_case`] with telemetry: the same Table V run with every quantum
+/// solve traced, returning the per-method [`CaseTrace`] alongside the rows.
+pub fn samoa_case_traced(cfg: &HarnessConfig) -> (ExperimentResult, CaseTrace) {
+    let inst = samoa_mini::scenario::table5_instance();
+    let (mut case, trace) = run_paper_methods_traced(&inst, cfg, "sam(oa)2 oscillating lake");
+    let baseline = run_method(&inst, &qlrb_core::algorithm::NoOp);
+    case.rows.insert(0, baseline);
+    let exp = ExperimentResult {
+        id: "table5".into(),
+        title: "Realistic use case: sam(oa)2 oscillating lake (32 nodes x 208 tasks)".into(),
+        cases: vec![case],
+    };
+    (exp, trace)
 }
 
 /// A second realistic case beyond the paper: the tsunami wave (sam(oa)²'s

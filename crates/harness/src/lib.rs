@@ -23,9 +23,13 @@ pub mod config;
 pub mod extensions;
 pub mod figures;
 pub mod groups;
+pub mod manifest;
 pub mod rows;
 pub mod runtime;
 
 pub use config::HarnessConfig;
-pub use groups::{samoa_case, table1, varied_imbalance, varied_procs, varied_tasks};
+pub use groups::{
+    samoa_case, samoa_case_traced, table1, varied_imbalance, varied_procs, varied_tasks,
+};
+pub use manifest::assemble_manifest;
 pub use rows::{CaseResult, ExperimentResult, MethodRow};

@@ -1,0 +1,77 @@
+//! Run-manifest assembly: turns per-case solve traces into the JSON
+//! artifact regeneration binaries write next to their CSV/JSON outputs.
+//!
+//! The heavy lifting (schema, validation, medians) lives in
+//! [`qlrb_telemetry`]; this module just stamps the harness configuration
+//! into the snapshot and finalizes the timing table.
+
+use qlrb_telemetry::{CaseTrace, ConfigSnapshot, HarnessSnapshot, RunManifest};
+
+use crate::config::HarnessConfig;
+
+/// Builds a finalized manifest for a harness run: `command` names the entry
+/// point (e.g. `"regen_table5"`), the config snapshot records the harness
+/// knobs, and the timing medians are computed across `cases`.
+pub fn assemble_manifest(command: &str, cfg: &HarnessConfig, cases: Vec<CaseTrace>) -> RunManifest {
+    let mut manifest = RunManifest::new(
+        command,
+        ConfigSnapshot {
+            harness: Some(HarnessSnapshot {
+                seed: cfg.seed,
+                reads: cfg.reads,
+                sweeps: cfg.sweeps,
+            }),
+            ..Default::default()
+        },
+    );
+    manifest.cases = cases;
+    manifest.finalize();
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::run_paper_methods_traced;
+    use qlrb_core::Instance;
+
+    #[test]
+    fn traced_run_assembles_a_valid_manifest() {
+        let cfg = HarnessConfig::fast();
+        let inst = Instance::uniform(10, vec![1.0, 2.0, 4.0]).unwrap();
+        let (case, trace) = run_paper_methods_traced(&inst, &cfg, "t");
+        // The traced rows match the untraced runner's on everything except
+        // wall time (solve results are deterministic; clocks are not).
+        let plain = crate::groups::run_paper_methods(&inst, &cfg, "t");
+        assert_eq!(case.label, plain.label);
+        assert_eq!(case.baseline_r_imb, plain.baseline_r_imb);
+        assert_eq!(case.rows.len(), plain.rows.len());
+        for (a, b) in case.rows.iter().zip(&plain.rows) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.r_imb, b.r_imb, "{}", a.algorithm);
+            assert_eq!(a.speedup, b.speedup, "{}", a.algorithm);
+            assert_eq!(a.migrated, b.migrated, "{}", a.algorithm);
+            assert_eq!(a.qpu_ms, b.qpu_ms, "{}", a.algorithm);
+        }
+        // Every quantum method contributed a solve trace with all its reads.
+        assert_eq!(trace.methods.len(), 4);
+        for m in &trace.methods {
+            assert!(m.method.starts_with("Q_CQM"), "{}", m.method);
+            assert_eq!(m.solve.reads.len(), m.solve.requested_reads);
+            assert!(!m.solve.waves.is_empty());
+        }
+
+        let manifest = assemble_manifest("test_run", &cfg, vec![trace]);
+        manifest.validate().expect("manifest is well-formed");
+        assert_eq!(manifest.timing.len(), 4);
+        assert_eq!(
+            manifest.config.harness.map(|h| h.seed),
+            Some(cfg.seed),
+            "harness knobs are snapshotted"
+        );
+        // Timing medians match the recorded solves (single case → the
+        // median is the one solve's cpu time).
+        let back = RunManifest::from_json(&manifest.to_json_pretty()).unwrap();
+        assert_eq!(back, manifest);
+    }
+}

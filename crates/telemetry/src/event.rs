@@ -1,0 +1,199 @@
+//! The trace vocabulary: serde-serializable records describing one hybrid
+//! solve, from individual portfolio reads up to the whole sample set.
+//!
+//! All records measure energies against the *penalized* surrogate the
+//! samplers walk (that is what acceptance decisions see), except
+//! `objective`/`violation`/`feasible`, which the solver backfills after
+//! rescoring each state against the original CQM.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything observed about one independent portfolio read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadRecord {
+    /// Read index within the solve (also selects the portfolio member).
+    pub read: usize,
+    /// Sampler that produced the state (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`).
+    /// May differ from the configured rotation when a read degrades (e.g.
+    /// tabu falling back to SA on very wide models).
+    pub sampler: String,
+    /// The read's derived RNG seed (master seed + read offset).
+    pub seed: u64,
+    /// Whether the read started from a caller-provided candidate state
+    /// rather than a random one.
+    pub seeded: bool,
+    /// Penalized energy entering the anneal (after seed repair, if any).
+    pub initial_energy: f64,
+    /// Best penalized energy the sampler itself reported.
+    pub best_energy: f64,
+    /// Penalized energy after polish and repair, i.e. of the returned state.
+    pub final_energy: f64,
+    /// Sweeps (or tabu iterations) the sampler performed.
+    pub sweeps: u64,
+    /// Move proposals examined (sweeps × neighbourhood size, per sampler).
+    pub proposals: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// `accepted / proposals` (0 when no proposals were made).
+    pub acceptance_rate: f64,
+    /// Feasibility-repair flips spent (seed repair + post-polish repair).
+    pub repair_steps: u64,
+    /// Improving flips applied by the greedy polish passes.
+    pub polish_flips: u64,
+    /// Total penalized-energy reduction achieved by polish.
+    pub polish_improvement: f64,
+    /// Objective of the final state against the original CQM.
+    pub objective: f64,
+    /// True total violation of the final state (0 iff feasible).
+    pub violation: f64,
+    /// Feasibility verdict against the original CQM.
+    pub feasible: bool,
+    /// Wall-clock time of the whole read, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Timing of one parallel wave of reads (the unit the `time_limit` budget
+/// is charged against; an unbudgeted solve is a single wave).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveRecord {
+    /// Wave index within the solve.
+    pub wave: usize,
+    /// First read index launched in this wave.
+    pub first_read: usize,
+    /// Number of reads the wave ran.
+    pub reads: usize,
+    /// Wall-clock time of the wave, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The CPU / simulated-QPU split of one solve, mirroring
+/// `SolverTiming` in milliseconds for JSON consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingRecord {
+    /// Classical wall time of the whole hybrid solve.
+    pub cpu_ms: f64,
+    /// Deterministic simulated QPU access charge.
+    pub qpu_ms: f64,
+}
+
+/// Reporting surface of a sample set: the stable aggregate both the run
+/// manifest and `bench_summary` consume instead of poking fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SampleSetSummary {
+    /// Total samples returned.
+    pub num_samples: usize,
+    /// Samples satisfying every constraint.
+    pub num_feasible: usize,
+    /// Lowest objective over all samples (feasible or not).
+    pub best_objective: Option<f64>,
+    /// Highest objective over all samples.
+    pub worst_objective: Option<f64>,
+    /// `worst_objective − best_objective`: the energy spread of the set.
+    pub objective_spread: Option<f64>,
+    /// Lowest objective among feasible samples, if any.
+    pub best_feasible_objective: Option<f64>,
+}
+
+/// Snapshot of a solver configuration, recorded into manifests so a trace
+/// is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Independent reads per solve.
+    pub num_reads: usize,
+    /// Sweeps per SA read (other samplers derive their budgets from this).
+    pub sweeps: usize,
+    /// Trotter replicas for SQA reads.
+    pub sqa_replicas: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Penalty headroom multiplier.
+    pub penalty_factor: f64,
+    /// Inequality penalty scheme, rendered as text.
+    pub style: String,
+    /// Portfolio rotation, rendered as sampler names.
+    pub samplers: Vec<String>,
+    /// Width guard above which tabu reads fall back to SA.
+    pub tabu_max_vars: usize,
+    /// Greedy polish sweep budget.
+    pub polish_sweeps: usize,
+    /// Feasibility-repair step budget.
+    pub repair_steps: usize,
+    /// Wall-clock budget in milliseconds, if one was set.
+    pub time_limit_ms: Option<f64>,
+}
+
+/// One `solve()` call: its reads, waves, timing split, and sample-set
+/// summary. This is the unit a [`crate::sink::TraceSink`] receives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveRecord {
+    /// Variable width of the original CQM.
+    pub num_vars: usize,
+    /// Width after presolve fixing and penalty compilation (slack bits
+    /// included); 0 for trivial solves that never compile.
+    pub compiled_vars: usize,
+    /// Reads the configuration asked for (a `time_limit` may truncate).
+    pub requested_reads: usize,
+    /// Per-read trace records, in read order.
+    pub reads: Vec<ReadRecord>,
+    /// Per-wave timings, in launch order.
+    pub waves: Vec<WaveRecord>,
+    /// CPU / simulated-QPU split of the solve.
+    pub timing: TimingRecord,
+    /// Aggregate over the returned sample set.
+    pub summary: SampleSetSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_record_round_trips_through_json() {
+        let rec = SolveRecord {
+            num_vars: 6,
+            compiled_vars: 8,
+            requested_reads: 2,
+            reads: vec![ReadRecord {
+                read: 0,
+                sampler: "SA".into(),
+                seed: 42,
+                seeded: false,
+                initial_energy: 10.0,
+                best_energy: 1.0,
+                final_energy: 0.5,
+                sweeps: 100,
+                proposals: 600,
+                accepted: 150,
+                acceptance_rate: 0.25,
+                repair_steps: 3,
+                polish_flips: 2,
+                polish_improvement: 0.5,
+                objective: 0.5,
+                violation: 0.0,
+                feasible: true,
+                wall_ms: 1.25,
+            }],
+            waves: vec![WaveRecord {
+                wave: 0,
+                first_read: 0,
+                reads: 2,
+                wall_ms: 2.5,
+            }],
+            timing: TimingRecord {
+                cpu_ms: 2.5,
+                qpu_ms: 0.0,
+            },
+            summary: SampleSetSummary {
+                num_samples: 2,
+                num_feasible: 1,
+                best_objective: Some(0.5),
+                worst_objective: Some(3.0),
+                objective_spread: Some(2.5),
+                best_feasible_objective: Some(0.5),
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: SolveRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}

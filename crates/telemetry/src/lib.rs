@@ -1,0 +1,45 @@
+//! # qlrb-telemetry — solve instrumentation and run manifests
+//!
+//! The paper's central evidence is *where time and quality come from* inside
+//! the hybrid solve: Table V splits CPU wall time from QPU access time, and
+//! each configuration is run several times with the best kept. This crate is
+//! the substrate that makes those quantities observable in our stand-in
+//! solver without perturbing it:
+//!
+//! * [`event`] — the trace vocabulary: one [`event::ReadRecord`] per
+//!   portfolio read (sampler kind, seed, energies, acceptance rate, repair
+//!   and polish statistics, wall time), [`event::WaveRecord`] per parallel
+//!   wave, and one [`event::SolveRecord`] per `solve()` call tying them to
+//!   the CPU/QPU split and a [`event::SampleSetSummary`].
+//! * [`observer`] — [`observer::ReadObserver`], the lightweight per-read
+//!   accumulator the samplers report through. A disabled observer is a
+//!   no-op shell (an `Option` that is `None`), so the hot path pays one
+//!   branch per *read*, not per sweep.
+//! * [`sink`] — [`sink::TraceSink`], the trait-object sink a solver owns.
+//!   [`sink::NoopSink`] (the default) reports `enabled() == false`, which
+//!   gates all record construction; [`sink::MemorySink`] buffers records
+//!   for harnesses and the CLI.
+//! * [`manifest`] — [`manifest::RunManifest`], the JSON run manifest the
+//!   harness and CLI write next to their CSV outputs: command line,
+//!   `git describe`, per-case solve traces, simulator counters, and
+//!   Table-V-style per-method timing medians.
+//!
+//! Determinism contract: nothing in this crate draws randomness or feeds
+//! back into a solve. Observers only *read* statistics the samplers already
+//! computed, so a recording sink and [`sink::NoopSink`] produce byte-identical
+//! sample sets (asserted by the workspace determinism tests).
+
+pub mod event;
+pub mod manifest;
+pub mod observer;
+pub mod sink;
+
+pub use event::{
+    ReadRecord, SampleSetSummary, SolveRecord, SolverConfig, TimingRecord, WaveRecord,
+};
+pub use manifest::{
+    median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,
+    SimConfigSnapshot, SimCounters, MANIFEST_SCHEMA_VERSION,
+};
+pub use observer::ReadObserver;
+pub use sink::{MemorySink, NoopSink, TraceSink};

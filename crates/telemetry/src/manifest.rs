@@ -1,0 +1,487 @@
+//! The JSON run manifest: the self-describing artifact a harness or CLI run
+//! writes next to its CSV outputs.
+//!
+//! A manifest ties together *what ran* (command line, solver/harness
+//! configuration, `git describe` of the working tree), *what it produced*
+//! (per-case, per-method [`SolveRecord`] traces and simulator counters),
+//! and the Table-V-style headline: per-method timing medians across cases.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{SolveRecord, SolverConfig};
+
+/// Current manifest schema version; bump on breaking layout changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// What configuration produced the run: whichever of the three layers were
+/// in play (a CLI rebalance records a solver config; a harness run records
+/// its knobs; a simulate run records the simulator parameters).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfigSnapshot {
+    /// Hybrid solver configuration, when a quantum method ran.
+    pub solver: Option<SolverConfig>,
+    /// Harness knobs, when the run came from the experiment harness.
+    pub harness: Option<HarnessSnapshot>,
+    /// Simulator parameters, when `chameleon-sim` ran.
+    pub sim: Option<SimConfigSnapshot>,
+}
+
+/// The harness-level knobs (`HarnessConfig`) behind a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarnessSnapshot {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reads per quantum solve.
+    pub reads: usize,
+    /// Sweeps per read.
+    pub sweeps: usize,
+}
+
+/// The `chameleon-sim` parameters behind a simulated case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfigSnapshot {
+    /// Compute threads per node.
+    pub comp_threads: usize,
+    /// Per-message latency.
+    pub comm_latency: f64,
+    /// Transfer cost per unit load.
+    pub comm_cost_per_load: f64,
+    /// BSP iterations simulated.
+    pub iterations: usize,
+}
+
+/// One rebalancing method's trace within a case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodTrace {
+    /// Method label as the harness prints it (e.g. `"Q_CQM1"`).
+    pub method: String,
+    /// The hybrid solve trace behind the method's row.
+    pub solve: SolveRecord,
+}
+
+/// Message and synchronisation counters from one `chameleon-sim` run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// BSP iterations simulated.
+    pub iterations: usize,
+    /// Migration messages sent (one per task-bundle transfer edge).
+    pub migration_messages: usize,
+    /// Matching receives completed.
+    pub recv_messages: usize,
+    /// Total time processes spent blocked at iteration barriers.
+    pub barrier_wait_total: f64,
+    /// Worst single barrier wait.
+    pub barrier_wait_max: f64,
+    /// Total time communication links were busy.
+    pub comm_busy_total: f64,
+    /// End-to-end makespan of the simulated run.
+    pub total_makespan: f64,
+}
+
+/// One workload case: its solver traces and, when the case was simulated,
+/// the runtime counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseTrace {
+    /// Case label (e.g. `"sam(oa)2-osc"` or an input path).
+    pub label: String,
+    /// Solve traces, one per traced method (classical methods have none).
+    pub methods: Vec<MethodTrace>,
+    /// Simulator counters, when the case was run through `chameleon-sim`.
+    pub sim: Option<SimCounters>,
+}
+
+/// Per-method timing medians across cases — the manifest's Table-V row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodTiming {
+    /// Method label.
+    pub method: String,
+    /// Number of solves the medians cover.
+    pub solves: usize,
+    /// Median classical wall time, milliseconds.
+    pub median_cpu_ms: f64,
+    /// Median simulated QPU access time, milliseconds.
+    pub median_qpu_ms: f64,
+}
+
+/// The run manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest schema version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// The command (or harness entry point) that produced the run.
+    pub command: String,
+    /// Unix timestamp of manifest creation, seconds.
+    pub generated_unix_s: u64,
+    /// `git describe --tags --always --dirty` of the source tree, when the
+    /// run happened inside a git checkout.
+    pub git_describe: Option<String>,
+    /// Configuration snapshot (solver config, harness knobs, sim params).
+    pub config: ConfigSnapshot,
+    /// Traced cases, in run order.
+    pub cases: Vec<CaseTrace>,
+    /// Per-method timing medians over all cases (see [`RunManifest::finalize`]).
+    pub timing: Vec<MethodTiming>,
+}
+
+/// Median of a slice in milliseconds; even lengths average the middle pair.
+/// Empty input yields 0.
+pub fn median_ms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// `git describe --tags --always --dirty`, if the current directory is a
+/// git checkout with git on the PATH.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!text.is_empty()).then_some(text)
+}
+
+impl RunManifest {
+    /// A manifest stamped with the current time and git description.
+    pub fn new(command: &str, config: ConfigSnapshot) -> Self {
+        let generated_unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Self {
+            schema: MANIFEST_SCHEMA_VERSION,
+            command: command.to_string(),
+            generated_unix_s,
+            git_describe: git_describe(),
+            config,
+            cases: Vec::new(),
+            timing: Vec::new(),
+        }
+    }
+
+    /// Recomputes [`RunManifest::timing`] from the current cases: for every
+    /// method, the median CPU and QPU milliseconds across its solves, in
+    /// order of first appearance.
+    pub fn finalize(&mut self) {
+        let mut methods: Vec<String> = Vec::new();
+        for case in &self.cases {
+            for m in &case.methods {
+                if !methods.contains(&m.method) {
+                    methods.push(m.method.clone());
+                }
+            }
+        }
+        self.timing = methods
+            .into_iter()
+            .map(|method| {
+                let (mut cpu, mut qpu) = (Vec::new(), Vec::new());
+                for case in &self.cases {
+                    for m in case.methods.iter().filter(|m| m.method == method) {
+                        cpu.push(m.solve.timing.cpu_ms);
+                        qpu.push(m.solve.timing.qpu_ms);
+                    }
+                }
+                MethodTiming {
+                    method,
+                    solves: cpu.len(),
+                    median_cpu_ms: median_ms(&cpu),
+                    median_qpu_ms: median_ms(&qpu),
+                }
+            })
+            .collect();
+    }
+
+    /// Structural validation: schema version, non-empty identity, at least
+    /// one case with content, well-formed read records, and timing rows
+    /// covering every traced method. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} (expected {MANIFEST_SCHEMA_VERSION})",
+                self.schema
+            ));
+        }
+        if self.command.is_empty() {
+            return Err("empty command".into());
+        }
+        if self.cases.is_empty() {
+            return Err("no cases recorded".into());
+        }
+        for case in &self.cases {
+            if case.label.is_empty() {
+                return Err("case with empty label".into());
+            }
+            if case.methods.is_empty() && case.sim.is_none() {
+                return Err(format!("case '{}' has neither methods nor sim", case.label));
+            }
+            for m in &case.methods {
+                let s = &m.solve;
+                if s.reads.len() > s.requested_reads && s.requested_reads > 0 {
+                    return Err(format!(
+                        "case '{}' method '{}': {} reads exceed the {} requested",
+                        case.label,
+                        m.method,
+                        s.reads.len(),
+                        s.requested_reads
+                    ));
+                }
+                for r in &s.reads {
+                    if r.sampler.is_empty() {
+                        return Err(format!(
+                            "case '{}' method '{}' read {}: empty sampler",
+                            case.label, m.method, r.read
+                        ));
+                    }
+                    if !r.wall_ms.is_finite() || r.wall_ms < 0.0 {
+                        return Err(format!(
+                            "case '{}' method '{}' read {}: bad wall_ms {}",
+                            case.label, m.method, r.read, r.wall_ms
+                        ));
+                    }
+                    if !(0.0..=1.0).contains(&r.acceptance_rate) {
+                        return Err(format!(
+                            "case '{}' method '{}' read {}: acceptance_rate {} out of [0,1]",
+                            case.label, m.method, r.read, r.acceptance_rate
+                        ));
+                    }
+                }
+            }
+        }
+        for case in &self.cases {
+            for m in &case.methods {
+                if !self.timing.iter().any(|t| t.method == m.method) {
+                    return Err(format!(
+                        "method '{}' missing from timing medians (manifest not finalized?)",
+                        m.method
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parses a manifest from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("manifest parse error: {e}"))
+    }
+
+    /// Human-readable digest: one header line, the timing medians, then a
+    /// per-case breakdown of reads, feasibility, and simulator counters.
+    pub fn summarize(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let git = self.git_describe.as_deref().unwrap_or("unknown");
+        let _ = writeln!(out, "run manifest: {} (source {git})", self.command);
+        let _ = writeln!(
+            out,
+            "  {} case(s), schema v{}, generated at unix {}",
+            self.cases.len(),
+            self.schema,
+            self.generated_unix_s
+        );
+        for t in &self.timing {
+            let _ = writeln!(
+                out,
+                "  {:<10} median cpu {:>9.1} ms   qpu {:>6.1} ms   ({} solve{})",
+                t.method,
+                t.median_cpu_ms,
+                t.median_qpu_ms,
+                t.solves,
+                if t.solves == 1 { "" } else { "s" }
+            );
+        }
+        for case in &self.cases {
+            let _ = writeln!(out, "  case {}", case.label);
+            for m in &case.methods {
+                let s = &m.solve;
+                let mean_accept = if s.reads.is_empty() {
+                    0.0
+                } else {
+                    s.reads.iter().map(|r| r.acceptance_rate).sum::<f64>() / s.reads.len() as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<10} {} read(s), {}/{} feasible, mean acceptance {:.3}, \
+                     repair {} step(s), cpu {:.1} ms",
+                    m.method,
+                    s.reads.len(),
+                    s.summary.num_feasible,
+                    s.summary.num_samples,
+                    mean_accept,
+                    s.reads.iter().map(|r| r.repair_steps).sum::<u64>(),
+                    s.timing.cpu_ms
+                );
+            }
+            if let Some(sim) = &case.sim {
+                let _ = writeln!(
+                    out,
+                    "    sim: {} iteration(s), {} migration msg(s), barrier wait {:.2} \
+                     (max {:.2}), comm busy {:.2}, makespan {:.2}",
+                    sim.iterations,
+                    sim.migration_messages,
+                    sim.barrier_wait_total,
+                    sim.barrier_wait_max,
+                    sim.comm_busy_total,
+                    sim.total_makespan
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleSetSummary, TimingRecord};
+
+    fn solve_record(cpu_ms: f64) -> SolveRecord {
+        SolveRecord {
+            num_vars: 4,
+            compiled_vars: 4,
+            requested_reads: 1,
+            reads: vec![crate::event::ReadRecord {
+                read: 0,
+                sampler: "SA".into(),
+                seed: 1,
+                seeded: false,
+                initial_energy: 1.0,
+                best_energy: 0.0,
+                final_energy: 0.0,
+                sweeps: 10,
+                proposals: 40,
+                accepted: 10,
+                acceptance_rate: 0.25,
+                repair_steps: 0,
+                polish_flips: 0,
+                polish_improvement: 0.0,
+                objective: 0.0,
+                violation: 0.0,
+                feasible: true,
+                wall_ms: cpu_ms,
+            }],
+            waves: vec![],
+            timing: TimingRecord {
+                cpu_ms,
+                qpu_ms: 0.0,
+            },
+            summary: SampleSetSummary {
+                num_samples: 1,
+                num_feasible: 1,
+                best_objective: Some(0.0),
+                worst_objective: Some(0.0),
+                objective_spread: Some(0.0),
+                best_feasible_objective: Some(0.0),
+            },
+        }
+    }
+
+    fn manifest_with_cases() -> RunManifest {
+        let mut m = RunManifest::new(
+            "test-run",
+            ConfigSnapshot {
+                harness: Some(HarnessSnapshot {
+                    seed: 7,
+                    reads: 1,
+                    sweeps: 100,
+                }),
+                ..Default::default()
+            },
+        );
+        for (label, cpu) in [("case-a", 10.0), ("case-b", 30.0), ("case-c", 20.0)] {
+            m.cases.push(CaseTrace {
+                label: label.into(),
+                methods: vec![MethodTrace {
+                    method: "Q_CQM1".into(),
+                    solve: solve_record(cpu),
+                }],
+                sim: None,
+            });
+        }
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median_ms(&[]), 0.0);
+        assert_eq!(median_ms(&[5.0]), 5.0);
+        assert_eq!(median_ms(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_ms(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn finalize_computes_per_method_medians() {
+        let m = manifest_with_cases();
+        assert_eq!(m.timing.len(), 1);
+        assert_eq!(m.timing[0].method, "Q_CQM1");
+        assert_eq!(m.timing[0].solves, 3);
+        assert_eq!(m.timing[0].median_cpu_ms, 20.0);
+    }
+
+    #[test]
+    fn validates_and_round_trips() {
+        let m = manifest_with_cases();
+        m.validate().expect("well-formed manifest");
+        let back = RunManifest::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(back, m);
+        assert!(back.summarize().contains("Q_CQM1"));
+    }
+
+    #[test]
+    fn rejects_unfinalized_and_malformed() {
+        let mut m = manifest_with_cases();
+        m.timing.clear();
+        assert!(m.validate().unwrap_err().contains("timing"));
+
+        let mut m = manifest_with_cases();
+        m.cases.clear();
+        assert!(m.validate().unwrap_err().contains("no cases"));
+
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.reads[0].acceptance_rate = 1.5;
+        assert!(m.validate().unwrap_err().contains("acceptance_rate"));
+
+        let mut m = manifest_with_cases();
+        m.schema = 999;
+        assert!(m.validate().unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn sim_only_case_is_valid() {
+        let mut m = RunManifest::new("simulate", ConfigSnapshot::default());
+        m.cases.push(CaseTrace {
+            label: "baseline".into(),
+            methods: vec![],
+            sim: Some(SimCounters {
+                iterations: 4,
+                migration_messages: 7,
+                recv_messages: 7,
+                barrier_wait_total: 1.25,
+                barrier_wait_max: 0.5,
+                comm_busy_total: 2.0,
+                total_makespan: 40.0,
+            }),
+        });
+        m.finalize();
+        m.validate().expect("sim-only manifest is valid");
+        assert!(m.summarize().contains("migration msg"));
+    }
+}

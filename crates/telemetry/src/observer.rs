@@ -1,0 +1,167 @@
+//! The per-read accumulator samplers report through.
+
+use std::time::Instant;
+
+use crate::event::ReadRecord;
+
+/// Collects one [`ReadRecord`] as a read progresses through seed repair →
+/// anneal → polish → repair.
+///
+/// A disabled observer holds no record and every report is a cheap no-op,
+/// so the solver can pass one down unconditionally; cost is a branch per
+/// *call site* (a handful per read), never per sweep. Observers only read
+/// statistics the samplers already produced — they draw no randomness and
+/// influence nothing, preserving the determinism contract.
+#[derive(Debug)]
+pub struct ReadObserver {
+    rec: Option<Box<ReadRecord>>,
+    started: Option<Instant>,
+}
+
+impl ReadObserver {
+    /// An observer that records nothing (the `NoopSink` path).
+    pub fn disabled() -> Self {
+        Self {
+            rec: None,
+            started: None,
+        }
+    }
+
+    /// An observer that will produce a [`ReadRecord`] for read `read` with
+    /// derived RNG seed `seed`; `seeded` marks reads started from a
+    /// caller-provided candidate state. Wall-time measurement starts now.
+    pub fn recording(read: usize, seed: u64, seeded: bool) -> Self {
+        Self {
+            rec: Some(Box::new(ReadRecord {
+                read,
+                sampler: String::new(),
+                seed,
+                seeded,
+                initial_energy: 0.0,
+                best_energy: 0.0,
+                final_energy: 0.0,
+                sweeps: 0,
+                proposals: 0,
+                accepted: 0,
+                acceptance_rate: 0.0,
+                repair_steps: 0,
+                polish_flips: 0,
+                polish_improvement: 0.0,
+                objective: 0.0,
+                violation: 0.0,
+                feasible: false,
+                wall_ms: 0.0,
+            })),
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Whether this observer is collecting a record.
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Reports the anneal stage: which sampler ran, the penalized energy it
+    /// started from, the best it reached, and its proposal statistics.
+    pub fn anneal(
+        &mut self,
+        sampler: &str,
+        initial_energy: f64,
+        best_energy: f64,
+        sweeps: u64,
+        proposals: u64,
+        accepted: u64,
+    ) {
+        if let Some(rec) = &mut self.rec {
+            rec.sampler = sampler.to_string();
+            rec.initial_energy = initial_energy;
+            rec.best_energy = best_energy;
+            rec.sweeps = sweeps;
+            rec.proposals = proposals;
+            rec.accepted = accepted;
+        }
+    }
+
+    /// Adds feasibility-repair flips (called for seed repair and again for
+    /// post-polish repair; contributions accumulate).
+    pub fn repair(&mut self, steps: u64) {
+        if let Some(rec) = &mut self.rec {
+            rec.repair_steps += steps;
+        }
+    }
+
+    /// Adds a greedy-polish pass: flips applied and penalized-energy
+    /// reduction achieved (accumulates across passes).
+    pub fn polish(&mut self, flips: u64, improvement: f64) {
+        if let Some(rec) = &mut self.rec {
+            rec.polish_flips += flips;
+            rec.polish_improvement += improvement;
+        }
+    }
+
+    /// Finalizes the record: stamps the final penalized energy, derives the
+    /// acceptance rate, and stops the wall clock. Returns `None` for a
+    /// disabled observer.
+    ///
+    /// `objective` / `violation` / `feasible` stay zeroed here — the solver
+    /// backfills them once states are rescored against the original CQM.
+    pub fn finish(self, final_energy: f64) -> Option<ReadRecord> {
+        let started = self.started;
+        self.rec.map(|mut rec| {
+            rec.final_energy = final_energy;
+            rec.acceptance_rate = if rec.proposals > 0 {
+                rec.accepted as f64 / rec.proposals as f64
+            } else {
+                0.0
+            };
+            rec.wall_ms = started.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+            *rec
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_reports_nothing() {
+        let mut obs = ReadObserver::disabled();
+        assert!(!obs.is_recording());
+        obs.anneal("SA", 1.0, 0.0, 10, 100, 50);
+        obs.repair(5);
+        obs.polish(2, 0.5);
+        assert!(obs.finish(0.0).is_none());
+    }
+
+    #[test]
+    fn recording_observer_accumulates_stages() {
+        let mut obs = ReadObserver::recording(3, 99, true);
+        assert!(obs.is_recording());
+        obs.repair(4); // seed repair
+        obs.anneal("SQA", 12.0, 2.0, 50, 200, 80);
+        obs.polish(3, 1.0);
+        obs.repair(2); // post-polish repair
+        obs.polish(1, 0.25);
+        let rec = obs
+            .finish(0.75)
+            .expect("recording observer yields a record");
+        assert_eq!(rec.read, 3);
+        assert_eq!(rec.seed, 99);
+        assert!(rec.seeded);
+        assert_eq!(rec.sampler, "SQA");
+        assert_eq!(rec.repair_steps, 6);
+        assert_eq!(rec.polish_flips, 4);
+        assert!((rec.polish_improvement - 1.25).abs() < 1e-12);
+        assert!((rec.acceptance_rate - 0.4).abs() < 1e-12);
+        assert_eq!(rec.final_energy, 0.75);
+        assert!(rec.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn zero_proposals_has_zero_acceptance_rate() {
+        let obs = ReadObserver::recording(0, 0, false);
+        let rec = obs.finish(0.0).unwrap();
+        assert_eq!(rec.acceptance_rate, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Trace sinks: where finished [`SolveRecord`]s go.
+
+use std::sync::Mutex;
+
+use crate::event::SolveRecord;
+
+/// Destination for solve traces, owned by a solver as a trait object.
+///
+/// `enabled()` is the zero-cost gate: the solver checks it once per solve
+/// and skips *all* record construction (observers, wave timers, summaries)
+/// when it is `false`. Sinks must be `Send + Sync` — solves record from the
+/// thread that called `solve()`, but solvers are shared across rayon
+/// workers by the harness.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Whether records should be collected at all. Defaults to `true`;
+    /// [`NoopSink`] overrides it to `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one finished solve trace.
+    fn record_solve(&self, record: SolveRecord);
+}
+
+/// The default sink: reports disabled, drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_solve(&self, _record: SolveRecord) {}
+}
+
+/// Buffers solve records in memory for later collection — the sink the
+/// harness and CLI attach when `--telemetry` is requested.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    solves: Mutex<Vec<SolveRecord>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records buffered so far.
+    pub fn len(&self) -> usize {
+        self.solves.lock().expect("sink lock").len()
+    }
+
+    /// Whether no records have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns all buffered records, in arrival order.
+    pub fn take(&self) -> Vec<SolveRecord> {
+        std::mem::take(&mut *self.solves.lock().expect("sink lock"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record_solve(&self, record: SolveRecord) {
+        self.solves.lock().expect("sink lock").push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleSetSummary, TimingRecord};
+
+    fn dummy_record() -> SolveRecord {
+        SolveRecord {
+            num_vars: 1,
+            compiled_vars: 1,
+            requested_reads: 1,
+            reads: vec![],
+            waves: vec![],
+            timing: TimingRecord::default(),
+            summary: SampleSetSummary::default(),
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.record_solve(dummy_record()); // must not panic
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        assert!(sink.enabled());
+        assert!(sink.is_empty());
+        sink.record_solve(dummy_record());
+        sink.record_solve(dummy_record());
+        assert_eq!(sink.len(), 2);
+        let drained = sink.take();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+}

@@ -59,7 +59,12 @@ fn main() {
         (PenaltyStyle::Slack, "slack-variables"),
     ] {
         let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
-        method.solver.style = style;
+        method.solver = method
+            .solver
+            .to_builder()
+            .style(style)
+            .build()
+            .expect("style override keeps the config valid");
         let out = method.rebalance(&inst).expect("solve");
         let after = inst.stats_after(&out.matrix);
         println!(
@@ -77,7 +82,12 @@ fn main() {
         (SamplerKind::Tabu, "Tabu"),
     ] {
         let mut method = cfg.quantum(&inst, Variant::Reduced, k, name);
-        method.solver.samplers = vec![kind];
+        method.solver = method
+            .solver
+            .to_builder()
+            .samplers(vec![kind])
+            .build()
+            .expect("single-sampler portfolio is valid");
         let out = method.rebalance(&inst).expect("solve");
         let after = inst.stats_after(&out.matrix);
         println!(

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Smoke-checks the telemetry pipeline end to end: runs a tiny rebalance
+# with --telemetry, validates the emitted manifest through `trace
+# summarize`, and asserts the per-read records are present.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+input="$workdir/input.csv"
+plan="$workdir/plan.csv"
+manifest="$workdir/trace.json"
+
+cargo run --release --quiet --bin qlrb -- \
+  generate --workload samoa --out "$input"
+cargo run --release --quiet --bin qlrb -- \
+  rebalance --input "$input" --method qcqm1 --k 16 --seed 7 \
+  --out "$plan" --telemetry "$manifest"
+
+test -s "$manifest" || { echo "manifest not written" >&2; exit 1; }
+grep -q '"schema"' "$manifest" || { echo "manifest missing schema" >&2; exit 1; }
+grep -q '"sampler"' "$manifest" || { echo "manifest has no read records" >&2; exit 1; }
+
+# `trace summarize` re-validates the manifest structurally before printing.
+summary="$(cargo run --release --quiet --bin qlrb -- \
+  trace summarize --input "$manifest")"
+echo "$summary"
+echo "$summary" | grep -q "run manifest: qlrb rebalance" \
+  || { echo "summary missing header" >&2; exit 1; }
+echo "$summary" | grep -q "read(s)" \
+  || { echo "summary missing read counts" >&2; exit 1; }
+
+echo "check_manifest: OK"

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the lint gate (see ROADMAP.md):
-# format check, clippy with warnings denied, release build, tests.
+# format check, clippy with warnings denied, docs with warnings denied,
+# release build, tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release
 cargo test -q

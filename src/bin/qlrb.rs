@@ -10,17 +10,26 @@
 //! qlrb simulate --input input.csv --plan plan.csv --threads 4 --iterations 8
 //! ```
 //!
-//! Argument parsing is hand-rolled (four subcommands, a handful of flags) to
+//! `rebalance` and `simulate` accept `--telemetry <FILE>` to write a JSON
+//! run manifest (per-read solve records / simulator counters, see
+//! DESIGN.md §Observability); `qlrb trace summarize --input <FILE>` prints
+//! a human-readable digest of such a manifest.
+//!
+//! Argument parsing is hand-rolled (five subcommands, a handful of flags) to
 //! keep the dependency set identical to the library's.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use qlrb::classical::{BranchAndBound, Greedy, GreedyRelabeled, KarmarkarKarp, ProactLb};
 use qlrb::core::cqm::Variant;
 use qlrb::core::io::{read_input_csv, read_output_csv, write_input_csv, write_output_csv};
 use qlrb::core::{Instance, QuantumRebalancer, Rebalancer};
 use qlrb::runtime::{render_gantt, simulate, SimConfig, SimInput};
+use qlrb::telemetry::{
+    CaseTrace, ConfigSnapshot, MemorySink, MethodTrace, RunManifest, SimConfigSnapshot, TraceSink,
+};
 
 const USAGE: &str = "\
 qlrb — hybrid classical-quantum load rebalancing for HPC
@@ -29,9 +38,11 @@ USAGE:
   qlrb generate  --workload <NAME> [--case <LABEL>] [--out <FILE>]
   qlrb info      --input <FILE>
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
-                 [--seed <S>] [--out <FILE>]
+                 [--seed <S>] [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
+                 [--telemetry <FILE>]
+  qlrb trace summarize --input <FILE>
 
 WORKLOADS:
   mxm-imbalance   the paper's Fig. 3 group (pass --case Imb.0 … Imb.4)
@@ -43,6 +54,11 @@ WORKLOADS:
 METHODS:
   greedy | kk | proactlb | greedy-relabel | bnb | qcqm1 | qcqm2
   (qcqm* default to k = ProactLB's migration count unless --k/--k-frac)
+
+TELEMETRY:
+  --telemetry writes a JSON run manifest next to the normal output:
+  per-read solve records for rebalance (quantum methods only), message and
+  barrier-wait counters for simulate. Inspect with `qlrb trace summarize`.
 ";
 
 fn main() -> ExitCode {
@@ -74,6 +90,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
+    if cmd == "trace" {
+        return trace_cmd(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "generate" => generate(&flags),
@@ -180,7 +199,16 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
         (None, None) => None,
     };
 
-    let quantum = |variant: Variant| -> Result<Box<dyn Rebalancer>, String> {
+    // Telemetry: quantum solves record per-read traces into this sink; the
+    // manifest is assembled after the solve. Classical methods have no
+    // solver loop to trace, so the flag is rejected for them up front.
+    let telemetry = flags.get("telemetry").cloned();
+    let sink = telemetry.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let mut solver_config = None;
+
+    let quantum = |variant: Variant,
+                   solver_config: &mut Option<qlrb::telemetry::SolverConfig>|
+     -> Result<Box<dyn Rebalancer>, String> {
         let k = match k {
             Some(k) => k,
             None => ProactLb
@@ -190,7 +218,12 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
                 .num_migrated(),
         };
         let mut q = QuantumRebalancer::new(variant, k);
-        q.solver.seed = seed;
+        let mut builder = q.solver.to_builder().seed(seed);
+        if let Some(sink) = &sink {
+            builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
+        }
+        q.solver = builder.build().map_err(|e| e.to_string())?;
+        *solver_config = Some(q.solver.config());
         Ok(Box::new(q))
     };
     let method: Box<dyn Rebalancer> = match method_name {
@@ -199,10 +232,16 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
         "proactlb" => Box::new(ProactLb),
         "greedy-relabel" => Box::new(GreedyRelabeled),
         "bnb" => Box::new(BranchAndBound::default()),
-        "qcqm1" => quantum(Variant::Reduced)?,
-        "qcqm2" => quantum(Variant::Full)?,
+        "qcqm1" => quantum(Variant::Reduced, &mut solver_config)?,
+        "qcqm2" => quantum(Variant::Full, &mut solver_config)?,
         other => return Err(format!("unknown method '{other}'")),
     };
+    if telemetry.is_some() && solver_config.is_none() {
+        return Err(format!(
+            "--telemetry traces the hybrid solver; method '{method_name}' is classical \
+             (use qcqm1 or qcqm2)"
+        ));
+    }
 
     let out = method.rebalance(&inst).map_err(|e| e.to_string())?;
     out.matrix.validate(&inst).map_err(|e| e.to_string())?;
@@ -227,6 +266,34 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("wrote {path}");
         }
         None => print!("{csv}"),
+    }
+
+    if let (Some(path), Some(sink)) = (&telemetry, &sink) {
+        let solve = sink
+            .take()
+            .into_iter()
+            .next()
+            .ok_or("solver recorded no trace")?;
+        let mut manifest = RunManifest::new(
+            "qlrb rebalance",
+            ConfigSnapshot {
+                solver: solver_config,
+                ..Default::default()
+            },
+        );
+        manifest.cases.push(CaseTrace {
+            label: required(flags, "input")?.to_string(),
+            methods: vec![MethodTrace {
+                method: method.name(),
+                solve,
+            }],
+            sim: None,
+        });
+        manifest.finalize();
+        manifest.validate()?;
+        std::fs::write(path, manifest.to_json_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote telemetry manifest {path}");
     }
     Ok(())
 }
@@ -272,5 +339,49 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         rebalanced.speedup_over(&baseline),
         cfg.iterations
     );
+
+    if let Some(path) = flags.get("telemetry") {
+        let mut manifest = RunManifest::new(
+            "qlrb simulate",
+            ConfigSnapshot {
+                sim: Some(SimConfigSnapshot {
+                    comp_threads: cfg.comp_threads,
+                    comm_latency: cfg.comm_latency,
+                    comm_cost_per_load: cfg.comm_cost_per_load,
+                    iterations: cfg.iterations,
+                }),
+                ..Default::default()
+            },
+        );
+        for (label, report) in [("baseline", &baseline), ("rebalanced", &rebalanced)] {
+            manifest.cases.push(CaseTrace {
+                label: label.to_string(),
+                methods: vec![],
+                sim: Some(report.counters()),
+            });
+        }
+        manifest.finalize();
+        manifest.validate()?;
+        std::fs::write(path, manifest.to_json_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote telemetry manifest {path}");
+    }
+    Ok(())
+}
+
+/// `qlrb trace summarize --input <FILE>` — digest a telemetry manifest.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err("trace needs an action (summarize)".into());
+    };
+    if action != "summarize" {
+        return Err(format!("unknown trace action '{action}' (try summarize)"));
+    }
+    let flags = parse_flags(&args[1..])?;
+    let path = required(&flags, "input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let manifest = RunManifest::from_json(&text)?;
+    manifest.validate()?;
+    print!("{}", manifest.summarize());
     Ok(())
 }

@@ -22,6 +22,8 @@
 //!   sam(oa)².
 //! * [`harness`] — the runners that regenerate every table and figure of the
 //!   paper's evaluation section.
+//! * [`telemetry`] — the observability layer: per-read solve traces, trace
+//!   sinks, and the JSON run manifest (see DESIGN.md §Observability).
 //!
 //! ## Quickstart
 //!
@@ -45,5 +47,6 @@ pub use qlrb_classical as classical;
 pub use qlrb_core as core;
 pub use qlrb_harness as harness;
 pub use qlrb_model as model;
+pub use qlrb_telemetry as telemetry;
 pub use qlrb_workloads as workloads;
 pub use samoa_mini as samoa;

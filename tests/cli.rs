@@ -90,6 +90,121 @@ fn full_artifact_workflow() {
 }
 
 #[test]
+fn telemetry_manifest_workflow() {
+    let input = tmpfile("tele-input.csv");
+    let plan = tmpfile("tele-plan.csv");
+    let rebalance_manifest = tmpfile("tele-rebalance.json");
+    let simulate_manifest = tmpfile("tele-simulate.json");
+
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "samoa",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // rebalance with telemetry: a quantum method records per-read traces.
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "qcqm1",
+        "--k",
+        "16",
+        "--seed",
+        "7",
+        "--out",
+        plan.to_str().unwrap(),
+        "--telemetry",
+        rebalance_manifest.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote telemetry manifest"), "{stdout}");
+    let manifest = qlrb::telemetry::RunManifest::from_json(
+        &std::fs::read_to_string(&rebalance_manifest).unwrap(),
+    )
+    .expect("manifest parses");
+    manifest.validate().expect("manifest validates");
+    assert_eq!(manifest.command, "qlrb rebalance");
+    let solve = &manifest.cases[0].methods[0].solve;
+    assert_eq!(solve.reads.len(), solve.requested_reads);
+    assert!(manifest.config.solver.as_ref().unwrap().seed == 7);
+
+    // simulate with telemetry: baseline + rebalanced counters.
+    let out = qlrb(&[
+        "simulate",
+        "--input",
+        input.to_str().unwrap(),
+        "--plan",
+        plan.to_str().unwrap(),
+        "--iterations",
+        "3",
+        "--telemetry",
+        simulate_manifest.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest = qlrb::telemetry::RunManifest::from_json(
+        &std::fs::read_to_string(&simulate_manifest).unwrap(),
+    )
+    .unwrap();
+    manifest.validate().unwrap();
+    let labels: Vec<&str> = manifest.cases.iter().map(|c| c.label.as_str()).collect();
+    assert_eq!(labels, vec!["baseline", "rebalanced"]);
+    for case in &manifest.cases {
+        let sim = case.sim.as_ref().expect("sim counters present");
+        assert_eq!(sim.iterations, 3);
+    }
+
+    // trace summarize digests both manifests.
+    for path in [&rebalance_manifest, &simulate_manifest] {
+        let out = qlrb(&["trace", "summarize", "--input", path.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("run manifest"), "{stdout}");
+    }
+}
+
+#[test]
+fn telemetry_rejects_classical_methods() {
+    let input = tmpfile("tele-classical.csv");
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "samoa",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "greedy",
+        "--telemetry",
+        tmpfile("nope.json").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("classical"));
+}
+
+#[test]
 fn generate_to_stdout_roundtrips() {
     let out = qlrb(&["generate", "--workload", "samoa"]);
     assert!(out.status.success());

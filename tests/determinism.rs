@@ -71,13 +71,13 @@ fn solver_sample_sets_are_byte_identical_per_seed() {
     let shared = qlrb::core::LrpCqm::build(&inst, Variant::Reduced, 0)
         .unwrap()
         .with_budget(k);
-    let solver = qlrb::anneal::HybridCqmSolver {
-        num_reads: 6,
-        sweeps: 200,
-        seed: 77,
-        time_limit: None,
-        ..Default::default()
-    };
+    let solver = qlrb::anneal::HybridCqmSolver::builder()
+        .num_reads(6)
+        .sweeps(200)
+        .seed(77)
+        .time_limit(None)
+        .build()
+        .unwrap();
     let a = solver.solve(&fresh.cqm, &[]);
     let b = solver.solve(&fresh.cqm, &[]);
     let c = solver.solve(&shared.cqm, &[]);

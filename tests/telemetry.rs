@@ -1,0 +1,223 @@
+//! Integration tests of the telemetry layer: the manifest JSON schema
+//! (golden key-path file), serde round-trips, and the zero-perturbation
+//! guarantee — recording a solve must not change its results.
+//!
+//! Regenerate the golden schema after intentional layout changes with
+//! `QLRB_UPDATE_GOLDEN=1 cargo test --test telemetry`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qlrb::anneal::{HybridCqmSolver, SamplerKind};
+use qlrb::core::cqm::{LrpCqm, Variant};
+use qlrb::core::Instance;
+use qlrb::telemetry::{
+    CaseTrace, ConfigSnapshot, HarnessSnapshot, MemorySink, MethodTrace, RunManifest,
+    SimConfigSnapshot, SimCounters, SolveRecord, SolverConfig, TraceSink,
+};
+
+fn small_lrp() -> LrpCqm {
+    let inst = Instance::uniform(10, vec![1.0, 2.0, 4.0]).unwrap();
+    LrpCqm::build(&inst, Variant::Reduced, 8).unwrap()
+}
+
+/// One real traced solve exercising all four samplers, the time-limit wave
+/// path, and seeded reads.
+fn traced_solve() -> (SolveRecord, SolverConfig) {
+    let lrp = small_lrp();
+    let sink = Arc::new(MemorySink::new());
+    let solver = HybridCqmSolver::builder()
+        .num_reads(4)
+        .sweeps(150)
+        .seed(9)
+        .samplers(vec![
+            SamplerKind::Sa,
+            SamplerKind::Sqa,
+            SamplerKind::Tabu,
+            SamplerKind::Pt,
+        ])
+        .time_limit(Duration::from_secs(120))
+        .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .build()
+        .unwrap();
+    let config = solver.config();
+    let _ = solver.solve(&lrp.cqm, &[]);
+    let solve = sink.take().into_iter().next().expect("one solve recorded");
+    (solve, config)
+}
+
+/// A manifest populating every layer of the schema: solver + harness + sim
+/// config, a method-traced case, and a sim-counter case.
+fn full_manifest() -> RunManifest {
+    let (solve, config) = traced_solve();
+    let mut manifest = RunManifest::new(
+        "telemetry-test",
+        ConfigSnapshot {
+            solver: Some(config),
+            harness: Some(HarnessSnapshot {
+                seed: 9,
+                reads: 4,
+                sweeps: 150,
+            }),
+            sim: Some(SimConfigSnapshot {
+                comp_threads: 4,
+                comm_latency: 0.01,
+                comm_cost_per_load: 0.05,
+                iterations: 2,
+            }),
+        },
+    );
+    manifest.cases.push(CaseTrace {
+        label: "traced-case".into(),
+        methods: vec![MethodTrace {
+            method: "Q_CQM1".into(),
+            solve,
+        }],
+        sim: None,
+    });
+    manifest.cases.push(CaseTrace {
+        label: "sim-case".into(),
+        methods: vec![],
+        sim: Some(SimCounters {
+            iterations: 2,
+            migration_messages: 5,
+            recv_messages: 5,
+            barrier_wait_total: 1.5,
+            barrier_wait_max: 0.75,
+            comm_busy_total: 2.0,
+            total_makespan: 30.0,
+        }),
+    });
+    manifest.finalize();
+    manifest
+}
+
+/// Collects every key path in a serialized value; sequences contribute
+/// `path[]` so array layouts are part of the schema.
+fn collect_paths(v: &serde::Value, prefix: &str, out: &mut BTreeSet<String>) {
+    match v {
+        serde::Value::Map(entries) => {
+            for (key, val) in entries {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                out.insert(path.clone());
+                collect_paths(val, &path, out);
+            }
+        }
+        serde::Value::Seq(items) => {
+            let path = format!("{prefix}[]");
+            for item in items {
+                collect_paths(item, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("manifest_schema.txt")
+}
+
+#[test]
+fn manifest_schema_matches_golden() {
+    let manifest = full_manifest();
+    manifest.validate().expect("test manifest is well-formed");
+    let mut paths = BTreeSet::new();
+    collect_paths(&serde::Serialize::to_value(&manifest), "", &mut paths);
+    let mut actual = String::new();
+    for p in &paths {
+        actual.push_str(p);
+        actual.push('\n');
+    }
+
+    let golden = golden_path();
+    if std::env::var("QLRB_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden.display()));
+    assert_eq!(
+        actual, expected,
+        "manifest key paths diverged from tests/golden/manifest_schema.txt; \
+         if the change is intentional, regenerate with QLRB_UPDATE_GOLDEN=1 \
+         and bump MANIFEST_SCHEMA_VERSION"
+    );
+}
+
+#[test]
+fn manifest_round_trips_through_json() {
+    let manifest = full_manifest();
+    let back = RunManifest::from_json(&manifest.to_json_pretty()).unwrap();
+    assert_eq!(back, manifest);
+    back.validate().expect("round-tripped manifest validates");
+    let digest = back.summarize();
+    assert!(digest.contains("Q_CQM1"), "{digest}");
+    assert!(digest.contains("migration msg"), "{digest}");
+}
+
+#[test]
+fn recording_sink_is_observationally_free() {
+    // The zero-cost-when-disabled contract's stronger sibling: a recording
+    // sink must not perturb the solver either. Same seed, with and without
+    // telemetry — the sample sets must match byte for byte.
+    let lrp = small_lrp();
+    let quiet = HybridCqmSolver::builder()
+        .num_reads(6)
+        .sweeps(200)
+        .seed(41)
+        .build()
+        .unwrap();
+    let sink = Arc::new(MemorySink::new());
+    let traced = quiet
+        .to_builder()
+        .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .build()
+        .unwrap();
+
+    let a = quiet.solve(&lrp.cqm, &[]);
+    let b = traced.solve(&lrp.cqm, &[]);
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (sa, sb) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(sa.state, sb.state);
+        assert_eq!(sa.objective, sb.objective);
+        assert_eq!(sa.violation, sb.violation);
+        assert_eq!(sa.feasible, sb.feasible);
+        assert_eq!(sa.sampler, sb.sampler);
+    }
+    assert_eq!(a.summary(), b.summary());
+
+    // And the trace is complete: every requested read reported.
+    let solve = sink.take().into_iter().next().unwrap();
+    assert_eq!(solve.reads.len(), 6);
+    assert_eq!(solve.summary, a.summary());
+}
+
+#[test]
+fn trace_covers_every_portfolio_member() {
+    let (solve, config) = traced_solve();
+    assert_eq!(solve.reads.len(), 4);
+    let samplers: BTreeSet<&str> = solve.reads.iter().map(|r| r.sampler.as_str()).collect();
+    assert_eq!(
+        samplers.into_iter().collect::<Vec<_>>(),
+        vec!["PT", "SA", "SQA", "TABU"]
+    );
+    assert_eq!(config.samplers, vec!["SA", "SQA", "TABU", "PT"]);
+    assert_eq!(config.time_limit_ms, Some(120_000.0));
+    for read in &solve.reads {
+        assert!(read.wall_ms >= 0.0);
+        assert!((0.0..=1.0).contains(&read.acceptance_rate), "{read:?}");
+        assert!(read.proposals > 0);
+    }
+    // The wave structure accounts for every read exactly once.
+    let wave_reads: usize = solve.waves.iter().map(|w| w.reads).sum();
+    assert_eq!(wave_reads, solve.reads.len());
+}
