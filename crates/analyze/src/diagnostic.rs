@@ -1,0 +1,361 @@
+//! The diagnostic vocabulary: rules, severities, spans, and reports.
+
+use serde::Serialize;
+
+/// Stable identifiers for the model-lint rules.
+///
+/// The kebab-case form returned by [`RuleId::as_str`] is the contract with
+/// JSON consumers and allowlist comments; the enum variants are the contract
+/// with Rust callers. Adding a rule means extending both [`RuleId::ALL`] and
+/// the rule catalogue in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// A variable that appears in neither the objective nor any constraint:
+    /// a wasted qubit the sampler flips to no effect.
+    UnreferencedVariable,
+    /// A variable with objective pressure but no constraint coupling.
+    UnconstrainedVariable,
+    /// A one-hot equality group with at most one member (forced or empty).
+    DegenerateOneHot,
+    /// A variable shared between two one-hot equality groups.
+    OverlappingOneHot,
+    /// A penalty weight below the provable coefficient bound for the chosen
+    /// penalty style: samplers can profitably trade feasibility for
+    /// objective.
+    PenaltyBelowBound,
+    /// A coefficient whose CSR penalty expansion is non-finite or leaves the
+    /// exactly-representable f64 integer range.
+    CoefficientOverflow,
+    /// A constraint no binary assignment can satisfy (or a model presolve
+    /// proves infeasible).
+    InfeasibleBound,
+    /// A QUBO adjacency row listing the same neighbour twice.
+    DuplicateQuadratic,
+    /// A QUBO adjacency that is not symmetric.
+    AsymmetricQuadratic,
+    /// A built LRP model whose variable count disagrees with the
+    /// logical-qubit accounting.
+    QubitBudgetMismatch,
+}
+
+impl RuleId {
+    /// Every rule, in catalogue order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::UnreferencedVariable,
+        RuleId::UnconstrainedVariable,
+        RuleId::DegenerateOneHot,
+        RuleId::OverlappingOneHot,
+        RuleId::PenaltyBelowBound,
+        RuleId::CoefficientOverflow,
+        RuleId::InfeasibleBound,
+        RuleId::DuplicateQuadratic,
+        RuleId::AsymmetricQuadratic,
+        RuleId::QubitBudgetMismatch,
+    ];
+
+    /// The stable kebab-case identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::UnreferencedVariable => "unreferenced-variable",
+            RuleId::UnconstrainedVariable => "unconstrained-variable",
+            RuleId::DegenerateOneHot => "degenerate-one-hot",
+            RuleId::OverlappingOneHot => "overlapping-one-hot",
+            RuleId::PenaltyBelowBound => "penalty-below-bound",
+            RuleId::CoefficientOverflow => "coefficient-overflow",
+            RuleId::InfeasibleBound => "infeasible-bound",
+            RuleId::DuplicateQuadratic => "duplicate-quadratic",
+            RuleId::AsymmetricQuadratic => "asymmetric-quadratic",
+            RuleId::QubitBudgetMismatch => "qubit-budget-mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a finding is.
+///
+/// Errors mark models a solver should refuse under `LintMode::Deny`:
+/// solving them wastes the read budget or silently corrupts energies.
+/// Warnings mark wasteful-but-solvable structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Wasteful or suspicious, but the solve is still meaningful.
+    Warning,
+    /// The solve would be meaningless or numerically unsound.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON and rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the model a finding points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The model as a whole.
+    Model,
+    /// A binary variable, by dense index.
+    Var(u32),
+    /// A constraint, by index and label.
+    Constraint {
+        /// Position in `Cqm::constraints`.
+        index: usize,
+        /// The constraint's label.
+        label: String,
+    },
+    /// A squared objective term, by index.
+    Term(usize),
+    /// A quadratic coupling between two variables.
+    Pair(u32, u32),
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Span::Model => write!(f, "model"),
+            Span::Var(v) => write!(f, "var {v}"),
+            Span::Constraint { index, label } => write!(f, "constraint {index} ({label})"),
+            Span::Term(t) => write!(f, "objective term {t}"),
+            Span::Pair(u, v) => write!(f, "coupling ({u}, {v})"),
+        }
+    }
+}
+
+/// One finding: which rule fired, how bad it is, where, and what to do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when a concrete fix is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// One-line rendering, `rustc`-style:
+    /// `error[penalty-below-bound] constraint 3 (capacity[0]): ... help: ...`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.span, self.message
+        );
+        if let Some(s) = &self.suggestion {
+            out.push_str("\n    help: ");
+            out.push_str(s);
+        }
+        out
+    }
+}
+
+/// The flat, serde-friendly form of a [`Diagnostic`] (the offline JSON
+/// layer handles plain structs; typed enums are rendered to strings here).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct DiagnosticJson {
+    rule: String,
+    severity: String,
+    span: String,
+    message: String,
+    suggestion: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct ReportJson {
+    errors: usize,
+    warnings: usize,
+    diagnostics: Vec<DiagnosticJson>,
+}
+
+/// An ordered collection of findings from one lint pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// The findings, in rule-catalogue then model order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn num_errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn num_warnings(&self) -> usize {
+        self.diagnostics.len() - self.num_errors()
+    }
+
+    /// Whether the pass found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.num_errors() > 0
+    }
+
+    /// Whether any finding fired under `rule`.
+    pub fn has_rule(&self, rule: RuleId) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// The machine-readable report: `{errors, warnings, diagnostics: [...]}`.
+    pub fn to_json(&self) -> String {
+        let flat = ReportJson {
+            errors: self.num_errors(),
+            warnings: self.num_warnings(),
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .map(|d| DiagnosticJson {
+                    rule: d.rule.as_str().to_string(),
+                    severity: d.severity.as_str().to_string(),
+                    span: d.span.to_string(),
+                    message: d.message.clone(),
+                    suggestion: d.suggestion.clone(),
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&flat).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Human-readable rendering, one finding per paragraph, with a summary
+    /// line; `"clean"` for an empty report.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)",
+            self.num_errors(),
+            self.num_warnings()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::PenaltyBelowBound,
+            severity: Severity::Error,
+            span: Span::Constraint {
+                index: 3,
+                label: "capacity[0]".into(),
+            },
+            message: "weight 0.5 is below the bound 12.0".into(),
+            suggestion: Some("raise the weight to at least 12.0".into()),
+        }
+    }
+
+    #[test]
+    fn rule_ids_are_unique_kebab_case() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RuleId::ALL {
+            let s = r.as_str();
+            assert!(seen.insert(s), "duplicate id {s}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{s} is not kebab-case"
+            );
+        }
+        assert_eq!(RuleId::ALL.len(), 10);
+    }
+
+    #[test]
+    fn report_counts_and_flags() {
+        let mut r = LintReport::new();
+        assert!(r.is_clean());
+        r.push(sample());
+        r.push(Diagnostic {
+            severity: Severity::Warning,
+            rule: RuleId::UnreferencedVariable,
+            span: Span::Var(7),
+            message: "unused".into(),
+            suggestion: None,
+        });
+        assert_eq!(r.num_errors(), 1);
+        assert_eq!(r.num_warnings(), 1);
+        assert!(r.has_errors());
+        assert!(r.has_rule(RuleId::PenaltyBelowBound));
+        assert!(!r.has_rule(RuleId::DuplicateQuadratic));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn render_mentions_rule_span_and_help() {
+        let text = sample().render();
+        assert!(text.contains("error[penalty-below-bound]"));
+        assert!(text.contains("constraint 3 (capacity[0])"));
+        assert!(text.contains("help: raise the weight"));
+    }
+
+    #[test]
+    fn json_is_machine_readable() {
+        let mut r = LintReport::new();
+        r.push(sample());
+        let json = r.to_json();
+        assert!(json.contains("\"penalty-below-bound\""));
+        assert!(json.contains("\"error\""));
+        assert!(json.contains("\"errors\""));
+        // Clean reports serialize to an empty diagnostics list.
+        let clean = LintReport::new().to_json();
+        assert!(clean.contains("\"diagnostics\""));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = LintReport::new();
+        a.push(sample());
+        let mut b = LintReport::new();
+        b.push(sample());
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+//! # qlrb-analyze — static analysis for LRP quadratic models
+//!
+//! Production hybrid solvers reject bad models *before* sampling: an
+//! underestimated penalty weight or a degenerate one-hot group yields
+//! "feasible-looking" QUBOs that the solver burns its whole time budget
+//! repairing. This crate is the diagnostic pass that catches those shapes
+//! ahead of the solve:
+//!
+//! * [`diagnostic`] — the vocabulary: [`RuleId`] (stable kebab-case rule
+//!   identifiers), [`Severity`], [`Span`] (variable / constraint / term /
+//!   coupling), [`Diagnostic`], and the [`LintReport`] container with
+//!   human-readable and JSON renderings.
+//! * [`model`] — the passes: [`lint_cqm`] (structure), [`lint_penalty`]
+//!   (weights vs. the provable bound for the chosen `PenaltyStyle`),
+//!   [`lint_cqm_with_penalty`] (both), and [`lint_bqm`] (QUBO adjacency
+//!   invariants).
+//!
+//! The LRP-specific entry points (qubit-budget accounting against
+//! `paper_qubit_formula`) live in `qlrb-core`, which owns the `LrpCqm`
+//! type; the solver-side wiring (`LintMode`, deny-by-default in the
+//! harness) lives in `qlrb-anneal`. The `qlrb lint` CLI subcommand and the
+//! `cargo xtask lint` source-invariant pass complete the static-analysis
+//! surface.
+//!
+//! ```
+//! use qlrb_analyze::{lint_cqm, RuleId};
+//! use qlrb_model::{Cqm, LinearExpr, Sense, Var};
+//!
+//! let mut cqm = Cqm::new(2);
+//! let mut obj = LinearExpr::new();
+//! obj.add_term(Var(0), 1.0).add_term(Var(1), 1.0);
+//! cqm.add_squared_term(obj.clone(), 1.0, 1.0);
+//! cqm.add_constraint(obj, Sense::Le, 1.0, "cap");
+//! assert!(lint_cqm(&cqm).is_clean());
+//!
+//! // An unsatisfiable bound is an error with a stable rule id.
+//! let mut bad = LinearExpr::new();
+//! bad.add_term(Var(0), 1.0);
+//! cqm.add_constraint(bad, Sense::Le, -1.0, "impossible");
+//! let report = lint_cqm(&cqm);
+//! assert!(report.has_rule(RuleId::InfeasibleBound));
+//! ```
+
+pub mod diagnostic;
+pub mod model;
+
+pub use diagnostic::{Diagnostic, LintReport, RuleId, Severity, Span};
+pub use model::{lint_bqm, lint_cqm, lint_cqm_with_penalty, lint_penalty, F64_EXACT_INT_LIMIT};

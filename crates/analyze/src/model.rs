@@ -1,0 +1,467 @@
+//! The model-lint rules over [`Cqm`] and [`BinaryQuadraticModel`].
+//!
+//! Every rule is a pure structural pass; nothing here mutates the model or
+//! draws randomness, so linting a model is free to repeat and cannot perturb
+//! a solve. The passes deliberately reuse the model layer's own arithmetic
+//! ([`LinearExpr::min_value`], [`Cqm::objective_unit_scale`], `presolve`) so
+//! the linter's verdicts stay consistent with what the evaluator and the
+//! penalty auto-scaler actually compute.
+
+use qlrb_model::bqm::BinaryQuadraticModel;
+use qlrb_model::cqm::{Cqm, Sense};
+use qlrb_model::expr::{LinearExpr, Var};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+use qlrb_model::presolve::presolve;
+
+use crate::diagnostic::{Diagnostic, LintReport, RuleId, Severity, Span};
+
+/// Largest integer magnitude f64 represents exactly (2⁵³). Penalty
+/// expansions past this lose unit resolution: a one-task migration can
+/// become invisible to the incremental flip deltas.
+pub const F64_EXACT_INT_LIMIT: f64 = 9_007_199_254_740_992.0;
+
+/// Cap on per-variable diagnostics emitted for one rule before the rest are
+/// folded into a single model-level summary finding.
+const MAX_PER_RULE: usize = 8;
+
+/// Lints the structure of a CQM: variable references, one-hot groups,
+/// coefficient magnitudes (at unit penalty weight), and satisfiability of
+/// constraint bounds (including a presolve infeasibility proof).
+pub fn lint_cqm(cqm: &Cqm) -> LintReport {
+    let mut report = LintReport::new();
+    let structurally_sound = reference_rules(cqm, &mut report);
+    one_hot_rules(cqm, &mut report);
+    overflow_rules(cqm, 1.0, 1.0, &mut report);
+    bound_rules(cqm, structurally_sound, &mut report);
+    report
+}
+
+/// [`lint_cqm`] plus the penalty-weight rules for `penalty`: coefficient
+/// magnitudes are re-checked at the actual constraint weights, and each
+/// weight is compared against the provable bound for the chosen style.
+pub fn lint_cqm_with_penalty(cqm: &Cqm, penalty: &PenaltyConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let structurally_sound = reference_rules(cqm, &mut report);
+    one_hot_rules(cqm, &mut report);
+    overflow_rules(cqm, penalty.eq_weight, penalty.le_weight, &mut report);
+    bound_rules(cqm, structurally_sound, &mut report);
+    report.merge(lint_penalty(cqm, penalty));
+    report
+}
+
+/// Whether every expression references only variables inside the model
+/// width — the precondition for running `presolve` (and hence a solve)
+/// without indexing out of bounds. [`lint_cqm`] reports violations as
+/// [`RuleId::InfeasibleBound`] errors; callers that want to presolve a
+/// model themselves should gate on this first.
+pub fn references_in_bounds(cqm: &Cqm) -> bool {
+    let n = cqm.num_vars();
+    let ok = |expr: &LinearExpr| expr.terms().iter().all(|&(v, _)| v.index() < n);
+    cqm.squared_terms.iter().all(|t| ok(&t.expr))
+        && ok(&cqm.linear_objective)
+        && cqm.constraints.iter().all(|c| ok(&c.expr))
+}
+
+/// Only the penalty-weight rule — used by the solver, which checks the
+/// weights it actually derived against the *presolved* model while linting
+/// the original model structurally (presolve substitutes fixed variables
+/// out of every expression, which would trip the reference rules).
+pub fn lint_penalty(cqm: &Cqm, penalty: &PenaltyConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let scale = cqm.objective_unit_scale();
+    let tol = scale * 1e-9;
+
+    if cqm.num_eq_constraints() > 0 && penalty.eq_weight + tol < scale {
+        report.push(Diagnostic {
+            rule: RuleId::PenaltyBelowBound,
+            severity: Severity::Error,
+            span: Span::Model,
+            message: format!(
+                "equality penalty weight {} is below the provable bound {scale}: a sampler \
+                 can gain more objective from one flip than the penalty charges for the \
+                 violation it causes",
+                penalty.eq_weight
+            ),
+            suggestion: Some(format!(
+                "use PenaltyConfig::auto (weight ≥ {scale}) or raise eq_weight"
+            )),
+        });
+    }
+    if cqm.num_le_constraints() > 0 {
+        // Effective unit-violation cost of the style at g = 1: plain weight
+        // for quadratic/slack penalties, weight·(λ₁ + λ₂) for unbalanced
+        // penalization (Montañez-Barrera et al. 2024).
+        let (effective, style_note) = match penalty.style {
+            PenaltyStyle::ViolationQuadratic | PenaltyStyle::Slack => (penalty.le_weight, ""),
+            PenaltyStyle::Unbalanced { l1, l2 } => (
+                penalty.le_weight * (l1 + l2),
+                " (unbalanced style: weight · (λ₁ + λ₂) at unit violation)",
+            ),
+        };
+        if effective + tol < scale {
+            report.push(Diagnostic {
+                rule: RuleId::PenaltyBelowBound,
+                severity: Severity::Error,
+                span: Span::Model,
+                message: format!(
+                    "inequality penalty {effective} is below the provable bound \
+                     {scale}{style_note}"
+                ),
+                suggestion: Some(format!(
+                    "use PenaltyConfig::auto (weight ≥ {scale}) or raise le_weight / the \
+                     unbalanced coefficients"
+                )),
+            });
+        }
+    }
+    report
+}
+
+/// Lints a QUBO: finite biases, no duplicated adjacency entries, and a
+/// symmetric adjacency. A broken adjacency cannot be built through
+/// [`BinaryQuadraticModel::add_quadratic`] (it merges and mirrors), but can
+/// arrive through deserialization or future construction paths — and an
+/// asymmetric one silently skews `flip_delta` against `energy`.
+pub fn lint_bqm(bqm: &BinaryQuadraticModel) -> LintReport {
+    let mut report = LintReport::new();
+    let n = bqm.num_vars();
+    if !bqm.offset().is_finite() {
+        report.push(non_finite(Span::Model, "offset", bqm.offset()));
+    }
+    for i in 0..n {
+        let v = Var(i as u32);
+        if !bqm.linear(v).is_finite() {
+            report.push(non_finite(
+                Span::Var(i as u32),
+                "linear bias",
+                bqm.linear(v),
+            ));
+        }
+        let row = bqm.neighbours(v);
+        for (pos, &(j, c)) in row.iter().enumerate() {
+            if !c.is_finite() {
+                report.push(non_finite(Span::Pair(i as u32, j), "coupling", c));
+            }
+            if row[..pos].iter().any(|&(j2, _)| j2 == j) {
+                report.push(Diagnostic {
+                    rule: RuleId::DuplicateQuadratic,
+                    severity: Severity::Warning,
+                    span: Span::Pair(i as u32, j),
+                    message: format!("variable {i} lists neighbour {j} more than once"),
+                    suggestion: Some("merge the duplicate couplings into one entry".into()),
+                });
+            }
+            // Symmetry: the mirror entry must exist with the same weight.
+            // Check each undirected pair once (from its lower endpoint).
+            if (i as u32) < j || j as usize >= n {
+                let back: f64 = if (j as usize) < n {
+                    bqm.neighbours(Var(j))
+                        .iter()
+                        .filter(|&&(k, _)| k == i as u32)
+                        .map(|&(_, c2)| c2)
+                        .sum()
+                } else {
+                    f64::NAN
+                };
+                let mirrored = (j as usize) < n && (back - c).abs() <= 1e-12 * (1.0 + c.abs());
+                if !mirrored {
+                    report.push(Diagnostic {
+                        rule: RuleId::AsymmetricQuadratic,
+                        severity: Severity::Error,
+                        span: Span::Pair(i as u32, j),
+                        message: format!(
+                            "coupling ({i}, {j}) = {c} has no matching mirror entry: \
+                             flip deltas and full energies will disagree"
+                        ),
+                        suggestion: Some(
+                            "store every coupling in both adjacency rows with equal weight".into(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+fn non_finite(span: Span, what: &str, value: f64) -> Diagnostic {
+    Diagnostic {
+        rule: RuleId::CoefficientOverflow,
+        severity: Severity::Error,
+        span,
+        message: format!("{what} is {value}: energies would be poisoned"),
+        suggestion: Some("replace the non-finite coefficient before solving".into()),
+    }
+}
+
+/// Reference rules: every variable should feel objective pressure *and*
+/// constraint coupling. Returns `false` when an expression references a
+/// variable beyond the model width (the later presolve pass would index out
+/// of bounds on such a model, so [`bound_rules`] skips it).
+fn reference_rules(cqm: &Cqm, report: &mut LintReport) -> bool {
+    let n = cqm.num_vars();
+    let mut in_obj = vec![false; n];
+    let mut in_con = vec![false; n];
+    let mut sound = true;
+
+    let mut mark = |expr: &LinearExpr, flags: &mut [bool], span: Span, rep: &mut LintReport| {
+        for &(v, _) in expr.terms() {
+            match flags.get_mut(v.index()) {
+                Some(f) => *f = true,
+                None => {
+                    sound = false;
+                    rep.push(Diagnostic {
+                        rule: RuleId::InfeasibleBound,
+                        severity: Severity::Error,
+                        span: span.clone(),
+                        message: format!(
+                            "references variable {} but the model has only {n} variables",
+                            v.0
+                        ),
+                        suggestion: Some("allocate the variable with add_vars first".into()),
+                    });
+                }
+            }
+        }
+    };
+
+    for (t, term) in cqm.squared_terms.iter().enumerate() {
+        mark(&term.expr, &mut in_obj, Span::Term(t), report);
+    }
+    mark(&cqm.linear_objective, &mut in_obj, Span::Model, report);
+    for (idx, c) in cqm.constraints.iter().enumerate() {
+        let span = Span::Constraint {
+            index: idx,
+            label: c.label.clone(),
+        };
+        mark(&c.expr, &mut in_con, span, report);
+    }
+
+    emit_per_var(
+        report,
+        (0..n).filter(|&v| !in_obj[v] && !in_con[v]),
+        RuleId::UnreferencedVariable,
+        "appears in neither the objective nor any constraint: a wasted qubit the sampler \
+         flips to no effect",
+        "drop the variable or couple it into the model",
+    );
+    emit_per_var(
+        report,
+        (0..n).filter(|&v| in_obj[v] && !in_con[v]),
+        RuleId::UnconstrainedVariable,
+        "has objective pressure but no constraint coupling: its optimum is decided by \
+         sign inspection, not sampling",
+        "fix the variable to its objective-optimal value, or constrain it",
+    );
+    sound
+}
+
+/// Emits up to [`MAX_PER_RULE`] per-variable diagnostics, then one summary.
+fn emit_per_var(
+    report: &mut LintReport,
+    vars: impl Iterator<Item = usize>,
+    rule: RuleId,
+    message: &str,
+    suggestion: &str,
+) {
+    let vars: Vec<usize> = vars.collect();
+    for &v in vars.iter().take(MAX_PER_RULE) {
+        report.push(Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            span: Span::Var(v as u32),
+            message: format!("variable {v} {message}"),
+            suggestion: Some(suggestion.into()),
+        });
+    }
+    if vars.len() > MAX_PER_RULE {
+        report.push(Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            span: Span::Model,
+            message: format!("… and {} more variables", vars.len() - MAX_PER_RULE),
+            suggestion: None,
+        });
+    }
+}
+
+/// Whether a constraint is a one-hot group: `Σ x_i = 1` with unit
+/// coefficients and no constant part.
+fn one_hot_members(c: &qlrb_model::cqm::Constraint) -> Option<&[(Var, f64)]> {
+    let unit = c.sense == Sense::Eq
+        && (c.rhs - 1.0).abs() < 1e-9
+        && c.expr.constant_part().abs() < 1e-9
+        && c.expr
+            .terms()
+            .iter()
+            .all(|&(_, co)| (co - 1.0).abs() < 1e-9);
+    unit.then(|| c.expr.terms())
+}
+
+/// One-hot group rules: degenerate (≤ 1 member) and overlapping groups.
+fn one_hot_rules(cqm: &Cqm, report: &mut LintReport) {
+    // var index → first one-hot constraint index that contains it.
+    let mut first_group: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (idx, c) in cqm.constraints.iter().enumerate() {
+        let Some(members) = one_hot_members(c) else {
+            continue;
+        };
+        if members.len() == 1 {
+            report.push(Diagnostic {
+                rule: RuleId::DegenerateOneHot,
+                severity: Severity::Warning,
+                span: Span::Constraint {
+                    index: idx,
+                    label: c.label.clone(),
+                },
+                message: format!(
+                    "one-hot group has a single member (variable {}): the constraint \
+                     forces it to 1 and burns a penalty term doing so",
+                    members[0].0 .0
+                ),
+                suggestion: Some(
+                    "fix the variable and drop the constraint (presolve would)".into(),
+                ),
+            });
+        }
+        for &(v, _) in members {
+            match first_group.get(&v.0) {
+                None => {
+                    first_group.insert(v.0, idx);
+                }
+                Some(&prev) => {
+                    report.push(Diagnostic {
+                        rule: RuleId::OverlappingOneHot,
+                        severity: Severity::Warning,
+                        span: Span::Var(v.0),
+                        message: format!(
+                            "variable {} belongs to one-hot groups '{}' and '{}': the \
+                             groups are coupled and cannot be independently satisfied by \
+                             local moves",
+                            v.0, cqm.constraints[prev].label, c.label
+                        ),
+                        suggestion: Some(
+                            "restructure the encoding so each variable selects for one group"
+                                .into(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Coefficient-magnitude rules at the given penalty weights: non-finite
+/// inputs are errors; expansions past [`F64_EXACT_INT_LIMIT`] warn that
+/// unit-level objective differences fall below f64 resolution.
+fn overflow_rules(cqm: &Cqm, eq_weight: f64, le_weight: f64, report: &mut LintReport) {
+    let check = |expr: &LinearExpr, weight: f64, shift: f64, span: Span, rep: &mut LintReport| {
+        let finite = expr.terms().iter().all(|&(_, c)| c.is_finite())
+            && expr.constant_part().is_finite()
+            && shift.is_finite()
+            && weight.is_finite();
+        if !finite {
+            rep.push(Diagnostic {
+                rule: RuleId::CoefficientOverflow,
+                severity: Severity::Error,
+                span,
+                message: "a coefficient, constant, target, or weight is not finite".into(),
+                suggestion: Some("replace the non-finite value before compiling".into()),
+            });
+            return;
+        }
+        // Largest intermediate the CSR evaluator can form for this
+        // expression: weight · (|range bound| + max |coeff|)², covering both
+        // the squared energy term and its single-flip delta.
+        let lo = expr.min_value() - shift;
+        let hi = expr.max_value() - shift;
+        let bound = lo.abs().max(hi.abs()) + expr.max_abs_coeff();
+        let worst = weight * bound * bound;
+        if !worst.is_finite() || worst > F64_EXACT_INT_LIMIT {
+            rep.push(Diagnostic {
+                rule: RuleId::CoefficientOverflow,
+                severity: if worst.is_finite() {
+                    Severity::Warning
+                } else {
+                    Severity::Error
+                },
+                span,
+                message: format!(
+                    "penalty expansion can reach {worst:e}, beyond the exactly-representable \
+                     f64 integer range ({F64_EXACT_INT_LIMIT:e}): unit-sized objective \
+                     differences become invisible to flip deltas"
+                ),
+                suggestion: Some("rescale weights or coefficients toward unit magnitude".into()),
+            });
+        }
+    };
+
+    for (t, term) in cqm.squared_terms.iter().enumerate() {
+        check(&term.expr, term.weight, term.target, Span::Term(t), report);
+    }
+    check(&cqm.linear_objective, 1.0, 0.0, Span::Model, report);
+    for (idx, c) in cqm.constraints.iter().enumerate() {
+        let weight = match c.sense {
+            Sense::Eq => eq_weight,
+            Sense::Le => le_weight,
+        };
+        let span = Span::Constraint {
+            index: idx,
+            label: c.label.clone(),
+        };
+        check(&c.expr, weight, c.rhs, span, report);
+    }
+}
+
+/// Bound rules: constraints no binary assignment can satisfy, plus a
+/// whole-model infeasibility proof from presolve.
+fn bound_rules(cqm: &Cqm, structurally_sound: bool, report: &mut LintReport) {
+    let mut constraint_flagged = false;
+    for (idx, c) in cqm.constraints.iter().enumerate() {
+        if !c.rhs.is_finite() {
+            continue; // already reported by the overflow pass
+        }
+        let tol = 1e-9 * (1.0 + c.rhs.abs());
+        let (lo, hi) = (c.expr.min_value(), c.expr.max_value());
+        let problem = match c.sense {
+            Sense::Le if lo > c.rhs + tol => Some(format!(
+                "minimum value {lo} already exceeds the bound {}",
+                c.rhs
+            )),
+            Sense::Eq if lo > c.rhs + tol => {
+                Some(format!("minimum value {lo} exceeds the required {}", c.rhs))
+            }
+            Sense::Eq if hi < c.rhs - tol => Some(format!(
+                "maximum value {hi} cannot reach the required {}",
+                c.rhs
+            )),
+            _ => None,
+        };
+        if let Some(message) = problem {
+            constraint_flagged = true;
+            report.push(Diagnostic {
+                rule: RuleId::InfeasibleBound,
+                severity: Severity::Error,
+                span: Span::Constraint {
+                    index: idx,
+                    label: c.label.clone(),
+                },
+                message: format!("no binary assignment satisfies this constraint: {message}"),
+                suggestion: Some("fix the bound or drop the constraint".into()),
+            });
+        }
+    }
+    // A model can be infeasible without any single constraint being
+    // unsatisfiable; presolve's fixing rounds prove many such cases.
+    if structurally_sound && !constraint_flagged && presolve(cqm).infeasible {
+        report.push(Diagnostic {
+            rule: RuleId::InfeasibleBound,
+            severity: Severity::Error,
+            span: Span::Model,
+            message: "presolve proves the constraint system infeasible: every sample will \
+                      violate something and the solve degenerates to penalty repair"
+                .into(),
+            suggestion: Some("loosen the conflicting constraints".into()),
+        });
+    }
+}

@@ -1,0 +1,239 @@
+//! One deliberately-broken model per lint rule, asserting the exact rule id
+//! fires — plus clean-model baselines proving the rules stay quiet on
+//! well-formed inputs. (The `qubit-budget-mismatch` rule needs `LrpCqm` and
+//! is exercised from `qlrb-core`'s test suite instead.)
+
+use qlrb_analyze::{lint_bqm, lint_cqm, lint_cqm_with_penalty, lint_penalty, RuleId, Severity};
+use qlrb_model::bqm::BinaryQuadraticModel;
+use qlrb_model::cqm::{Cqm, Sense};
+use qlrb_model::expr::{LinearExpr, Var};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+
+fn expr(terms: &[(u32, f64)]) -> LinearExpr {
+    let mut e = LinearExpr::new();
+    for &(v, c) in terms {
+        e.add_term(Var(v), c);
+    }
+    e
+}
+
+/// A small well-formed model: objective over both vars, both constrained.
+fn clean_model() -> Cqm {
+    let mut cqm = Cqm::new(2);
+    let sum = expr(&[(0, 1.0), (1, 1.0)]);
+    cqm.add_squared_term(sum.clone(), 1.0, 1.0);
+    cqm.add_constraint(sum, Sense::Le, 1.0, "cap");
+    cqm
+}
+
+#[test]
+fn clean_model_is_clean() {
+    let report = lint_cqm(&clean_model());
+    assert!(
+        report.is_clean(),
+        "unexpected findings:\n{}",
+        report.render()
+    );
+    let auto = PenaltyConfig::auto(&clean_model(), 2.0, PenaltyStyle::default());
+    assert!(lint_cqm_with_penalty(&clean_model(), &auto).is_clean());
+}
+
+#[test]
+fn unreferenced_variable_fires() {
+    let mut cqm = Cqm::new(3); // var 2 never mentioned
+    let sum = expr(&[(0, 1.0), (1, 1.0)]);
+    cqm.add_squared_term(sum.clone(), 1.0, 1.0);
+    cqm.add_constraint(sum, Sense::Le, 1.0, "cap");
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::UnreferencedVariable));
+    assert!(!report.has_errors(), "wasted qubits are warnings");
+}
+
+#[test]
+fn unconstrained_variable_fires() {
+    let mut cqm = Cqm::new(2);
+    cqm.add_squared_term(expr(&[(0, 1.0), (1, 1.0)]), 1.0, 1.0);
+    cqm.add_constraint(expr(&[(0, 1.0)]), Sense::Le, 1.0, "cap0"); // var 1 unconstrained
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::UnconstrainedVariable));
+    assert!(!report.has_rule(RuleId::UnreferencedVariable));
+}
+
+#[test]
+fn degenerate_one_hot_fires() {
+    let mut cqm = clean_model();
+    cqm.add_constraint(expr(&[(0, 1.0)]), Sense::Eq, 1.0, "pick[0]");
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::DegenerateOneHot));
+}
+
+#[test]
+fn overlapping_one_hot_fires() {
+    let mut cqm = Cqm::new(3);
+    cqm.add_squared_term(expr(&[(0, 1.0), (1, 1.0), (2, 1.0)]), 1.0, 1.0);
+    cqm.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Eq, 1.0, "pick[a]");
+    cqm.add_constraint(expr(&[(0, 1.0), (2, 1.0)]), Sense::Eq, 1.0, "pick[b]");
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::OverlappingOneHot));
+    // Disjoint groups must not fire.
+    let mut ok = Cqm::new(4);
+    ok.add_squared_term(expr(&[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]), 1.0, 1.0);
+    ok.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Eq, 1.0, "pick[a]");
+    ok.add_constraint(expr(&[(2, 1.0), (3, 1.0)]), Sense::Eq, 1.0, "pick[b]");
+    assert!(!lint_cqm(&ok).has_rule(RuleId::OverlappingOneHot));
+}
+
+#[test]
+fn penalty_below_bound_fires() {
+    let cqm = clean_model();
+    let scale = cqm.objective_unit_scale();
+    let weak = PenaltyConfig::uniform(scale / 2.0, PenaltyStyle::default());
+    let report = lint_cqm_with_penalty(&cqm, &weak);
+    assert!(report.has_rule(RuleId::PenaltyBelowBound));
+    assert!(report.has_errors());
+
+    // The auto-derived config always clears its own bound.
+    let auto = PenaltyConfig::auto(&cqm, 1.0, PenaltyStyle::default());
+    assert!(!lint_penalty(&cqm, &auto).has_rule(RuleId::PenaltyBelowBound));
+}
+
+#[test]
+fn penalty_bound_respects_unbalanced_style() {
+    // Unbalanced penalization charges weight·(λ₁ + λ₂) at unit violation:
+    // a weight that clears the bound for the quadratic style can still be
+    // too weak once the small λ coefficients are folded in.
+    let cqm = clean_model();
+    let scale = cqm.objective_unit_scale();
+    let style = PenaltyStyle::Unbalanced { l1: 0.2, l2: 0.05 };
+    let cfg = PenaltyConfig::uniform(scale, style);
+    assert!(lint_penalty(&cqm, &cfg).has_rule(RuleId::PenaltyBelowBound));
+    let strong = PenaltyConfig::uniform(scale * 4.0, style);
+    assert!(lint_penalty(&cqm, &strong).is_clean());
+}
+
+#[test]
+fn coefficient_overflow_fires() {
+    // Magnitude: a 2³² coefficient squares past 2⁵³.
+    let mut cqm = Cqm::new(1);
+    cqm.add_squared_term(expr(&[(0, 4.3e9)]), 0.0, 1.0);
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::CoefficientOverflow));
+
+    // Non-finite input is an error, not a warning.
+    let mut nan = Cqm::new(1);
+    nan.add_squared_term(expr(&[(0, f64::NAN)]), 0.0, 1.0);
+    let report = lint_cqm(&nan);
+    assert!(report.has_rule(RuleId::CoefficientOverflow));
+    assert!(report.has_errors());
+}
+
+#[test]
+fn infeasible_bound_fires() {
+    let mut cqm = clean_model();
+    cqm.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Le, -1.0, "impossible");
+    let report = lint_cqm(&cqm);
+    assert!(report.has_rule(RuleId::InfeasibleBound));
+    assert!(report.has_errors());
+
+    // Equality that cannot be reached from above.
+    let mut cqm = clean_model();
+    cqm.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Eq, 5.0, "unreachable");
+    assert!(lint_cqm(&cqm).has_rule(RuleId::InfeasibleBound));
+}
+
+#[test]
+fn presolve_proven_infeasibility_fires_at_model_level() {
+    // Each constraint is individually satisfiable; together they force
+    // x0 + x1 = 2 and x0 + x1 ≤ 1.
+    let mut cqm = Cqm::new(2);
+    cqm.add_squared_term(expr(&[(0, 1.0), (1, 1.0)]), 1.0, 1.0);
+    cqm.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Eq, 2.0, "both");
+    cqm.add_constraint(expr(&[(0, 1.0), (1, 1.0)]), Sense::Le, 1.0, "at-most-one");
+    let report = lint_cqm(&cqm);
+    assert!(
+        report.has_rule(RuleId::InfeasibleBound),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn out_of_bounds_reference_is_an_error_not_a_panic() {
+    let mut cqm = Cqm::new(1);
+    cqm.add_constraint(expr(&[(7, 1.0)]), Sense::Le, 1.0, "oob");
+    let report = lint_cqm(&cqm);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn duplicate_quadratic_fires() {
+    // `add_quadratic` merges duplicates, so a broken adjacency can only
+    // arrive through deserialization — exactly the path linted here.
+    let json = r#"{
+        "linear": [0.0, 0.0],
+        "adj": [[[1, 2.0], [1, 3.0]], [[0, 2.0], [0, 3.0]]],
+        "offset": 0.0
+    }"#;
+    let bqm: BinaryQuadraticModel = serde_json::from_str(json).expect("stub json parses");
+    let report = lint_bqm(&bqm);
+    assert!(
+        report.has_rule(RuleId::DuplicateQuadratic),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn asymmetric_quadratic_fires() {
+    // Row 0 couples to 1 with weight 2, row 1 has no mirror entry.
+    let json = r#"{
+        "linear": [0.0, 0.0],
+        "adj": [[[1, 2.0]], []],
+        "offset": 0.0
+    }"#;
+    let bqm: BinaryQuadraticModel = serde_json::from_str(json).expect("stub json parses");
+    let report = lint_bqm(&bqm);
+    assert!(
+        report.has_rule(RuleId::AsymmetricQuadratic),
+        "{}",
+        report.render()
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn well_formed_bqm_is_clean() {
+    let mut bqm = BinaryQuadraticModel::new(3);
+    bqm.add_linear(Var(0), 1.0);
+    bqm.add_quadratic(Var(0), Var(1), 2.0);
+    bqm.add_quadratic(Var(1), Var(2), -0.5);
+    bqm.add_quadratic(Var(0), Var(1), 1.0); // merged, not duplicated
+    assert!(lint_bqm(&bqm).is_clean());
+}
+
+#[test]
+fn json_report_names_the_rule() {
+    let mut cqm = clean_model();
+    cqm.add_constraint(expr(&[(0, 1.0)]), Sense::Le, -1.0, "impossible");
+    let json = lint_cqm(&cqm).to_json();
+    assert!(json.contains("\"infeasible-bound\""));
+    assert!(json.contains("impossible"));
+}
+
+#[test]
+fn severity_split_matches_catalogue() {
+    // Reference rules warn; bound violations error.
+    let mut cqm = Cqm::new(3);
+    cqm.add_squared_term(expr(&[(0, 1.0)]), 1.0, 1.0);
+    cqm.add_constraint(expr(&[(0, 1.0)]), Sense::Le, -1.0, "impossible");
+    let report = lint_cqm(&cqm);
+    for d in &report.diagnostics {
+        match d.rule {
+            RuleId::UnreferencedVariable | RuleId::UnconstrainedVariable => {
+                assert_eq!(d.severity, Severity::Warning);
+            }
+            RuleId::InfeasibleBound => assert_eq!(d.severity, Severity::Error),
+            other => panic!("unexpected rule {other}"),
+        }
+    }
+}

@@ -28,7 +28,7 @@ pub fn greedy_descent<E: Evaluator>(ev: &mut E, max_sweeps: usize, rng: &mut imp
         let mut improved = false;
         for &v in &order {
             let delta = if use_cache {
-                ev.cached_deltas().expect("cache enabled above")[v]
+                ev.cached_deltas().expect("cache enabled above")[v] // qlrb-lint: allow(no-unwrap)
             } else {
                 ev.flip_delta(v)
             };

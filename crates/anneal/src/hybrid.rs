@@ -33,13 +33,15 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use qlrb_analyze::model::references_in_bounds;
+use qlrb_analyze::{lint_cqm, lint_penalty, LintReport};
 use qlrb_model::cqm::Cqm;
 use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
 use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
 use qlrb_model::presolve::presolve;
 use qlrb_telemetry::{
-    NoopSink, ReadObserver, ReadRecord, SolveRecord, SolverConfig, TimingRecord, TraceSink,
-    WaveRecord,
+    LintDiagnosticRecord, LintRecord, NoopSink, ReadObserver, ReadRecord, SolveRecord,
+    SolverConfig, TimingRecord, TraceSink, WaveRecord,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -108,6 +110,54 @@ impl std::fmt::Display for SolverBuildError {
 
 impl std::error::Error for SolverBuildError {}
 
+/// What the solver does with the model linter's findings (see
+/// [`HybridCqmSolver::solve_checked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Lint, record findings, and refuse models with error-severity
+    /// findings ([`HybridCqmSolver::solve_checked`] returns
+    /// [`ModelRejected`]). The harness runs with this mode.
+    Deny,
+    /// Lint and record findings, but always solve (the default): warnings
+    /// and errors land in the trace sink without changing behaviour.
+    #[default]
+    Warn,
+    /// Skip the lint pass entirely.
+    Off,
+}
+
+impl std::fmt::Display for LintMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Deny => write!(f, "Deny"),
+            Self::Warn => write!(f, "Warn"),
+            Self::Off => write!(f, "Off"),
+        }
+    }
+}
+
+/// Returned by [`HybridCqmSolver::solve_checked`] under [`LintMode::Deny`]
+/// when the model linter finds error-severity problems: solving such a
+/// model would waste the read budget or silently corrupt energies.
+#[derive(Debug, Clone)]
+pub struct ModelRejected {
+    /// The findings that caused the rejection (errors and any warnings).
+    pub report: LintReport,
+}
+
+impl std::fmt::Display for ModelRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model rejected by lint ({} error(s)):\n{}",
+            self.report.num_errors(),
+            self.report.render()
+        )
+    }
+}
+
+impl std::error::Error for ModelRejected {}
+
 /// Configuration of the hybrid solve.
 ///
 /// Constructed through [`HybridCqmSolver::builder`] (validating) or the
@@ -168,6 +218,8 @@ pub struct HybridCqmSolver {
     /// matter how small the budget. **Non-deterministic across machines** —
     /// leave `None` (the default) for reproducible sample sets.
     time_limit: Option<Duration>,
+    /// What to do with model-lint findings before solving.
+    lint: LintMode,
     /// Telemetry sink; [`NoopSink`] disables all record collection.
     sink: Arc<dyn TraceSink>,
 }
@@ -186,6 +238,7 @@ impl Default for HybridCqmSolver {
             polish_sweeps: 50,
             repair_steps: 5_000,
             time_limit: None,
+            lint: LintMode::Warn,
             sink: Arc::new(NoopSink),
         }
     }
@@ -264,6 +317,12 @@ impl HybridSolverBuilder {
     /// or an `Option<Duration>`.
     pub fn time_limit(mut self, time_limit: impl Into<Option<Duration>>) -> Self {
         self.cfg.time_limit = time_limit.into();
+        self
+    }
+
+    /// Sets the model-lint mode ([`LintMode::Warn`] by default).
+    pub fn lint(mut self, lint: LintMode) -> Self {
+        self.cfg.lint = lint;
         self
     }
 
@@ -374,6 +433,11 @@ impl HybridCqmSolver {
         self.time_limit
     }
 
+    /// The model-lint mode.
+    pub fn lint_mode(&self) -> LintMode {
+        self.lint
+    }
+
     /// The attached telemetry sink.
     pub fn trace_sink(&self) -> &Arc<dyn TraceSink> {
         &self.sink
@@ -393,13 +457,83 @@ impl HybridCqmSolver {
             polish_sweeps: self.polish_sweeps,
             repair_steps: self.repair_steps,
             time_limit_ms: self.time_limit.map(|d| d.as_secs_f64() * 1e3),
+            lint: self.lint.to_string(),
         }
+    }
+
+    /// Runs the model linter as the solver sees the problem: the *original*
+    /// CQM is checked structurally (presolve substitutes fixed variables out
+    /// of every expression, which would trip the reference rules), and the
+    /// penalty weights this configuration would derive are checked against
+    /// the *presolved* model — the one they are actually compiled for.
+    pub fn lint_model(&self, cqm: &Cqm) -> LintReport {
+        let mut report = lint_cqm(cqm);
+        if cqm.num_vars() > 0 && references_in_bounds(cqm) {
+            let pre = presolve(cqm);
+            let penalty = PenaltyConfig::auto(&pre.cqm, self.penalty_factor, self.style);
+            report.merge(lint_penalty(&pre.cqm, &penalty));
+        }
+        report
+    }
+
+    /// Records a lint verdict into the trace sink (no-op on [`NoopSink`]).
+    fn record_lint(&self, num_vars: usize, report: &LintReport, denied: bool) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record_lint(LintRecord {
+            num_vars,
+            errors: report.num_errors(),
+            warnings: report.num_warnings(),
+            denied,
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .map(|d| LintDiagnosticRecord {
+                    rule: d.rule.as_str().to_string(),
+                    severity: d.severity.as_str().to_string(),
+                    span: d.span.to_string(),
+                    message: d.message.clone(),
+                })
+                .collect(),
+        });
     }
 
     /// Solves `cqm`, seeding the first reads with `seeds` (candidate states
     /// of CQM width; may be empty). Returns all reads, best first.
+    ///
+    /// Unless the lint mode is [`LintMode::Off`], the model linter runs
+    /// first and its findings are recorded into the trace sink — but this
+    /// entry point *always* solves, even under [`LintMode::Deny`]; use
+    /// [`HybridCqmSolver::solve_checked`] to let error findings refuse the
+    /// model.
     pub fn solve(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> SampleSet {
-        let started = Instant::now();
+        if self.lint != LintMode::Off {
+            let report = self.lint_model(cqm);
+            self.record_lint(cqm.num_vars(), &report, false);
+        }
+        self.solve_impl(cqm, seeds)
+    }
+
+    /// [`HybridCqmSolver::solve`] with the lint verdict enforced: under
+    /// [`LintMode::Deny`], a model with error-severity findings is refused
+    /// before any sampling happens. Under [`LintMode::Warn`] or
+    /// [`LintMode::Off`] this never fails.
+    pub fn solve_checked(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> Result<SampleSet, ModelRejected> {
+        if self.lint != LintMode::Off {
+            let report = self.lint_model(cqm);
+            let denied = self.lint == LintMode::Deny && report.has_errors();
+            self.record_lint(cqm.num_vars(), &report, denied);
+            if denied {
+                return Err(ModelRejected { report });
+            }
+        }
+        Ok(self.solve_impl(cqm, seeds))
+    }
+
+    /// The solve proper; lint handled by the public entry points.
+    fn solve_impl(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> SampleSet {
+        let started = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
         let width = cqm.num_vars();
         let tracing = self.sink.enabled();
         if width == 0 || self.num_reads == 0 {
@@ -448,7 +582,7 @@ impl HybridCqmSolver {
         let mut waves: Vec<WaveRecord> = Vec::new();
         let mut results: Vec<(Sample, Option<ReadRecord>)> = match self.time_limit {
             None => {
-                let wave_start = Instant::now();
+                let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
                 let out: Vec<_> = (0..self.num_reads)
                     .into_par_iter()
                     .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
@@ -476,7 +610,7 @@ impl HybridCqmSolver {
                         break;
                     }
                     let end = (next + wave).min(self.num_reads);
-                    let wave_start = Instant::now();
+                    let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
                     let batch: Vec<_> = (next..end)
                         .into_par_iter()
                         .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
@@ -840,6 +974,95 @@ mod tests {
         assert_eq!(cfg.samplers, vec!["SA", "SQA", "TABU"]);
         assert_eq!(cfg.style, "ViolationQuadratic");
         assert_eq!(cfg.time_limit_ms, Some(250.0));
+        assert_eq!(cfg.lint, "Warn");
+    }
+
+    /// A model the linter must refuse: its only constraint is unsatisfiable.
+    fn broken_cqm() -> Cqm {
+        let mut cqm = partition_cqm();
+        let mut e = LinearExpr::new();
+        e.add_term(Var(0), 1.0);
+        cqm.add_constraint(e, Sense::Le, -1.0, "impossible");
+        cqm
+    }
+
+    #[test]
+    fn deny_mode_refuses_broken_models() {
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .lint(LintMode::Deny)
+            .build()
+            .unwrap();
+        let err = solver.solve_checked(&broken_cqm(), &[]).unwrap_err();
+        assert!(err.report.has_errors());
+        assert!(err.to_string().contains("infeasible-bound"));
+        // A clean model sails through the same solver.
+        let set = solver.solve_checked(&partition_cqm(), &[]).unwrap();
+        assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
+    fn warn_mode_always_solves() {
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .lint(LintMode::Warn)
+            .build()
+            .unwrap();
+        let set = solver.solve_checked(&broken_cqm(), &[]).unwrap();
+        assert!(!set.samples.is_empty());
+        // `solve` never refuses, even under Deny.
+        let deny = solver.to_builder().lint(LintMode::Deny).build().unwrap();
+        assert!(!deny.solve(&broken_cqm(), &[]).samples.is_empty());
+    }
+
+    #[test]
+    fn lint_findings_reach_the_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .lint(LintMode::Deny)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        assert!(solver.solve_checked(&broken_cqm(), &[]).is_err());
+        let lints = sink.take_lints();
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].denied);
+        assert!(lints[0].errors > 0);
+        assert!(lints[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "infeasible-bound"));
+        assert!(
+            sink.take().is_empty(),
+            "denied model never produced a solve"
+        );
+
+        // A clean solve records a clean lint verdict alongside its trace.
+        let set = solver.solve_checked(&partition_cqm(), &[]).unwrap();
+        let lints = sink.take_lints();
+        assert_eq!(lints.len(), 1);
+        assert!(!lints[0].denied);
+        assert_eq!(lints[0].errors + lints[0].warnings, 0);
+        assert_eq!(sink.take().len(), 1);
+        assert!(set.best_feasible().is_some());
+    }
+
+    #[test]
+    fn lint_off_skips_the_pass_entirely() {
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .lint(LintMode::Off)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let _ = solver.solve_checked(&broken_cqm(), &[]).unwrap();
+        assert!(sink.take_lints().is_empty());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-anneal — annealing substrate and hybrid CQM solver
 //!
 //! The paper solves its CQM formulations on D-Wave's Leap hybrid CQM solver,
@@ -37,7 +38,9 @@ pub mod schedule;
 pub mod sqa;
 pub mod tabu;
 
-pub use hybrid::{HybridCqmSolver, HybridSolverBuilder, SamplerKind, SolverBuildError};
+pub use hybrid::{
+    HybridCqmSolver, HybridSolverBuilder, LintMode, ModelRejected, SamplerKind, SolverBuildError,
+};
 pub use pt::PtParams;
 pub use run::{SamplerExtras, SamplerRun};
 pub use sa::SaParams;

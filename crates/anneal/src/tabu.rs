@@ -84,7 +84,7 @@ pub fn tabu_search<E: Evaluator>(
         let mut chosen_key = f64::INFINITY;
         let energy = ev.energy();
         if use_cache {
-            let deltas = ev.cached_deltas().expect("cache enabled above");
+            let deltas = ev.cached_deltas().expect("cache enabled above"); // qlrb-lint: allow(no-unwrap)
             for (v, &delta) in deltas.iter().enumerate() {
                 let aspiration = energy + delta < best_energy - 1e-12;
                 if tabu_until[v] > iter && !aspiration {

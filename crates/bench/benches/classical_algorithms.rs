@@ -32,13 +32,13 @@ fn bench_classical(c: &mut Criterion) {
     let mut group = c.benchmark_group("classical");
     for (label, inst) in instances() {
         group.bench_with_input(BenchmarkId::new("greedy", label), &inst, |b, inst| {
-            b.iter(|| black_box(Greedy.rebalance(inst).unwrap().matrix.num_migrated()))
+            b.iter(|| black_box(Greedy.rebalance(inst).unwrap().matrix.num_migrated()));
         });
         group.bench_with_input(BenchmarkId::new("kk", label), &inst, |b, inst| {
-            b.iter(|| black_box(KarmarkarKarp.rebalance(inst).unwrap().matrix.num_migrated()))
+            b.iter(|| black_box(KarmarkarKarp.rebalance(inst).unwrap().matrix.num_migrated()));
         });
         group.bench_with_input(BenchmarkId::new("proactlb", label), &inst, |b, inst| {
-            b.iter(|| black_box(ProactLb.rebalance(inst).unwrap().matrix.num_migrated()))
+            b.iter(|| black_box(ProactLb.rebalance(inst).unwrap().matrix.num_migrated()));
         });
         group.bench_with_input(
             BenchmarkId::new("greedy_relabeled", label),
@@ -52,7 +52,7 @@ fn bench_classical(c: &mut Criterion) {
                             .matrix
                             .num_migrated(),
                     )
-                })
+                });
             },
         );
     }

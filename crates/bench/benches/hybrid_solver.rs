@@ -51,7 +51,7 @@ fn bench_variants(c: &mut Criterion) {
                     prune_tolerance: 0.02,
                     migration_penalty: 0.0,
                 };
-                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()))
+                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()));
             },
         );
     }
@@ -73,7 +73,7 @@ fn bench_samplers(c: &mut Criterion) {
                 b.iter(|| {
                     let set = s.solve(&lrp.cqm, &[]);
                     black_box(set.summary().num_samples)
-                })
+                });
             },
         );
     }
@@ -113,14 +113,14 @@ fn bench_structured_vs_qubo(c: &mut Criterion) {
             let mut ev = CqmEvaluator::new(Arc::clone(&compiled));
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
             black_box(simulated_annealing(&mut ev, &params, &mut rng).energy)
-        })
+        });
     });
     group.bench_function("materialized_qubo", |b| {
         b.iter(|| {
             let mut ev = BqmEvaluator::new(Arc::clone(&bqm));
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
             black_box(simulated_annealing(&mut ev, &params, &mut rng).energy)
-        })
+        });
     });
     group.finish();
 }
@@ -150,7 +150,7 @@ fn bench_table5_scale(c: &mut Criterion) {
                     prune_tolerance: 0.02,
                     migration_penalty: 0.0,
                 };
-                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()))
+                b.iter(|| black_box(method.rebalance(&inst).unwrap().matrix.num_migrated()));
             },
         );
     }

@@ -20,7 +20,7 @@ fn bench_mxm(c: &mut Criterion) {
         let b = Matrix::patterned(size);
         group.throughput(Throughput::Elements((2 * size * size * size) as u64));
         group.bench_with_input(BenchmarkId::new("blocked", size), &size, |bch, _| {
-            bch.iter(|| black_box(a.multiply_blocked(&b, 64).frobenius()))
+            bch.iter(|| black_box(a.multiply_blocked(&b, 64).frobenius()));
         });
     }
     group.finish();
@@ -33,7 +33,7 @@ fn bench_mesh(c: &mut Criterion) {
             let mesh =
                 samoa_mini::Mesh::adaptive(12, 13, |p| lake.near_shoreline(p[0], p[1], 0.0, 0.05));
             black_box(mesh.num_cells())
-        })
+        });
     });
 }
 
@@ -56,7 +56,7 @@ fn bench_evaluator_flips(c: &mut Criterion) {
                 acc += ev.flip_delta(v);
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("full_sweep_flip_apply", |b| {
         b.iter(|| {
@@ -64,7 +64,7 @@ fn bench_evaluator_flips(c: &mut Criterion) {
                 ev.flip(v);
             }
             black_box(ev.energy())
-        })
+        });
     });
     group.finish();
 }
@@ -73,7 +73,7 @@ fn bench_simulator(c: &mut Criterion) {
     let inst = samoa_mini::scenario::table5_instance();
     let input = SimInput::from_instance(&inst);
     c.bench_function("chameleon_sim_32x208", |b| {
-        b.iter(|| black_box(simulate(&input, &SimConfig::default()).total_makespan))
+        b.iter(|| black_box(simulate(&input, &SimConfig::default()).total_makespan));
     });
     let _ = Arc::new(());
 }

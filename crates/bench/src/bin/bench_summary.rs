@@ -78,7 +78,7 @@ fn main() {
             .expect("single-sampler portfolio is valid")
     };
 
-    let scenarios: Vec<Scenario> = vec![
+    let scenarios: Vec<Scenario<'_>> = vec![
         (
             "hybrid_solve_table5_reduced",
             Box::new(|| {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-bench — benchmark harness and table/figure regeneration
 //!
 //! Two kinds of targets:

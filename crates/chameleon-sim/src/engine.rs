@@ -1,6 +1,6 @@
 //! The discrete-event execution engine.
 
-use qlrb_core::{Instance, MigrationMatrix};
+use qlrb_core::{Instance, MigrationMatrix, RebalanceError};
 
 use crate::config::SimConfig;
 use crate::report::{IterationReport, NodeReport, SimReport};
@@ -54,12 +54,12 @@ impl SimInput {
     /// tasks; every off-diagonal count becomes that many single-task
     /// migrations (from `j` to `i`, load `w_j`).
     ///
-    /// # Panics
-    /// Panics if the plan fails validation against the instance.
+    /// # Errors
+    /// Returns [`RebalanceError::InvalidPlan`] if the plan fails validation
+    /// against the instance.
     #[allow(clippy::needless_range_loop)] // (i, j) jointly index the matrix and nodes
-    pub fn from_plan(inst: &Instance, plan: &MigrationMatrix) -> Self {
-        plan.validate(inst)
-            .expect("plan must be valid for the instance");
+    pub fn from_plan(inst: &Instance, plan: &MigrationMatrix) -> Result<Self, RebalanceError> {
+        plan.validate(inst)?;
         let m = inst.num_procs();
         let mut nodes = vec![NodeTasks::default(); m];
         let mut migrations = Vec::new();
@@ -82,7 +82,7 @@ impl SimInput {
                 }
             }
         }
-        Self { nodes, migrations }
+        Ok(Self { nodes, migrations })
     }
 }
 
@@ -197,11 +197,13 @@ pub fn simulate(input: &SimInput, cfg: &SimConfig) -> SimReport {
             // List scheduling onto `comp_threads` workers.
             let mut workers = vec![0.0f64; cfg.comp_threads];
             for &(r, d) in &ready {
-                let (widx, &wfree) = workers
+                let Some((widx, &wfree)) = workers
                     .iter()
                     .enumerate()
                     .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-                    .expect("at least one worker");
+                else {
+                    continue; // unreachable: comp_threads >= 1 asserted at entry
+                };
                 let start = wfree.max(r);
                 let end = start + d;
                 workers[widx] = end;
@@ -286,7 +288,7 @@ mod tests {
         // Move one heavy task from node 1 to node 0: loads 4+3=7 vs 9.
         let mut plan = MigrationMatrix::identity(&inst);
         plan.migrate(1, 0, 1).unwrap();
-        let input = SimInput::from_plan(&inst, &plan);
+        let input = SimInput::from_plan(&inst, &plan).unwrap();
         let report = simulate(&input, &SimConfig::analytic());
         // Node 0: 4 resident (ready 0) + one arrived task (ready 0 with free
         // comm) = 7; node 1: 9.
@@ -299,7 +301,7 @@ mod tests {
         let inst = Instance::uniform(1, vec![0.0, 10.0]).unwrap();
         let mut plan = MigrationMatrix::identity(&inst);
         plan.migrate(1, 0, 1).unwrap();
-        let input = SimInput::from_plan(&inst, &plan);
+        let input = SimInput::from_plan(&inst, &plan).unwrap();
         let cfg = SimConfig {
             comp_threads: 1,
             comm_latency: 1.0,
@@ -336,7 +338,7 @@ mod tests {
         let mut plan = MigrationMatrix::identity(&inst);
         plan.migrate(0, 1, 1).unwrap();
         plan.migrate(0, 2, 1).unwrap();
-        let input = SimInput::from_plan(&inst, &plan);
+        let input = SimInput::from_plan(&inst, &plan).unwrap();
         let cfg = SimConfig {
             comp_threads: 1,
             comm_latency: 1.0,
@@ -394,10 +396,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "plan must be valid")]
     fn from_plan_rejects_invalid_plan() {
         let inst = inst();
         let bad = MigrationMatrix::zeros(4);
-        SimInput::from_plan(&inst, &bad);
+        let err = SimInput::from_plan(&inst, &bad).unwrap_err();
+        assert!(matches!(err, RebalanceError::InvalidPlan(_)), "{err}");
     }
 }

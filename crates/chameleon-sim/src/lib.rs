@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # chameleon-sim — a Chameleon-style BSP task runtime, simulated
 //!
 //! The paper executes its workloads with Chameleon, an MPI+OpenMP library

@@ -79,7 +79,7 @@ pub fn simulate_work_stealing(nodes: &[Vec<f64>], cfg: &SimConfig, enabled: bool
             .max_by_key(|&v| queues[v].len())
             .filter(|&v| !queues[v].is_empty());
         let Some(v) = victim else { continue };
-        let dur = queues[v].pop_back().expect("non-empty by selection");
+        let dur = queues[v].pop_back().expect("non-empty by selection"); // qlrb-lint: allow(no-unwrap)
         steals += 1;
         executed[node] += dur;
         let end = t + cfg.transfer_cost(dur) + dur;

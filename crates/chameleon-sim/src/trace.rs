@@ -69,7 +69,7 @@ pub fn render_gantt(spans: &[TraceSpan], num_nodes: usize, width: usize) -> Stri
     let mut out = String::new();
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!("P{:<3}|", i + 1));
-        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push_str(std::str::from_utf8(row).expect("ascii")); // qlrb-lint: allow(no-unwrap)
         out.push_str("|\n");
     }
     out.push_str(&format!("     0{:>width$.3}\n", horizon, width = width + 3));

@@ -28,7 +28,7 @@ impl Greedy {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-                .expect("at least one partition");
+                .expect("at least one partition"); // qlrb-lint: allow(no-unwrap)
             counts.counts[p][class] += 1;
             loads[p] += w;
         }

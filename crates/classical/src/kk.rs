@@ -82,8 +82,9 @@ impl KarmarkarKarp {
             seq += 1;
         }
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1").0;
-            let b = heap.pop().expect("len > 1").0;
+            let (Some(HeapItem(a)), Some(HeapItem(b))) = (heap.pop(), heap.pop()) else {
+                break; // unreachable: the loop guard holds at least two tuples
+            };
             // Largest part of `a` pairs with smallest part of `b`, etc.
             let mut parts: Vec<(f64, Vec<u64>)> = (0..m)
                 .map(|i| {
@@ -100,10 +101,13 @@ impl KarmarkarKarp {
             heap.push(HeapItem(Tuple { sums, counts, seq }));
             seq += 1;
         }
-        let final_tuple = heap.pop().expect("one tuple remains").0;
-        PartitionCounts {
-            counts: final_tuple.counts,
-        }
+        // Exactly one tuple survives differencing; an empty heap means the
+        // instance had no tasks, where all-zero counts are the right answer.
+        let counts = heap
+            .pop()
+            .map(|HeapItem(t)| t.counts)
+            .unwrap_or_else(|| vec![vec![0; m]; m]);
+        PartitionCounts { counts }
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-classical — classical load-rebalancing baselines
 //!
 //! The three classical methods the paper compares against, plus extensions:

@@ -55,7 +55,7 @@ impl ProactLb {
                 if take == 0 {
                     continue;
                 }
-                plan.migrate(i, j, take).expect("bounded by resident tasks");
+                plan.migrate(i, j, take).expect("bounded by resident tasks"); // qlrb-lint: allow(no-unwrap)
                 entry.1 -= take as f64 * w;
                 to_shed -= take;
             }

@@ -100,10 +100,7 @@ impl LrpCqm {
                     for j in 0..m {
                         for l in 0..bits {
                             let c = this.coeffs.coeffs()[l] as f64;
-                            expr.add_term(
-                                this.var(i, j, l).expect("full has all pairs"),
-                                weights[j] * c,
-                            );
+                            expr.add_term(this.var_req(i, j, l), weights[j] * c);
                         }
                     }
                 }
@@ -117,9 +114,9 @@ impl LrpCqm {
                         for l in 0..bits {
                             let c = this.coeffs.coeffs()[l] as f64;
                             // Tasks arriving at i from j.
-                            expr.add_term(this.var(i, j, l).expect("off-diag"), weights[j] * c);
+                            expr.add_term(this.var_req(i, j, l), weights[j] * c);
                             // Tasks leaving i toward j.
-                            expr.add_term(this.var(j, i, l).expect("off-diag"), -weights[i] * c);
+                            expr.add_term(this.var_req(j, i, l), -weights[i] * c);
                         }
                     }
                 }
@@ -136,15 +133,15 @@ impl LrpCqm {
                 }
                 for l in 0..bits {
                     let c = this.coeffs.coeffs()[l] as f64;
-                    expr.add_term(this.var(i, j, l).expect("indexed"), c);
+                    expr.add_term(this.var_req(i, j, l), c);
                 }
             }
             match variant {
                 Variant::Full => {
-                    cqm.add_constraint(expr, Sense::Eq, n as f64, format!("conserve[{j}]"))
+                    cqm.add_constraint(expr, Sense::Eq, n as f64, format!("conserve[{j}]"));
                 }
                 Variant::Reduced => {
-                    cqm.add_constraint(expr, Sense::Le, n as f64, format!("sendable[{j}]"))
+                    cqm.add_constraint(expr, Sense::Le, n as f64, format!("sendable[{j}]"));
                 }
             }
         }
@@ -157,7 +154,7 @@ impl LrpCqm {
                     for j in 0..m {
                         for l in 0..bits {
                             let c = this.coeffs.coeffs()[l] as f64;
-                            expr.add_term(this.var(i, j, l).expect("full"), weights[j] * c);
+                            expr.add_term(this.var_req(i, j, l), weights[j] * c);
                         }
                     }
                 }
@@ -169,8 +166,8 @@ impl LrpCqm {
                         }
                         for l in 0..bits {
                             let c = this.coeffs.coeffs()[l] as f64;
-                            expr.add_term(this.var(i, j, l).expect("off-diag"), weights[j] * c);
-                            expr.add_term(this.var(j, i, l).expect("off-diag"), -weights[i] * c);
+                            expr.add_term(this.var_req(i, j, l), weights[j] * c);
+                            expr.add_term(this.var_req(j, i, l), -weights[i] * c);
                         }
                     }
                 }
@@ -187,7 +184,7 @@ impl LrpCqm {
                 }
                 for l in 0..bits {
                     let c = this.coeffs.coeffs()[l] as f64;
-                    budget.add_term(this.var(i, j, l).expect("off-diag"), c);
+                    budget.add_term(this.var_req(i, j, l), c);
                 }
             }
         }
@@ -224,7 +221,7 @@ impl LrpCqm {
             .cqm
             .constraints
             .last_mut()
-            .expect("LRP CQM always has a budget constraint");
+            .expect("LRP CQM always has a budget constraint"); // qlrb-lint: allow(no-unwrap)
         debug_assert_eq!(budget.label, "budget");
         budget.rhs = k as f64;
         out.k = k;
@@ -285,6 +282,14 @@ impl LrpCqm {
         }
     }
 
+    /// [`Self::var`] for pairs the caller's loop structure already excludes
+    /// from the `None` case (off-diagonal under `Reduced`, anything under
+    /// `Full`) — a miss here is a builder bug, never bad user input.
+    fn var_req(&self, i: usize, j: usize, l: usize) -> Var {
+        self.var(i, j, l)
+            .expect("variant indexes this (to, from, bit) triple") // qlrb-lint: allow(no-unwrap)
+    }
+
     /// Decodes a binary assignment into a migration matrix.
     ///
     /// For the reduced variant the diagonal is inferred as
@@ -307,7 +312,7 @@ impl LrpCqm {
                 }
                 let mut slice = Vec::with_capacity(bits);
                 for l in 0..bits {
-                    let v = self.var(i, j, l).expect("same pair");
+                    let v = self.var_req(i, j, l);
                     slice.push(state[v.index()]);
                 }
                 mat.set(i, j, self.coeffs.decode(&slice));
@@ -352,7 +357,7 @@ impl LrpCqm {
                     ))
                 })?;
                 for (l, &b) in enc.iter().enumerate() {
-                    let v = self.var(i, j, l).expect("non-diagonal or full");
+                    let v = self.var_req(i, j, l);
                     state[v.index()] = b;
                 }
             }

@@ -1,0 +1,92 @@
+//! LRP-specific static analysis: the generic CQM passes from
+//! `qlrb-analyze` plus the qubit-budget accounting only this crate can
+//! check, because only it knows the `(M, n, variant)` a model was built
+//! from.
+
+use qlrb_analyze::{lint_cqm, lint_penalty, Diagnostic, LintReport, RuleId, Severity, Span};
+use qlrb_model::penalty::PenaltyConfig;
+
+use super::builder::LrpCqm;
+use super::qubits::{logical_qubits, paper_qubit_formula};
+
+/// Lints a built LRP formulation: every generic CQM rule, plus
+/// [`RuleId::QubitBudgetMismatch`] — the variable count must equal the
+/// logical-qubit accounting for the formulation's `(variant, M, n)`.
+///
+/// A mismatch means the model was mutated after [`LrpCqm::build`] (e.g.
+/// variables appended to `cqm` directly) and the encode/decode index maps
+/// no longer cover the variable space.
+pub fn lint_lrp(lrp: &LrpCqm) -> LintReport {
+    let mut report = lint_cqm(&lrp.cqm);
+    let m = lrp.num_procs() as u64;
+    let n = lrp.tasks_per_proc();
+    let expected = logical_qubits(lrp.variant, m, n);
+    let actual = lrp.cqm.num_vars() as u64;
+    if actual != expected {
+        let paper = paper_qubit_formula(lrp.variant, m, n);
+        report.push(Diagnostic {
+            rule: RuleId::QubitBudgetMismatch,
+            severity: Severity::Error,
+            span: Span::Model,
+            message: format!(
+                "{} model for (M = {m}, n = {n}) has {actual} binary variables, \
+                 but the logical-qubit budget is {expected} \
+                 (paper formula: {paper})",
+                lrp.variant.label()
+            ),
+            suggestion: Some(
+                "rebuild via LrpCqm::build instead of mutating the inner Cqm".to_string(),
+            ),
+        });
+    }
+    report
+}
+
+/// [`lint_lrp`] plus the penalty-weight bound check for `penalty`.
+pub fn lint_lrp_with_penalty(lrp: &LrpCqm, penalty: &PenaltyConfig) -> LintReport {
+    let mut report = lint_lrp(lrp);
+    report.merge(lint_penalty(&lrp.cqm, penalty));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::Variant;
+    use crate::instance::Instance;
+    use qlrb_model::penalty::PenaltyStyle;
+
+    fn inst() -> Instance {
+        Instance::uniform(13, vec![1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn built_models_are_lint_clean() {
+        for variant in [Variant::Full, Variant::Reduced] {
+            let lrp = LrpCqm::build(&inst(), variant, 10).unwrap();
+            let report = lint_lrp(&lrp);
+            assert!(report.is_clean(), "{variant:?}:\n{}", report.render());
+            let auto = PenaltyConfig::auto(&lrp.cqm, 2.0, PenaltyStyle::default());
+            assert!(lint_lrp_with_penalty(&lrp, &auto).is_clean());
+        }
+    }
+
+    #[test]
+    fn qubit_budget_mismatch_fires_on_mutated_model() {
+        let mut lrp = LrpCqm::build(&inst(), Variant::Full, 10).unwrap();
+        lrp.cqm.add_vars(3); // now 3 vars past the (M, n) budget
+        let report = lint_lrp(&lrp);
+        assert!(report.has_rule(RuleId::QubitBudgetMismatch));
+        assert!(report.has_errors());
+        let text = report.render();
+        assert!(text.contains("qubit"), "{text}");
+    }
+
+    #[test]
+    fn weak_penalty_flagged_for_lrp() {
+        let lrp = LrpCqm::build(&inst(), Variant::Reduced, 10).unwrap();
+        let weak = PenaltyConfig::uniform(1e-6, PenaltyStyle::default());
+        let report = lint_lrp_with_penalty(&lrp, &weak);
+        assert!(report.has_rule(RuleId::PenaltyBelowBound));
+    }
+}

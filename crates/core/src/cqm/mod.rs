@@ -22,7 +22,9 @@
 //! [`qubits`]).
 
 mod builder;
+pub mod lint;
 pub mod qubits;
 
 pub use builder::{LrpCqm, Variant};
+pub use lint::{lint_lrp, lint_lrp_with_penalty};
 pub use qubits::{logical_qubits, paper_qubit_formula, qubit_budget, QubitBudget};

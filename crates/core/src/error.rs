@@ -10,6 +10,9 @@ pub enum RebalanceError {
     InvalidPlan(String),
     /// The solver produced no feasible, decodable sample.
     NoFeasibleSolution(String),
+    /// The model linter refused the CQM before solving (the hybrid solver's
+    /// `LintMode::Deny` found error-severity diagnostics).
+    ModelRejected(String),
     /// CSV input/output failure.
     Io(String),
 }
@@ -20,6 +23,7 @@ impl std::fmt::Display for RebalanceError {
             RebalanceError::InvalidInstance(m) => write!(f, "invalid instance: {m}"),
             RebalanceError::InvalidPlan(m) => write!(f, "invalid migration plan: {m}"),
             RebalanceError::NoFeasibleSolution(m) => write!(f, "no feasible solution: {m}"),
+            RebalanceError::ModelRejected(m) => write!(f, "model rejected by lint: {m}"),
             RebalanceError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }

@@ -72,7 +72,7 @@ impl TaskInstance {
     pub fn from_uniform(inst: &Instance) -> Self {
         let n = inst.tasks_per_proc() as usize;
         let per_proc = inst.weights().iter().map(|&w| vec![w; n]).collect();
-        Self::new(per_proc).expect("uniform instances are valid")
+        Self::new(per_proc).expect("uniform instances are valid") // qlrb-lint: allow(no-unwrap)
     }
 
     /// Number of processes.
@@ -212,7 +212,7 @@ pub fn greedy_lpt(inst: &TaskInstance) -> TaskPlan {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-            .expect("at least one process");
+            .expect("at least one process"); // qlrb-lint: allow(no-unwrap)
         dest[t] = p;
         loads[p] += inst.weights[t];
     }

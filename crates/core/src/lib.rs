@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-core — the Load Rebalancing Problem and its quantum formulations
 //!
 //! This crate is the paper's primary contribution, as a library:
@@ -34,7 +35,7 @@ pub mod migration;
 pub mod solve;
 
 pub use algorithm::{RebalanceOutcome, Rebalancer};
-pub use cqm::{LrpCqm, Variant};
+pub use cqm::{lint_lrp, lint_lrp_with_penalty, LrpCqm, Variant};
 pub use error::RebalanceError;
 pub use instance::Instance;
 pub use metrics::ImbalanceStats;

@@ -121,7 +121,10 @@ impl QuantumRebalancer {
             .iter()
             .filter_map(|p| lrp.encode_plan(p).ok())
             .collect();
-        let set = self.solver.solve(&lrp.cqm, &seeds);
+        let set = self
+            .solver
+            .solve_checked(&lrp.cqm, &seeds)
+            .map_err(|e| RebalanceError::ModelRejected(e.report.render()))?;
 
         for sample in &set.samples {
             if !sample.feasible {
@@ -212,7 +215,7 @@ pub fn greedy_seed_plan(inst: &Instance, k: u64) -> MigrationMatrix {
                 continue;
             }
             plan.migrate(i, entry.0, take)
-                .expect("bounded by resident tasks");
+                .expect("bounded by resident tasks"); // qlrb-lint: allow(no-unwrap)
             entry.1 -= take as f64 * w;
             to_shed -= take;
             budget -= take;
@@ -498,6 +501,32 @@ mod tests {
                 },
             )
             .unwrap();
+    }
+
+    #[test]
+    fn deny_mode_solver_accepts_built_lrp_models() {
+        // The harness runs with LintMode::Deny; every model produced by
+        // LrpCqm::build must sail through the lint gate.
+        use qlrb_anneal::hybrid::LintMode;
+        let inst = small_inst();
+        for variant in [Variant::Reduced, Variant::Full] {
+            let qr = QuantumRebalancer {
+                variant,
+                k: 10,
+                solver: HybridCqmSolver::builder()
+                    .num_reads(2)
+                    .sweeps(100)
+                    .lint(LintMode::Deny)
+                    .build()
+                    .unwrap(),
+                label: None,
+                extra_seed_plans: Vec::new(),
+                prune_tolerance: 0.02,
+                migration_penalty: 0.0,
+            };
+            let out = qr.rebalance(&inst).unwrap();
+            out.matrix.validate(&inst).unwrap();
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * **Sampler** — isolate each portfolio member (SA / SQA / tabu) to see
 //!   which solver actually earns the samples.
 
+// qlrb-lint: allow-file(no-unwrap) — experiment driver: a failed baseline or
+// invalid plan must abort the run loudly rather than skew the tables.
+
 use qlrb_anneal::hybrid::SamplerKind;
 use qlrb_core::cqm::Variant;
 use qlrb_core::Instance;

@@ -1,6 +1,6 @@
 //! Harness configuration: sizing the hybrid solver per experiment.
 
-use qlrb_anneal::hybrid::{HybridCqmSolver, SamplerKind};
+use qlrb_anneal::hybrid::{HybridCqmSolver, LintMode, SamplerKind};
 use qlrb_core::cqm::{logical_qubits, Variant};
 use qlrb_core::{Instance, QuantumRebalancer};
 
@@ -77,8 +77,11 @@ impl HarnessConfig {
             .sqa_replicas(if shrink >= 4 { 6 } else { 10 })
             .seed(self.seed ^ (k.rotate_left(17)) ^ (vars as u64))
             .samplers(vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu])
+            // Experiment results must never come from a model the linter can
+            // prove broken — refuse instead of silently sampling garbage.
+            .lint(LintMode::Deny)
             .build()
-            .expect("harness sizing always yields a valid configuration");
+            .expect("harness sizing always yields a valid configuration"); // qlrb-lint: allow(no-unwrap)
         QuantumRebalancer {
             variant,
             k,
@@ -113,5 +116,13 @@ mod tests {
         let q = cfg.quantum(&inst, Variant::Reduced, 3, "Q_CQM1_k1");
         assert_eq!(q.label.as_deref(), Some("Q_CQM1_k1"));
         assert_eq!(q.k, 3);
+    }
+
+    #[test]
+    fn harness_solvers_deny_broken_models() {
+        let cfg = HarnessConfig::fast();
+        let inst = Instance::uniform(10, vec![1.0; 4]).unwrap();
+        let q = cfg.quantum(&inst, Variant::Reduced, 3, "q");
+        assert_eq!(q.solver.lint_mode(), LintMode::Deny);
     }
 }

@@ -7,6 +7,9 @@
 //!   against classic *work stealing* on the simulated runtime, across
 //!   steal-latency settings (the related-work §III trade-off, measured).
 
+// qlrb-lint: allow-file(no-unwrap) — experiment driver: a failed baseline or
+// invalid plan must abort the run loudly rather than skew the tables.
+
 use chameleon_sim::{steal_from_instance, SimConfig};
 use qlrb_classical::{BranchAndBound, Greedy, KarmarkarKarp, ProactLb};
 use qlrb_core::cqm::Variant;
@@ -406,7 +409,9 @@ pub fn noise_robustness(cfg: &HarnessConfig) -> ExperimentResult {
                 .iter()
                 .map(|(name, plan)| {
                     let run = simulate(
-                        &SimInput::from_plan(&inst, plan).perturbed(cfg.seed, cv),
+                        &SimInput::from_plan(&inst, plan)
+                            .expect("plan")
+                            .perturbed(cfg.seed, cv),
                         &sim_cfg,
                     );
                     MethodRow {

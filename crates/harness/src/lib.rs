@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-harness — regenerate every table and figure of the paper
 //!
 //! One runner per experiment of the evaluation section (§V):

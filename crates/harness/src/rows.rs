@@ -1,5 +1,8 @@
 //! Result rows and paper-style table formatting.
 
+// qlrb-lint: allow-file(no-unwrap) — experiment driver: a failed baseline or
+// invalid plan must abort the run loudly rather than skew the tables.
+
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};

@@ -5,6 +5,9 @@
 //! charges real communication costs for each migrated task — quantifying
 //! the overhead the paper's "number of migrated tasks" column proxies.
 
+// qlrb-lint: allow-file(no-unwrap) — experiment driver: a failed baseline or
+// invalid plan must abort the run loudly rather than skew the tables.
+
 use chameleon_sim::{simulate, SimConfig, SimInput, SimReport};
 use qlrb_core::{Instance, MigrationMatrix};
 
@@ -28,7 +31,10 @@ pub fn execute_plan(
     sim_cfg: &SimConfig,
 ) -> RuntimeComparison {
     let baseline = simulate(&SimInput::from_instance(inst), sim_cfg);
-    let rebalanced = simulate(&SimInput::from_plan(inst, plan), sim_cfg);
+    let rebalanced = simulate(
+        &SimInput::from_plan(inst, plan).expect("plan validated by its producer"),
+        sim_cfg,
+    );
     RuntimeComparison {
         analytic_speedup: inst.speedup(plan),
         achieved_speedup: rebalanced.speedup_over(&baseline),
@@ -48,7 +54,10 @@ pub fn execute_plan_reports(
 ) -> (SimReport, SimReport) {
     (
         simulate(&SimInput::from_instance(inst), sim_cfg),
-        simulate(&SimInput::from_plan(inst, plan), sim_cfg),
+        simulate(
+            &SimInput::from_plan(inst, plan).expect("plan validated by its producer"),
+            sim_cfg,
+        ),
     )
 }
 

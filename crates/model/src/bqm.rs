@@ -77,7 +77,7 @@ impl BinaryQuadraticModel {
                 let back = self.adj[v.index()]
                     .iter_mut()
                     .find(|(j, _)| *j == u.0)
-                    .expect("symmetric adjacency");
+                    .expect("symmetric adjacency"); // qlrb-lint: allow(no-unwrap)
                 back.1 += c;
             }
             None => {

@@ -108,7 +108,7 @@ impl CoefficientSet {
 
     /// The residual coefficient `n − 2^⌊log₂ n⌋ + 1`.
     pub fn residual(&self) -> u64 {
-        *self.coeffs.last().expect("non-empty by construction")
+        *self.coeffs.last().expect("non-empty by construction") // qlrb-lint: allow(no-unwrap)
     }
 
     /// Decomposes `value ∈ 0..=n` into bits over `C(n)` such that
@@ -130,7 +130,7 @@ impl CoefficientSet {
             let powers_max = (1u64 << f) - 1;
             if rest > powers_max {
                 rest -= self.residual();
-                *bits.last_mut().expect("non-empty") = 1;
+                *bits.last_mut().expect("non-empty") = 1; // qlrb-lint: allow(no-unwrap)
             }
             debug_assert!(rest <= powers_max);
             for (slot, l) in (0..f).rev().enumerate() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-model — quadratic model substrate
 //!
 //! This crate provides the optimization-model layer that the paper's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # samoa-mini — an AMR shallow-water mini-app standing in for sam(oa)²
 //!
 //! The paper's realistic workload is sam(oa)², an adaptive-mesh-refinement

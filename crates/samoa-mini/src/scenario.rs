@@ -147,7 +147,7 @@ impl LakeScenario {
             .chunks(self.sections_per_node)
             .map(|chunk| chunk.iter().sum::<f64>() / n as f64)
             .collect();
-        Instance::uniform(n, weights).expect("scenario produces valid weights")
+        Instance::uniform(n, weights).expect("scenario produces valid weights") // qlrb-lint: allow(no-unwrap)
     }
 
     /// Per-node loads at a *different* time `t`, after applying a migration
@@ -212,7 +212,7 @@ impl LakeScenario {
     pub fn to_instance(&self) -> Instance {
         let n = self.sections_per_node as u64;
         let weights = self.node_loads().iter().map(|l| l / n as f64).collect();
-        Instance::uniform(n, weights).expect("scenario produces valid weights")
+        Instance::uniform(n, weights).expect("scenario produces valid weights") // qlrb-lint: allow(no-unwrap)
     }
 }
 
@@ -261,6 +261,7 @@ pub fn table5_instance() -> Instance {
         .iter()
         .map(|w| w_avg + s * (w - w_avg))
         .collect();
+    // qlrb-lint: allow(no-unwrap)
     Instance::uniform(inst.tasks_per_proc(), weights).expect("affine scaling keeps weights valid")
 }
 

@@ -144,7 +144,7 @@ impl TsunamiScenario {
             .chunks(self.sections_per_node)
             .map(|chunk| chunk.iter().sum::<f64>() / n as f64)
             .collect();
-        Instance::uniform(n, weights).expect("tsunami costs are valid weights")
+        Instance::uniform(n, weights).expect("tsunami costs are valid weights") // qlrb-lint: allow(no-unwrap)
     }
 }
 

@@ -120,6 +120,38 @@ pub struct SolverConfig {
     pub repair_steps: usize,
     /// Wall-clock budget in milliseconds, if one was set.
     pub time_limit_ms: Option<f64>,
+    /// Model-lint mode (`"Deny"`, `"Warn"`, or `"Off"`), rendered as text.
+    pub lint: String,
+}
+
+/// One model-lint diagnostic, flattened to strings so the trace vocabulary
+/// stays independent of the linter's typed rule catalogue (`qlrb-analyze`
+/// depends on the model layer; the telemetry layer depends on neither).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintDiagnosticRecord {
+    /// Stable rule identifier, e.g. `"penalty-below-bound"`.
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// Rendered span, e.g. `"constraint 3 (capacity[0])"` or `"var 17"`.
+    pub span: String,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+/// The model linter's verdict on one CQM, recorded before the solve runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintRecord {
+    /// Variable width of the linted CQM.
+    pub num_vars: usize,
+    /// Error-severity diagnostics.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Whether the solver refused the model (`LintMode::Deny` with errors).
+    pub denied: bool,
+    /// The individual findings.
+    pub diagnostics: Vec<LintDiagnosticRecord>,
 }
 
 /// One `solve()` call: its reads, waves, timing split, and sample-set

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-telemetry — solve instrumentation and run manifests
 //!
 //! The paper's central evidence is *where time and quality come from* inside
@@ -35,7 +36,8 @@ pub mod observer;
 pub mod sink;
 
 pub use event::{
-    ReadRecord, SampleSetSummary, SolveRecord, SolverConfig, TimingRecord, WaveRecord,
+    LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary, SolveRecord, SolverConfig,
+    TimingRecord, WaveRecord,
 };
 pub use manifest::{
     median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,

@@ -274,7 +274,7 @@ impl RunManifest {
 
     /// Pretty-printed JSON.
     pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serializes")
+        serde_json::to_string_pretty(self).expect("manifest serializes") // qlrb-lint: allow(no-unwrap)
     }
 
     /// Parses a manifest from JSON.

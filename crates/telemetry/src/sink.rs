@@ -2,7 +2,7 @@
 
 use std::sync::Mutex;
 
-use crate::event::SolveRecord;
+use crate::event::{LintRecord, SolveRecord};
 
 /// Destination for solve traces, owned by a solver as a trait object.
 ///
@@ -20,6 +20,12 @@ pub trait TraceSink: Send + Sync + std::fmt::Debug {
 
     /// Accepts one finished solve trace.
     fn record_solve(&self, record: SolveRecord);
+
+    /// Accepts the model linter's verdict on a CQM about to be solved.
+    /// Defaults to dropping the record so existing sinks keep compiling.
+    fn record_lint(&self, record: LintRecord) {
+        let _ = record;
+    }
 }
 
 /// The default sink: reports disabled, drops everything.
@@ -39,6 +45,13 @@ impl TraceSink for NoopSink {
 #[derive(Debug, Default)]
 pub struct MemorySink {
     solves: Mutex<Vec<SolveRecord>>,
+    lints: Mutex<Vec<LintRecord>>,
+}
+
+/// Recover the guard from a poisoned sink mutex: records are append-only,
+/// so a panic mid-push cannot leave them in a state worth refusing.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl MemorySink {
@@ -49,7 +62,7 @@ impl MemorySink {
 
     /// Number of records buffered so far.
     pub fn len(&self) -> usize {
-        self.solves.lock().expect("sink lock").len()
+        lock(&self.solves).len()
     }
 
     /// Whether no records have been buffered.
@@ -59,13 +72,22 @@ impl MemorySink {
 
     /// Drains and returns all buffered records, in arrival order.
     pub fn take(&self) -> Vec<SolveRecord> {
-        std::mem::take(&mut *self.solves.lock().expect("sink lock"))
+        std::mem::take(&mut *lock(&self.solves))
+    }
+
+    /// Drains and returns all buffered lint verdicts, in arrival order.
+    pub fn take_lints(&self) -> Vec<LintRecord> {
+        std::mem::take(&mut *lock(&self.lints))
     }
 }
 
 impl TraceSink for MemorySink {
     fn record_solve(&self, record: SolveRecord) {
-        self.solves.lock().expect("sink lock").push(record);
+        lock(&self.solves).push(record);
+    }
+
+    fn record_lint(&self, record: LintRecord) {
+        lock(&self.lints).push(record);
     }
 }
 
@@ -103,6 +125,29 @@ mod tests {
         assert_eq!(sink.len(), 2);
         let drained = sink.take();
         assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn memory_sink_buffers_lint_records() {
+        let sink = MemorySink::new();
+        sink.record_lint(crate::event::LintRecord {
+            num_vars: 4,
+            errors: 1,
+            warnings: 0,
+            denied: true,
+            diagnostics: vec![crate::event::LintDiagnosticRecord {
+                rule: "penalty-below-bound".into(),
+                severity: "error".into(),
+                span: "model".into(),
+                message: "weight 0.5 below bound 3".into(),
+            }],
+        });
+        let lints = sink.take_lints();
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].denied);
+        assert!(sink.take_lints().is_empty());
+        // Solve records live in their own buffer.
         assert!(sink.is_empty());
     }
 }

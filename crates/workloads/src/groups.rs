@@ -15,7 +15,7 @@ pub const MXM_SIZES: [u32; 7] = [128, 192, 256, 320, 384, 448, 512];
 
 fn instance_from_sizes(n: u64, sizes: &[u32]) -> Instance {
     let weights = sizes.iter().map(|&s| load_model(s)).collect();
-    Instance::uniform(n, weights).expect("generator parameters are valid")
+    Instance::uniform(n, weights).expect("generator parameters are valid") // qlrb-lint: allow(no-unwrap)
 }
 
 /// Group 1 (Fig. 3 / Table II): five imbalance levels on 8 nodes × 50

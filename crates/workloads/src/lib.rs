@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb-workloads — the paper's MxM workload and experiment inputs
 //!
 //! The paper's synthetic benchmark decomposes a matrix multiplication into

@@ -12,7 +12,7 @@ pub fn random_instance(seed: u64, m: usize, n: u64, w_min: f64, w_max: f64) -> I
     assert!(m >= 1 && n >= 1 && w_min >= 0.0 && w_max > w_min);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let weights = (0..m).map(|_| rng.random_range(w_min..w_max)).collect();
-    Instance::uniform(n, weights).expect("parameters validated above")
+    Instance::uniform(n, weights).expect("parameters validated above") // qlrb-lint: allow(no-unwrap)
 }
 
 /// A "hot spot" instance: all processes share the base weight except
@@ -23,7 +23,7 @@ pub fn hotspot_instance(m: usize, n: u64, num_hot: usize, factor: f64) -> Instan
     let weights = (0..m)
         .map(|i| if i < num_hot { factor } else { 1.0 })
         .collect();
-    Instance::uniform(n, weights).expect("parameters validated above")
+    Instance::uniform(n, weights).expect("parameters validated above") // qlrb-lint: allow(no-unwrap)
 }
 
 /// A heavy-tailed instance: per-process weights drawn lognormally
@@ -41,7 +41,7 @@ pub fn lognormal_instance(seed: u64, m: usize, n: u64, sigma: f64) -> Instance {
             (sigma * z).exp()
         })
         .collect();
-    Instance::uniform(n, weights).expect("lognormal weights are positive")
+    Instance::uniform(n, weights).expect("lognormal weights are positive") // qlrb-lint: allow(no-unwrap)
 }
 
 #[cfg(test)]

@@ -1,0 +1,611 @@
+#![forbid(unsafe_code)]
+//! `cargo run -p xtask -- lint` — workspace-invariant source linter.
+//!
+//! Enforces repo-specific invariants that `clippy` cannot express (see
+//! DESIGN.md §Static analysis). Rules:
+//!
+//! * `no-unwrap` — no `.unwrap()`, `.expect(…)`, or `panic!(…)` in library
+//!   crates outside `#[cfg(test)]` items. Library callers get `Result`s;
+//!   panicking is reserved for drivers and tests.
+//! * `no-wallclock` — no `Instant::now()` / `SystemTime::now()` inside
+//!   `crates/anneal`: wall-clock reads in the sampler substrate would make
+//!   sweep behaviour (and therefore solve results) machine-dependent.
+//! * `no-entropy` — no `thread_rng()` / `from_entropy()` anywhere: every
+//!   random stream must derive from an explicit seed so experiment runs are
+//!   reproducible bit-for-bit.
+//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Suppressions, always with a justification in the surrounding comment:
+//!
+//! * `// qlrb-lint: allow(<rule>)` on the offending line or the line above;
+//! * `// qlrb-lint: allow-file(<rule>)` anywhere in a file to exempt the
+//!   whole file (used by the harness, whose job is to abort loudly).
+//!
+//! `--json` emits machine-readable findings. Exit status: 0 clean,
+//! 1 findings, 2 usage error.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose `src/` trees are library code: `no-unwrap` + `no-entropy`.
+const LIB_CRATES: &[&str] = &[
+    "analyze",
+    "anneal",
+    "chameleon-sim",
+    "classical",
+    "core",
+    "harness",
+    "model",
+    "samoa-mini",
+    "telemetry",
+    "workloads",
+];
+
+/// Crates additionally under `no-wallclock` (the sampler substrate).
+const WALLCLOCK_CRATES: &[&str] = &["anneal"];
+
+/// Crates exempt from source scanning (drivers and this linter itself).
+const SKIP_CRATES: &[&str] = &["bench", "xtask"];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Which rule set applies to a file, derived from its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scope {
+    no_unwrap: bool,
+    no_wallclock: bool,
+}
+
+fn scope_for(crate_name: &str) -> Scope {
+    Scope {
+        no_unwrap: LIB_CRATES.contains(&crate_name),
+        no_wallclock: WALLCLOCK_CRATES.contains(&crate_name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Replaces comment and literal contents with spaces, preserving line
+/// structure, so rule patterns never match inside strings, chars, or
+/// comments (including doc comments).
+fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. /// and //!): blank to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting-aware.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        out.push(b' ');
+                        i += 1;
+                        if i < bytes.len() {
+                            out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                            i += 1;
+                        }
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() {
+                    out.push(b'"');
+                    i += 1;
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                // Raw string r"…" / r#"…"# / r##"…"## (also br…, matched via r).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    out.extend_from_slice(&vec![b' '; j + 1 - start]);
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut h = 0usize;
+                            while h < hashes && bytes.get(k) == Some(&b'#') {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.extend_from_slice(&vec![b' '; k - i]);
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    // `r` identifier prefix, not a raw string (e.g. `r#ident`).
+                    out.push(b'r');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes (`'x'`, `'\n'`, `'\u{1F600}'` is longer — scan ahead
+                // bounded); a lifetime never has a closing quote nearby.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' && j - i < 12 {
+                        j += 1;
+                    }
+                } else if j < bytes.len() {
+                    // One (possibly multi-byte) char.
+                    j += 1;
+                    while j < bytes.len() && bytes[j] & 0b1100_0000 == 0b1000_0000 {
+                        j += 1;
+                    }
+                }
+                if bytes.get(j) == Some(&b'\'') {
+                    out.extend_from_slice(&vec![b' '; j + 1 - i]);
+                    i = j + 1;
+                } else {
+                    out.push(b'\''); // lifetime marker
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+fn allows_on(line: &str, directive: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find(directive) {
+        rest = &rest[pos + directive.len()..];
+        if let Some(end) = rest.find(')') {
+            rules.push(rest[..end].trim().to_string());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    rules
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+/// Scans one file's source. `display` is the path used in findings.
+fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
+    let stripped = strip_source(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let file_allows: Vec<String> = raw_lines
+        .iter()
+        .flat_map(|l| allows_on(l, "qlrb-lint: allow-file("))
+        .collect();
+    let line_allows: Vec<Vec<String>> = raw_lines
+        .iter()
+        .map(|l| allows_on(l, "qlrb-lint: allow("))
+        .collect();
+    let allowed = |idx: usize, rule: &str| -> bool {
+        file_allows.iter().any(|r| r == rule)
+            || line_allows[idx].iter().any(|r| r == rule)
+            || (idx > 0 && line_allows[idx - 1].iter().any(|r| r == rule))
+    };
+
+    let mut findings = Vec::new();
+    // `#[cfg(test)]` handling: after the attribute, skip from the first `{`
+    // until its matching `}` (covers `mod tests { … }` and gated items).
+    let mut pending_test_attr = false;
+    let mut test_depth = 0usize;
+    for (idx, line) in stripped.lines().enumerate() {
+        if test_depth == 0 && line.contains("#[cfg(test") {
+            pending_test_attr = true;
+        }
+        let mut in_test = test_depth > 0;
+        if pending_test_attr || test_depth > 0 {
+            for b in line.bytes() {
+                match b {
+                    b'{' => {
+                        test_depth += 1;
+                        pending_test_attr = false;
+                        in_test = true;
+                    }
+                    b'}' => {
+                        test_depth = test_depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if in_test || pending_test_attr {
+            continue;
+        }
+
+        let mut hit = |rule: &'static str, message: String| {
+            if !allowed(idx, rule) {
+                findings.push(Finding {
+                    file: display.to_string(),
+                    line: idx + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if scope.no_unwrap {
+            for pat in [".unwrap()", ".expect(", "panic!("] {
+                if line.contains(pat) {
+                    hit(
+                        "no-unwrap",
+                        format!("`{pat}` in library code — return a Result instead"),
+                    );
+                }
+            }
+        }
+        if scope.no_wallclock {
+            for pat in ["Instant::now(", "SystemTime::now("] {
+                if line.contains(pat) {
+                    hit(
+                        "no-wallclock",
+                        format!("`{pat})` in the sampler substrate makes sweeps nondeterministic"),
+                    );
+                }
+            }
+        }
+        for pat in ["thread_rng(", "from_entropy("] {
+            if line.contains(pat) {
+                hit(
+                    "no-entropy",
+                    format!(
+                        "`{pat})` breaks seed-reproducibility — derive RNGs from explicit seeds"
+                    ),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Checks one crate root for the `#![forbid(unsafe_code)]` attribute.
+fn check_forbid_unsafe(display: &str, src: &str) -> Vec<Finding> {
+    if src.contains("#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: display.to_string(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------------
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut crates: Vec<String> = std::fs::read_dir(root.join("crates"))
+        .map(|it| {
+            it.filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    crates.sort();
+
+    for name in &crates {
+        if SKIP_CRATES.contains(&name.as_str()) {
+            // Still hold drivers to the unsafe ban.
+            for rootfile in ["src/lib.rs", "src/main.rs"] {
+                let path = root.join("crates").join(name).join(rootfile);
+                if let Ok(src) = std::fs::read_to_string(&path) {
+                    findings.extend(check_forbid_unsafe(
+                        &format!("crates/{name}/{rootfile}"),
+                        &src,
+                    ));
+                }
+            }
+            continue;
+        }
+        let scope = scope_for(name);
+        let mut files = Vec::new();
+        rust_files(&root.join("crates").join(name).join("src"), &mut files);
+        for path in files {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let display = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            if path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") {
+                findings.extend(check_forbid_unsafe(&display, &src));
+            }
+            findings.extend(scan_source(&display, scope, &src));
+        }
+    }
+
+    // The facade crate root re-exports the workspace; hold it to the same bar.
+    if let Ok(src) = std::fs::read_to_string(root.join("src/lib.rs")) {
+        findings.extend(check_forbid_unsafe("src/lib.rs", &src));
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let cmd = args.iter().find(|a| !a.starts_with("--"));
+    if cmd.map(String::as_str) != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--json]");
+        return ExitCode::from(2);
+    }
+
+    let findings = lint_workspace(&workspace_root());
+    if json {
+        println!("{}", render_json(&findings));
+    } else if findings.is_empty() {
+        println!("xtask lint: clean");
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        println!("xtask lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: Scope = Scope {
+        no_unwrap: true,
+        no_wallclock: false,
+    };
+    const ANNEAL: Scope = Scope {
+        no_unwrap: true,
+        no_wallclock: true,
+    };
+
+    #[test]
+    fn seeded_unwrap_violation_fails_the_lint() {
+        // The acceptance demo: a library file with a bare unwrap is refused.
+        let src = "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", LIB, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-unwrap");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn expect_and_panic_also_fire() {
+        let src = "fn f() {\n    g().expect(\"x\");\n    panic!(\"y\");\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        let rules: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(rules, vec![("no-unwrap", 2), ("no-unwrap", 3)]);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        super::f();\n        None::<u32>.unwrap();\n    }\n}\n";
+        assert!(scan_source("f.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_block_is_scanned_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\npub fn g(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 7);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_previous_line() {
+        let same = "fn f() {\n    g().unwrap(); // qlrb-lint: allow(no-unwrap)\n}\n";
+        assert!(scan_source("f.rs", LIB, same).is_empty());
+        let prev = "fn f() {\n    // qlrb-lint: allow(no-unwrap)\n    g().unwrap();\n}\n";
+        assert!(scan_source("f.rs", LIB, prev).is_empty());
+        let wrong_rule = "fn f() {\n    g().unwrap(); // qlrb-lint: allow(no-entropy)\n}\n";
+        assert_eq!(scan_source("f.rs", LIB, wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn allow_file_exempts_the_whole_file() {
+        let src =
+            "// qlrb-lint: allow-file(no-unwrap)\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n";
+        assert!(scan_source("f.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "fn f() {\n    let s = \".unwrap()\";\n    // calls .unwrap() somewhere\n    /* panic!(...) */\n    let c = '\\n';\n    let r = r#\"thread_rng()\"#;\n}\n";
+        assert!(scan_source("f.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn entropy_rule_fires_everywhere() {
+        let src = "fn f() {\n    let mut rng = rand::thread_rng();\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        assert_eq!(findings[0].rule, "no-entropy");
+        // from_entropy too, and also in non-lib scopes.
+        let src2 = "fn f() {\n    let r = SmallRng::from_entropy();\n}\n";
+        let none_scope = Scope {
+            no_unwrap: false,
+            no_wallclock: false,
+        };
+        assert_eq!(scan_source("f.rs", none_scope, src2)[0].rule, "no-entropy");
+    }
+
+    #[test]
+    fn wallclock_rule_is_scoped_to_the_sampler_substrate() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let findings = scan_source("crates/anneal/src/sa.rs", ANNEAL, src);
+        assert_eq!(findings[0].rule, "no-wallclock");
+        assert!(scan_source("crates/classical/src/kk.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_crate_roots() {
+        assert!(check_forbid_unsafe("l.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+        let findings = check_forbid_unsafe("l.rs", "pub fn f() {}\n");
+        assert_eq!(findings[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn scope_table_matches_layout() {
+        assert!(scope_for("core").no_unwrap);
+        assert!(scope_for("anneal").no_wallclock);
+        assert!(!scope_for("classical").no_wallclock);
+        assert!(!scope_for("bench").no_unwrap);
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let findings = vec![Finding {
+            file: "a \"b\".rs".into(),
+            line: 3,
+            rule: "no-unwrap",
+            message: "m".into(),
+        }];
+        let js = render_json(&findings);
+        assert_eq!(
+            js,
+            "[{\"file\": \"a \\\"b\\\".rs\", \"line\": 3, \"rule\": \"no-unwrap\", \"message\": \"m\"}]"
+        );
+        assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The CI gate, enforced from `cargo test` as well: the real tree has
+        // zero findings. If this fails, run `cargo run -p xtask -- lint` for
+        // the list.
+        let findings = lint_workspace(&workspace_root());
+        assert!(
+            findings.is_empty(),
+            "workspace lint findings: {findings:#?}"
+        );
+    }
+}

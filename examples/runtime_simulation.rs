@@ -31,7 +31,10 @@ fn main() {
     );
 
     let plan = ProactLb.rebalance(&inst).expect("proactlb").matrix;
-    let rebalanced = simulate(&SimInput::from_plan(&inst, &plan), &cfg);
+    let rebalanced = simulate(
+        &SimInput::from_plan(&inst, &plan).expect("validated above"),
+        &cfg,
+    );
     println!(
         "== After ProactLB rebalancing ({} migrations) ==",
         plan.num_migrated()

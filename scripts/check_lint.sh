@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Smoke-checks the static-analysis pipeline end to end: the workspace
+# source linter must be clean, and `qlrb lint` must certify the bundled
+# MxM imbalance instance clean in both text and JSON modes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# 1. Workspace invariants (no-unwrap / no-wallclock / no-entropy /
+#    forbid-unsafe; see DESIGN.md §Static analysis).
+cargo run --release --quiet -p xtask -- lint
+
+# 2. Model lint on a real instance: generate the paper's Imb.3 MxM case
+#    and lint both formulations.
+input="$workdir/input.csv"
+cargo run --release --quiet --bin qlrb -- \
+  generate --workload mxm-imbalance --case Imb.3 --out "$input"
+
+report="$(cargo run --release --quiet --bin qlrb -- lint --input "$input")"
+echo "$report"
+echo "$report" | grep -q "Q_CQM1" || { echo "missing Q_CQM1 report" >&2; exit 1; }
+echo "$report" | grep -q "Q_CQM2" || { echo "missing Q_CQM2 report" >&2; exit 1; }
+echo "$report" | grep -q "clean" || { echo "built models should lint clean" >&2; exit 1; }
+
+json="$(cargo run --release --quiet --bin qlrb -- lint --input "$input" --json)"
+echo "$json" | grep -q '"errors": 0' || { echo "json reports errors" >&2; exit 1; }
+echo "$json" | grep -q '"diagnostics"' || { echo "json missing diagnostics key" >&2; exit 1; }
+
+echo "check_lint: OK"

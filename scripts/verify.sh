@@ -8,5 +8,9 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+# Workspace invariants clippy cannot express (DESIGN.md §Static analysis).
+cargo run -p xtask -- lint
 cargo build --release
 cargo test -q
+# Model-lint smoke: the bundled MxM instance must certify clean.
+./scripts/check_lint.sh

@@ -15,6 +15,10 @@
 //! DESIGN.md §Observability); `qlrb trace summarize --input <FILE>` prints
 //! a human-readable digest of such a manifest.
 //!
+//! `qlrb lint` builds the `Q_CQM*` formulations for an input and runs the
+//! model linter (DESIGN.md §Static analysis) without solving: exit 0 when
+//! every rule passes (warnings allowed), exit 1 on error-severity findings.
+//!
 //! Argument parsing is hand-rolled (five subcommands, a handful of flags) to
 //! keep the dependency set identical to the library's.
 
@@ -42,6 +46,8 @@ USAGE:
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
                  [--telemetry <FILE>]
+  qlrb lint      --input <FILE> [--variant qcqm1|qcqm2|both]
+                 [--k <N> | --k-frac <F>] [--json]
   qlrb trace summarize --input <FILE>
 
 WORKLOADS:
@@ -59,12 +65,19 @@ TELEMETRY:
   --telemetry writes a JSON run manifest next to the normal output:
   per-read solve records for rebalance (quantum methods only), message and
   barrier-wait counters for simulate. Inspect with `qlrb trace summarize`.
+
+LINT:
+  `qlrb lint` checks the CQM formulations a rebalance would solve against
+  the model-lint rule catalogue (unreferenced variables, degenerate one-hot
+  groups, penalty bounds, coefficient overflow, infeasible bounds, qubit
+  accounting) without spending any solver time. --json emits the findings
+  machine-readably.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -86,19 +99,27 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     if cmd == "trace" {
-        return trace_cmd(&args[1..]);
+        return trace_cmd(&args[1..]).map(|()| ExitCode::SUCCESS);
     }
-    let flags = parse_flags(&args[1..])?;
+    // Boolean flags take no value; split them off before pair parsing.
+    let json = args[1..].iter().any(|a| a == "--json");
+    let rest: Vec<String> = args[1..]
+        .iter()
+        .filter(|a| *a != "--json")
+        .cloned()
+        .collect();
+    let flags = parse_flags(&rest)?;
     match cmd.as_str() {
-        "generate" => generate(&flags),
-        "info" => info(&flags),
-        "rebalance" => rebalance(&flags),
-        "simulate" => simulate_cmd(&flags),
+        "generate" => generate(&flags).map(|()| ExitCode::SUCCESS),
+        "info" => info(&flags).map(|()| ExitCode::SUCCESS),
+        "rebalance" => rebalance(&flags).map(|()| ExitCode::SUCCESS),
+        "simulate" => simulate_cmd(&flags).map(|()| ExitCode::SUCCESS),
+        "lint" => lint_cmd(&flags, json),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -298,6 +319,68 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `qlrb lint` — static analysis of the formulations a rebalance would
+/// solve, with no solver time spent. Exit 0 when no rule reports an error
+/// (warnings are printed but tolerated), exit 1 otherwise.
+fn lint_cmd(flags: &HashMap<String, String>, json: bool) -> Result<ExitCode, String> {
+    use qlrb::core::cqm::LrpCqm;
+    use qlrb::model::penalty::{PenaltyConfig, PenaltyStyle};
+
+    let inst = load_instance(flags)?;
+    let k = match (flags.get("k"), flags.get("k-frac")) {
+        (Some(k), _) => k.parse::<u64>().map_err(|_| "bad --k")?,
+        (None, Some(f)) => {
+            let frac: f64 = f.parse().map_err(|_| "bad --k-frac")?;
+            (inst.num_tasks() as f64 * frac).round() as u64
+        }
+        // Same default as `rebalance`: ProactLB's migration count.
+        (None, None) => ProactLb
+            .rebalance(&inst)
+            .map_err(|e| e.to_string())?
+            .matrix
+            .num_migrated(),
+    };
+    let variants: Vec<Variant> = match flags.get("variant").map(String::as_str) {
+        None | Some("both") => vec![Variant::Reduced, Variant::Full],
+        Some("qcqm1") => vec![Variant::Reduced],
+        Some("qcqm2") => vec![Variant::Full],
+        Some(other) => return Err(format!("unknown --variant '{other}' (qcqm1|qcqm2|both)")),
+    };
+
+    let mut any_errors = false;
+    let mut json_entries: Vec<String> = Vec::new();
+    for variant in variants {
+        let lrp = LrpCqm::build(&inst, variant, k).map_err(|e| e.to_string())?;
+        // The same auto-derived penalty a default solver would compile with.
+        let penalty = PenaltyConfig::auto(&lrp.cqm, 2.0, PenaltyStyle::default());
+        let report = qlrb::core::lint_lrp_with_penalty(&lrp, &penalty);
+        any_errors |= report.has_errors();
+        if json {
+            json_entries.push(format!(
+                "  \"{}\": {}",
+                variant.label(),
+                report.to_json().replace('\n', "\n  ")
+            ));
+        } else {
+            println!(
+                "{} (k = {k}, {} vars, {} constraints): {}",
+                variant.label(),
+                lrp.cqm.num_vars(),
+                lrp.cqm.constraints.len(),
+                report.render()
+            );
+        }
+    }
+    if json {
+        println!("{{\n{}\n}}", json_entries.join(",\n"));
+    }
+    Ok(if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let inst = load_instance(flags)?;
     let plan_path = required(flags, "plan")?;
@@ -328,7 +411,10 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     let baseline = simulate(&SimInput::from_instance(&inst), &cfg);
-    let rebalanced = simulate(&SimInput::from_plan(&inst, &plan), &cfg);
+    let rebalanced = simulate(
+        &SimInput::from_plan(&inst, &plan).expect("validated above"),
+        &cfg,
+    );
     println!("== baseline ==");
     println!("{}", render_gantt(&baseline.trace, inst.num_procs(), 60));
     println!("== rebalanced ({} migrations) ==", plan.num_migrated());

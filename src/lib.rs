@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qlrb — hybrid classical-quantum load rebalancing for HPC
 //!
 //! A Rust reproduction of *"Leveraging Hybrid Classical-Quantum Methods for
@@ -24,6 +25,9 @@
 //!   paper's evaluation section.
 //! * [`telemetry`] — the observability layer: per-read solve traces, trace
 //!   sinks, and the JSON run manifest (see DESIGN.md §Observability).
+//! * [`analyze`] — static analysis for the quadratic models: the lint-rule
+//!   catalogue behind `qlrb lint` and the solver's pre-solve model gate
+//!   (see DESIGN.md §Static analysis).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@
 //! ```
 
 pub use chameleon_sim as runtime;
+pub use qlrb_analyze as analyze;
 pub use qlrb_anneal as anneal;
 pub use qlrb_classical as classical;
 pub use qlrb_core as core;
