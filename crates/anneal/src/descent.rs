@@ -20,8 +20,16 @@ pub fn greedy_descent<E: Evaluator>(ev: &mut E, max_sweeps: usize, rng: &mut imp
     if n == 0 {
         return 0;
     }
+    // Sweep only the active set — presolve-fixed variables can never offer
+    // an improving flip (their delta is identically zero).
+    let mut order: Vec<usize> = match ev.active_vars() {
+        Some(active) => active.to_vec(),
+        None => (0..n).collect(),
+    };
+    if order.is_empty() {
+        return 0;
+    }
     let use_cache = ev.enable_delta_cache();
-    let mut order: Vec<usize> = (0..n).collect();
     let mut total = 0u64;
     for _ in 0..max_sweeps {
         order.shuffle(rng);

@@ -20,6 +20,19 @@
 //! "QPU access time" — `16 ms + 4 ms per SQA read` — standing in for the
 //! hardware anneal charge the paper reports (≈32 ms per Table V solve).
 //!
+//! # Adaptive scheduling
+//!
+//! With [`HybridSolverBuilder::early_stop`] and/or
+//! [`HybridSolverBuilder::adaptive`] enabled, the fixed wave loop is
+//! replaced by a [`crate::scheduler::PortfolioScheduler`]: reads run in
+//! small waves, the best incumbent is tracked wave-to-wave, and the solve
+//! stops early once it plateaus (or presolve / a provable objective lower
+//! bound makes further reads pointless). Under `adaptive`, later waves are
+//! also re-allocated across portfolio members by a deterministic bandit
+//! rule and warm-started from an elite pool of the best states seen.
+//! Scheduling decisions are pure functions of seeds and observed energies —
+//! identical seeds still produce identical sample sets.
+//!
 //! # Configuration and telemetry
 //!
 //! Configuration goes through a validating [`HybridSolverBuilder`]
@@ -38,10 +51,10 @@ use qlrb_analyze::{lint_cqm, lint_penalty, LintReport};
 use qlrb_model::cqm::Cqm;
 use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
 use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
-use qlrb_model::presolve::presolve;
+use qlrb_model::presolve::{presolve, Presolve};
 use qlrb_telemetry::{
     LintDiagnosticRecord, LintRecord, NoopSink, ReadObserver, ReadRecord, SolveRecord,
-    SolverConfig, TimingRecord, TraceSink, WaveRecord,
+    SolverConfig, TimingRecord, TraceSink, WaveAllocation, WaveRecord,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -52,6 +65,9 @@ use crate::repair::repair;
 use crate::run::SamplerRun;
 use crate::sampleset::{Sample, SampleSet, SolverTiming};
 use crate::schedule::estimate_delta_scale;
+use crate::scheduler::{
+    objective_lower_bound, PortfolioScheduler, ReadStats, SchedulerConfig, TerminationReason,
+};
 
 /// Portfolio member identities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +107,12 @@ pub enum SolverBuildError {
     /// A tabu-only portfolio with `tabu_max_vars == 0` would silently
     /// degrade every read to SA — reject the contradiction instead.
     TabuOnlyOverflow,
+    /// `plateau_window == 0` would let early termination fire before any
+    /// wave could possibly improve the incumbent.
+    ZeroPlateauWindow,
+    /// `elite_fraction` outside `[0, 1]` (or NaN) has no meaning as a
+    /// fraction of a wave's reads.
+    EliteFractionOutOfRange,
 }
 
 impl std::fmt::Display for SolverBuildError {
@@ -104,6 +126,10 @@ impl std::fmt::Display for SolverBuildError {
                 "tabu-only portfolio with tabu_max_vars = 0 would downgrade every read; \
                  raise tabu_max_vars or add another sampler"
             ),
+            Self::ZeroPlateauWindow => write!(f, "plateau_window must be at least 1"),
+            Self::EliteFractionOutOfRange => {
+                write!(f, "elite_fraction must lie in [0, 1]")
+            }
         }
     }
 }
@@ -220,6 +246,9 @@ pub struct HybridCqmSolver {
     time_limit: Option<Duration>,
     /// What to do with model-lint findings before solving.
     lint: LintMode,
+    /// Adaptive scheduling knobs (early termination, bandit allocation,
+    /// elite cross-seeding); inert by default.
+    scheduler: SchedulerConfig,
     /// Telemetry sink; [`NoopSink`] disables all record collection.
     sink: Arc<dyn TraceSink>,
 }
@@ -239,6 +268,7 @@ impl Default for HybridCqmSolver {
             repair_steps: 5_000,
             time_limit: None,
             lint: LintMode::Warn,
+            scheduler: SchedulerConfig::default(),
             sink: Arc::new(NoopSink),
         }
     }
@@ -326,6 +356,60 @@ impl HybridSolverBuilder {
         self
     }
 
+    /// Enables bandit read-allocation and elite cross-seeding: after the
+    /// first wave, reads are re-split across portfolio members by observed
+    /// feasible hit-rate × improvement-per-proposal, and a fraction of
+    /// each wave is warm-started from the best states seen so far.
+    /// Deterministic — scheduling decisions never consult the clock.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.cfg.scheduler.adaptive = adaptive;
+        self
+    }
+
+    /// Enables convergence-based early termination: the solve stops
+    /// launching waves once the best incumbent has not improved by
+    /// `plateau_tolerance` (relative) for `plateau_window` consecutive
+    /// waves, or sooner when presolve trivialises the model or a read
+    /// reaches a provable objective lower bound.
+    pub fn early_stop(mut self, early_stop: bool) -> Self {
+        self.cfg.scheduler.early_stop = early_stop;
+        self
+    }
+
+    /// Sets the reads-per-wave of the adaptive scheduler (`0` = auto: one
+    /// read per portfolio member).
+    pub fn wave_size(mut self, wave_size: usize) -> Self {
+        self.cfg.scheduler.wave_size = wave_size;
+        self
+    }
+
+    /// Sets how many consecutive non-improving waves are tolerated before
+    /// a plateau stop (must be ≥ 1).
+    pub fn plateau_window(mut self, plateau_window: usize) -> Self {
+        self.cfg.scheduler.plateau_window = plateau_window;
+        self
+    }
+
+    /// Sets the relative improvement threshold below which a wave counts
+    /// as non-improving.
+    pub fn plateau_tolerance(mut self, plateau_tolerance: f64) -> Self {
+        self.cfg.scheduler.plateau_tolerance = plateau_tolerance;
+        self
+    }
+
+    /// Sets the elite-pool capacity (0 disables cross-seeding).
+    pub fn elite_capacity(mut self, elite_capacity: usize) -> Self {
+        self.cfg.scheduler.elite_capacity = elite_capacity;
+        self
+    }
+
+    /// Sets the fraction of each post-first wave's reads warm-started from
+    /// the elite pool; must lie in `[0, 1]`.
+    pub fn elite_fraction(mut self, elite_fraction: f64) -> Self {
+        self.cfg.scheduler.elite_fraction = elite_fraction;
+        self
+    }
+
     /// Attaches a telemetry sink; pass `Arc::new(NoopSink)` to detach.
     pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.cfg.sink = sink;
@@ -349,6 +433,13 @@ impl HybridSolverBuilder {
         }
         if cfg.tabu_max_vars == 0 && cfg.samplers.iter().all(|&s| s == SamplerKind::Tabu) {
             return Err(SolverBuildError::TabuOnlyOverflow);
+        }
+        if cfg.scheduler.plateau_window == 0 {
+            return Err(SolverBuildError::ZeroPlateauWindow);
+        }
+        // Written as a negated range check so NaN is rejected too.
+        if !(0.0..=1.0).contains(&cfg.scheduler.elite_fraction) {
+            return Err(SolverBuildError::EliteFractionOutOfRange);
         }
         Ok(cfg)
     }
@@ -438,6 +529,11 @@ impl HybridCqmSolver {
         self.lint
     }
 
+    /// The adaptive scheduling configuration.
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
     /// The attached telemetry sink.
     pub fn trace_sink(&self) -> &Arc<dyn TraceSink> {
         &self.sink
@@ -458,6 +554,13 @@ impl HybridCqmSolver {
             repair_steps: self.repair_steps,
             time_limit_ms: self.time_limit.map(|d| d.as_secs_f64() * 1e3),
             lint: self.lint.to_string(),
+            adaptive: self.scheduler.adaptive,
+            early_stop: self.scheduler.early_stop,
+            wave_size: self.scheduler.wave_size,
+            plateau_window: self.scheduler.plateau_window,
+            plateau_tolerance: self.scheduler.plateau_tolerance,
+            elite_capacity: self.scheduler.elite_capacity,
+            elite_fraction: self.scheduler.elite_fraction,
         }
     }
 
@@ -557,6 +660,7 @@ impl HybridCqmSolver {
                     requested_reads: self.num_reads,
                     reads: Vec::new(),
                     waves: Vec::new(),
+                    termination: TerminationReason::FastExit.as_str().to_string(),
                     timing: timing_record(&set.timing),
                     summary: set.summary(),
                 });
@@ -580,53 +684,85 @@ impl HybridCqmSolver {
             .collect();
 
         let mut waves: Vec<WaveRecord> = Vec::new();
-        let mut results: Vec<(Sample, Option<ReadRecord>)> = match self.time_limit {
-            None => {
-                let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                let out: Vec<_> = (0..self.num_reads)
-                    .into_par_iter()
-                    .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
-                    .collect();
-                if tracing {
-                    waves.push(WaveRecord {
-                        wave: 0,
-                        first_read: 0,
-                        reads: out.len(),
-                        wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
-                    });
-                }
-                out
-            }
-            Some(limit) => {
-                // Waves of one read per worker thread. The budget is
-                // checked before a wave launches (never after), so spent
-                // budget cannot trigger extra work; the first wave skips
-                // the check to honour the at-least-one-wave guarantee.
-                let wave = rayon::current_num_threads().max(1);
-                let mut out = Vec::with_capacity(self.num_reads);
-                let mut next = 0usize;
-                while next < self.num_reads {
-                    if next > 0 && started.elapsed() >= limit {
-                        break;
-                    }
-                    let end = (next + wave).min(self.num_reads);
+        let mut termination = TerminationReason::Exhausted;
+        let scheduled = self.scheduler.early_stop || self.scheduler.adaptive;
+        let mut results: Vec<(Sample, Option<ReadRecord>)> = if scheduled {
+            let (out, w, t) = self.run_scheduled(cqm, &pre, &compiled, &seeds, started, tracing);
+            waves = w;
+            termination = t;
+            out
+        } else {
+            match self.time_limit {
+                None => {
                     let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                    let batch: Vec<_> = (next..end)
+                    let out: Vec<ReadOutcome> = (0..self.num_reads)
                         .into_par_iter()
-                        .map(|r| self.run_read(cqm.num_vars(), &compiled, &seeds, r, tracing))
+                        .map(|r| {
+                            self.run_read(
+                                cqm.num_vars(),
+                                &compiled,
+                                r,
+                                self.rotation_sampler(r),
+                                seeds.get(r).map(Vec::as_slice),
+                                tracing,
+                            )
+                        })
                         .collect();
                     if tracing {
                         waves.push(WaveRecord {
-                            wave: waves.len(),
-                            first_read: next,
-                            reads: batch.len(),
+                            wave: 0,
+                            first_read: 0,
+                            reads: out.len(),
+                            allocation: allocation_of(out.iter().map(|o| o.sample.sampler)),
+                            elite_seeded: 0,
                             wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
                         });
                     }
-                    out.extend(batch);
-                    next = end;
+                    out.into_iter().map(|o| (o.sample, o.record)).collect()
                 }
-                out
+                Some(limit) => {
+                    // Waves of one read per worker thread. The budget is
+                    // checked before a wave launches (never after), so spent
+                    // budget cannot trigger extra work; the first wave skips
+                    // the check to honour the at-least-one-wave guarantee.
+                    let wave = rayon::current_num_threads().max(1);
+                    let mut out = Vec::with_capacity(self.num_reads);
+                    let mut next = 0usize;
+                    while next < self.num_reads {
+                        if next > 0 && started.elapsed() >= limit {
+                            termination = TerminationReason::TimeLimit;
+                            break;
+                        }
+                        let end = (next + wave).min(self.num_reads);
+                        let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
+                        let batch: Vec<ReadOutcome> = (next..end)
+                            .into_par_iter()
+                            .map(|r| {
+                                self.run_read(
+                                    cqm.num_vars(),
+                                    &compiled,
+                                    r,
+                                    self.rotation_sampler(r),
+                                    seeds.get(r).map(Vec::as_slice),
+                                    tracing,
+                                )
+                            })
+                            .collect();
+                        if tracing {
+                            waves.push(WaveRecord {
+                                wave: waves.len(),
+                                first_read: next,
+                                reads: batch.len(),
+                                allocation: allocation_of(batch.iter().map(|o| o.sample.sampler)),
+                                elite_seeded: 0,
+                                wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
+                            });
+                        }
+                        out.extend(batch.into_iter().map(|o| (o.sample, o.record)));
+                        next = end;
+                    }
+                    out
+                }
             }
         };
 
@@ -679,6 +815,7 @@ impl HybridCqmSolver {
                 requested_reads: self.num_reads,
                 reads,
                 waves,
+                termination: termination.as_str().to_string(),
                 timing: timing_record(&set.timing),
                 summary: set.summary(),
             });
@@ -686,41 +823,171 @@ impl HybridCqmSolver {
         set
     }
 
+    /// The legacy portfolio rotation: read `r` runs `samplers[r % len]`.
+    /// An empty portfolio would make the modular lookup panic; degrade to
+    /// plain SA instead so a misconfigured solver still samples.
+    fn rotation_sampler(&self, read_index: usize) -> SamplerKind {
+        if self.samplers.is_empty() {
+            SamplerKind::Sa
+        } else {
+            self.samplers[read_index % self.samplers.len()]
+        }
+    }
+
+    /// The adaptive wave loop (`early_stop` and/or `adaptive` enabled): a
+    /// [`PortfolioScheduler`] plans each wave's member split and elite
+    /// warm-starts, observes the results, and decides when to stop.
+    ///
+    /// Reads here always run with a recording observer — the scheduler
+    /// needs per-read proposal counts and energies whether or not a trace
+    /// sink is attached. Observers never draw randomness, so this cannot
+    /// perturb the samples.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scheduled(
+        &self,
+        cqm: &Cqm,
+        pre: &Presolve,
+        compiled: &Arc<CompiledCqm>,
+        seeds: &[Vec<u8>],
+        started: Instant,
+        tracing: bool,
+    ) -> ScheduledRun {
+        let width = cqm.num_vars();
+        let members: Vec<SamplerKind> = if self.samplers.is_empty() {
+            vec![SamplerKind::Sa]
+        } else {
+            self.samplers.clone()
+        };
+        // Presolve proved everything (or the model is unsatisfiable as
+        // bounded): no read can beat the trivial incumbent.
+        let trivial = pre.infeasible || compiled.active_vars().is_empty();
+        let mut scheduler = PortfolioScheduler::new(
+            self.scheduler.clone(),
+            members.len(),
+            objective_lower_bound(cqm),
+            trivial,
+        );
+        let mut out = Vec::with_capacity(self.num_reads);
+        let mut waves: Vec<WaveRecord> = Vec::new();
+        let mut termination = TerminationReason::Exhausted;
+        let mut next = 0usize;
+        while next < self.num_reads {
+            if next > 0 {
+                if let Some(reason) = scheduler.should_stop() {
+                    termination = reason;
+                    break;
+                }
+                if let Some(limit) = self.time_limit {
+                    if started.elapsed() >= limit {
+                        termination = TerminationReason::TimeLimit;
+                        break;
+                    }
+                }
+            }
+            let wave_reads = scheduler.wave_size().min(self.num_reads - next);
+            let plan = scheduler.plan_wave(next, wave_reads);
+            let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
+            let batch: Vec<ReadOutcome> = plan
+                .members
+                .par_iter()
+                .enumerate()
+                .map(|(i, &m)| {
+                    let r = next + i;
+                    // Caller seeds take the slot first; elite warm-starts
+                    // fill the remaining leading slots of the wave.
+                    let initial = seeds
+                        .get(r)
+                        .map(Vec::as_slice)
+                        .or_else(|| plan.elite_seeds.get(i).map(Vec::as_slice));
+                    self.run_read(width, compiled, r, members[m], initial, true)
+                })
+                .collect();
+            let mut elite_seeded = 0usize;
+            let stats: Vec<ReadStats> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let r = next + i;
+                    if r >= seeds.len() && i < plan.elite_seeds.len() {
+                        elite_seeded += 1;
+                    }
+                    // Score against the original model so the scheduler's
+                    // incumbent tracks true feasibility and objective
+                    // (idempotent with the final rescoring pass below).
+                    let mut st = o.sample.state.clone();
+                    st.truncate(width);
+                    pre.apply_to_state(&mut st);
+                    ReadStats {
+                        member: plan.members[i],
+                        proposals: o.record.as_ref().map_or(0, |rec| rec.proposals),
+                        initial_energy: o
+                            .record
+                            .as_ref()
+                            .map_or(o.energy, |rec| rec.initial_energy),
+                        final_energy: o.energy,
+                        objective: cqm.objective(&st),
+                        feasible: cqm.total_violation(&st) == 0.0,
+                        // Elite states live at compiled width so they can
+                        // re-enter the samplers directly.
+                        state: o.sample.state.clone(),
+                    }
+                })
+                .collect();
+            scheduler.observe_wave(&stats);
+            if tracing {
+                waves.push(WaveRecord {
+                    wave: waves.len(),
+                    first_read: next,
+                    reads: batch.len(),
+                    allocation: allocation_of(batch.iter().map(|o| o.sample.sampler)),
+                    elite_seeded,
+                    wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
+                });
+            }
+            out.extend(
+                batch
+                    .into_iter()
+                    .map(|o| (o.sample, if tracing { o.record } else { None })),
+            );
+            next += wave_reads;
+        }
+        (out, waves, termination)
+    }
+
     /// One independent read: seed → sample → polish → repair.
+    ///
+    /// `sampler` is the portfolio member to run (possibly downgraded by the
+    /// tabu width guard); `initial` is a caller seed or elite warm-start,
+    /// `None` for a random start drawn from the read's own RNG — drawing
+    /// inside the read keeps its random stream identical whether or not
+    /// other reads were seeded.
     fn run_read(
         &self,
         cqm_width: usize,
         compiled: &Arc<CompiledCqm>,
-        seeds: &[Vec<u8>],
         read_index: usize,
+        sampler: SamplerKind,
+        initial: Option<&[u8]>,
         tracing: bool,
-    ) -> (Sample, Option<ReadRecord>) {
+    ) -> ReadOutcome {
         let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
         let mut rng = ChaCha8Rng::seed_from_u64(read_seed);
-        // An empty portfolio would make the modular lookup panic; degrade
-        // to plain SA instead so a misconfigured solver still samples.
-        let mut sampler = if self.samplers.is_empty() {
-            SamplerKind::Sa
-        } else {
-            self.samplers[read_index % self.samplers.len()]
-        };
+        let mut sampler = sampler;
         if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
             sampler = SamplerKind::Sa;
         }
 
-        // Initial state: rotate through provided seeds, then random states.
-        let seeded = read_index < seeds.len();
+        let seeded = initial.is_some();
         let mut obs = if tracing {
             ReadObserver::recording(read_index, read_seed, seeded)
         } else {
             ReadObserver::disabled()
         };
-        let initial: Vec<u8> = if seeded {
-            seeds[read_index].clone()
-        } else {
-            (0..cqm_width)
+        let initial: Vec<u8> = match initial {
+            Some(s) => s.to_vec(),
+            None => (0..cqm_width)
                 .map(|_| u8::from(rng.random::<bool>()))
-                .collect()
+                .collect(),
         };
         let mut ev = CqmEvaluator::with_state(Arc::clone(compiled), &initial);
         // Seeds are CQM-width: under slack compilation their slack bits are
@@ -754,19 +1021,56 @@ impl HybridCqmSolver {
             // feasibility or at least did not lose ground.
         }
 
-        let record = obs.finish(ev.energy());
+        let energy = ev.energy();
+        let record = obs.finish(energy);
         let state = ev.state().to_vec();
-        (
-            Sample {
+        ReadOutcome {
+            sample: Sample {
                 objective: 0.0, // rescored by `solve`
                 violation: 0.0,
                 feasible: false,
                 state,
                 sampler,
             },
+            energy,
             record,
-        )
+        }
     }
+}
+
+/// What the adaptive wave loop hands back to `solve_impl`: the collected
+/// samples (with their trace records when a sink is attached), the
+/// per-wave records, and why the loop stopped.
+type ScheduledRun = (
+    Vec<(Sample, Option<ReadRecord>)>,
+    Vec<WaveRecord>,
+    TerminationReason,
+);
+
+/// What one read hands back to the wave loop: the (not yet rescored)
+/// sample, its final penalized energy — the scheduler's incumbent signal —
+/// and the trace record if one was collected.
+struct ReadOutcome {
+    sample: Sample,
+    energy: f64,
+    record: Option<ReadRecord>,
+}
+
+/// Aggregates a wave's per-read sampler kinds into the per-member split
+/// recorded in [`WaveRecord::allocation`], preserving first-seen order.
+fn allocation_of(kinds: impl Iterator<Item = SamplerKind>) -> Vec<WaveAllocation> {
+    let mut alloc: Vec<(String, usize)> = Vec::new();
+    for kind in kinds {
+        let name = kind.to_string();
+        match alloc.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, count)) => *count += 1,
+            None => alloc.push((name, 1)),
+        }
+    }
+    alloc
+        .into_iter()
+        .map(|(sampler, reads)| WaveAllocation { sampler, reads })
+        .collect()
 }
 
 /// Converts the internal [`SolverTiming`] into the serializable
@@ -1190,6 +1494,168 @@ mod tests {
         let states_b: Vec<_> = b.samples.iter().map(|s| s.state.clone()).collect();
         assert_eq!(states_a, states_b, "telemetry must not perturb the solve");
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_scheduler_degeneracies() {
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .plateau_window(0)
+                .build()
+                .unwrap_err(),
+            SolverBuildError::ZeroPlateauWindow
+        );
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .elite_fraction(1.5)
+                .build()
+                .unwrap_err(),
+            SolverBuildError::EliteFractionOutOfRange
+        );
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .elite_fraction(-0.1)
+                .build()
+                .unwrap_err(),
+            SolverBuildError::EliteFractionOutOfRange
+        );
+        assert_eq!(
+            HybridCqmSolver::builder()
+                .elite_fraction(f64::NAN)
+                .build()
+                .unwrap_err(),
+            SolverBuildError::EliteFractionOutOfRange
+        );
+        // The boundary values are legal.
+        assert!(HybridCqmSolver::builder()
+            .plateau_window(1)
+            .elite_fraction(1.0)
+            .adaptive(true)
+            .early_stop(true)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn adaptive_solve_is_deterministic() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(80)
+            .seed(3)
+            .adaptive(true)
+            .early_stop(true)
+            .plateau_window(2)
+            .build()
+            .unwrap();
+        let a = solver.solve(&cqm, &[]);
+        let b = solver.solve(&cqm, &[]);
+        let states_a: Vec<_> = a.samples.iter().map(|s| s.state.clone()).collect();
+        let states_b: Vec<_> = b.samples.iter().map(|s| s.state.clone()).collect();
+        assert_eq!(
+            states_a, states_b,
+            "adaptive scheduling must stay deterministic"
+        );
+        assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    /// A model whose optimum (0.25) sits strictly above the provable
+    /// objective lower bound (0), so the lower-bound fast exit can never
+    /// fire and plateau behaviour can be tested in isolation.
+    fn above_bound_cqm() -> Cqm {
+        let mut cqm = Cqm::new(4);
+        let mut sum = LinearExpr::new();
+        for v in 0..4 {
+            sum.add_term(Var(v), 1.0);
+        }
+        cqm.add_squared_term(sum, 2.5, 1.0);
+        cqm
+    }
+
+    #[test]
+    fn early_stop_never_fires_before_first_wave() {
+        let cqm = above_bound_cqm();
+        let sink = Arc::new(MemorySink::new());
+        // An absurd tolerance makes every wave count as non-improving, so
+        // the earliest legal stop — after exactly one wave — must happen.
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(60)
+            .early_stop(true)
+            .plateau_window(1)
+            .plateau_tolerance(1e12)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        // Wave 1 establishes the incumbent (that counts as progress, so a
+        // stop after it alone is impossible); wave 2 is the first that can
+        // register as stagnant. The earliest legal stop is therefore after
+        // two waves — never zero or one.
+        assert_eq!(rec.waves.len(), 2, "earliest plateau stop is wave 2");
+        assert_eq!(rec.termination, "plateau");
+        assert!(!set.samples.is_empty(), "at least one wave of samples");
+        assert!(set.samples.len() < 12, "early stop must truncate the reads");
+        assert_eq!(rec.reads.len(), set.samples.len());
+    }
+
+    #[test]
+    fn adaptive_trace_records_allocation_and_termination() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        // Adaptive without early_stop: the scheduler runs all reads, so
+        // every wave (rotation wave 0 plus bandit-planned later waves) is
+        // recorded and termination reads "exhausted".
+        let solver = HybridCqmSolver::builder()
+            .num_reads(9)
+            .sweeps(60)
+            .seed(11)
+            .adaptive(true)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 9);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "exhausted");
+        assert_eq!(rec.waves.len(), 3, "9 reads / wave of 3 members");
+        assert_eq!(rec.waves[0].elite_seeded, 0, "wave 0 has no elites yet");
+        for w in &rec.waves {
+            let alloc: usize = w.allocation.iter().map(|a| a.reads).sum();
+            assert_eq!(alloc, w.reads, "allocation must cover the wave");
+        }
+        // Later waves draw from the elite pool (fraction 0.5 of 3 ⇒ ≥ 1).
+        assert!(rec.waves[1..].iter().any(|w| w.elite_seeded > 0));
+    }
+
+    #[test]
+    fn fast_exit_on_presolve_trivial_model() {
+        // x0 + x1 + x2 ≤ 0 forces every variable to 0: presolve fixes the
+        // whole model and the compiled active set is empty.
+        let mut cqm = Cqm::new(3);
+        let mut sum = LinearExpr::new();
+        for v in 0..3 {
+            sum.add_term(Var(v), 1.0);
+        }
+        cqm.add_squared_term(sum.clone(), 0.0, 1.0);
+        cqm.add_constraint(sum, Sense::Le, 0.0, "all_zero");
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(60)
+            .early_stop(true)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "fast-exit");
+        assert_eq!(rec.waves.len(), 1, "one mandatory wave, then fast exit");
+        assert!(set.samples.len() < 12);
+        let best = set.best_feasible().unwrap();
+        assert_eq!(best.objective, 0.0);
+        assert_eq!(best.state, vec![0, 0, 0]);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   a rayon-parallel portfolio of SA/SQA/tabu reads seeded with classical
 //!   candidate states → polish → repair → best-feasible selection, with the
 //!   CPU/"QPU" time split the paper reports in its runtime columns.
+//! * [`scheduler`] — deterministic adaptive wave scheduling for the hybrid
+//!   solver: plateau-based early termination, bandit read allocation, and
+//!   elite cross-seeding (see `HybridSolverBuilder::adaptive`).
 //!
 //! Determinism: every entry point takes a seed; identical seeds produce
 //! identical sample sets (rayon parallelism is over independently-seeded
@@ -35,6 +38,7 @@ pub mod run;
 pub mod sa;
 pub mod sampleset;
 pub mod schedule;
+pub mod scheduler;
 pub mod sqa;
 pub mod tabu;
 
@@ -46,6 +50,7 @@ pub use run::{SamplerExtras, SamplerRun};
 pub use sa::SaParams;
 pub use sampleset::{Sample, SampleSet, SampleSetSummary, SolverTiming};
 pub use schedule::BetaSchedule;
+pub use scheduler::{PortfolioScheduler, ReadStats, SchedulerConfig, TerminationReason, WavePlan};
 pub use sqa::SqaParams;
 pub use tabu::TabuParams;
 

@@ -68,14 +68,27 @@ pub fn parallel_tempering<E: Evaluator + Clone>(
         .collect();
     let mut walkers: Vec<E> = (0..r).map(|_| proto.clone()).collect();
 
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut accept_u: Vec<f64> = Vec::with_capacity(n);
+    // Proposals come from the active set only (cf. `sa`): presolve-fixed
+    // variables have identically-zero flip deltas.
+    let mut order: Vec<usize> = match proto.active_vars() {
+        Some(active) => active.to_vec(),
+        None => (0..n).collect(),
+    };
+    if order.is_empty() {
+        return AnnealResult {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+    let proposals = order.len();
+    let mut accept_u: Vec<f64> = Vec::with_capacity(proposals);
     for sweep in 0..params.sweeps {
         for (walker, &beta) in walkers.iter_mut().zip(&betas) {
             order.shuffle(rng);
             // Batched acceptance uniforms, one per proposal (cf. `sa`).
             accept_u.clear();
-            accept_u.extend((0..n).map(|_| rng.random::<f64>()));
+            accept_u.extend((0..proposals).map(|_| rng.random::<f64>()));
             for (i, &v) in order.iter().enumerate() {
                 let delta = walker.flip_delta(v);
                 let accept = delta <= 0.0 || {

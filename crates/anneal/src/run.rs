@@ -188,7 +188,10 @@ impl SamplerRun {
         rng: &mut impl Rng,
         obs: &mut ReadObserver,
     ) -> AnnealResult {
-        let n = ev.num_vars() as u64;
+        // Proposal counts are per *active* variable: samplers skip
+        // presolve-fixed bits, and the scheduler uses these counts as its
+        // deterministic CPU-cost proxy, so they must reflect work done.
+        let n = ev.active_vars().map_or(ev.num_vars(), <[usize]>::len) as u64;
         let initial_energy = ev.energy();
         let kind = self.kind().to_string();
         match self.extras {

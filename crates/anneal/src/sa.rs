@@ -71,22 +71,29 @@ pub fn simulated_annealing<E: Evaluator>(
     let mut best_state = ev.state().to_vec();
     let mut best_energy = ev.energy();
     let mut accepted = 0u64;
-    if n == 0 || params.sweeps == 0 {
+    // Proposals are drawn from the evaluator's active set only: presolve-
+    // fixed variables carry zero incidence, so flipping them is a wasted
+    // move (delta 0, always accepted, never changes the energy).
+    let mut order: Vec<usize> = match ev.active_vars() {
+        Some(active) => active.to_vec(),
+        None => (0..n).collect(),
+    };
+    if order.is_empty() || params.sweeps == 0 {
         return AnnealResult {
             state: best_state,
             energy: best_energy,
             accepted,
         };
     }
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut accept_u: Vec<f64> = Vec::with_capacity(n);
+    let proposals = order.len();
+    let mut accept_u: Vec<f64> = Vec::with_capacity(proposals);
     let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
     for sweep in 0..params.sweeps {
         let beta = params.schedule.beta(sweep as f64 / denom);
         order.shuffle(rng);
         // One uniform per proposal, drawn up front for the whole sweep.
         accept_u.clear();
-        accept_u.extend((0..n).map(|_| rng.random::<f64>()));
+        accept_u.extend((0..proposals).map(|_| rng.random::<f64>()));
         for (i, &v) in order.iter().enumerate() {
             let delta = ev.flip_delta(v);
             let accept = delta <= 0.0 || {

@@ -1,0 +1,722 @@
+//! Adaptive portfolio scheduler: convergence-based early termination,
+//! bandit-style read allocation, and elite cross-seeding for
+//! [`crate::hybrid::HybridCqmSolver`].
+//!
+//! The scheduler replaces the fixed round-robin wave loop with a feedback
+//! loop: after every wave it observes what each portfolio member achieved
+//! (feasible hits, energy improvement, proposals spent) and decides
+//!
+//! 1. whether to stop — the best incumbent has plateaued for
+//!    [`SchedulerConfig::plateau_window`] consecutive waves, a provable
+//!    objective lower bound has been reached, or presolve already solved
+//!    the model (*fast exit*);
+//! 2. how to split the next wave's reads across members — a multiplicative
+//!    bandit score `hit-rate × improvement-per-proposal` turned into read
+//!    counts by largest-remainder apportionment;
+//! 3. which reads to warm-start — a bounded pool of *elite* states (best
+//!    feasible first) seeds a configurable fraction of every later wave.
+//!
+//! **Determinism.** Every decision is a pure function of the observed
+//! energies, feasibility verdicts, and *proposal counts* — never wall-clock
+//! time. Proposal counts are the samplers' deterministic CPU-cost proxy
+//! (each sampler reports `sweeps × active-neighbourhood`), so
+//! "improvement per CPU-millisecond" becomes "improvement per proposal"
+//! without breaking the identical-seeds ⇒ identical-samples contract.
+
+use qlrb_model::cqm::Cqm;
+
+/// Scheduler knobs carried by the hybrid solver. All fields have inert
+/// defaults: with both `adaptive` and `early_stop` off the solver's legacy
+/// fixed-rotation wave loop runs unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Bandit read-allocation + elite cross-seeding.
+    pub adaptive: bool,
+    /// Plateau / lower-bound / fast-exit termination.
+    pub early_stop: bool,
+    /// Reads per wave; `0` means auto (one read per portfolio member).
+    pub wave_size: usize,
+    /// Consecutive non-improving waves tolerated before a plateau stop.
+    /// Must be ≥ 1 (the builder rejects 0).
+    pub plateau_window: usize,
+    /// Relative improvement threshold: a wave counts as improving only if
+    /// it lowers the incumbent by more than `tol × max(1, |incumbent|)`.
+    pub plateau_tolerance: f64,
+    /// Maximum states retained in the elite pool.
+    pub elite_capacity: usize,
+    /// Fraction of each post-first wave's reads warm-started from the
+    /// elite pool, in `[0, 1]`.
+    pub elite_fraction: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            adaptive: false,
+            early_stop: false,
+            wave_size: 0,
+            plateau_window: 1,
+            plateau_tolerance: 1e-3,
+            elite_capacity: 8,
+            elite_fraction: 0.5,
+        }
+    }
+}
+
+/// Why the wave loop stopped launching reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// All requested reads ran.
+    Exhausted,
+    /// The incumbent failed to improve for `plateau_window` waves.
+    Plateau,
+    /// Presolve trivialised the model or a read reached a provable
+    /// objective lower bound — no further reads can help.
+    FastExit,
+    /// The wall-clock budget ran out (decided by the solver, not here).
+    TimeLimit,
+}
+
+impl TerminationReason {
+    /// Stable string form recorded into telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Exhausted => "exhausted",
+            Self::Plateau => "plateau",
+            Self::FastExit => "fast-exit",
+            Self::TimeLimit => "time-limit",
+        }
+    }
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one read of a wave reported back to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadStats {
+    /// Portfolio member index that ran the read.
+    pub member: usize,
+    /// Move proposals the sampler examined (deterministic cost proxy).
+    pub proposals: u64,
+    /// Penalized energy entering the sampler.
+    pub initial_energy: f64,
+    /// Penalized energy of the returned state.
+    pub final_energy: f64,
+    /// Objective of the returned state against the original CQM.
+    pub objective: f64,
+    /// Feasibility verdict against the original CQM.
+    pub feasible: bool,
+    /// The returned state at compiled width (for the elite pool).
+    pub state: Vec<u8>,
+}
+
+/// The scheduler's decision for one wave: which member runs each slot and
+/// which leading slots are warm-started from the elite pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavePlan {
+    /// Portfolio member index per read slot, in launch order.
+    pub members: Vec<usize>,
+    /// Elite states assigned to the leading slots (`elite_seeds[i]` seeds
+    /// slot `i`); shorter than `members` when the pool is small.
+    pub elite_seeds: Vec<Vec<u8>>,
+}
+
+/// Cumulative per-member bandit statistics.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemberStats {
+    reads: u64,
+    feasible: u64,
+    proposals: u64,
+    improvement: f64,
+}
+
+/// The best state seen so far, ordered lexicographically: any feasible
+/// state beats any infeasible one; ties break on value (objective for
+/// feasible states, penalized energy otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Incumbent {
+    feasible: bool,
+    value: f64,
+}
+
+impl Incumbent {
+    fn of(r: &ReadStats) -> Self {
+        Self {
+            feasible: r.feasible,
+            value: if r.feasible {
+                r.objective
+            } else {
+                r.final_energy
+            },
+        }
+    }
+
+    /// Whether `self` is strictly better than `other`.
+    fn better_than(self, other: Self) -> bool {
+        if self.feasible != other.feasible {
+            return self.feasible;
+        }
+        self.value < other.value
+    }
+
+    /// Whether `self` improves on `other` by more than the relative
+    /// tolerance (used only for plateau counting; incumbent replacement
+    /// uses the plain [`Self::better_than`] ordering).
+    fn improves_on(self, other: Self, tol: f64) -> bool {
+        if self.feasible != other.feasible {
+            return self.feasible;
+        }
+        other.value - self.value > tol * other.value.abs().max(1.0)
+    }
+}
+
+/// One elite-pool entry.
+#[derive(Debug, Clone)]
+struct Elite {
+    feasible: bool,
+    energy: f64,
+    state: Vec<u8>,
+}
+
+/// Deterministic wave-by-wave scheduler. Feed it observations with
+/// [`Self::observe_wave`]; ask it for plans with [`Self::plan_wave`] and
+/// for a stop verdict with [`Self::should_stop`]. Identical observation
+/// streams produce identical plans and verdicts.
+#[derive(Debug)]
+pub struct PortfolioScheduler {
+    cfg: SchedulerConfig,
+    num_members: usize,
+    /// Provable objective lower bound, when one exists for the model.
+    lower_bound: Option<f64>,
+    /// Presolve already solved (or refuted) the model: no read can beat
+    /// the trivial incumbent, so stop after the mandatory first wave.
+    trivial: bool,
+    stats: Vec<MemberStats>,
+    elites: Vec<Elite>,
+    incumbent: Option<Incumbent>,
+    stagnant_waves: usize,
+    waves_observed: usize,
+}
+
+impl PortfolioScheduler {
+    /// A fresh scheduler for a portfolio of `num_members` samplers.
+    pub fn new(
+        cfg: SchedulerConfig,
+        num_members: usize,
+        lower_bound: Option<f64>,
+        trivial: bool,
+    ) -> Self {
+        let members = num_members.max(1);
+        Self {
+            cfg,
+            num_members: members,
+            lower_bound,
+            trivial,
+            stats: vec![MemberStats::default(); members],
+            elites: Vec::new(),
+            incumbent: None,
+            stagnant_waves: 0,
+            waves_observed: 0,
+        }
+    }
+
+    /// Reads per wave under this configuration.
+    pub fn wave_size(&self) -> usize {
+        if self.cfg.wave_size == 0 {
+            self.num_members
+        } else {
+            self.cfg.wave_size
+        }
+    }
+
+    /// Number of waves observed so far.
+    pub fn waves_observed(&self) -> usize {
+        self.waves_observed
+    }
+
+    /// Best incumbent value seen so far (objective if a feasible state has
+    /// been found, penalized energy otherwise).
+    pub fn incumbent_value(&self) -> Option<f64> {
+        self.incumbent.map(|i| i.value)
+    }
+
+    /// Plans the next wave of `wave_reads` reads starting at global read
+    /// index `first_read`. Wave 0 — and every wave when `adaptive` is off —
+    /// uses the legacy fixed rotation `member = read % num_members`, so a
+    /// scheduler with adaptivity disabled reproduces the classic portfolio
+    /// exactly. Later adaptive waves allocate by bandit weight, emitting
+    /// slots in descending-weight order so elite seeds (which occupy the
+    /// leading slots) warm-start the currently strongest members.
+    pub fn plan_wave(&self, first_read: usize, wave_reads: usize) -> WavePlan {
+        let members = if self.cfg.adaptive && self.waves_observed > 0 {
+            self.bandit_members(wave_reads)
+        } else {
+            (0..wave_reads)
+                .map(|i| (first_read + i) % self.num_members)
+                .collect()
+        };
+        let elite_seeds = if self.cfg.adaptive && self.waves_observed > 0 {
+            let frac = self.cfg.elite_fraction.clamp(0.0, 1.0);
+            let want = (frac * wave_reads as f64).round() as usize;
+            let take = want.min(self.elites.len()).min(wave_reads);
+            self.elites[..take]
+                .iter()
+                .map(|e| e.state.clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        WavePlan {
+            members,
+            elite_seeds,
+        }
+    }
+
+    /// Folds one finished wave into the bandit statistics, elite pool,
+    /// incumbent, and plateau counter.
+    pub fn observe_wave(&mut self, reads: &[ReadStats]) {
+        let before = self.incumbent;
+        for r in reads {
+            if let Some(s) = self.stats.get_mut(r.member) {
+                s.reads += 1;
+                s.feasible += u64::from(r.feasible);
+                s.proposals += r.proposals;
+                s.improvement += (r.initial_energy - r.final_energy).max(0.0);
+            }
+            let cand = Incumbent::of(r);
+            if self.incumbent.is_none_or(|inc| cand.better_than(inc)) {
+                self.incumbent = Some(cand);
+            }
+            self.admit_elite(r);
+        }
+        let improved = match (self.incumbent, before) {
+            (Some(now), Some(then)) => now.improves_on(then, self.cfg.plateau_tolerance),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if improved {
+            self.stagnant_waves = 0;
+        } else {
+            self.stagnant_waves += 1;
+        }
+        self.waves_observed += 1;
+    }
+
+    /// Stop verdict for the *next* wave. Always `None` before the first
+    /// wave has been observed (a solve runs at least one wave) and whenever
+    /// `early_stop` is off.
+    pub fn should_stop(&self) -> Option<TerminationReason> {
+        if !self.cfg.early_stop || self.waves_observed == 0 {
+            return None;
+        }
+        if self.trivial {
+            return Some(TerminationReason::FastExit);
+        }
+        if let (Some(lb), Some(inc)) = (self.lower_bound, self.incumbent) {
+            if inc.feasible && inc.value <= lb + 1e-9 {
+                return Some(TerminationReason::FastExit);
+            }
+        }
+        if self.stagnant_waves >= self.cfg.plateau_window {
+            return Some(TerminationReason::Plateau);
+        }
+        None
+    }
+
+    /// Bandit allocation: weight each member by
+    /// `hit-rate × (gain-per-proposal + floor)` and apportion `wave_reads`
+    /// slots by largest remainder. Slots are emitted grouped by member in
+    /// descending-weight order (ties break on member index), so the elite
+    /// seeds assigned to leading slots land on the strongest members.
+    fn bandit_members(&self, wave_reads: usize) -> Vec<usize> {
+        let gains: Vec<f64> = self
+            .stats
+            .iter()
+            .map(|s| {
+                if s.proposals == 0 {
+                    0.0
+                } else {
+                    s.improvement / s.proposals as f64
+                }
+            })
+            .collect();
+        let max_gain = gains.iter().fold(0.0_f64, |a, &g| a.max(g));
+        // The floor keeps zero-gain members in the race (exploration) and
+        // makes hit-rate the deciding factor when no member has improved
+        // anything yet.
+        let floor = if max_gain > 0.0 { 1e-3 * max_gain } else { 1.0 };
+        let weights: Vec<f64> = self
+            .stats
+            .iter()
+            .zip(&gains)
+            .map(|(s, &g)| {
+                let hit = (1.0 + s.feasible as f64) / (1.0 + s.reads as f64);
+                hit * (g + floor)
+            })
+            .collect();
+        let counts = apportion(&weights, wave_reads);
+        // Descending weight, ties by index: stable ordering for plans.
+        let mut order: Vec<usize> = (0..self.num_members).collect();
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then_with(|| a.cmp(&b)));
+        let mut plan = Vec::with_capacity(wave_reads);
+        for m in order {
+            plan.extend(std::iter::repeat_n(m, counts[m]));
+        }
+        plan
+    }
+
+    /// Inserts a read's state into the elite pool unless an identical state
+    /// is already present, then re-sorts (feasible first, lower penalized
+    /// energy first) and truncates to capacity.
+    fn admit_elite(&mut self, r: &ReadStats) {
+        if self.cfg.elite_capacity == 0 || r.state.is_empty() {
+            return;
+        }
+        if self.elites.iter().any(|e| e.state == r.state) {
+            return;
+        }
+        self.elites.push(Elite {
+            feasible: r.feasible,
+            energy: r.final_energy,
+            state: r.state.clone(),
+        });
+        self.elites.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then_with(|| a.energy.total_cmp(&b.energy))
+        });
+        self.elites.truncate(self.cfg.elite_capacity);
+    }
+}
+
+/// Largest-remainder apportionment of `total` slots by non-negative
+/// weights. Degenerate weights (all zero / non-finite sum) fall back to an
+/// even round-robin split. Always sums to `total`.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if !(sum.is_finite() && sum > 0.0) {
+        let mut counts = vec![total / n; n];
+        for c in counts.iter_mut().take(total % n) {
+            *c += 1;
+        }
+        return counts;
+    }
+    let mut counts = vec![0usize; n];
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(n);
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+        let quota = total as f64 * w / sum;
+        let base = quota.floor() as usize;
+        counts[i] = base;
+        assigned += base;
+        fracs.push((quota - base as f64, i));
+    }
+    // Highest fractional remainder first; ties break on member index.
+    // The leftover is at most n − 1 (sum of floors loses < 1 per member),
+    // so one pass over the sorted remainders always places everything.
+    fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let mut leftover = total.saturating_sub(assigned);
+    for &(_, i) in &fracs {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    counts
+}
+
+/// A provable lower bound on the CQM objective, when one exists.
+///
+/// The objective is `Σ wᵢ·(exprᵢ − targetᵢ)² + linear`. Squared terms with
+/// non-negative weights contribute ≥ 0, so
+/// `lb = linear.constant + Σ min(0, linear coeff)` bounds the whole
+/// objective from below. Returns `None` if any squared-term weight is
+/// negative (the model layer forbids this, but a bound must not lie).
+pub fn objective_lower_bound(cqm: &Cqm) -> Option<f64> {
+    if cqm.squared_terms.iter().any(|t| t.weight < 0.0) {
+        return None;
+    }
+    let lin = &cqm.linear_objective;
+    let lb = lin.constant_part() + lin.terms().iter().map(|&(_, c)| c.min(0.0)).sum::<f64>();
+    Some(lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qlrb_model::expr::LinearExpr;
+    use qlrb_model::Var;
+
+    fn adaptive_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            adaptive: true,
+            early_stop: true,
+            ..Default::default()
+        }
+    }
+
+    fn read(member: usize, initial: f64, fin: f64, feasible: bool, state: Vec<u8>) -> ReadStats {
+        ReadStats {
+            member,
+            proposals: 1000,
+            initial_energy: initial,
+            final_energy: fin,
+            objective: fin,
+            feasible,
+            state,
+        }
+    }
+
+    #[test]
+    fn wave_zero_uses_fixed_rotation() {
+        let s = PortfolioScheduler::new(adaptive_cfg(), 3, None, false);
+        let plan = s.plan_wave(0, 6);
+        assert_eq!(plan.members, vec![0, 1, 2, 0, 1, 2]);
+        assert!(plan.elite_seeds.is_empty());
+        // Rotation honours the global read offset, matching the legacy
+        // `samplers[read % len]` rule mid-solve.
+        assert_eq!(s.plan_wave(2, 3).members, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn adaptive_off_always_rotates() {
+        let cfg = SchedulerConfig {
+            early_stop: true,
+            ..Default::default()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 2, None, false);
+        s.observe_wave(&[read(0, 10.0, 0.0, true, vec![1])]);
+        let plan = s.plan_wave(2, 4);
+        assert_eq!(plan.members, vec![0, 1, 0, 1]);
+        assert!(plan.elite_seeds.is_empty());
+    }
+
+    #[test]
+    fn never_stops_before_first_wave() {
+        // Even a trivial model with early_stop on must run one wave.
+        let s = PortfolioScheduler::new(adaptive_cfg(), 3, Some(0.0), true);
+        assert_eq!(s.should_stop(), None);
+    }
+
+    #[test]
+    fn early_stop_off_never_stops() {
+        let cfg = SchedulerConfig {
+            adaptive: true,
+            early_stop: false,
+            ..Default::default()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 2, None, true);
+        for _ in 0..5 {
+            s.observe_wave(&[read(0, 1.0, 1.0, false, vec![0])]);
+        }
+        assert_eq!(s.should_stop(), None);
+    }
+
+    #[test]
+    fn trivial_model_fast_exits_after_one_wave() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 3, None, true);
+        s.observe_wave(&[read(0, 0.0, 0.0, true, vec![])]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::FastExit));
+    }
+
+    #[test]
+    fn lower_bound_reached_fast_exits() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 2, Some(5.0), false);
+        // Feasible incumbent above the bound: keep going (plateau_window=1
+        // would fire, so use an improving stream).
+        s.observe_wave(&[read(0, 100.0, 20.0, true, vec![1, 0])]);
+        assert_eq!(s.should_stop(), None);
+        s.observe_wave(&[read(1, 20.0, 5.0, true, vec![0, 1])]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::FastExit));
+    }
+
+    #[test]
+    fn plateau_fires_after_window_stagnant_waves() {
+        let cfg = SchedulerConfig {
+            plateau_window: 2,
+            ..adaptive_cfg()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 2, None, false);
+        s.observe_wave(&[read(0, 10.0, 2.0, true, vec![1, 1])]);
+        assert_eq!(s.should_stop(), None); // first wave set the incumbent
+        s.observe_wave(&[read(1, 10.0, 2.0, true, vec![1, 1])]);
+        assert_eq!(s.should_stop(), None); // one stagnant wave < window 2
+        s.observe_wave(&[read(0, 10.0, 2.0, true, vec![1, 1])]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::Plateau));
+    }
+
+    #[test]
+    fn sub_tolerance_improvement_counts_as_stagnant() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 1, None, false);
+        s.observe_wave(&[read(0, 10.0, 100.0, true, vec![1])]);
+        // 0.01% improvement on |100| is below the 0.1% tolerance.
+        s.observe_wave(&[read(0, 10.0, 99.99, true, vec![0])]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::Plateau));
+    }
+
+    #[test]
+    fn feasible_beats_infeasible_in_incumbent() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 1, None, false);
+        s.observe_wave(&[read(0, 10.0, -50.0, false, vec![0])]);
+        assert_eq!(s.incumbent_value(), Some(-50.0));
+        // A feasible state with a *worse* value still takes over.
+        let mut r = read(0, 10.0, 7.0, true, vec![1]);
+        r.objective = 7.0;
+        s.observe_wave(&[r]);
+        assert_eq!(s.incumbent_value(), Some(7.0));
+        assert_eq!(s.stagnant_waves, 0); // infeasible → feasible is progress
+    }
+
+    #[test]
+    fn bandit_shifts_reads_toward_productive_member() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 3, None, false);
+        // Member 2: feasible + big gain per proposal. Members 0/1: nothing.
+        s.observe_wave(&[
+            read(0, 10.0, 10.0, false, vec![0, 0]),
+            read(1, 10.0, 10.0, false, vec![0, 1]),
+            read(2, 10.0, 1.0, true, vec![1, 0]),
+        ]);
+        let plan = s.plan_wave(3, 6);
+        let count2 = plan.members.iter().filter(|&&m| m == 2).count();
+        assert!(
+            count2 > 2,
+            "productive member should win >1/3 of reads, plan {:?}",
+            plan.members
+        );
+        // Strongest member's slots lead the wave (elite seeds land there).
+        assert_eq!(plan.members[0], 2);
+    }
+
+    #[test]
+    fn elite_pool_seeds_later_waves_best_first() {
+        let cfg = SchedulerConfig {
+            elite_capacity: 2,
+            elite_fraction: 0.5,
+            ..adaptive_cfg()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 2, None, false);
+        s.observe_wave(&[
+            read(0, 10.0, 3.0, false, vec![0, 0]),
+            read(1, 10.0, 5.0, true, vec![1, 1]),
+            read(0, 10.0, 4.0, true, vec![1, 0]),
+            read(1, 10.0, 1.0, false, vec![0, 1]),
+        ]);
+        let plan = s.plan_wave(4, 4);
+        // capacity 2 keeps the two feasible states; best (energy 4) first.
+        assert_eq!(plan.elite_seeds.len(), 2);
+        assert_eq!(plan.elite_seeds[0], vec![1, 0]);
+        assert_eq!(plan.elite_seeds[1], vec![1, 1]);
+    }
+
+    #[test]
+    fn elite_pool_dedups_identical_states() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 1, None, false);
+        for _ in 0..3 {
+            s.observe_wave(&[read(0, 10.0, 2.0, true, vec![1, 0, 1])]);
+        }
+        assert_eq!(s.elites.len(), 1);
+    }
+
+    #[test]
+    fn apportionment_sums_and_favours_weight() {
+        assert_eq!(apportion(&[1.0, 1.0, 6.0], 8), vec![1, 1, 6]);
+        assert_eq!(apportion(&[0.0, 0.0], 5), vec![3, 2]); // round-robin
+        assert_eq!(apportion(&[f64::NAN, 1.0], 4), vec![0, 4]);
+        assert_eq!(apportion(&[], 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn objective_lower_bound_of_linear_plus_squares() {
+        let mut cqm = Cqm::new(3);
+        let mut lin = LinearExpr::new();
+        lin.add_term(Var(0), -2.0);
+        lin.add_term(Var(1), 3.0);
+        lin.add_constant(1.5);
+        cqm.linear_objective = lin;
+        let mut e = LinearExpr::new();
+        e.add_term(Var(2), 1.0);
+        cqm.add_squared_term(e, 0.5, 2.0);
+        // lb = 1.5 + min(0,-2) + min(0,3) = -0.5; squares add ≥ 0.
+        assert_eq!(objective_lower_bound(&cqm), Some(-0.5));
+    }
+
+    proptest! {
+        /// Determinism: identical configs + identical observation streams
+        /// produce identical plans and identical termination verdicts, and
+        /// every plan covers exactly the requested reads.
+        #[test]
+        fn scheduler_is_deterministic(
+            num_members in 1usize..5,
+            wave_size in 1usize..7,
+            window in 1usize..4,
+            waves in proptest::collection::vec(
+                proptest::collection::vec(
+                    ((0usize..5, 0u64..5000),
+                     (-50.0f64..50.0, -50.0f64..50.0),
+                     0u8..2,
+                     proptest::collection::vec(0u8..2, 4usize)),
+                    1usize..5),
+                1usize..6),
+        ) {
+            let cfg = SchedulerConfig {
+                adaptive: true,
+                early_stop: true,
+                wave_size,
+                plateau_window: window,
+                ..Default::default()
+            };
+            let mut a = PortfolioScheduler::new(cfg.clone(), num_members, None, false);
+            let mut b = PortfolioScheduler::new(cfg, num_members, None, false);
+            let mut first_read = 0usize;
+            for wave in &waves {
+                let stats: Vec<ReadStats> = wave
+                    .iter()
+                    .map(|((m, p), (ie, fe), f, st)| ReadStats {
+                        member: m % num_members,
+                        proposals: *p,
+                        initial_energy: *ie,
+                        final_energy: *fe,
+                        objective: *fe,
+                        feasible: *f == 1,
+                        state: st.clone(),
+                    })
+                    .collect();
+                let pa = a.plan_wave(first_read, wave_size);
+                let pb = b.plan_wave(first_read, wave_size);
+                prop_assert_eq!(&pa, &pb);
+                prop_assert_eq!(pa.members.len(), wave_size);
+                prop_assert!(pa.members.iter().all(|&m| m < num_members));
+                prop_assert!(pa.elite_seeds.len() <= wave_size);
+                a.observe_wave(&stats);
+                b.observe_wave(&stats);
+                prop_assert_eq!(a.should_stop(), b.should_stop());
+                first_read += wave_size;
+            }
+        }
+
+        /// The stop verdict is `None` before any wave completes, whatever
+        /// the model looks like — a solve always runs at least one wave.
+        #[test]
+        fn no_stop_at_wave_zero(
+            num_members in 1usize..6,
+            trivial in 0u8..2,
+            has_lb in 0u8..2,
+            lb in -100.0f64..100.0,
+        ) {
+            let lb = (has_lb == 1).then_some(lb);
+            let s = PortfolioScheduler::new(adaptive_cfg(), num_members, lb, trivial == 1);
+            prop_assert_eq!(s.should_stop(), None);
+        }
+    }
+}

@@ -113,6 +113,22 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
         accepted: u64,
     }
 
+    // Proposals (sweep order, perturbations, global moves) draw from the
+    // active set only: presolve-fixed variables carry zero incidence and
+    // would burn sweep moves without ever moving the energy.
+    let active: Vec<usize> = match proto.active_vars() {
+        Some(active) => active.to_vec(),
+        None => (0..n).collect(),
+    };
+    if active.is_empty() {
+        return AnnealResult {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+    let na = active.len();
+
     let stream_base = rng.next_u64();
     let mut slices: Vec<Slice<E>> = (0..p)
         .map(|k| Slice {
@@ -125,9 +141,9 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
         .collect();
     for (k, s) in slices.iter_mut().enumerate().skip(1) {
         // ~2% perturbation, at least one flip, per extra replica.
-        let flips = (n / 50).max(1).min(n);
-        for _ in 0..(flips * k).min(n) {
-            let v = rng.random_range(0..n);
+        let flips = (na / 50).max(1).min(na);
+        for _ in 0..(flips * k).min(na) {
+            let v = active[rng.random_range(0..na)];
             s.ev.flip(v);
         }
     }
@@ -148,7 +164,7 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
 
     let pf = p as f64;
     let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = active.clone();
     let mut spins: Vec<Vec<u8>> = vec![vec![0u8; n]; p];
     let mut deltas = vec![0.0f64; p];
     for sweep in 0..params.sweeps {
@@ -192,9 +208,9 @@ pub fn simulated_quantum_annealing<E: Evaluator + Clone>(
         }
 
         // Global (all-replica) moves: coupling-invariant barrier hops.
-        let global_moves = ((n as f64) * params.global_move_fraction) as usize;
+        let global_moves = ((na as f64) * params.global_move_fraction) as usize;
         for _ in 0..global_moves {
-            let v = rng.random_range(0..n);
+            let v = active[rng.random_range(0..na)];
             for (d, s) in deltas.iter_mut().zip(&slices) {
                 *d = s.ev.flip_delta(v);
             }

@@ -72,6 +72,13 @@ pub fn tabu_search<E: Evaluator>(
     } else {
         params.tenure
     };
+    // Neighbourhood scan covers the active set only — presolve-fixed
+    // variables have flip delta 0 forever and would just pollute the
+    // steepest-move selection.
+    let active: Vec<usize> = match ev.active_vars() {
+        Some(active) => active.to_vec(),
+        None => (0..n).collect(),
+    };
     // tabu_until[v]: first iteration at which v may be flipped again.
     let mut tabu_until = vec![0usize; n];
     let mut stall = 0usize;
@@ -85,7 +92,8 @@ pub fn tabu_search<E: Evaluator>(
         let energy = ev.energy();
         if use_cache {
             let deltas = ev.cached_deltas().expect("cache enabled above"); // qlrb-lint: allow(no-unwrap)
-            for (v, &delta) in deltas.iter().enumerate() {
+            for &v in &active {
+                let delta = deltas[v];
                 let aspiration = energy + delta < best_energy - 1e-12;
                 if tabu_until[v] > iter && !aspiration {
                     continue;
@@ -97,7 +105,7 @@ pub fn tabu_search<E: Evaluator>(
                 }
             }
         } else {
-            for v in 0..n {
+            for &v in &active {
                 let delta = ev.flip_delta(v);
                 let aspiration = energy + delta < best_energy - 1e-12;
                 if tabu_until[v] > iter && !aspiration {

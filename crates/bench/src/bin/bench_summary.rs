@@ -45,8 +45,13 @@ fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
     QuantumRebalancer {
         variant,
         k,
+        // The adaptive scheduler is what the harness runs with (see
+        // `HarnessConfig::quantum_seeded`), so the headline hybrid
+        // scenarios time it: plateau early-stop plus bandit re-allocation.
         solver: HybridCqmSolver::builder()
             .seed(11)
+            .adaptive(true)
+            .early_stop(true)
             .build()
             .expect("default config with a fixed seed is valid"),
         label: None,
@@ -139,10 +144,12 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let rayon_threads = qlrb_harness::rayon_threads();
     let summary = format!(
         "{{\n  \"schema\": 1,\n  \"generated_unix_s\": {unix_s},\n  \
          \"scale\": {{\"nodes\": {}, \"tasks_per_node\": {}}},\n  \
-         \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"logical_cpus\": {cpus}}},\n  \
+         \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"logical_cpus\": {cpus}, \
+         \"rayon_threads\": {rayon_threads}}},\n  \
          \"benches\": [\n{bench_json}\n  ]\n}}\n",
         inst.num_procs(),
         inst.tasks_per_proc(),

@@ -77,6 +77,12 @@ impl HarnessConfig {
             .sqa_replicas(if shrink >= 4 { 6 } else { 10 })
             .seed(self.seed ^ (k.rotate_left(17)) ^ (vars as u64))
             .samplers(vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu])
+            // The adaptive scheduler stops spending reads once the best
+            // feasible plan plateaus (or presolve/lower-bound proves it
+            // optimal) and re-allocates the remaining waves toward whichever
+            // sampler is earning its proposals — deterministic per seed.
+            .adaptive(true)
+            .early_stop(true)
             // Experiment results must never come from a model the linter can
             // prove broken — refuse instead of silently sampling garbage.
             .lint(LintMode::Deny)

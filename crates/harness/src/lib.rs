@@ -32,5 +32,5 @@ pub use config::HarnessConfig;
 pub use groups::{
     samoa_case, samoa_case_traced, table1, varied_imbalance, varied_procs, varied_tasks,
 };
-pub use manifest::assemble_manifest;
+pub use manifest::{assemble_manifest, rayon_threads};
 pub use rows::{CaseResult, ExperimentResult, MethodRow};

@@ -99,6 +99,15 @@ pub trait Evaluator: Send {
         None
     }
 
+    /// Variables eligible for flip proposals, ascending. `None` means every
+    /// variable is proposable (the default). Implementations whose landscape
+    /// contains *dead* bits — presolve-fixed variables keep their index but
+    /// lose all incidence, so flipping them never changes the energy —
+    /// return the live subset so samplers skip them entirely.
+    fn active_vars(&self) -> Option<&[usize]> {
+        None
+    }
+
     /// Replaces the state wholesale, rebuilding caches.
     fn set_state(&mut self, state: &[u8]);
 
@@ -142,6 +151,11 @@ pub struct CompiledCqm {
     linear: Vec<f64>,
     linear_const: f64,
     penalty: PenaltyConfig,
+    /// Variables with any expression incidence or a nonzero linear
+    /// coefficient, ascending. Presolve-fixed variables are substituted out
+    /// of every expression before compilation, so they end up with neither —
+    /// flipping them is a guaranteed no-op that samplers should not propose.
+    active: Vec<usize>,
 }
 
 impl CompiledCqm {
@@ -231,6 +245,9 @@ impl CompiledCqm {
         for &(v, c) in src.linear_objective.terms() {
             linear[v.index()] += c;
         }
+        let active = (0..num_vars)
+            .filter(|&v| inc_offsets[v + 1] > inc_offsets[v] || linear[v] != 0.0)
+            .collect();
         Arc::new(Self {
             num_vars,
             kinds,
@@ -244,6 +261,7 @@ impl CompiledCqm {
             linear,
             linear_const: src.linear_objective.constant_part(),
             penalty,
+            active,
         })
     }
 
@@ -260,6 +278,12 @@ impl CompiledCqm {
     /// The penalty configuration this model was compiled with.
     pub fn penalty(&self) -> &PenaltyConfig {
         &self.penalty
+    }
+
+    /// Variables that can change the energy when flipped (ascending).
+    /// The complement is exactly the presolve-fixed / untouched variables.
+    pub fn active_vars(&self) -> &[usize] {
+        &self.active
     }
 
     /// `(expressions, coefficients)` incident to `var`, expr-ascending.
@@ -570,6 +594,10 @@ impl Evaluator for CqmEvaluator {
         }
     }
 
+    fn active_vars(&self) -> Option<&[usize]> {
+        Some(self.model.active_vars())
+    }
+
     fn set_state(&mut self, state: &[u8]) {
         assert!(
             state.len() <= self.state.len(),
@@ -780,6 +808,29 @@ mod tests {
         assert_eq!(ev.violation_flip_delta(2), -1.0);
         // Flipping x0 off fixes cap but breaks fix_x0: net 0.
         assert_eq!(ev.violation_flip_delta(0), 0.0);
+    }
+
+    #[test]
+    fn active_vars_excludes_dead_bits() {
+        // Var 1 appears in no expression and has no linear coefficient —
+        // exactly the shape presolve substitution leaves behind.
+        let mut cqm = Cqm::new(3);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0).add_term(Var(2), 2.0);
+        cqm.add_squared_term(obj, 1.0, 1.0);
+        let m = CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::uniform(1.0, PenaltyStyle::ViolationQuadratic),
+        );
+        assert_eq!(m.active_vars(), &[0, 2]);
+        let ev = CqmEvaluator::new(Arc::clone(&m));
+        assert_eq!(ev.active_vars(), Some(&[0usize, 2][..]));
+        // Dead bits really are energy no-ops.
+        assert_eq!(ev.flip_delta(1), 0.0);
+        // The BQM evaluator keeps the default "all proposable".
+        let bqm = crate::bqm::BinaryQuadraticModel::new(2);
+        let bev = BqmEvaluator::new(Arc::new(bqm));
+        assert!(Evaluator::active_vars(&bev).is_none());
     }
 
     #[test]

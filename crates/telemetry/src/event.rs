@@ -52,6 +52,15 @@ pub struct ReadRecord {
     pub wall_ms: f64,
 }
 
+/// How many of a wave's reads one portfolio member received.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveAllocation {
+    /// Sampler name (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`).
+    pub sampler: String,
+    /// Reads allocated to it in this wave.
+    pub reads: usize,
+}
+
 /// Timing of one parallel wave of reads (the unit the `time_limit` budget
 /// is charged against; an unbudgeted solve is a single wave).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +71,11 @@ pub struct WaveRecord {
     pub first_read: usize,
     /// Number of reads the wave ran.
     pub reads: usize,
+    /// Per-sampler read split of this wave (fixed rotation or, under the
+    /// adaptive scheduler, the bandit's reweighted allocation).
+    pub allocation: Vec<WaveAllocation>,
+    /// Reads of this wave that were warm-started from the elite pool.
+    pub elite_seeded: usize,
     /// Wall-clock time of the wave, milliseconds.
     pub wall_ms: f64,
 }
@@ -122,6 +136,21 @@ pub struct SolverConfig {
     pub time_limit_ms: Option<f64>,
     /// Model-lint mode (`"Deny"`, `"Warn"`, or `"Off"`), rendered as text.
     pub lint: String,
+    /// Whether bandit read-allocation + elite cross-seeding are on.
+    pub adaptive: bool,
+    /// Whether plateau-based early termination is on.
+    pub early_stop: bool,
+    /// Reads per scheduler wave (`0` = auto: one per portfolio member).
+    pub wave_size: usize,
+    /// Consecutive non-improving waves tolerated before stopping.
+    pub plateau_window: usize,
+    /// Relative objective improvement below which a wave counts as
+    /// non-improving.
+    pub plateau_tolerance: f64,
+    /// Bounded elite-pool capacity.
+    pub elite_capacity: usize,
+    /// Fraction of each post-first wave's reads seeded from the elite pool.
+    pub elite_fraction: f64,
 }
 
 /// One model-lint diagnostic, flattened to strings so the trace vocabulary
@@ -169,6 +198,9 @@ pub struct SolveRecord {
     pub reads: Vec<ReadRecord>,
     /// Per-wave timings, in launch order.
     pub waves: Vec<WaveRecord>,
+    /// Why the wave loop stopped: `"exhausted"`, `"plateau"`, `"fast-exit"`,
+    /// or `"time-limit"`.
+    pub termination: String,
     /// CPU / simulated-QPU split of the solve.
     pub timing: TimingRecord,
     /// Aggregate over the returned sample set.
@@ -209,8 +241,14 @@ mod tests {
                 wave: 0,
                 first_read: 0,
                 reads: 2,
+                allocation: vec![WaveAllocation {
+                    sampler: "SA".into(),
+                    reads: 2,
+                }],
+                elite_seeded: 0,
                 wall_ms: 2.5,
             }],
+            termination: "exhausted".into(),
             timing: TimingRecord {
                 cpu_ms: 2.5,
                 qpu_ms: 0.0,

@@ -37,7 +37,7 @@ pub mod sink;
 
 pub use event::{
     LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary, SolveRecord, SolverConfig,
-    TimingRecord, WaveRecord,
+    TimingRecord, WaveAllocation, WaveRecord,
 };
 pub use manifest::{
     median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,

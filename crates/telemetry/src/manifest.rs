@@ -11,7 +11,11 @@ use serde::{Deserialize, Serialize};
 use crate::event::{SolveRecord, SolverConfig};
 
 /// Current manifest schema version; bump on breaking layout changes.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: per-wave sampler allocations + elite-seed counts (`waves[].allocation`,
+/// `waves[].elite_seeded`), termination reason per solve, adaptive-scheduler
+/// solver-config fields, and the top-level `rayon_threads`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -115,6 +119,10 @@ pub struct RunManifest {
     /// `git describe --tags --always --dirty` of the source tree, when the
     /// run happened inside a git checkout.
     pub git_describe: Option<String>,
+    /// Size of the rayon thread pool the run actually used (parallel waves
+    /// and SQA slice sweeps are bounded by it, so timings are only
+    /// comparable across runs with the same value).
+    pub rayon_threads: usize,
     /// Configuration snapshot (solver config, harness knobs, sim params).
     pub config: ConfigSnapshot,
     /// Traced cases, in run order.
@@ -165,6 +173,10 @@ impl RunManifest {
             command: command.to_string(),
             generated_unix_s,
             git_describe: git_describe(),
+            // Callers that own a rayon pool overwrite this with
+            // `rayon::current_num_threads()`; the std count is the default
+            // pool size, so it matches unless the pool was customized.
+            rayon_threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             config,
             cases: Vec::new(),
             timing: Vec::new(),
@@ -228,6 +240,21 @@ impl RunManifest {
             }
             for m in &case.methods {
                 let s = &m.solve;
+                for w in &s.waves {
+                    let allocated: usize = w.allocation.iter().map(|a| a.reads).sum();
+                    if allocated != w.reads {
+                        return Err(format!(
+                            "case '{}' method '{}' wave {}: allocation covers {} of {} reads",
+                            case.label, m.method, w.wave, allocated, w.reads
+                        ));
+                    }
+                }
+                if s.termination.is_empty() {
+                    return Err(format!(
+                        "case '{}' method '{}': empty termination reason",
+                        case.label, m.method
+                    ));
+                }
                 if s.reads.len() > s.requested_reads && s.requested_reads > 0 {
                     return Err(format!(
                         "case '{}' method '{}': {} reads exceed the {} requested",
@@ -319,14 +346,15 @@ impl RunManifest {
                 let _ = writeln!(
                     out,
                     "    {:<10} {} read(s), {}/{} feasible, mean acceptance {:.3}, \
-                     repair {} step(s), cpu {:.1} ms",
+                     repair {} step(s), cpu {:.1} ms, stopped: {}",
                     m.method,
                     s.reads.len(),
                     s.summary.num_feasible,
                     s.summary.num_samples,
                     mean_accept,
                     s.reads.iter().map(|r| r.repair_steps).sum::<u64>(),
-                    s.timing.cpu_ms
+                    s.timing.cpu_ms,
+                    s.termination
                 );
             }
             if let Some(sim) = &case.sim {
@@ -378,6 +406,7 @@ mod tests {
                 wall_ms: cpu_ms,
             }],
             waves: vec![],
+            termination: "exhausted".into(),
             timing: TimingRecord {
                 cpu_ms,
                 qpu_ms: 0.0,
@@ -462,6 +491,24 @@ mod tests {
         let mut m = manifest_with_cases();
         m.schema = 999;
         assert!(m.validate().unwrap_err().contains("schema"));
+
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0]
+            .solve
+            .waves
+            .push(crate::event::WaveRecord {
+                wave: 0,
+                first_read: 0,
+                reads: 2,
+                allocation: vec![],
+                elite_seeded: 0,
+                wall_ms: 1.0,
+            });
+        assert!(m.validate().unwrap_err().contains("allocation"));
+
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.termination.clear();
+        assert!(m.validate().unwrap_err().contains("termination"));
     }
 
     #[test]

@@ -103,6 +103,7 @@ mod tests {
             requested_reads: 1,
             reads: vec![],
             waves: vec![],
+            termination: "exhausted".into(),
             timing: TimingRecord::default(),
             summary: SampleSetSummary::default(),
         }

@@ -14,3 +14,5 @@ cargo build --release
 cargo test -q
 # Model-lint smoke: the bundled MxM instance must certify clean.
 ./scripts/check_lint.sh
+# Scheduler smoke: --early-stop must save reads without costing quality.
+./scripts/check_scheduler.sh

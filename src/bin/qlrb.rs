@@ -42,7 +42,8 @@ USAGE:
   qlrb generate  --workload <NAME> [--case <LABEL>] [--out <FILE>]
   qlrb info      --input <FILE>
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
-                 [--seed <S>] [--out <FILE>] [--telemetry <FILE>]
+                 [--seed <S>] [--early-stop] [--adaptive]
+                 [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
                  [--telemetry <FILE>]
@@ -60,6 +61,12 @@ WORKLOADS:
 METHODS:
   greedy | kk | proactlb | greedy-relabel | bnb | qcqm1 | qcqm2
   (qcqm* default to k = ProactLB's migration count unless --k/--k-frac)
+
+SCHEDULING (qcqm* only):
+  --early-stop   stop launching solver waves once the best feasible plan
+                 plateaus (or presolve/a lower bound proves it optimal)
+  --adaptive     bandit read re-allocation across SA/SQA/tabu plus elite
+                 cross-seeding of later waves; deterministic per --seed
 
 TELEMETRY:
   --telemetry writes a JSON run manifest next to the normal output:
@@ -107,17 +114,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return trace_cmd(&args[1..]).map(|()| ExitCode::SUCCESS);
     }
     // Boolean flags take no value; split them off before pair parsing.
+    let bools = ["--json", "--early-stop", "--adaptive"];
     let json = args[1..].iter().any(|a| a == "--json");
+    let sched = SchedulerFlags {
+        early_stop: args[1..].iter().any(|a| a == "--early-stop"),
+        adaptive: args[1..].iter().any(|a| a == "--adaptive"),
+    };
     let rest: Vec<String> = args[1..]
         .iter()
-        .filter(|a| *a != "--json")
+        .filter(|a| !bools.contains(&a.as_str()))
         .cloned()
         .collect();
     let flags = parse_flags(&rest)?;
     match cmd.as_str() {
         "generate" => generate(&flags).map(|()| ExitCode::SUCCESS),
         "info" => info(&flags).map(|()| ExitCode::SUCCESS),
-        "rebalance" => rebalance(&flags).map(|()| ExitCode::SUCCESS),
+        "rebalance" => rebalance(&flags, sched).map(|()| ExitCode::SUCCESS),
         "simulate" => simulate_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "lint" => lint_cmd(&flags, json),
         other => Err(format!("unknown subcommand '{other}'")),
@@ -203,7 +215,14 @@ fn info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
+/// The `--early-stop` / `--adaptive` scheduling switches of `rebalance`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SchedulerFlags {
+    early_stop: bool,
+    adaptive: bool,
+}
+
+fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(), String> {
     let inst = load_instance(flags)?;
     let method_name = required(flags, "method")?;
     let seed: u64 = flags
@@ -239,7 +258,12 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
                 .num_migrated(),
         };
         let mut q = QuantumRebalancer::new(variant, k);
-        let mut builder = q.solver.to_builder().seed(seed);
+        let mut builder = q
+            .solver
+            .to_builder()
+            .seed(seed)
+            .early_stop(sched.early_stop)
+            .adaptive(sched.adaptive);
         if let Some(sink) = &sink {
             builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
         }
@@ -261,6 +285,12 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!(
             "--telemetry traces the hybrid solver; method '{method_name}' is classical \
              (use qcqm1 or qcqm2)"
+        ));
+    }
+    if (sched.early_stop || sched.adaptive) && solver_config.is_none() {
+        return Err(format!(
+            "--early-stop/--adaptive configure the hybrid solver; method '{method_name}' \
+             is classical (use qcqm1 or qcqm2)"
         ));
     }
 
@@ -302,6 +332,8 @@ fn rebalance(flags: &HashMap<String, String>) -> Result<(), String> {
                 ..Default::default()
             },
         );
+        // Record the worker-pool width the solver waves actually ran with.
+        manifest.rayon_threads = qlrb::harness::rayon_threads();
         manifest.cases.push(CaseTrace {
             label: required(flags, "input")?.to_string(),
             methods: vec![MethodTrace {
@@ -430,6 +462,8 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         let mut manifest = RunManifest::new(
             "qlrb simulate",
             ConfigSnapshot {
+                // (Simulator runs on one thread; rayon_threads keeps its
+                // availability-derived default here.)
                 sim: Some(SimConfigSnapshot {
                     comp_threads: cfg.comp_threads,
                     comm_latency: cfg.comm_latency,
