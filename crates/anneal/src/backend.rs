@@ -1,0 +1,281 @@
+//! Fallible sampler backends: the submission boundary of the hybrid solver.
+//!
+//! The paper's workflow submits sampling work to a remote service (D-Wave
+//! Leap) that can time out, fail transiently, crash, or return garbage.
+//! [`Backend`] models that boundary: [`HybridCqmSolver`] hands each read's
+//! [`SamplerRun`] to `submit()`, which either returns the sampler's
+//! [`AnnealResult`] or a [`SubmitError`] the solver's retry/backoff and
+//! degradation machinery reacts to.
+//!
+//! Two implementations ship:
+//!
+//! * [`InProcessBackend`] — the default: runs the sampler in-process and
+//!   never fails. The solver's legacy behaviour is byte-identical through
+//!   this path.
+//! * [`FaultInjectingBackend`] — consults a deterministic [`FaultPlan`]
+//!   *before* touching the RNG, so an injected fault consumes no entropy
+//!   and the surviving attempts draw exactly the stream a clean run would.
+//!
+//! [`HybridCqmSolver`]: crate::hybrid::HybridCqmSolver
+
+use std::error::Error;
+use std::fmt;
+
+use qlrb_model::eval::CqmEvaluator;
+use qlrb_telemetry::ReadObserver;
+use rand_chacha::ChaCha8Rng;
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::hybrid::SamplerKind;
+use crate::run::SamplerRun;
+use crate::sa::AnnealResult;
+
+/// Why a submission failed. Mirrors the failure taxonomy of a cloud
+/// sampler endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The submission exceeded its service-side deadline.
+    Timeout,
+    /// A transient service error; retrying is expected to help.
+    Transient {
+        /// The submission attempt (0-based) that observed the error.
+        attempt: u32,
+    },
+    /// The backend process died.
+    Crash,
+    /// The backend answered with an unusable sample set.
+    Malformed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("submission timed out"),
+            Self::Transient { attempt } => {
+                write!(f, "transient backend failure (attempt {attempt})")
+            }
+            Self::Crash => f.write_str("backend crashed"),
+            Self::Malformed => f.write_str("backend returned a malformed sample set"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// Identity of one submission: which read and attempt is being sent, and to
+/// which portfolio member. This is all a fault plan may key on — no wall
+/// clock, no entropy — keeping faulty runs deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Read index within the solve.
+    pub read: usize,
+    /// Submission attempt for this read (0 = first try).
+    pub attempt: u32,
+    /// Portfolio member the read was assigned to.
+    pub sampler: SamplerKind,
+}
+
+/// The submission boundary between the hybrid solver and its samplers.
+///
+/// Implementations must be deterministic: given the same request and RNG
+/// state, `submit` must reach the same verdict and (on success) consume the
+/// RNG identically. Failures must be decided *before* drawing randomness so
+/// retries of other attempts see unperturbed streams.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// Short stable name recorded into solver-config telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Runs (or refuses) one sampler submission.
+    ///
+    /// # Errors
+    /// Returns the [`SubmitError`] the backend observed for this attempt.
+    fn submit(
+        &self,
+        req: &SubmitRequest,
+        run: &SamplerRun,
+        ev: &mut CqmEvaluator,
+        rng: &mut ChaCha8Rng,
+        obs: &mut ReadObserver,
+    ) -> Result<AnnealResult, SubmitError>;
+}
+
+/// The default backend: samplers run in-process and never fail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcessBackend;
+
+impl Backend for InProcessBackend {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn submit(
+        &self,
+        _req: &SubmitRequest,
+        run: &SamplerRun,
+        ev: &mut CqmEvaluator,
+        rng: &mut ChaCha8Rng,
+        obs: &mut ReadObserver,
+    ) -> Result<AnnealResult, SubmitError> {
+        Ok(run.run(ev, rng, obs))
+    }
+}
+
+/// A backend that injects the faults a [`FaultPlan`] schedules and
+/// delegates everything else to the in-process samplers.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjectingBackend {
+    plan: FaultPlan,
+}
+
+impl FaultInjectingBackend {
+    /// A backend injecting `plan`'s faults.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The schedule this backend injects.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Backend for FaultInjectingBackend {
+    fn name(&self) -> &'static str {
+        "fault-injection"
+    }
+
+    fn submit(
+        &self,
+        req: &SubmitRequest,
+        run: &SamplerRun,
+        ev: &mut CqmEvaluator,
+        rng: &mut ChaCha8Rng,
+        obs: &mut ReadObserver,
+    ) -> Result<AnnealResult, SubmitError> {
+        // Decide the fault before any RNG use: an injected failure must not
+        // perturb the streams surviving attempts draw from.
+        if let Some(kind) = self
+            .plan
+            .fault_for(&req.sampler.to_string(), req.read, req.attempt)
+        {
+            return Err(match kind {
+                FaultKind::Timeout => SubmitError::Timeout,
+                FaultKind::Transient => SubmitError::Transient {
+                    attempt: req.attempt,
+                },
+                FaultKind::Crash => SubmitError::Crash,
+                FaultKind::Malformed => SubmitError::Malformed,
+            });
+        }
+        InProcessBackend.submit(req, run, ev, rng, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultEntry;
+    use qlrb_model::cqm::Cqm;
+    use qlrb_model::eval::CompiledCqm;
+    use qlrb_model::expr::{LinearExpr, Var};
+    use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+    use rand::SeedableRng;
+
+    /// Minimize `(x0 + x1 + x2 − 1)²`, started from the all-ones state.
+    fn tiny_evaluator() -> CqmEvaluator {
+        let mut cqm = Cqm::new(3);
+        let mut sum = LinearExpr::new();
+        for i in 0..3u32 {
+            sum.add_term(Var(i), 1.0);
+        }
+        cqm.add_squared_term(sum, 1.0, 1.0);
+        let penalty = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::ViolationQuadratic);
+        let compiled = CompiledCqm::compile(&cqm, penalty);
+        CqmEvaluator::with_state(compiled, &[1, 1, 1])
+    }
+
+    fn sa_run() -> SamplerRun {
+        SamplerRun::for_portfolio(SamplerKind::Sa, 20, 4, 1.0)
+    }
+
+    #[test]
+    fn in_process_backend_matches_direct_run() {
+        let req = SubmitRequest {
+            read: 0,
+            attempt: 0,
+            sampler: SamplerKind::Sa,
+        };
+        let run = sa_run();
+
+        let mut ev_a = tiny_evaluator();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+        let mut obs_a = ReadObserver::disabled();
+        let direct = run.run(&mut ev_a, &mut rng_a, &mut obs_a);
+
+        let mut ev_b = tiny_evaluator();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+        let mut obs_b = ReadObserver::disabled();
+        let via_backend = InProcessBackend
+            .submit(&req, &run, &mut ev_b, &mut rng_b, &mut obs_b)
+            .unwrap();
+
+        assert_eq!(direct.state, via_backend.state);
+        assert_eq!(direct.energy, via_backend.energy);
+    }
+
+    #[test]
+    fn fault_injection_fires_without_consuming_rng() {
+        let plan = FaultPlan {
+            entries: vec![FaultEntry {
+                sampler: Some("SA".into()),
+                read: Some(0),
+                fail_attempts: Some(1),
+                kind: FaultKind::Transient,
+            }],
+        };
+        let backend = FaultInjectingBackend::new(plan);
+        let run = sa_run();
+
+        let mut ev = tiny_evaluator();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut obs = ReadObserver::disabled();
+        let req = SubmitRequest {
+            read: 0,
+            attempt: 0,
+            sampler: SamplerKind::Sa,
+        };
+        let err = backend
+            .submit(&req, &run, &mut ev, &mut rng, &mut obs)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Transient { attempt: 0 });
+
+        // The failed attempt drew nothing: the next attempt's stream is the
+        // pristine seed-5 stream.
+        let mut fresh = ChaCha8Rng::seed_from_u64(5);
+        let retry_req = SubmitRequest {
+            read: 0,
+            attempt: 1,
+            sampler: SamplerKind::Sa,
+        };
+        let retried = backend
+            .submit(&retry_req, &run, &mut ev, &mut rng, &mut obs)
+            .unwrap();
+        let mut ev2 = tiny_evaluator();
+        let direct = run.run(&mut ev2, &mut fresh, &mut ReadObserver::disabled());
+        assert_eq!(retried.energy, direct.energy);
+    }
+
+    #[test]
+    fn submit_errors_render_for_telemetry() {
+        assert_eq!(SubmitError::Timeout.to_string(), "submission timed out");
+        assert_eq!(
+            SubmitError::Transient { attempt: 2 }.to_string(),
+            "transient backend failure (attempt 2)"
+        );
+        assert_eq!(SubmitError::Crash.to_string(), "backend crashed");
+        assert_eq!(
+            SubmitError::Malformed.to_string(),
+            "backend returned a malformed sample set"
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! Deterministic fault injection for sampler backends.
+//!
+//! The real Leap hybrid service is a cloud endpoint whose submissions can
+//! time out, fail transiently, or return garbage. The in-process portfolio
+//! never exhibits those failure modes on its own, so this module provides a
+//! [`FaultPlan`]: a declarative, *seed-free* schedule of injected faults
+//! keyed on `(sampler, read index, attempt)`. Because the decision path
+//! consults only those three values — no wall clock, no entropy — a faulty
+//! run is exactly as reproducible as a clean one, which is what lets
+//! `scripts/check_faults.sh` diff two identically-seeded faulty runs.
+//!
+//! # JSON format
+//!
+//! A plan is an array of entries (optionally wrapped as
+//! `{"entries": [...]}`). Each entry names the fault `kind` and optionally
+//! narrows where it fires; omitted fields are wildcards:
+//!
+//! ```json
+//! [
+//!   {"sampler": "SQA", "fail_attempts": 1, "kind": "transient"},
+//!   {"read": 3, "kind": "timeout"}
+//! ]
+//! ```
+//!
+//! * `sampler` — sampler name (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`,
+//!   case-insensitive); omitted = every sampler.
+//! * `read` — read index within the solve; omitted = every read.
+//! * `fail_attempts` — the fault fires on attempts `0..fail_attempts`, so
+//!   the entry models a backend that recovers after that many retries;
+//!   omitted = fails forever (a dead backend).
+//! * `kind` — `"timeout"`, `"transient"`, `"crash"`, or `"malformed"`.
+//!
+//! The first matching entry wins, so narrower entries should precede
+//! broader ones.
+
+use std::fmt;
+
+/// Sampler names a plan entry may target (matched case-insensitively).
+const KNOWN_SAMPLERS: [&str; 4] = ["SA", "SQA", "TABU", "PT"];
+
+/// The failure mode an injected fault simulates. Mirrors the variants of
+/// `SubmitError` the backend surfaces to the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The submission exceeded its service-side deadline.
+    Timeout,
+    /// A transient service error (the kind a retry is expected to clear).
+    Transient,
+    /// The backend process died.
+    Crash,
+    /// The backend answered, but with an unusable sample set.
+    Malformed,
+}
+
+impl FaultKind {
+    /// The lowercase JSON spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Timeout => "timeout",
+            Self::Transient => "transient",
+            Self::Crash => "crash",
+            Self::Malformed => "malformed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "timeout" => Ok(Self::Timeout),
+            "transient" => Ok(Self::Transient),
+            "crash" => Ok(Self::Crash),
+            "malformed" => Ok(Self::Malformed),
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected timeout, transient, crash, or malformed)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One schedule entry: which submissions fault, and how. `None` fields are
+/// wildcards (see the module docs for the JSON spelling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEntry {
+    /// Sampler name the entry targets; `None` = every sampler.
+    pub sampler: Option<String>,
+    /// Read index the entry targets; `None` = every read.
+    pub read: Option<usize>,
+    /// Fault fires on attempts `0..fail_attempts`; `None` = every attempt.
+    pub fail_attempts: Option<u32>,
+    /// The failure mode to inject.
+    pub kind: FaultKind,
+}
+
+impl FaultEntry {
+    fn matches(&self, sampler: &str, read: usize, attempt: u32) -> bool {
+        if let Some(s) = &self.sampler {
+            if !s.eq_ignore_ascii_case(sampler) {
+                return false;
+            }
+        }
+        if let Some(r) = self.read {
+            if r != read {
+                return false;
+            }
+        }
+        match self.fail_attempts {
+            Some(n) => attempt < n,
+            None => true,
+        }
+    }
+}
+
+/// A deterministic fault schedule: an ordered list of [`FaultEntry`]s
+/// consulted first-match-wins for every `(sampler, read, attempt)` triple.
+/// The default plan is empty (no faults).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The schedule, in priority order.
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// A plan that fails *every* submission with `kind` — the
+    /// all-samplers-dead scenario.
+    pub fn permanent(kind: FaultKind) -> Self {
+        Self {
+            entries: vec![FaultEntry {
+                sampler: None,
+                read: None,
+                fail_attempts: None,
+                kind,
+            }],
+        }
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fault (if any) to inject for attempt `attempt` of read `read`
+    /// on sampler `sampler`. First matching entry wins.
+    pub fn fault_for(&self, sampler: &str, read: usize, attempt: u32) -> Option<FaultKind> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(sampler, read, attempt))
+            .map(|e| e.kind)
+    }
+
+    /// Parses a plan from its JSON spelling: a bare entry array or an
+    /// `{"entries": [...]}` wrapper. Rejects unknown keys, unknown fault
+    /// kinds, and sampler names outside the portfolio vocabulary, so typos
+    /// fail loudly instead of silently never matching.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntactic or semantic problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser::new(text);
+        p.skip_ws();
+        let entries = match p.peek() {
+            Some(b'[') => p.parse_entry_array()?,
+            Some(b'{') => {
+                p.advance();
+                p.skip_ws();
+                let key = p.parse_string()?;
+                if key != "entries" {
+                    return Err(format!("expected key 'entries', found '{key}'"));
+                }
+                p.skip_ws();
+                p.expect_byte(b':')?;
+                p.skip_ws();
+                let entries = p.parse_entry_array()?;
+                p.skip_ws();
+                p.expect_byte(b'}')?;
+                entries
+            }
+            _ => return Err("fault plan must be a JSON array or {\"entries\": [...]}".into()),
+        };
+        p.skip_ws();
+        if p.peek().is_some() {
+            return Err("trailing characters after fault plan".into());
+        }
+        for e in &entries {
+            if let Some(s) = &e.sampler {
+                if !KNOWN_SAMPLERS.iter().any(|k| k.eq_ignore_ascii_case(s)) {
+                    return Err(format!(
+                        "unknown sampler '{s}' (expected one of {})",
+                        KNOWN_SAMPLERS.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Minimal recursive-descent parser for the fault-plan JSON subset
+/// (objects, arrays, strings, unsigned integers, `null`). Hand-rolled so
+/// `qlrb-anneal` stays free of serialization dependencies.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.advance();
+        }
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    /// A double-quoted string; escapes are limited to `\"` and `\\`, which
+    /// covers every name the format can contain.
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.advance();
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.advance();
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\')) => {
+                            out.push(char::from(c));
+                            self.advance();
+                        }
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    }
+                }
+                Some(c) => {
+                    out.push(char::from(c));
+                    self.advance();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_uint(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(c - b'0')))
+                .ok_or_else(|| format!("integer overflow at byte {start}"))?;
+            self.advance();
+        }
+        if self.pos == start {
+            return Err(format!("expected unsigned integer at byte {start}"));
+        }
+        Ok(value)
+    }
+
+    fn parse_null(&mut self) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            Ok(())
+        } else {
+            Err(format!("expected null at byte {}", self.pos))
+        }
+    }
+
+    fn parse_entry_array(&mut self) -> Result<Vec<FaultEntry>, String> {
+        self.expect_byte(b'[')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.advance();
+            return Ok(entries);
+        }
+        loop {
+            self.skip_ws();
+            entries.push(self.parse_entry()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.advance(),
+                Some(b']') => {
+                    self.advance();
+                    return Ok(entries);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_entry(&mut self) -> Result<FaultEntry, String> {
+        self.expect_byte(b'{')?;
+        let mut sampler = None;
+        let mut read = None;
+        let mut fail_attempts = None;
+        let mut kind = None;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.advance();
+                break;
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "sampler" => {
+                    if self.peek() == Some(b'n') {
+                        self.parse_null()?;
+                    } else {
+                        sampler = Some(self.parse_string()?);
+                    }
+                }
+                "read" => {
+                    if self.peek() == Some(b'n') {
+                        self.parse_null()?;
+                    } else {
+                        let v = self.parse_uint()?;
+                        read = Some(usize::try_from(v).map_err(|_| "read index too large")?);
+                    }
+                }
+                "fail_attempts" => {
+                    if self.peek() == Some(b'n') {
+                        self.parse_null()?;
+                    } else {
+                        let v = self.parse_uint()?;
+                        fail_attempts =
+                            Some(u32::try_from(v).map_err(|_| "fail_attempts too large")?);
+                    }
+                }
+                "kind" => kind = Some(FaultKind::parse(&self.parse_string()?)?),
+                other => {
+                    return Err(format!(
+                        "unknown fault-plan key '{other}' \
+                         (expected sampler, read, fail_attempts, or kind)"
+                    ))
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.advance(),
+                Some(b'}') => {
+                    self.advance();
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        let kind = kind.ok_or("fault-plan entry missing required key 'kind'")?;
+        Ok(FaultEntry {
+            sampler,
+            read,
+            fail_attempts,
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.fault_for("SA", 0, 0), None);
+    }
+
+    #[test]
+    fn permanent_plan_faults_everything() {
+        let plan = FaultPlan::permanent(FaultKind::Crash);
+        for sampler in ["SA", "SQA", "TABU", "PT"] {
+            for read in [0, 7, 1000] {
+                for attempt in [0, 3] {
+                    assert_eq!(
+                        plan.fault_for(sampler, read, attempt),
+                        Some(FaultKind::Crash)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_bare_array_with_wildcards() {
+        let plan = FaultPlan::from_json(
+            r#"[
+                {"sampler": "SQA", "fail_attempts": 1, "kind": "transient"},
+                {"read": 3, "kind": "timeout"}
+            ]"#,
+        )
+        .unwrap();
+        assert_eq!(plan.entries.len(), 2);
+        // SQA faults only on attempt 0 (recovers under retry).
+        assert_eq!(plan.fault_for("SQA", 5, 0), Some(FaultKind::Transient));
+        assert_eq!(plan.fault_for("sqa", 5, 0), Some(FaultKind::Transient));
+        assert_eq!(plan.fault_for("SQA", 5, 1), None);
+        // Read 3 times out for every sampler and attempt.
+        assert_eq!(plan.fault_for("SA", 3, 2), Some(FaultKind::Timeout));
+        assert_eq!(plan.fault_for("SA", 4, 0), None);
+    }
+
+    #[test]
+    fn first_matching_entry_wins() {
+        let plan =
+            FaultPlan::from_json(r#"[{"sampler": "SA", "kind": "crash"}, {"kind": "timeout"}]"#)
+                .unwrap();
+        assert_eq!(plan.fault_for("SA", 0, 0), Some(FaultKind::Crash));
+        assert_eq!(plan.fault_for("TABU", 0, 0), Some(FaultKind::Timeout));
+    }
+
+    #[test]
+    fn parses_entries_wrapper_and_nulls() {
+        let plan = FaultPlan::from_json(
+            r#"{"entries": [{"sampler": null, "read": null, "fail_attempts": null,
+                             "kind": "malformed"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.entries.len(), 1);
+        assert_eq!(plan.fault_for("PT", 9, 4), Some(FaultKind::Malformed));
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for (input, needle) in [
+            ("", "array"),
+            ("[{\"kind\": \"explode\"}]", "unknown fault kind"),
+            (
+                "[{\"sampler\": \"QPU9000\", \"kind\": \"crash\"}]",
+                "unknown sampler",
+            ),
+            ("[{\"read\": 0}]", "missing required key 'kind'"),
+            (
+                "[{\"frequency\": 2, \"kind\": \"crash\"}]",
+                "unknown fault-plan key",
+            ),
+            ("[{\"kind\": \"crash\"}] trailing", "trailing"),
+            ("[{\"kind\": \"crash\"", "expected"),
+        ] {
+            let err = FaultPlan::from_json(input).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "input {input:?}: error '{err}' should mention '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_kind_round_trips_through_display() {
+        for kind in [
+            FaultKind::Timeout,
+            FaultKind::Transient,
+            FaultKind::Crash,
+            FaultKind::Malformed,
+        ] {
+            assert_eq!(FaultKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+    }
+}

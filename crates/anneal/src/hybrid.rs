@@ -53,14 +53,16 @@ use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
 use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
 use qlrb_model::presolve::{presolve, Presolve};
 use qlrb_telemetry::{
-    LintDiagnosticRecord, LintRecord, NoopSink, ReadObserver, ReadRecord, SolveRecord,
-    SolverConfig, TimingRecord, TraceSink, WaveAllocation, WaveRecord,
+    FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, NoopSink, ReadObserver,
+    ReadRecord, SolveRecord, SolverConfig, TimingRecord, TraceSink, WaveAllocation, WaveRecord,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
+use crate::backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitRequest};
 use crate::descent::greedy_descent;
+use crate::faults::FaultPlan;
 use crate::repair::repair;
 use crate::run::SamplerRun;
 use crate::sampleset::{Sample, SampleSet, SolverTiming};
@@ -251,6 +253,16 @@ pub struct HybridCqmSolver {
     scheduler: SchedulerConfig,
     /// Telemetry sink; [`NoopSink`] disables all record collection.
     sink: Arc<dyn TraceSink>,
+    /// Submission boundary every read goes through. The default
+    /// [`InProcessBackend`] never fails; a [`FaultInjectingBackend`]
+    /// exercises the retry/degradation paths deterministically.
+    backend: Arc<dyn Backend>,
+    /// Submission retries allowed per read after its first failure.
+    max_retries: u32,
+    /// Per-read deadline on the deterministic proposal-count virtual
+    /// clock: a retry (plus its backoff) that would exceed this budget is
+    /// not attempted. `None` = no deadline. The first attempt always runs.
+    read_deadline_proposals: Option<u64>,
 }
 
 impl Default for HybridCqmSolver {
@@ -270,6 +282,9 @@ impl Default for HybridCqmSolver {
             lint: LintMode::Warn,
             scheduler: SchedulerConfig::default(),
             sink: Arc::new(NoopSink),
+            backend: Arc::new(InProcessBackend),
+            max_retries: 2,
+            read_deadline_proposals: None,
         }
     }
 }
@@ -416,6 +431,37 @@ impl HybridSolverBuilder {
         self
     }
 
+    /// Replaces the sampler backend (the default [`InProcessBackend`]
+    /// never fails).
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Routes every read through a [`FaultInjectingBackend`] driving the
+    /// given deterministic fault schedule. An empty plan behaves exactly
+    /// like the default backend.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.backend = Arc::new(FaultInjectingBackend::new(plan));
+        self
+    }
+
+    /// Sets how many times a failed read submission is retried (with
+    /// deterministic exponential backoff) before the read is given up.
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.cfg.max_retries = max_retries;
+        self
+    }
+
+    /// Sets (or clears) the per-read deadline in proposal units of the
+    /// deterministic virtual clock. Retries whose backoff + attempt cost
+    /// would exceed the deadline are skipped; the first attempt of each
+    /// read always runs.
+    pub fn read_deadline_proposals(mut self, deadline: impl Into<Option<u64>>) -> Self {
+        self.cfg.read_deadline_proposals = deadline.into();
+        self
+    }
+
     /// Validates and produces the solver. Rejects configurations that could
     /// only misbehave at solve time: zero reads or sweeps, an empty
     /// portfolio, and a tabu-only portfolio whose width guard would
@@ -539,6 +585,21 @@ impl HybridCqmSolver {
         &self.sink
     }
 
+    /// The sampler backend reads are submitted through.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// Submission retries allowed per read.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Per-read deadline on the proposal-count virtual clock, if any.
+    pub fn read_deadline_proposals(&self) -> Option<u64> {
+        self.read_deadline_proposals
+    }
+
     /// A serializable snapshot of this configuration, for run manifests.
     pub fn config(&self) -> SolverConfig {
         SolverConfig {
@@ -561,6 +622,9 @@ impl HybridCqmSolver {
             plateau_tolerance: self.scheduler.plateau_tolerance,
             elite_capacity: self.scheduler.elite_capacity,
             elite_fraction: self.scheduler.elite_fraction,
+            max_retries: self.max_retries,
+            read_deadline_proposals: self.read_deadline_proposals,
+            backend: self.backend.name().to_string(),
         }
     }
 
@@ -659,6 +723,7 @@ impl HybridCqmSolver {
                     compiled_vars: 0,
                     requested_reads: self.num_reads,
                     reads: Vec::new(),
+                    failed_reads: Vec::new(),
                     waves: Vec::new(),
                     termination: TerminationReason::FastExit.as_str().to_string(),
                     timing: timing_record(&set.timing),
@@ -685,17 +750,19 @@ impl HybridCqmSolver {
 
         let mut waves: Vec<WaveRecord> = Vec::new();
         let mut termination = TerminationReason::Exhausted;
+        let mut failed_reads: Vec<FailedReadRecord> = Vec::new();
         let scheduled = self.scheduler.early_stop || self.scheduler.adaptive;
         let mut results: Vec<(Sample, Option<ReadRecord>)> = if scheduled {
-            let (out, w, t) = self.run_scheduled(cqm, &pre, &compiled, &seeds, started, tracing);
+            let (out, w, t, f) = self.run_scheduled(cqm, &pre, &compiled, &seeds, started, tracing);
             waves = w;
             termination = t;
+            failed_reads = f;
             out
         } else {
             match self.time_limit {
                 None => {
                     let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                    let out: Vec<ReadOutcome> = (0..self.num_reads)
+                    let out: Vec<Result<ReadOutcome, FailedReadRecord>> = (0..self.num_reads)
                         .into_par_iter()
                         .map(|r| {
                             self.run_read(
@@ -708,17 +775,24 @@ impl HybridCqmSolver {
                             )
                         })
                         .collect();
+                    let mut ok = Vec::with_capacity(out.len());
+                    for res in out {
+                        match res {
+                            Ok(o) => ok.push(o),
+                            Err(f) => failed_reads.push(f),
+                        }
+                    }
                     if tracing {
                         waves.push(WaveRecord {
                             wave: 0,
                             first_read: 0,
-                            reads: out.len(),
-                            allocation: allocation_of(out.iter().map(|o| o.sample.sampler)),
+                            reads: ok.len(),
+                            allocation: allocation_of(ok.iter().map(|o| o.sample.sampler)),
                             elite_seeded: 0,
                             wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
                         });
                     }
-                    out.into_iter().map(|o| (o.sample, o.record)).collect()
+                    ok.into_iter().map(|o| (o.sample, o.record)).collect()
                 }
                 Some(limit) => {
                     // Waves of one read per worker thread. The budget is
@@ -735,7 +809,7 @@ impl HybridCqmSolver {
                         }
                         let end = (next + wave).min(self.num_reads);
                         let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                        let batch: Vec<ReadOutcome> = (next..end)
+                        let batch: Vec<Result<ReadOutcome, FailedReadRecord>> = (next..end)
                             .into_par_iter()
                             .map(|r| {
                                 self.run_read(
@@ -748,23 +822,55 @@ impl HybridCqmSolver {
                                 )
                             })
                             .collect();
+                        let mut ok = Vec::with_capacity(batch.len());
+                        for res in batch {
+                            match res {
+                                Ok(o) => ok.push(o),
+                                Err(f) => failed_reads.push(f),
+                            }
+                        }
                         if tracing {
                             waves.push(WaveRecord {
                                 wave: waves.len(),
                                 first_read: next,
-                                reads: batch.len(),
-                                allocation: allocation_of(batch.iter().map(|o| o.sample.sampler)),
+                                reads: ok.len(),
+                                allocation: allocation_of(ok.iter().map(|o| o.sample.sampler)),
                                 elite_seeded: 0,
                                 wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
                             });
                         }
-                        out.extend(batch.into_iter().map(|o| (o.sample, o.record)));
+                        out.extend(ok.into_iter().map(|o| (o.sample, o.record)));
                         next = end;
                     }
                     out
                 }
             }
         };
+
+        // Graceful degradation: a fully-dead backend produced no samples.
+        // Fall back to the caller's candidate states (or the zero state) so
+        // the best incumbent seen so far is still returned, and report the
+        // exhaustion instead of panicking downstream.
+        if results.is_empty() {
+            termination = TerminationReason::BackendExhausted;
+            let fallback: Vec<Vec<u8>> = if seeds.is_empty() {
+                vec![vec![0u8; width]]
+            } else {
+                seeds.clone()
+            };
+            results.extend(fallback.into_iter().map(|state| {
+                (
+                    Sample {
+                        objective: 0.0, // rescored below
+                        violation: 0.0,
+                        feasible: false,
+                        state,
+                        sampler: SamplerKind::Sa,
+                    },
+                    None,
+                )
+            }));
+        }
 
         // Score against the ORIGINAL model (penalties, slacks, and presolve
         // fixings stripped back out — fixed bits are stamped to their
@@ -814,6 +920,7 @@ impl HybridCqmSolver {
                 compiled_vars: compiled.num_vars(),
                 requested_reads: self.num_reads,
                 reads,
+                failed_reads,
                 waves,
                 termination: termination.as_str().to_string(),
                 timing: timing_record(&set.timing),
@@ -869,6 +976,7 @@ impl HybridCqmSolver {
         );
         let mut out = Vec::with_capacity(self.num_reads);
         let mut waves: Vec<WaveRecord> = Vec::new();
+        let mut failed: Vec<FailedReadRecord> = Vec::new();
         let mut termination = TerminationReason::Exhausted;
         let mut next = 0usize;
         while next < self.num_reads {
@@ -887,7 +995,7 @@ impl HybridCqmSolver {
             let wave_reads = scheduler.wave_size().min(self.num_reads - next);
             let plan = scheduler.plan_wave(next, wave_reads);
             let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-            let batch: Vec<ReadOutcome> = plan
+            let batch: Vec<Result<ReadOutcome, FailedReadRecord>> = plan
                 .members
                 .par_iter()
                 .enumerate()
@@ -902,13 +1010,26 @@ impl HybridCqmSolver {
                     self.run_read(width, compiled, r, members[m], initial, true)
                 })
                 .collect();
+            // Failures feed the scheduler's degradation bookkeeping: a
+            // member with enough consecutive failures is declared dead and
+            // its reads are reapportioned (or, all members dead, the solve
+            // stops with `BackendExhausted`).
+            let mut ok: Vec<(usize, ReadOutcome)> = Vec::with_capacity(batch.len());
+            for (i, res) in batch.into_iter().enumerate() {
+                match res {
+                    Ok(o) => ok.push((i, o)),
+                    Err(f) => {
+                        scheduler.observe_failure(plan.members[i]);
+                        failed.push(f);
+                    }
+                }
+            }
             let mut elite_seeded = 0usize;
-            let stats: Vec<ReadStats> = batch
+            let stats: Vec<ReadStats> = ok
                 .iter()
-                .enumerate()
                 .map(|(i, o)| {
                     let r = next + i;
-                    if r >= seeds.len() && i < plan.elite_seeds.len() {
+                    if r >= seeds.len() && *i < plan.elite_seeds.len() {
                         elite_seeded += 1;
                     }
                     // Score against the original model so the scheduler's
@@ -918,7 +1039,7 @@ impl HybridCqmSolver {
                     st.truncate(width);
                     pre.apply_to_state(&mut st);
                     ReadStats {
-                        member: plan.members[i],
+                        member: plan.members[*i],
                         proposals: o.record.as_ref().map_or(0, |rec| rec.proposals),
                         initial_energy: o
                             .record
@@ -938,29 +1059,33 @@ impl HybridCqmSolver {
                 waves.push(WaveRecord {
                     wave: waves.len(),
                     first_read: next,
-                    reads: batch.len(),
-                    allocation: allocation_of(batch.iter().map(|o| o.sample.sampler)),
+                    reads: ok.len(),
+                    allocation: allocation_of(ok.iter().map(|(_, o)| o.sample.sampler)),
                     elite_seeded,
                     wall_ms: wave_start.elapsed().as_secs_f64() * 1e3,
                 });
             }
             out.extend(
-                batch
-                    .into_iter()
-                    .map(|o| (o.sample, if tracing { o.record } else { None })),
+                ok.into_iter()
+                    .map(|(_, o)| (o.sample, if tracing { o.record } else { None })),
             );
             next += wave_reads;
         }
-        (out, waves, termination)
+        (out, waves, termination, failed)
     }
 
-    /// One independent read: seed → sample → polish → repair.
+    /// One independent read, with retry: submission attempts go through the
+    /// configured [`Backend`]; a failed attempt is retried after a
+    /// deterministic exponential backoff charged to the proposal-count
+    /// virtual clock, until the retry budget (or the per-read deadline) is
+    /// exhausted — at which point the read yields a [`FailedReadRecord`]
+    /// instead of a sample.
     ///
-    /// `sampler` is the portfolio member to run (possibly downgraded by the
-    /// tabu width guard); `initial` is a caller seed or elite warm-start,
-    /// `None` for a random start drawn from the read's own RNG — drawing
-    /// inside the read keeps its random stream identical whether or not
-    /// other reads were seeded.
+    /// Attempt 0 draws from the legacy per-read RNG stream, so a solve
+    /// whose first attempts all succeed (in particular any solve on the
+    /// default backend) is byte-identical to the pre-backend solver.
+    /// Retries re-derive a distinct stream from the read seed and the
+    /// attempt index — still a pure function of the master seed.
     fn run_read(
         &self,
         cqm_width: usize,
@@ -969,17 +1094,93 @@ impl HybridCqmSolver {
         sampler: SamplerKind,
         initial: Option<&[u8]>,
         tracing: bool,
-    ) -> ReadOutcome {
+    ) -> Result<ReadOutcome, FailedReadRecord> {
         let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
-        let mut rng = ChaCha8Rng::seed_from_u64(read_seed);
         let mut sampler = sampler;
         if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
             sampler = SamplerKind::Sa;
         }
+        // One attempt costs about sweeps × width proposals on the virtual
+        // clock (the same deterministic CPU proxy the scheduler uses).
+        let attempt_cost = (self.sweeps as u64)
+            .saturating_mul(compiled.num_vars() as u64)
+            .max(1);
+        let deadline = self.read_deadline_proposals.unwrap_or(u64::MAX);
+        let mut spent: u64 = 0;
+        let mut backoff_total: u64 = 0;
+        let mut faults: Vec<FaultRecord> = Vec::new();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                let backoff = BACKOFF_BASE_PROPOSALS.saturating_mul(1u64 << (attempt - 1).min(20));
+                if spent.saturating_add(backoff).saturating_add(attempt_cost) > deadline {
+                    break;
+                }
+                spent = spent.saturating_add(backoff);
+                backoff_total = backoff_total.saturating_add(backoff);
+            }
+            let attempt_seed = if attempt == 0 {
+                read_seed
+            } else {
+                read_seed ^ RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
+            };
+            match self.attempt_read(
+                cqm_width,
+                compiled,
+                read_index,
+                attempt,
+                attempt_seed,
+                sampler,
+                initial,
+                tracing,
+            ) {
+                Ok(mut outcome) => {
+                    if let Some(rec) = &mut outcome.record {
+                        rec.attempts = attempt + 1;
+                        rec.backoff_proposals = backoff_total;
+                        rec.faults = std::mem::take(&mut faults);
+                    }
+                    return Ok(outcome);
+                }
+                Err(e) => {
+                    faults.push(FaultRecord {
+                        attempt,
+                        error: e.to_string(),
+                    });
+                    spent = spent.saturating_add(attempt_cost);
+                }
+            }
+        }
+        Err(FailedReadRecord {
+            read: read_index,
+            sampler: sampler.to_string(),
+            faults,
+        })
+    }
 
+    /// One submission attempt of a read: seed → sample (through the
+    /// backend) → polish → repair. `sampler` has already been downgraded by
+    /// the tabu width guard.
+    ///
+    /// `initial` is a caller seed or elite warm-start, `None` for a random
+    /// start drawn from the attempt's own RNG — drawing inside the attempt
+    /// keeps its random stream identical whether or not other reads were
+    /// seeded.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_read(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        read_index: usize,
+        attempt: u32,
+        attempt_seed: u64,
+        sampler: SamplerKind,
+        initial: Option<&[u8]>,
+        tracing: bool,
+    ) -> Result<ReadOutcome, crate::backend::SubmitError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(attempt_seed);
         let seeded = initial.is_some();
         let mut obs = if tracing {
-            ReadObserver::recording(read_index, read_seed, seeded)
+            ReadObserver::recording(read_index, attempt_seed, seeded)
         } else {
             ReadObserver::disabled()
         };
@@ -1005,7 +1206,15 @@ impl HybridCqmSolver {
         };
 
         let run = SamplerRun::for_portfolio(sampler, self.sweeps, self.sqa_replicas, scale);
-        let best_state = run.run(&mut ev, &mut rng, &mut obs).state;
+        let req = SubmitRequest {
+            read: read_index,
+            attempt,
+            sampler,
+        };
+        let best_state = self
+            .backend
+            .submit(&req, &run, &mut ev, &mut rng, &mut obs)?
+            .state;
 
         ev.set_state(&best_state);
         let pre_polish = ev.energy();
@@ -1024,7 +1233,7 @@ impl HybridCqmSolver {
         let energy = ev.energy();
         let record = obs.finish(energy);
         let state = ev.state().to_vec();
-        ReadOutcome {
+        Ok(ReadOutcome {
             sample: Sample {
                 objective: 0.0, // rescored by `solve`
                 violation: 0.0,
@@ -1034,17 +1243,28 @@ impl HybridCqmSolver {
             },
             energy,
             record,
-        }
+        })
     }
 }
 
+/// Backoff before the first retry, in proposal units of the virtual clock;
+/// doubles with every further retry (capped at `2^20` multiples).
+const BACKOFF_BASE_PROPOSALS: u64 = 1024;
+
+/// Salt deriving retry RNG streams from the read seed (the 64-bit golden
+/// ratio, as used for Fibonacci hashing); attempt 0 keeps the unsalted
+/// legacy stream.
+const RETRY_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// What the adaptive wave loop hands back to `solve_impl`: the collected
 /// samples (with their trace records when a sink is attached), the
-/// per-wave records, and why the loop stopped.
+/// per-wave records, why the loop stopped, and the reads that exhausted
+/// their retry budgets.
 type ScheduledRun = (
     Vec<(Sample, Option<ReadRecord>)>,
     Vec<WaveRecord>,
     TerminationReason,
+    Vec<FailedReadRecord>,
 );
 
 /// What one read hands back to the wave loop: the (not yet rescored)
@@ -1085,6 +1305,7 @@ fn timing_record(timing: &SolverTiming) -> TimingRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
     use qlrb_model::cqm::Sense;
     use qlrb_model::expr::{LinearExpr, Var};
     use qlrb_telemetry::MemorySink;
@@ -1678,5 +1899,354 @@ mod tests {
         for (i, w) in rec.waves.iter().enumerate() {
             assert_eq!(w.wave, i);
         }
+    }
+
+    #[test]
+    fn time_limit_zero_still_runs_exactly_one_wave() {
+        // The at-least-one-wave guarantee at its extreme: a zero budget is
+        // exhausted before the solve starts, yet the first wave must run.
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let requested = 2048;
+        let solver = HybridCqmSolver::builder()
+            .num_reads(requested)
+            .sweeps(10)
+            .time_limit(Duration::ZERO)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "time-limit");
+        assert_eq!(
+            rec.waves.len(),
+            1,
+            "zero budget allows only the mandatory wave"
+        );
+        assert!(!set.samples.is_empty(), "at least one genuine sample");
+        assert!(
+            set.samples.len() <= requested,
+            "reads must never exceed num_reads"
+        );
+        assert!(
+            set.samples.len() < requested,
+            "one wave is a thread-count batch, far below 2048 reads"
+        );
+        assert_eq!(rec.reads.len(), set.samples.len());
+        assert!(rec.reads.len() <= rec.requested_reads);
+    }
+
+    #[test]
+    fn time_limit_termination_is_recorded_in_a_valid_manifest() {
+        use qlrb_telemetry::{CaseTrace, ConfigSnapshot, MethodTrace, RunManifest};
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(64)
+            .sweeps(10)
+            .time_limit(Duration::ZERO)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        let mut manifest = RunManifest::new(
+            "hybrid-test",
+            ConfigSnapshot {
+                solver: Some(solver.config()),
+                ..Default::default()
+            },
+        );
+        manifest.cases.push(CaseTrace {
+            label: "partition".into(),
+            methods: vec![MethodTrace {
+                method: "Q_CQM1".into(),
+                solve: rec,
+            }],
+            sim: None,
+        });
+        manifest.finalize();
+        manifest
+            .validate()
+            .expect("time-limited trace is well-formed");
+        let json = manifest.to_json_pretty();
+        assert!(json.contains("\"time-limit\""));
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back.cases[0].methods[0].solve.termination, "time-limit");
+    }
+
+    #[test]
+    fn fault_free_solves_are_byte_identical_to_legacy() {
+        // The acceptance criterion: the backend abstraction, an inert fault
+        // plan, and any retry budget must not perturb the sample stream of
+        // a solve whose first attempts all succeed.
+        let cqm = partition_cqm();
+        let base = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(100)
+            .seed(77)
+            .build()
+            .unwrap();
+        let empty_plan = base
+            .to_builder()
+            .fault_plan(FaultPlan::default())
+            .build()
+            .unwrap();
+        let big_budget = base
+            .to_builder()
+            .max_retries(9)
+            .read_deadline_proposals(1_000_000)
+            .build()
+            .unwrap();
+        let fingerprint = |set: &SampleSet| {
+            set.samples
+                .iter()
+                .map(|s| (s.state.clone(), s.objective.to_bits(), s.feasible))
+                .collect::<Vec<_>>()
+        };
+        let reference = fingerprint(&base.solve(&cqm, &[]));
+        assert_eq!(reference, fingerprint(&empty_plan.solve(&cqm, &[])));
+        assert_eq!(reference, fingerprint(&big_budget.solve(&cqm, &[])));
+    }
+
+    #[test]
+    fn transient_fault_recovers_with_retry() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"fail_attempts": 1, "kind": "transient"}]"#).unwrap();
+        let build = || {
+            let sink = Arc::new(MemorySink::new());
+            let solver = HybridCqmSolver::builder()
+                .num_reads(4)
+                .sweeps(80)
+                .seed(9)
+                .fault_plan(plan.clone())
+                .max_retries(2)
+                .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+                .build()
+                .unwrap();
+            (solver, sink)
+        };
+        let (solver, sink) = build();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 4, "every read recovers on retry");
+        let rec = sink.take().pop().unwrap();
+        assert!(rec.failed_reads.is_empty());
+        assert_eq!(rec.termination, "exhausted");
+        for r in &rec.reads {
+            assert_eq!(r.attempts, 2, "first attempt faults, second succeeds");
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].attempt, 0);
+            assert!(r.faults[0].error.contains("transient"));
+            assert!(r.backoff_proposals > 0, "retry charged a backoff");
+        }
+        // Determinism under faults: an identical faulty run reproduces the
+        // exact sample states.
+        let (again, _) = build();
+        let states = |s: &SampleSet| {
+            s.samples
+                .iter()
+                .map(|x| x.state.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(states(&set), states(&again.solve(&cqm, &[])));
+    }
+
+    #[test]
+    fn all_crash_plan_returns_seed_incumbent_with_backend_exhausted() {
+        let cqm = partition_cqm();
+        let seed_state = vec![1u8, 0, 0, 1, 0, 0]; // optimum: {3,2} vs rest
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(60)
+            .seed(3)
+            .fault_plan(FaultPlan::permanent(FaultKind::Crash))
+            .max_retries(1)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, std::slice::from_ref(&seed_state));
+        let best = set.best_feasible().expect("the seed incumbent survives");
+        assert_eq!(best.state, seed_state);
+        assert_eq!(best.objective, 0.0);
+        assert_eq!(
+            set.timing.qpu,
+            Duration::ZERO,
+            "no sampler ran, no QPU charge"
+        );
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "backend-exhausted");
+        assert!(rec.reads.is_empty(), "no read completed");
+        assert_eq!(
+            rec.failed_reads.len(),
+            4,
+            "every read exhausted its retries"
+        );
+        for f in &rec.failed_reads {
+            assert_eq!(f.faults.len(), 2, "initial attempt + one retry");
+            assert!(f.faults.iter().all(|x| x.error.contains("crashed")));
+        }
+    }
+
+    #[test]
+    fn all_crash_without_seeds_still_returns_a_sample() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver::builder()
+            .num_reads(3)
+            .sweeps(60)
+            .fault_plan(FaultPlan::permanent(FaultKind::Malformed))
+            .max_retries(0)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert!(
+            !set.samples.is_empty(),
+            "degradation must not return nothing"
+        );
+        assert_eq!(set.samples[0].state.len(), cqm.num_vars());
+        // The zero state is rescored honestly against the original CQM.
+        assert_eq!(
+            set.samples[0].objective,
+            cqm.objective(&set.samples[0].state)
+        );
+    }
+
+    #[test]
+    fn adaptive_all_crash_stops_waves_early() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(60)
+            .adaptive(true)
+            .fault_plan(FaultPlan::permanent(FaultKind::Crash))
+            .max_retries(0)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert!(!set.samples.is_empty(), "fallback sample still returned");
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "backend-exhausted");
+        assert!(
+            rec.failed_reads.len() < 12,
+            "the scheduler must stop before burning the whole read budget, \
+             failed {}",
+            rec.failed_reads.len()
+        );
+        assert_eq!(
+            rec.failed_reads.len(),
+            6,
+            "two three-member waves kill the portfolio"
+        );
+    }
+
+    #[test]
+    fn dead_sampler_reads_are_reapportioned_to_survivors() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"sampler": "SQA", "kind": "crash"}]"#).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(60)
+            .seed(3)
+            .adaptive(true)
+            .fault_plan(plan)
+            .max_retries(0)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert!(set.best_feasible().is_some(), "survivors still solve it");
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "exhausted", "the solve runs to completion");
+        assert!(
+            rec.failed_reads.iter().all(|f| f.sampler == "SQA"),
+            "only the faulty member fails"
+        );
+        assert!(
+            !rec.failed_reads.is_empty() && rec.failed_reads.len() <= 4,
+            "SQA dies after two consecutive failed waves, got {} failures",
+            rec.failed_reads.len()
+        );
+        assert!(
+            rec.reads.iter().all(|r| r.sampler != "SQA"),
+            "no SQA read can complete under this plan"
+        );
+        // Once dead, later waves allocate nothing to SQA.
+        let last = rec.waves.last().unwrap();
+        assert!(last.allocation.iter().all(|a| a.sampler != "SQA"));
+        // Launched reads (completed + failed) still respect the budget.
+        assert!(rec.reads.len() + rec.failed_reads.len() <= 12);
+        assert_eq!(set.samples.len(), rec.reads.len());
+    }
+
+    #[test]
+    fn read_deadline_cuts_retries_short() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(60)
+            .fault_plan(FaultPlan::permanent(FaultKind::Timeout))
+            .max_retries(5)
+            // One proposal of budget: the first attempt always runs, but no
+            // retry (backoff + attempt cost) can ever fit.
+            .read_deadline_proposals(1)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        solver.solve(&cqm, &[]);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "backend-exhausted");
+        for f in &rec.failed_reads {
+            assert_eq!(
+                f.faults.len(),
+                1,
+                "deadline admits only the mandatory first attempt"
+            );
+            assert!(f.faults[0].error.contains("timed out"));
+        }
+    }
+
+    #[test]
+    fn per_read_fault_only_fails_that_read() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"read": 0, "kind": "timeout"}]"#).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(60)
+            .fault_plan(plan)
+            .max_retries(1)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 3);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.failed_reads.len(), 1);
+        assert_eq!(rec.failed_reads[0].read, 0);
+        assert_eq!(rec.termination, "exhausted");
+        assert!(rec.reads.iter().all(|r| r.read != 0));
+        assert!(rec
+            .reads
+            .iter()
+            .all(|r| r.attempts == 1 && r.faults.is_empty()));
+    }
+
+    #[test]
+    fn config_snapshot_records_fault_tolerance_fields() {
+        let solver = HybridCqmSolver::builder()
+            .fault_plan(FaultPlan::default())
+            .max_retries(7)
+            .read_deadline_proposals(42)
+            .build()
+            .unwrap();
+        let cfg = solver.config();
+        assert_eq!(cfg.max_retries, 7);
+        assert_eq!(cfg.read_deadline_proposals, Some(42));
+        assert_eq!(cfg.backend, "fault-injection");
+        assert_eq!(HybridCqmSolver::default().config().backend, "in-process");
     }
 }

@@ -25,12 +25,19 @@
 //! * [`scheduler`] — deterministic adaptive wave scheduling for the hybrid
 //!   solver: plateau-based early termination, bandit read allocation, and
 //!   elite cross-seeding (see `HybridSolverBuilder::adaptive`).
+//! * [`backend`] / [`faults`] — the fallible submission boundary: every
+//!   read goes through a [`backend::Backend`] whose `submit()` can fail
+//!   like a cloud sampler endpoint (timeout / transient / crash /
+//!   malformed), plus a deterministic [`faults::FaultPlan`] injection layer
+//!   for exercising the solver's retry, backoff, and degradation paths.
 //!
 //! Determinism: every entry point takes a seed; identical seeds produce
 //! identical sample sets (rayon parallelism is over independently-seeded
 //! reads, so scheduling order cannot leak into results).
 
+pub mod backend;
 pub mod descent;
+pub mod faults;
 pub mod hybrid;
 pub mod pt;
 pub mod repair;
@@ -42,6 +49,8 @@ pub mod scheduler;
 pub mod sqa;
 pub mod tabu;
 
+pub use backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitError, SubmitRequest};
+pub use faults::{FaultEntry, FaultKind, FaultPlan};
 pub use hybrid::{
     HybridCqmSolver, HybridSolverBuilder, LintMode, ModelRejected, SamplerKind, SolverBuildError,
 };

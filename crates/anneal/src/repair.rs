@@ -56,7 +56,11 @@ pub fn repair(ev: &mut CqmEvaluator, max_steps: usize, rng: &mut impl Rng) -> Re
                     break;
                 }
                 kicks_left -= 1;
-                for _ in 0..(n / 20).max(1) {
+                // Clamp the kick to the remaining budget: an unchecked
+                // kick of (n/20).max(1) flips could push `steps` past
+                // `max_steps`, overrunning the budget and over-reporting
+                // the work done to the telemetry layer.
+                for _ in 0..(n / 20).max(1).min(max_steps - steps) {
                     let v = rng.random_range(0..n);
                     ev.flip(v);
                     steps += 1;
@@ -135,5 +139,36 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
         let out = repair(&mut ev, 200, &mut rng);
         assert!(!out.feasible);
+    }
+
+    #[test]
+    fn kicks_never_overrun_the_step_budget() {
+        // 40 vars with the unsatisfiable constraint Σx = 80: from all-zeros
+        // the repair spends 40 improving flips reaching all-ones, then hits
+        // a violation plateau and starts kicking (2 flips per kick at this
+        // width). An unclamped kick would land exactly on the plateau with
+        // one step of budget left and push `steps` past `max_steps`.
+        let n: usize = 40;
+        let mut cqm = Cqm::new(n);
+        let mut e = LinearExpr::new();
+        for i in 0..n {
+            e.add_term(Var(i as u32), 1.0);
+        }
+        cqm.add_constraint(e, Sense::Eq, 2.0 * n as f64, "never");
+        let model = CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::uniform(10.0, PenaltyStyle::ViolationQuadratic),
+        );
+        for max_steps in [n + 1, n + 2, n + 3, 2 * n] {
+            let mut ev = CqmEvaluator::with_state(std::sync::Arc::clone(&model), &vec![0u8; n]);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+            let out = repair(&mut ev, max_steps, &mut rng);
+            assert!(
+                out.steps <= max_steps,
+                "repair overran its budget: {} > {max_steps}",
+                out.steps
+            );
+            assert!(!out.feasible);
+        }
     }
 }

@@ -75,6 +75,10 @@ pub enum TerminationReason {
     FastExit,
     /// The wall-clock budget ran out (decided by the solver, not here).
     TimeLimit,
+    /// Every portfolio member's backend is dead (enough consecutive
+    /// failed submissions each): further waves could only fail, so the
+    /// solve returns the best incumbent found so far.
+    BackendExhausted,
 }
 
 impl TerminationReason {
@@ -85,6 +89,7 @@ impl TerminationReason {
             Self::Plateau => "plateau",
             Self::FastExit => "fast-exit",
             Self::TimeLimit => "time-limit",
+            Self::BackendExhausted => "backend-exhausted",
         }
     }
 }
@@ -125,6 +130,11 @@ pub struct WavePlan {
     pub elite_seeds: Vec<Vec<u8>>,
 }
 
+/// Consecutive failed submissions after which a portfolio member is
+/// considered dead: the bandit stops allocating reads to it until one of
+/// its submissions succeeds again.
+const DEAD_AFTER: u64 = 2;
+
 /// Cumulative per-member bandit statistics.
 #[derive(Debug, Clone, Copy, Default)]
 struct MemberStats {
@@ -132,6 +142,17 @@ struct MemberStats {
     feasible: u64,
     proposals: u64,
     improvement: f64,
+    /// Reads that exhausted their submission retries (cumulative).
+    failures: u64,
+    /// Current run of failed submissions; any success resets it.
+    consecutive_failures: u64,
+}
+
+impl MemberStats {
+    /// Whether the member's backend is considered dead.
+    fn dead(&self) -> bool {
+        self.consecutive_failures >= DEAD_AFTER
+    }
 }
 
 /// The best state seen so far, ordered lexicographically: any feasible
@@ -286,6 +307,8 @@ impl PortfolioScheduler {
                 s.feasible += u64::from(r.feasible);
                 s.proposals += r.proposals;
                 s.improvement += (r.initial_energy - r.final_energy).max(0.0);
+                // A completed read proves the member's backend is alive.
+                s.consecutive_failures = 0;
             }
             let cand = Incumbent::of(r);
             if self.incumbent.is_none_or(|inc| cand.better_than(inc)) {
@@ -306,11 +329,31 @@ impl PortfolioScheduler {
         self.waves_observed += 1;
     }
 
+    /// Records that a read assigned to `member` exhausted its submission
+    /// retries and produced no sample. Enough consecutive failures mark
+    /// the member dead: the bandit allocation zeroes it out and its reads
+    /// are reapportioned across the surviving members. A later successful
+    /// read revives it (see [`Self::observe_wave`]).
+    pub fn observe_failure(&mut self, member: usize) {
+        if let Some(s) = self.stats.get_mut(member) {
+            s.failures += 1;
+            s.consecutive_failures += 1;
+        }
+    }
+
     /// Stop verdict for the *next* wave. Always `None` before the first
-    /// wave has been observed (a solve runs at least one wave) and whenever
-    /// `early_stop` is off.
+    /// wave has been observed (a solve runs at least one wave); with
+    /// `early_stop` off, only backend exhaustion can stop the loop early.
     pub fn should_stop(&self) -> Option<TerminationReason> {
-        if !self.cfg.early_stop || self.waves_observed == 0 {
+        if self.waves_observed == 0 {
+            return None;
+        }
+        // Degradation is checked regardless of `early_stop`: with every
+        // member dead, further waves could only fail.
+        if self.stats.iter().all(MemberStats::dead) {
+            return Some(TerminationReason::BackendExhausted);
+        }
+        if !self.cfg.early_stop {
             return None;
         }
         if self.trivial {
@@ -354,6 +397,13 @@ impl PortfolioScheduler {
             .iter()
             .zip(&gains)
             .map(|(s, &g)| {
+                // Dead members get zero weight so their reads are
+                // reapportioned; live members always weigh > 0 (hit-rate
+                // and floor are positive), so apportionment can never
+                // hand a slot back to a dead member.
+                if s.dead() {
+                    return 0.0;
+                }
                 let hit = (1.0 + s.feasible as f64) / (1.0 + s.reads as f64);
                 hit * (g + floor)
             })
@@ -626,6 +676,76 @@ mod tests {
             s.observe_wave(&[read(0, 10.0, 2.0, true, vec![1, 0, 1])]);
         }
         assert_eq!(s.elites.len(), 1);
+    }
+
+    #[test]
+    fn dead_member_gets_no_reads_until_revived() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 3, None, false);
+        s.observe_wave(&[
+            read(0, 10.0, 5.0, true, vec![1, 0]),
+            read(1, 10.0, 5.0, true, vec![0, 1]),
+            read(2, 10.0, 5.0, true, vec![1, 1]),
+        ]);
+        for _ in 0..DEAD_AFTER {
+            s.observe_failure(2);
+        }
+        let plan = s.plan_wave(3, 6);
+        assert!(
+            plan.members.iter().all(|&m| m != 2),
+            "dead member must receive no reads, plan {:?}",
+            plan.members
+        );
+        assert_eq!(plan.members.len(), 6, "its reads are reapportioned");
+        // A successful read revives the member.
+        s.observe_wave(&[read(2, 10.0, 4.0, true, vec![0, 0])]);
+        let plan = s.plan_wave(9, 6);
+        assert!(plan.members.contains(&2), "revived member samples again");
+    }
+
+    #[test]
+    fn single_failure_does_not_kill_a_member() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 2, None, false);
+        s.observe_wave(&[
+            read(0, 10.0, 5.0, true, vec![1, 0]),
+            read(1, 10.0, 5.0, true, vec![0, 1]),
+        ]);
+        s.observe_failure(1);
+        let plan = s.plan_wave(2, 4);
+        assert!(
+            plan.members.contains(&1),
+            "one transient failure must not exclude a member, plan {:?}",
+            plan.members
+        );
+        assert_eq!(s.should_stop(), None);
+    }
+
+    #[test]
+    fn all_members_dead_stops_with_backend_exhausted() {
+        // early_stop OFF: exhaustion must still stop the loop.
+        let cfg = SchedulerConfig {
+            adaptive: true,
+            early_stop: false,
+            ..Default::default()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 2, None, false);
+        // Wave 0: every read of every member fails.
+        for _ in 0..DEAD_AFTER {
+            s.observe_failure(0);
+            s.observe_failure(1);
+        }
+        s.observe_wave(&[]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::BackendExhausted));
+    }
+
+    #[test]
+    fn no_backend_exhaustion_verdict_before_first_wave() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 1, None, false);
+        for _ in 0..DEAD_AFTER {
+            s.observe_failure(0);
+        }
+        assert_eq!(s.should_stop(), None, "a solve always runs one wave");
+        s.observe_wave(&[]);
+        assert_eq!(s.should_stop(), Some(TerminationReason::BackendExhausted));
     }
 
     #[test]

@@ -114,16 +114,22 @@ pub fn dynamic_comparison(cfg: &HarnessConfig) -> ExperimentResult {
                     .matrix,
             ),
         ] {
-            let cmp = crate::runtime::execute_plan(&inst, &plan, &sim_cfg);
-            let rebalanced_ms = static_ms / cmp.achieved_speedup;
-            rows.push(MethodRow {
-                algorithm: name.into(),
-                r_imb: rebalanced_ms / perfect,
-                speedup: cmp.achieved_speedup,
-                migrated: plan.num_migrated(),
-                migrated_per_proc: plan.migrated_per_proc(),
-                runtime_ms: 0.0,
-                qpu_ms: None,
+            // An invalid plan becomes a failure row instead of sinking
+            // the whole sweep.
+            rows.push(match crate::runtime::execute_plan(&inst, &plan, &sim_cfg) {
+                Ok(cmp) => {
+                    let rebalanced_ms = static_ms / cmp.achieved_speedup;
+                    MethodRow {
+                        algorithm: name.into(),
+                        r_imb: rebalanced_ms / perfect,
+                        speedup: cmp.achieved_speedup,
+                        migrated: plan.num_migrated(),
+                        migrated_per_proc: plan.migrated_per_proc(),
+                        runtime_ms: 0.0,
+                        qpu_ms: None,
+                    }
+                }
+                Err(_) => MethodRow::failure(name),
             });
         }
         cases.push(CaseResult {
@@ -408,12 +414,12 @@ pub fn noise_robustness(cfg: &HarnessConfig) -> ExperimentResult {
             let rows = plans
                 .iter()
                 .map(|(name, plan)| {
-                    let run = simulate(
-                        &SimInput::from_plan(&inst, plan)
-                            .expect("plan")
-                            .perturbed(cfg.seed, cv),
-                        &sim_cfg,
-                    );
+                    // A plan rejected by the simulator is a failure row,
+                    // not a panic — the rest of the noise sweep survives.
+                    let Ok(input) = SimInput::from_plan(&inst, plan) else {
+                        return MethodRow::failure(name);
+                    };
+                    let run = simulate(&input.perturbed(cfg.seed, cv), &sim_cfg);
                     MethodRow {
                         algorithm: name.clone(),
                         r_imb: run.speedup_over(&baseline),

@@ -30,6 +30,23 @@ pub struct MethodRow {
 }
 
 impl MethodRow {
+    /// A sentinel row for a method whose plan could not be executed (e.g.
+    /// it failed validation against the instance). All metrics are zero —
+    /// finite, so the row still serializes and tabulates — and a speedup of
+    /// `0` is impossible for a real run, which makes failures easy to spot
+    /// in tables and scripts.
+    pub fn failure(algorithm: &str) -> Self {
+        Self {
+            algorithm: algorithm.to_string(),
+            r_imb: 0.0,
+            speedup: 0.0,
+            migrated: 0,
+            migrated_per_proc: 0.0,
+            runtime_ms: 0.0,
+            qpu_ms: None,
+        }
+    }
+
     /// Derives a row from a rebalancing outcome.
     pub fn from_outcome(inst: &Instance, name: &str, out: &RebalanceOutcome) -> Self {
         let after = inst.stats_after(&out.matrix);

@@ -4,12 +4,12 @@
 //! can additionally be *executed* on the discrete-event runtime, which
 //! charges real communication costs for each migrated task — quantifying
 //! the overhead the paper's "number of migrated tasks" column proxies.
-
-// qlrb-lint: allow-file(no-unwrap) — experiment driver: a failed baseline or
-// invalid plan must abort the run loudly rather than skew the tables.
+//!
+//! An invalid plan is reported as an error, never a panic: experiment
+//! drivers record the failure as a row and keep the rest of the sweep.
 
 use chameleon_sim::{simulate, SimConfig, SimInput, SimReport};
-use qlrb_core::{Instance, MigrationMatrix};
+use qlrb_core::{Instance, MigrationMatrix, RebalanceError};
 
 /// Analytic vs achieved speedup of one plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,17 +25,19 @@ pub struct RuntimeComparison {
 }
 
 /// Runs baseline and plan through the simulator under `sim_cfg`.
+///
+/// # Errors
+/// Returns [`RebalanceError::InvalidPlan`] if `plan` fails validation
+/// against `inst` — the caller decides whether that aborts the experiment
+/// or becomes a failure row.
 pub fn execute_plan(
     inst: &Instance,
     plan: &MigrationMatrix,
     sim_cfg: &SimConfig,
-) -> RuntimeComparison {
+) -> Result<RuntimeComparison, RebalanceError> {
     let baseline = simulate(&SimInput::from_instance(inst), sim_cfg);
-    let rebalanced = simulate(
-        &SimInput::from_plan(inst, plan).expect("plan validated by its producer"),
-        sim_cfg,
-    );
-    RuntimeComparison {
+    let rebalanced = simulate(&SimInput::from_plan(inst, plan)?, sim_cfg);
+    Ok(RuntimeComparison {
         analytic_speedup: inst.speedup(plan),
         achieved_speedup: rebalanced.speedup_over(&baseline),
         migration_comm_time: rebalanced.iterations[0]
@@ -43,22 +45,23 @@ pub fn execute_plan(
             .iter()
             .map(|n| n.comm_busy)
             .sum(),
-    }
+    })
 }
 
 /// Convenience: the full report pair for custom analysis.
+///
+/// # Errors
+/// Returns [`RebalanceError::InvalidPlan`] if `plan` fails validation
+/// against `inst`.
 pub fn execute_plan_reports(
     inst: &Instance,
     plan: &MigrationMatrix,
     sim_cfg: &SimConfig,
-) -> (SimReport, SimReport) {
-    (
+) -> Result<(SimReport, SimReport), RebalanceError> {
+    Ok((
         simulate(&SimInput::from_instance(inst), sim_cfg),
-        simulate(
-            &SimInput::from_plan(inst, plan).expect("plan validated by its producer"),
-            sim_cfg,
-        ),
-    )
+        simulate(&SimInput::from_plan(inst, plan)?, sim_cfg),
+    ))
 }
 
 #[cfg(test)]
@@ -71,7 +74,7 @@ mod tests {
     fn analytic_config_matches_paper_metric() {
         let inst = Instance::uniform(20, vec![1.0, 2.0, 5.0, 8.0]).unwrap();
         let plan = ProactLb.rebalance(&inst).unwrap().matrix;
-        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic());
+        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic()).expect("valid plan");
         assert!(
             (cmp.analytic_speedup - cmp.achieved_speedup).abs() < 1e-9,
             "with free communication the simulator reproduces the L_max ratio: \
@@ -95,7 +98,7 @@ mod tests {
             comm_cost_per_load: 1.0,
             iterations: 1,
         };
-        let cmp = execute_plan(&inst, &plan, &costly);
+        let cmp = execute_plan(&inst, &plan, &costly).expect("valid plan");
         assert!(cmp.migration_comm_time > 0.0);
         assert!(
             cmp.achieved_speedup <= cmp.analytic_speedup + 1e-9,
@@ -106,7 +109,19 @@ mod tests {
             iterations: 50,
             ..costly
         };
-        let cmp50 = execute_plan(&inst, &plan, &amortized);
+        let cmp50 = execute_plan(&inst, &plan, &amortized).expect("valid plan");
         assert!(cmp50.achieved_speedup > cmp.achieved_speedup);
+    }
+
+    #[test]
+    fn invalid_plan_is_an_error_not_a_panic() {
+        // A plan sized for a different instance must surface as a
+        // recoverable error so sweeps can record it and continue.
+        let inst = Instance::uniform(20, vec![1.0, 2.0, 5.0, 8.0]).unwrap();
+        let foreign = qlrb_core::MigrationMatrix::zeros(7);
+        let err = execute_plan(&inst, &foreign, &SimConfig::analytic()).unwrap_err();
+        assert!(matches!(err, RebalanceError::InvalidPlan(_)), "{err}");
+        let err = execute_plan_reports(&inst, &foreign, &SimConfig::analytic()).unwrap_err();
+        assert!(matches!(err, RebalanceError::InvalidPlan(_)), "{err}");
     }
 }

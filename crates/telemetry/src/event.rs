@@ -8,6 +8,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One backend fault observed during a read's submission attempts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Zero-based submission attempt that failed.
+    pub attempt: u32,
+    /// Rendered `SubmitError`, e.g. `"backend crashed"`.
+    pub error: String,
+}
+
+/// A read whose every submission attempt failed: the retry budget was
+/// exhausted (or the per-read deadline cut retries short) and the read
+/// produced no sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedReadRecord {
+    /// Read index within the solve.
+    pub read: usize,
+    /// Sampler the read was assigned to (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`).
+    pub sampler: String,
+    /// The faults hit, one per attempt, in attempt order.
+    pub faults: Vec<FaultRecord>,
+}
+
 /// Everything observed about one independent portfolio read.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReadRecord {
@@ -50,6 +72,14 @@ pub struct ReadRecord {
     pub feasible: bool,
     /// Wall-clock time of the whole read, milliseconds.
     pub wall_ms: f64,
+    /// Submission attempts the read took (1 = first attempt succeeded).
+    pub attempts: u32,
+    /// Deterministic backoff charged before the successful attempt, in
+    /// proposal units of the solver's virtual clock.
+    pub backoff_proposals: u64,
+    /// Faults hit on the failed attempts preceding the success, in
+    /// attempt order (empty on a clean first attempt).
+    pub faults: Vec<FaultRecord>,
 }
 
 /// How many of a wave's reads one portfolio member received.
@@ -151,6 +181,13 @@ pub struct SolverConfig {
     pub elite_capacity: usize,
     /// Fraction of each post-first wave's reads seeded from the elite pool.
     pub elite_fraction: f64,
+    /// Retries allowed per read after its first failed submission.
+    pub max_retries: u32,
+    /// Per-read deadline in proposal units of the virtual clock, if set.
+    pub read_deadline_proposals: Option<u64>,
+    /// Backend the reads are submitted through (`"in-process"` or
+    /// `"fault-injection"`).
+    pub backend: String,
 }
 
 /// One model-lint diagnostic, flattened to strings so the trace vocabulary
@@ -196,10 +233,13 @@ pub struct SolveRecord {
     pub requested_reads: usize,
     /// Per-read trace records, in read order.
     pub reads: Vec<ReadRecord>,
+    /// Reads that produced no sample because every submission attempt
+    /// failed (empty on a healthy backend).
+    pub failed_reads: Vec<FailedReadRecord>,
     /// Per-wave timings, in launch order.
     pub waves: Vec<WaveRecord>,
     /// Why the wave loop stopped: `"exhausted"`, `"plateau"`, `"fast-exit"`,
-    /// or `"time-limit"`.
+    /// `"time-limit"`, or `"backend-exhausted"`.
     pub termination: String,
     /// CPU / simulated-QPU split of the solve.
     pub timing: TimingRecord,
@@ -236,6 +276,20 @@ mod tests {
                 violation: 0.0,
                 feasible: true,
                 wall_ms: 1.25,
+                attempts: 2,
+                backoff_proposals: 1024,
+                faults: vec![FaultRecord {
+                    attempt: 0,
+                    error: "transient backend failure (attempt 0)".into(),
+                }],
+            }],
+            failed_reads: vec![FailedReadRecord {
+                read: 1,
+                sampler: "SQA".into(),
+                faults: vec![FaultRecord {
+                    attempt: 0,
+                    error: "backend crashed".into(),
+                }],
             }],
             waves: vec![WaveRecord {
                 wave: 0,

@@ -36,8 +36,8 @@ pub mod observer;
 pub mod sink;
 
 pub use event::{
-    LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary, SolveRecord, SolverConfig,
-    TimingRecord, WaveAllocation, WaveRecord,
+    FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary,
+    SolveRecord, SolverConfig, TimingRecord, WaveAllocation, WaveRecord,
 };
 pub use manifest::{
     median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,

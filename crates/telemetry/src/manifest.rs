@@ -15,7 +15,13 @@ use crate::event::{SolveRecord, SolverConfig};
 /// v2: per-wave sampler allocations + elite-seed counts (`waves[].allocation`,
 /// `waves[].elite_seeded`), termination reason per solve, adaptive-scheduler
 /// solver-config fields, and the top-level `rayon_threads`.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: fault-tolerance surface — per-read submission attempt counts, backoff
+/// charges and fault lists (`reads[].attempts`, `reads[].backoff_proposals`,
+/// `reads[].faults`), exhausted reads (`failed_reads`), and the retry budget
+/// in the solver config (`max_retries`, `read_deadline_proposals`,
+/// `backend`). The termination vocabulary gains `"backend-exhausted"`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -283,6 +289,32 @@ impl RunManifest {
                             case.label, m.method, r.read, r.acceptance_rate
                         ));
                     }
+                    if r.attempts == 0 {
+                        return Err(format!(
+                            "case '{}' method '{}' read {}: zero submission attempts",
+                            case.label, m.method, r.read
+                        ));
+                    }
+                }
+                if s.requested_reads > 0 && s.reads.len() + s.failed_reads.len() > s.requested_reads
+                {
+                    return Err(format!(
+                        "case '{}' method '{}': {} completed + {} failed reads exceed \
+                         the {} requested",
+                        case.label,
+                        m.method,
+                        s.reads.len(),
+                        s.failed_reads.len(),
+                        s.requested_reads
+                    ));
+                }
+                for f in &s.failed_reads {
+                    if f.faults.is_empty() {
+                        return Err(format!(
+                            "case '{}' method '{}' failed read {}: no faults recorded",
+                            case.label, m.method, f.read
+                        ));
+                    }
                 }
             }
         }
@@ -404,7 +436,11 @@ mod tests {
                 violation: 0.0,
                 feasible: true,
                 wall_ms: cpu_ms,
+                attempts: 1,
+                backoff_proposals: 0,
+                faults: vec![],
             }],
+            failed_reads: vec![],
             waves: vec![],
             termination: "exhausted".into(),
             timing: TimingRecord {

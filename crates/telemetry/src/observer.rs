@@ -51,6 +51,9 @@ impl ReadObserver {
                 violation: 0.0,
                 feasible: false,
                 wall_ms: 0.0,
+                attempts: 1,
+                backoff_proposals: 0,
+                faults: Vec::new(),
             })),
             started: Some(Instant::now()),
         }

@@ -102,6 +102,7 @@ mod tests {
             compiled_vars: 1,
             requested_reads: 1,
             reads: vec![],
+            failed_reads: vec![],
             waves: vec![],
             termination: "exhausted".into(),
             timing: TimingRecord::default(),

@@ -46,7 +46,7 @@ fn main() {
         rebalanced.iterations[0].total_wait()
     );
 
-    let cmp = execute_plan(&inst, &plan, &cfg);
+    let cmp = execute_plan(&inst, &plan, &cfg).expect("valid plan");
     println!(
         "\nanalytic speedup (paper metric) = {:.3}, achieved speedup = {:.3}, \
          migration comm time = {:.3}",
@@ -59,7 +59,7 @@ fn main() {
             iterations: iters,
             ..cfg
         };
-        let cmp = execute_plan(&inst, &plan, &cfg_n);
+        let cmp = execute_plan(&inst, &plan, &cfg_n).expect("valid plan");
         println!(
             "iterations = {iters:>2}: achieved speedup = {:.3}",
             cmp.achieved_speedup

@@ -16,3 +16,5 @@ cargo test -q
 ./scripts/check_lint.sh
 # Scheduler smoke: --early-stop must save reads without costing quality.
 ./scripts/check_scheduler.sh
+# Fault smoke: injected faults stay deterministic; all-crash degrades.
+./scripts/check_faults.sh

@@ -43,6 +43,7 @@ USAGE:
   qlrb info      --input <FILE>
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
                  [--seed <S>] [--early-stop] [--adaptive]
+                 [--fault-plan <FILE>] [--max-retries <N>]
                  [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
@@ -67,6 +68,13 @@ SCHEDULING (qcqm* only):
                  plateaus (or presolve/a lower bound proves it optimal)
   --adaptive     bandit read re-allocation across SA/SQA/tabu plus elite
                  cross-seeding of later waves; deterministic per --seed
+
+FAULT TOLERANCE (qcqm* only):
+  --fault-plan    JSON fault schedule injected at the sampler submission
+                  boundary (kinds: timeout|transient|crash|malformed; see
+                  DESIGN.md §Fault tolerance). Deterministic per --seed.
+  --max-retries   resubmissions per read after a backend failure
+                  (default 2, exponential backoff on the proposal clock)
 
 TELEMETRY:
   --telemetry writes a JSON run manifest next to the normal output:
@@ -246,6 +254,20 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
     let sink = telemetry.as_ref().map(|_| Arc::new(MemorySink::new()));
     let mut solver_config = None;
 
+    // Fault tolerance: a deterministic fault schedule for the sampler
+    // backend, plus the per-read retry budget. Hybrid-only, like telemetry.
+    let fault_plan = flags
+        .get("fault-plan")
+        .map(|path| -> Result<qlrb::anneal::FaultPlan, String> {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            qlrb::anneal::FaultPlan::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+        })
+        .transpose()?;
+    let max_retries = flags
+        .get("max-retries")
+        .map(|s| s.parse::<u32>().map_err(|_| "bad --max-retries"))
+        .transpose()?;
+
     let quantum = |variant: Variant,
                    solver_config: &mut Option<qlrb::telemetry::SolverConfig>|
      -> Result<Box<dyn Rebalancer>, String> {
@@ -266,6 +288,12 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
             .adaptive(sched.adaptive);
         if let Some(sink) = &sink {
             builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
+        }
+        if let Some(plan) = &fault_plan {
+            builder = builder.fault_plan(plan.clone());
+        }
+        if let Some(retries) = max_retries {
+            builder = builder.max_retries(retries);
         }
         q.solver = builder.build().map_err(|e| e.to_string())?;
         *solver_config = Some(q.solver.config());
@@ -291,6 +319,12 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         return Err(format!(
             "--early-stop/--adaptive configure the hybrid solver; method '{method_name}' \
              is classical (use qcqm1 or qcqm2)"
+        ));
+    }
+    if (fault_plan.is_some() || max_retries.is_some()) && solver_config.is_none() {
+        return Err(format!(
+            "--fault-plan/--max-retries configure the hybrid solver's sampler backend; \
+             method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }
 
@@ -414,6 +448,14 @@ fn lint_cmd(flags: &HashMap<String, String>, json: bool) -> Result<ExitCode, Str
 }
 
 fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("fault-plan") || flags.contains_key("max-retries") {
+        return Err(
+            "--fault-plan/--max-retries inject faults at the solver's sampler backend; \
+             simulate replays a finished plan and has no backend (use them with \
+             `qlrb rebalance --method qcqm1|qcqm2`)"
+                .into(),
+        );
+    }
     let inst = load_instance(flags)?;
     let plan_path = required(flags, "plan")?;
     let plan_text =
@@ -444,7 +486,7 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let baseline = simulate(&SimInput::from_instance(&inst), &cfg);
     let rebalanced = simulate(
-        &SimInput::from_plan(&inst, &plan).expect("validated above"),
+        &SimInput::from_plan(&inst, &plan).map_err(|e| e.to_string())?,
         &cfg,
     );
     println!("== baseline ==");

@@ -38,7 +38,7 @@ fn cham_log_to_simulated_speedup() {
         iterations: 8,
         ..SimConfig::default()
     };
-    let cmp = execute_plan(&inst, &plan_back, &cfg);
+    let cmp = execute_plan(&inst, &plan_back, &cfg).expect("valid plan");
     assert!(cmp.analytic_speedup > 1.5, "{}", cmp.analytic_speedup);
     assert!(cmp.achieved_speedup > 1.0, "{}", cmp.achieved_speedup);
 }

@@ -205,6 +205,111 @@ fn telemetry_rejects_classical_methods() {
 }
 
 #[test]
+fn fault_plan_workflow() {
+    let input = tmpfile("fault-input.csv");
+    let plan_json = tmpfile("fault-plan.json");
+    let manifest_path = tmpfile("fault-manifest.json");
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "samoa",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Every first attempt fails transiently; --max-retries 2 recovers all.
+    std::fs::write(&plan_json, r#"[{"fail_attempts": 1, "kind": "transient"}]"#).unwrap();
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "qcqm1",
+        "--k",
+        "16",
+        "--seed",
+        "7",
+        "--fault-plan",
+        plan_json.to_str().unwrap(),
+        "--max-retries",
+        "2",
+        "--telemetry",
+        manifest_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest =
+        qlrb::telemetry::RunManifest::from_json(&std::fs::read_to_string(&manifest_path).unwrap())
+            .expect("manifest parses");
+    manifest.validate().expect("manifest validates");
+    let cfg = manifest.config.solver.as_ref().unwrap();
+    assert_eq!(cfg.backend, "fault-injection");
+    assert_eq!(cfg.max_retries, 2);
+    let solve = &manifest.cases[0].methods[0].solve;
+    assert!(solve.failed_reads.is_empty(), "every read recovered");
+    assert!(solve.reads.iter().all(|r| r.attempts == 2));
+
+    // A malformed plan is rejected with a parse error, not a panic.
+    std::fs::write(&plan_json, r#"[{"kind": "exploded"}]"#).unwrap();
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "qcqm1",
+        "--k",
+        "16",
+        "--fault-plan",
+        plan_json.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+}
+
+#[test]
+fn fault_flags_reject_classical_methods_and_simulate() {
+    let input = tmpfile("fault-reject.csv");
+    let plan_json = tmpfile("fault-reject-plan.json");
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "samoa",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&plan_json, "[]").unwrap();
+
+    let out = qlrb(&[
+        "rebalance",
+        "--input",
+        input.to_str().unwrap(),
+        "--method",
+        "greedy",
+        "--fault-plan",
+        plan_json.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("classical"));
+
+    let out = qlrb(&[
+        "simulate",
+        "--input",
+        input.to_str().unwrap(),
+        "--plan",
+        "unused.csv",
+        "--max-retries",
+        "3",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sampler backend"));
+}
+
+#[test]
 fn generate_to_stdout_roundtrips() {
     let out = qlrb(&["generate", "--workload", "samoa"]);
     assert!(out.status.success());

@@ -20,7 +20,7 @@ fn analytic_simulator_agrees_with_lmax_metric_for_every_method() {
     ];
     for method in methods {
         let plan = method.rebalance(&inst).unwrap().matrix;
-        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic());
+        let cmp = execute_plan(&inst, &plan, &SimConfig::analytic()).expect("valid plan");
         assert!(
             (cmp.analytic_speedup - cmp.achieved_speedup).abs() < 1e-9,
             "{}: analytic {} vs simulated {}",
@@ -43,8 +43,8 @@ fn migration_heavy_plans_pay_more_communication() {
         comm_cost_per_load: 0.05,
         iterations: 1,
     };
-    let g = execute_plan(&inst, &greedy, &cfg);
-    let p = execute_plan(&inst, &proact, &cfg);
+    let g = execute_plan(&inst, &greedy, &cfg).expect("valid plan");
+    let p = execute_plan(&inst, &proact, &cfg).expect("valid plan");
     assert!(
         g.migration_comm_time > p.migration_comm_time,
         "more migrations must cost more comm time: {} vs {}",
@@ -63,7 +63,7 @@ fn rebalancing_helps_even_with_communication_when_amortized() {
         comm_cost_per_load: 0.05,
         iterations: 20,
     };
-    let cmp = execute_plan(&inst, &plan, &cfg);
+    let cmp = execute_plan(&inst, &plan, &cfg).expect("valid plan");
     assert!(
         cmp.achieved_speedup > 1.2,
         "amortized over 20 iterations rebalancing must win: {}",
@@ -83,8 +83,8 @@ fn multithreaded_nodes_change_absolute_but_not_relative_ordering() {
             comm_cost_per_load: 0.0,
             iterations: 1,
         };
-        let g = execute_plan(&inst, &greedy, &cfg);
-        let p = execute_plan(&inst, &proact, &cfg);
+        let g = execute_plan(&inst, &greedy, &cfg).expect("valid plan");
+        let p = execute_plan(&inst, &proact, &cfg).expect("valid plan");
         // Both beat baseline regardless of per-node parallelism.
         assert!(g.achieved_speedup >= 1.0 - 1e-9, "threads = {threads}");
         assert!(p.achieved_speedup >= 1.0 - 1e-9, "threads = {threads}");
