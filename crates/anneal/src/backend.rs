@@ -85,6 +85,21 @@ pub trait Backend: Send + Sync + fmt::Debug {
     /// Short stable name recorded into solver-config telemetry.
     fn name(&self) -> &'static str;
 
+    /// The fault verdict for one submission identity, without running
+    /// anything. The batched path asks this per read *before* packing
+    /// survivors into a lane group, so fault plans keep read-granularity
+    /// semantics even when 64 reads share one kernel invocation.
+    ///
+    /// The default accepts every request; [`submit`](Self::submit)
+    /// implementations must fail exactly when `decide` does.
+    ///
+    /// # Errors
+    /// Returns the [`SubmitError`] this attempt would observe.
+    fn decide(&self, req: &SubmitRequest) -> Result<(), SubmitError> {
+        let _ = req;
+        Ok(())
+    }
+
     /// Runs (or refuses) one sampler submission.
     ///
     /// # Errors
@@ -144,6 +159,23 @@ impl Backend for FaultInjectingBackend {
         "fault-injection"
     }
 
+    fn decide(&self, req: &SubmitRequest) -> Result<(), SubmitError> {
+        match self
+            .plan
+            .fault_for(&req.sampler.to_string(), req.read, req.attempt)
+        {
+            Some(kind) => Err(match kind {
+                FaultKind::Timeout => SubmitError::Timeout,
+                FaultKind::Transient => SubmitError::Transient {
+                    attempt: req.attempt,
+                },
+                FaultKind::Crash => SubmitError::Crash,
+                FaultKind::Malformed => SubmitError::Malformed,
+            }),
+            None => Ok(()),
+        }
+    }
+
     fn submit(
         &self,
         req: &SubmitRequest,
@@ -154,19 +186,7 @@ impl Backend for FaultInjectingBackend {
     ) -> Result<AnnealResult, SubmitError> {
         // Decide the fault before any RNG use: an injected failure must not
         // perturb the streams surviving attempts draw from.
-        if let Some(kind) = self
-            .plan
-            .fault_for(&req.sampler.to_string(), req.read, req.attempt)
-        {
-            return Err(match kind {
-                FaultKind::Timeout => SubmitError::Timeout,
-                FaultKind::Transient => SubmitError::Transient {
-                    attempt: req.attempt,
-                },
-                FaultKind::Crash => SubmitError::Crash,
-                FaultKind::Malformed => SubmitError::Malformed,
-            });
-        }
+        self.decide(req)?;
         InProcessBackend.submit(req, run, ev, rng, obs)
     }
 }

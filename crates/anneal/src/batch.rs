@@ -1,0 +1,713 @@
+//! Batched sampler kernels: one CSR traversal serves up to 64 lanes.
+//!
+//! The scalar samplers spend almost all their time in
+//! [`Evaluator::flip_delta`][qlrb_model::eval::Evaluator::flip_delta] —
+//! a walk over the flipped variable's CSR incidence row. When many
+//! independent reads (or Trotter replicas) propose the *same* variable, the
+//! row walk, expression kinds, and coefficients are identical across them;
+//! only the per-lane sums differ. [`BatchedEvaluator`] exploits that by
+//! packing one state bit per lane into `u64` bitsets, and these kernels
+//! drive it:
+//!
+//! * [`batched_annealing`] — lane-per-read SA: a shared shuffled visit
+//!   order, per-lane β schedules, and per-lane acceptance draws.
+//! * [`batched_descent`] — lane-per-read greedy polish with a live-lane
+//!   mask; lanes retire individually once a full sweep stops improving.
+//! * [`batched_sqa`] — lane-per-Trotter-replica path-integral annealing:
+//!   the replica ring lives in the lane dimension, so nearest-neighbour
+//!   spins are single bit reads and one delta traversal serves all `P`
+//!   replicas.
+//! * [`batched_tabu`] — lane-per-read tabu search over the batched
+//!   flip-delta cache; the admissibility scan reads each variable's lane
+//!   row contiguously.
+//!
+//! All kernels consume [`CounterRng`] streams: every lane owns an
+//! independent counter stream, so results are byte-for-byte reproducible
+//! regardless of thread count or lane-group composition order. These
+//! kernels are the opt-in `batched()` path of the hybrid solver — the
+//! scalar samplers and their ChaCha8 streams are untouched.
+
+use qlrb_model::batch::{BatchedEvaluator, MAX_LANES};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+use crate::crng::CounterRng;
+use crate::schedule::{BetaSchedule, TransverseSchedule};
+use crate::tabu::TabuParams;
+
+/// What one lane of a batched kernel produced: the best state seen, its
+/// penalized energy, and the accepted-move count (tabu: iterations).
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// Best-seen assignment at compiled width.
+    pub state: Vec<u8>,
+    /// Its penalized energy.
+    pub energy: f64,
+    /// Accepted moves (diagnostic; tabu reports committed iterations).
+    pub accepted: u64,
+}
+
+/// A full-lane mask for `lanes` lanes.
+#[inline]
+fn all_lanes(lanes: usize) -> u64 {
+    if lanes == MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Snapshots every lane whose current energy beats its recorded best.
+fn snapshot_improved(bev: &BatchedEvaluator, best_energy: &mut [f64], best_state: &mut [Vec<u8>]) {
+    for l in 0..bev.lanes() {
+        if bev.energy(l) < best_energy[l] {
+            best_energy[l] = bev.energy(l);
+            bev.write_lane_state(l, &mut best_state[l]);
+        }
+    }
+}
+
+/// Packs per-lane bests into [`LaneOutcome`]s.
+fn outcomes(best_energy: &[f64], best_state: Vec<Vec<u8>>, accepted: &[u64]) -> Vec<LaneOutcome> {
+    best_state
+        .into_iter()
+        .zip(best_energy)
+        .zip(accepted)
+        .map(|((state, &energy), &accepted)| LaneOutcome {
+            state,
+            energy,
+            accepted,
+        })
+        .collect()
+}
+
+/// Lane-per-read simulated annealing: every sweep shuffles one shared visit
+/// order (all lanes propose the same variable at the same step — that is
+/// what lets one CSR traversal serve the whole wave), computes all lane
+/// deltas in one pass, and applies per-lane Metropolis tests with per-lane
+/// inverse temperatures.
+///
+/// Differences from the scalar kernel, by construction: the visit order is
+/// shared across lanes instead of per-read, one acceptance uniform is drawn
+/// per (lane, proposal) from the lane's counter stream, and the best-seen
+/// state is snapshotted at sweep granularity (plus once at the end) rather
+/// than per accepted flip — the post-anneal polish pass recovers anything a
+/// mid-sweep snapshot would have caught.
+///
+/// # Panics
+/// Panics if `schedules` or `lane_rngs` are narrower than the lane count.
+pub fn batched_annealing(
+    bev: &mut BatchedEvaluator,
+    schedules: &[BetaSchedule],
+    sweeps: usize,
+    resync_interval: usize,
+    order_rng: &mut CounterRng,
+    lane_rngs: &mut [CounterRng],
+) -> Vec<LaneOutcome> {
+    let lanes = bev.lanes();
+    assert!(schedules.len() >= lanes, "one schedule per lane");
+    assert!(lane_rngs.len() >= lanes, "one RNG stream per lane");
+    let mut order = bev.active_vars().to_vec();
+    let mut best_energy = bev.energies().to_vec();
+    let mut best_state: Vec<Vec<u8>> = (0..lanes).map(|l| bev.lane_state(l)).collect();
+    let mut accepted = vec![0u64; lanes];
+    if order.is_empty() || sweeps == 0 {
+        return outcomes(&best_energy, best_state, &accepted);
+    }
+    let denom = (sweeps.saturating_sub(1)).max(1) as f64;
+    let mut deltas = [0.0f64; MAX_LANES];
+    let mut betas = [0.0f64; MAX_LANES];
+    for sweep in 0..sweeps {
+        let t = sweep as f64 / denom;
+        for (l, schedule) in schedules.iter().take(lanes).enumerate() {
+            betas[l] = schedule.beta(t);
+        }
+        order.shuffle(order_rng);
+        // qlrb-hot: the per-proposal loop — no allocation allowed here.
+        for &v in &order {
+            bev.flip_deltas(v, &mut deltas);
+            let mut mask = 0u64;
+            for (l, rng) in lane_rngs.iter_mut().take(lanes).enumerate() {
+                let delta = deltas[l];
+                // Always draw: a fixed one-uniform-per-proposal stream per
+                // lane keeps lane results independent of other lanes.
+                let u: f64 = rng.random();
+                let accept = delta <= 0.0 || {
+                    let x = -betas[l] * delta;
+                    x > -60.0 && u < x.exp()
+                };
+                if accept {
+                    mask |= 1u64 << l;
+                    accepted[l] += 1;
+                }
+            }
+            bev.flip_lanes(v, mask, &deltas);
+        }
+        snapshot_improved(bev, &mut best_energy, &mut best_state);
+        if resync_interval > 0 && (sweep + 1) % resync_interval == 0 {
+            bev.resync();
+        }
+    }
+    bev.resync();
+    snapshot_improved(bev, &mut best_energy, &mut best_state);
+    outcomes(&best_energy, best_state, &accepted)
+}
+
+/// Lane-per-read first-improvement descent with a shared shuffled order.
+/// A lane retires once a full sweep applies none of its flips; the kernel
+/// stops when every lane has retired or `max_sweeps` is spent. Returns the
+/// improving flips applied per lane.
+pub fn batched_descent(
+    bev: &mut BatchedEvaluator,
+    max_sweeps: usize,
+    rng: &mut CounterRng,
+) -> Vec<u64> {
+    let lanes = bev.lanes();
+    let mut flips = vec![0u64; lanes];
+    let mut order = bev.active_vars().to_vec();
+    if order.is_empty() {
+        return flips;
+    }
+    let mut live = all_lanes(lanes);
+    let mut deltas = [0.0f64; MAX_LANES];
+    for _ in 0..max_sweeps {
+        if live == 0 {
+            break;
+        }
+        order.shuffle(rng);
+        let mut improved = 0u64;
+        // qlrb-hot: the per-candidate loop — no allocation allowed here.
+        for &v in &order {
+            bev.flip_deltas(v, &mut deltas);
+            let mut mask = 0u64;
+            let mut scan = live;
+            while scan != 0 {
+                let l = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                if deltas[l] < -1e-12 {
+                    mask |= 1u64 << l;
+                    flips[l] += 1;
+                }
+            }
+            bev.flip_lanes(v, mask, &deltas);
+            improved |= mask;
+        }
+        live &= improved;
+    }
+    bev.resync();
+    flips
+}
+
+/// Parameters of the batched SQA kernel (the lane-per-replica counterpart
+/// of [`crate::sqa::SqaParams`]; the replica count is the evaluator's lane
+/// count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedSqaParams {
+    /// Monte-Carlo sweeps (each visits every active variable in every
+    /// replica).
+    pub sweeps: usize,
+    /// Inverse temperature of the quantum bath.
+    pub beta: f64,
+    /// Transverse-field schedule.
+    pub transverse: TransverseSchedule,
+    /// Fraction of active variables tried as all-replica moves per sweep.
+    pub global_move_fraction: f64,
+    /// Full recompute cadence (sweeps).
+    pub resync_interval: usize,
+}
+
+/// Lane-per-Trotter-replica simulated quantum annealing. The `P` replicas
+/// of the path integral live in the lane dimension of one evaluator, so
+/// the classical flip delta of all replicas is one CSR traversal and the
+/// ring-coupling term reads neighbouring replicas' spins as single bits of
+/// the variable's lane word.
+///
+/// Replicas update in checkerboard phases over the ring (even/odd lane
+/// index; an odd replica count parks the wrap-around lane in a third
+/// phase), so within a phase no two updating replicas are neighbours and
+/// the coupling term always reads settled spins.
+///
+/// Every lane starts from the evaluator's packed state (the caller packs
+/// the same seed into all lanes); lanes `1..P` are then perturbed with
+/// `k`-proportional random flips to diversify the ring exactly like the
+/// scalar kernel. Returns the best *classical* replica seen.
+pub fn batched_sqa(
+    bev: &mut BatchedEvaluator,
+    params: &BatchedSqaParams,
+    rng: &mut CounterRng,
+) -> LaneOutcome {
+    let p = bev.lanes();
+    let pf = p as f64;
+    let mut order = bev.active_vars().to_vec();
+    let na = order.len();
+    let mut best_energy = f64::INFINITY;
+    let mut best_state = bev.lane_state(0);
+    let mut accepted = 0u64;
+    snapshot_best(bev, &mut best_energy, &mut best_state);
+    if na == 0 || params.sweeps == 0 || p < 2 {
+        return LaneOutcome {
+            state: best_state,
+            energy: best_energy,
+            accepted,
+        };
+    }
+
+    // Per-replica acceptance streams, derived once from the read stream.
+    let stream_base = rng.next_u64();
+    let mut slice_rngs: Vec<CounterRng> = (0..p)
+        .map(|k| CounterRng::stream(stream_base, k as u64))
+        .collect();
+
+    // Diversify the ring: replica k gets k-proportional random flips.
+    let flips = (na / 50).clamp(1, na);
+    for (k, srng) in slice_rngs.iter_mut().enumerate().skip(1) {
+        for _ in 0..(flips * k).min(na) {
+            let v = order[srng.random_range(0..na)];
+            let delta = bev.flip_delta_lane(v, k);
+            bev.flip_lane(v, k, delta);
+        }
+    }
+    snapshot_best(bev, &mut best_energy, &mut best_state);
+
+    // Checkerboard phases over the replica ring.
+    let num_phases = if p % 2 == 0 { 2 } else { 3 };
+    let mut phase_mask = [0u64; 3];
+    for k in 0..p {
+        let ph = if p % 2 == 1 && k == p - 1 { 2 } else { k % 2 };
+        phase_mask[ph] |= 1u64 << k;
+    }
+
+    let denom = (params.sweeps.saturating_sub(1)).max(1) as f64;
+    let mut deltas = [0.0f64; MAX_LANES];
+    for sweep in 0..params.sweeps {
+        let gamma = params.transverse.gamma(sweep as f64 / denom);
+        let arg = (params.beta * gamma / pf).clamp(1e-12, 30.0);
+        let jperp = -(pf / (2.0 * params.beta)) * arg.tanh().ln();
+        order.shuffle(rng);
+        // qlrb-hot: the per-proposal loop — no allocation allowed here.
+        for &v in &order {
+            bev.flip_deltas(v, &mut deltas);
+            for mask_ph in phase_mask.iter().take(num_phases) {
+                // Re-read the lane word per phase: earlier phases may have
+                // flipped a neighbouring replica at this variable.
+                let bits = bev.var_bits(v);
+                let mut mask = 0u64;
+                let mut scan = *mask_ph;
+                while scan != 0 {
+                    let k = scan.trailing_zeros() as usize;
+                    scan &= scan - 1;
+                    let s = 2.0 * ((bits >> k) & 1) as f64 - 1.0;
+                    let prev = 2.0 * ((bits >> ((k + p - 1) % p)) & 1) as f64 - 1.0;
+                    let next = 2.0 * ((bits >> ((k + 1) % p)) & 1) as f64 - 1.0;
+                    let delta = deltas[k] / pf + 2.0 * jperp * s * (prev + next);
+                    let u: f64 = slice_rngs[k].random();
+                    let accept = delta <= 0.0 || {
+                        let x = -params.beta * delta;
+                        x > -60.0 && u < x.exp()
+                    };
+                    if accept {
+                        mask |= 1u64 << k;
+                        accepted += 1;
+                    }
+                }
+                bev.flip_lanes(v, mask, &deltas);
+            }
+        }
+        // All-replica moves: average classical delta, caller-stream draw.
+        let global_moves = (na as f64 * params.global_move_fraction) as usize;
+        for _ in 0..global_moves {
+            let v = order[rng.random_range(0..na)];
+            bev.flip_deltas(v, &mut deltas);
+            let avg = deltas[..p].iter().sum::<f64>() / pf;
+            let u: f64 = rng.random();
+            let accept = avg <= 0.0 || {
+                let x = -params.beta * avg;
+                x > -60.0 && u < x.exp()
+            };
+            if accept {
+                bev.flip_lanes(v, all_lanes(p), &deltas);
+                accepted += 1;
+            }
+        }
+        snapshot_best(bev, &mut best_energy, &mut best_state);
+        if params.resync_interval > 0 && (sweep + 1) % params.resync_interval == 0 {
+            bev.resync();
+        }
+    }
+    bev.resync();
+    snapshot_best(bev, &mut best_energy, &mut best_state);
+    LaneOutcome {
+        state: best_state,
+        energy: best_energy,
+        accepted,
+    }
+}
+
+/// Records the lowest-energy replica if it beats the best seen so far.
+fn snapshot_best(bev: &BatchedEvaluator, best_energy: &mut f64, best_state: &mut Vec<u8>) {
+    for l in 0..bev.lanes() {
+        if bev.energy(l) < *best_energy {
+            *best_energy = bev.energy(l);
+            bev.write_lane_state(l, best_state);
+        }
+    }
+}
+
+/// One lane's tabu result (iterations double as the accepted-move count).
+#[derive(Debug, Clone)]
+pub struct TabuLaneOutcome {
+    /// Best-seen assignment at compiled width.
+    pub state: Vec<u8>,
+    /// Its penalized energy.
+    pub energy: f64,
+    /// Committed moves before the lane stopped.
+    pub iterations: u64,
+}
+
+/// Lane-per-read tabu search over the batched flip-delta cache.
+///
+/// Each iteration scans every active variable's cached lane-delta row
+/// (contiguous in the batched cache layout) and commits, per live lane,
+/// the steepest admissible move — non-tabu, or aspirating past the lane's
+/// best energy. Ties break by a per-lane `1e-9`-scaled jitter draw exactly
+/// like the scalar kernel. A lane retires when it has no admissible move
+/// or when `stall_limit` consecutive non-improving moves accumulate; the
+/// kernel returns when every lane has retired or the move budget is spent.
+///
+/// # Panics
+/// Panics if `lane_rngs` is narrower than the lane count.
+pub fn batched_tabu(
+    bev: &mut BatchedEvaluator,
+    params: &TabuParams,
+    lane_rngs: &mut [CounterRng],
+) -> Vec<TabuLaneOutcome> {
+    let lanes = bev.lanes();
+    assert!(lane_rngs.len() >= lanes, "one RNG stream per lane");
+    let n = bev.num_vars();
+    let order = bev.active_vars().to_vec();
+    let na = order.len();
+    let tenure = if params.tenure == 0 {
+        (na / 10).max(8) as u64
+    } else {
+        params.tenure as u64
+    };
+    let mut best_energy = bev.energies().to_vec();
+    let mut best_state: Vec<Vec<u8>> = (0..lanes).map(|l| bev.lane_state(l)).collect();
+    let mut iterations = vec![0u64; lanes];
+    if na == 0 || params.max_iters == 0 {
+        return tabu_outcomes(&best_energy, best_state, &iterations);
+    }
+    bev.enable_delta_cache();
+    let mut tabu_until = vec![0u64; n * lanes];
+    let mut stall = vec![0usize; lanes];
+    let mut live = all_lanes(lanes);
+    let mut chosen = [usize::MAX; MAX_LANES];
+    let mut chosen_key = [f64::INFINITY; MAX_LANES];
+    let mut chosen_delta = [0.0f64; MAX_LANES];
+    for iter in 0..params.max_iters as u64 {
+        if live == 0 {
+            break;
+        }
+        for l in 0..lanes {
+            chosen[l] = usize::MAX;
+            chosen_key[l] = f64::INFINITY;
+        }
+        // Steepest admissible scan: each variable's lane row is contiguous
+        // in the batched cache, so the scan streams the cache linearly.
+        let cache = bev.cached_deltas().expect("cache enabled above"); // qlrb-lint: allow(no-unwrap)
+                                                                       // qlrb-hot: the neighbourhood scan — no allocation allowed here.
+        for &v in &order {
+            let row = &cache[v * lanes..v * lanes + lanes];
+            let tabu_row = &tabu_until[v * lanes..v * lanes + lanes];
+            let mut scan = live;
+            while scan != 0 {
+                let l = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                let delta = row[l];
+                let jitter: f64 = lane_rngs[l].random();
+                let key = delta + jitter * 1e-9;
+                let admissible =
+                    tabu_row[l] <= iter || bev.energy(l) + delta < best_energy[l] - 1e-12;
+                if admissible && key < chosen_key[l] {
+                    chosen[l] = v;
+                    chosen_key[l] = key;
+                    chosen_delta[l] = delta;
+                }
+            }
+        }
+        let mut scan = live;
+        while scan != 0 {
+            let l = scan.trailing_zeros() as usize;
+            scan &= scan - 1;
+            let v = chosen[l];
+            if v == usize::MAX {
+                live &= !(1u64 << l);
+                continue;
+            }
+            bev.flip_lane(v, l, chosen_delta[l]);
+            tabu_until[v * lanes + l] = iter + tenure;
+            iterations[l] += 1;
+            if bev.energy(l) < best_energy[l] - 1e-12 {
+                best_energy[l] = bev.energy(l);
+                bev.write_lane_state(l, &mut best_state[l]);
+                stall[l] = 0;
+            } else {
+                stall[l] += 1;
+                if stall[l] >= params.stall_limit {
+                    live &= !(1u64 << l);
+                }
+            }
+        }
+        if (iter + 1) % 512 == 0 {
+            bev.resync();
+        }
+    }
+    bev.resync();
+    for l in 0..lanes {
+        if bev.energy(l) < best_energy[l] {
+            best_energy[l] = bev.energy(l);
+            bev.write_lane_state(l, &mut best_state[l]);
+        }
+    }
+    tabu_outcomes(&best_energy, best_state, &iterations)
+}
+
+/// Packs per-lane tabu bests into [`TabuLaneOutcome`]s.
+fn tabu_outcomes(
+    best_energy: &[f64],
+    best_state: Vec<Vec<u8>>,
+    iterations: &[u64],
+) -> Vec<TabuLaneOutcome> {
+    best_state
+        .into_iter()
+        .zip(best_energy)
+        .zip(iterations)
+        .map(|((state, &energy), &iterations)| TabuLaneOutcome {
+            state,
+            energy,
+            iterations,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::auto_geometric;
+    use qlrb_model::cqm::{Cqm, Sense};
+    use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
+    use qlrb_model::expr::{LinearExpr, Var};
+    use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+    use std::sync::Arc;
+
+    /// Minimize `(Σ w_i x_i − 5)²` subject to `Σ x_i ≤ 3`.
+    fn model() -> Arc<CompiledCqm> {
+        let w = [3.0, 1.0, 1.0, 2.0, 2.0, 1.0];
+        let mut cqm = Cqm::new(w.len());
+        let mut sum = LinearExpr::new();
+        for (i, &wi) in w.iter().enumerate() {
+            sum.add_term(Var(i as u32), wi);
+        }
+        cqm.add_squared_term(sum, 5.0, 1.0);
+        let mut card = LinearExpr::new();
+        for i in 0..w.len() {
+            card.add_term(Var(i as u32), 1.0);
+        }
+        cqm.add_constraint(card, Sense::Le, 3.0, "at_most_3");
+        CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::ViolationQuadratic),
+        )
+    }
+
+    fn packed(lanes: usize) -> BatchedEvaluator {
+        let mut bev = BatchedEvaluator::new(model(), lanes);
+        for l in 0..lanes {
+            // Distinct random-ish starts per lane.
+            let state: Vec<u8> = (0..6).map(|v| ((l + v) % 2) as u8).collect();
+            bev.set_lane_state(l, &state);
+        }
+        bev
+    }
+
+    #[test]
+    fn batched_annealing_finds_the_optimum_in_some_lane() {
+        let lanes = 8;
+        let mut bev = packed(lanes);
+        let schedules = vec![auto_geometric(2.0); lanes];
+        let mut order_rng = CounterRng::stream(7, 0);
+        let mut lane_rngs: Vec<CounterRng> = (0..lanes)
+            .map(|l| CounterRng::stream(7, 1 + l as u64))
+            .collect();
+        let out = batched_annealing(
+            &mut bev,
+            &schedules,
+            300,
+            64,
+            &mut order_rng,
+            &mut lane_rngs,
+        );
+        assert_eq!(out.len(), lanes);
+        let best = out.iter().map(|o| o.energy).fold(f64::INFINITY, f64::min);
+        assert_eq!(best, 0.0, "a perfect feasible split exists (e.g. 3+2)");
+        // Reported energies are consistent with the reported states.
+        let m = model();
+        for o in &out {
+            let ev = CqmEvaluator::with_state(Arc::clone(&m), &o.state);
+            assert!((ev.energy() - o.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_annealing_is_deterministic() {
+        let run = || {
+            let lanes = 5;
+            let mut bev = packed(lanes);
+            let schedules = vec![auto_geometric(2.0); lanes];
+            let mut order_rng = CounterRng::stream(3, 0);
+            let mut lane_rngs: Vec<CounterRng> = (0..lanes)
+                .map(|l| CounterRng::stream(3, 1 + l as u64))
+                .collect();
+            batched_annealing(
+                &mut bev,
+                &schedules,
+                120,
+                32,
+                &mut order_rng,
+                &mut lane_rngs,
+            )
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.state, y.state);
+            assert_eq!(x.energy, y.energy);
+            assert_eq!(x.accepted, y.accepted);
+        }
+    }
+
+    #[test]
+    fn batched_descent_only_improves_and_reaches_local_minima() {
+        let lanes = 6;
+        let mut bev = packed(lanes);
+        let before: Vec<f64> = bev.energies().to_vec();
+        let mut rng = CounterRng::new(11);
+        let flips = batched_descent(&mut bev, 100, &mut rng);
+        assert_eq!(flips.len(), lanes);
+        let mut deltas = [0.0f64; MAX_LANES];
+        for l in 0..lanes {
+            assert!(bev.energy(l) <= before[l] + 1e-9, "lane {l} got worse");
+            // No improving move remains in any lane.
+            for &v in &bev.active_vars().to_vec() {
+                bev.flip_deltas(v, &mut deltas);
+                assert!(deltas[l] >= -1e-12, "lane {l} var {v} still improvable");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sqa_returns_a_good_classical_replica() {
+        let p = 8;
+        let mut bev = BatchedEvaluator::new(model(), p);
+        // All replicas start from the same (poor) state.
+        for l in 0..p {
+            bev.set_lane_state(l, &[1, 1, 1, 1, 1, 1]);
+        }
+        let params = BatchedSqaParams {
+            sweeps: 200,
+            beta: 15.0,
+            transverse: TransverseSchedule {
+                gamma0: 6.0,
+                gamma1: 2e-3,
+            },
+            global_move_fraction: 0.1,
+            resync_interval: 64,
+        };
+        let mut rng = CounterRng::new(5);
+        let out = batched_sqa(&mut bev, &params, &mut rng);
+        let m = model();
+        let ev = CqmEvaluator::with_state(Arc::clone(&m), &out.state);
+        assert!((ev.energy() - out.energy).abs() < 1e-9);
+        assert!(
+            out.energy < ev_energy_of(&m, &[1, 1, 1, 1, 1, 1]),
+            "SQA must beat the all-ones start"
+        );
+        // Determinism.
+        let mut bev2 = BatchedEvaluator::new(model(), p);
+        for l in 0..p {
+            bev2.set_lane_state(l, &[1, 1, 1, 1, 1, 1]);
+        }
+        let mut rng2 = CounterRng::new(5);
+        let out2 = batched_sqa(&mut bev2, &params, &mut rng2);
+        assert_eq!(out.state, out2.state);
+        assert_eq!(out.energy, out2.energy);
+        assert_eq!(out.accepted, out2.accepted);
+    }
+
+    fn ev_energy_of(m: &Arc<CompiledCqm>, state: &[u8]) -> f64 {
+        CqmEvaluator::with_state(Arc::clone(m), state).energy()
+    }
+
+    #[test]
+    fn batched_tabu_beats_its_starts_and_is_deterministic() {
+        let run = || {
+            let lanes = 4;
+            let mut bev = packed(lanes);
+            let params = TabuParams {
+                tenure: 0,
+                max_iters: 400,
+                stall_limit: 100,
+            };
+            let mut lane_rngs: Vec<CounterRng> = (0..lanes)
+                .map(|l| CounterRng::stream(9, l as u64))
+                .collect();
+            (
+                bev.energies().to_vec(),
+                batched_tabu(&mut bev, &params, &mut lane_rngs),
+            )
+        };
+        let (before, out) = run();
+        let m = model();
+        let best = out.iter().map(|o| o.energy).fold(f64::INFINITY, f64::min);
+        assert_eq!(best, 0.0, "tabu finds the optimum on this toy model");
+        for (l, o) in out.iter().enumerate() {
+            assert!(o.energy <= before[l] + 1e-9, "lane {l} got worse");
+            assert!(o.iterations > 0, "lane {l} committed no move");
+            let ev = CqmEvaluator::with_state(Arc::clone(&m), &o.state);
+            assert!((ev.energy() - o.energy).abs() < 1e-9);
+        }
+        let (_, again) = run();
+        for (x, y) in out.iter().zip(&again) {
+            assert_eq!(x.state, y.state);
+            assert_eq!(x.energy, y.energy);
+            assert_eq!(x.iterations, y.iterations);
+        }
+    }
+
+    #[test]
+    fn empty_active_set_is_a_noop_everywhere() {
+        // A model with no variables at all.
+        let cqm = Cqm::new(0);
+        let compiled = CompiledCqm::compile(
+            &cqm,
+            PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::ViolationQuadratic),
+        );
+        let mut bev = BatchedEvaluator::new(Arc::clone(&compiled), 3);
+        let schedules = vec![auto_geometric(1.0); 3];
+        let mut rng = CounterRng::new(0);
+        let mut lane_rngs = vec![CounterRng::new(1), CounterRng::new(2), CounterRng::new(3)];
+        let out = batched_annealing(&mut bev, &schedules, 10, 4, &mut rng, &mut lane_rngs);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|o| o.accepted == 0));
+        let mut bev = BatchedEvaluator::new(Arc::clone(&compiled), 3);
+        assert_eq!(batched_descent(&mut bev, 10, &mut rng), vec![0, 0, 0]);
+        let mut bev = BatchedEvaluator::new(compiled, 3);
+        let params = TabuParams {
+            tenure: 0,
+            max_iters: 10,
+            stall_limit: 5,
+        };
+        let out = batched_tabu(&mut bev, &params, &mut lane_rngs);
+        assert!(out.iter().all(|o| o.iterations == 0));
+    }
+}

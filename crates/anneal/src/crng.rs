@@ -1,0 +1,150 @@
+//! Counter-based RNG for the batched sampler kernels.
+//!
+//! The batched lanes need many independent, cheaply-derivable random
+//! streams — one per lane, plus shared group streams for move ordering.
+//! A counter-based generator gives exactly that: the state is a `(key,
+//! counter)` pair, output `i` is a pure hash of `key + i`, and a sub-stream
+//! is just a different key. No warm-up, no block buffer, and seeding costs
+//! two multiplies instead of ChaCha's key schedule.
+//!
+//! The hash is splitmix64's finaliser, the same mixer `rand`'s own
+//! `SeedableRng::seed_from_u64` uses. It passes the statistical bar for
+//! annealing acceptance draws; it is **not** cryptographic. The legacy
+//! scalar path keeps ChaCha8 untouched — [`CounterRng`] is consumed only by
+//! the opt-in batched kernels, keyed on the same `(seed, read, attempt)`
+//! derivation the scalar path already uses.
+
+use rand::{RngCore, SeedableRng};
+
+/// The 64-bit golden ratio, splitmix64's counter increment.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64's output finaliser: a bijective avalanche mix of one word.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A splitmix64-style counter RNG: output `i` of stream `key` is
+/// `mix(key + (i + 1)·φ)`. Jump-free, clonable, and trivially splittable
+/// into independent sub-streams via [`CounterRng::stream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+    counter: u64,
+}
+
+impl CounterRng {
+    /// A generator for stream 0 of `key`.
+    pub fn new(key: u64) -> Self {
+        Self { key, counter: 0 }
+    }
+
+    /// An independent sub-stream: the stream id is avalanche-mixed into the
+    /// key, so adjacent ids (lane 0, lane 1, …) land on unrelated streams.
+    pub fn stream(key: u64, stream: u64) -> Self {
+        Self {
+            key: key ^ mix(stream.wrapping_add(1).wrapping_mul(GOLDEN)),
+            counter: 0,
+        }
+    }
+
+    /// Outputs drawn so far (the counter).
+    pub fn draws(&self) -> u64 {
+        self.counter
+    }
+}
+
+impl RngCore for CounterRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        mix(self.key.wrapping_add(self.counter.wrapping_mul(GOLDEN)))
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        for chunk in dst.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for CounterRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_counter_indexed() {
+        let mut a = CounterRng::new(42);
+        let mut b = CounterRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.draws(), 8);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut s0 = CounterRng::stream(7, 0);
+        let mut s1 = CounterRng::stream(7, 1);
+        let mut base = CounterRng::new(7);
+        let a = s0.next_u64();
+        let b = s1.next_u64();
+        let c = base.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut rng = CounterRng::new(3);
+        for _ in 0..1000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_odd_lengths() {
+        let mut rng = CounterRng::new(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is ~2^-104");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        // Crude avalanche check: over 4096 draws, each bit position is set
+        // roughly half the time.
+        let mut rng = CounterRng::new(0);
+        let mut ones = [0u32; 64];
+        for _ in 0..4096 {
+            let x = rng.next_u64();
+            for (i, c) in ones.iter_mut().enumerate() {
+                *c += ((x >> i) & 1) as u32;
+            }
+        }
+        for (i, &c) in ones.iter().enumerate() {
+            assert!(
+                (1500..=2600).contains(&c),
+                "bit {i} set {c}/4096 times — badly biased"
+            );
+        }
+    }
+}

@@ -60,16 +60,23 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
+use qlrb_model::batch::{BatchedEvaluator, MAX_LANES};
+
 use crate::backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitRequest};
+use crate::batch::{
+    batched_annealing, batched_descent, batched_sqa, batched_tabu, BatchedSqaParams,
+};
+use crate::crng::CounterRng;
 use crate::descent::greedy_descent;
 use crate::faults::FaultPlan;
 use crate::repair::repair;
 use crate::run::SamplerRun;
 use crate::sampleset::{Sample, SampleSet, SolverTiming};
-use crate::schedule::estimate_delta_scale;
+use crate::schedule::{auto_geometric, estimate_delta_scale, BetaSchedule, TransverseSchedule};
 use crate::scheduler::{
     objective_lower_bound, PortfolioScheduler, ReadStats, SchedulerConfig, TerminationReason,
 };
+use crate::tabu::TabuParams;
 
 /// Portfolio member identities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +122,10 @@ pub enum SolverBuildError {
     /// `elite_fraction` outside `[0, 1]` (or NaN) has no meaning as a
     /// fraction of a wave's reads.
     EliteFractionOutOfRange,
+    /// `batched()` with more than 64 Trotter replicas: the batched SQA
+    /// kernel keeps the replica ring in one `u64` lane word, so
+    /// `sqa_replicas` must fit the lane count.
+    BatchedReplicasExceedLanes,
 }
 
 impl std::fmt::Display for SolverBuildError {
@@ -132,6 +143,11 @@ impl std::fmt::Display for SolverBuildError {
             Self::EliteFractionOutOfRange => {
                 write!(f, "elite_fraction must lie in [0, 1]")
             }
+            Self::BatchedReplicasExceedLanes => write!(
+                f,
+                "batched mode packs the SQA replica ring into 64 bitset lanes; \
+                 sqa_replicas must be at most 64"
+            ),
         }
     }
 }
@@ -263,6 +279,13 @@ pub struct HybridCqmSolver {
     /// clock: a retry (plus its backoff) that would exceed this budget is
     /// not attempted. `None` = no deadline. The first attempt always runs.
     read_deadline_proposals: Option<u64>,
+    /// Opt-in batched fast path: reads sharing a sampler are packed into
+    /// up-to-64-lane bitset groups so one CSR traversal serves the whole
+    /// group (SQA packs its Trotter replicas instead). Off by default —
+    /// the scalar path stays byte-identical to earlier releases; batched
+    /// solves are deterministic but draw different (counter-based) RNG
+    /// streams.
+    batched: bool,
 }
 
 impl Default for HybridCqmSolver {
@@ -285,6 +308,7 @@ impl Default for HybridCqmSolver {
             backend: Arc::new(InProcessBackend),
             max_retries: 2,
             read_deadline_proposals: None,
+            batched: false,
         }
     }
 }
@@ -462,6 +486,20 @@ impl HybridSolverBuilder {
         self
     }
 
+    /// Enables the batched bitset fast path: reads assigned the same
+    /// sampler are packed into up-to-64-lane groups and annealed by one
+    /// shared CSR traversal per proposal (SQA packs its Trotter replicas
+    /// into the lanes of a single read instead; PT reads stay scalar).
+    /// Fault injection, retry backoff, and the per-read deadline keep
+    /// read granularity. Batched solves are byte-for-byte deterministic
+    /// across repeats but draw counter-based RNG streams, so their samples
+    /// differ from the scalar path's; leave this off (the default) to
+    /// reproduce legacy sample sets exactly.
+    pub fn batched(mut self, batched: bool) -> Self {
+        self.cfg.batched = batched;
+        self
+    }
+
     /// Validates and produces the solver. Rejects configurations that could
     /// only misbehave at solve time: zero reads or sweeps, an empty
     /// portfolio, and a tabu-only portfolio whose width guard would
@@ -486,6 +524,12 @@ impl HybridSolverBuilder {
         // Written as a negated range check so NaN is rejected too.
         if !(0.0..=1.0).contains(&cfg.scheduler.elite_fraction) {
             return Err(SolverBuildError::EliteFractionOutOfRange);
+        }
+        // The batched SQA kernel needs replica spins to fit one lane word
+        // (the kernel also lifts a configured count below 2 up to 2, so
+        // only the upper bound can be violated).
+        if cfg.batched && cfg.sqa_replicas > MAX_LANES {
+            return Err(SolverBuildError::BatchedReplicasExceedLanes);
         }
         Ok(cfg)
     }
@@ -600,6 +644,21 @@ impl HybridCqmSolver {
         self.read_deadline_proposals
     }
 
+    /// Whether the batched bitset fast path is enabled.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Lanes per batched kernel invocation: the bitset word width when
+    /// batched, 1 on the scalar path.
+    pub fn batch_width(&self) -> usize {
+        if self.batched {
+            MAX_LANES
+        } else {
+            1
+        }
+    }
+
     /// A serializable snapshot of this configuration, for run manifests.
     pub fn config(&self) -> SolverConfig {
         SolverConfig {
@@ -625,6 +684,9 @@ impl HybridCqmSolver {
             max_retries: self.max_retries,
             read_deadline_proposals: self.read_deadline_proposals,
             backend: self.backend.name().to_string(),
+            batched: self.batched,
+            batch_width: self.batch_width(),
+            kernel: if self.batched { "batched" } else { "scalar" }.to_string(),
         }
     }
 
@@ -762,19 +824,14 @@ impl HybridCqmSolver {
             match self.time_limit {
                 None => {
                     let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                    let out: Vec<Result<ReadOutcome, FailedReadRecord>> = (0..self.num_reads)
-                        .into_par_iter()
-                        .map(|r| {
-                            self.run_read(
-                                cqm.num_vars(),
-                                &compiled,
-                                r,
-                                self.rotation_sampler(r),
-                                seeds.get(r).map(Vec::as_slice),
-                                tracing,
-                            )
+                    let slots: Vec<WaveSlot> = (0..self.num_reads)
+                        .map(|r| WaveSlot {
+                            read: r,
+                            sampler: self.rotation_sampler(r),
+                            initial: seeds.get(r).cloned(),
                         })
                         .collect();
+                    let out = self.run_wave(cqm.num_vars(), &compiled, slots, tracing);
                     let mut ok = Vec::with_capacity(out.len());
                     for res in out {
                         match res {
@@ -809,19 +866,14 @@ impl HybridCqmSolver {
                         }
                         let end = (next + wave).min(self.num_reads);
                         let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-                        let batch: Vec<Result<ReadOutcome, FailedReadRecord>> = (next..end)
-                            .into_par_iter()
-                            .map(|r| {
-                                self.run_read(
-                                    cqm.num_vars(),
-                                    &compiled,
-                                    r,
-                                    self.rotation_sampler(r),
-                                    seeds.get(r).map(Vec::as_slice),
-                                    tracing,
-                                )
+                        let slots: Vec<WaveSlot> = (next..end)
+                            .map(|r| WaveSlot {
+                                read: r,
+                                sampler: self.rotation_sampler(r),
+                                initial: seeds.get(r).cloned(),
                             })
                             .collect();
+                        let batch = self.run_wave(cqm.num_vars(), &compiled, slots, tracing);
                         let mut ok = Vec::with_capacity(batch.len());
                         for res in batch {
                             match res {
@@ -968,8 +1020,14 @@ impl HybridCqmSolver {
         // Presolve proved everything (or the model is unsatisfiable as
         // bounded): no read can beat the trivial incumbent.
         let trivial = pre.infeasible || compiled.active_vars().is_empty();
+        let mut sched_cfg = self.scheduler.clone();
+        // Batched waves are allocated in whole lane groups: the bandit
+        // hands out slots `batch_width` at a time so a kernel invocation
+        // never straddles two members, and auto wave sizing scales up so
+        // every member can fill a group.
+        sched_cfg.lane_width = self.batch_width();
         let mut scheduler = PortfolioScheduler::new(
-            self.scheduler.clone(),
+            sched_cfg,
             members.len(),
             objective_lower_bound(cqm),
             trivial,
@@ -995,21 +1053,23 @@ impl HybridCqmSolver {
             let wave_reads = scheduler.wave_size().min(self.num_reads - next);
             let plan = scheduler.plan_wave(next, wave_reads);
             let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
-            let batch: Vec<Result<ReadOutcome, FailedReadRecord>> = plan
+            let slots: Vec<WaveSlot> = plan
                 .members
-                .par_iter()
+                .iter()
                 .enumerate()
                 .map(|(i, &m)| {
                     let r = next + i;
                     // Caller seeds take the slot first; elite warm-starts
                     // fill the remaining leading slots of the wave.
-                    let initial = seeds
-                        .get(r)
-                        .map(Vec::as_slice)
-                        .or_else(|| plan.elite_seeds.get(i).map(Vec::as_slice));
-                    self.run_read(width, compiled, r, members[m], initial, true)
+                    let initial = seeds.get(r).or_else(|| plan.elite_seeds.get(i)).cloned();
+                    WaveSlot {
+                        read: r,
+                        sampler: members[m],
+                        initial,
+                    }
                 })
                 .collect();
+            let batch = self.run_wave(width, compiled, slots, true);
             // Failures feed the scheduler's degradation bookkeeping: a
             // member with enough consecutive failures is declared dead and
             // its reads are reapportioned (or, all members dead, the solve
@@ -1245,6 +1305,452 @@ impl HybridCqmSolver {
             record,
         })
     }
+
+    /// Runs one wave of reads and returns the outcomes in slot order.
+    ///
+    /// The scalar path (the default) runs each slot through [`run_read`]
+    /// in parallel — byte-identical to the pre-batching solver. With
+    /// [`batched`](HybridCqmSolverBuilder::batched) on, slots are packed
+    /// into bitset lane groups instead.
+    ///
+    /// [`run_read`]: Self::run_read
+    fn run_wave(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        slots: Vec<WaveSlot>,
+        tracing: bool,
+    ) -> Vec<Result<ReadOutcome, FailedReadRecord>> {
+        if !self.batched {
+            return slots
+                .par_iter()
+                .map(|s| {
+                    self.run_read(
+                        cqm_width,
+                        compiled,
+                        s.read,
+                        s.sampler,
+                        s.initial.as_deref(),
+                        tracing,
+                    )
+                })
+                .collect();
+        }
+        self.run_batched_wave(cqm_width, compiled, slots, tracing)
+    }
+
+    /// The batched wave: fault-arbitrate every read first (at read
+    /// granularity, through [`Backend::decide`]), pack the survivors into
+    /// lane groups by sampler, and run each group through the batched
+    /// kernels. SA and tabu pack up to [`MAX_LANES`] reads per group; SQA
+    /// packs one read's Trotter replicas into the lanes; PT (no batched
+    /// kernel) falls back to one scalar attempt per read.
+    fn run_batched_wave(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        slots: Vec<WaveSlot>,
+        tracing: bool,
+    ) -> Vec<Result<ReadOutcome, FailedReadRecord>> {
+        let mut results: Vec<Option<Result<ReadOutcome, FailedReadRecord>>> =
+            (0..slots.len()).map(|_| None).collect();
+        let mut work: Vec<BatchWork> = Vec::new();
+        let mut sa_group: Vec<LaneTicket> = Vec::new();
+        let mut tabu_group: Vec<LaneTicket> = Vec::new();
+        for (slot, s) in slots.into_iter().enumerate() {
+            let mut sampler = s.sampler;
+            if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
+                sampler = SamplerKind::Sa;
+            }
+            match self.decide_read(compiled, s.read, sampler) {
+                Err(failed) => results[slot] = Some(Err(failed)),
+                Ok(grant) => {
+                    let ticket = LaneTicket {
+                        slot,
+                        read: s.read,
+                        initial: s.initial,
+                        grant,
+                    };
+                    match sampler {
+                        SamplerKind::Sa => {
+                            sa_group.push(ticket);
+                            if sa_group.len() == MAX_LANES {
+                                work.push(BatchWork::Group(sampler, std::mem::take(&mut sa_group)));
+                            }
+                        }
+                        SamplerKind::Tabu => {
+                            tabu_group.push(ticket);
+                            if tabu_group.len() == MAX_LANES {
+                                work.push(BatchWork::Group(
+                                    sampler,
+                                    std::mem::take(&mut tabu_group),
+                                ));
+                            }
+                        }
+                        SamplerKind::Sqa | SamplerKind::Pt => {
+                            work.push(BatchWork::Lane(sampler, Box::new(ticket)));
+                        }
+                    }
+                }
+            }
+        }
+        if !sa_group.is_empty() {
+            work.push(BatchWork::Group(SamplerKind::Sa, sa_group));
+        }
+        if !tabu_group.is_empty() {
+            work.push(BatchWork::Group(SamplerKind::Tabu, tabu_group));
+        }
+        let done: Vec<Vec<(usize, Result<ReadOutcome, FailedReadRecord>)>> = work
+            .into_par_iter()
+            .map(|w| match w {
+                BatchWork::Group(kind, tickets) => {
+                    self.run_lane_group(cqm_width, compiled, kind, tickets, tracing)
+                }
+                BatchWork::Lane(SamplerKind::Sqa, t) => {
+                    vec![self.run_sqa_lane(cqm_width, compiled, *t, tracing)]
+                }
+                BatchWork::Lane(_, t) => {
+                    vec![self.run_pt_lane(cqm_width, compiled, *t, tracing)]
+                }
+            })
+            .collect();
+        for (slot, res) in done.into_iter().flatten() {
+            results[slot] = Some(res);
+        }
+        // Every slot resolved above: decide either failed it or produced a
+        // ticket, and every ticket lands in exactly one work unit.
+        results
+            .into_iter()
+            .map(|r| r.expect("wave slot resolved")) // qlrb-lint: allow(no-unwrap)
+            .collect()
+    }
+
+    /// The batched counterpart of [`run_read`]'s retry loop: replays the
+    /// exact scalar backoff/deadline arithmetic but asks the backend to
+    /// *decide* each attempt instead of running it, stopping at the first
+    /// attempt the backend accepts. The surviving attempt's seed is the
+    /// same `(read, attempt)`-derived value the scalar path would use, so
+    /// fault plans hit and exhaust identical attempt identities.
+    ///
+    /// [`run_read`]: Self::run_read
+    fn decide_read(
+        &self,
+        compiled: &Arc<CompiledCqm>,
+        read_index: usize,
+        sampler: SamplerKind,
+    ) -> Result<LaneGrant, FailedReadRecord> {
+        let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
+        let attempt_cost = (self.sweeps as u64)
+            .saturating_mul(compiled.num_vars() as u64)
+            .max(1);
+        let deadline = self.read_deadline_proposals.unwrap_or(u64::MAX);
+        let mut spent: u64 = 0;
+        let mut backoff_total: u64 = 0;
+        let mut faults: Vec<FaultRecord> = Vec::new();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                let backoff = BACKOFF_BASE_PROPOSALS.saturating_mul(1u64 << (attempt - 1).min(20));
+                if spent.saturating_add(backoff).saturating_add(attempt_cost) > deadline {
+                    break;
+                }
+                spent = spent.saturating_add(backoff);
+                backoff_total = backoff_total.saturating_add(backoff);
+            }
+            let attempt_seed = if attempt == 0 {
+                read_seed
+            } else {
+                read_seed ^ RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
+            };
+            let req = SubmitRequest {
+                read: read_index,
+                attempt,
+                sampler,
+            };
+            match self.backend.decide(&req) {
+                Ok(()) => {
+                    return Ok(LaneGrant {
+                        attempt,
+                        attempt_seed,
+                        backoff_proposals: backoff_total,
+                        faults,
+                    });
+                }
+                Err(e) => {
+                    faults.push(FaultRecord {
+                        attempt,
+                        error: e.to_string(),
+                    });
+                    spent = spent.saturating_add(attempt_cost);
+                }
+            }
+        }
+        Err(FailedReadRecord {
+            read: read_index,
+            sampler: sampler.to_string(),
+            faults,
+        })
+    }
+
+    /// Per-lane classical setup of a batched read: derive the lane's
+    /// counter stream from its granted attempt seed, adopt or draw the
+    /// initial state, repair it to feasibility, and probe the model's
+    /// energy-delta scale — the same stages, in the same order, as
+    /// [`attempt_read`].
+    ///
+    /// [`attempt_read`]: Self::attempt_read
+    fn prepare_lane(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        ticket: &LaneTicket,
+        tracing: bool,
+    ) -> (CqmEvaluator, CounterRng, ReadObserver, f64) {
+        let mut rng = CounterRng::new(ticket.grant.attempt_seed);
+        let mut obs = if tracing {
+            ReadObserver::recording(
+                ticket.read,
+                ticket.grant.attempt_seed,
+                ticket.initial.is_some(),
+            )
+        } else {
+            ReadObserver::disabled()
+        };
+        let initial: Vec<u8> = match &ticket.initial {
+            Some(s) => s.clone(),
+            None => (0..cqm_width)
+                .map(|_| u8::from(rng.random::<bool>()))
+                .collect(),
+        };
+        let mut ev = CqmEvaluator::with_state(Arc::clone(compiled), &initial);
+        if !ev.is_feasible() {
+            let out = repair(&mut ev, self.repair_steps, &mut rng);
+            obs.repair(out.steps as u64);
+        }
+        let scale = {
+            let mut probe = ev.clone();
+            estimate_delta_scale(&mut probe, &mut rng, 128)
+        };
+        (ev, rng, obs, scale)
+    }
+
+    /// Runs one SA or tabu lane group: each surviving read is one lane of a
+    /// single [`BatchedEvaluator`], so the whole group shares each CSR
+    /// traversal. After the kernel, the group is polished by the batched
+    /// descent; a lane that ends infeasible drops back to scalar
+    /// repair-and-polish on its own stream.
+    fn run_lane_group(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        kind: SamplerKind,
+        tickets: Vec<LaneTicket>,
+        tracing: bool,
+    ) -> Vec<(usize, Result<ReadOutcome, FailedReadRecord>)> {
+        let lanes = tickets.len();
+        let n = compiled.active_vars().len() as u64;
+        let mut bev = BatchedEvaluator::new(Arc::clone(compiled), lanes);
+        let mut lane_rngs: Vec<CounterRng> = Vec::with_capacity(lanes);
+        let mut observers: Vec<ReadObserver> = Vec::with_capacity(lanes);
+        let mut schedules: Vec<BetaSchedule> = Vec::with_capacity(lanes);
+        let mut initial_energy = vec![0.0f64; lanes];
+        for (l, t) in tickets.iter().enumerate() {
+            let (ev, rng, obs, scale) = self.prepare_lane(cqm_width, compiled, t, tracing);
+            bev.set_lane_state(l, ev.state());
+            initial_energy[l] = ev.energy();
+            schedules.push(auto_geometric(scale));
+            lane_rngs.push(rng);
+            observers.push(obs);
+        }
+        // Group-shared streams (visit order, polish order) are keyed off
+        // the master seed and the group's first read, so distinct groups —
+        // and distinct waves — draw distinct orders deterministically.
+        let group_key = tickets[0].read as u64;
+        let sampler_name = kind.to_string();
+        match kind {
+            SamplerKind::Tabu => {
+                let params = TabuParams {
+                    tenure: 0,
+                    max_iters: self.sweeps * 2,
+                    stall_limit: (self.sweeps / 2).max(100),
+                };
+                let out = batched_tabu(&mut bev, &params, &mut lane_rngs);
+                for (l, o) in out.into_iter().enumerate() {
+                    observers[l].anneal(
+                        &sampler_name,
+                        initial_energy[l],
+                        o.energy,
+                        o.iterations,
+                        o.iterations * n,
+                        o.iterations,
+                    );
+                    bev.set_lane_state(l, &o.state);
+                }
+            }
+            _ => {
+                let mut order_rng = CounterRng::stream(self.seed ^ BATCH_ORDER_SALT, group_key);
+                let out = batched_annealing(
+                    &mut bev,
+                    &schedules,
+                    self.sweeps,
+                    256,
+                    &mut order_rng,
+                    &mut lane_rngs,
+                );
+                for (l, o) in out.into_iter().enumerate() {
+                    observers[l].anneal(
+                        &sampler_name,
+                        initial_energy[l],
+                        o.energy,
+                        self.sweeps as u64,
+                        self.sweeps as u64 * n,
+                        o.accepted,
+                    );
+                    bev.set_lane_state(l, &o.state);
+                }
+            }
+        }
+        let pre_polish = bev.energies().to_vec();
+        let mut polish_rng = CounterRng::stream(self.seed ^ BATCH_POLISH_SALT, group_key);
+        let flips = batched_descent(&mut bev, self.polish_sweeps, &mut polish_rng);
+        let mut out = Vec::with_capacity(lanes);
+        for (l, (ticket, mut obs)) in tickets.into_iter().zip(observers).enumerate() {
+            obs.polish(flips[l], pre_polish[l] - bev.energy(l));
+            let (state, energy) = if bev.is_feasible(l) {
+                (bev.lane_state(l), bev.energy(l))
+            } else {
+                let mut ev = CqmEvaluator::with_state(Arc::clone(compiled), &bev.lane_state(l));
+                let rep = repair(&mut ev, self.repair_steps, &mut lane_rngs[l]);
+                obs.repair(rep.steps as u64);
+                let pre = ev.energy();
+                let polish_flips = greedy_descent(&mut ev, self.polish_sweeps, &mut lane_rngs[l]);
+                obs.polish(polish_flips, pre - ev.energy());
+                (ev.state().to_vec(), ev.energy())
+            };
+            out.push((
+                ticket.slot,
+                Ok(finish_outcome(obs, ticket.grant, state, energy, kind)),
+            ));
+        }
+        out
+    }
+
+    /// Runs one batched SQA read: the Trotter replica ring occupies the
+    /// lane dimension, so all `P` replicas advance per CSR traversal
+    /// instead of `P` traversals per sweep — the big win over the scalar
+    /// SQA kernel. Budgets mirror [`SamplerRun::for_portfolio`].
+    fn run_sqa_lane(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        ticket: LaneTicket,
+        tracing: bool,
+    ) -> (usize, Result<ReadOutcome, FailedReadRecord>) {
+        let (mut ev, mut rng, mut obs, scale) =
+            self.prepare_lane(cqm_width, compiled, &ticket, tracing);
+        let p = self.sqa_replicas.max(2);
+        let mut bev = BatchedEvaluator::new(Arc::clone(compiled), p);
+        for lane in 0..p {
+            bev.set_lane_state(lane, ev.state());
+        }
+        let params = BatchedSqaParams {
+            sweeps: (self.sweeps / 4).max(50),
+            beta: 30.0 / scale,
+            transverse: TransverseSchedule {
+                gamma0: 3.0 * scale,
+                gamma1: 1e-3 * scale,
+            },
+            global_move_fraction: 0.1,
+            resync_interval: 128,
+        };
+        let initial_energy = ev.energy();
+        let best = batched_sqa(&mut bev, &params, &mut rng);
+        let n = compiled.active_vars().len() as u64;
+        let global_per_sweep = (n as f64 * params.global_move_fraction) as u64;
+        obs.anneal(
+            &SamplerKind::Sqa.to_string(),
+            initial_energy,
+            best.energy,
+            params.sweeps as u64,
+            params.sweeps as u64 * (n * p as u64 + global_per_sweep),
+            best.accepted,
+        );
+        ev.set_state(&best.state);
+        let pre_polish = ev.energy();
+        let flips = greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+        obs.polish(flips, pre_polish - ev.energy());
+        if !ev.is_feasible() {
+            let rep = repair(&mut ev, self.repair_steps, &mut rng);
+            obs.repair(rep.steps as u64);
+            let pre_polish = ev.energy();
+            let flips = greedy_descent(&mut ev, self.polish_sweeps, &mut rng);
+            obs.polish(flips, pre_polish - ev.energy());
+        }
+        let energy = ev.energy();
+        let state = ev.state().to_vec();
+        (
+            ticket.slot,
+            Ok(finish_outcome(
+                obs,
+                ticket.grant,
+                state,
+                energy,
+                SamplerKind::Sqa,
+            )),
+        )
+    }
+
+    /// PT has no batched kernel: the granted attempt re-runs through the
+    /// scalar path. The shipped backends' `submit` verdict matches the
+    /// `decide` grant, so the attempt cannot fail here; a custom backend
+    /// that disagrees with its own `decide` fails the read.
+    fn run_pt_lane(
+        &self,
+        cqm_width: usize,
+        compiled: &Arc<CompiledCqm>,
+        ticket: LaneTicket,
+        tracing: bool,
+    ) -> (usize, Result<ReadOutcome, FailedReadRecord>) {
+        let LaneTicket {
+            slot,
+            read,
+            initial,
+            grant,
+        } = ticket;
+        match self.attempt_read(
+            cqm_width,
+            compiled,
+            read,
+            grant.attempt,
+            grant.attempt_seed,
+            SamplerKind::Pt,
+            initial.as_deref(),
+            tracing,
+        ) {
+            Ok(mut outcome) => {
+                if let Some(rec) = &mut outcome.record {
+                    rec.attempts = grant.attempt + 1;
+                    rec.backoff_proposals = grant.backoff_proposals;
+                    rec.faults = grant.faults;
+                }
+                (slot, Ok(outcome))
+            }
+            Err(e) => {
+                let mut faults = grant.faults;
+                faults.push(FaultRecord {
+                    attempt: grant.attempt,
+                    error: e.to_string(),
+                });
+                (
+                    slot,
+                    Err(FailedReadRecord {
+                        read,
+                        sampler: SamplerKind::Pt.to_string(),
+                        faults,
+                    }),
+                )
+            }
+        }
+    }
 }
 
 /// Backoff before the first retry, in proposal units of the virtual clock;
@@ -1274,6 +1780,77 @@ struct ReadOutcome {
     sample: Sample,
     energy: f64,
     record: Option<ReadRecord>,
+}
+
+/// One slot of a wave: which read runs, with which portfolio member, from
+/// which warm-start (a caller seed or an elite cross-seed).
+struct WaveSlot {
+    read: usize,
+    sampler: SamplerKind,
+    initial: Option<Vec<u8>>,
+}
+
+/// A read that survived fault arbitration and may join a lane group.
+struct LaneTicket {
+    /// Position in the wave's slot vector (outcomes restore this order).
+    slot: usize,
+    read: usize,
+    initial: Option<Vec<u8>>,
+    grant: LaneGrant,
+}
+
+/// The attempt [`HybridCqmSolver::decide_read`] granted: its index, its
+/// derived RNG seed, and the backoff/fault history preceding it.
+struct LaneGrant {
+    attempt: u32,
+    attempt_seed: u64,
+    backoff_proposals: u64,
+    faults: Vec<FaultRecord>,
+}
+
+/// One parallel unit of a batched wave.
+enum BatchWork {
+    /// An SA or tabu lane group (lane-per-read, up to [`MAX_LANES`]).
+    Group(SamplerKind, Vec<LaneTicket>),
+    /// A single-read unit: SQA (lane-per-replica) or PT (scalar fallback).
+    Lane(SamplerKind, Box<LaneTicket>),
+}
+
+/// Salt deriving the batched groups' shared visit-order streams from the
+/// master seed.
+const BATCH_ORDER_SALT: u64 = 0x6f72_6465_7260_b8d1;
+
+/// Salt deriving the batched groups' shared polish streams from the master
+/// seed.
+const BATCH_POLISH_SALT: u64 = 0x706f_6c69_7368_42e7;
+
+/// Stamps the retry bookkeeping of a granted attempt into a finished
+/// lane's record and wraps it as a [`ReadOutcome`] — the batched analogue
+/// of the record patching in [`HybridCqmSolver::run_read`].
+fn finish_outcome(
+    mut obs: ReadObserver,
+    grant: LaneGrant,
+    state: Vec<u8>,
+    energy: f64,
+    sampler: SamplerKind,
+) -> ReadOutcome {
+    let mut record = obs.finish(energy);
+    if let Some(rec) = &mut record {
+        rec.attempts = grant.attempt + 1;
+        rec.backoff_proposals = grant.backoff_proposals;
+        rec.faults = grant.faults;
+    }
+    ReadOutcome {
+        sample: Sample {
+            objective: 0.0, // rescored by `solve`
+            violation: 0.0,
+            feasible: false,
+            state,
+            sampler,
+        },
+        energy,
+        record,
+    }
 }
 
 /// Aggregates a wave's per-read sampler kinds into the per-member split
@@ -2248,5 +2825,173 @@ mod tests {
         assert_eq!(cfg.read_deadline_proposals, Some(42));
         assert_eq!(cfg.backend, "fault-injection");
         assert_eq!(HybridCqmSolver::default().config().backend, "in-process");
+    }
+
+    #[test]
+    fn config_snapshot_records_batched_kernel_fields() {
+        let scalar = HybridCqmSolver::default().config();
+        assert!(!scalar.batched);
+        assert_eq!(scalar.batch_width, 1);
+        assert_eq!(scalar.kernel, "scalar");
+        let batched = HybridCqmSolver::builder()
+            .batched(true)
+            .build()
+            .unwrap()
+            .config();
+        assert!(batched.batched);
+        assert_eq!(batched.batch_width, MAX_LANES);
+        assert_eq!(batched.kernel, "batched");
+    }
+
+    #[test]
+    fn builder_rejects_batched_replicas_over_lane_count() {
+        let err = HybridCqmSolver::builder()
+            .batched(true)
+            .sqa_replicas(65)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SolverBuildError::BatchedReplicasExceedLanes);
+        assert!(err.to_string().contains("64"));
+        // The same replica count is fine on the scalar path.
+        assert!(HybridCqmSolver::builder().sqa_replicas(65).build().is_ok());
+    }
+
+    #[test]
+    fn batched_solve_finds_feasible_optimum() {
+        let cqm = partition_cqm();
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(300)
+            .batched(true)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        let best = set.best_feasible().expect("a feasible sample");
+        assert_eq!(best.objective, 0.0, "perfect split exists");
+        assert!(
+            set.timing.qpu > Duration::ZERO,
+            "portfolio includes SQA reads"
+        );
+    }
+
+    #[test]
+    fn batched_solve_is_deterministic_across_repeats() {
+        let cqm = partition_cqm();
+        let build = || {
+            HybridCqmSolver::builder()
+                .num_reads(8)
+                .sweeps(120)
+                .seed(41)
+                .batched(true)
+                .build()
+                .unwrap()
+        };
+        let fingerprint = |set: &SampleSet| {
+            set.samples
+                .iter()
+                .map(|s| (s.state.clone(), s.objective.to_bits(), s.feasible))
+                .collect::<Vec<_>>()
+        };
+        let a = fingerprint(&build().solve(&cqm, &[]));
+        let b = fingerprint(&build().solve(&cqm, &[]));
+        assert_eq!(a, b, "batched solves must be byte-for-byte reproducible");
+    }
+
+    #[test]
+    fn batched_solve_is_deterministic_under_fault_plans() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"fail_attempts": 1, "kind": "transient"}]"#).unwrap();
+        let build = || {
+            let sink = Arc::new(MemorySink::new());
+            let solver = HybridCqmSolver::builder()
+                .num_reads(4)
+                .sweeps(80)
+                .seed(9)
+                .batched(true)
+                .fault_plan(plan.clone())
+                .max_retries(2)
+                .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+                .build()
+                .unwrap();
+            (solver, sink)
+        };
+        let (solver, sink) = build();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 4, "every read recovers on retry");
+        let rec = sink.take().pop().unwrap();
+        assert!(rec.failed_reads.is_empty());
+        for r in &rec.reads {
+            assert_eq!(r.attempts, 2, "first attempt faults, second succeeds");
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].attempt, 0);
+            assert!(r.backoff_proposals > 0, "retry charged a backoff");
+        }
+        let (again, _) = build();
+        let states = |s: &SampleSet| {
+            s.samples
+                .iter()
+                .map(|x| x.state.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(states(&set), states(&again.solve(&cqm, &[])));
+    }
+
+    #[test]
+    fn batched_crash_plan_exhausts_reads_like_scalar() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(4)
+            .sweeps(60)
+            .seed(3)
+            .batched(true)
+            .fault_plan(FaultPlan::permanent(FaultKind::Crash))
+            .max_retries(1)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let seed_state = vec![1u8, 0, 0, 1, 0, 0];
+        let set = solver.solve(&cqm, std::slice::from_ref(&seed_state));
+        assert_eq!(set.best_feasible().unwrap().state, seed_state);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.termination, "backend-exhausted");
+        assert_eq!(rec.failed_reads.len(), 4);
+        for f in &rec.failed_reads {
+            assert_eq!(f.faults.len(), 2, "initial attempt + one retry");
+        }
+    }
+
+    #[test]
+    fn batched_seeded_read_keeps_good_seed() {
+        let cqm = partition_cqm();
+        let seed_state = vec![1u8, 0, 0, 1, 0, 0];
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(50)
+            .batched(true)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, std::slice::from_ref(&seed_state));
+        assert_eq!(set.best_feasible().unwrap().objective, 0.0);
+    }
+
+    #[test]
+    fn batched_adaptive_solve_converges_and_records_waves() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(12)
+            .sweeps(120)
+            .seed(5)
+            .batched(true)
+            .adaptive(true)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.best_feasible().unwrap().objective, 0.0);
+        let rec = sink.take().pop().unwrap();
+        assert!(!rec.waves.is_empty(), "adaptive path records waves");
+        assert!(!rec.reads.is_empty());
     }
 }

@@ -18,6 +18,11 @@
 //! * [`descent`] / [`tabu`] — greedy polish and tabu search, the classical
 //!   post-processing Leap-style solvers apply to raw anneal samples.
 //! * [`repair`] — constraint-directed feasibility repair.
+//! * [`batch`] / [`crng`] — the opt-in batched fast path
+//!   (`HybridSolverBuilder::batched`): SoA bitset kernels that evaluate one
+//!   CSR traversal for up to 64 lanes at once (lane-per-read for SA, tabu
+//!   and polish; lane-per-Trotter-replica for SQA), driven by splitmix64
+//!   counter RNG streams.
 //! * [`hybrid`] — [`hybrid::HybridCqmSolver`]: presolve → penalty compile →
 //!   a rayon-parallel portfolio of SA/SQA/tabu reads seeded with classical
 //!   candidate states → polish → repair → best-feasible selection, with the
@@ -36,6 +41,8 @@
 //! reads, so scheduling order cannot leak into results).
 
 pub mod backend;
+pub mod batch;
+pub mod crng;
 pub mod descent;
 pub mod faults;
 pub mod hybrid;
@@ -50,6 +57,11 @@ pub mod sqa;
 pub mod tabu;
 
 pub use backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitError, SubmitRequest};
+pub use batch::{
+    batched_annealing, batched_descent, batched_sqa, batched_tabu, BatchedSqaParams, LaneOutcome,
+    TabuLaneOutcome,
+};
+pub use crng::CounterRng;
 pub use faults::{FaultEntry, FaultKind, FaultPlan};
 pub use hybrid::{
     HybridCqmSolver, HybridSolverBuilder, LintMode, ModelRejected, SamplerKind, SolverBuildError,

@@ -47,6 +47,12 @@ pub struct SchedulerConfig {
     /// Fraction of each post-first wave's reads warm-started from the
     /// elite pool, in `[0, 1]`.
     pub elite_fraction: f64,
+    /// Reads that share one batched kernel invocation (a *lane group*).
+    /// `1` (or `0`) preserves per-read allocation exactly; larger widths
+    /// make the bandit apportion whole lane groups so a batched wave never
+    /// splits a kernel invocation across members, and auto wave sizing
+    /// scales to `num_members × lane_width`.
+    pub lane_width: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -59,6 +65,7 @@ impl Default for SchedulerConfig {
             plateau_tolerance: 1e-3,
             elite_capacity: 8,
             elite_fraction: 0.5,
+            lane_width: 1,
         }
     }
 }
@@ -245,13 +252,19 @@ impl PortfolioScheduler {
         }
     }
 
-    /// Reads per wave under this configuration.
+    /// Reads per wave under this configuration. Auto sizing
+    /// (`wave_size == 0`) hands every portfolio member one full lane group.
     pub fn wave_size(&self) -> usize {
         if self.cfg.wave_size == 0 {
-            self.num_members
+            self.num_members * self.lane_width()
         } else {
             self.cfg.wave_size
         }
+    }
+
+    /// Reads per batched lane group (1 on the scalar path).
+    fn lane_width(&self) -> usize {
+        self.cfg.lane_width.max(1)
     }
 
     /// Number of waves observed so far.
@@ -375,6 +388,12 @@ impl PortfolioScheduler {
     /// slots by largest remainder. Slots are emitted grouped by member in
     /// descending-weight order (ties break on member index), so the elite
     /// seeds assigned to leading slots land on the strongest members.
+    ///
+    /// With `lane_width > 1` the unit of apportionment is the whole lane
+    /// group: slots are handed out `lane_width` at a time so a batched
+    /// kernel invocation never straddles two members, then truncated to
+    /// `wave_reads` (the final group of the last, weakest member may be
+    /// partial — a partial lane group is valid, a split one is not).
     fn bandit_members(&self, wave_reads: usize) -> Vec<usize> {
         let gains: Vec<f64> = self
             .stats
@@ -408,14 +427,17 @@ impl PortfolioScheduler {
                 hit * (g + floor)
             })
             .collect();
-        let counts = apportion(&weights, wave_reads);
+        let lane_width = self.lane_width();
+        let groups = wave_reads.div_ceil(lane_width);
+        let counts = apportion(&weights, groups);
         // Descending weight, ties by index: stable ordering for plans.
         let mut order: Vec<usize> = (0..self.num_members).collect();
         order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then_with(|| a.cmp(&b)));
-        let mut plan = Vec::with_capacity(wave_reads);
+        let mut plan = Vec::with_capacity(groups * lane_width);
         for m in order {
-            plan.extend(std::iter::repeat_n(m, counts[m]));
+            plan.extend(std::iter::repeat_n(m, counts[m] * lane_width));
         }
+        plan.truncate(wave_reads);
         plan
     }
 
@@ -646,6 +668,54 @@ mod tests {
         );
         // Strongest member's slots lead the wave (elite seeds land there).
         assert_eq!(plan.members[0], 2);
+    }
+
+    #[test]
+    fn bandit_hands_out_whole_lane_groups() {
+        let cfg = SchedulerConfig {
+            lane_width: 4,
+            ..adaptive_cfg()
+        };
+        let mut s = PortfolioScheduler::new(cfg, 3, None, false);
+        // Auto wave size scales to one lane group per member.
+        assert_eq!(s.wave_size(), 12);
+        s.observe_wave(&[
+            read(0, 10.0, 10.0, false, vec![0, 0]),
+            read(1, 10.0, 2.0, true, vec![0, 1]),
+            read(2, 10.0, 10.0, false, vec![1, 0]),
+        ]);
+        let plan = s.plan_wave(3, 12);
+        assert_eq!(plan.members.len(), 12);
+        // Every member's slots form whole contiguous groups of 4: member
+        // changes only happen on lane-group boundaries.
+        for chunk in plan.members.chunks(4) {
+            assert!(
+                chunk.iter().all(|&m| m == chunk[0]),
+                "lane group split across members, plan {:?}",
+                plan.members
+            );
+        }
+        // The strongest member still leads the wave.
+        assert_eq!(plan.members[0], 1);
+    }
+
+    #[test]
+    fn lane_width_one_matches_per_read_allocation() {
+        let mut a = PortfolioScheduler::new(adaptive_cfg(), 3, None, false);
+        let cfg = SchedulerConfig {
+            lane_width: 1,
+            ..adaptive_cfg()
+        };
+        let mut b = PortfolioScheduler::new(cfg, 3, None, false);
+        let wave = [
+            read(0, 10.0, 4.0, true, vec![1, 0]),
+            read(1, 10.0, 8.0, false, vec![0, 1]),
+            read(2, 10.0, 6.0, true, vec![1, 1]),
+        ];
+        a.observe_wave(&wave);
+        b.observe_wave(&wave);
+        assert_eq!(a.plan_wave(3, 7), b.plan_wave(3, 7));
+        assert_eq!(a.wave_size(), b.wave_size());
     }
 
     #[test]

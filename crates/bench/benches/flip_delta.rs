@@ -1,0 +1,100 @@
+//! Flip-delta kernel throughput: the scalar one-state [`CqmEvaluator`]
+//! against the 64-lane bitset [`BatchedEvaluator`], per CSR density tier.
+//!
+//! Each measured iteration computes the flip delta of every active
+//! variable for 64 distinct states — 64 separate evaluator traversals on
+//! the scalar side, one shared CSR traversal on the batched side. The
+//! three tiers sweep coupling density (~2, ~16 and ~64 couplings per
+//! variable at n = 1024), bracketing the Table-V models' CSR profiles.
+//! `bench_summary` reports the same pairs as `flip_delta_*` rows in
+//! `results/bench_summary.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use qlrb_model::batch::BatchedEvaluator;
+use qlrb_model::cqm::Cqm;
+use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
+use qlrb_model::expr::{LinearExpr, Var};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
+
+const LANES: usize = 64;
+
+/// A synthetic CQM whose CSR density is set by how many variables each
+/// squared expression couples (mirrors `bench_summary`'s tier builder).
+fn density_cqm(n: usize, num_exprs: usize, terms_per_expr: usize) -> Arc<CompiledCqm> {
+    let mut cqm = Cqm::new(n);
+    let mut counter = 0x9e37_79b9u64;
+    for e in 0..num_exprs {
+        let mut expr = LinearExpr::new();
+        for t in 0..terms_per_expr {
+            counter = counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((counter >> 33) as usize) % n;
+            let w = 1.0 + ((e + t) % 7) as f64 * 0.25;
+            expr.add_term(Var(v as u32), w);
+        }
+        expr.add_term(Var((e % n) as u32), 1.0);
+        cqm.add_squared_term(expr, (terms_per_expr / 2) as f64, 1.0);
+    }
+    let penalty = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::ViolationQuadratic);
+    CompiledCqm::compile(&cqm, penalty)
+}
+
+fn lane_state(n: usize, lane: usize) -> Vec<u8> {
+    (0..n)
+        .map(|v| ((v * 31 + lane * 17 + 7) % 3 == 0) as u8)
+        .collect()
+}
+
+fn bench_flip_delta(c: &mut Criterion) {
+    let tiers = [
+        ("sparse", density_cqm(1024, 512, 4)),
+        ("medium", density_cqm(1024, 1024, 16)),
+        ("dense", density_cqm(1024, 1024, 64)),
+    ];
+    let mut group = c.benchmark_group("flip_delta");
+    group.sample_size(20);
+    for (tier, compiled) in &tiers {
+        let n = compiled.num_vars();
+        let evs: Vec<CqmEvaluator> = (0..LANES)
+            .map(|l| CqmEvaluator::with_state(Arc::clone(compiled), &lane_state(n, l)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("scalar", tier), compiled, |b, compiled| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for ev in &evs {
+                    for &v in compiled.active_vars() {
+                        acc += ev.flip_delta(v);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        let mut bev = BatchedEvaluator::new(Arc::clone(compiled), LANES);
+        for l in 0..LANES {
+            bev.set_lane_state(l, &lane_state(n, l));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("batched", tier),
+            compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    let mut deltas = [0.0f64; LANES];
+                    let mut acc = 0.0f64;
+                    for &v in compiled.active_vars() {
+                        bev.flip_deltas(v, &mut deltas);
+                        acc += deltas.iter().sum::<f64>();
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flip_delta);
+criterion_main!(benches);

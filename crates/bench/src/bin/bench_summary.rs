@@ -2,33 +2,51 @@
 //! scenarios with plain [`std::time::Instant`] and writes
 //! `results/bench_summary.json` (per-scenario median wall time plus
 //! machine info), so successive PRs can compare headline numbers without
-//! re-running the full Criterion suite.
+//! re-running the full Criterion suite. `scripts/check_bench.sh` ratchets
+//! the headline hybrid medians against `results/bench_baseline.json`.
 //!
-//! All scenarios are deterministic under their fixed seeds and run at the
-//! paper's Table-V scale (sam(oa)² oscillating lake, M = 32 nodes ×
-//! n = 208 tasks — 7 936 / 8 192 logical variables):
+//! All scenarios are deterministic under their fixed seeds. The Table-V
+//! rows run at the paper's scale (sam(oa)² oscillating lake, M = 32 nodes
+//! × n = 208 tasks — 7 936 / 8 192 logical variables):
 //!
 //! * `hybrid_solve_table5_reduced` / `hybrid_solve_table5_full` — one
-//!   default-config [`HybridCqmSolver`] solve per iteration through
+//!   [`HybridCqmSolver`] solve per iteration through
 //!   [`QuantumRebalancer`], the quantity the paper's "Runtime" columns
-//!   report.
+//!   report. These headline rows run the batched bitset kernels (the
+//!   configuration the harness ships); the `_scalar` companions time the
+//!   legacy one-state-at-a-time path for comparison.
 //! * `sa_table5` / `sqa_table5` / `tabu_table5` — two single-sampler reads
 //!   each, isolating the three portfolio members.
+//! * `flip_delta_{scalar,batched}_{sparse,medium,dense}` — the flip-delta
+//!   kernel alone on synthetic CQMs of three CSR density tiers; the
+//!   batched rows traverse once for 64 lanes.
 //!
 //! `QLRB_BENCH_ITERS` overrides the per-scenario iteration count
-//! (default 3; the median is reported).
+//! (default 5; one extra warm-up iteration runs first and is discarded,
+//! and the median of the rest is reported).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use qlrb_anneal::hybrid::{HybridCqmSolver, SamplerKind};
 use qlrb_core::cqm::{LrpCqm, Variant};
 use qlrb_core::{QuantumRebalancer, Rebalancer};
+use qlrb_model::batch::BatchedEvaluator;
+use qlrb_model::cqm::Cqm;
+use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
+use qlrb_model::expr::{LinearExpr, Var};
+use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
 
 /// A named timing scenario: label plus the closure timed per iteration.
 type Scenario<'a> = (&'a str, Box<dyn FnMut() + 'a>);
 
+/// Times `f` over `iters` recorded iterations after one discarded warm-up
+/// call (first-touch page faults and lazy pool spin-up would otherwise
+/// skew the min and, at small `iters`, the median the regression gate
+/// reads).
 fn time_median_ms(iters: usize, f: &mut dyn FnMut()) -> (f64, f64, f64) {
+    f();
     let mut samples: Vec<f64> = (0..iters)
         .map(|_| {
             let t0 = Instant::now();
@@ -41,7 +59,21 @@ fn time_median_ms(iters: usize, f: &mut dyn FnMut()) -> (f64, f64, f64) {
     (median, samples[0], samples[samples.len() - 1])
 }
 
-fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
+/// Logical CPU count for the machine record. `available_parallelism` can
+/// report 1 under a restrictive cgroup quota or affinity mask even on big
+/// hosts, so cross-check the kernel's processor inventory and report the
+/// larger of the two.
+fn logical_cpus() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let listed = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(listed).max(1)
+}
+
+fn rebalancer(variant: Variant, k: u64, batched: bool) -> QuantumRebalancer {
     QuantumRebalancer {
         variant,
         k,
@@ -52,6 +84,7 @@ fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
             .seed(11)
             .adaptive(true)
             .early_stop(true)
+            .batched(batched)
             .build()
             .expect("default config with a fixed seed is valid"),
         label: None,
@@ -61,12 +94,78 @@ fn rebalancer(variant: Variant, k: u64) -> QuantumRebalancer {
     }
 }
 
+/// A synthetic CQM whose CSR density is set by how many variables each
+/// squared expression couples: `num_exprs` expressions of
+/// `terms_per_expr` variables each, strided deterministically across `n`
+/// variables.
+fn density_cqm(n: usize, num_exprs: usize, terms_per_expr: usize) -> Arc<CompiledCqm> {
+    let mut cqm = Cqm::new(n);
+    let mut counter = 0x9e37_79b9u64;
+    for e in 0..num_exprs {
+        let mut expr = LinearExpr::new();
+        for t in 0..terms_per_expr {
+            // Deterministic pseudo-random variable pick (splitmix-style).
+            counter = counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((counter >> 33) as usize) % n;
+            let w = 1.0 + ((e + t) % 7) as f64 * 0.25;
+            expr.add_term(Var(v as u32), w);
+        }
+        expr.add_term(Var((e % n) as u32), 1.0);
+        cqm.add_squared_term(expr, (terms_per_expr / 2) as f64, 1.0);
+    }
+    let penalty = PenaltyConfig::auto(&cqm, 2.0, PenaltyStyle::ViolationQuadratic);
+    CompiledCqm::compile(&cqm, penalty)
+}
+
+/// One flip-delta sweep over every active variable, 64 states deep:
+/// 64 scalar evaluators for the scalar kernel vs one 64-lane batched
+/// evaluator — the traversal-count asymmetry the tentpole exploits.
+fn flip_delta_pair(compiled: &Arc<CompiledCqm>) -> (Box<dyn FnMut()>, Box<dyn FnMut()>) {
+    let lanes = 64usize;
+    let n = compiled.num_vars();
+    let state_of = |lane: usize| -> Vec<u8> {
+        (0..n)
+            .map(|v| ((v * 31 + lane * 17 + 7) % 3 == 0) as u8)
+            .collect()
+    };
+    let evs: Vec<CqmEvaluator> = (0..lanes)
+        .map(|l| CqmEvaluator::with_state(Arc::clone(compiled), &state_of(l)))
+        .collect();
+    let mut bev = BatchedEvaluator::new(Arc::clone(compiled), lanes);
+    for l in 0..lanes {
+        bev.set_lane_state(l, &state_of(l));
+    }
+    let scalar_compiled = Arc::clone(compiled);
+    let scalar = Box::new(move || {
+        let mut acc = 0.0f64;
+        for ev in &evs {
+            for &v in scalar_compiled.active_vars() {
+                acc += ev.flip_delta(v);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let active: Vec<usize> = compiled.active_vars().to_vec();
+    let batched = Box::new(move || {
+        let mut deltas = [0.0f64; 64];
+        let mut acc = 0.0f64;
+        for &v in &active {
+            bev.flip_deltas(v, &mut deltas);
+            acc += deltas.iter().sum::<f64>();
+        }
+        std::hint::black_box(acc);
+    });
+    (scalar, batched)
+}
+
 fn main() {
     let iters: usize = std::env::var("QLRB_BENCH_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(3);
+        .unwrap_or(5);
 
     let inst = samoa_mini::scenario::table5_instance();
     // A Table-V-magnitude migration budget; fixed so the scenario is stable
@@ -83,18 +182,41 @@ fn main() {
             .expect("single-sampler portfolio is valid")
     };
 
+    // CSR density tiers for the flip-delta kernel rows: ~2, ~16 and ~64
+    // couplings per variable at n = 1024.
+    let sparse = density_cqm(1024, 512, 4);
+    let medium = density_cqm(1024, 1024, 16);
+    let dense = density_cqm(1024, 1024, 64);
+    let (mut fd_scalar_sparse, mut fd_batched_sparse) = flip_delta_pair(&sparse);
+    let (mut fd_scalar_medium, mut fd_batched_medium) = flip_delta_pair(&medium);
+    let (mut fd_scalar_dense, mut fd_batched_dense) = flip_delta_pair(&dense);
+
     let scenarios: Vec<Scenario<'_>> = vec![
         (
             "hybrid_solve_table5_reduced",
             Box::new(|| {
-                let m = rebalancer(Variant::Reduced, k);
+                let m = rebalancer(Variant::Reduced, k, true);
                 std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
             }),
         ),
         (
             "hybrid_solve_table5_full",
             Box::new(|| {
-                let m = rebalancer(Variant::Full, k);
+                let m = rebalancer(Variant::Full, k, true);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "hybrid_solve_table5_reduced_scalar",
+            Box::new(|| {
+                let m = rebalancer(Variant::Reduced, k, false);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "hybrid_solve_table5_full_scalar",
+            Box::new(|| {
+                let m = rebalancer(Variant::Full, k, false);
                 std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
             }),
         ),
@@ -119,6 +241,30 @@ fn main() {
                 std::hint::black_box(set.summary().num_samples);
             }),
         ),
+        (
+            "flip_delta_scalar_sparse",
+            Box::new(move || fd_scalar_sparse()),
+        ),
+        (
+            "flip_delta_batched_sparse",
+            Box::new(move || fd_batched_sparse()),
+        ),
+        (
+            "flip_delta_scalar_medium",
+            Box::new(move || fd_scalar_medium()),
+        ),
+        (
+            "flip_delta_batched_medium",
+            Box::new(move || fd_batched_medium()),
+        ),
+        (
+            "flip_delta_scalar_dense",
+            Box::new(move || fd_scalar_dense()),
+        ),
+        (
+            "flip_delta_batched_dense",
+            Box::new(move || fd_batched_dense()),
+        ),
     ];
 
     // Hand-rolled JSON: the schema is flat and fixed, and keeping the binary
@@ -141,12 +287,10 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cpus = logical_cpus();
     let rayon_threads = qlrb_harness::rayon_threads();
     let summary = format!(
-        "{{\n  \"schema\": 1,\n  \"generated_unix_s\": {unix_s},\n  \
+        "{{\n  \"schema\": 2,\n  \"generated_unix_s\": {unix_s},\n  \
          \"scale\": {{\"nodes\": {}, \"tasks_per_node\": {}}},\n  \
          \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"logical_cpus\": {cpus}, \
          \"rayon_threads\": {rayon_threads}}},\n  \

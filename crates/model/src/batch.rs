@@ -1,0 +1,779 @@
+//! Batched (structure-of-arrays) evaluation: one CSR traversal, 64 lanes.
+//!
+//! [`BatchedEvaluator`] holds up to [`MAX_LANES`] independent binary states
+//! over one [`CompiledCqm`]. States are packed as a `u64` bitset per
+//! variable — bit `l` of `bits[v]` is lane `l`'s value of variable `v` — and
+//! every per-expression quantity is laid out lane-contiguous
+//! (`sums[e * lanes + l]`), so a single walk of the variable→expression CSR
+//! produces flip deltas for all lanes at once. The per-expression kind
+//! dispatch is hoisted out of the lane loop, leaving branch-free per-lane
+//! arithmetic that the compiler can auto-vectorize.
+//!
+//! # Bit-exactness contract
+//!
+//! Every lane performs *exactly* the floating-point operations of the scalar
+//! [`CqmEvaluator`] path, in the same order: `flip_deltas(v)[l]` is
+//! bit-identical to `CqmEvaluator::flip_delta(v)` evaluated at lane `l`'s
+//! state, and the same holds for energies, objectives, violations, and the
+//! incrementally maintained delta cache. Samplers can therefore run the
+//! batched kernels and reproduce scalar trajectories lane by lane; the
+//! equivalence is enforced by proptests below.
+//!
+//! Lane membership is a *sampler* concern: the hybrid solver packs one read
+//! per lane for SA/tabu/descent waves and one Trotter replica per lane for
+//! SQA. This module only guarantees that lanes never interact.
+
+use std::sync::Arc;
+
+use crate::cqm::{violation_of, Sense};
+use crate::eval::{CompiledCqm, ExprKind};
+use crate::penalty::PenaltyStyle;
+
+/// Maximum number of lanes a [`BatchedEvaluator`] supports (`u64` width).
+pub const MAX_LANES: usize = 64;
+
+/// A multi-lane incremental evaluator over a [`CompiledCqm`].
+///
+/// See the module docs for layout and the bit-exactness contract.
+#[derive(Debug, Clone)]
+pub struct BatchedEvaluator {
+    model: Arc<CompiledCqm>,
+    lanes: usize,
+    /// Bit `l` of `bits[v]` is lane `l`'s value of variable `v`.
+    bits: Vec<u64>,
+    /// Expression sums, lane-contiguous: `sums[e * lanes + l]`.
+    sums: Vec<f64>,
+    /// Tracked total energy per lane.
+    energy: Vec<f64>,
+    /// Flip-delta cache, lane-contiguous: `deltas[v * lanes + l]`.
+    /// Empty unless `deltas_live`.
+    deltas: Vec<f64>,
+    deltas_live: bool,
+}
+
+impl BatchedEvaluator {
+    /// Creates an evaluator with `lanes` lanes, all at the all-zeros state.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= lanes <= MAX_LANES`.
+    pub fn new(model: Arc<CompiledCqm>, lanes: usize) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lanes must be in 1..=64, got {lanes}"
+        );
+        let n = model.num_vars();
+        let ne = model.num_exprs();
+        let mut ev = Self {
+            model,
+            lanes,
+            bits: vec![0; n],
+            sums: vec![0.0; ne * lanes],
+            energy: vec![0.0; lanes],
+            deltas: Vec::new(),
+            deltas_live: false,
+        };
+        ev.resync();
+        ev
+    }
+
+    /// The compiled model.
+    pub fn model(&self) -> &Arc<CompiledCqm> {
+        &self.model
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of binary variables (compiled width).
+    pub fn num_vars(&self) -> usize {
+        self.model.num_vars()
+    }
+
+    /// Variables that can change the energy when flipped (ascending).
+    pub fn active_vars(&self) -> &[usize] {
+        self.model.active_vars()
+    }
+
+    /// The packed lane bits of one variable.
+    #[inline]
+    pub fn var_bits(&self, var: usize) -> u64 {
+        self.bits[var]
+    }
+
+    /// Lane `lane`'s value of `var` (0 or 1).
+    #[inline]
+    pub fn lane_bit(&self, var: usize, lane: usize) -> u8 {
+        ((self.bits[var] >> lane) & 1) as u8
+    }
+
+    /// Tracked energy of one lane.
+    #[inline]
+    pub fn energy(&self, lane: usize) -> f64 {
+        self.energy[lane]
+    }
+
+    /// Tracked energies of all lanes.
+    pub fn energies(&self) -> &[f64] {
+        &self.energy
+    }
+
+    /// Replaces lane `lane`'s state (narrower states are zero-extended, as
+    /// in [`crate::eval::Evaluator::set_state`]) and resyncs that lane.
+    pub fn set_lane_state(&mut self, lane: usize, state: &[u8]) {
+        assert!(lane < self.lanes, "lane out of range");
+        assert!(
+            state.len() <= self.bits.len(),
+            "state wider than compiled model"
+        );
+        let mask = 1u64 << lane;
+        for (v, b) in self.bits.iter_mut().enumerate() {
+            let set = v < state.len() && state[v] != 0;
+            if set {
+                *b |= mask;
+            } else {
+                *b &= !mask;
+            }
+        }
+        self.resync_lane(lane);
+    }
+
+    /// Writes lane `lane`'s state into `out` (must be compiled width).
+    pub fn write_lane_state(&self, lane: usize, out: &mut [u8]) {
+        assert_eq!(out.len(), self.bits.len(), "state width mismatch");
+        for (o, &b) in out.iter_mut().zip(&self.bits) {
+            *o = ((b >> lane) & 1) as u8;
+        }
+    }
+
+    /// Lane `lane`'s state as a fresh byte vector.
+    pub fn lane_state(&self, lane: usize) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len()];
+        self.write_lane_state(lane, &mut out);
+        out
+    }
+
+    /// Objective value (no penalties) of one lane; matches
+    /// [`crate::eval::CqmEvaluator::objective`] bit-for-bit.
+    pub fn objective(&self, lane: usize) -> f64 {
+        let m = &*self.model;
+        let l = self.lanes;
+        let mut obj = m.linear_const;
+        for (v, &b) in self.bits.iter().enumerate() {
+            if (b >> lane) & 1 != 0 {
+                obj += m.linear[v];
+            }
+        }
+        for (e, kind) in m.kinds.iter().enumerate() {
+            if let ExprKind::Squared { target, weight } = *kind {
+                let d = self.sums[e * l + lane] - target;
+                obj += weight * d * d;
+            }
+        }
+        obj
+    }
+
+    /// Total true violation magnitude of one lane.
+    pub fn total_violation(&self, lane: usize) -> f64 {
+        let m = &*self.model;
+        let l = self.lanes;
+        let mut v = 0.0;
+        for (e, kind) in m.kinds.iter().enumerate() {
+            if let ExprKind::Constraint { sense, rhs, .. } = *kind {
+                v += violation_of(sense, self.sums[e * l + lane], rhs);
+            }
+        }
+        v
+    }
+
+    /// Whether lane `lane` satisfies all constraints.
+    pub fn is_feasible(&self, lane: usize) -> bool {
+        self.total_violation(lane) == 0.0
+    }
+
+    /// Scalar flip delta for one `(var, lane)` pair — the reference each
+    /// batched lane must match. Same arithmetic as
+    /// [`crate::eval::CqmEvaluator::flip_delta`].
+    pub fn flip_delta_lane(&self, var: usize, lane: usize) -> f64 {
+        let m = &*self.model;
+        let l = self.lanes;
+        let dir = if (self.bits[var] >> lane) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        let mut delta = dir * m.linear[var];
+        let (exprs, coeffs) = m.incident(var);
+        for (&e, &c) in exprs.iter().zip(coeffs) {
+            let e = e as usize;
+            let old = self.sums[e * l + lane];
+            let new = old + dir * c;
+            let kind = &m.kinds[e];
+            delta += m.penalty_energy(kind, new) - m.penalty_energy(kind, old);
+        }
+        delta
+    }
+
+    /// Flip deltas of `var` for every lane in one CSR walk.
+    ///
+    /// `out[l]` is bit-identical to what the scalar evaluator's
+    /// `flip_delta(var)` would return at lane `l`'s state.
+    pub fn flip_deltas(&self, var: usize, out: &mut [f64]) {
+        let m = &*self.model;
+        let l = self.lanes;
+        assert!(out.len() >= l, "output narrower than lane count");
+        let out = &mut out[..l];
+        let w = self.bits[var];
+        let mut dir = [0.0f64; MAX_LANES];
+        for (i, d) in dir[..l].iter_mut().enumerate() {
+            // Same value the scalar path derives from the byte state.
+            *d = if (w >> i) & 1 == 0 { 1.0 } else { -1.0 };
+        }
+        let dir = &dir[..l];
+        let lin = m.linear[var];
+        for (o, &d) in out.iter_mut().zip(dir) {
+            *o = d * lin;
+        }
+        let (exprs, coeffs) = m.incident(var);
+        for (&e, &c) in exprs.iter().zip(coeffs) {
+            let e = e as usize;
+            let row = &self.sums[e * l..(e + 1) * l];
+            // One match per expression; the lane loops below repeat the
+            // scalar `penalty_energy(new) - penalty_energy(old)` arithmetic
+            // verbatim so each lane stays bit-exact.
+            match m.kinds[e] {
+                ExprKind::Squared { target, weight } => {
+                    for ((o, &old), &d) in out.iter_mut().zip(row).zip(dir) {
+                        let new = old + d * c;
+                        let dn = new - target;
+                        let dold = old - target;
+                        *o += weight * dn * dn - weight * dold * dold;
+                    }
+                }
+                ExprKind::Constraint { sense, rhs, weight } => match sense {
+                    Sense::Eq => {
+                        for ((o, &old), &d) in out.iter_mut().zip(row).zip(dir) {
+                            let new = old + d * c;
+                            let dn = new - rhs;
+                            let dold = old - rhs;
+                            *o += weight * dn * dn - weight * dold * dold;
+                        }
+                    }
+                    Sense::Le => match m.penalty().style {
+                        PenaltyStyle::Unbalanced { l1, l2 } => {
+                            let vertex = if l2 > 0.0 { -l1 / (2.0 * l2) } else { 0.0 };
+                            for ((o, &old), &d) in out.iter_mut().zip(row).zip(dir) {
+                                let new = old + d * c;
+                                let gn = (new - rhs).max(vertex);
+                                let go = (old - rhs).max(vertex);
+                                *o += weight * (l1 * gn + l2 * gn * gn)
+                                    - weight * (l1 * go + l2 * go * go);
+                            }
+                        }
+                        _ => {
+                            for ((o, &old), &d) in out.iter_mut().zip(row).zip(dir) {
+                                let new = old + d * c;
+                                let dn = (new - rhs).max(0.0);
+                                let dold = (old - rhs).max(0.0);
+                                *o += weight * dn * dn - weight * dold * dold;
+                            }
+                        }
+                    },
+                },
+            }
+        }
+    }
+
+    /// Applies the flip of `var` on every lane whose bit is set in `mask`,
+    /// using caller-supplied deltas (`deltas[l]` is read only for masked
+    /// lanes). Updates sums, per-lane energy, and — when enabled — the
+    /// batched delta cache, mirroring the scalar `apply_flip` per lane.
+    pub fn flip_lanes(&mut self, var: usize, mask: u64, deltas: &[f64]) {
+        if mask == 0 {
+            return;
+        }
+        let l = self.lanes;
+        assert!(deltas.len() >= l, "deltas narrower than lane count");
+        debug_assert!(l == MAX_LANES || mask < (1u64 << l), "mask has dead lanes");
+        let m = Arc::clone(&self.model);
+        let w = self.bits[var];
+        let (exprs, coeffs) = m.incident(var);
+        if self.deltas_live {
+            let mut os = [0.0f64; MAX_LANES];
+            let mut ns = [0.0f64; MAX_LANES];
+            for (&e, &c) in exprs.iter().zip(coeffs) {
+                let ei = e as usize;
+                let kind = &m.kinds[ei];
+                let row_base = ei * l;
+                let mut bits_iter = mask;
+                while bits_iter != 0 {
+                    let lane = bits_iter.trailing_zeros() as usize;
+                    bits_iter &= bits_iter - 1;
+                    let dir = if (w >> lane) & 1 == 0 { 1.0 } else { -1.0 };
+                    let o = self.sums[row_base + lane];
+                    os[lane] = o;
+                    ns[lane] = o + dir * c;
+                }
+                let (vars_e, coeffs_e) = m.members(ei);
+                for (&u, &cu) in vars_e.iter().zip(coeffs_e) {
+                    let u = u as usize;
+                    if u == var {
+                        continue;
+                    }
+                    let wu = self.bits[u];
+                    let du_base = u * l;
+                    let mut bits_iter = mask;
+                    while bits_iter != 0 {
+                        let lane = bits_iter.trailing_zeros() as usize;
+                        bits_iter &= bits_iter - 1;
+                        let du = if (wu >> lane) & 1 == 0 { 1.0 } else { -1.0 };
+                        self.deltas[du_base + lane] +=
+                            m.flip_correction(kind, os[lane], ns[lane], du * cu);
+                    }
+                }
+                let mut bits_iter = mask;
+                while bits_iter != 0 {
+                    let lane = bits_iter.trailing_zeros() as usize;
+                    bits_iter &= bits_iter - 1;
+                    self.sums[row_base + lane] = ns[lane];
+                }
+            }
+            let dv_base = var * l;
+            let mut bits_iter = mask;
+            while bits_iter != 0 {
+                let lane = bits_iter.trailing_zeros() as usize;
+                bits_iter &= bits_iter - 1;
+                self.deltas[dv_base + lane] = -deltas[lane];
+            }
+        } else {
+            for (&e, &c) in exprs.iter().zip(coeffs) {
+                let row_base = e as usize * l;
+                let mut bits_iter = mask;
+                while bits_iter != 0 {
+                    let lane = bits_iter.trailing_zeros() as usize;
+                    bits_iter &= bits_iter - 1;
+                    let dir = if (w >> lane) & 1 == 0 { 1.0 } else { -1.0 };
+                    self.sums[row_base + lane] += dir * c;
+                }
+            }
+        }
+        self.bits[var] ^= mask;
+        let mut bits_iter = mask;
+        while bits_iter != 0 {
+            let lane = bits_iter.trailing_zeros() as usize;
+            bits_iter &= bits_iter - 1;
+            self.energy[lane] += deltas[lane];
+        }
+    }
+
+    /// Flips `var` on a single lane with a known delta.
+    pub fn flip_lane(&mut self, var: usize, lane: usize, delta: f64) {
+        assert!(lane < self.lanes, "lane out of range");
+        let mut tmp = [0.0f64; MAX_LANES];
+        tmp[lane] = delta;
+        self.flip_lanes(var, 1u64 << lane, &tmp[..self.lanes]);
+    }
+
+    /// Opts into the lane-contiguous flip-delta cache (`deltas[v*lanes+l]`),
+    /// maintained through [`Self::flip_lanes`] exactly like the scalar
+    /// evaluator's cache.
+    pub fn enable_delta_cache(&mut self) -> bool {
+        if !self.deltas_live {
+            self.deltas = vec![0.0; self.model.num_vars() * self.lanes];
+            self.deltas_live = true;
+            self.rebuild_deltas();
+        }
+        true
+    }
+
+    /// The cached deltas (`deltas[v * lanes + l]`) if the cache is enabled.
+    pub fn cached_deltas(&self) -> Option<&[f64]> {
+        if self.deltas_live {
+            Some(&self.deltas)
+        } else {
+            None
+        }
+    }
+
+    fn rebuild_deltas(&mut self) {
+        let l = self.lanes;
+        let n = self.model.num_vars();
+        let mut scratch = [0.0f64; MAX_LANES];
+        for v in 0..n {
+            self.flip_deltas(v, &mut scratch[..l]);
+            self.deltas[v * l..(v + 1) * l].copy_from_slice(&scratch[..l]);
+        }
+    }
+
+    /// Recomputes sums, energies, and cache for every lane from the packed
+    /// bits, clearing floating-point drift. Per lane this performs the same
+    /// operations in the same order as the scalar `resync`.
+    pub fn resync(&mut self) {
+        let m = Arc::clone(&self.model);
+        let l = self.lanes;
+        for (e, &cst) in m.consts.iter().enumerate() {
+            self.sums[e * l..(e + 1) * l].fill(cst);
+        }
+        for (v, &b) in self.bits.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let (exprs, coeffs) = m.incident(v);
+            for (&e, &c) in exprs.iter().zip(coeffs) {
+                let row_base = e as usize * l;
+                let mut bits_iter = b;
+                while bits_iter != 0 {
+                    let lane = bits_iter.trailing_zeros() as usize;
+                    bits_iter &= bits_iter - 1;
+                    self.sums[row_base + lane] += c;
+                }
+            }
+        }
+        self.energy.fill(m.linear_const);
+        for (v, &b) in self.bits.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let lin = m.linear[v];
+            let mut bits_iter = b;
+            while bits_iter != 0 {
+                let lane = bits_iter.trailing_zeros() as usize;
+                bits_iter &= bits_iter - 1;
+                self.energy[lane] += lin;
+            }
+        }
+        for (e, kind) in m.kinds.iter().enumerate() {
+            for lane in 0..l {
+                self.energy[lane] += m.penalty_energy(kind, self.sums[e * l + lane]);
+            }
+        }
+        if self.deltas_live {
+            self.rebuild_deltas();
+        }
+    }
+
+    /// Recomputes one lane's sums, energy, and cache column from its bits.
+    pub fn resync_lane(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane out of range");
+        let m = Arc::clone(&self.model);
+        let l = self.lanes;
+        let mask = 1u64 << lane;
+        for (e, &cst) in m.consts.iter().enumerate() {
+            self.sums[e * l + lane] = cst;
+        }
+        for (v, &b) in self.bits.iter().enumerate() {
+            if b & mask != 0 {
+                let (exprs, coeffs) = m.incident(v);
+                for (&e, &c) in exprs.iter().zip(coeffs) {
+                    self.sums[e as usize * l + lane] += c;
+                }
+            }
+        }
+        let mut en = m.linear_const;
+        for (v, &b) in self.bits.iter().enumerate() {
+            if b & mask != 0 {
+                en += m.linear[v];
+            }
+        }
+        for (e, kind) in m.kinds.iter().enumerate() {
+            en += m.penalty_energy(kind, self.sums[e * l + lane]);
+        }
+        self.energy[lane] = en;
+        if self.deltas_live {
+            for v in 0..m.num_vars() {
+                self.deltas[v * l + lane] = self.flip_delta_lane(v, lane);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::Cqm;
+    use crate::eval::{CqmEvaluator, Evaluator};
+    use crate::expr::{LinearExpr, Var};
+    use crate::penalty::PenaltyConfig;
+    use proptest::prelude::*;
+
+    fn styles() -> [PenaltyStyle; 3] {
+        [
+            PenaltyStyle::ViolationQuadratic,
+            PenaltyStyle::Unbalanced {
+                l1: 0.96,
+                l2: 0.0331,
+            },
+            PenaltyStyle::Slack,
+        ]
+    }
+
+    fn small_model(style: PenaltyStyle) -> Arc<CompiledCqm> {
+        // minimize (x0 + 2·x1 + 3·x2 − 3)²  s.t.  x0 + x1 + x2 ≤ 2, x0 = 1
+        let mut cqm = Cqm::new(3);
+        let mut obj = LinearExpr::new();
+        obj.add_term(Var(0), 1.0)
+            .add_term(Var(1), 2.0)
+            .add_term(Var(2), 3.0);
+        cqm.add_squared_term(obj, 3.0, 1.0);
+        let mut cap = LinearExpr::new();
+        cap.add_term(Var(0), 1.0)
+            .add_term(Var(1), 1.0)
+            .add_term(Var(2), 1.0);
+        cqm.add_constraint(cap, Sense::Le, 2.0, "cap");
+        let mut fix = LinearExpr::new();
+        fix.add_term(Var(0), 1.0);
+        cqm.add_constraint(fix, Sense::Eq, 1.0, "fix");
+        CompiledCqm::compile(&cqm, PenaltyConfig::uniform(25.0, style))
+    }
+
+    /// A randomly structured CQM description proptest can generate: per
+    /// expression a list of `(var, coeff)` terms plus target/rhs. Variables
+    /// outside every expression model presolve-masked dead bits.
+    #[derive(Debug, Clone)]
+    struct RandomCqm {
+        num_vars: usize,
+        squared: Vec<(Vec<(usize, i8)>, i8)>,
+        les: Vec<(Vec<(usize, i8)>, i8)>,
+        eqs: Vec<(Vec<(usize, i8)>, i8)>,
+    }
+
+    impl RandomCqm {
+        fn build(&self) -> Cqm {
+            let mut cqm = Cqm::new(self.num_vars);
+            for (terms, target) in &self.squared {
+                let mut e = LinearExpr::new();
+                for &(v, c) in terms {
+                    e.add_term(Var(v as u32), f64::from(c));
+                }
+                cqm.add_squared_term(e, f64::from(*target), 1.0);
+            }
+            for (i, (terms, rhs)) in self.les.iter().enumerate() {
+                let mut e = LinearExpr::new();
+                for &(v, c) in terms {
+                    e.add_term(Var(v as u32), f64::from(c));
+                }
+                cqm.add_constraint(e, Sense::Le, f64::from(*rhs), format!("le{i}"));
+            }
+            for (i, (terms, rhs)) in self.eqs.iter().enumerate() {
+                let mut e = LinearExpr::new();
+                for &(v, c) in terms {
+                    e.add_term(Var(v as u32), f64::from(c));
+                }
+                cqm.add_constraint(e, Sense::Eq, f64::from(*rhs), format!("eq{i}"));
+            }
+            cqm
+        }
+    }
+
+    fn random_cqm_strategy() -> impl Strategy<Value = RandomCqm> {
+        let terms = |n: usize| {
+            proptest::collection::vec((0..n, -3i8..=3), 1..=n.min(5))
+                .prop_map(|mut t| {
+                    t.dedup_by_key(|x| x.0);
+                    t
+                })
+                .prop_filter("nonzero coeff", |t| t.iter().any(|&(_, c)| c != 0))
+        };
+        (2usize..10).prop_flat_map(move |n| {
+            (
+                Just(n),
+                proptest::collection::vec((terms(n), -4i8..=4), 0..3),
+                proptest::collection::vec((terms(n), -2i8..=6), 0..3),
+                proptest::collection::vec((terms(n), -2i8..=4), 0..3),
+            )
+                .prop_map(|(num_vars, squared, les, eqs)| RandomCqm {
+                    num_vars,
+                    squared,
+                    les,
+                    eqs,
+                })
+        })
+    }
+
+    #[test]
+    fn lanes_track_independent_scalar_evaluators() {
+        for style in styles() {
+            let m = small_model(style);
+            let lanes = 4;
+            let mut bev = BatchedEvaluator::new(Arc::clone(&m), lanes);
+            let mut evs: Vec<CqmEvaluator> = (0..lanes)
+                .map(|_| CqmEvaluator::new(Arc::clone(&m)))
+                .collect();
+            // Distinct per-lane flip sequences.
+            let seqs = [vec![0, 1], vec![2], vec![0, 1, 2, 1], vec![]];
+            let mut deltas = [0.0f64; MAX_LANES];
+            for (lane, seq) in seqs.iter().enumerate() {
+                for &v in seq {
+                    bev.flip_deltas(v, &mut deltas);
+                    let want = evs[lane].flip_delta(v);
+                    assert_eq!(deltas[lane], want, "style {style:?} lane {lane} var {v}");
+                    bev.flip_lane(v, lane, deltas[lane]);
+                    evs[lane].flip(v);
+                }
+            }
+            for (lane, ev) in evs.iter().enumerate() {
+                assert_eq!(bev.lane_state(lane), ev.state(), "style {style:?}");
+                assert_eq!(bev.energy(lane), ev.energy(), "style {style:?}");
+                assert_eq!(bev.objective(lane), ev.objective(), "style {style:?}");
+                assert_eq!(
+                    bev.total_violation(lane),
+                    ev.total_violation(),
+                    "style {style:?}"
+                );
+                assert_eq!(bev.is_feasible(lane), ev.is_feasible(), "style {style:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_lanes_applies_shared_flip_to_masked_lanes_only() {
+        let m = small_model(PenaltyStyle::ViolationQuadratic);
+        let mut bev = BatchedEvaluator::new(Arc::clone(&m), 3);
+        let mut deltas = [0.0f64; MAX_LANES];
+        bev.flip_deltas(1, &mut deltas);
+        bev.flip_lanes(1, 0b101, &deltas);
+        assert_eq!(bev.lane_state(0)[1], 1);
+        assert_eq!(bev.lane_state(1)[1], 0);
+        assert_eq!(bev.lane_state(2)[1], 1);
+        let scalar = CqmEvaluator::with_state(Arc::clone(&m), &[0, 1, 0]);
+        assert_eq!(bev.energy(0), scalar.energy());
+        assert_eq!(bev.energy(1), CqmEvaluator::new(m).energy());
+    }
+
+    #[test]
+    fn set_lane_state_zero_extends_and_resyncs() {
+        let m = small_model(PenaltyStyle::Slack);
+        assert!(m.num_vars() > 3);
+        let mut bev = BatchedEvaluator::new(Arc::clone(&m), 2);
+        bev.set_lane_state(1, &[1, 0, 1]);
+        let scalar = CqmEvaluator::with_state(Arc::clone(&m), &[1, 0, 1]);
+        assert_eq!(bev.lane_state(1), scalar.state());
+        assert_eq!(bev.energy(1), scalar.energy());
+        // Lane 0 untouched.
+        assert_eq!(bev.energy(0), CqmEvaluator::new(m).energy());
+    }
+
+    #[test]
+    fn batched_cache_matches_scalar_cache() {
+        for style in styles() {
+            let m = small_model(style);
+            let n = m.num_vars();
+            let mut bev = BatchedEvaluator::new(Arc::clone(&m), 2);
+            let mut ev = CqmEvaluator::new(Arc::clone(&m));
+            assert!(bev.enable_delta_cache());
+            ev.enable_delta_cache();
+            let mut deltas = [0.0f64; MAX_LANES];
+            for &v in &[0usize, 1, 2, 2, 1, 0, 2] {
+                let v = v % n;
+                bev.flip_deltas(v, &mut deltas);
+                bev.flip_lane(v, 1, deltas[1]);
+                ev.flip(v);
+                let bc = bev.cached_deltas().expect("batched cache");
+                let sc = ev.cached_deltas().expect("scalar cache");
+                for u in 0..n {
+                    assert_eq!(
+                        bc[u * bev.lanes() + 1],
+                        sc[u],
+                        "style {style:?} var {u} after flip {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resync_clears_nothing_on_exact_lanes() {
+        let m = small_model(PenaltyStyle::ViolationQuadratic);
+        let mut bev = BatchedEvaluator::new(m, 3);
+        let mut deltas = [0.0f64; MAX_LANES];
+        for v in 0..3 {
+            bev.flip_deltas(v, &mut deltas);
+            bev.flip_lanes(v, 0b111, &deltas);
+        }
+        let before: Vec<f64> = bev.energies().to_vec();
+        bev.resync();
+        for (lane, &e) in bev.energies().iter().enumerate() {
+            assert!((e - before[lane]).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        /// Satellite: for random CQMs and random per-lane flip sequences,
+        /// every lane of the batched evaluator must match a scalar evaluator
+        /// *exactly* — deltas, energy, objective, violation, feasibility —
+        /// including models with dead (presolve-masked-style) variables.
+        #[test]
+        fn batched_lanes_match_scalar_exactly(
+            rc in random_cqm_strategy(),
+            style_idx in 0usize..3,
+            flips in proptest::collection::vec((0usize..64, 0usize..8), 1..60),
+        ) {
+            let style = styles()[style_idx];
+            let cqm = rc.build();
+            let m = CompiledCqm::compile(&cqm, PenaltyConfig::uniform(7.0, style));
+            let n = m.num_vars();
+            let lanes = 8;
+            let mut bev = BatchedEvaluator::new(Arc::clone(&m), lanes);
+            bev.enable_delta_cache();
+            let mut evs: Vec<CqmEvaluator> = (0..lanes)
+                .map(|_| CqmEvaluator::new(Arc::clone(&m)))
+                .collect();
+            // Active sets agree (dead vars excluded identically).
+            prop_assert_eq!(bev.active_vars(), evs[0].active_vars().expect("cqm active"));
+            let mut deltas = [0.0f64; MAX_LANES];
+            for &(v, lane) in &flips {
+                let v = v % n;
+                bev.flip_deltas(v, &mut deltas);
+                for (l, ev) in evs.iter().enumerate() {
+                    prop_assert_eq!(deltas[l], ev.flip_delta(v), "var {} lane {}", v, l);
+                    prop_assert_eq!(deltas[l], bev.flip_delta_lane(v, l));
+                }
+                bev.flip_lane(v, lane, deltas[lane]);
+                evs[lane].flip(v);
+            }
+            for (l, ev) in evs.iter().enumerate() {
+                prop_assert_eq!(bev.lane_state(l), ev.state().to_vec());
+                prop_assert_eq!(bev.energy(l), ev.energy());
+                prop_assert_eq!(bev.objective(l), ev.objective());
+                prop_assert_eq!(bev.total_violation(l), ev.total_violation());
+                prop_assert_eq!(bev.is_feasible(l), ev.is_feasible());
+            }
+        }
+
+        /// The batched delta cache stays equal to on-demand recomputation
+        /// after arbitrary masked multi-lane flips.
+        #[test]
+        fn batched_cache_matches_on_demand(
+            rc in random_cqm_strategy(),
+            style_idx in 0usize..3,
+            flips in proptest::collection::vec((0usize..64, 1u64..16), 1..40),
+        ) {
+            let style = styles()[style_idx];
+            let cqm = rc.build();
+            let m = CompiledCqm::compile(&cqm, PenaltyConfig::uniform(7.0, style));
+            let n = m.num_vars();
+            let lanes = 4;
+            let mut bev = BatchedEvaluator::new(Arc::clone(&m), lanes);
+            bev.enable_delta_cache();
+            let mut deltas = [0.0f64; MAX_LANES];
+            for &(v, mask) in &flips {
+                let v = v % n;
+                bev.flip_deltas(v, &mut deltas);
+                bev.flip_lanes(v, mask & 0b1111, &deltas);
+            }
+            let cached = bev.cached_deltas().expect("cache enabled").to_vec();
+            for v in 0..n {
+                bev.flip_deltas(v, &mut deltas);
+                for l in 0..lanes {
+                    let got = cached[v * lanes + l];
+                    let want = deltas[l];
+                    prop_assert!(
+                        (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                        "var {} lane {}: cached {} vs fresh {}", v, l, got, want
+                    );
+                }
+            }
+        }
+    }
+}

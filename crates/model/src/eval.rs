@@ -122,7 +122,7 @@ pub trait Evaluator: Send {
 
 /// Which bucket a flattened expression belongs to.
 #[derive(Debug, Clone, Copy)]
-enum ExprKind {
+pub(crate) enum ExprKind {
     /// Objective term `weight·(sum − target)²`.
     Squared { target: f64, weight: f64 },
     /// Constraint with penalty parameters resolved at compile time.
@@ -134,8 +134,8 @@ enum ExprKind {
 #[derive(Debug)]
 pub struct CompiledCqm {
     num_vars: usize,
-    kinds: Vec<ExprKind>,
-    consts: Vec<f64>,
+    pub(crate) kinds: Vec<ExprKind>,
+    pub(crate) consts: Vec<f64>,
     /// CSR variable → expression: entries for `v` live at
     /// `inc_offsets[v]..inc_offsets[v+1]` in `inc_expr`/`inc_coeff`,
     /// expression-ascending.
@@ -148,8 +148,8 @@ pub struct CompiledCqm {
     mem_var: Vec<u32>,
     mem_coeff: Vec<f64>,
     /// Plain linear objective coefficient per variable.
-    linear: Vec<f64>,
-    linear_const: f64,
+    pub(crate) linear: Vec<f64>,
+    pub(crate) linear_const: f64,
     penalty: PenaltyConfig,
     /// Variables with any expression incidence or a nonzero linear
     /// coefficient, ascending. Presolve-fixed variables are substituted out
@@ -288,7 +288,7 @@ impl CompiledCqm {
 
     /// `(expressions, coefficients)` incident to `var`, expr-ascending.
     #[inline]
-    fn incident(&self, var: usize) -> (&[u32], &[f64]) {
+    pub(crate) fn incident(&self, var: usize) -> (&[u32], &[f64]) {
         let a = self.inc_offsets[var] as usize;
         let b = self.inc_offsets[var + 1] as usize;
         (&self.inc_expr[a..b], &self.inc_coeff[a..b])
@@ -296,7 +296,7 @@ impl CompiledCqm {
 
     /// `(variables, coefficients)` that make up expression `expr`.
     #[inline]
-    fn members(&self, expr: usize) -> (&[u32], &[f64]) {
+    pub(crate) fn members(&self, expr: usize) -> (&[u32], &[f64]) {
         let a = self.mem_offsets[expr] as usize;
         let b = self.mem_offsets[expr + 1] as usize;
         (&self.mem_var[a..b], &self.mem_coeff[a..b])
@@ -304,7 +304,7 @@ impl CompiledCqm {
 
     /// Penalty energy for one constraint sum.
     #[inline]
-    fn penalty_energy(&self, kind: &ExprKind, sum: f64) -> f64 {
+    pub(crate) fn penalty_energy(&self, kind: &ExprKind, sum: f64) -> f64 {
         match *kind {
             ExprKind::Squared { target, weight } => {
                 let d = sum - target;
@@ -345,7 +345,7 @@ impl CompiledCqm {
     /// kinds collapse to a closed form and piecewise kinds short-circuit
     /// whenever all four probe points share one segment.
     #[inline]
-    fn flip_correction(&self, kind: &ExprKind, os: f64, ns: f64, dc: f64) -> f64 {
+    pub(crate) fn flip_correction(&self, kind: &ExprKind, os: f64, ns: f64, dc: f64) -> f64 {
         match *kind {
             ExprKind::Squared { weight, .. } => 2.0 * weight * dc * (ns - os),
             ExprKind::Constraint { sense, rhs, weight } => match sense {

@@ -28,6 +28,7 @@
 //! The samplers living in `qlrb-anneal` only see the [`eval::Evaluator`]
 //! trait, so every model in this crate can be annealed interchangeably.
 
+pub mod batch;
 pub mod bqm;
 pub mod cqm;
 pub mod encoding;
@@ -37,6 +38,7 @@ pub mod penalty;
 pub mod presolve;
 pub mod state;
 
+pub use batch::BatchedEvaluator;
 pub use bqm::BinaryQuadraticModel;
 pub use cqm::{Constraint, Cqm, Sense, SquaredTerm};
 pub use encoding::CoefficientSet;

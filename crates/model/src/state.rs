@@ -13,18 +13,51 @@ pub fn debug_check_binary(state: &[u8]) {
     );
 }
 
+/// Reads up to 8 bytes of a 0/1 state as one little-endian `u64`, so eight
+/// variables can be compared or counted with a single word operation. The
+/// same byte→word packing underlies the lane bitsets in [`crate::batch`].
+#[inline]
+fn load_word(chunk: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w[..chunk.len()].copy_from_slice(chunk);
+    u64::from_le_bytes(w)
+}
+
 /// Hamming distance between two equal-length states.
+///
+/// Word-at-a-time: XOR of two 0/1 byte words leaves one bit per differing
+/// byte, so summing the bytes of the XOR word (a single multiply, since
+/// every byte is ≤ 1 and a chunk holds ≤ 8 of them) counts mismatches
+/// eight bytes per step.
 ///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn hamming(a: &[u8], b: &[u8]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming distance needs equal widths");
-    a.iter().zip(b).filter(|(x, y)| x != y).count()
+    debug_check_binary(a);
+    debug_check_binary(b);
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut count = 0u64;
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        let x = load_word(ca) ^ load_word(cb);
+        count += x.wrapping_mul(0x0101_0101_0101_0101) >> 56;
+    }
+    let x = load_word(ac.remainder()) ^ load_word(bc.remainder());
+    count += x.wrapping_mul(0x0101_0101_0101_0101) >> 56;
+    count as usize
 }
 
-/// Number of set bits.
+/// Number of set bits, summed eight 0/1 bytes per word step.
 pub fn popcount(state: &[u8]) -> usize {
-    state.iter().filter(|&&b| b != 0).count()
+    debug_check_binary(state);
+    let mut chunks = state.chunks_exact(8);
+    let mut count = 0u64;
+    for c in chunks.by_ref() {
+        count += load_word(c).wrapping_mul(0x0101_0101_0101_0101) >> 56;
+    }
+    count += load_word(chunks.remainder()).wrapping_mul(0x0101_0101_0101_0101) >> 56;
+    count as usize
 }
 
 /// Converts 0/1 bytes to ±1 spins (`0 → −1`, `1 → +1`).
@@ -58,5 +91,32 @@ mod tests {
     #[should_panic(expected = "equal widths")]
     fn hamming_length_mismatch_panics() {
         hamming(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn word_kernels_match_naive_on_odd_lengths() {
+        // Lengths straddling the 8-byte word boundary, including the
+        // remainder-only and exact-multiple cases.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 65] {
+            let a: Vec<u8> = (0..len).map(|i| (i % 3 == 0) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i % 2 == 0) as u8).collect();
+            let naive_h = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            let naive_p = a.iter().filter(|&&x| x != 0).count();
+            assert_eq!(hamming(&a, &b), naive_h, "hamming len {len}");
+            assert_eq!(popcount(&a), naive_p, "popcount len {len}");
+        }
+    }
+
+    #[test]
+    fn word_kernels_all_ones_and_all_zeros_edges() {
+        for len in [1usize, 7, 8, 9, 63, 64, 65] {
+            let ones = vec![1u8; len];
+            let zeros = vec![0u8; len];
+            assert_eq!(popcount(&ones), len);
+            assert_eq!(popcount(&zeros), 0);
+            assert_eq!(hamming(&ones, &zeros), len);
+            assert_eq!(hamming(&ones, &ones), 0);
+            assert_eq!(hamming(&zeros, &zeros), 0);
+        }
     }
 }

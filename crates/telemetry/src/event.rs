@@ -188,6 +188,12 @@ pub struct SolverConfig {
     /// Backend the reads are submitted through (`"in-process"` or
     /// `"fault-injection"`).
     pub backend: String,
+    /// Whether the batched bitset fast path is on.
+    pub batched: bool,
+    /// Lanes per batched kernel invocation (1 when `batched` is off).
+    pub batch_width: usize,
+    /// Flip-delta kernel the solve used (`"scalar"` or `"batched"`).
+    pub kernel: String,
 }
 
 /// One model-lint diagnostic, flattened to strings so the trace vocabulary

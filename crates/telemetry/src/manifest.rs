@@ -21,7 +21,11 @@ use crate::event::{SolveRecord, SolverConfig};
 /// `reads[].faults`), exhausted reads (`failed_reads`), and the retry budget
 /// in the solver config (`max_retries`, `read_deadline_proposals`,
 /// `backend`). The termination vocabulary gains `"backend-exhausted"`.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: batched-kernel surface — the solver config records whether the
+/// batched bitset fast path ran and at what width (`batched`,
+/// `batch_width`, `kernel`).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 4;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records

@@ -14,6 +14,11 @@
 //!   random stream must derive from an explicit seed so experiment runs are
 //!   reproducible bit-for-bit.
 //! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//! * `no-hot-alloc` — no `vec![…]` / `.collect(…)` inside a block annotated
+//!   with a `// qlrb-hot:` comment (the sampler kernels' per-proposal
+//!   loops): per-iteration allocation is exactly what the batched kernels
+//!   exist to avoid. The rule covers the block opened by the first `{`
+//!   after the annotation.
 //!
 //! Suppressions, always with a justification in the surrounding comment:
 //!
@@ -247,7 +252,32 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
     // until its matching `}` (covers `mod tests { … }` and gated items).
     let mut pending_test_attr = false;
     let mut test_depth = 0usize;
+    // `qlrb-hot` regions: the block opened by the first `{` after the
+    // annotation comment is a sampler hot loop — no per-iteration
+    // allocation. Detected on the raw lines (the annotation is a comment,
+    // which `strip_source` blanks).
+    let mut pending_hot = false;
+    let mut hot_depth = 0usize;
     for (idx, line) in stripped.lines().enumerate() {
+        if hot_depth == 0 && raw_lines.get(idx).is_some_and(|l| l.contains("qlrb-hot:")) {
+            pending_hot = true;
+        }
+        let mut in_hot = hot_depth > 0;
+        if pending_hot || hot_depth > 0 {
+            for b in line.bytes() {
+                match b {
+                    b'{' => {
+                        hot_depth += 1;
+                        pending_hot = false;
+                        in_hot = true;
+                    }
+                    b'}' => {
+                        hot_depth = hot_depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
         if test_depth == 0 && line.contains("#[cfg(test") {
             pending_test_attr = true;
         }
@@ -310,6 +340,19 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
                         "`{pat})` breaks seed-reproducibility — derive RNGs from explicit seeds"
                     ),
                 );
+            }
+        }
+        if in_hot {
+            for pat in ["vec![", ".collect("] {
+                if line.contains(pat) {
+                    hit(
+                        "no-hot-alloc",
+                        format!(
+                            "`{pat}` inside a `qlrb-hot` loop — hoist the allocation out of \
+                             the per-iteration path"
+                        ),
+                    );
+                }
             }
         }
     }
@@ -564,6 +607,38 @@ mod tests {
         let findings = scan_source("crates/anneal/src/sa.rs", ANNEAL, src);
         assert_eq!(findings[0].rule, "no-wallclock");
         assert!(scan_source("crates/classical/src/kk.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_fires_inside_annotated_loops() {
+        let src = "fn f() {\n    // qlrb-hot: per-proposal loop\n    for v in 0..n {\n        let x = vec![0u8; 4];\n        let y: Vec<u32> = it.collect();\n    }\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        let rules: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(rules, vec![("no-hot-alloc", 4), ("no-hot-alloc", 5)]);
+    }
+
+    #[test]
+    fn hot_alloc_rule_ends_with_the_annotated_block() {
+        let src = "fn f() {\n    // qlrb-hot: inner loop\n    for v in 0..n {\n        g(v);\n    }\n    let after = vec![0u8; 4];\n}\n";
+        assert!(scan_source("f.rs", LIB, src).is_empty());
+        // Allocation before any annotation never fires either.
+        let before = "fn f() {\n    let b = vec![1, 2, 3];\n}\n";
+        assert!(scan_source("f.rs", LIB, before).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_respects_allow_comments() {
+        let src = "fn f() {\n    // qlrb-hot: inner loop\n    for v in 0..n {\n        // qlrb-lint: allow(no-hot-alloc)\n        let x = vec![0u8; 4];\n    }\n}\n";
+        assert!(scan_source("f.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_covers_nested_blocks() {
+        let src = "fn f() {\n    // qlrb-hot: scan\n    for v in 0..n {\n        if v > 0 {\n            let x = items.collect();\n        }\n    }\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-hot-alloc");
+        assert_eq!(findings[0].line, 5);
     }
 
     #[test]

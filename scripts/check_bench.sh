@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Bench-regression ratchet: re-runs `bench_summary` and compares the
+# Table-V hybrid medians in `results/bench_summary.json` against the
+# committed `results/bench_baseline.json`. A scenario that regresses more
+# than 15% over its baseline median fails the gate.
+#
+# Opt-outs:
+#   QLRB_SKIP_BENCH_GATE=1   skip entirely (underpowered / shared machines
+#                            where wall-clock medians are noise).
+#   QLRB_BENCH_REUSE=1       compare the existing results/bench_summary.json
+#                            instead of re-running the benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${QLRB_SKIP_BENCH_GATE:-0}" == "1" ]]; then
+  echo "check_bench: skipped (QLRB_SKIP_BENCH_GATE=1)"
+  exit 0
+fi
+
+baseline="results/bench_baseline.json"
+current="results/bench_summary.json"
+if [[ ! -f "$baseline" ]]; then
+  echo "check_bench: missing $baseline" >&2
+  exit 1
+fi
+
+if [[ "${QLRB_BENCH_REUSE:-0}" != "1" ]]; then
+  cargo run --release --quiet -p qlrb-bench --bin bench_summary
+fi
+if [[ ! -f "$current" ]]; then
+  echo "check_bench: missing $current" >&2
+  exit 1
+fi
+
+# Pulls one scenario's "median_ms" out of a bench JSON file. The schema is
+# flat ({"name": ..., "median_ms": ...} one object per line), so awk is
+# enough and the gate needs no JSON tooling.
+median_of() {
+  local file="$1" name="$2"
+  awk -v name="$name" '
+    $0 ~ "\"name\": \"" name "\"" {
+      if (match($0, /"median_ms": [0-9.]+/)) {
+        print substr($0, RSTART + 13, RLENGTH - 13)
+        exit
+      }
+    }
+  ' "$file"
+}
+
+fail=0
+# The ratchet tracks the paper's headline "Runtime" quantities only:
+# single-sampler rows wobble too much at 2 reads to gate on.
+for name in hybrid_solve_table5_reduced hybrid_solve_table5_full; do
+  base="$(median_of "$baseline" "$name")"
+  cur="$(median_of "$current" "$name")"
+  if [[ -z "$base" || -z "$cur" ]]; then
+    echo "check_bench: scenario $name missing from baseline or current summary" >&2
+    fail=1
+    continue
+  fi
+  # Regression threshold: current > baseline * 1.15 (integer microseconds
+  # to keep the comparison in awk).
+  verdict="$(awk -v b="$base" -v c="$cur" 'BEGIN { print (c > b * 1.15) ? "regressed" : "ok" }')"
+  ratio="$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%.2f", c / b }')"
+  echo "check_bench: $name median ${cur} ms vs baseline ${base} ms (x${ratio})"
+  if [[ "$verdict" == "regressed" ]]; then
+    echo "check_bench: $name regressed >15% over baseline" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" != "0" ]]; then
+  echo "check_bench: FAILED — investigate before committing, or rerun on a" >&2
+  echo "quiet machine; QLRB_SKIP_BENCH_GATE=1 skips the gate where wall-clock" >&2
+  echo "is meaningless. If a slowdown is intended, update $baseline with the" >&2
+  echo "new numbers and justify it in the PR." >&2
+  exit 1
+fi
+echo "check_bench: OK"

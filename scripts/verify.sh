@@ -18,3 +18,6 @@ cargo test -q
 ./scripts/check_scheduler.sh
 # Fault smoke: injected faults stay deterministic; all-crash degrades.
 ./scripts/check_faults.sh
+# Bench ratchet: Table-V hybrid medians must not regress >15% over the
+# committed baseline (QLRB_SKIP_BENCH_GATE=1 opts out on noisy machines).
+./scripts/check_bench.sh

@@ -42,7 +42,7 @@ USAGE:
   qlrb generate  --workload <NAME> [--case <LABEL>] [--out <FILE>]
   qlrb info      --input <FILE>
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
-                 [--seed <S>] [--early-stop] [--adaptive]
+                 [--seed <S>] [--early-stop] [--adaptive] [--batched]
                  [--fault-plan <FILE>] [--max-retries <N>]
                  [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
@@ -68,6 +68,10 @@ SCHEDULING (qcqm* only):
                  plateaus (or presolve/a lower bound proves it optimal)
   --adaptive     bandit read re-allocation across SA/SQA/tabu plus elite
                  cross-seeding of later waves; deterministic per --seed
+  --batched      batched bitset kernels: one CSR traversal drives up to 64
+                 sampler states (lane-per-read SA/tabu, lane-per-replica
+                 SQA). Deterministic per --seed but a different stream than
+                 the default scalar path
 
 FAULT TOLERANCE (qcqm* only):
   --fault-plan    JSON fault schedule injected at the sampler submission
@@ -122,11 +126,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return trace_cmd(&args[1..]).map(|()| ExitCode::SUCCESS);
     }
     // Boolean flags take no value; split them off before pair parsing.
-    let bools = ["--json", "--early-stop", "--adaptive"];
+    let bools = ["--json", "--early-stop", "--adaptive", "--batched"];
     let json = args[1..].iter().any(|a| a == "--json");
     let sched = SchedulerFlags {
         early_stop: args[1..].iter().any(|a| a == "--early-stop"),
         adaptive: args[1..].iter().any(|a| a == "--adaptive"),
+        batched: args[1..].iter().any(|a| a == "--batched"),
     };
     let rest: Vec<String> = args[1..]
         .iter()
@@ -223,11 +228,13 @@ fn info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--early-stop` / `--adaptive` scheduling switches of `rebalance`.
+/// The `--early-stop` / `--adaptive` / `--batched` solver switches of
+/// `rebalance`.
 #[derive(Debug, Clone, Copy, Default)]
 struct SchedulerFlags {
     early_stop: bool,
     adaptive: bool,
+    batched: bool,
 }
 
 fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(), String> {
@@ -285,7 +292,8 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
             .to_builder()
             .seed(seed)
             .early_stop(sched.early_stop)
-            .adaptive(sched.adaptive);
+            .adaptive(sched.adaptive)
+            .batched(sched.batched);
         if let Some(sink) = &sink {
             builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
         }
@@ -315,10 +323,10 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
              (use qcqm1 or qcqm2)"
         ));
     }
-    if (sched.early_stop || sched.adaptive) && solver_config.is_none() {
+    if (sched.early_stop || sched.adaptive || sched.batched) && solver_config.is_none() {
         return Err(format!(
-            "--early-stop/--adaptive configure the hybrid solver; method '{method_name}' \
-             is classical (use qcqm1 or qcqm2)"
+            "--early-stop/--adaptive/--batched configure the hybrid solver; \
+             method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }
     if (fault_plan.is_some() || max_retries.is_some()) && solver_config.is_none() {
