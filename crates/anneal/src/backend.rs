@@ -7,7 +7,12 @@
 //! [`AnnealResult`] or a [`SubmitError`] the solver's retry/backoff and
 //! degradation machinery reacts to.
 //!
-//! Two implementations ship:
+//! Since the federation redesign the solver talks to a [`BackendPool`] of
+//! heterogeneous members rather than a single backend. Each member carries a
+//! typed [`BackendId`] and a declared [`BackendProfile`] — latency per
+//! proposal on the solver's virtual clock, cost per read, reliability class,
+//! and an optional straggler deadline — which the scheduler's bandit and the
+//! speculative-dispatch machinery consume. Three implementations ship:
 //!
 //! * [`InProcessBackend`] — the default: runs the sampler in-process and
 //!   never fails. The solver's legacy behaviour is byte-identical through
@@ -15,11 +20,15 @@
 //! * [`FaultInjectingBackend`] — consults a deterministic [`FaultPlan`]
 //!   *before* touching the RNG, so an injected fault consumes no entropy
 //!   and the surviving attempts draw exactly the stream a clean run would.
+//! * [`ProfiledBackend`] — an adaptor giving any inner backend its own
+//!   identity and profile, the building block for heterogeneous pools
+//!   (a fast-but-weak box, a slow-but-strong box, a flaky "cloud QPU").
 //!
 //! [`HybridCqmSolver`]: crate::hybrid::HybridCqmSolver
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use qlrb_model::eval::CqmEvaluator;
 use qlrb_telemetry::ReadObserver;
@@ -62,10 +71,131 @@ impl fmt::Display for SubmitError {
 
 impl Error for SubmitError {}
 
-/// Identity of one submission: which read and attempt is being sent, and to
-/// which portfolio member. This is all a fault plan may key on — no wall
-/// clock, no entropy — keeping faulty runs deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Typed identity of a backend: a stable, case-sensitive name the solver
+/// threads through [`SubmitRequest`]s, fault plans, and telemetry instead of
+/// stringly-typed `&'static str` names.
+///
+/// Cloning is cheap: built-in ids are static, user ids share an `Arc`.
+#[derive(Debug, Clone)]
+pub struct BackendId(IdRepr);
+
+#[derive(Debug, Clone)]
+enum IdRepr {
+    Static(&'static str),
+    Shared(Arc<str>),
+}
+
+impl BackendId {
+    /// An id backed by a static name — allocation-free, usable in `const`
+    /// contexts by built-in backends.
+    pub const fn from_static(name: &'static str) -> Self {
+        Self(IdRepr::Static(name))
+    }
+
+    /// An id owning a copy of `name` (one allocation, shared by clones).
+    pub fn new(name: &str) -> Self {
+        Self(IdRepr::Shared(Arc::from(name)))
+    }
+
+    /// The backend name.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            IdRepr::Static(s) => s,
+            IdRepr::Shared(s) => s,
+        }
+    }
+}
+
+impl PartialEq for BackendId {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for BackendId {}
+
+impl std::hash::Hash for BackendId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialEq<str> for BackendId {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for BackendId {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Declared reliability of a backend, recorded for operators; the solver
+/// never branches on it (fault plans are the ground truth for failures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReliabilityClass {
+    /// Expected to complete every submission.
+    #[default]
+    Reliable,
+    /// May shed load; retries usually succeed.
+    BestEffort,
+    /// Routinely drops or delays submissions (a "cloud QPU").
+    Flaky,
+}
+
+impl ReliabilityClass {
+    /// Stable lowercase name for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Reliable => "reliable",
+            Self::BestEffort => "best-effort",
+            Self::Flaky => "flaky",
+        }
+    }
+}
+
+/// A backend's declared performance/cost envelope, all on the solver's
+/// deterministic virtual clock (proposal counts) — no wall time anywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendProfile {
+    /// Virtual-clock ticks one proposal costs on this backend (≥ 1). The
+    /// retry deadline accounting multiplies attempt cost by this factor.
+    pub latency_per_proposal: u64,
+    /// Monetary-ish cost of one completed read; the bandit divides member
+    /// weight by it and the manifest sums it per backend.
+    pub cost_per_read: f64,
+    /// Declared reliability class (documentation + telemetry only).
+    pub reliability: ReliabilityClass,
+    /// Straggler deadline on the virtual clock: when speculation is enabled
+    /// and an attempt's virtual cost (`proposals × latency`) exceeds this,
+    /// the solver races a duplicate on the next pool member. `None` never
+    /// triggers speculation by deadline.
+    pub deadline_proposals: Option<u64>,
+}
+
+impl Default for BackendProfile {
+    fn default() -> Self {
+        Self {
+            latency_per_proposal: 1,
+            cost_per_read: 1.0,
+            reliability: ReliabilityClass::Reliable,
+            deadline_proposals: None,
+        }
+    }
+}
+
+/// Identity of one submission: which read and attempt is being sent, to
+/// which portfolio member, on which backend. This is all a fault plan may
+/// key on — no wall clock, no entropy — keeping faulty runs deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubmitRequest {
     /// Read index within the solve.
     pub read: usize,
@@ -73,6 +203,8 @@ pub struct SubmitRequest {
     pub attempt: u32,
     /// Portfolio member the read was assigned to.
     pub sampler: SamplerKind,
+    /// Pool member the attempt is dispatched to.
+    pub backend: BackendId,
 }
 
 /// The submission boundary between the hybrid solver and its samplers.
@@ -82,13 +214,22 @@ pub struct SubmitRequest {
 /// RNG identically. Failures must be decided *before* drawing randomness so
 /// retries of other attempts see unperturbed streams.
 pub trait Backend: Send + Sync + fmt::Debug {
-    /// Short stable name recorded into solver-config telemetry.
-    fn name(&self) -> &'static str;
+    /// Typed identity recorded into requests, fault plans, and telemetry.
+    fn id(&self) -> BackendId;
+
+    /// Declared performance/cost envelope. The default is the neutral
+    /// profile (latency 1, cost 1.0, reliable, no deadline), under which a
+    /// one-member pool is byte-identical to the pre-federation solver.
+    fn profile(&self) -> BackendProfile {
+        BackendProfile::default()
+    }
 
     /// The fault verdict for one submission identity, without running
     /// anything. The batched path asks this per read *before* packing
     /// survivors into a lane group, so fault plans keep read-granularity
-    /// semantics even when 64 reads share one kernel invocation.
+    /// semantics even when 64 reads share one kernel invocation, and the
+    /// speculative dispatcher asks it to arbitrate races before any sampler
+    /// runs.
     ///
     /// The default accepts every request; [`submit`](Self::submit)
     /// implementations must fail exactly when `decide` does.
@@ -118,9 +259,15 @@ pub trait Backend: Send + Sync + fmt::Debug {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InProcessBackend;
 
+/// Id of the built-in [`InProcessBackend`].
+pub const IN_PROCESS_BACKEND_ID: BackendId = BackendId::from_static("in-process");
+
+/// Id of the built-in [`FaultInjectingBackend`].
+pub const FAULT_INJECTION_BACKEND_ID: BackendId = BackendId::from_static("fault-injection");
+
 impl Backend for InProcessBackend {
-    fn name(&self) -> &'static str {
-        "in-process"
+    fn id(&self) -> BackendId {
+        IN_PROCESS_BACKEND_ID
     }
 
     fn submit(
@@ -155,14 +302,16 @@ impl FaultInjectingBackend {
 }
 
 impl Backend for FaultInjectingBackend {
-    fn name(&self) -> &'static str {
-        "fault-injection"
+    fn id(&self) -> BackendId {
+        FAULT_INJECTION_BACKEND_ID
     }
 
     fn decide(&self, req: &SubmitRequest) -> Result<(), SubmitError> {
+        // Keyed on the typed sampler/backend identity directly — no
+        // per-decision allocation in the retry hot path.
         match self
             .plan
-            .fault_for(&req.sampler.to_string(), req.read, req.attempt)
+            .fault_for(req.sampler, &req.backend, req.read, req.attempt)
         {
             Some(kind) => Err(match kind {
                 FaultKind::Timeout => SubmitError::Timeout,
@@ -187,7 +336,115 @@ impl Backend for FaultInjectingBackend {
         // Decide the fault before any RNG use: an injected failure must not
         // perturb the streams surviving attempts draw from.
         self.decide(req)?;
-        InProcessBackend.submit(req, run, ev, rng, obs)
+        Ok(run.run(ev, rng, obs))
+    }
+}
+
+/// Adaptor that gives an inner backend its own identity and declared
+/// profile — the building block for heterogeneous [`BackendPool`]s.
+///
+/// `decide`/`submit` delegate to the inner backend with the *outer* id on
+/// the request, so fault plans keyed on a pool member's name reach the
+/// shared fault engine underneath.
+#[derive(Debug, Clone)]
+pub struct ProfiledBackend {
+    id: BackendId,
+    profile: BackendProfile,
+    inner: Arc<dyn Backend>,
+}
+
+impl ProfiledBackend {
+    /// Wraps `inner` under the name `id` with the declared `profile`.
+    pub fn new(id: BackendId, profile: BackendProfile, inner: Arc<dyn Backend>) -> Self {
+        Self { id, profile, inner }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn Backend> {
+        &self.inner
+    }
+}
+
+impl Backend for ProfiledBackend {
+    fn id(&self) -> BackendId {
+        self.id.clone()
+    }
+
+    fn profile(&self) -> BackendProfile {
+        self.profile
+    }
+
+    fn decide(&self, req: &SubmitRequest) -> Result<(), SubmitError> {
+        self.inner.decide(req)
+    }
+
+    fn submit(
+        &self,
+        req: &SubmitRequest,
+        run: &SamplerRun,
+        ev: &mut CqmEvaluator,
+        rng: &mut ChaCha8Rng,
+        obs: &mut ReadObserver,
+    ) -> Result<AnnealResult, SubmitError> {
+        self.inner.submit(req, run, ev, rng, obs)
+    }
+}
+
+/// An ordered pool of heterogeneous backends the solver federates reads
+/// across. Member order is semantic: member 0 is the primary for the first
+/// rotation slot, retries and speculative hedges walk the pool in order.
+///
+/// Pool well-formedness (non-empty, unique ids) is validated by
+/// `HybridSolverBuilder::build`, not here, so pools can be assembled
+/// incrementally.
+#[derive(Debug, Clone)]
+pub struct BackendPool {
+    members: Vec<Arc<dyn Backend>>,
+}
+
+impl BackendPool {
+    /// A pool with the given members, in dispatch order.
+    pub fn new(members: Vec<Arc<dyn Backend>>) -> Self {
+        Self { members }
+    }
+
+    /// The one-member pool the single-backend shims build; byte-identical
+    /// to the pre-federation solve path.
+    pub fn single(backend: Arc<dyn Backend>) -> Self {
+        Self {
+            members: vec![backend],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool has no members (rejected by the solver builder).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in dispatch order.
+    pub fn members(&self) -> &[Arc<dyn Backend>] {
+        &self.members
+    }
+
+    /// Member `idx`, panicking on out-of-range like slice indexing.
+    pub fn member(&self, idx: usize) -> &Arc<dyn Backend> {
+        &self.members[idx]
+    }
+
+    /// First member whose id matches, if any.
+    pub fn find(&self, id: &BackendId) -> Option<usize> {
+        self.members.iter().position(|b| b.id() == *id)
+    }
+}
+
+impl Default for BackendPool {
+    fn default() -> Self {
+        Self::single(Arc::new(InProcessBackend))
     }
 }
 
@@ -218,13 +475,18 @@ mod tests {
         SamplerRun::for_portfolio(SamplerKind::Sa, 20, 4, 1.0)
     }
 
+    fn request(read: usize, attempt: u32) -> SubmitRequest {
+        SubmitRequest {
+            read,
+            attempt,
+            sampler: SamplerKind::Sa,
+            backend: IN_PROCESS_BACKEND_ID,
+        }
+    }
+
     #[test]
     fn in_process_backend_matches_direct_run() {
-        let req = SubmitRequest {
-            read: 0,
-            attempt: 0,
-            sampler: SamplerKind::Sa,
-        };
+        let req = request(0, 0);
         let run = sa_run();
 
         let mut ev_a = tiny_evaluator();
@@ -247,7 +509,8 @@ mod tests {
     fn fault_injection_fires_without_consuming_rng() {
         let plan = FaultPlan {
             entries: vec![FaultEntry {
-                sampler: Some("SA".into()),
+                sampler: Some(SamplerKind::Sa),
+                backend: None,
                 read: Some(0),
                 fail_attempts: Some(1),
                 kind: FaultKind::Transient,
@@ -259,11 +522,7 @@ mod tests {
         let mut ev = tiny_evaluator();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut obs = ReadObserver::disabled();
-        let req = SubmitRequest {
-            read: 0,
-            attempt: 0,
-            sampler: SamplerKind::Sa,
-        };
+        let req = request(0, 0);
         let err = backend
             .submit(&req, &run, &mut ev, &mut rng, &mut obs)
             .unwrap_err();
@@ -272,11 +531,7 @@ mod tests {
         // The failed attempt drew nothing: the next attempt's stream is the
         // pristine seed-5 stream.
         let mut fresh = ChaCha8Rng::seed_from_u64(5);
-        let retry_req = SubmitRequest {
-            read: 0,
-            attempt: 1,
-            sampler: SamplerKind::Sa,
-        };
+        let retry_req = request(0, 1);
         let retried = backend
             .submit(&retry_req, &run, &mut ev, &mut rng, &mut obs)
             .unwrap();
@@ -297,5 +552,91 @@ mod tests {
             SubmitError::Malformed.to_string(),
             "backend returned a malformed sample set"
         );
+    }
+
+    #[test]
+    fn backend_ids_compare_by_name_across_representations() {
+        let a = BackendId::from_static("qpu");
+        let b = BackendId::new("qpu");
+        assert_eq!(a, b);
+        assert_eq!(a, "qpu");
+        assert_ne!(b, "QPU"); // identities are case-sensitive
+        assert_eq!(b.to_string(), "qpu");
+        use std::collections::HashSet;
+        let set: HashSet<BackendId> = [a, b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn default_profile_is_the_neutral_legacy_envelope() {
+        let p = BackendProfile::default();
+        assert_eq!(p.latency_per_proposal, 1);
+        assert_eq!(p.cost_per_read, 1.0);
+        assert_eq!(p.reliability, ReliabilityClass::Reliable);
+        assert_eq!(p.deadline_proposals, None);
+        assert_eq!(InProcessBackend.profile(), p);
+        assert_eq!(ReliabilityClass::Flaky.as_str(), "flaky");
+        assert_eq!(ReliabilityClass::BestEffort.as_str(), "best-effort");
+    }
+
+    #[test]
+    fn profiled_backend_reroutes_identity_but_delegates_faults() {
+        // A plan keyed on the outer id "qpu" must fire through the adaptor.
+        let plan = FaultPlan {
+            entries: vec![FaultEntry {
+                sampler: None,
+                backend: Some("qpu".into()),
+                read: None,
+                fail_attempts: None,
+                kind: FaultKind::Timeout,
+            }],
+        };
+        let qpu = ProfiledBackend::new(
+            BackendId::new("qpu"),
+            BackendProfile {
+                latency_per_proposal: 2,
+                cost_per_read: 5.0,
+                reliability: ReliabilityClass::Flaky,
+                deadline_proposals: Some(1_000),
+            },
+            Arc::new(FaultInjectingBackend::new(plan)),
+        );
+        assert_eq!(qpu.id(), "qpu");
+        assert_eq!(qpu.profile().cost_per_read, 5.0);
+
+        let req = SubmitRequest {
+            read: 3,
+            attempt: 0,
+            sampler: SamplerKind::Sqa,
+            backend: qpu.id(),
+        };
+        assert_eq!(qpu.decide(&req), Err(SubmitError::Timeout));
+
+        // The same request addressed to a different backend id passes.
+        let other = SubmitRequest {
+            backend: BackendId::new("fast"),
+            ..req
+        };
+        assert_eq!(qpu.decide(&other), Ok(()));
+    }
+
+    #[test]
+    fn pool_accessors_and_lookup() {
+        let pool = BackendPool::new(vec![
+            Arc::new(InProcessBackend),
+            Arc::new(ProfiledBackend::new(
+                BackendId::new("strong"),
+                BackendProfile::default(),
+                Arc::new(InProcessBackend),
+            )),
+        ]);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.member(1).id(), "strong");
+        assert_eq!(pool.find(&BackendId::new("strong")), Some(1));
+        assert_eq!(pool.find(&BackendId::new("missing")), None);
+        let default = BackendPool::default();
+        assert_eq!(default.len(), 1);
+        assert_eq!(default.member(0).id(), IN_PROCESS_BACKEND_ID);
     }
 }

@@ -4,8 +4,9 @@
 //! time out, fail transiently, or return garbage. The in-process portfolio
 //! never exhibits those failure modes on its own, so this module provides a
 //! [`FaultPlan`]: a declarative, *seed-free* schedule of injected faults
-//! keyed on `(sampler, read index, attempt)`. Because the decision path
-//! consults only those three values — no wall clock, no entropy — a faulty
+//! keyed on `(sampler, backend, read index, attempt)`. Because the decision
+//! path consults only those typed values — no wall clock, no entropy, and
+//! since the federation redesign no per-decision `String` either — a faulty
 //! run is exactly as reproducible as a clean one, which is what lets
 //! `scripts/check_faults.sh` diff two identically-seeded faulty runs.
 //!
@@ -18,12 +19,16 @@
 //! ```json
 //! [
 //!   {"sampler": "SQA", "fail_attempts": 1, "kind": "transient"},
+//!   {"backend": "qpu", "kind": "timeout"},
 //!   {"read": 3, "kind": "timeout"}
 //! ]
 //! ```
 //!
 //! * `sampler` — sampler name (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`,
-//!   case-insensitive); omitted = every sampler.
+//!   case-insensitive); omitted = every sampler. Parsed into a typed
+//!   [`SamplerKind`] up front, so matching allocates nothing.
+//! * `backend` — pool-member id the entry targets (case-insensitive);
+//!   omitted = every backend.
 //! * `read` — read index within the solve; omitted = every read.
 //! * `fail_attempts` — the fault fires on attempts `0..fail_attempts`, so
 //!   the entry models a backend that recovers after that many retries;
@@ -35,8 +40,8 @@
 
 use std::fmt;
 
-/// Sampler names a plan entry may target (matched case-insensitively).
-const KNOWN_SAMPLERS: [&str; 4] = ["SA", "SQA", "TABU", "PT"];
+use crate::backend::BackendId;
+use crate::hybrid::SamplerKind;
 
 /// The failure mode an injected fault simulates. Mirrors the variants of
 /// `SubmitError` the backend surfaces to the solver.
@@ -86,8 +91,11 @@ impl fmt::Display for FaultKind {
 /// wildcards (see the module docs for the JSON spelling).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEntry {
-    /// Sampler name the entry targets; `None` = every sampler.
-    pub sampler: Option<String>,
+    /// Sampler the entry targets; `None` = every sampler.
+    pub sampler: Option<SamplerKind>,
+    /// Backend id the entry targets (matched case-insensitively);
+    /// `None` = every backend.
+    pub backend: Option<String>,
     /// Read index the entry targets; `None` = every read.
     pub read: Option<usize>,
     /// Fault fires on attempts `0..fail_attempts`; `None` = every attempt.
@@ -97,9 +105,20 @@ pub struct FaultEntry {
 }
 
 impl FaultEntry {
-    fn matches(&self, sampler: &str, read: usize, attempt: u32) -> bool {
-        if let Some(s) = &self.sampler {
-            if !s.eq_ignore_ascii_case(sampler) {
+    fn matches(
+        &self,
+        sampler: SamplerKind,
+        backend: &BackendId,
+        read: usize,
+        attempt: u32,
+    ) -> bool {
+        if let Some(s) = self.sampler {
+            if s != sampler {
+                return false;
+            }
+        }
+        if let Some(b) = &self.backend {
+            if !b.eq_ignore_ascii_case(backend.as_str()) {
                 return false;
             }
         }
@@ -116,8 +135,8 @@ impl FaultEntry {
 }
 
 /// A deterministic fault schedule: an ordered list of [`FaultEntry`]s
-/// consulted first-match-wins for every `(sampler, read, attempt)` triple.
-/// The default plan is empty (no faults).
+/// consulted first-match-wins for every `(sampler, backend, read, attempt)`
+/// tuple. The default plan is empty (no faults).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// The schedule, in priority order.
@@ -131,6 +150,7 @@ impl FaultPlan {
         Self {
             entries: vec![FaultEntry {
                 sampler: None,
+                backend: None,
                 read: None,
                 fail_attempts: None,
                 kind,
@@ -144,11 +164,18 @@ impl FaultPlan {
     }
 
     /// The fault (if any) to inject for attempt `attempt` of read `read`
-    /// on sampler `sampler`. First matching entry wins.
-    pub fn fault_for(&self, sampler: &str, read: usize, attempt: u32) -> Option<FaultKind> {
+    /// on `sampler` dispatched to `backend`. First matching entry wins.
+    /// Allocation-free: this runs once per retry decision in the hot path.
+    pub fn fault_for(
+        &self,
+        sampler: SamplerKind,
+        backend: &BackendId,
+        read: usize,
+        attempt: u32,
+    ) -> Option<FaultKind> {
         self.entries
             .iter()
-            .find(|e| e.matches(sampler, read, attempt))
+            .find(|e| e.matches(sampler, backend, read, attempt))
             .map(|e| e.kind)
     }
 
@@ -184,16 +211,6 @@ impl FaultPlan {
         p.skip_ws();
         if p.peek().is_some() {
             return Err("trailing characters after fault plan".into());
-        }
-        for e in &entries {
-            if let Some(s) = &e.sampler {
-                if !KNOWN_SAMPLERS.iter().any(|k| k.eq_ignore_ascii_case(s)) {
-                    return Err(format!(
-                        "unknown sampler '{s}' (expected one of {})",
-                        KNOWN_SAMPLERS.join(", ")
-                    ));
-                }
-            }
         }
         Ok(Self { entries })
     }
@@ -323,6 +340,7 @@ impl<'a> Parser<'a> {
     fn parse_entry(&mut self) -> Result<FaultEntry, String> {
         self.expect_byte(b'{')?;
         let mut sampler = None;
+        let mut backend = None;
         let mut read = None;
         let mut fail_attempts = None;
         let mut kind = None;
@@ -341,7 +359,21 @@ impl<'a> Parser<'a> {
                     if self.peek() == Some(b'n') {
                         self.parse_null()?;
                     } else {
-                        sampler = Some(self.parse_string()?);
+                        let name = self.parse_string()?;
+                        sampler = Some(SamplerKind::parse(&name).ok_or_else(|| {
+                            format!("unknown sampler '{name}' (expected one of SA, SQA, TABU, PT)")
+                        })?);
+                    }
+                }
+                "backend" => {
+                    if self.peek() == Some(b'n') {
+                        self.parse_null()?;
+                    } else {
+                        let name = self.parse_string()?;
+                        if name.is_empty() {
+                            return Err("fault-plan backend id must not be empty".into());
+                        }
+                        backend = Some(name);
                     }
                 }
                 "read" => {
@@ -365,7 +397,7 @@ impl<'a> Parser<'a> {
                 other => {
                     return Err(format!(
                         "unknown fault-plan key '{other}' \
-                         (expected sampler, read, fail_attempts, or kind)"
+                         (expected sampler, backend, read, fail_attempts, or kind)"
                     ))
                 }
             }
@@ -382,6 +414,7 @@ impl<'a> Parser<'a> {
         let kind = kind.ok_or("fault-plan entry missing required key 'kind'")?;
         Ok(FaultEntry {
             sampler,
+            backend,
             read,
             fail_attempts,
             kind,
@@ -393,21 +426,30 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
+    fn any_backend() -> BackendId {
+        BackendId::from_static("in-process")
+    }
+
     #[test]
     fn empty_plan_never_faults() {
         let plan = FaultPlan::default();
         assert!(plan.is_empty());
-        assert_eq!(plan.fault_for("SA", 0, 0), None);
+        assert_eq!(plan.fault_for(SamplerKind::Sa, &any_backend(), 0, 0), None);
     }
 
     #[test]
     fn permanent_plan_faults_everything() {
         let plan = FaultPlan::permanent(FaultKind::Crash);
-        for sampler in ["SA", "SQA", "TABU", "PT"] {
+        for sampler in [
+            SamplerKind::Sa,
+            SamplerKind::Sqa,
+            SamplerKind::Tabu,
+            SamplerKind::Pt,
+        ] {
             for read in [0, 7, 1000] {
                 for attempt in [0, 3] {
                     assert_eq!(
-                        plan.fault_for(sampler, read, attempt),
+                        plan.fault_for(sampler, &any_backend(), read, attempt),
                         Some(FaultKind::Crash)
                     );
                 }
@@ -425,13 +467,43 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.entries[0].sampler, Some(SamplerKind::Sqa));
+        let b = any_backend();
         // SQA faults only on attempt 0 (recovers under retry).
-        assert_eq!(plan.fault_for("SQA", 5, 0), Some(FaultKind::Transient));
-        assert_eq!(plan.fault_for("sqa", 5, 0), Some(FaultKind::Transient));
-        assert_eq!(plan.fault_for("SQA", 5, 1), None);
+        assert_eq!(
+            plan.fault_for(SamplerKind::Sqa, &b, 5, 0),
+            Some(FaultKind::Transient)
+        );
+        assert_eq!(plan.fault_for(SamplerKind::Sqa, &b, 5, 1), None);
         // Read 3 times out for every sampler and attempt.
-        assert_eq!(plan.fault_for("SA", 3, 2), Some(FaultKind::Timeout));
-        assert_eq!(plan.fault_for("SA", 4, 0), None);
+        assert_eq!(
+            plan.fault_for(SamplerKind::Sa, &b, 3, 2),
+            Some(FaultKind::Timeout)
+        );
+        assert_eq!(plan.fault_for(SamplerKind::Sa, &b, 4, 0), None);
+    }
+
+    #[test]
+    fn sampler_names_parse_case_insensitively() {
+        let plan = FaultPlan::from_json(r#"[{"sampler": "sqa", "kind": "crash"}]"#).unwrap();
+        assert_eq!(plan.entries[0].sampler, Some(SamplerKind::Sqa));
+    }
+
+    #[test]
+    fn backend_key_narrows_entries_to_one_pool_member() {
+        let plan = FaultPlan::from_json(r#"[{"backend": "qpu", "kind": "timeout"}]"#).unwrap();
+        let qpu = BackendId::new("qpu");
+        let fast = BackendId::new("fast");
+        assert_eq!(
+            plan.fault_for(SamplerKind::Sa, &qpu, 0, 0),
+            Some(FaultKind::Timeout)
+        );
+        // Ids match case-insensitively, like sampler names.
+        assert_eq!(
+            plan.fault_for(SamplerKind::Sa, &BackendId::new("QPU"), 0, 0),
+            Some(FaultKind::Timeout)
+        );
+        assert_eq!(plan.fault_for(SamplerKind::Sa, &fast, 0, 0), None);
     }
 
     #[test]
@@ -439,19 +511,29 @@ mod tests {
         let plan =
             FaultPlan::from_json(r#"[{"sampler": "SA", "kind": "crash"}, {"kind": "timeout"}]"#)
                 .unwrap();
-        assert_eq!(plan.fault_for("SA", 0, 0), Some(FaultKind::Crash));
-        assert_eq!(plan.fault_for("TABU", 0, 0), Some(FaultKind::Timeout));
+        let b = any_backend();
+        assert_eq!(
+            plan.fault_for(SamplerKind::Sa, &b, 0, 0),
+            Some(FaultKind::Crash)
+        );
+        assert_eq!(
+            plan.fault_for(SamplerKind::Tabu, &b, 0, 0),
+            Some(FaultKind::Timeout)
+        );
     }
 
     #[test]
     fn parses_entries_wrapper_and_nulls() {
         let plan = FaultPlan::from_json(
-            r#"{"entries": [{"sampler": null, "read": null, "fail_attempts": null,
-                             "kind": "malformed"}]}"#,
+            r#"{"entries": [{"sampler": null, "backend": null, "read": null,
+                             "fail_attempts": null, "kind": "malformed"}]}"#,
         )
         .unwrap();
         assert_eq!(plan.entries.len(), 1);
-        assert_eq!(plan.fault_for("PT", 9, 4), Some(FaultKind::Malformed));
+        assert_eq!(
+            plan.fault_for(SamplerKind::Pt, &any_backend(), 9, 4),
+            Some(FaultKind::Malformed)
+        );
     }
 
     #[test]
@@ -462,6 +544,10 @@ mod tests {
             (
                 "[{\"sampler\": \"QPU9000\", \"kind\": \"crash\"}]",
                 "unknown sampler",
+            ),
+            (
+                "[{\"backend\": \"\", \"kind\": \"crash\"}]",
+                "must not be empty",
             ),
             ("[{\"read\": 0}]", "missing required key 'kind'"),
             (

@@ -53,8 +53,9 @@ use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
 use qlrb_model::penalty::{PenaltyConfig, PenaltyStyle};
 use qlrb_model::presolve::{presolve, Presolve};
 use qlrb_telemetry::{
-    FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, NoopSink, ReadObserver,
-    ReadRecord, SolveRecord, SolverConfig, TimingRecord, TraceSink, WaveAllocation, WaveRecord,
+    BackendUsageRecord, FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, NoopSink,
+    ReadObserver, ReadRecord, SolveRecord, SolverConfig, TimingRecord, TraceSink, WaveAllocation,
+    WaveRecord,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -62,7 +63,10 @@ use rayon::prelude::*;
 
 use qlrb_model::batch::{BatchedEvaluator, MAX_LANES};
 
-use crate::backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitRequest};
+use crate::backend::{
+    Backend, BackendId, BackendPool, BackendProfile, FaultInjectingBackend, SubmitError,
+    SubmitRequest,
+};
 use crate::batch::{
     batched_annealing, batched_descent, batched_sqa, batched_tabu, BatchedSqaParams,
 };
@@ -90,6 +94,24 @@ pub enum SamplerKind {
     /// Parallel tempering (replica exchange) — extension, not in the
     /// default portfolio.
     Pt,
+}
+
+impl SamplerKind {
+    /// Parses a sampler name (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`,
+    /// case-insensitive); `None` for anything else.
+    pub fn parse(name: &str) -> Option<Self> {
+        if name.eq_ignore_ascii_case("SA") {
+            Some(Self::Sa)
+        } else if name.eq_ignore_ascii_case("SQA") {
+            Some(Self::Sqa)
+        } else if name.eq_ignore_ascii_case("TABU") {
+            Some(Self::Tabu)
+        } else if name.eq_ignore_ascii_case("PT") {
+            Some(Self::Pt)
+        } else {
+            None
+        }
+    }
 }
 
 impl std::fmt::Display for SamplerKind {
@@ -126,6 +148,13 @@ pub enum SolverBuildError {
     /// kernel keeps the replica ring in one `u64` lane word, so
     /// `sqa_replicas` must fit the lane count.
     BatchedReplicasExceedLanes,
+    /// `backends(...)` was given a pool with no members: the solver would
+    /// have nowhere to dispatch reads.
+    EmptyBackendPool,
+    /// Two pool members share a [`crate::backend::BackendId`]; fault plans,
+    /// telemetry, and accounting key on the id, so duplicates would
+    /// silently merge two backends' stories.
+    DuplicateBackendId,
 }
 
 impl std::fmt::Display for SolverBuildError {
@@ -148,6 +177,10 @@ impl std::fmt::Display for SolverBuildError {
                 "batched mode packs the SQA replica ring into 64 bitset lanes; \
                  sqa_replicas must be at most 64"
             ),
+            Self::EmptyBackendPool => write!(f, "backend pool must have at least one member"),
+            Self::DuplicateBackendId => {
+                write!(f, "backend pool members must have distinct ids")
+            }
         }
     }
 }
@@ -269,10 +302,18 @@ pub struct HybridCqmSolver {
     scheduler: SchedulerConfig,
     /// Telemetry sink; [`NoopSink`] disables all record collection.
     sink: Arc<dyn TraceSink>,
-    /// Submission boundary every read goes through. The default
-    /// [`InProcessBackend`] never fails; a [`FaultInjectingBackend`]
-    /// exercises the retry/degradation paths deterministically.
-    backend: Arc<dyn Backend>,
+    /// Submission boundary every read goes through: an ordered pool of
+    /// heterogeneous backends. The default is a one-member pool holding the
+    /// never-failing [`crate::backend::InProcessBackend`], which keeps the
+    /// solve byte-identical to the pre-federation solver; multi-member
+    /// pools federate reads across (sampler, backend) pairs, retry across
+    /// members, and may race stragglers when `speculate` is on.
+    pool: BackendPool,
+    /// Speculative dispatch: when a pool member declares a straggler
+    /// deadline (or a submission times out) and a second member is
+    /// available, race a duplicate of the read there, take the first
+    /// success, and cancel the loser without charging it.
+    speculate: bool,
     /// Submission retries allowed per read after its first failure.
     max_retries: u32,
     /// Per-read deadline on the deterministic proposal-count virtual
@@ -305,7 +346,8 @@ impl Default for HybridCqmSolver {
             lint: LintMode::Warn,
             scheduler: SchedulerConfig::default(),
             sink: Arc::new(NoopSink),
-            backend: Arc::new(InProcessBackend),
+            pool: BackendPool::default(),
+            speculate: false,
             max_retries: 2,
             read_deadline_proposals: None,
             batched: false,
@@ -455,18 +497,47 @@ impl HybridSolverBuilder {
         self
     }
 
-    /// Replaces the sampler backend (the default [`InProcessBackend`]
-    /// never fails).
-    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
-        self.cfg.backend = backend;
+    /// Replaces the backend pool. This is the primary federation entry
+    /// point: each member carries a [`crate::backend::BackendId`] and a
+    /// declared [`crate::backend::BackendProfile`]; the scheduler allocates
+    /// reads across (sampler, backend) pairs and retries walk the pool in
+    /// member order. A one-member pool is byte-identical to the legacy
+    /// single-backend path (regression-tested).
+    pub fn backends(mut self, pool: BackendPool) -> Self {
+        self.cfg.pool = pool;
         self
     }
 
-    /// Routes every read through a [`FaultInjectingBackend`] driving the
-    /// given deterministic fault schedule. An empty plan behaves exactly
-    /// like the default backend.
+    /// Wraps a single backend into a one-member pool.
+    ///
+    /// Deprecated-equivalent: superseded by
+    /// [`backends`](Self::backends); kept as a shim so pre-federation
+    /// callers keep compiling and solving byte-identically.
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.cfg.pool = BackendPool::single(backend);
+        self
+    }
+
+    /// Routes every read through a one-member pool holding a
+    /// [`FaultInjectingBackend`] driving the given deterministic fault
+    /// schedule. An empty plan behaves exactly like the default backend.
+    ///
+    /// Deprecated-equivalent: superseded by
+    /// [`backends`](Self::backends) with an explicit pool; kept as a shim
+    /// for pre-federation callers and the `--fault-plan` CLI flag.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.cfg.backend = Arc::new(FaultInjectingBackend::new(plan));
+        self.cfg.pool = BackendPool::single(Arc::new(FaultInjectingBackend::new(plan)));
+        self
+    }
+
+    /// Enables speculative dispatch: a read that exceeds its backend's
+    /// declared straggler deadline (or observes an injected timeout) is
+    /// raced on the next pool member; the first success wins and the loser
+    /// is cancelled with no cost or QPU charge. Arbitration happens on the
+    /// deterministic virtual clock *before* any sampler runs, so racing
+    /// never perturbs RNG streams. No-op on one-member pools.
+    pub fn speculate(mut self, speculate: bool) -> Self {
+        self.cfg.speculate = speculate;
         self
     }
 
@@ -530,6 +601,16 @@ impl HybridSolverBuilder {
         // only the upper bound can be violated).
         if cfg.batched && cfg.sqa_replicas > MAX_LANES {
             return Err(SolverBuildError::BatchedReplicasExceedLanes);
+        }
+        if cfg.pool.is_empty() {
+            return Err(SolverBuildError::EmptyBackendPool);
+        }
+        for (i, a) in cfg.pool.members().iter().enumerate() {
+            for b in cfg.pool.members().iter().skip(i + 1) {
+                if a.id() == b.id() {
+                    return Err(SolverBuildError::DuplicateBackendId);
+                }
+            }
         }
         Ok(cfg)
     }
@@ -629,9 +710,20 @@ impl HybridCqmSolver {
         &self.sink
     }
 
-    /// The sampler backend reads are submitted through.
+    /// The backend pool reads are federated across.
+    pub fn backend_pool(&self) -> &BackendPool {
+        &self.pool
+    }
+
+    /// The primary backend (first pool member) — the whole story for
+    /// single-backend configurations.
     pub fn backend(&self) -> &Arc<dyn Backend> {
-        &self.backend
+        self.pool.member(0)
+    }
+
+    /// Whether speculative straggler racing is enabled.
+    pub fn speculates(&self) -> bool {
+        self.speculate
     }
 
     /// Submission retries allowed per read.
@@ -683,7 +775,14 @@ impl HybridCqmSolver {
             elite_fraction: self.scheduler.elite_fraction,
             max_retries: self.max_retries,
             read_deadline_proposals: self.read_deadline_proposals,
-            backend: self.backend.name().to_string(),
+            backend: self.pool.member(0).id().to_string(),
+            backends: self
+                .pool
+                .members()
+                .iter()
+                .map(|b| b.id().to_string())
+                .collect(),
+            speculate: self.speculate,
             batched: self.batched,
             batch_width: self.batch_width(),
             kernel: if self.batched { "batched" } else { "scalar" }.to_string(),
@@ -786,6 +885,7 @@ impl HybridCqmSolver {
                     requested_reads: self.num_reads,
                     reads: Vec::new(),
                     failed_reads: Vec::new(),
+                    backend_usage: Vec::new(),
                     waves: Vec::new(),
                     termination: TerminationReason::FastExit.as_str().to_string(),
                     timing: timing_record(&set.timing),
@@ -825,10 +925,14 @@ impl HybridCqmSolver {
                 None => {
                     let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
                     let slots: Vec<WaveSlot> = (0..self.num_reads)
-                        .map(|r| WaveSlot {
-                            read: r,
-                            sampler: self.rotation_sampler(r),
-                            initial: seeds.get(r).cloned(),
+                        .map(|r| {
+                            let (sampler, backend) = self.rotation_slot(r);
+                            WaveSlot {
+                                read: r,
+                                sampler,
+                                backend,
+                                initial: seeds.get(r).cloned(),
+                            }
                         })
                         .collect();
                     let out = self.run_wave(cqm.num_vars(), &compiled, slots, tracing);
@@ -867,10 +971,14 @@ impl HybridCqmSolver {
                         let end = (next + wave).min(self.num_reads);
                         let wave_start = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
                         let slots: Vec<WaveSlot> = (next..end)
-                            .map(|r| WaveSlot {
-                                read: r,
-                                sampler: self.rotation_sampler(r),
-                                initial: seeds.get(r).cloned(),
+                            .map(|r| {
+                                let (sampler, backend) = self.rotation_slot(r);
+                                WaveSlot {
+                                    read: r,
+                                    sampler,
+                                    backend,
+                                    initial: seeds.get(r).cloned(),
+                                }
                             })
                             .collect();
                         let batch = self.run_wave(cqm.num_vars(), &compiled, slots, tracing);
@@ -967,12 +1075,14 @@ impl HybridCqmSolver {
         };
         set.sort();
         if tracing {
+            let backend_usage = self.backend_usage(&reads, &failed_reads);
             self.sink.record_solve(SolveRecord {
                 num_vars: width,
                 compiled_vars: compiled.num_vars(),
                 requested_reads: self.num_reads,
                 reads,
                 failed_reads,
+                backend_usage,
                 waves,
                 termination: termination.as_str().to_string(),
                 timing: timing_record(&set.timing),
@@ -991,6 +1101,86 @@ impl HybridCqmSolver {
         } else {
             self.samplers[read_index % self.samplers.len()]
         }
+    }
+
+    /// The federated rotation: reads cycle through the cartesian product of
+    /// portfolio samplers × pool members, samplers fastest. Member `m`
+    /// decomposes as sampler `m % s`, backend `m / s` — with a one-member
+    /// pool this collapses to the legacy [`rotation_sampler`] rotation with
+    /// every read on backend 0, keeping single-backend solves byte-identical.
+    ///
+    /// [`rotation_sampler`]: Self::rotation_sampler
+    fn rotation_slot(&self, read_index: usize) -> (SamplerKind, usize) {
+        let s = self.samplers.len().max(1);
+        let m = read_index % (s * self.pool.len());
+        (self.rotation_sampler(m % s), m / s)
+    }
+
+    /// Folds the per-read trace records into one [`BackendUsageRecord`] per
+    /// pool member (in dispatch order): reads won, failed attempts charged,
+    /// speculative wins, cancelled in-flight attempts, the declared
+    /// cost-per-read × reads actually charged, and the QPU access time
+    /// attributed to SQA reads that backend served. A cancelled straggler is
+    /// counted but never charged — its read (and its QPU time) belongs to
+    /// the backend that won the race.
+    fn backend_usage(
+        &self,
+        reads: &[ReadRecord],
+        failed: &[FailedReadRecord],
+    ) -> Vec<BackendUsageRecord> {
+        let sqa = SamplerKind::Sqa.to_string();
+        let mut usage: Vec<BackendUsageRecord> = self
+            .pool
+            .members()
+            .iter()
+            .map(|b| BackendUsageRecord {
+                backend: b.id().to_string(),
+                reads: 0,
+                failed_attempts: 0,
+                speculative: 0,
+                cancelled: 0,
+                cost: 0.0,
+                qpu_ms: 0.0,
+            })
+            .collect();
+        fn entry<'a>(
+            usage: &'a mut [BackendUsageRecord],
+            name: &str,
+        ) -> Option<&'a mut BackendUsageRecord> {
+            usage.iter_mut().find(|u| u.backend == name)
+        }
+        for rec in reads {
+            if let Some(u) = entry(&mut usage, &rec.backend) {
+                u.reads += 1;
+                if rec.speculated {
+                    u.speculative += 1;
+                }
+                if rec.sampler == sqa {
+                    u.qpu_ms += 4.0;
+                }
+            }
+            if let Some(loser) = &rec.cancelled_backend {
+                if let Some(u) = entry(&mut usage, loser) {
+                    u.cancelled += 1;
+                }
+            }
+            for fault in &rec.faults {
+                if let Some(u) = entry(&mut usage, &fault.backend) {
+                    u.failed_attempts += 1;
+                }
+            }
+        }
+        for fr in failed {
+            for fault in &fr.faults {
+                if let Some(u) = entry(&mut usage, &fault.backend) {
+                    u.failed_attempts += 1;
+                }
+            }
+        }
+        for (u, b) in usage.iter_mut().zip(self.pool.members()) {
+            u.cost = u.reads as f64 * b.profile().cost_per_read;
+        }
+        usage
     }
 
     /// The adaptive wave loop (`early_stop` and/or `adaptive` enabled): a
@@ -1012,11 +1202,20 @@ impl HybridCqmSolver {
         tracing: bool,
     ) -> ScheduledRun {
         let width = cqm.num_vars();
-        let members: Vec<SamplerKind> = if self.samplers.is_empty() {
+        // Scheduler members are the cartesian product of portfolio samplers
+        // × pool backends (samplers fastest): member `m` runs sampler
+        // `m % s` on pool member `m / s`, mirroring `rotation_slot`. The
+        // bandit thus learns per-(sampler, backend) feasible-hit rates and
+        // improvements, and divides its weights by each backend's declared
+        // cost-per-read — reads drift toward the cheapest backend that
+        // still delivers. A one-member pool with the default unit cost
+        // collapses to the legacy sampler-only bandit.
+        let samplers: Vec<SamplerKind> = if self.samplers.is_empty() {
             vec![SamplerKind::Sa]
         } else {
             self.samplers.clone()
         };
+        let num_members = samplers.len() * self.pool.len();
         // Presolve proved everything (or the model is unsatisfiable as
         // bounded): no read can beat the trivial incumbent.
         let trivial = pre.infeasible || compiled.active_vars().is_empty();
@@ -1026,11 +1225,12 @@ impl HybridCqmSolver {
         // never straddles two members, and auto wave sizing scales up so
         // every member can fill a group.
         sched_cfg.lane_width = self.batch_width();
-        let mut scheduler = PortfolioScheduler::new(
-            sched_cfg,
-            members.len(),
-            objective_lower_bound(cqm),
-            trivial,
+        let mut scheduler =
+            PortfolioScheduler::new(sched_cfg, num_members, objective_lower_bound(cqm), trivial);
+        scheduler.set_member_costs(
+            (0..num_members)
+                .map(|m| self.pool.member(m / samplers.len()).profile().cost_per_read)
+                .collect(),
         );
         let mut out = Vec::with_capacity(self.num_reads);
         let mut waves: Vec<WaveRecord> = Vec::new();
@@ -1064,7 +1264,8 @@ impl HybridCqmSolver {
                     let initial = seeds.get(r).or_else(|| plan.elite_seeds.get(i)).cloned();
                     WaveSlot {
                         read: r,
-                        sampler: members[m],
+                        sampler: samplers[m % samplers.len()],
+                        backend: m / samplers.len(),
                         initial,
                     }
                 })
@@ -1134,87 +1335,76 @@ impl HybridCqmSolver {
         (out, waves, termination, failed)
     }
 
-    /// One independent read, with retry: submission attempts go through the
-    /// configured [`Backend`]; a failed attempt is retried after a
-    /// deterministic exponential backoff charged to the proposal-count
-    /// virtual clock, until the retry budget (or the per-read deadline) is
-    /// exhausted — at which point the read yields a [`FailedReadRecord`]
-    /// instead of a sample.
+    /// One independent read: [`decide_read`] arbitrates the retry loop
+    /// across the backend pool (backoff, deadlines, backend rotation,
+    /// speculation) and the granted attempt runs once on the winning
+    /// member. A read whose retry budget (or per-read deadline) is
+    /// exhausted yields a [`FailedReadRecord`] instead of a sample.
     ///
     /// Attempt 0 draws from the legacy per-read RNG stream, so a solve
     /// whose first attempts all succeed (in particular any solve on the
-    /// default backend) is byte-identical to the pre-backend solver.
-    /// Retries re-derive a distinct stream from the read seed and the
-    /// attempt index — still a pure function of the master seed.
+    /// default single-member pool) is byte-identical to the pre-backend
+    /// solver. Retries re-derive a distinct stream from the read seed and
+    /// the attempt index — still a pure function of the master seed.
+    ///
+    /// [`decide_read`]: Self::decide_read
     fn run_read(
         &self,
         cqm_width: usize,
         compiled: &Arc<CompiledCqm>,
         read_index: usize,
         sampler: SamplerKind,
+        slot_backend: usize,
         initial: Option<&[u8]>,
         tracing: bool,
     ) -> Result<ReadOutcome, FailedReadRecord> {
-        let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
         let mut sampler = sampler;
         if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
             sampler = SamplerKind::Sa;
         }
-        // One attempt costs about sweeps × width proposals on the virtual
-        // clock (the same deterministic CPU proxy the scheduler uses).
-        let attempt_cost = (self.sweeps as u64)
-            .saturating_mul(compiled.num_vars() as u64)
-            .max(1);
-        let deadline = self.read_deadline_proposals.unwrap_or(u64::MAX);
-        let mut spent: u64 = 0;
-        let mut backoff_total: u64 = 0;
-        let mut faults: Vec<FaultRecord> = Vec::new();
-        for attempt in 0..=self.max_retries {
-            if attempt > 0 {
-                let backoff = BACKOFF_BASE_PROPOSALS.saturating_mul(1u64 << (attempt - 1).min(20));
-                if spent.saturating_add(backoff).saturating_add(attempt_cost) > deadline {
-                    break;
+        let grant = self.decide_read(compiled, read_index, sampler, slot_backend)?;
+        let backend = self.pool.member(grant.backend);
+        match self.attempt_read(
+            cqm_width,
+            compiled,
+            read_index,
+            grant.attempt,
+            grant.attempt_seed,
+            sampler,
+            backend,
+            initial,
+            tracing,
+        ) {
+            Ok(mut outcome) => {
+                if let Some(rec) = &mut outcome.record {
+                    rec.attempts = grant.attempt + 1;
+                    rec.backoff_proposals = grant.backoff_proposals;
+                    rec.faults = grant.faults;
+                    rec.backend = backend.id().to_string();
+                    rec.speculated = grant.speculated;
+                    rec.cancelled_backend = grant.cancelled;
                 }
-                spent = spent.saturating_add(backoff);
-                backoff_total = backoff_total.saturating_add(backoff);
+                Ok(outcome)
             }
-            let attempt_seed = if attempt == 0 {
-                read_seed
-            } else {
-                read_seed ^ RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
-            };
-            match self.attempt_read(
-                cqm_width,
-                compiled,
-                read_index,
-                attempt,
-                attempt_seed,
-                sampler,
-                initial,
-                tracing,
-            ) {
-                Ok(mut outcome) => {
-                    if let Some(rec) = &mut outcome.record {
-                        rec.attempts = attempt + 1;
-                        rec.backoff_proposals = backoff_total;
-                        rec.faults = std::mem::take(&mut faults);
-                    }
-                    return Ok(outcome);
-                }
-                Err(e) => {
-                    faults.push(FaultRecord {
-                        attempt,
-                        error: e.to_string(),
-                    });
-                    spent = spent.saturating_add(attempt_cost);
-                }
+            // The shipped backends' `submit` verdict matches the `decide`
+            // grant (both are pure in the request), so this arm only fires
+            // for a custom backend that disagrees with its own `decide` —
+            // which fails the read, as in the batched path.
+            Err(e) => {
+                let mut faults = grant.faults;
+                faults.push(FaultRecord {
+                    attempt: grant.attempt,
+                    backend: backend.id().to_string(),
+                    error: e.to_string(),
+                });
+                Err(FailedReadRecord {
+                    read: read_index,
+                    sampler: sampler.to_string(),
+                    backend: backend.id().to_string(),
+                    faults,
+                })
             }
         }
-        Err(FailedReadRecord {
-            read: read_index,
-            sampler: sampler.to_string(),
-            faults,
-        })
     }
 
     /// One submission attempt of a read: seed → sample (through the
@@ -1234,6 +1424,7 @@ impl HybridCqmSolver {
         attempt: u32,
         attempt_seed: u64,
         sampler: SamplerKind,
+        backend: &Arc<dyn Backend>,
         initial: Option<&[u8]>,
         tracing: bool,
     ) -> Result<ReadOutcome, crate::backend::SubmitError> {
@@ -1270,9 +1461,9 @@ impl HybridCqmSolver {
             read: read_index,
             attempt,
             sampler,
+            backend: backend.id(),
         };
-        let best_state = self
-            .backend
+        let best_state = backend
             .submit(&req, &run, &mut ev, &mut rng, &mut obs)?
             .state;
 
@@ -1330,6 +1521,7 @@ impl HybridCqmSolver {
                         compiled,
                         s.read,
                         s.sampler,
+                        s.backend,
                         s.initial.as_deref(),
                         tracing,
                     )
@@ -1362,7 +1554,7 @@ impl HybridCqmSolver {
             if sampler == SamplerKind::Tabu && compiled.num_vars() > self.tabu_max_vars {
                 sampler = SamplerKind::Sa;
             }
-            match self.decide_read(compiled, s.read, sampler) {
+            match self.decide_read(compiled, s.read, sampler, s.backend) {
                 Err(failed) => results[slot] = Some(Err(failed)),
                 Ok(grant) => {
                     let ticket = LaneTicket {
@@ -1425,20 +1617,42 @@ impl HybridCqmSolver {
             .collect()
     }
 
-    /// The batched counterpart of [`run_read`]'s retry loop: replays the
-    /// exact scalar backoff/deadline arithmetic but asks the backend to
-    /// *decide* each attempt instead of running it, stopping at the first
-    /// attempt the backend accepts. The surviving attempt's seed is the
-    /// same `(read, attempt)`-derived value the scalar path would use, so
-    /// fault plans hit and exhaust identical attempt identities.
+    /// The shared fault/dispatch arbiter behind both the scalar and batched
+    /// paths: replays the retry backoff/deadline arithmetic on the proposal
+    /// virtual clock, asking a backend to *decide* each attempt instead of
+    /// running it, and stops at the first attempt a backend accepts. The
+    /// surviving attempt's seed is the pure `(read, attempt)`-derived value
+    /// the pre-federation solver used, so fault plans hit and exhaust
+    /// identical attempt identities whatever the pool shape.
     ///
-    /// [`run_read`]: Self::run_read
+    /// Federation semantics:
+    ///
+    /// * Attempt `k` runs on pool member `(slot_backend + k) % pool_len` —
+    ///   retries rotate *across* backends, so a read stranded on a dead
+    ///   member recovers on the next one.
+    /// * An attempt's virtual cost is `sweeps × width ×` the backend's
+    ///   declared `latency_per_proposal`, so a per-read deadline admits
+    ///   fewer retries on slow backends (with the default unit latency this
+    ///   is exactly the legacy charge).
+    /// * Speculative dispatch (with [`speculate`] on and ≥ 2 members): an
+    ///   attempt is a *straggler* when its backend times out, or when the
+    ///   backend declares a `deadline_proposals` envelope its own attempt
+    ///   cost exceeds. A straggler's attempt is raced against a duplicate
+    ///   on the next pool member with the *same* attempt seed; the first
+    ///   success wins, the loser is cancelled and never charged — a timeout
+    ///   fault is recorded against the cancelled primary, but a merely-slow
+    ///   (deadline-triggered) primary that its hedge fails to beat keeps
+    ///   the grant with no fault at all.
+    ///
+    /// [`speculate`]: HybridCqmSolverBuilder::speculate
     fn decide_read(
         &self,
         compiled: &Arc<CompiledCqm>,
         read_index: usize,
         sampler: SamplerKind,
+        slot_backend: usize,
     ) -> Result<LaneGrant, FailedReadRecord> {
+        let pool_len = self.pool.len();
         let read_seed = self.seed.wrapping_add(read_index as u64 * 0x9e37);
         let attempt_cost = (self.sweeps as u64)
             .saturating_mul(compiled.num_vars() as u64)
@@ -1461,32 +1675,112 @@ impl HybridCqmSolver {
             } else {
                 read_seed ^ RETRY_SEED_SALT.wrapping_mul(u64::from(attempt))
             };
+            let primary = (slot_backend + attempt as usize) % pool_len;
+            let backend = self.pool.member(primary);
+            let profile = backend.profile();
+            let attempt_spend = attempt_cost.saturating_mul(profile.latency_per_proposal.max(1));
             let req = SubmitRequest {
                 read: read_index,
                 attempt,
                 sampler,
+                backend: backend.id(),
             };
-            match self.backend.decide(&req) {
+            let verdict = backend.decide(&req);
+            let timed_out = matches!(verdict, Err(SubmitError::Timeout));
+            let over_envelope = profile
+                .deadline_proposals
+                .is_some_and(|d| attempt_spend > d);
+            if (timed_out || over_envelope) && self.speculate && pool_len > 1 {
+                let hedge_idx = (primary + 1) % pool_len;
+                let hedge = self.pool.member(hedge_idx);
+                let hedge_req = SubmitRequest {
+                    read: read_index,
+                    attempt,
+                    sampler,
+                    backend: hedge.id(),
+                };
+                match hedge.decide(&hedge_req) {
+                    Ok(()) => {
+                        // The hedge wins the race: the straggling primary
+                        // attempt is cancelled in flight and never charged.
+                        if let Err(e) = verdict {
+                            faults.push(FaultRecord {
+                                attempt,
+                                backend: backend.id().to_string(),
+                                error: e.to_string(),
+                            });
+                        }
+                        return Ok(LaneGrant {
+                            attempt,
+                            attempt_seed,
+                            backoff_proposals: backoff_total,
+                            faults,
+                            backend: hedge_idx,
+                            speculated: true,
+                            cancelled: Some(backend.id().to_string()),
+                        });
+                    }
+                    Err(hedge_err) => match verdict {
+                        Ok(()) => {
+                            // The slow primary still finishes first.
+                            faults.push(FaultRecord {
+                                attempt,
+                                backend: hedge.id().to_string(),
+                                error: hedge_err.to_string(),
+                            });
+                            return Ok(LaneGrant {
+                                attempt,
+                                attempt_seed,
+                                backoff_proposals: backoff_total,
+                                faults,
+                                backend: primary,
+                                speculated: true,
+                                cancelled: None,
+                            });
+                        }
+                        Err(e) => {
+                            faults.push(FaultRecord {
+                                attempt,
+                                backend: backend.id().to_string(),
+                                error: e.to_string(),
+                            });
+                            faults.push(FaultRecord {
+                                attempt,
+                                backend: hedge.id().to_string(),
+                                error: hedge_err.to_string(),
+                            });
+                            spent = spent.saturating_add(attempt_spend);
+                        }
+                    },
+                }
+                continue;
+            }
+            match verdict {
                 Ok(()) => {
                     return Ok(LaneGrant {
                         attempt,
                         attempt_seed,
                         backoff_proposals: backoff_total,
                         faults,
+                        backend: primary,
+                        speculated: false,
+                        cancelled: None,
                     });
                 }
                 Err(e) => {
                     faults.push(FaultRecord {
                         attempt,
+                        backend: backend.id().to_string(),
                         error: e.to_string(),
                     });
-                    spent = spent.saturating_add(attempt_cost);
+                    spent = spent.saturating_add(attempt_spend);
                 }
             }
         }
         Err(FailedReadRecord {
             read: read_index,
             sampler: sampler.to_string(),
+            backend: self.pool.member(slot_backend % pool_len).id().to_string(),
             faults,
         })
     }
@@ -1626,9 +1920,17 @@ impl HybridCqmSolver {
                 obs.polish(polish_flips, pre - ev.energy());
                 (ev.state().to_vec(), ev.energy())
             };
+            let backend = self.pool.member(ticket.grant.backend).id().to_string();
             out.push((
                 ticket.slot,
-                Ok(finish_outcome(obs, ticket.grant, state, energy, kind)),
+                Ok(finish_outcome(
+                    obs,
+                    ticket.grant,
+                    backend,
+                    state,
+                    energy,
+                    kind,
+                )),
             ));
         }
         out
@@ -1687,11 +1989,13 @@ impl HybridCqmSolver {
         }
         let energy = ev.energy();
         let state = ev.state().to_vec();
+        let backend = self.pool.member(ticket.grant.backend).id().to_string();
         (
             ticket.slot,
             Ok(finish_outcome(
                 obs,
                 ticket.grant,
+                backend,
                 state,
                 energy,
                 SamplerKind::Sqa,
@@ -1716,6 +2020,7 @@ impl HybridCqmSolver {
             initial,
             grant,
         } = ticket;
+        let backend = self.pool.member(grant.backend);
         match self.attempt_read(
             cqm_width,
             compiled,
@@ -1723,6 +2028,7 @@ impl HybridCqmSolver {
             grant.attempt,
             grant.attempt_seed,
             SamplerKind::Pt,
+            backend,
             initial.as_deref(),
             tracing,
         ) {
@@ -1731,6 +2037,9 @@ impl HybridCqmSolver {
                     rec.attempts = grant.attempt + 1;
                     rec.backoff_proposals = grant.backoff_proposals;
                     rec.faults = grant.faults;
+                    rec.backend = backend.id().to_string();
+                    rec.speculated = grant.speculated;
+                    rec.cancelled_backend = grant.cancelled;
                 }
                 (slot, Ok(outcome))
             }
@@ -1738,6 +2047,7 @@ impl HybridCqmSolver {
                 let mut faults = grant.faults;
                 faults.push(FaultRecord {
                     attempt: grant.attempt,
+                    backend: backend.id().to_string(),
                     error: e.to_string(),
                 });
                 (
@@ -1745,6 +2055,7 @@ impl HybridCqmSolver {
                     Err(FailedReadRecord {
                         read,
                         sampler: SamplerKind::Pt.to_string(),
+                        backend: backend.id().to_string(),
                         faults,
                     }),
                 )
@@ -1782,11 +2093,13 @@ struct ReadOutcome {
     record: Option<ReadRecord>,
 }
 
-/// One slot of a wave: which read runs, with which portfolio member, from
+/// One slot of a wave: which read runs, with which portfolio sampler, on
+/// which pool member (an index into the solver's [`BackendPool`]), from
 /// which warm-start (a caller seed or an elite cross-seed).
 struct WaveSlot {
     read: usize,
     sampler: SamplerKind,
+    backend: usize,
     initial: Option<Vec<u8>>,
 }
 
@@ -1800,12 +2113,22 @@ struct LaneTicket {
 }
 
 /// The attempt [`HybridCqmSolver::decide_read`] granted: its index, its
-/// derived RNG seed, and the backoff/fault history preceding it.
+/// derived RNG seed, the backoff/fault history preceding it, and which
+/// pool member won it — including whether it was won by a speculative
+/// hedge and, if so, which straggler was cancelled.
 struct LaneGrant {
     attempt: u32,
     attempt_seed: u64,
     backoff_proposals: u64,
     faults: Vec<FaultRecord>,
+    /// Index into the solver's [`BackendPool`] of the member that serves
+    /// the granted attempt.
+    backend: usize,
+    /// Whether a speculative duplicate was raced for this attempt.
+    speculated: bool,
+    /// Id of the straggling backend whose in-flight attempt was cancelled
+    /// (charged nothing) when the hedge won the race.
+    cancelled: Option<String>,
 }
 
 /// One parallel unit of a batched wave.
@@ -1830,6 +2153,7 @@ const BATCH_POLISH_SALT: u64 = 0x706f_6c69_7368_42e7;
 fn finish_outcome(
     mut obs: ReadObserver,
     grant: LaneGrant,
+    backend: String,
     state: Vec<u8>,
     energy: f64,
     sampler: SamplerKind,
@@ -1839,6 +2163,9 @@ fn finish_outcome(
         rec.attempts = grant.attempt + 1;
         rec.backoff_proposals = grant.backoff_proposals;
         rec.faults = grant.faults;
+        rec.backend = backend;
+        rec.speculated = grant.speculated;
+        rec.cancelled_backend = grant.cancelled;
     }
     ReadOutcome {
         sample: Sample {
@@ -2993,5 +3320,308 @@ mod tests {
         let rec = sink.take().pop().unwrap();
         assert!(!rec.waves.is_empty(), "adaptive path records waves");
         assert!(!rec.reads.is_empty());
+    }
+
+    // ---- backend federation ------------------------------------------------
+
+    use crate::backend::{BackendId, BackendPool, BackendProfile, ReliabilityClass};
+    use crate::backend::{InProcessBackend, ProfiledBackend};
+
+    /// A fast/strong/qpu pool; `qpu_plan` drives the flaky member's inner
+    /// fault injection (an empty plan makes it healthy).
+    fn heterogeneous_pool(qpu_plan: FaultPlan) -> BackendPool {
+        let fast = ProfiledBackend::new(
+            BackendId::from_static("fast"),
+            BackendProfile::default(),
+            Arc::new(InProcessBackend),
+        );
+        let strong = ProfiledBackend::new(
+            BackendId::from_static("strong"),
+            BackendProfile {
+                latency_per_proposal: 4,
+                cost_per_read: 3.0,
+                reliability: ReliabilityClass::BestEffort,
+                deadline_proposals: None,
+            },
+            Arc::new(InProcessBackend),
+        );
+        let qpu = ProfiledBackend::new(
+            BackendId::from_static("qpu"),
+            BackendProfile {
+                latency_per_proposal: 2,
+                cost_per_read: 5.0,
+                reliability: ReliabilityClass::Flaky,
+                deadline_proposals: None,
+            },
+            Arc::new(FaultInjectingBackend::new(qpu_plan)),
+        );
+        BackendPool::new(vec![Arc::new(fast), Arc::new(strong), Arc::new(qpu)])
+    }
+
+    #[test]
+    fn builder_rejects_empty_pool_and_duplicate_ids() {
+        let err = HybridCqmSolver::builder()
+            .backends(BackendPool::new(Vec::new()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SolverBuildError::EmptyBackendPool);
+        assert!(err.to_string().contains("at least one member"));
+        let twins = BackendPool::new(vec![
+            Arc::new(InProcessBackend) as Arc<dyn Backend>,
+            Arc::new(InProcessBackend) as Arc<dyn Backend>,
+        ]);
+        let err = HybridCqmSolver::builder()
+            .backends(twins)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SolverBuildError::DuplicateBackendId);
+        assert!(err.to_string().contains("distinct ids"));
+    }
+
+    #[test]
+    fn single_backend_shim_and_one_member_pool_stay_byte_identical() {
+        // The `backend(...)` shim and an explicit one-member `backends(...)`
+        // pool (even with speculation requested — a no-op without a second
+        // member) must reproduce the default solver's sample stream exactly.
+        let cqm = partition_cqm();
+        let base = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(100)
+            .seed(77)
+            .build()
+            .unwrap();
+        let shim = base
+            .to_builder()
+            .backend(Arc::new(InProcessBackend))
+            .build()
+            .unwrap();
+        let pooled = base
+            .to_builder()
+            .backends(BackendPool::single(Arc::new(InProcessBackend)))
+            .speculate(true)
+            .build()
+            .unwrap();
+        let fingerprint = |set: &SampleSet| {
+            set.samples
+                .iter()
+                .map(|s| (s.state.clone(), s.objective.to_bits(), s.feasible))
+                .collect::<Vec<_>>()
+        };
+        let reference = fingerprint(&base.solve(&cqm, &[]));
+        assert_eq!(reference, fingerprint(&shim.solve(&cqm, &[])));
+        assert_eq!(reference, fingerprint(&pooled.solve(&cqm, &[])));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        #[test]
+        fn one_member_pool_matches_legacy_across_seeds(
+            seed in proptest::prelude::any::<u64>(),
+            reads in 1usize..5,
+        ) {
+            let cqm = partition_cqm();
+            let legacy = HybridCqmSolver::builder()
+                .num_reads(reads)
+                .sweeps(40)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let pooled = legacy
+                .to_builder()
+                .backends(BackendPool::single(Arc::new(InProcessBackend)))
+                .build()
+                .unwrap();
+            let fingerprint = |set: &SampleSet| {
+                set.samples
+                    .iter()
+                    .map(|s| (s.state.clone(), s.objective.to_bits(), s.feasible))
+                    .collect::<Vec<_>>()
+            };
+            proptest::prop_assert_eq!(
+                fingerprint(&legacy.solve(&cqm, &[])),
+                fingerprint(&pooled.solve(&cqm, &[]))
+            );
+        }
+    }
+
+    #[test]
+    fn federated_pool_round_robins_reads_and_accounts_per_backend() {
+        let cqm = partition_cqm();
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(9)
+            .sweeps(60)
+            .seed(11)
+            .backends(heterogeneous_pool(FaultPlan::default()))
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let cfg = solver.config();
+        assert_eq!(
+            cfg.backend, "fast",
+            "first member doubles as the legacy field"
+        );
+        assert_eq!(cfg.backends, vec!["fast", "strong", "qpu"]);
+        assert!(!cfg.speculate);
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 9);
+        let rec = sink.take().pop().unwrap();
+        assert_eq!(rec.backend_usage.len(), 3);
+        let total: usize = rec.backend_usage.iter().map(|u| u.reads).sum();
+        assert_eq!(total, rec.reads.len());
+        for u in &rec.backend_usage {
+            // 3 samplers × 3 backends: the rotation hands each member 3
+            // reads, exactly one of which is SQA.
+            assert_eq!(u.reads, 3, "{} got an uneven share", u.backend);
+            assert_eq!(u.failed_attempts, 0);
+            assert_eq!(u.speculative, 0);
+            assert_eq!(u.cancelled, 0);
+            assert_eq!(u.qpu_ms, 4.0, "{} serves one SQA read", u.backend);
+        }
+        let cost_of = |name: &str| {
+            rec.backend_usage
+                .iter()
+                .find(|u| u.backend == name)
+                .map(|u| u.cost)
+                .unwrap()
+        };
+        assert_eq!(cost_of("fast"), 3.0, "3 reads × unit cost");
+        assert_eq!(cost_of("strong"), 9.0, "3 reads × cost 3");
+        assert_eq!(cost_of("qpu"), 15.0, "3 reads × cost 5");
+    }
+
+    #[test]
+    fn retries_rotate_to_the_next_pool_member() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"backend": "flaky", "kind": "crash"}]"#).unwrap();
+        let flaky = ProfiledBackend::new(
+            BackendId::from_static("flaky"),
+            BackendProfile::default(),
+            Arc::new(FaultInjectingBackend::new(plan)),
+        );
+        let good = ProfiledBackend::new(
+            BackendId::from_static("good"),
+            BackendProfile::default(),
+            Arc::new(InProcessBackend),
+        );
+        let sink = Arc::new(MemorySink::new());
+        let solver = HybridCqmSolver::builder()
+            .num_reads(6)
+            .sweeps(60)
+            .seed(5)
+            .backends(BackendPool::new(vec![Arc::new(good), Arc::new(flaky)]))
+            .max_retries(1)
+            .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .build()
+            .unwrap();
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 6, "every flaky-first read recovers");
+        let rec = sink.take().pop().unwrap();
+        assert!(rec.failed_reads.is_empty());
+        // 3 samplers × 2 backends: reads 3..6 start on the permanently
+        // crashing member and must recover on `good` at attempt 1.
+        let recovered: Vec<_> = rec.reads.iter().filter(|r| r.attempts == 2).collect();
+        assert_eq!(recovered.len(), 3);
+        for r in &recovered {
+            assert_eq!(r.backend, "good");
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].backend, "flaky");
+            assert!(r.faults[0].error.contains("crashed"));
+        }
+        let usage_of = |name: &str| {
+            rec.backend_usage
+                .iter()
+                .find(|u| u.backend == name)
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(usage_of("good").reads, 6);
+        assert_eq!(usage_of("flaky").reads, 0);
+        assert_eq!(usage_of("flaky").failed_attempts, 3);
+        assert_eq!(
+            usage_of("flaky").cost,
+            0.0,
+            "failed attempts charge nothing"
+        );
+    }
+
+    #[test]
+    fn speculative_racing_is_deterministic_and_charges_only_the_winner() {
+        let cqm = partition_cqm();
+        let plan = FaultPlan::from_json(r#"[{"backend": "qpu", "kind": "timeout"}]"#).unwrap();
+        let build = || {
+            let sink = Arc::new(MemorySink::new());
+            let solver = HybridCqmSolver::builder()
+                .num_reads(9)
+                .sweeps(60)
+                .seed(21)
+                .backends(heterogeneous_pool(plan.clone()))
+                .speculate(true)
+                .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+                .build()
+                .unwrap();
+            (solver, sink)
+        };
+        let (solver, sink) = build();
+        assert!(solver.config().speculate);
+        let set = solver.solve(&cqm, &[]);
+        assert_eq!(set.samples.len(), 9, "stragglers recover via speculation");
+        let rec = sink.take().pop().unwrap();
+        assert!(rec.failed_reads.is_empty());
+        // Reads whose primary is the timing-out `qpu` member are hedged on
+        // the next member (`fast`) at the same attempt: no retry, one
+        // recorded timeout fault, the loser cancelled.
+        let hedged: Vec<_> = rec.reads.iter().filter(|r| r.speculated).collect();
+        assert_eq!(hedged.len(), 3);
+        for r in &hedged {
+            assert_eq!(r.backend, "fast");
+            assert_eq!(r.attempts, 1, "the hedge races the same attempt");
+            assert_eq!(r.cancelled_backend.as_deref(), Some("qpu"));
+            assert_eq!(r.faults.len(), 1);
+            assert_eq!(r.faults[0].backend, "qpu");
+            assert!(r.faults[0].error.contains("timed out"));
+        }
+        let usage_of = |name: &str| {
+            rec.backend_usage
+                .iter()
+                .find(|u| u.backend == name)
+                .cloned()
+                .unwrap()
+        };
+        let qpu = usage_of("qpu");
+        assert_eq!(qpu.reads, 0, "every qpu attempt was cancelled");
+        assert_eq!(qpu.cancelled, 3);
+        assert_eq!(qpu.failed_attempts, 3);
+        assert_eq!(qpu.cost, 0.0, "no phantom charge for cancelled attempts");
+        assert_eq!(qpu.qpu_ms, 0.0);
+        let fast = usage_of("fast");
+        assert_eq!(fast.reads, 6, "3 rotation reads + 3 speculative wins");
+        assert_eq!(fast.speculative, 3);
+        assert!(fast.cost > 0.0);
+        // Byte-determinism across repeats, including the dispatch metadata.
+        let (again, sink2) = build();
+        let set2 = again.solve(&cqm, &[]);
+        let states = |s: &SampleSet| {
+            s.samples
+                .iter()
+                .map(|x| x.state.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(states(&set), states(&set2));
+        let rec2 = sink2.take().pop().unwrap();
+        let dispatch = |r: &SolveRecord| {
+            r.reads
+                .iter()
+                .map(|x| {
+                    (
+                        x.read,
+                        x.backend.clone(),
+                        x.speculated,
+                        x.cancelled_backend.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(dispatch(&rec), dispatch(&rec2));
     }
 }

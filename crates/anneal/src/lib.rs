@@ -35,6 +35,12 @@
 //!   like a cloud sampler endpoint (timeout / transient / crash /
 //!   malformed), plus a deterministic [`faults::FaultPlan`] injection layer
 //!   for exercising the solver's retry, backoff, and degradation paths.
+//!   Backends federate into a [`backend::BackendPool`] of heterogeneous
+//!   members, each declaring a [`backend::BackendProfile`] (virtual-clock
+//!   latency, cost-per-read, reliability class); the solver's bandit
+//!   allocates reads across (sampler, backend) pairs, retries rotate across
+//!   members, and stragglers can be speculatively raced against a duplicate
+//!   on the next member (`HybridSolverBuilder::speculate`).
 //!
 //! Determinism: every entry point takes a seed; identical seeds produce
 //! identical sample sets (rayon parallelism is over independently-seeded
@@ -56,7 +62,10 @@ pub mod scheduler;
 pub mod sqa;
 pub mod tabu;
 
-pub use backend::{Backend, FaultInjectingBackend, InProcessBackend, SubmitError, SubmitRequest};
+pub use backend::{
+    Backend, BackendId, BackendPool, BackendProfile, FaultInjectingBackend, InProcessBackend,
+    ProfiledBackend, ReliabilityClass, SubmitError, SubmitRequest,
+};
 pub use batch::{
     batched_annealing, batched_descent, batched_sqa, batched_tabu, BatchedSqaParams, LaneOutcome,
     TabuLaneOutcome,

@@ -224,6 +224,12 @@ pub struct PortfolioScheduler {
     /// the trivial incumbent, so stop after the mandatory first wave.
     trivial: bool,
     stats: Vec<MemberStats>,
+    /// Declared cost-per-read of each member — under backend federation a
+    /// member is a (sampler, backend) pair and inherits its backend's
+    /// `cost_per_read`. Bandit weights divide by this, so expensive members
+    /// must earn their reads. All-1.0 (the default) reproduces the
+    /// pre-federation allocation exactly.
+    member_costs: Vec<f64>,
     elites: Vec<Elite>,
     incumbent: Option<Incumbent>,
     stagnant_waves: usize,
@@ -245,6 +251,7 @@ impl PortfolioScheduler {
             lower_bound,
             trivial,
             stats: vec![MemberStats::default(); members],
+            member_costs: vec![1.0; members],
             elites: Vec::new(),
             incumbent: None,
             stagnant_waves: 0,
@@ -265,6 +272,24 @@ impl PortfolioScheduler {
     /// Reads per batched lane group (1 on the scalar path).
     fn lane_width(&self) -> usize {
         self.cfg.lane_width.max(1)
+    }
+
+    /// Declares each member's cost-per-read (defaults to 1.0 everywhere).
+    /// Non-finite or non-positive entries are clamped to 1.0 so a
+    /// misdeclared profile can never zero out or invert the allocation.
+    ///
+    /// # Panics
+    /// Panics if `costs` does not cover every member.
+    pub fn set_member_costs(&mut self, costs: Vec<f64>) {
+        assert_eq!(
+            costs.len(),
+            self.num_members,
+            "one cost per portfolio member"
+        );
+        self.member_costs = costs
+            .into_iter()
+            .map(|c| if c.is_finite() && c > 0.0 { c } else { 1.0 })
+            .collect();
     }
 
     /// Number of waves observed so far.
@@ -426,6 +451,11 @@ impl PortfolioScheduler {
                 let hit = (1.0 + s.feasible as f64) / (1.0 + s.reads as f64);
                 hit * (g + floor)
             })
+            .zip(&self.member_costs)
+            // Feasible-hit-rate × improvement ÷ cost: an expensive backend
+            // only keeps its share while it outproduces cheaper ones
+            // proportionally. Cost 1.0 everywhere is the legacy weighting.
+            .map(|(w, &cost)| w / cost)
             .collect();
         let lane_width = self.lane_width();
         let groups = wave_reads.div_ceil(lane_width);
@@ -668,6 +698,44 @@ mod tests {
         );
         // Strongest member's slots lead the wave (elite seeds land there).
         assert_eq!(plan.members[0], 2);
+    }
+
+    #[test]
+    fn member_costs_divide_bandit_weight() {
+        // Two members with identical productivity; member 1 declares a
+        // 100× cost-per-read, so member 0 should dominate the wave.
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 2, None, false);
+        s.set_member_costs(vec![1.0, 100.0]);
+        s.observe_wave(&[
+            read(0, 10.0, 1.0, true, vec![0, 0]),
+            read(1, 10.0, 1.0, true, vec![0, 1]),
+        ]);
+        let plan = s.plan_wave(2, 8);
+        let count0 = plan.members.iter().filter(|&&m| m == 0).count();
+        assert!(
+            count0 >= 7,
+            "cheap member should win nearly every read, plan {:?}",
+            plan.members
+        );
+
+        // Uniform costs reproduce the unweighted plan exactly.
+        let mut a = PortfolioScheduler::new(adaptive_cfg(), 2, None, false);
+        let mut b = PortfolioScheduler::new(adaptive_cfg(), 2, None, false);
+        b.set_member_costs(vec![1.0, 1.0]);
+        let obs = [
+            read(0, 10.0, 2.0, true, vec![0, 0]),
+            read(1, 10.0, 4.0, false, vec![0, 1]),
+        ];
+        a.observe_wave(&obs);
+        b.observe_wave(&obs);
+        assert_eq!(a.plan_wave(2, 6).members, b.plan_wave(2, 6).members);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per portfolio member")]
+    fn member_costs_must_cover_every_member() {
+        let mut s = PortfolioScheduler::new(adaptive_cfg(), 3, None, false);
+        s.set_member_costs(vec![1.0]);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use serde::{Deserialize, Serialize};
 pub struct FaultRecord {
     /// Zero-based submission attempt that failed.
     pub attempt: u32,
+    /// Pool member the failing attempt was dispatched to.
+    pub backend: String,
     /// Rendered `SubmitError`, e.g. `"backend crashed"`.
     pub error: String,
 }
@@ -26,6 +28,9 @@ pub struct FailedReadRecord {
     pub read: usize,
     /// Sampler the read was assigned to (`"SA"`, `"SQA"`, `"TABU"`, `"PT"`).
     pub sampler: String,
+    /// Pool member the read's first attempt was dispatched to (retries may
+    /// have walked other members; see each fault's `backend`).
+    pub backend: String,
     /// The faults hit, one per attempt, in attempt order.
     pub faults: Vec<FaultRecord>,
 }
@@ -80,6 +85,14 @@ pub struct ReadRecord {
     /// Faults hit on the failed attempts preceding the success, in
     /// attempt order (empty on a clean first attempt).
     pub faults: Vec<FaultRecord>,
+    /// Pool member that executed the winning attempt.
+    pub backend: String,
+    /// Whether the winning attempt was resolved through a speculative race
+    /// (either the hedge won or the primary beat a failed hedge).
+    pub speculated: bool,
+    /// Pool member whose in-flight duplicate was cancelled when this read's
+    /// speculative race resolved; the cancelled side is never charged.
+    pub cancelled_backend: Option<String>,
 }
 
 /// How many of a wave's reads one portfolio member received.
@@ -185,15 +198,45 @@ pub struct SolverConfig {
     pub max_retries: u32,
     /// Per-read deadline in proposal units of the virtual clock, if set.
     pub read_deadline_proposals: Option<u64>,
-    /// Backend the reads are submitted through (`"in-process"` or
-    /// `"fault-injection"`).
+    /// Primary backend — the first member of the pool (`"in-process"` or
+    /// `"fault-injection"` for the single-backend shims).
     pub backend: String,
+    /// Every pool member's id, in dispatch order (one entry — equal to
+    /// `backend` — for single-backend configurations).
+    pub backends: Vec<String>,
+    /// Whether speculative dispatch (straggler racing) is on.
+    pub speculate: bool,
     /// Whether the batched bitset fast path is on.
     pub batched: bool,
     /// Lanes per batched kernel invocation (1 when `batched` is off).
     pub batch_width: usize,
     /// Flip-delta kernel the solve used (`"scalar"` or `"batched"`).
     pub kernel: String,
+}
+
+/// Per-backend dispatch accounting for one solve: how many reads each pool
+/// member executed and what they cost. Cancelled speculative duplicates are
+/// counted but never charged (no phantom QPU time or cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendUsageRecord {
+    /// Pool member id.
+    pub backend: String,
+    /// Successful reads whose winning attempt executed on this member.
+    pub reads: usize,
+    /// Failed submission attempts dispatched to this member (including
+    /// attempts of reads that later succeeded elsewhere).
+    pub failed_attempts: usize,
+    /// Of `reads`, how many were resolved through a speculative race.
+    pub speculative: usize,
+    /// In-flight duplicates on this member that were cancelled when the
+    /// other side of a speculative race won.
+    pub cancelled: usize,
+    /// Total cost charged: `reads × cost_per_read` from the member's
+    /// declared profile. Cancelled and failed attempts charge nothing.
+    pub cost: f64,
+    /// Simulated QPU access time charged to this member, milliseconds
+    /// (per-read QPU charge × SQA reads executed here).
+    pub qpu_ms: f64,
 }
 
 /// One model-lint diagnostic, flattened to strings so the trace vocabulary
@@ -242,6 +285,9 @@ pub struct SolveRecord {
     /// Reads that produced no sample because every submission attempt
     /// failed (empty on a healthy backend).
     pub failed_reads: Vec<FailedReadRecord>,
+    /// Per-backend dispatch accounting, one entry per pool member in
+    /// dispatch order; `reads` across entries sums to `reads.len()`.
+    pub backend_usage: Vec<BackendUsageRecord>,
     /// Per-wave timings, in launch order.
     pub waves: Vec<WaveRecord>,
     /// Why the wave loop stopped: `"exhausted"`, `"plateau"`, `"fast-exit"`,
@@ -286,16 +332,31 @@ mod tests {
                 backoff_proposals: 1024,
                 faults: vec![FaultRecord {
                     attempt: 0,
+                    backend: "in-process".into(),
                     error: "transient backend failure (attempt 0)".into(),
                 }],
+                backend: "in-process".into(),
+                speculated: false,
+                cancelled_backend: None,
             }],
             failed_reads: vec![FailedReadRecord {
                 read: 1,
                 sampler: "SQA".into(),
+                backend: "in-process".into(),
                 faults: vec![FaultRecord {
                     attempt: 0,
+                    backend: "in-process".into(),
                     error: "backend crashed".into(),
                 }],
+            }],
+            backend_usage: vec![BackendUsageRecord {
+                backend: "in-process".into(),
+                reads: 1,
+                failed_attempts: 2,
+                speculative: 0,
+                cancelled: 0,
+                cost: 1.0,
+                qpu_ms: 0.0,
             }],
             waves: vec![WaveRecord {
                 wave: 0,

@@ -36,8 +36,9 @@ pub mod observer;
 pub mod sink;
 
 pub use event::{
-    FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary,
-    SolveRecord, SolverConfig, TimingRecord, WaveAllocation, WaveRecord,
+    BackendUsageRecord, FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord,
+    ReadRecord, SampleSetSummary, SolveRecord, SolverConfig, TimingRecord, WaveAllocation,
+    WaveRecord,
 };
 pub use manifest::{
     median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,

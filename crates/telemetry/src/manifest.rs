@@ -25,7 +25,14 @@ use crate::event::{SolveRecord, SolverConfig};
 /// v4: batched-kernel surface — the solver config records whether the
 /// batched bitset fast path ran and at what width (`batched`,
 /// `batch_width`, `kernel`).
-pub const MANIFEST_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: backend-federation surface — per-read dispatch identity and
+/// speculation outcome (`reads[].backend`, `reads[].speculated`,
+/// `reads[].cancelled_backend`), per-attempt fault backends
+/// (`faults[].backend`, `failed_reads[].backend`), per-solve dispatch
+/// accounting (`backend_usage`), and the pool in the solver config
+/// (`backends`, `speculate`).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 5;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -320,6 +327,45 @@ impl RunManifest {
                         ));
                     }
                 }
+                if !s.backend_usage.is_empty() {
+                    let executed: usize = s.backend_usage.iter().map(|u| u.reads).sum();
+                    if executed != s.reads.len() {
+                        return Err(format!(
+                            "case '{}' method '{}': backend usage covers {} of {} reads",
+                            case.label,
+                            m.method,
+                            executed,
+                            s.reads.len()
+                        ));
+                    }
+                    for u in &s.backend_usage {
+                        if u.backend.is_empty() {
+                            return Err(format!(
+                                "case '{}' method '{}': backend usage entry with empty id",
+                                case.label, m.method
+                            ));
+                        }
+                        if u.speculative > u.reads {
+                            return Err(format!(
+                                "case '{}' method '{}' backend '{}': {} speculative wins \
+                                 exceed {} reads",
+                                case.label, m.method, u.backend, u.speculative, u.reads
+                            ));
+                        }
+                        if !u.cost.is_finite() || u.cost < 0.0 {
+                            return Err(format!(
+                                "case '{}' method '{}' backend '{}': bad cost {}",
+                                case.label, m.method, u.backend, u.cost
+                            ));
+                        }
+                        if !u.qpu_ms.is_finite() || u.qpu_ms < 0.0 {
+                            return Err(format!(
+                                "case '{}' method '{}' backend '{}': bad qpu_ms {}",
+                                case.label, m.method, u.backend, u.qpu_ms
+                            ));
+                        }
+                    }
+                }
             }
         }
         for case in &self.cases {
@@ -443,8 +489,20 @@ mod tests {
                 attempts: 1,
                 backoff_proposals: 0,
                 faults: vec![],
+                backend: "in-process".into(),
+                speculated: false,
+                cancelled_backend: None,
             }],
             failed_reads: vec![],
+            backend_usage: vec![crate::event::BackendUsageRecord {
+                backend: "in-process".into(),
+                reads: 1,
+                failed_attempts: 0,
+                speculative: 0,
+                cancelled: 0,
+                cost: 1.0,
+                qpu_ms: 0.0,
+            }],
             waves: vec![],
             termination: "exhausted".into(),
             timing: TimingRecord {
@@ -549,6 +607,21 @@ mod tests {
         let mut m = manifest_with_cases();
         m.cases[0].methods[0].solve.termination.clear();
         assert!(m.validate().unwrap_err().contains("termination"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_backend_usage() {
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.backend_usage[0].reads = 7;
+        assert!(m.validate().unwrap_err().contains("backend usage"));
+
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.backend_usage[0].speculative = 2;
+        assert!(m.validate().unwrap_err().contains("speculative"));
+
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.backend_usage[0].cost = f64::NAN;
+        assert!(m.validate().unwrap_err().contains("cost"));
     }
 
     #[test]

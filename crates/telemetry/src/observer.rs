@@ -54,6 +54,9 @@ impl ReadObserver {
                 attempts: 1,
                 backoff_proposals: 0,
                 faults: Vec::new(),
+                backend: String::new(),
+                speculated: false,
+                cancelled_backend: None,
             })),
             started: Some(Instant::now()),
         }

@@ -103,6 +103,7 @@ mod tests {
             requested_reads: 1,
             reads: vec![],
             failed_reads: vec![],
+            backend_usage: vec![],
             waves: vec![],
             termination: "exhausted".into(),
             timing: TimingRecord::default(),

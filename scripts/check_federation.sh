@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-checks backend federation end to end:
+# (a) two identically-seeded runs over a three-member pool with a straggling
+#     "qpu" member and --speculate must produce byte-identical plans and
+#     byte-identical manifests (modulo wall-clock keys),
+# (b) the manifest must record the speculative races and charge the
+#     cancelled member nothing (no phantom reads, cost, or QPU time), and
+# (c) the manifest must validate against the current schema.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+input="$workdir/input.csv"
+cargo run --release --quiet --bin qlrb -- \
+  generate --workload samoa --out "$input"
+
+# Every submission to the "qpu" member times out, so each read that lands
+# there straggles and --speculate races its duplicate on the next member.
+straggler="$workdir/straggler.json"
+echo '[{"backend": "qpu", "kind": "timeout"}]' > "$straggler"
+
+for run in a b; do
+  cargo run --release --quiet --bin qlrb -- \
+    rebalance --input "$input" --method qcqm1 --k 16 --seed 7 \
+    --backends fast,strong,qpu --speculate --fault-plan "$straggler" \
+    --out "$workdir/plan_$run.csv" --telemetry "$workdir/tele_$run.json"
+done
+
+cmp -s "$workdir/plan_a.csv" "$workdir/plan_b.csv" \
+  || { echo "identically-seeded federated runs diverged" >&2; exit 1; }
+
+# Manifests must agree too (win/cancel records included) once wall-clock
+# and environment stamps are stripped.
+volatile='"(wall_ms|generated_unix_s|cpu_ms|qpu_ms|median_cpu_ms|median_qpu_ms|git_describe|command)"'
+for run in a b; do
+  grep -vE "$volatile" "$workdir/tele_$run.json" > "$workdir/stable_$run.json"
+done
+cmp -s "$workdir/stable_a.json" "$workdir/stable_b.json" \
+  || { echo "federated manifests diverged" >&2; exit 1; }
+echo "federated runs deterministic: plans and manifests identical"
+
+grep -q '"speculated": true' "$workdir/tele_a.json" \
+  || { echo "no speculative race was recorded" >&2; exit 1; }
+grep -q '"cancelled_backend": "qpu"' "$workdir/tele_a.json" \
+  || { echo "no cancellation against the straggler was recorded" >&2; exit 1; }
+for member in fast strong qpu; do
+  grep -q "\"backend\": \"$member\"" "$workdir/tele_a.json" \
+    || { echo "member '$member' missing from the manifest" >&2; exit 1; }
+done
+
+# No phantom charge: the always-timing-out member wins no reads and is
+# charged no cost or QPU time. Its backend_usage entry is the only object
+# with "backend": "qpu" followed by a "reads" key.
+python3 - "$workdir/tele_a.json" <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))
+solve = manifest["cases"][0]["methods"][0]["solve"]
+usage = {u["backend"]: u for u in solve["backend_usage"]}
+qpu = usage["qpu"]
+assert qpu["reads"] == 0, f"straggler won reads: {qpu}"
+assert qpu["cost"] == 0.0, f"phantom cost charged: {qpu}"
+assert qpu["qpu_ms"] == 0.0, f"phantom QPU time charged: {qpu}"
+assert qpu["cancelled"] > 0, f"no duplicates were cancelled: {qpu}"
+assert usage["fast"]["reads"] + usage["strong"]["reads"] == len(solve["reads"])
+print("no phantom charge: straggler cancelled %d duplicates, won 0 reads"
+      % qpu["cancelled"])
+EOF
+
+# The manifest must validate against the pinned schema version.
+cargo run --release --quiet --bin qlrb -- \
+  trace summarize --input "$workdir/tele_a.json" > /dev/null \
+  || { echo "federated manifest failed schema validation" >&2; exit 1; }
+echo "federated manifest validates"
+
+echo "check_federation: OK"

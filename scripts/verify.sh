@@ -18,6 +18,9 @@ cargo test -q
 ./scripts/check_scheduler.sh
 # Fault smoke: injected faults stay deterministic; all-crash degrades.
 ./scripts/check_faults.sh
+# Federation smoke: pooled backends + speculation stay deterministic and
+# never charge a cancelled duplicate.
+./scripts/check_federation.sh
 # Bench ratchet: Table-V hybrid medians must not regress >15% over the
 # committed baseline (QLRB_SKIP_BENCH_GATE=1 opts out on noisy machines).
 ./scripts/check_bench.sh

@@ -44,6 +44,7 @@ USAGE:
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
                  [--seed <S>] [--early-stop] [--adaptive] [--batched]
                  [--fault-plan <FILE>] [--max-retries <N>]
+                 [--backends <LIST>] [--speculate]
                  [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
@@ -79,6 +80,20 @@ FAULT TOLERANCE (qcqm* only):
                   DESIGN.md §Fault tolerance). Deterministic per --seed.
   --max-retries   resubmissions per read after a backend failure
                   (default 2, exponential backoff on the proposal clock)
+
+FEDERATION (qcqm* only):
+  --backends      comma-separated pool of backend presets the portfolio
+                  federates over: fast (latency 1, cost 1.0/read),
+                  strong (latency 4, cost 3.0/read), qpu (latency 2,
+                  cost 5.0/read, flaky class). Reads round-robin across
+                  (sampler, backend) pairs, retries rotate to the next
+                  member, and the manifest reports per-backend reads,
+                  QPU time, and cost. With --fault-plan, every member
+                  routes through the fault injector (plan entries may
+                  key on \"backend\" to target one member).
+  --speculate     race a duplicate of a straggling attempt on the next
+                  pool member: first success wins, the loser is
+                  cancelled and charged nothing. Requires --backends.
 
 TELEMETRY:
   --telemetry writes a JSON run manifest next to the normal output:
@@ -126,12 +141,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return trace_cmd(&args[1..]).map(|()| ExitCode::SUCCESS);
     }
     // Boolean flags take no value; split them off before pair parsing.
-    let bools = ["--json", "--early-stop", "--adaptive", "--batched"];
+    let bools = [
+        "--json",
+        "--early-stop",
+        "--adaptive",
+        "--batched",
+        "--speculate",
+    ];
     let json = args[1..].iter().any(|a| a == "--json");
     let sched = SchedulerFlags {
         early_stop: args[1..].iter().any(|a| a == "--early-stop"),
         adaptive: args[1..].iter().any(|a| a == "--adaptive"),
         batched: args[1..].iter().any(|a| a == "--batched"),
+        speculate: args[1..].iter().any(|a| a == "--speculate"),
     };
     let rest: Vec<String> = args[1..]
         .iter()
@@ -228,13 +250,65 @@ fn info(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--early-stop` / `--adaptive` / `--batched` solver switches of
-/// `rebalance`.
+/// The `--early-stop` / `--adaptive` / `--batched` / `--speculate` solver
+/// switches of `rebalance`.
 #[derive(Debug, Clone, Copy, Default)]
 struct SchedulerFlags {
     early_stop: bool,
     adaptive: bool,
     batched: bool,
+    speculate: bool,
+}
+
+/// Builds the `--backends` pool from a comma-separated list of preset names.
+/// Each preset fixes a [`qlrb::anneal::BackendProfile`]; with `--fault-plan`
+/// every member routes through the deterministic fault injector (plan entries
+/// may key on `"backend"` to target one member), otherwise members submit
+/// in-process. Duplicate names are rejected later by the solver builder.
+fn backend_pool(
+    spec: &str,
+    fault_plan: Option<&qlrb::anneal::FaultPlan>,
+) -> Result<qlrb::anneal::BackendPool, String> {
+    use qlrb::anneal::{
+        Backend, BackendId, BackendPool, BackendProfile, FaultInjectingBackend, InProcessBackend,
+        ProfiledBackend, ReliabilityClass,
+    };
+    let mut members: Vec<Arc<dyn Backend>> = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let profile = match name {
+            "fast" => BackendProfile::default(),
+            "strong" => BackendProfile {
+                latency_per_proposal: 4,
+                cost_per_read: 3.0,
+                reliability: ReliabilityClass::Reliable,
+                deadline_proposals: None,
+            },
+            "qpu" => BackendProfile {
+                latency_per_proposal: 2,
+                cost_per_read: 5.0,
+                reliability: ReliabilityClass::Flaky,
+                deadline_proposals: None,
+            },
+            other => {
+                return Err(format!(
+                    "unknown backend preset '{other}' (fast|strong|qpu)"
+                ))
+            }
+        };
+        let inner: Arc<dyn Backend> = match fault_plan {
+            Some(plan) => Arc::new(FaultInjectingBackend::new(plan.clone())),
+            None => Arc::new(InProcessBackend),
+        };
+        members.push(Arc::new(ProfiledBackend::new(
+            BackendId::new(name),
+            profile,
+            inner,
+        )));
+    }
+    if members.is_empty() {
+        return Err("--backends needs at least one preset (fast|strong|qpu)".into());
+    }
+    Ok(BackendPool::new(members))
 }
 
 fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(), String> {
@@ -275,6 +349,16 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         .map(|s| s.parse::<u32>().map_err(|_| "bad --max-retries"))
         .transpose()?;
 
+    // Federation: a heterogeneous backend pool plus the speculative-dispatch
+    // switch. --speculate without a pool would silently be a no-op (there is
+    // no "next member" to race), so require --backends alongside it.
+    let backends_spec = flags.get("backends").cloned();
+    if sched.speculate && backends_spec.is_none() {
+        return Err(
+            "--speculate races stragglers across a backend pool; pass --backends too".into(),
+        );
+    }
+
     let quantum = |variant: Variant,
                    solver_config: &mut Option<qlrb::telemetry::SolverConfig>|
      -> Result<Box<dyn Rebalancer>, String> {
@@ -297,8 +381,20 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         if let Some(sink) = &sink {
             builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
         }
-        if let Some(plan) = &fault_plan {
-            builder = builder.fault_plan(plan.clone());
+        match &backends_spec {
+            Some(spec) => {
+                // The pool subsumes the fault-plan shim: with a plan, every
+                // member wraps the injector, so don't also call fault_plan()
+                // (it would collapse the pool back to one member).
+                builder = builder
+                    .backends(backend_pool(spec, fault_plan.as_ref())?)
+                    .speculate(sched.speculate);
+            }
+            None => {
+                if let Some(plan) = &fault_plan {
+                    builder = builder.fault_plan(plan.clone());
+                }
+            }
         }
         if let Some(retries) = max_retries {
             builder = builder.max_retries(retries);
@@ -332,6 +428,12 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
     if (fault_plan.is_some() || max_retries.is_some()) && solver_config.is_none() {
         return Err(format!(
             "--fault-plan/--max-retries configure the hybrid solver's sampler backend; \
+             method '{method_name}' is classical (use qcqm1 or qcqm2)"
+        ));
+    }
+    if (backends_spec.is_some() || sched.speculate) && solver_config.is_none() {
+        return Err(format!(
+            "--backends/--speculate federate the hybrid solver's sampler backends; \
              method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }
@@ -460,6 +562,14 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(
             "--fault-plan/--max-retries inject faults at the solver's sampler backend; \
              simulate replays a finished plan and has no backend (use them with \
+             `qlrb rebalance --method qcqm1|qcqm2`)"
+                .into(),
+        );
+    }
+    if flags.contains_key("backends") {
+        return Err(
+            "--backends federates the solver's sampler backends; simulate replays a \
+             finished plan and has no backend (use it with \
              `qlrb rebalance --method qcqm1|qcqm2`)"
                 .into(),
         );
