@@ -1,0 +1,734 @@
+//! Trace-divergence localization and digest auditing: the dynamic half of
+//! the determinism auditor (DESIGN.md §Determinism audit).
+//!
+//! The static lints (`cargo xtask lint`) keep nondeterminism *sources* out
+//! of the solver path; this module is the replay side that proves the
+//! contract held. Two runs of the same configuration must produce
+//! manifests whose solve records agree on every [trace
+//! digest](qlrb_telemetry::solve_trace_digest). When they do not,
+//! [`diff_manifests`] walks the per-read records and reports the *first
+//! divergent read* — which wave, which slot in the wave, which sampler on
+//! which backend, and which field — instead of a byte-level "files
+//! differ". [`audit_manifest`] is the single-manifest check: every stored
+//! digest must recompute from its own record, catching stale or
+//! hand-edited traces.
+//!
+//! Wall-clock fields (`wall_ms`, [`TimingRecord`](qlrb_telemetry::TimingRecord))
+//! and the derived `acceptance_rate` are outside the determinism contract
+//! and are never compared. Floats are compared by bit pattern
+//! (`f64::to_bits`), not by tolerance: determinism means *bit-identical*
+//! replay, and the rendered values carry the bits so an off-by-one-ulp
+//! reduction-order bug is visible in the report.
+
+use qlrb_telemetry::{
+    read_fingerprint, solve_trace_digest, ReadRecord, RunManifest, SolveRecord,
+};
+
+/// One localized divergence between two traces of the same configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Label of the case the divergence sits in.
+    pub case: String,
+    /// Method within the case (empty when the divergence is structural,
+    /// e.g. differing case lists).
+    pub method: String,
+    /// Index of the first divergent read, when the divergence is inside a
+    /// read record.
+    pub read: Option<usize>,
+    /// Wave the divergent read was launched in (from wave `first_read`
+    /// ranges of manifest A).
+    pub wave: Option<usize>,
+    /// Slot of the read within its wave (`read - first_read`).
+    pub slot: Option<usize>,
+    /// Sampler that produced the divergent read, when known.
+    pub sampler: Option<String>,
+    /// Backend that served the divergent read, when known.
+    pub backend: Option<String>,
+    /// The first field (in declaration order) whose values disagree.
+    pub field: String,
+    /// Rendered value from manifest A (floats carry their bit pattern).
+    pub a: String,
+    /// Rendered value from manifest B.
+    pub b: String,
+}
+
+impl Divergence {
+    /// One-line human rendering:
+    /// `case 'x' method 'hybrid' read 3 (wave 1 slot 0, SA on qpu): field 'seed' a=42 b=43`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("first divergence: ");
+        if !self.case.is_empty() {
+            out.push_str(&format!("case '{}' ", self.case));
+        }
+        if !self.method.is_empty() {
+            out.push_str(&format!("method '{}' ", self.method));
+        }
+        if let Some(r) = self.read {
+            out.push_str(&format!("read {r} "));
+            if let (Some(w), Some(s)) = (self.wave, self.slot) {
+                out.push_str(&format!("(wave {w} slot {s}"));
+                match (&self.sampler, &self.backend) {
+                    (Some(sa), Some(b)) => out.push_str(&format!(", {sa} on {b}) ")),
+                    (Some(sa), None) => out.push_str(&format!(", {sa}) ")),
+                    _ => out.push_str(") "),
+                }
+            }
+        }
+        out.push_str(&format!(
+            "field '{}': a={} b={}",
+            self.field, self.a, self.b
+        ));
+        out
+    }
+}
+
+/// Outcome of diffing two manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceDiff {
+    /// Every deterministic field agrees.
+    Identical {
+        /// Cases compared.
+        cases: usize,
+        /// Solve records compared.
+        solves: usize,
+        /// Read records compared.
+        reads: usize,
+    },
+    /// The first divergence, localized.
+    Diverged(Box<Divergence>),
+}
+
+impl TraceDiff {
+    /// Whether the traces agreed.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, TraceDiff::Identical { .. })
+    }
+
+    /// One-line human rendering of the outcome.
+    pub fn render(&self) -> String {
+        match self {
+            TraceDiff::Identical {
+                cases,
+                solves,
+                reads,
+            } => format!(
+                "traces identical: {cases} case(s), {solves} solve(s), {reads} read(s) agree"
+            ),
+            TraceDiff::Diverged(d) => d.render(),
+        }
+    }
+}
+
+/// Summary of a clean single-manifest audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Cases inspected.
+    pub cases: usize,
+    /// Solve records whose digest recomputed to the stored value.
+    pub solves: usize,
+    /// Read records covered by those digests.
+    pub reads: usize,
+}
+
+/// Renders a float with its bit pattern so one-ulp divergences are
+/// visible: `0.5 (0x3fe0000000000000)`.
+fn show_f64(v: f64) -> String {
+    format!("{v} (0x{:016x})", v.to_bits())
+}
+
+/// A field comparison that short-circuits into `out` on first mismatch.
+struct FieldDiff {
+    field: Option<(String, String, String)>,
+}
+
+impl FieldDiff {
+    fn new() -> Self {
+        Self { field: None }
+    }
+
+    fn done(&self) -> bool {
+        self.field.is_some()
+    }
+
+    fn str(&mut self, name: &str, a: &str, b: &str) {
+        if !self.done() && a != b {
+            self.field = Some((name.to_string(), a.to_string(), b.to_string()));
+        }
+    }
+
+    fn usize(&mut self, name: &str, a: usize, b: usize) {
+        if !self.done() && a != b {
+            self.field = Some((name.to_string(), a.to_string(), b.to_string()));
+        }
+    }
+
+    fn u64(&mut self, name: &str, a: u64, b: u64) {
+        if !self.done() && a != b {
+            self.field = Some((name.to_string(), a.to_string(), b.to_string()));
+        }
+    }
+
+    fn bool(&mut self, name: &str, a: bool, b: bool) {
+        if !self.done() && a != b {
+            self.field = Some((name.to_string(), a.to_string(), b.to_string()));
+        }
+    }
+
+    /// Bit-exact float comparison; tolerance has no place in a replay check.
+    fn f64(&mut self, name: &str, a: f64, b: f64) {
+        if !self.done() && a.to_bits() != b.to_bits() {
+            self.field = Some((name.to_string(), show_f64(a), show_f64(b)));
+        }
+    }
+}
+
+/// Compares two read records field by field, in declaration order,
+/// skipping `wall_ms` and `acceptance_rate`. Returns the first differing
+/// `(field, a, b)`, or `None` when the reads agree.
+fn diff_read(a: &ReadRecord, b: &ReadRecord) -> Option<(String, String, String)> {
+    let mut d = FieldDiff::new();
+    d.usize("read", a.read, b.read);
+    d.str("sampler", &a.sampler, &b.sampler);
+    d.u64("seed", a.seed, b.seed);
+    d.bool("seeded", a.seeded, b.seeded);
+    d.f64("initial_energy", a.initial_energy, b.initial_energy);
+    d.f64("best_energy", a.best_energy, b.best_energy);
+    d.f64("final_energy", a.final_energy, b.final_energy);
+    d.u64("sweeps", a.sweeps, b.sweeps);
+    d.u64("proposals", a.proposals, b.proposals);
+    d.u64("accepted", a.accepted, b.accepted);
+    d.u64("repair_steps", a.repair_steps, b.repair_steps);
+    d.u64("polish_flips", a.polish_flips, b.polish_flips);
+    d.f64("polish_improvement", a.polish_improvement, b.polish_improvement);
+    d.f64("objective", a.objective, b.objective);
+    d.f64("violation", a.violation, b.violation);
+    d.bool("feasible", a.feasible, b.feasible);
+    d.u64("attempts", u64::from(a.attempts), u64::from(b.attempts));
+    d.u64("backoff_proposals", a.backoff_proposals, b.backoff_proposals);
+    d.usize("faults.len", a.faults.len(), b.faults.len());
+    if !d.done() {
+        for (i, (fa, fb)) in a.faults.iter().zip(&b.faults).enumerate() {
+            d.u64(&format!("faults[{i}].attempt"), u64::from(fa.attempt), u64::from(fb.attempt));
+            d.str(&format!("faults[{i}].backend"), &fa.backend, &fb.backend);
+            d.str(&format!("faults[{i}].error"), &fa.error, &fb.error);
+        }
+    }
+    d.str("backend", &a.backend, &b.backend);
+    d.bool("speculated", a.speculated, b.speculated);
+    d.str(
+        "cancelled_backend",
+        a.cancelled_backend.as_deref().unwrap_or("<none>"),
+        b.cancelled_backend.as_deref().unwrap_or("<none>"),
+    );
+    d.field
+}
+
+/// Locates the wave containing `read` via `first_read` ranges, returning
+/// `(wave, slot)`.
+fn wave_slot(solve: &SolveRecord, read: usize) -> (Option<usize>, Option<usize>) {
+    for w in &solve.waves {
+        if read >= w.first_read && read < w.first_read + w.reads {
+            return (Some(w.wave), Some(read - w.first_read));
+        }
+    }
+    (None, None)
+}
+
+/// Diffs one solve record pair; `None` means they agree on every
+/// deterministic field.
+fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Option<Divergence> {
+    // Fast path: sealed digests agree, so every hashed field agrees.
+    if !a.trace_digest.is_empty() && a.trace_digest == b.trace_digest {
+        return None;
+    }
+    let at = |field: &str, av: String, bv: String| Divergence {
+        case: case.to_string(),
+        method: method.to_string(),
+        read: None,
+        wave: None,
+        slot: None,
+        sampler: None,
+        backend: None,
+        field: field.to_string(),
+        a: av,
+        b: bv,
+    };
+    let mut d = FieldDiff::new();
+    d.usize("num_vars", a.num_vars, b.num_vars);
+    d.usize("compiled_vars", a.compiled_vars, b.compiled_vars);
+    d.usize("requested_reads", a.requested_reads, b.requested_reads);
+    if let Some((f, av, bv)) = d.field {
+        return Some(at(&f, av, bv));
+    }
+
+    // The payload: first read whose fingerprints disagree, drilled to the
+    // first differing field.
+    for (i, (ra, rb)) in a.reads.iter().zip(&b.reads).enumerate() {
+        if read_fingerprint(ra) == read_fingerprint(rb) {
+            continue;
+        }
+        let (field, av, bv) = diff_read(ra, rb)
+            .unwrap_or_else(|| ("read_fingerprint".into(), "<a>".into(), "<b>".into()));
+        let (wave, slot) = wave_slot(a, i);
+        return Some(Divergence {
+            case: case.to_string(),
+            method: method.to_string(),
+            read: Some(i),
+            wave,
+            slot,
+            sampler: Some(ra.sampler.clone()),
+            backend: Some(ra.backend.clone()),
+            field,
+            a: av,
+            b: bv,
+        });
+    }
+    if a.reads.len() != b.reads.len() {
+        let mut div = at(
+            "reads.len",
+            a.reads.len().to_string(),
+            b.reads.len().to_string(),
+        );
+        div.read = Some(a.reads.len().min(b.reads.len()));
+        return Some(div);
+    }
+
+    let mut d = FieldDiff::new();
+    d.usize("failed_reads.len", a.failed_reads.len(), b.failed_reads.len());
+    if !d.done() {
+        for (i, (fa, fb)) in a.failed_reads.iter().zip(&b.failed_reads).enumerate() {
+            d.usize(&format!("failed_reads[{i}].read"), fa.read, fb.read);
+            d.str(&format!("failed_reads[{i}].sampler"), &fa.sampler, &fb.sampler);
+            d.str(&format!("failed_reads[{i}].backend"), &fa.backend, &fb.backend);
+            d.usize(
+                &format!("failed_reads[{i}].faults.len"),
+                fa.faults.len(),
+                fb.faults.len(),
+            );
+        }
+    }
+    d.usize("backend_usage.len", a.backend_usage.len(), b.backend_usage.len());
+    if !d.done() {
+        for (i, (ua, ub)) in a.backend_usage.iter().zip(&b.backend_usage).enumerate() {
+            d.str(&format!("backend_usage[{i}].backend"), &ua.backend, &ub.backend);
+            d.usize(&format!("backend_usage[{i}].reads"), ua.reads, ub.reads);
+            d.usize(
+                &format!("backend_usage[{i}].failed_attempts"),
+                ua.failed_attempts,
+                ub.failed_attempts,
+            );
+            d.usize(
+                &format!("backend_usage[{i}].speculative"),
+                ua.speculative,
+                ub.speculative,
+            );
+            d.usize(&format!("backend_usage[{i}].cancelled"), ua.cancelled, ub.cancelled);
+            d.f64(&format!("backend_usage[{i}].cost"), ua.cost, ub.cost);
+            d.f64(&format!("backend_usage[{i}].qpu_ms"), ua.qpu_ms, ub.qpu_ms);
+        }
+    }
+    d.usize("waves.len", a.waves.len(), b.waves.len());
+    if !d.done() {
+        for (i, (wa, wb)) in a.waves.iter().zip(&b.waves).enumerate() {
+            d.usize(&format!("waves[{i}].wave"), wa.wave, wb.wave);
+            d.usize(&format!("waves[{i}].first_read"), wa.first_read, wb.first_read);
+            d.usize(&format!("waves[{i}].reads"), wa.reads, wb.reads);
+            d.usize(
+                &format!("waves[{i}].allocation.len"),
+                wa.allocation.len(),
+                wb.allocation.len(),
+            );
+            if !d.done() {
+                for (j, (aa, ab)) in wa.allocation.iter().zip(&wb.allocation).enumerate() {
+                    d.str(&format!("waves[{i}].allocation[{j}].sampler"), &aa.sampler, &ab.sampler);
+                    d.usize(
+                        &format!("waves[{i}].allocation[{j}].reads"),
+                        aa.reads,
+                        ab.reads,
+                    );
+                }
+            }
+            d.usize(&format!("waves[{i}].elite_seeded"), wa.elite_seeded, wb.elite_seeded);
+        }
+    }
+    d.str("termination", &a.termination, &b.termination);
+    if let Some((f, av, bv)) = d.field {
+        return Some(at(&f, av, bv));
+    }
+
+    // Every compared field agrees; if the digests still disagree, one
+    // side is stale (or the encodings differ across versions).
+    if a.trace_digest != b.trace_digest {
+        return Some(at(
+            "trace_digest",
+            a.trace_digest.clone(),
+            b.trace_digest.clone(),
+        ));
+    }
+    None
+}
+
+/// Diffs two run manifests, localizing the first divergent read.
+///
+/// Only the determinism contract is compared: wall-clock fields, the
+/// derived `acceptance_rate`, timestamps, `git_describe`, and the command
+/// line are all ignored. Structural mismatches (different case lists,
+/// different methods) are reported as divergences too — a replay that ran
+/// different work is not a replay.
+pub fn diff_manifests(a: &RunManifest, b: &RunManifest) -> TraceDiff {
+    let structural = |field: &str, av: String, bv: String| {
+        TraceDiff::Diverged(Box::new(Divergence {
+            case: String::new(),
+            method: String::new(),
+            read: None,
+            wave: None,
+            slot: None,
+            sampler: None,
+            backend: None,
+            field: field.to_string(),
+            a: av,
+            b: bv,
+        }))
+    };
+    if a.schema != b.schema {
+        return structural("schema", a.schema.to_string(), b.schema.to_string());
+    }
+    if a.cases.len() != b.cases.len() {
+        return structural(
+            "cases.len",
+            a.cases.len().to_string(),
+            b.cases.len().to_string(),
+        );
+    }
+    let mut solves = 0usize;
+    let mut reads = 0usize;
+    for (ca, cb) in a.cases.iter().zip(&b.cases) {
+        if ca.label != cb.label {
+            return structural("case.label", ca.label.clone(), cb.label.clone());
+        }
+        if ca.methods.len() != cb.methods.len() {
+            return TraceDiff::Diverged(Box::new(Divergence {
+                case: ca.label.clone(),
+                method: String::new(),
+                read: None,
+                wave: None,
+                slot: None,
+                sampler: None,
+                backend: None,
+                field: "methods.len".into(),
+                a: ca.methods.len().to_string(),
+                b: cb.methods.len().to_string(),
+            }));
+        }
+        for (ma, mb) in ca.methods.iter().zip(&cb.methods) {
+            if ma.method != mb.method {
+                return TraceDiff::Diverged(Box::new(Divergence {
+                    case: ca.label.clone(),
+                    method: String::new(),
+                    read: None,
+                    wave: None,
+                    slot: None,
+                    sampler: None,
+                    backend: None,
+                    field: "method".into(),
+                    a: ma.method.clone(),
+                    b: mb.method.clone(),
+                }));
+            }
+            if let Some(div) = diff_solve(&ca.label, &ma.method, &ma.solve, &mb.solve) {
+                return TraceDiff::Diverged(Box::new(div));
+            }
+            solves += 1;
+            reads += ma.solve.reads.len();
+        }
+    }
+    TraceDiff::Identical {
+        cases: a.cases.len(),
+        solves,
+        reads,
+    }
+}
+
+/// Verifies every stored trace digest recomputes from its own record.
+///
+/// Catches stale or hand-edited manifests and records produced before
+/// schema v6 (whose digests are empty). Returns every failure, not just
+/// the first, so a wholesale-stale manifest reads as such.
+pub fn audit_manifest(m: &RunManifest) -> Result<AuditSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut solves = 0usize;
+    let mut reads = 0usize;
+    for case in &m.cases {
+        for method in &case.methods {
+            let s = &method.solve;
+            let expected = solve_trace_digest(s);
+            if s.trace_digest.is_empty() {
+                errors.push(format!(
+                    "case '{}' method '{}': no trace digest (pre-v6 manifest? re-run to seal)",
+                    case.label, method.method
+                ));
+            } else if s.trace_digest != expected {
+                errors.push(format!(
+                    "case '{}' method '{}': stored digest {} does not recompute ({expected}) — stale or hand-edited trace",
+                    case.label, method.method, s.trace_digest
+                ));
+            }
+            solves += 1;
+            reads += s.reads.len();
+        }
+    }
+    if errors.is_empty() {
+        Ok(AuditSummary {
+            cases: m.cases.len(),
+            solves,
+            reads,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_telemetry::{
+        CaseTrace, ConfigSnapshot, FaultRecord, MethodTrace, SampleSetSummary, TimingRecord,
+        WaveAllocation, WaveRecord,
+    };
+
+    fn read(index: usize, seed: u64) -> ReadRecord {
+        ReadRecord {
+            read: index,
+            sampler: if index % 2 == 0 { "SA" } else { "SQA" }.into(),
+            seed,
+            seeded: false,
+            initial_energy: 10.0,
+            best_energy: 1.0,
+            final_energy: 0.5,
+            sweeps: 100,
+            proposals: 600,
+            accepted: 150,
+            acceptance_rate: 0.25,
+            repair_steps: 3,
+            polish_flips: 2,
+            polish_improvement: 0.5,
+            objective: 0.5,
+            violation: 0.0,
+            feasible: true,
+            wall_ms: 1.25,
+            attempts: 1,
+            backoff_proposals: 0,
+            faults: vec![],
+            backend: "in-process".into(),
+            speculated: false,
+            cancelled_backend: None,
+        }
+    }
+
+    fn manifest() -> RunManifest {
+        let solve = SolveRecord {
+            num_vars: 6,
+            compiled_vars: 8,
+            requested_reads: 4,
+            reads: vec![read(0, 41), read(1, 42), read(2, 43), read(3, 44)],
+            failed_reads: vec![],
+            backend_usage: vec![],
+            waves: vec![
+                WaveRecord {
+                    wave: 0,
+                    first_read: 0,
+                    reads: 2,
+                    allocation: vec![WaveAllocation {
+                        sampler: "SA".into(),
+                        reads: 2,
+                    }],
+                    elite_seeded: 0,
+                    wall_ms: 2.5,
+                },
+                WaveRecord {
+                    wave: 1,
+                    first_read: 2,
+                    reads: 2,
+                    allocation: vec![WaveAllocation {
+                        sampler: "SA".into(),
+                        reads: 2,
+                    }],
+                    elite_seeded: 1,
+                    wall_ms: 2.5,
+                },
+            ],
+            termination: "exhausted".into(),
+            timing: TimingRecord {
+                cpu_ms: 5.0,
+                qpu_ms: 0.0,
+            },
+            summary: SampleSetSummary::default(),
+            trace_digest: String::new(),
+        };
+        let mut m = RunManifest::new("test", ConfigSnapshot::default());
+        m.cases.push(CaseTrace {
+            label: "tiny".into(),
+            methods: vec![MethodTrace {
+                method: "hybrid".into(),
+                solve,
+            }],
+            sim: None,
+        });
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn identical_manifests_diff_clean() {
+        let a = manifest();
+        let b = a.clone();
+        let diff = diff_manifests(&a, &b);
+        assert_eq!(
+            diff,
+            TraceDiff::Identical {
+                cases: 1,
+                solves: 1,
+                reads: 4
+            }
+        );
+        assert!(diff.is_identical());
+        assert!(diff.render().contains("4 read(s)"));
+    }
+
+    #[test]
+    fn seed_divergence_is_localized_to_read_wave_and_field() {
+        let a = manifest();
+        let mut b = manifest();
+        b.cases[0].methods[0].solve.reads[2].seed = 999;
+        qlrb_telemetry::fingerprint::seal(&mut b.cases[0].methods[0].solve);
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &b) else {
+            panic!("seed perturbation must diverge");
+        };
+        assert_eq!(d.case, "tiny");
+        assert_eq!(d.method, "hybrid");
+        assert_eq!(d.read, Some(2));
+        assert_eq!(d.wave, Some(1));
+        assert_eq!(d.slot, Some(0));
+        assert_eq!(d.sampler.as_deref(), Some("SA"));
+        assert_eq!(d.backend.as_deref(), Some("in-process"));
+        assert_eq!(d.field, "seed");
+        assert_eq!(d.a, "43");
+        assert_eq!(d.b, "999");
+        let line = d.render();
+        assert!(line.contains("read 2"), "{line}");
+        assert!(line.contains("wave 1 slot 0"), "{line}");
+        assert!(line.contains("field 'seed'"), "{line}");
+    }
+
+    #[test]
+    fn wall_clock_and_acceptance_rate_are_outside_the_contract() {
+        let a = manifest();
+        let mut b = manifest();
+        {
+            let s = &mut b.cases[0].methods[0].solve;
+            s.reads[0].wall_ms = 99.0;
+            s.reads[0].acceptance_rate = 0.5;
+            s.waves[0].wall_ms = 99.0;
+            s.timing.cpu_ms = 99.0;
+        }
+        // Digests are already sealed and exclude wall clocks, but strip
+        // them to force the field-by-field path too.
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.cases[0].methods[0].solve.trace_digest.clear();
+        b2.cases[0].methods[0].solve.trace_digest.clear();
+        assert!(diff_manifests(&a, &b).is_identical());
+        assert!(diff_manifests(&a2, &b2).is_identical());
+    }
+
+    #[test]
+    fn one_ulp_float_divergence_renders_bits() {
+        let a = manifest();
+        let mut b = manifest();
+        {
+            let s = &mut b.cases[0].methods[0].solve;
+            s.reads[1].best_energy = f64::from_bits(s.reads[1].best_energy.to_bits() + 1);
+            qlrb_telemetry::fingerprint::seal(s);
+        }
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &b) else {
+            panic!("one-ulp perturbation must diverge");
+        };
+        assert_eq!(d.field, "best_energy");
+        assert!(d.a.contains("0x"), "{}", d.a);
+        assert!(d.b.contains("0x"), "{}", d.b);
+        assert_ne!(d.a, d.b);
+    }
+
+    #[test]
+    fn structural_divergences_are_reported() {
+        let a = manifest();
+        let mut b = manifest();
+        b.cases[0].label = "other".into();
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &b) else {
+            panic!("label change must diverge");
+        };
+        assert_eq!(d.field, "case.label");
+
+        let mut c = manifest();
+        c.cases.clear();
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &c) else {
+            panic!("case-count change must diverge");
+        };
+        assert_eq!(d.field, "cases.len");
+
+        let mut e = manifest();
+        e.cases[0].methods[0].solve.reads.truncate(2);
+        e.cases[0].methods[0].solve.waves.truncate(1);
+        qlrb_telemetry::fingerprint::seal(&mut e.cases[0].methods[0].solve);
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &e) else {
+            panic!("read-count change must diverge");
+        };
+        assert_eq!(d.field, "reads.len");
+        assert_eq!(d.read, Some(2));
+    }
+
+    #[test]
+    fn fault_chain_divergence_names_the_fault() {
+        let a = manifest();
+        let mut b = manifest();
+        {
+            let s = &mut b.cases[0].methods[0].solve;
+            s.reads[0].faults.push(FaultRecord {
+                attempt: 0,
+                backend: "qpu".into(),
+                error: "timeout".into(),
+            });
+            qlrb_telemetry::fingerprint::seal(s);
+        }
+        let TraceDiff::Diverged(d) = diff_manifests(&a, &b) else {
+            panic!("fault injection must diverge");
+        };
+        assert_eq!(d.field, "faults.len");
+        assert_eq!(d.read, Some(0));
+        assert_eq!(d.wave, Some(0));
+    }
+
+    #[test]
+    fn audit_accepts_sealed_and_rejects_stale_or_missing_digests() {
+        let m = manifest();
+        let summary = audit_manifest(&m).expect("sealed manifest must audit clean");
+        assert_eq!(
+            summary,
+            AuditSummary {
+                cases: 1,
+                solves: 1,
+                reads: 4
+            }
+        );
+
+        let mut stale = manifest();
+        stale.cases[0].methods[0].solve.reads[0].seed = 7; // not resealed
+        let errors = audit_manifest(&stale).expect_err("stale digest must fail");
+        assert!(errors[0].contains("does not recompute"), "{}", errors[0]);
+
+        let mut unsealed = manifest();
+        unsealed.cases[0].methods[0].solve.trace_digest.clear();
+        let errors = audit_manifest(&unsealed).expect_err("missing digest must fail");
+        assert!(errors[0].contains("no trace digest"), "{}", errors[0]);
+    }
+}

@@ -1,7 +1,5 @@
 //! The diagnostic vocabulary: rules, severities, spans, and reports.
 
-use serde::Serialize;
-
 /// Stable identifiers for the model-lint rules.
 ///
 /// The kebab-case form returned by [`RuleId::as_str`] is the contract with
@@ -168,22 +166,87 @@ impl Diagnostic {
     }
 }
 
-/// The flat, serde-friendly form of a [`Diagnostic`] (the offline JSON
-/// layer handles plain structs; typed enums are rendered to strings here).
-#[derive(Debug, Clone, PartialEq, Serialize)]
-struct DiagnosticJson {
-    rule: String,
-    severity: String,
-    span: String,
-    message: String,
-    suggestion: Option<String>,
+/// One finding in the flat, tool-agnostic schema every linting surface
+/// emits under `--json`: the model linter (`qlrb lint`) renders its typed
+/// [`Diagnostic`]s into this shape, and the source linter (`cargo xtask
+/// lint`) builds it directly with `file:line` spans. One serializer, one
+/// schema — consumers parse `{errors, warnings, diagnostics: [{rule,
+/// severity, span, message, suggestion}]}` regardless of which tool wrote
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatDiagnostic {
+    /// Stable kebab-case rule identifier.
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// Where the finding points: a model span or a `file:line` location.
+    pub span: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when a concrete fix is known (`null` in JSON
+    /// otherwise).
+    pub suggestion: Option<String>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize)]
-struct ReportJson {
-    errors: usize,
-    warnings: usize,
-    diagnostics: Vec<DiagnosticJson>,
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The shared `--json` report: `{errors, warnings, diagnostics: [...]}`,
+/// pretty-printed with two-space indents. Counts are derived from the
+/// findings' severities, so the header can never disagree with the body.
+///
+/// Hand-rolled rather than serde so the report stays available to tools
+/// that must not pull the full serialization stack (the `xtask` linter
+/// lints the workspace that defines it).
+pub fn render_findings_json(diagnostics: &[FlatDiagnostic]) -> String {
+    let errors = diagnostics.iter().filter(|d| d.severity == "error").count();
+    let warnings = diagnostics.len() - errors;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"rule\": \"{}\",\n", json_escape(&d.rule)));
+        out.push_str(&format!(
+            "      \"severity\": \"{}\",\n",
+            json_escape(&d.severity)
+        ));
+        out.push_str(&format!("      \"span\": \"{}\",\n", json_escape(&d.span)));
+        out.push_str(&format!(
+            "      \"message\": \"{}\",\n",
+            json_escape(&d.message)
+        ));
+        match &d.suggestion {
+            Some(s) => {
+                out.push_str(&format!("      \"suggestion\": \"{}\"\n", json_escape(s)));
+            }
+            None => out.push_str("      \"suggestion\": null\n"),
+        }
+        out.push_str("    }");
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
 }
 
 /// An ordered collection of findings from one lint pass.
@@ -237,24 +300,21 @@ impl LintReport {
         self.diagnostics.iter().any(|d| d.rule == rule)
     }
 
-    /// The machine-readable report: `{errors, warnings, diagnostics: [...]}`.
+    /// The machine-readable report: `{errors, warnings, diagnostics: [...]}`
+    /// in the [`FlatDiagnostic`] schema shared with `cargo xtask lint`.
     pub fn to_json(&self) -> String {
-        let flat = ReportJson {
-            errors: self.num_errors(),
-            warnings: self.num_warnings(),
-            diagnostics: self
-                .diagnostics
-                .iter()
-                .map(|d| DiagnosticJson {
-                    rule: d.rule.as_str().to_string(),
-                    severity: d.severity.as_str().to_string(),
-                    span: d.span.to_string(),
-                    message: d.message.clone(),
-                    suggestion: d.suggestion.clone(),
-                })
-                .collect(),
-        };
-        serde_json::to_string_pretty(&flat).unwrap_or_else(|_| "{}".to_string())
+        let flat: Vec<FlatDiagnostic> = self
+            .diagnostics
+            .iter()
+            .map(|d| FlatDiagnostic {
+                rule: d.rule.as_str().to_string(),
+                severity: d.severity.as_str().to_string(),
+                span: d.span.to_string(),
+                message: d.message.clone(),
+                suggestion: d.suggestion.clone(),
+            })
+            .collect();
+        render_findings_json(&flat)
     }
 
     /// Human-readable rendering, one finding per paragraph, with a summary
@@ -347,6 +407,45 @@ mod tests {
         // Clean reports serialize to an empty diagnostics list.
         let clean = LintReport::new().to_json();
         assert!(clean.contains("\"diagnostics\""));
+    }
+
+    #[test]
+    fn shared_serializer_escapes_and_counts() {
+        let findings = vec![
+            FlatDiagnostic {
+                rule: "no-unwrap".into(),
+                severity: "error".into(),
+                span: "crates/x/src/lib.rs:12".into(),
+                message: "say \"no\"\nplease".into(),
+                suggestion: None,
+            },
+            FlatDiagnostic {
+                rule: "unordered-iteration".into(),
+                severity: "warning".into(),
+                span: "crates/y/src/lib.rs:3".into(),
+                message: "tab\there".into(),
+                suggestion: Some("use a BTreeMap".into()),
+            },
+        ];
+        let json = render_findings_json(&findings);
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\"warnings\": 1"), "{json}");
+        assert!(json.contains(r#"say \"no\"\nplease"#), "{json}");
+        assert!(json.contains(r"tab\there"), "{json}");
+        assert!(json.contains("\"suggestion\": null"), "{json}");
+        assert!(json.contains("\"suggestion\": \"use a BTreeMap\""), "{json}");
+        // An empty report is still a complete document.
+        let empty = render_findings_json(&[]);
+        assert!(empty.contains("\"errors\": 0"), "{empty}");
+        assert!(empty.contains("\"diagnostics\": []"), "{empty}");
+    }
+
+    #[test]
+    fn json_escape_covers_controls_and_quotes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -10,11 +10,18 @@
 //! * [`diagnostic`] — the vocabulary: [`RuleId`] (stable kebab-case rule
 //!   identifiers), [`Severity`], [`Span`] (variable / constraint / term /
 //!   coupling), [`Diagnostic`], and the [`LintReport`] container with
-//!   human-readable and JSON renderings.
+//!   human-readable and JSON renderings. [`FlatDiagnostic`] and
+//!   [`render_findings_json`] are the shared `--json` schema both the
+//!   model linter and the `cargo xtask lint` source linter emit.
 //! * [`model`] — the passes: [`lint_cqm`] (structure), [`lint_penalty`]
 //!   (weights vs. the provable bound for the chosen `PenaltyStyle`),
 //!   [`lint_cqm_with_penalty`] (both), and [`lint_bqm`] (QUBO adjacency
 //!   invariants).
+//! * [`audit`] — the dynamic half of the determinism auditor:
+//!   [`diff_manifests`](audit::diff_manifests) localizes the first
+//!   divergent read between two replay manifests, and
+//!   [`audit_manifest`](audit::audit_manifest) verifies every stored
+//!   trace digest recomputes from its own record.
 //!
 //! The LRP-specific entry points (qubit-budget accounting against
 //! `paper_qubit_formula`) live in `qlrb-core`, which owns the `LrpCqm`
@@ -42,8 +49,13 @@
 //! assert!(report.has_rule(RuleId::InfeasibleBound));
 //! ```
 
+pub mod audit;
 pub mod diagnostic;
 pub mod model;
 
-pub use diagnostic::{Diagnostic, LintReport, RuleId, Severity, Span};
+pub use audit::{audit_manifest, diff_manifests, AuditSummary, Divergence, TraceDiff};
+pub use diagnostic::{
+    json_escape, render_findings_json, Diagnostic, FlatDiagnostic, LintReport, RuleId, Severity,
+    Span,
+};
 pub use model::{lint_bqm, lint_cqm, lint_cqm_with_penalty, lint_penalty, F64_EXACT_INT_LIMIT};

@@ -879,7 +879,7 @@ impl HybridCqmSolver {
             set.sort();
             set.timing.cpu = started.elapsed();
             if tracing {
-                self.sink.record_solve(SolveRecord {
+                let mut record = SolveRecord {
                     num_vars: width,
                     compiled_vars: 0,
                     requested_reads: self.num_reads,
@@ -890,7 +890,10 @@ impl HybridCqmSolver {
                     termination: TerminationReason::FastExit.as_str().to_string(),
                     timing: timing_record(&set.timing),
                     summary: set.summary(),
-                });
+                    trace_digest: String::new(),
+                };
+                qlrb_telemetry::fingerprint::seal(&mut record);
+                self.sink.record_solve(record);
             }
             return set;
         }
@@ -1076,7 +1079,7 @@ impl HybridCqmSolver {
         set.sort();
         if tracing {
             let backend_usage = self.backend_usage(&reads, &failed_reads);
-            self.sink.record_solve(SolveRecord {
+            let mut record = SolveRecord {
                 num_vars: width,
                 compiled_vars: compiled.num_vars(),
                 requested_reads: self.num_reads,
@@ -1087,7 +1090,14 @@ impl HybridCqmSolver {
                 termination: termination.as_str().to_string(),
                 timing: timing_record(&set.timing),
                 summary: set.summary(),
-            });
+                trace_digest: String::new(),
+            };
+            // Fingerprint emission (DESIGN.md §Determinism audit): the
+            // digest is stamped where the record is born, so every sink —
+            // manifest writers and ad-hoc consumers alike — sees a sealed
+            // trace.
+            qlrb_telemetry::fingerprint::seal(&mut record);
+            self.sink.record_solve(record);
         }
         set
     }

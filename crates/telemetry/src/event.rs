@@ -297,6 +297,13 @@ pub struct SolveRecord {
     pub timing: TimingRecord,
     /// Aggregate over the returned sample set.
     pub summary: SampleSetSummary,
+    /// Deterministic fold of every per-read fingerprint plus the solve
+    /// structure (16 hex digits; see [`crate::fingerprint`]). Identical
+    /// configurations must reproduce it bit-for-bit; `qlrb trace diff`
+    /// localizes the first divergent read when they do not. Empty in
+    /// pre-v6 manifests.
+    #[serde(default)]
+    pub trace_digest: String,
 }
 
 #[cfg(test)]
@@ -382,9 +389,38 @@ mod tests {
                 objective_spread: Some(2.5),
                 best_feasible_objective: Some(0.5),
             },
+            trace_digest: "0123456789abcdef".into(),
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: SolveRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn pre_v6_solve_records_parse_with_an_empty_digest() {
+        // `trace_digest` arrived with schema v6; older records omit it, so
+        // this literal is a verbatim pre-v6 solve record.
+        let json = r#"{
+            "num_vars": 1,
+            "compiled_vars": 1,
+            "requested_reads": 0,
+            "reads": [],
+            "failed_reads": [],
+            "backend_usage": [],
+            "waves": [],
+            "termination": "fast-exit",
+            "timing": {"cpu_ms": 0.0, "qpu_ms": 0.0},
+            "summary": {
+                "num_samples": 0,
+                "num_feasible": 0,
+                "best_objective": null,
+                "worst_objective": null,
+                "objective_spread": null,
+                "best_feasible_objective": null
+            }
+        }"#;
+        let back: SolveRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(back.trace_digest, "");
+        assert_eq!(back.termination, "fast-exit");
     }
 }

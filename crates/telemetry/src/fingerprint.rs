@@ -1,0 +1,325 @@
+//! Deterministic trace fingerprints: the dynamic half of the determinism
+//! auditor (DESIGN.md §Determinism audit).
+//!
+//! Every field of a [`ReadRecord`] except wall-clock time is a pure
+//! function of (model, seed, configuration). This module folds those
+//! fields into a per-read 64-bit fingerprint and the per-solve fingerprints
+//! into a solve-level [`trace digest`](solve_trace_digest) recorded in the
+//! run manifest (schema v6). Two runs of the same configuration must agree
+//! on every fingerprint; when they do not, `qlrb trace diff` walks the
+//! per-read records to localize the *first divergent read* instead of
+//! reporting a byte-level "manifests differ".
+//!
+//! The hash is FNV-1a over a tagged, length-prefixed field encoding —
+//! stable across platforms (explicit little-endian integer encoding,
+//! `f64::to_bits` for floats) and independent of JSON formatting. It is a
+//! change-detector, not a cryptographic commitment.
+//!
+//! Excluded from fingerprints, by design:
+//!
+//! * `wall_ms` (read, wave) and the solve [`TimingRecord`] — wall clocks
+//!   are the one legitimately nondeterministic observation in a trace;
+//! * `acceptance_rate` — derived from `accepted / proposals`, both of
+//!   which are already hashed.
+
+use crate::event::{FailedReadRecord, FaultRecord, ReadRecord, SolveRecord};
+
+/// Version tag folded into every digest; bump when the encoding or the
+/// field set changes so stale manifests fail `qlrb audit` loudly instead
+/// of comparing incomparable hashes.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a accumulator with tagged field writers.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.bytes(&[u8::from(v)]);
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` hash apart.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            None => self.bool(false),
+            Some(s) => {
+                self.bool(true);
+                self.str(s);
+            }
+        }
+    }
+
+    fn faults(&mut self, faults: &[FaultRecord]) {
+        self.u64(faults.len() as u64);
+        for f in faults {
+            self.u64(u64::from(f.attempt));
+            self.str(&f.backend);
+            self.str(&f.error);
+        }
+    }
+}
+
+/// Fingerprint of one completed read: every deterministic field, in
+/// declaration order, excluding `wall_ms` and the derived
+/// `acceptance_rate`.
+pub fn read_fingerprint(r: &ReadRecord) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(u64::from(FINGERPRINT_VERSION));
+    h.u64(r.read as u64);
+    h.str(&r.sampler);
+    h.u64(r.seed);
+    h.bool(r.seeded);
+    h.f64(r.initial_energy);
+    h.f64(r.best_energy);
+    h.f64(r.final_energy);
+    h.u64(r.sweeps);
+    h.u64(r.proposals);
+    h.u64(r.accepted);
+    h.u64(r.repair_steps);
+    h.u64(r.polish_flips);
+    h.f64(r.polish_improvement);
+    h.f64(r.objective);
+    h.f64(r.violation);
+    h.bool(r.feasible);
+    h.u64(u64::from(r.attempts));
+    h.u64(r.backoff_proposals);
+    h.faults(&r.faults);
+    h.str(&r.backend);
+    h.bool(r.speculated);
+    h.opt_str(r.cancelled_backend.as_deref());
+    h.0
+}
+
+/// Fingerprint of one exhausted read (its whole fault chain).
+pub fn failed_read_fingerprint(f: &FailedReadRecord) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(u64::from(FINGERPRINT_VERSION));
+    h.u64(f.read as u64);
+    h.str(&f.sampler);
+    h.str(&f.backend);
+    h.faults(&f.faults);
+    h.0
+}
+
+/// The solve-level trace digest: a fold over every per-read fingerprint
+/// plus the deterministic solve structure (waves sans wall time, backend
+/// accounting, termination). Rendered as 16 lowercase hex digits — the
+/// value [`SolveRecord::trace_digest`] records under manifest schema v6.
+///
+/// The record's own `trace_digest` field is *not* an input, so the digest
+/// of a sealed record recomputes to itself.
+pub fn solve_trace_digest(s: &SolveRecord) -> String {
+    let mut h = Fnv::new();
+    h.u64(u64::from(FINGERPRINT_VERSION));
+    h.u64(s.num_vars as u64);
+    h.u64(s.compiled_vars as u64);
+    h.u64(s.requested_reads as u64);
+    h.u64(s.reads.len() as u64);
+    for r in &s.reads {
+        h.u64(read_fingerprint(r));
+    }
+    h.u64(s.failed_reads.len() as u64);
+    for f in &s.failed_reads {
+        h.u64(failed_read_fingerprint(f));
+    }
+    h.u64(s.backend_usage.len() as u64);
+    for u in &s.backend_usage {
+        h.str(&u.backend);
+        h.u64(u.reads as u64);
+        h.u64(u.failed_attempts as u64);
+        h.u64(u.speculative as u64);
+        h.u64(u.cancelled as u64);
+        h.f64(u.cost);
+        h.f64(u.qpu_ms);
+    }
+    h.u64(s.waves.len() as u64);
+    for w in &s.waves {
+        h.u64(w.wave as u64);
+        h.u64(w.first_read as u64);
+        h.u64(w.reads as u64);
+        h.u64(w.allocation.len() as u64);
+        for a in &w.allocation {
+            h.str(&a.sampler);
+            h.u64(a.reads as u64);
+        }
+        h.u64(w.elite_seeded as u64);
+    }
+    h.str(&s.termination);
+    format!("{:016x}", h.0)
+}
+
+/// Stamps [`SolveRecord::trace_digest`] with the recomputed digest.
+/// Idempotent; the anneal scheduler calls this once per solve before the
+/// record reaches the trace sink, and `RunManifest::finalize` calls it for
+/// records assembled by hand (tests, external producers).
+pub fn seal(record: &mut SolveRecord) {
+    record.trace_digest = solve_trace_digest(record);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SampleSetSummary, TimingRecord};
+
+    fn read(seed: u64) -> ReadRecord {
+        ReadRecord {
+            read: 0,
+            sampler: "SA".into(),
+            seed,
+            seeded: false,
+            initial_energy: 10.0,
+            best_energy: 1.0,
+            final_energy: 0.5,
+            sweeps: 100,
+            proposals: 600,
+            accepted: 150,
+            acceptance_rate: 0.25,
+            repair_steps: 3,
+            polish_flips: 2,
+            polish_improvement: 0.5,
+            objective: 0.5,
+            violation: 0.0,
+            feasible: true,
+            wall_ms: 1.25,
+            attempts: 1,
+            backoff_proposals: 0,
+            faults: vec![],
+            backend: "in-process".into(),
+            speculated: false,
+            cancelled_backend: None,
+        }
+    }
+
+    fn solve(seed: u64) -> SolveRecord {
+        SolveRecord {
+            num_vars: 6,
+            compiled_vars: 8,
+            requested_reads: 1,
+            reads: vec![read(seed)],
+            failed_reads: vec![],
+            backend_usage: vec![],
+            waves: vec![],
+            termination: "exhausted".into(),
+            timing: TimingRecord::default(),
+            summary: SampleSetSummary::default(),
+            trace_digest: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_seed_sensitive() {
+        assert_eq!(read_fingerprint(&read(42)), read_fingerprint(&read(42)));
+        assert_ne!(read_fingerprint(&read(42)), read_fingerprint(&read(43)));
+    }
+
+    #[test]
+    fn wall_clock_and_acceptance_rate_do_not_perturb_the_fingerprint() {
+        let a = read(42);
+        let mut b = read(42);
+        b.wall_ms = 999.0;
+        b.acceptance_rate = 0.99;
+        assert_eq!(read_fingerprint(&a), read_fingerprint(&b));
+    }
+
+    #[test]
+    fn every_deterministic_field_perturbs_the_fingerprint() {
+        let base = read_fingerprint(&read(42));
+        let muts: Vec<(&str, Box<dyn Fn(&mut ReadRecord)>)> = vec![
+            ("sampler", Box::new(|r| r.sampler = "SQA".into())),
+            ("seeded", Box::new(|r| r.seeded = true)),
+            ("initial_energy", Box::new(|r| r.initial_energy = 11.0)),
+            ("best_energy", Box::new(|r| r.best_energy = 2.0)),
+            ("final_energy", Box::new(|r| r.final_energy = 0.25)),
+            ("sweeps", Box::new(|r| r.sweeps += 1)),
+            ("proposals", Box::new(|r| r.proposals += 1)),
+            ("accepted", Box::new(|r| r.accepted += 1)),
+            ("repair_steps", Box::new(|r| r.repair_steps += 1)),
+            ("polish_flips", Box::new(|r| r.polish_flips += 1)),
+            ("objective", Box::new(|r| r.objective = 9.0)),
+            ("violation", Box::new(|r| r.violation = 1.0)),
+            ("feasible", Box::new(|r| r.feasible = false)),
+            ("attempts", Box::new(|r| r.attempts += 1)),
+            ("backoff", Box::new(|r| r.backoff_proposals += 64)),
+            ("backend", Box::new(|r| r.backend = "qpu".into())),
+            ("speculated", Box::new(|r| r.speculated = true)),
+            (
+                "cancelled",
+                Box::new(|r| r.cancelled_backend = Some("qpu".into())),
+            ),
+            (
+                "faults",
+                Box::new(|r| {
+                    r.faults.push(FaultRecord {
+                        attempt: 0,
+                        backend: "qpu".into(),
+                        error: "timeout".into(),
+                    });
+                }),
+            ),
+        ];
+        for (field, m) in muts {
+            let mut r = read(42);
+            m(&mut r);
+            assert_ne!(read_fingerprint(&r), base, "{field} not fingerprinted");
+        }
+    }
+
+    #[test]
+    fn digest_is_hex_and_ignores_its_own_field() {
+        let mut s = solve(42);
+        let digest = solve_trace_digest(&s);
+        assert_eq!(digest.len(), 16);
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        seal(&mut s);
+        assert_eq!(s.trace_digest, digest);
+        // Sealing again (or hashing a sealed record) is a fixed point.
+        assert_eq!(solve_trace_digest(&s), digest);
+    }
+
+    #[test]
+    fn digest_localizes_termination_and_structure() {
+        let base = solve_trace_digest(&solve(42));
+        let mut s = solve(42);
+        s.termination = "plateau".into();
+        assert_ne!(solve_trace_digest(&s), base);
+        let mut s = solve(42);
+        s.failed_reads.push(FailedReadRecord {
+            read: 1,
+            sampler: "SA".into(),
+            backend: "qpu".into(),
+            faults: vec![FaultRecord {
+                attempt: 0,
+                backend: "qpu".into(),
+                error: "crash".into(),
+            }],
+        });
+        assert_ne!(solve_trace_digest(&s), base);
+    }
+}

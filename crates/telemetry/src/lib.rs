@@ -20,6 +20,10 @@
 //!   [`sink::NoopSink`] (the default) reports `enabled() == false`, which
 //!   gates all record construction; [`sink::MemorySink`] buffers records
 //!   for harnesses and the CLI.
+//! * [`fingerprint`] — the determinism-audit surface: FNV-1a fingerprints
+//!   of each read's deterministic fields, folded into the solve-level
+//!   `trace_digest` that manifest schema v6 records and `qlrb trace diff`
+//!   / `qlrb audit` consume.
 //! * [`manifest`] — [`manifest::RunManifest`], the JSON run manifest the
 //!   harness and CLI write next to their CSV outputs: command line,
 //!   `git describe`, per-case solve traces, simulator counters, and
@@ -31,6 +35,7 @@
 //! sample sets (asserted by the workspace determinism tests).
 
 pub mod event;
+pub mod fingerprint;
 pub mod manifest;
 pub mod observer;
 pub mod sink;
@@ -39,6 +44,9 @@ pub use event::{
     BackendUsageRecord, FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord,
     ReadRecord, SampleSetSummary, SolveRecord, SolverConfig, TimingRecord, WaveAllocation,
     WaveRecord,
+};
+pub use fingerprint::{
+    failed_read_fingerprint, read_fingerprint, solve_trace_digest, FINGERPRINT_VERSION,
 };
 pub use manifest::{
     median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,

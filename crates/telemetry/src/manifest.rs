@@ -32,7 +32,12 @@ use crate::event::{SolveRecord, SolverConfig};
 /// (`faults[].backend`, `failed_reads[].backend`), per-solve dispatch
 /// accounting (`backend_usage`), and the pool in the solver config
 /// (`backends`, `speculate`).
-pub const MANIFEST_SCHEMA_VERSION: u32 = 5;
+///
+/// v6: determinism-audit surface — every solve carries a `trace_digest`,
+/// the deterministic fold of its per-read fingerprints (see
+/// [`crate::fingerprint`]); `validate` recomputes and cross-checks it, and
+/// `qlrb trace diff` / `qlrb audit` consume it.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 6;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -202,8 +207,17 @@ impl RunManifest {
 
     /// Recomputes [`RunManifest::timing`] from the current cases: for every
     /// method, the median CPU and QPU milliseconds across its solves, in
-    /// order of first appearance.
+    /// order of first appearance. Also seals any solve record still missing
+    /// its `trace_digest` (records emitted by the solver arrive pre-sealed;
+    /// hand-assembled ones are stamped here).
     pub fn finalize(&mut self) {
+        for case in &mut self.cases {
+            for m in &mut case.methods {
+                if m.solve.trace_digest.is_empty() {
+                    crate::fingerprint::seal(&mut m.solve);
+                }
+            }
+        }
         let mut methods: Vec<String> = Vec::new();
         for case in &self.cases {
             for m in &case.methods {
@@ -366,6 +380,16 @@ impl RunManifest {
                         }
                     }
                 }
+                // The determinism-audit contract (schema v6): the recorded
+                // digest must recompute from the deterministic fields.
+                let expected = crate::fingerprint::solve_trace_digest(s);
+                if s.trace_digest != expected {
+                    return Err(format!(
+                        "case '{}' method '{}': trace_digest '{}' does not match the \
+                         recomputed '{expected}' (stale or hand-edited manifest?)",
+                        case.label, m.method, s.trace_digest
+                    ));
+                }
             }
         }
         for case in &self.cases {
@@ -428,7 +452,7 @@ impl RunManifest {
                 let _ = writeln!(
                     out,
                     "    {:<10} {} read(s), {}/{} feasible, mean acceptance {:.3}, \
-                     repair {} step(s), cpu {:.1} ms, stopped: {}",
+                     repair {} step(s), cpu {:.1} ms, stopped: {}, digest {}",
                     m.method,
                     s.reads.len(),
                     s.summary.num_feasible,
@@ -436,7 +460,8 @@ impl RunManifest {
                     mean_accept,
                     s.reads.iter().map(|r| r.repair_steps).sum::<u64>(),
                     s.timing.cpu_ms,
-                    s.termination
+                    s.termination,
+                    s.trace_digest
                 );
             }
             if let Some(sim) = &case.sim {
@@ -517,6 +542,7 @@ mod tests {
                 objective_spread: Some(0.0),
                 best_feasible_objective: Some(0.0),
             },
+            trace_digest: String::new(), // sealed by finalize()
         }
     }
 
@@ -607,6 +633,31 @@ mod tests {
         let mut m = manifest_with_cases();
         m.cases[0].methods[0].solve.termination.clear();
         assert!(m.validate().unwrap_err().contains("termination"));
+    }
+
+    #[test]
+    fn rejects_a_stale_trace_digest() {
+        // A field with no structural validation of its own (the read's
+        // seed) still invalidates the manifest through the digest check.
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.reads[0].seed = 999;
+        assert!(m.validate().unwrap_err().contains("trace_digest"));
+
+        // Wall-clock noise is explicitly outside the digest.
+        let mut m = manifest_with_cases();
+        m.cases[0].methods[0].solve.reads[0].wall_ms = 12345.0;
+        m.validate().expect("wall clock is not fingerprinted");
+    }
+
+    #[test]
+    fn finalize_seals_only_unsealed_records() {
+        let m = manifest_with_cases();
+        let sealed = m.cases[0].methods[0].solve.trace_digest.clone();
+        assert_eq!(sealed.len(), 16);
+        // Re-finalizing leaves a sealed digest untouched.
+        let mut again = m.clone();
+        again.finalize();
+        assert_eq!(again.cases[0].methods[0].solve.trace_digest, sealed);
     }
 
     #[test]

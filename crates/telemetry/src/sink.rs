@@ -108,6 +108,7 @@ mod tests {
             termination: "exhausted".into(),
             timing: TimingRecord::default(),
             summary: SampleSetSummary::default(),
+            trace_digest: String::new(),
         }
     }
 

@@ -20,18 +20,49 @@
 //!   exist to avoid. The rule covers the block opened by the first `{`
 //!   after the annotation.
 //!
+//! Determinism-hazard rules, scoped to the solver-path crates (`core`,
+//! `model`, `anneal`, `classical`, `harness`) whose outputs must replay
+//! bit-for-bit (DESIGN.md §Determinism audit):
+//!
+//! * `unordered-iteration` — no `HashMap` / `HashSet` in the solver path:
+//!   their iteration order is randomized per process and leaks into plans,
+//!   energies, telemetry, and RNG consumption the moment anyone iterates.
+//!   Use `BTreeMap` / `BTreeSet`, or sort before iterating; an allow needs
+//!   a justification that order never escapes.
+//! * `float-reduce-order` — no float accumulation (`.sum()`, `.reduce(…)`,
+//!   `.fold(…)`, `.product(…)`) inside a rayon parallel-iterator statement:
+//!   float addition is non-associative, so the reduction tree shape — which
+//!   rayon picks per run — changes the result. Document a fixed reduction
+//!   tree with a `// qlrb-float-order:` comment, or reduce sequentially.
+//! * `ambient-parallelism` — no `thread::spawn` / `rayon::scope` /
+//!   `ThreadPoolBuilder` in the solver path: scheduling must flow through
+//!   the harness's sanctioned entry points so replay order is fixed.
+//! * `thread-id-leak` — no `thread::current()` / `ThreadId` /
+//!   `current_thread_index()`: a scheduler-dependent identity that reaches
+//!   a seed, an ordering, or a trace breaks replay. Derive identity from
+//!   (wave, slot) indices instead.
+//!
 //! Suppressions, always with a justification in the surrounding comment:
 //!
-//! * `// qlrb-lint: allow(<rule>)` on the offending line or the line above;
-//! * `// qlrb-lint: allow-file(<rule>)` anywhere in a file to exempt the
-//!   whole file (used by the harness, whose job is to abort loudly).
+//! * `// qlrb-lint: allow(<rule>[, <rule>…])` on the offending line or the
+//!   line above;
+//! * `// qlrb-lint: allow-file(<rule>[, <rule>…])` anywhere in a file to
+//!   exempt the whole file (used by the harness, whose job is to abort
+//!   loudly).
 //!
-//! `--json` emits machine-readable findings. Exit status: 0 clean,
-//! 1 findings, 2 usage error.
+//! A directive naming an unknown rule is itself a finding
+//! (`invalid-allow`), so typos cannot silently disable enforcement.
+//!
+//! `--json` emits machine-readable findings in the shared
+//! `{errors, warnings, diagnostics}` schema of
+//! [`qlrb_analyze::render_findings_json`] — the same document shape
+//! `qlrb lint --json` produces. Exit status: 0 clean, 1 findings,
+//! 2 usage error.
 
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use qlrb_analyze::{render_findings_json, FlatDiagnostic};
 
 /// Crates whose `src/` trees are library code: `no-unwrap` + `no-entropy`.
 const LIB_CRATES: &[&str] = &[
@@ -50,8 +81,27 @@ const LIB_CRATES: &[&str] = &[
 /// Crates additionally under `no-wallclock` (the sampler substrate).
 const WALLCLOCK_CRATES: &[&str] = &["anneal"];
 
+/// Crates whose outputs feed plans, energies, or telemetry and therefore
+/// carry the determinism-hazard rules (`unordered-iteration`,
+/// `float-reduce-order`, `ambient-parallelism`, `thread-id-leak`).
+const SOLVER_PATH_CRATES: &[&str] = &["anneal", "classical", "core", "harness", "model"];
+
 /// Crates exempt from source scanning (drivers and this linter itself).
 const SKIP_CRATES: &[&str] = &["bench", "xtask"];
+
+/// Every rule an allow directive may name. A directive naming anything
+/// else is an `invalid-allow` finding.
+const KNOWN_RULES: &[&str] = &[
+    "ambient-parallelism",
+    "float-reduce-order",
+    "forbid-unsafe",
+    "no-entropy",
+    "no-hot-alloc",
+    "no-unwrap",
+    "no-wallclock",
+    "thread-id-leak",
+    "unordered-iteration",
+];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Finding {
@@ -66,12 +116,14 @@ struct Finding {
 struct Scope {
     no_unwrap: bool,
     no_wallclock: bool,
+    solver_path: bool,
 }
 
 fn scope_for(crate_name: &str) -> Scope {
     Scope {
         no_unwrap: LIB_CRATES.contains(&crate_name),
         no_wallclock: WALLCLOCK_CRATES.contains(&crate_name),
+        solver_path: SOLVER_PATH_CRATES.contains(&crate_name),
     }
 }
 
@@ -210,19 +262,51 @@ fn strip_source(src: &str) -> String {
 // Allow directives
 // ---------------------------------------------------------------------------
 
+/// Parses every `<directive>rule[, rule…])` group on `line` into rule
+/// names. Comma-separated lists share one directive:
+/// `// qlrb-lint: allow(no-unwrap, no-entropy)`.
 fn allows_on(line: &str, directive: &str) -> Vec<String> {
     let mut rules = Vec::new();
     let mut rest = line;
     while let Some(pos) = rest.find(directive) {
         rest = &rest[pos + directive.len()..];
         if let Some(end) = rest.find(')') {
-            rules.push(rest[..end].trim().to_string());
+            rules.extend(
+                rest[..end]
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty()),
+            );
             rest = &rest[end + 1..];
         } else {
             break;
         }
     }
     rules
+}
+
+/// Findings for allow directives naming rules that do not exist: a typo in
+/// a suppression must fail the lint, not silently disable it.
+fn check_allow_names(display: &str, raw_lines: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        for directive in ["qlrb-lint: allow(", "qlrb-lint: allow-file("] {
+            for rule in allows_on(raw, directive) {
+                if !KNOWN_RULES.contains(&rule.as_str()) {
+                    findings.push(Finding {
+                        file: display.to_string(),
+                        line: idx + 1,
+                        rule: "invalid-allow",
+                        message: format!(
+                            "unknown rule '{rule}' in `{directive}…)` — known rules: {}",
+                            KNOWN_RULES.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
 }
 
 // ---------------------------------------------------------------------------
@@ -247,7 +331,7 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
             || (idx > 0 && line_allows[idx - 1].iter().any(|r| r == rule))
     };
 
-    let mut findings = Vec::new();
+    let mut findings = check_allow_names(display, &raw_lines);
     // `#[cfg(test)]` handling: after the attribute, skip from the first `{`
     // until its matching `}` (covers `mod tests { … }` and gated items).
     let mut pending_test_attr = false;
@@ -258,6 +342,12 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
     // which `strip_source` blanks).
     let mut pending_hot = false;
     let mut hot_depth = 0usize;
+    // `float-reduce-order` statement regions: from a rayon
+    // parallel-iterator pattern to the `;` that ends the statement,
+    // tracked by net bracket depth relative to the region start (inner
+    // closure bodies keep the region open).
+    let mut par_region = false;
+    let mut par_depth: i64 = 0;
     for (idx, line) in stripped.lines().enumerate() {
         if hot_depth == 0 && raw_lines.get(idx).is_some_and(|l| l.contains("qlrb-hot:")) {
             pending_hot = true;
@@ -294,6 +384,32 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
                         test_depth = test_depth.saturating_sub(1);
                     }
                     _ => {}
+                }
+            }
+        }
+        let mut line_in_par = par_region;
+        if scope.solver_path {
+            const PAR_PATTERNS: &[&str] = &[
+                ".par_iter(",
+                ".par_iter_mut(",
+                ".into_par_iter(",
+                ".par_chunks(",
+                ".par_chunks_mut(",
+                ".par_bridge(",
+            ];
+            if !par_region && PAR_PATTERNS.iter().any(|p| line.contains(p)) {
+                par_region = true;
+                par_depth = 0;
+                line_in_par = true;
+            }
+            if par_region {
+                for b in line.bytes() {
+                    match b {
+                        b'(' | b'[' | b'{' => par_depth += 1,
+                        b')' | b']' | b'}' => par_depth -= 1,
+                        b';' if par_depth <= 0 => par_region = false,
+                        _ => {}
+                    }
                 }
             }
         }
@@ -352,6 +468,75 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
                              the per-iteration path"
                         ),
                     );
+                }
+            }
+        }
+        if scope.solver_path {
+            for pat in ["HashMap", "HashSet"] {
+                if line.contains(pat) {
+                    hit(
+                        "unordered-iteration",
+                        format!(
+                            "`{pat}` in the solver path — its iteration order is randomized \
+                             per process and can reach plans, energies, telemetry, or RNG \
+                             streams; use BTreeMap/BTreeSet or sort before iterating"
+                        ),
+                    );
+                }
+            }
+            for pat in [
+                "thread::spawn(",
+                "rayon::spawn(",
+                "rayon::scope(",
+                "ThreadPoolBuilder",
+            ] {
+                if line.contains(pat) {
+                    hit(
+                        "ambient-parallelism",
+                        format!(
+                            "`{pat}` spawns ambient parallelism in the solver path — \
+                             scheduling must flow through the harness's sanctioned entry \
+                             points so replay order is fixed"
+                        ),
+                    );
+                }
+            }
+            for pat in ["thread::current(", "ThreadId", "current_thread_index("] {
+                if line.contains(pat) {
+                    hit(
+                        "thread-id-leak",
+                        format!(
+                            "`{pat}` leaks a scheduler-dependent thread identity into the \
+                             solver path — derive per-read identity from (wave, slot) \
+                             indices instead"
+                        ),
+                    );
+                }
+            }
+            // A `// qlrb-float-order:` comment on the line or the line
+            // above documents a fixed reduction tree and satisfies the
+            // rule (the comment itself is the justification).
+            let float_order_documented = raw_lines
+                .get(idx)
+                .is_some_and(|l| l.contains("qlrb-float-order:"))
+                || (idx > 0
+                    && raw_lines
+                        .get(idx - 1)
+                        .is_some_and(|l| l.contains("qlrb-float-order:")));
+            if line_in_par && !float_order_documented {
+                for pat in [".sum::<f64", ".sum::<f32", ".sum()", ".product(", ".reduce(", ".fold("]
+                {
+                    if line.contains(pat) {
+                        hit(
+                            "float-reduce-order",
+                            format!(
+                                "`{pat}` inside a rayon parallel iterator — float addition \
+                                 is non-associative, so the reduction tree rayon picks per \
+                                 run changes the result; document a fixed tree with \
+                                 `// qlrb-float-order:` or reduce sequentially"
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -457,39 +642,20 @@ fn lint_workspace(root: &Path) -> Vec<Finding> {
 // Output
 // ---------------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        let _ = write!(
-            out,
-            "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
-            json_escape(&f.file),
-            f.line,
-            f.rule,
-            json_escape(&f.message)
-        );
-    }
-    out.push(']');
-    out
+/// Renders findings into the flat schema shared with `qlrb lint --json`
+/// (one serializer, one schema; see `qlrb_analyze::FlatDiagnostic`).
+/// Source findings are all errors — the lint gate is binary.
+fn to_flat(findings: &[Finding]) -> Vec<FlatDiagnostic> {
+    findings
+        .iter()
+        .map(|f| FlatDiagnostic {
+            rule: f.rule.to_string(),
+            severity: "error".to_string(),
+            span: format!("{}:{}", f.file, f.line),
+            message: f.message.clone(),
+            suggestion: None,
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -503,7 +669,7 @@ fn main() -> ExitCode {
 
     let findings = lint_workspace(&workspace_root());
     if json {
-        println!("{}", render_json(&findings));
+        println!("{}", render_findings_json(&to_flat(&findings)));
     } else if findings.is_empty() {
         println!("xtask lint: clean");
     } else {
@@ -526,10 +692,17 @@ mod tests {
     const LIB: Scope = Scope {
         no_unwrap: true,
         no_wallclock: false,
+        solver_path: false,
     };
     const ANNEAL: Scope = Scope {
         no_unwrap: true,
         no_wallclock: true,
+        solver_path: true,
+    };
+    const SOLVER: Scope = Scope {
+        no_unwrap: true,
+        no_wallclock: false,
+        solver_path: true,
     };
 
     #[test]
@@ -597,6 +770,7 @@ mod tests {
         let none_scope = Scope {
             no_unwrap: false,
             no_wallclock: false,
+            solver_path: false,
         };
         assert_eq!(scan_source("f.rs", none_scope, src2)[0].rule, "no-entropy");
     }
@@ -657,19 +831,163 @@ mod tests {
     }
 
     #[test]
-    fn json_output_is_machine_readable() {
+    fn json_output_uses_the_shared_schema() {
         let findings = vec![Finding {
             file: "a \"b\".rs".into(),
             line: 3,
             rule: "no-unwrap",
             message: "m".into(),
         }];
-        let js = render_json(&findings);
+        let js = render_findings_json(&to_flat(&findings));
+        // Same document shape as `qlrb lint --json`: counts + a flat
+        // diagnostics list with rule/severity/span/message/suggestion.
+        assert!(js.contains("\"errors\": 1"), "{js}");
+        assert!(js.contains("\"warnings\": 0"), "{js}");
+        assert!(js.contains("\"rule\": \"no-unwrap\""), "{js}");
+        assert!(js.contains("\"severity\": \"error\""), "{js}");
+        assert!(js.contains("\"span\": \"a \\\"b\\\".rs:3\""), "{js}");
+        assert!(js.contains("\"suggestion\": null"), "{js}");
+        let empty = render_findings_json(&to_flat(&[]));
+        assert!(empty.contains("\"errors\": 0"), "{empty}");
+        assert!(empty.contains("\"diagnostics\": []"), "{empty}");
+    }
+
+    #[test]
+    fn allow_directive_accepts_comma_separated_rules() {
+        let src = "fn f() {\n    // qlrb-lint: allow(no-unwrap, no-entropy)\n    \
+                   let r = thread_rng();\n    r.unwrap();\n}\n";
+        // Both rules on the line after the directive are suppressed…
+        let both = "fn f() {\n    // qlrb-lint: allow(no-unwrap, no-entropy)\n    \
+                    thread_rng().unwrap();\n}\n";
+        assert!(scan_source("f.rs", LIB, both).is_empty());
+        // …but a single-rule directive still only covers its own rule.
+        let findings = scan_source("f.rs", LIB, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "no-unwrap");
         assert_eq!(
-            js,
-            "[{\"file\": \"a \\\"b\\\".rs\", \"line\": 3, \"rule\": \"no-unwrap\", \"message\": \"m\"}]"
+            allows_on(
+                "// qlrb-lint: allow(no-unwrap, no-entropy)",
+                "qlrb-lint: allow("
+            ),
+            vec!["no-unwrap".to_string(), "no-entropy".to_string()]
         );
-        assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_directive_is_a_finding() {
+        let src = "fn f() {\n    g(); // qlrb-lint: allow(no-unwarp)\n}\n";
+        let findings = scan_source("f.rs", LIB, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "invalid-allow");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("no-unwarp"));
+        // allow-file directives are validated too, even inside tests.
+        let file = "// qlrb-lint: allow-file(nonsense)\nfn f() {}\n";
+        assert_eq!(scan_source("f.rs", LIB, file)[0].rule, "invalid-allow");
+        // Valid names in a comma list produce no findings.
+        let ok = "fn f() {\n    // qlrb-lint: allow(no-unwrap, no-hot-alloc)\n    g();\n}\n";
+        assert!(scan_source("f.rs", LIB, ok).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_fires_in_the_solver_path_only() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {\n    \
+                   for (k, v) in m {}\n}\n";
+        let findings = scan_source("crates/core/src/x.rs", SOLVER, src);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().all(|f| f.rule == "unordered-iteration"));
+        assert_eq!(findings[0].line, 1);
+        // Outside the solver path the rule is silent.
+        assert!(scan_source("crates/telemetry/src/x.rs", LIB, src).is_empty());
+        // HashSet too.
+        let set = "fn f() {\n    let s = std::collections::HashSet::new();\n}\n";
+        assert_eq!(
+            scan_source("x.rs", SOLVER, set)[0].rule,
+            "unordered-iteration"
+        );
+    }
+
+    #[test]
+    fn unordered_iteration_respects_allow_and_cfg_test() {
+        let allowed = "// justification: order never escapes — drained into a sorted Vec.\n\
+                       // qlrb-lint: allow(unordered-iteration)\n\
+                       use std::collections::HashMap;\n";
+        assert!(scan_source("x.rs", SOLVER, allowed).is_empty());
+        let test_only = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    \
+                         use std::collections::HashMap;\n    fn t() { let m = HashMap::new(); }\n}\n";
+        assert!(scan_source("x.rs", SOLVER, test_only).is_empty());
+    }
+
+    #[test]
+    fn float_reduce_order_fires_inside_par_statements() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n    xs.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n";
+        let findings = scan_source("x.rs", SOLVER, src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "float-reduce-order");
+        // Multi-line chains stay in the region until the statement ends.
+        let multi = "fn f(xs: &[f64]) -> f64 {\n    let t = xs\n        .par_iter()\n        \
+                     .map(|x| g(x))\n        .reduce(|| 0.0, |a, b| a + b);\n    t\n}\n";
+        let findings = scan_source("x.rs", SOLVER, multi);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
+        // A sequential sum after the par statement ended does not fire.
+        let seq = "fn f(xs: &[f64]) -> f64 {\n    let v: Vec<f64> = xs.par_iter().map(|x| \
+                   g(x)).collect();\n    v.iter().sum::<f64>()\n}\n";
+        assert!(scan_source("x.rs", SOLVER, seq).is_empty(), "sequential sum is fine");
+        // Non-solver crates are out of scope.
+        assert!(scan_source("x.rs", LIB, src).is_empty());
+    }
+
+    #[test]
+    fn float_reduce_order_accepts_a_documented_tree() {
+        let doc = "fn f(xs: &[f64]) -> f64 {\n    // qlrb-float-order: fixed two-level tree, \
+                   chunk sums in index order\n    xs.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n";
+        assert!(scan_source("x.rs", SOLVER, doc).is_empty());
+        let allow = "fn f(xs: &[f64]) -> f64 {\n    // qlrb-lint: allow(float-reduce-order)\n    \
+                     xs.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n";
+        assert!(scan_source("x.rs", SOLVER, allow).is_empty());
+    }
+
+    #[test]
+    fn ambient_parallelism_fires_on_spawns() {
+        for (snippet, pat) in [
+            ("fn f() {\n    std::thread::spawn(|| {});\n}\n", "thread::spawn("),
+            (
+                "fn f() {\n    rayon::ThreadPoolBuilder::new().build();\n}\n",
+                "ThreadPoolBuilder",
+            ),
+            ("fn f() {\n    rayon::scope(|s| {});\n}\n", "rayon::scope("),
+        ] {
+            let findings = scan_source("x.rs", SOLVER, snippet);
+            assert!(
+                findings.iter().any(|f| f.rule == "ambient-parallelism"),
+                "{pat} should fire: {findings:?}"
+            );
+        }
+        // The sanctioned entry point carries an allow with justification.
+        let allowed = "fn pool() {\n    // sanctioned entry point: the one pool the harness \
+                       owns\n    // qlrb-lint: allow(ambient-parallelism)\n    \
+                       rayon::ThreadPoolBuilder::new().build();\n}\n";
+        assert!(scan_source("x.rs", SOLVER, allowed).is_empty());
+        assert!(scan_source("x.rs", LIB, "fn f() {\n    std::thread::spawn(|| {});\n}\n").is_empty());
+    }
+
+    #[test]
+    fn thread_id_leak_fires_on_identity_reads() {
+        for snippet in [
+            "fn f() {\n    let id = std::thread::current().id();\n}\n",
+            "fn f(id: std::thread::ThreadId) {}\n",
+            "fn f() {\n    let i = rayon::current_thread_index();\n}\n",
+        ] {
+            let findings = scan_source("x.rs", SOLVER, snippet);
+            assert!(
+                findings.iter().any(|f| f.rule == "thread-id-leak"),
+                "{snippet} should fire: {findings:?}"
+            );
+        }
+        let test_only = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let id = \
+                         std::thread::current().id(); }\n}\n";
+        assert!(scan_source("x.rs", SOLVER, test_only).is_empty());
     }
 
     #[test]

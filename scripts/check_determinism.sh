@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Determinism replay gate (DESIGN.md §Determinism audit): every solver
+# configuration in the matrix must reproduce its solve trace bit-for-bit
+# when replayed with the same seed — asserted through `qlrb trace diff`
+# on the recorded manifests rather than byte comparison, so a failure
+# names the first divergent read (wave, slot, sampler, backend, field)
+# instead of "files differ". A seed perturbation must conversely produce
+# a localized divergence (proof the gate can fail), and `qlrb audit`
+# must re-derive every stored digest, rejecting a tampered manifest.
+#
+# QLRB_SKIP_DETERMINISM_GATE=1 skips the gate (e.g. while bisecting an
+# unrelated failure on a slow machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${QLRB_SKIP_DETERMINISM_GATE:-0}" = "1" ]; then
+  echo "check_determinism: SKIPPED (QLRB_SKIP_DETERMINISM_GATE=1)"
+  exit 0
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+qlrb() { cargo run --release --quiet --bin qlrb -- "$@"; }
+
+input="$workdir/input.csv"
+qlrb generate --workload samoa --out "$input"
+
+# Every read's first submission fails transiently; retries recover it.
+faults="$workdir/faults.json"
+echo '[{"fail_attempts": 1, "kind": "transient"}]' > "$faults"
+
+# name|extra-flags — one replay pair per solver configuration. Covers the
+# scalar path, the batched bitset kernels, speculative federation, and
+# the fault-injecting backend.
+matrix=(
+  "scalar|"
+  "batched|--batched"
+  "speculate|--backends fast,strong,qpu --speculate"
+  "faulty|--fault-plan $faults --max-retries 2"
+)
+
+for entry in "${matrix[@]}"; do
+  name="${entry%%|*}"
+  extra="${entry#*|}"
+  for run in a b; do
+    # shellcheck disable=SC2086
+    qlrb rebalance --input "$input" --method qcqm1 --k 16 --seed 7 $extra \
+      --out "$workdir/${name}_plan_$run.csv" \
+      --telemetry "$workdir/${name}_$run.json"
+  done
+  qlrb trace diff "$workdir/${name}_a.json" "$workdir/${name}_b.json" \
+    || { echo "config '$name': replay diverged" >&2; exit 1; }
+  echo "config '$name': replay identical"
+done
+
+# The gate must be able to fail: a different seed is a different trace,
+# and the diff must localize it, not merely notice it.
+qlrb rebalance --input "$input" --method qcqm1 --k 16 --seed 8 \
+  --out "$workdir/scalar_plan_c.csv" --telemetry "$workdir/scalar_c.json"
+if divergence="$(qlrb trace diff "$workdir/scalar_a.json" "$workdir/scalar_c.json")"; then
+  echo "seed perturbation went undetected" >&2
+  exit 1
+fi
+echo "$divergence" | grep -q "first divergence" \
+  || { echo "diff did not localize the divergence: $divergence" >&2; exit 1; }
+echo "seed perturbation localized: $divergence"
+
+# Every stored digest must re-derive from its own record…
+qlrb audit --input "$workdir/scalar_a.json" \
+  || { echo "audit rejected a freshly recorded manifest" >&2; exit 1; }
+
+# …and a record edited after sealing must be caught.
+python3 - "$workdir/scalar_a.json" "$workdir/tampered.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+m["cases"][0]["methods"][0]["solve"]["reads"][0]["sweeps"] += 1
+json.dump(m, open(sys.argv[2], "w"))
+EOF
+if qlrb audit --input "$workdir/tampered.json"; then
+  echo "audit accepted a tampered manifest" >&2
+  exit 1
+fi
+echo "tampered manifest rejected"
+
+echo "check_determinism: OK"

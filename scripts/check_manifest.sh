@@ -21,6 +21,11 @@ cargo run --release --quiet --bin qlrb -- \
 test -s "$manifest" || { echo "manifest not written" >&2; exit 1; }
 grep -q '"schema"' "$manifest" || { echo "manifest missing schema" >&2; exit 1; }
 grep -q '"sampler"' "$manifest" || { echo "manifest has no read records" >&2; exit 1; }
+grep -q '"trace_digest"' "$manifest" || { echo "manifest missing trace digest" >&2; exit 1; }
+
+# Every stored digest must re-derive from the record it seals.
+cargo run --release --quiet --bin qlrb -- audit --input "$manifest" \
+  || { echo "audit rejected a freshly recorded manifest" >&2; exit 1; }
 
 # `trace summarize` re-validates the manifest structurally before printing.
 summary="$(cargo run --release --quiet --bin qlrb -- \
@@ -30,5 +35,7 @@ echo "$summary" | grep -q "run manifest: qlrb rebalance" \
   || { echo "summary missing header" >&2; exit 1; }
 echo "$summary" | grep -q "read(s)" \
   || { echo "summary missing read counts" >&2; exit 1; }
+echo "$summary" | grep -q "digest" \
+  || { echo "summary missing trace digest" >&2; exit 1; }
 
 echo "check_manifest: OK"

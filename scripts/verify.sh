@@ -1,26 +1,57 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the lint gate (see ROADMAP.md):
 # format check, clippy with warnings denied, docs with warnings denied,
-# release build, tests.
+# release build, tests, then the smoke gates. Ends with a one-line
+# summary of which gates ran and which were skipped via their
+# QLRB_SKIP_*_GATE escape hatches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --check
-cargo clippy --workspace --all-targets -- -D warnings
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+ran=()
+skipped=()
+gate() {
+  local name=$1
+  shift
+  "$@"
+  ran+=("$name")
+}
+skip() {
+  skipped+=("$1")
+  echo "verify: skipping $1 ($2=1)"
+}
+
+gate fmt cargo fmt --check
+gate clippy cargo clippy --workspace --all-targets -- -D warnings
+gate doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Workspace invariants clippy cannot express (DESIGN.md §Static analysis).
-cargo run -p xtask -- lint
-cargo build --release
-cargo test -q
+gate xtask-lint cargo run -p xtask -- lint
+gate build cargo build --release
+gate test cargo test -q
 # Model-lint smoke: the bundled MxM instance must certify clean.
-./scripts/check_lint.sh
+gate lint ./scripts/check_lint.sh
 # Scheduler smoke: --early-stop must save reads without costing quality.
-./scripts/check_scheduler.sh
+gate scheduler ./scripts/check_scheduler.sh
 # Fault smoke: injected faults stay deterministic; all-crash degrades.
-./scripts/check_faults.sh
+gate faults ./scripts/check_faults.sh
 # Federation smoke: pooled backends + speculation stay deterministic and
 # never charge a cancelled duplicate.
-./scripts/check_federation.sh
+gate federation ./scripts/check_federation.sh
+# Telemetry smoke: the emitted manifest validates and carries digests.
+gate manifest ./scripts/check_manifest.sh
 # Bench ratchet: Table-V hybrid medians must not regress >15% over the
 # committed baseline (QLRB_SKIP_BENCH_GATE=1 opts out on noisy machines).
-./scripts/check_bench.sh
+if [ "${QLRB_SKIP_BENCH_GATE:-0}" = "1" ]; then
+  skip bench QLRB_SKIP_BENCH_GATE
+else
+  gate bench ./scripts/check_bench.sh
+fi
+# Determinism replay gate: every solver configuration must reproduce its
+# trace digest bit-for-bit on replay; divergences must localize
+# (QLRB_SKIP_DETERMINISM_GATE=1 opts out while bisecting).
+if [ "${QLRB_SKIP_DETERMINISM_GATE:-0}" = "1" ]; then
+  skip determinism QLRB_SKIP_DETERMINISM_GATE
+else
+  gate determinism ./scripts/check_determinism.sh
+fi
+
+echo "verify: ran [${ran[*]}]; skipped [${skipped[*]:-none}]"

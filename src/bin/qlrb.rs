@@ -19,6 +19,12 @@
 //! model linter (DESIGN.md §Static analysis) without solving: exit 0 when
 //! every rule passes (warnings allowed), exit 1 on error-severity findings.
 //!
+//! The determinism-audit surface (DESIGN.md §Determinism audit):
+//! `qlrb trace diff <A> <B>` compares two manifests' solve traces and
+//! localizes the first divergent read (exit 0 identical, 1 diverged);
+//! `qlrb audit --input <FILE>` verifies every stored trace digest
+//! recomputes from its own record (exit 0 clean, 1 failures).
+//!
 //! Argument parsing is hand-rolled (five subcommands, a handful of flags) to
 //! keep the dependency set identical to the library's.
 
@@ -52,6 +58,8 @@ USAGE:
   qlrb lint      --input <FILE> [--variant qcqm1|qcqm2|both]
                  [--k <N> | --k-frac <F>] [--json]
   qlrb trace summarize --input <FILE>
+  qlrb trace diff <A.json> <B.json>
+  qlrb audit     --input <FILE>
 
 WORKLOADS:
   mxm-imbalance   the paper's Fig. 3 group (pass --case Imb.0 … Imb.4)
@@ -106,6 +114,14 @@ LINT:
   groups, penalty bounds, coefficient overflow, infeasible bounds, qubit
   accounting) without spending any solver time. --json emits the findings
   machine-readably.
+
+DETERMINISM AUDIT:
+  Every solve record carries a trace digest: a deterministic fingerprint
+  of its per-read records (wall clocks excluded). `qlrb trace diff A B`
+  compares two manifests and, on mismatch, names the first divergent read
+  (wave, slot, sampler, backend, field) instead of a byte-level diff;
+  exit 0 identical, 1 diverged. `qlrb audit --input FILE` re-derives every
+  digest from its own record to catch stale or hand-edited manifests.
 ";
 
 fn main() -> ExitCode {
@@ -138,7 +154,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Err("missing subcommand".into());
     };
     if cmd == "trace" {
-        return trace_cmd(&args[1..]).map(|()| ExitCode::SUCCESS);
+        return trace_cmd(&args[1..]);
     }
     // Boolean flags take no value; split them off before pair parsing.
     let bools = [
@@ -167,6 +183,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "rebalance" => rebalance(&flags, sched).map(|()| ExitCode::SUCCESS),
         "simulate" => simulate_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "lint" => lint_cmd(&flags, json),
+        "audit" => audit_cmd(&flags),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -649,19 +666,70 @@ fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `qlrb trace summarize --input <FILE>` — digest a telemetry manifest.
-fn trace_cmd(args: &[String]) -> Result<(), String> {
-    let Some(action) = args.first() else {
-        return Err("trace needs an action (summarize)".into());
-    };
-    if action != "summarize" {
-        return Err(format!("unknown trace action '{action}' (try summarize)"));
-    }
-    let flags = parse_flags(&args[1..])?;
-    let path = required(&flags, "input")?;
+/// Reads and parses one telemetry manifest.
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let manifest = RunManifest::from_json(&text)?;
-    manifest.validate()?;
-    print!("{}", manifest.summarize());
-    Ok(())
+    RunManifest::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `qlrb trace summarize --input <FILE>` — digest a telemetry manifest.
+/// `qlrb trace diff <A> <B>` — localize the first divergent read between
+/// two manifests of the same configuration (exit 0 identical, 1 diverged).
+fn trace_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let Some(action) = args.first() else {
+        return Err("trace needs an action (summarize | diff)".into());
+    };
+    match action.as_str() {
+        "summarize" => {
+            let flags = parse_flags(&args[1..])?;
+            let path = required(&flags, "input")?;
+            let manifest = load_manifest(path)?;
+            manifest.validate()?;
+            print!("{}", manifest.summarize());
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            // Two positional manifest paths; deliberately not validated
+            // first, so stale digests and pre-v6 manifests still diff
+            // (the field walk does not need the stored digest).
+            let paths: Vec<&String> = args[1..].iter().collect();
+            let [a_path, b_path] = paths.as_slice() else {
+                return Err("trace diff needs exactly two manifest paths".into());
+            };
+            let a = load_manifest(a_path)?;
+            let b = load_manifest(b_path)?;
+            let diff = qlrb::analyze::diff_manifests(&a, &b);
+            println!("{}", diff.render());
+            Ok(if diff.is_identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        other => Err(format!("unknown trace action '{other}' (summarize | diff)")),
+    }
+}
+
+/// `qlrb audit --input <FILE>` — verify every stored trace digest
+/// recomputes from its own solve record. Exit 0 clean, 1 on any stale,
+/// hand-edited, or missing digest.
+fn audit_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let path = required(flags, "input")?;
+    let manifest = load_manifest(path)?;
+    match qlrb::analyze::audit_manifest(&manifest) {
+        Ok(summary) => {
+            println!(
+                "audit OK: {} case(s), {} solve(s), {} read(s) — every trace digest recomputes",
+                summary.cases, summary.solves, summary.reads
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("audit: {e}");
+            }
+            eprintln!("audit: {} failure(s)", errors.len());
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }

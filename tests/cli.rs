@@ -310,6 +310,144 @@ fn fault_flags_reject_classical_methods_and_simulate() {
 }
 
 #[test]
+fn trace_diff_localizes_and_audit_verifies() {
+    let input = tmpfile("diff-input.csv");
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "samoa",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let rebalance = |seed: &str, manifest: &PathBuf| {
+        let out = qlrb(&[
+            "rebalance",
+            "--input",
+            input.to_str().unwrap(),
+            "--method",
+            "qcqm1",
+            "--k",
+            "16",
+            "--seed",
+            seed,
+            "--out",
+            tmpfile(&format!("diff-plan-{seed}.csv")).to_str().unwrap(),
+            "--telemetry",
+            manifest.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let a = tmpfile("diff-a.json");
+    let b = tmpfile("diff-b.json");
+    let c = tmpfile("diff-c.json");
+    rebalance("7", &a);
+    rebalance("7", &b);
+    rebalance("8", &c);
+
+    // Identically-seeded replays carry identical traces: exit 0.
+    let out = qlrb(&[
+        "trace",
+        "diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("traces identical"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A different seed is a different trace, localized to the first
+    // divergent read-level field: exit 1.
+    let out = qlrb(&[
+        "trace",
+        "diff",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("first divergence"), "{stdout}");
+    assert!(stdout.contains("read"), "{stdout}");
+
+    // The recorded digest re-derives from the record it seals.
+    let out = qlrb(&["audit", "--input", a.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("audit OK"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A record edited after sealing no longer recomputes: audit fails.
+    let mut tampered =
+        qlrb::telemetry::RunManifest::from_json(&std::fs::read_to_string(&a).unwrap()).unwrap();
+    tampered.cases[0].methods[0].solve.reads[0].sweeps += 1;
+    let tampered_path = tmpfile("diff-tampered.json");
+    std::fs::write(&tampered_path, tampered.to_json_pretty()).unwrap();
+    let out = qlrb(&["audit", "--input", tampered_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not recompute"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_json_matches_the_shared_schema() {
+    let input = tmpfile("lint-json-input.csv");
+    let out = qlrb(&[
+        "generate",
+        "--workload",
+        "mxm-imbalance",
+        "--case",
+        "Imb.3",
+        "--out",
+        input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = qlrb(&[
+        "lint",
+        "--input",
+        input.to_str().unwrap(),
+        "--variant",
+        "qcqm1",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Golden clean document — each variant entry is the same
+    // `{errors, warnings, diagnostics}` shape `xtask lint --json` emits
+    // via the shared serializer, so downstream tooling can parse either.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.trim_end(),
+        "{\n  \"Q_CQM1\": {\n    \"errors\": 0,\n    \"warnings\": 0,\n    \"diagnostics\": []\n  }\n}",
+        "{stdout}"
+    );
+}
+
+#[test]
 fn generate_to_stdout_roundtrips() {
     let out = qlrb(&["generate", "--workload", "samoa"]);
     assert!(out.status.success());
