@@ -20,9 +20,7 @@
 //! replay, and the rendered values carry the bits so an off-by-one-ulp
 //! reduction-order bug is visible in the report.
 
-use qlrb_telemetry::{
-    read_fingerprint, solve_trace_digest, ReadRecord, RunManifest, SolveRecord,
-};
+use qlrb_telemetry::{read_fingerprint, solve_trace_digest, ReadRecord, RunManifest, SolveRecord};
 
 /// One localized divergence between two traces of the same configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,16 +197,28 @@ fn diff_read(a: &ReadRecord, b: &ReadRecord) -> Option<(String, String, String)>
     d.u64("accepted", a.accepted, b.accepted);
     d.u64("repair_steps", a.repair_steps, b.repair_steps);
     d.u64("polish_flips", a.polish_flips, b.polish_flips);
-    d.f64("polish_improvement", a.polish_improvement, b.polish_improvement);
+    d.f64(
+        "polish_improvement",
+        a.polish_improvement,
+        b.polish_improvement,
+    );
     d.f64("objective", a.objective, b.objective);
     d.f64("violation", a.violation, b.violation);
     d.bool("feasible", a.feasible, b.feasible);
     d.u64("attempts", u64::from(a.attempts), u64::from(b.attempts));
-    d.u64("backoff_proposals", a.backoff_proposals, b.backoff_proposals);
+    d.u64(
+        "backoff_proposals",
+        a.backoff_proposals,
+        b.backoff_proposals,
+    );
     d.usize("faults.len", a.faults.len(), b.faults.len());
     if !d.done() {
         for (i, (fa, fb)) in a.faults.iter().zip(&b.faults).enumerate() {
-            d.u64(&format!("faults[{i}].attempt"), u64::from(fa.attempt), u64::from(fb.attempt));
+            d.u64(
+                &format!("faults[{i}].attempt"),
+                u64::from(fa.attempt),
+                u64::from(fb.attempt),
+            );
             d.str(&format!("faults[{i}].backend"), &fa.backend, &fb.backend);
             d.str(&format!("faults[{i}].error"), &fa.error, &fb.error);
         }
@@ -294,12 +304,24 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
     }
 
     let mut d = FieldDiff::new();
-    d.usize("failed_reads.len", a.failed_reads.len(), b.failed_reads.len());
+    d.usize(
+        "failed_reads.len",
+        a.failed_reads.len(),
+        b.failed_reads.len(),
+    );
     if !d.done() {
         for (i, (fa, fb)) in a.failed_reads.iter().zip(&b.failed_reads).enumerate() {
             d.usize(&format!("failed_reads[{i}].read"), fa.read, fb.read);
-            d.str(&format!("failed_reads[{i}].sampler"), &fa.sampler, &fb.sampler);
-            d.str(&format!("failed_reads[{i}].backend"), &fa.backend, &fb.backend);
+            d.str(
+                &format!("failed_reads[{i}].sampler"),
+                &fa.sampler,
+                &fb.sampler,
+            );
+            d.str(
+                &format!("failed_reads[{i}].backend"),
+                &fa.backend,
+                &fb.backend,
+            );
             d.usize(
                 &format!("failed_reads[{i}].faults.len"),
                 fa.faults.len(),
@@ -307,10 +329,18 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
             );
         }
     }
-    d.usize("backend_usage.len", a.backend_usage.len(), b.backend_usage.len());
+    d.usize(
+        "backend_usage.len",
+        a.backend_usage.len(),
+        b.backend_usage.len(),
+    );
     if !d.done() {
         for (i, (ua, ub)) in a.backend_usage.iter().zip(&b.backend_usage).enumerate() {
-            d.str(&format!("backend_usage[{i}].backend"), &ua.backend, &ub.backend);
+            d.str(
+                &format!("backend_usage[{i}].backend"),
+                &ua.backend,
+                &ub.backend,
+            );
             d.usize(&format!("backend_usage[{i}].reads"), ua.reads, ub.reads);
             d.usize(
                 &format!("backend_usage[{i}].failed_attempts"),
@@ -322,7 +352,11 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
                 ua.speculative,
                 ub.speculative,
             );
-            d.usize(&format!("backend_usage[{i}].cancelled"), ua.cancelled, ub.cancelled);
+            d.usize(
+                &format!("backend_usage[{i}].cancelled"),
+                ua.cancelled,
+                ub.cancelled,
+            );
             d.f64(&format!("backend_usage[{i}].cost"), ua.cost, ub.cost);
             d.f64(&format!("backend_usage[{i}].qpu_ms"), ua.qpu_ms, ub.qpu_ms);
         }
@@ -331,7 +365,11 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
     if !d.done() {
         for (i, (wa, wb)) in a.waves.iter().zip(&b.waves).enumerate() {
             d.usize(&format!("waves[{i}].wave"), wa.wave, wb.wave);
-            d.usize(&format!("waves[{i}].first_read"), wa.first_read, wb.first_read);
+            d.usize(
+                &format!("waves[{i}].first_read"),
+                wa.first_read,
+                wb.first_read,
+            );
             d.usize(&format!("waves[{i}].reads"), wa.reads, wb.reads);
             d.usize(
                 &format!("waves[{i}].allocation.len"),
@@ -340,7 +378,11 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
             );
             if !d.done() {
                 for (j, (aa, ab)) in wa.allocation.iter().zip(&wb.allocation).enumerate() {
-                    d.str(&format!("waves[{i}].allocation[{j}].sampler"), &aa.sampler, &ab.sampler);
+                    d.str(
+                        &format!("waves[{i}].allocation[{j}].sampler"),
+                        &aa.sampler,
+                        &ab.sampler,
+                    );
                     d.usize(
                         &format!("waves[{i}].allocation[{j}].reads"),
                         aa.reads,
@@ -348,10 +390,94 @@ fn diff_solve(case: &str, method: &str, a: &SolveRecord, b: &SolveRecord) -> Opt
                     );
                 }
             }
-            d.usize(&format!("waves[{i}].elite_seeded"), wa.elite_seeded, wb.elite_seeded);
+            d.usize(
+                &format!("waves[{i}].elite_seeded"),
+                wa.elite_seeded,
+                wb.elite_seeded,
+            );
         }
     }
     d.str("termination", &a.termination, &b.termination);
+    // Decomposition orchestration (schema v7): strategy, level progression
+    // and window fold-back outcomes are digest inputs, so a divergent
+    // decomposed replay localizes here (wall times are not compared).
+    d.usize(
+        "decomposition.is_some",
+        usize::from(a.decomposition.is_some()),
+        usize::from(b.decomposition.is_some()),
+    );
+    if !d.done() {
+        if let (Some(da), Some(db)) = (&a.decomposition, &b.decomposition) {
+            d.str("decomposition.strategy", &da.strategy, &db.strategy);
+            d.usize("decomposition.window_cap", da.window_cap, db.window_cap);
+            d.usize("decomposition.sub_solves", da.sub_solves, db.sub_solves);
+            d.usize("decomposition.levels.len", da.levels.len(), db.levels.len());
+            if !d.done() {
+                for (i, (la, lb)) in da.levels.iter().zip(&db.levels).enumerate() {
+                    d.usize(
+                        &format!("decomposition.levels[{i}].level"),
+                        la.level,
+                        lb.level,
+                    );
+                    d.usize(&format!("decomposition.levels[{i}].size"), la.size, lb.size);
+                    d.usize(
+                        &format!("decomposition.levels[{i}].solved_vars"),
+                        la.solved_vars,
+                        lb.solved_vars,
+                    );
+                    d.f64(
+                        &format!("decomposition.levels[{i}].objective_before"),
+                        la.objective_before,
+                        lb.objective_before,
+                    );
+                    d.f64(
+                        &format!("decomposition.levels[{i}].objective_after"),
+                        la.objective_after,
+                        lb.objective_after,
+                    );
+                }
+            }
+            d.usize(
+                "decomposition.windows.len",
+                da.windows.len(),
+                db.windows.len(),
+            );
+            if !d.done() {
+                for (i, (wa, wb)) in da.windows.iter().zip(&db.windows).enumerate() {
+                    d.usize(
+                        &format!("decomposition.windows[{i}].level"),
+                        wa.level,
+                        wb.level,
+                    );
+                    d.usize(
+                        &format!("decomposition.windows[{i}].window"),
+                        wa.window,
+                        wb.window,
+                    );
+                    d.usize(
+                        &format!("decomposition.windows[{i}].vars"),
+                        wa.vars,
+                        wb.vars,
+                    );
+                    d.f64(
+                        &format!("decomposition.windows[{i}].objective_before"),
+                        wa.objective_before,
+                        wb.objective_before,
+                    );
+                    d.f64(
+                        &format!("decomposition.windows[{i}].objective_after"),
+                        wa.objective_after,
+                        wb.objective_after,
+                    );
+                    d.usize(
+                        &format!("decomposition.windows[{i}].accepted"),
+                        usize::from(wa.accepted),
+                        usize::from(wb.accepted),
+                    );
+                }
+            }
+        }
+    }
     if let Some((f, av, bv)) = d.field {
         return Some(at(&f, av, bv));
     }
@@ -564,6 +690,7 @@ mod tests {
             },
             summary: SampleSetSummary::default(),
             trace_digest: String::new(),
+            decomposition: None,
         };
         let mut m = RunManifest::new("test", ConfigSnapshot::default());
         m.cases.push(CaseTrace {

@@ -1,0 +1,362 @@
+//! Active-window decomposition frontend (DESIGN.md §Decomposition).
+//!
+//! The monolithic portfolio refuses (checked path) or degrades (legacy
+//! path) models wider than the tabu cap. This module breaks that ceiling
+//! without touching the samplers, the scheduler, or the batched kernels:
+//! it solves a large CQM through a deterministic sequence of *windows* —
+//!
+//! 1. **Score** every variable by its structural flip impact at the
+//!    incumbent assignment: how much flipping the bit would move each
+//!    squared term, each constraint (violation *reductions* weighted by
+//!    the model's [`Cqm::objective_unit_scale`], so bits that can repair
+//!    infeasibility outrank objective-only ones, matching the solver's
+//!    lexicographic `(violation, objective)` preference — flips that
+//!    would only create violation earn nothing, else bits pinned by a
+//!    tight constraint crowd improvable ones out of the window), and the
+//!    linear objective.
+//!    Scoring walks the structural CQM directly — expression sums are
+//!    computed once per window, then each incident coefficient contributes
+//!    in O(1) — so the full model's penalty CSR is never compiled.
+//! 2. **Freeze** everything outside the top-`tabu_max_vars` scorers and
+//!    extract the induced subproblem with [`Cqm::subview`]; frozen
+//!    variables fold into targets and right-hand sides as constants.
+//! 3. **Solve** the window with a sub-solver inheriting this
+//!    configuration (decomposition off, private sink, round-salted seed),
+//!    seeded with the incumbent's projection.
+//! 4. **Fold back** the window's best sample and accept it only if it
+//!    strictly improves `(violation, objective)` on the *full* model;
+//!    repeat until two consecutive windows fail to improve.
+//!
+//! Determinism: window selection sorts by `(score desc, index asc)` with
+//! total float ordering, sub-solvers are seeded from the master seed and
+//! the round index alone, and acceptance compares exact re-evaluations of
+//! the full model — identical seeds give byte-identical final states and
+//! telemetry (wall-clock fields excluded from the trace digest).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qlrb_model::cqm::violation_of;
+use qlrb_model::Cqm;
+use qlrb_telemetry::{
+    DecompositionLevelRecord, DecompositionRecord, DecompositionWindowRecord, NoopSink,
+};
+
+use crate::hybrid::{HybridCqmSolver, SamplerKind};
+use crate::sampleset::{Sample, SampleSet, SolverTiming};
+
+/// Hard cap on window rounds; a safety net over the plateau stop.
+const MAX_ROUNDS: usize = 32;
+
+/// Consecutive non-improving windows tolerated before stopping.
+const PLATEAU_WINDOWS: usize = 2;
+
+/// What the active-window loop produced: the final sample set (best
+/// incumbent first) plus the telemetry record describing every window.
+#[derive(Debug, Clone)]
+pub struct ActiveWindowOutcome {
+    /// Single-sample set holding the final incumbent.
+    pub set: SampleSet,
+    /// Per-window telemetry, ready to attach to a `SolveRecord`.
+    pub record: DecompositionRecord,
+}
+
+/// Solves `cqm` through the active-window loop described in the module
+/// docs, using `solver`'s configuration for every window sub-solve.
+///
+/// `seeds` are candidate full-width assignments; the best of them (by
+/// `(violation, objective)`, wrong-width entries ignored) becomes the
+/// initial incumbent, falling back to all-zeros.
+pub fn solve_active_windows(
+    solver: &HybridCqmSolver,
+    cqm: &Cqm,
+    seeds: &[Vec<u8>],
+) -> ActiveWindowOutcome {
+    let started = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around sub-solves, not inside a sweep
+    let width = cqm.num_vars();
+    let cap = solver.tabu_max_vars().max(1).min(width.max(1));
+
+    let mut incumbent = initial_incumbent(cqm, seeds);
+    let (mut best_viol, mut best_obj) = evaluate(cqm, &incumbent);
+    let initial_obj = best_obj;
+    let viol_weight = cqm.objective_unit_scale();
+
+    let mut windows: Vec<DecompositionWindowRecord> = Vec::new();
+    let mut touched = vec![false; width];
+    let mut dry = 0usize;
+    for round in 0..MAX_ROUNDS {
+        if dry >= PLATEAU_WINDOWS || width == 0 {
+            break;
+        }
+        let active = select_window(cqm, &incumbent, cap, viol_weight);
+        let sub = cqm.subview(&active, &incumbent);
+        let sub_solver = solver
+            .to_builder()
+            .decompose(false)
+            .sink(Arc::new(NoopSink))
+            .seed(window_seed(solver.seed(), round as u64))
+            .build()
+            .expect("window sub-solver inherits a validated configuration"); // qlrb-lint: allow(no-unwrap)
+
+        let window_started = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a sub-solve
+        let window_seeds = vec![sub.project(&incumbent)];
+        let set = sub_solver.solve(sub.cqm(), &window_seeds);
+        let wall_ms = window_started.elapsed().as_secs_f64() * 1e3;
+
+        let mut candidate = incumbent.clone();
+        if let Some(best) = set.best() {
+            sub.fold_back(&best.state, &mut candidate);
+        }
+        let (cand_viol, cand_obj) = evaluate(cqm, &candidate);
+        let accepted = cand_viol < best_viol - 1e-12
+            || (cand_viol <= best_viol + 1e-12 && cand_obj < best_obj - 1e-12);
+        windows.push(DecompositionWindowRecord {
+            level: 0,
+            window: round,
+            vars: active.len(),
+            objective_before: best_obj,
+            objective_after: if accepted { cand_obj } else { best_obj },
+            accepted,
+            wall_ms,
+        });
+        if accepted {
+            for &v in &active {
+                touched[v] = true;
+            }
+            incumbent = candidate;
+            best_viol = cand_viol;
+            best_obj = cand_obj;
+            dry = 0;
+        } else {
+            dry += 1;
+        }
+    }
+
+    let sub_solves = windows.len();
+    let solved_vars = touched.iter().filter(|&&t| t).count();
+    let record = DecompositionRecord {
+        strategy: "active-window".to_string(),
+        window_cap: cap,
+        levels: vec![DecompositionLevelRecord {
+            level: 0,
+            size: width,
+            solved_vars,
+            objective_before: initial_obj,
+            objective_after: best_obj,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        }],
+        windows,
+        sub_solves,
+    };
+
+    let set = SampleSet {
+        samples: vec![Sample {
+            objective: best_obj,
+            violation: best_viol,
+            feasible: best_viol == 0.0,
+            state: incumbent,
+            sampler: SamplerKind::Sa,
+        }],
+        timing: SolverTiming::default(),
+    };
+    ActiveWindowOutcome { set, record }
+}
+
+/// The `(violation, objective)` pair acceptance compares lexicographically.
+fn evaluate(cqm: &Cqm, state: &[u8]) -> (f64, f64) {
+    (cqm.total_violation(state), cqm.objective(state))
+}
+
+/// Best full-width seed by `(violation, objective)` with deterministic
+/// first-wins tie-breaking; all-zeros when no seed fits.
+fn initial_incumbent(cqm: &Cqm, seeds: &[Vec<u8>]) -> Vec<u8> {
+    let width = cqm.num_vars();
+    let mut best: Option<(f64, f64, &Vec<u8>)> = None;
+    for s in seeds.iter().filter(|s| s.len() == width) {
+        let (v, o) = evaluate(cqm, s);
+        let better = match &best {
+            None => true,
+            Some((bv, bo, _)) => v < *bv - 1e-12 || (v <= *bv + 1e-12 && o < *bo - 1e-12),
+        };
+        if better {
+            best = Some((v, o, s));
+        }
+    }
+    match best {
+        Some((_, _, s)) => s.clone(),
+        None => vec![0u8; width],
+    }
+}
+
+/// Scores every variable's structural flip impact at `state` and returns
+/// the top-`cap` indices, ascending. Two passes per expression: one sum at
+/// the incumbent, then an O(1) delta per incident coefficient.
+fn select_window(cqm: &Cqm, state: &[u8], cap: usize, viol_weight: f64) -> Vec<usize> {
+    let width = cqm.num_vars();
+    let mut score = vec![0.0f64; width];
+    for t in &cqm.squared_terms {
+        let s = t.expr.value(state);
+        for &(v, c) in t.expr.terms() {
+            let i = v.index();
+            let flip = if state[i] == 0 { c } else { -c };
+            let before = s - t.target;
+            let after = before + flip;
+            score[i] += t.weight * (after * after - before * before).abs();
+        }
+    }
+    for &(v, c) in cqm.linear_objective.terms() {
+        score[v.index()] += c.abs();
+    }
+    for cons in &cqm.constraints {
+        let s = cons.expr.value(state);
+        let before = violation_of(cons.sense, s, cons.rhs);
+        for &(v, c) in cons.expr.terms() {
+            let i = v.index();
+            let flip = if state[i] == 0 { c } else { -c };
+            let after = violation_of(cons.sense, s + flip, cons.rhs);
+            // Reward only violation *reduction*: a flip that would create
+            // violation is one the sub-solver will refuse anyway, and
+            // scoring it pins satisfied-constraint bits at the top of the
+            // window while genuinely improvable ones starve.
+            score[i] += viol_weight * (before - after).max(0.0);
+        }
+    }
+
+    let mut order: Vec<usize> = (0..width).collect();
+    order.sort_unstable_by(|&a, &b| score[b].total_cmp(&score[a]).then_with(|| a.cmp(&b)));
+    order.truncate(cap);
+    order.sort_unstable();
+    order
+}
+
+/// Deterministic per-round sub-solver seed: splitmix64 over the master
+/// seed and the round index.
+fn window_seed(master: u64, round: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(round.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::{HybridCqmSolver, SolveError};
+    use qlrb_model::{LinearExpr, Sense, Var};
+    use qlrb_telemetry::MemorySink;
+
+    /// A partition-style model: `groups` disjoint triples, each pulled to
+    /// sum 2 with a ≤2 capacity constraint. Optimal objective 0.
+    fn partition_cqm(groups: usize) -> Cqm {
+        let mut cqm = Cqm::new(3 * groups);
+        for g in 0..groups {
+            let mut sum = LinearExpr::new();
+            for k in 0..3 {
+                sum.add_term(Var((3 * g + k) as u32), 1.0);
+            }
+            cqm.add_squared_term(sum.clone(), 2.0, 1.0);
+            cqm.add_constraint(sum, Sense::Le, 2.0, format!("cap{g}"));
+        }
+        cqm
+    }
+
+    fn tiny_windows_solver() -> HybridCqmSolver {
+        HybridCqmSolver::fast()
+            .to_builder()
+            .tabu_max_vars(6)
+            .decompose(true)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn windows_reach_the_monolithic_optimum() {
+        let cqm = partition_cqm(8); // 24 vars, window cap 6
+        let solver = tiny_windows_solver();
+        let out = solve_active_windows(&solver, &cqm, &[]);
+        let best = out.set.best_feasible().expect("feasible");
+        assert_eq!(best.objective, 0.0);
+        assert!(out.record.sub_solves >= 1);
+        assert!(out.record.windows.iter().all(|w| w.vars <= 6));
+        assert_eq!(out.record.levels.len(), 1);
+        assert_eq!(out.record.levels[0].size, 24);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outcomes() {
+        let cqm = partition_cqm(8);
+        let solver = tiny_windows_solver();
+        let a = solve_active_windows(&solver, &cqm, &[]);
+        let b = solve_active_windows(&solver, &cqm, &[]);
+        assert_eq!(a.set.samples[0].state, b.set.samples[0].state);
+        assert_eq!(a.record.sub_solves, b.record.sub_solves);
+        let strip = |r: &DecompositionRecord| {
+            r.windows
+                .iter()
+                .map(|w| {
+                    (
+                        w.level,
+                        w.window,
+                        w.vars,
+                        w.objective_after.to_bits(),
+                        w.accepted,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a.record), strip(&b.record));
+    }
+
+    #[test]
+    fn checked_solve_errors_without_decompose_and_windows_with_it() {
+        let cqm = partition_cqm(8);
+        let mono = HybridCqmSolver::fast()
+            .to_builder()
+            .tabu_max_vars(6)
+            .build()
+            .expect("valid config");
+        match mono.solve_checked(&cqm, &[]) {
+            Err(SolveError::TooLarge(e)) => {
+                assert_eq!(e.vars, 24);
+                assert_eq!(e.cap, 6);
+                assert!(e.to_string().contains("--decompose"));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+
+        let sink = Arc::new(MemorySink::default());
+        let dec = mono
+            .to_builder()
+            .decompose(true)
+            .sink(sink.clone())
+            .build()
+            .expect("valid config");
+        let set = dec.solve_checked(&cqm, &[]).expect("decomposed solve");
+        assert!(set.best_feasible().is_some());
+        let records = sink.take();
+        assert_eq!(records.len(), 1, "one merged record for the whole solve");
+        let rec = &records[0];
+        assert_eq!(rec.termination, "decomposed");
+        let d = rec.decomposition.as_ref().expect("decomposition attached");
+        assert_eq!(d.strategy, "active-window");
+        assert_eq!(d.window_cap, 6);
+        assert!(!rec.trace_digest.is_empty());
+    }
+
+    #[test]
+    fn in_cap_models_bypass_the_frontend() {
+        let cqm = partition_cqm(1); // 3 vars, under any default cap
+        let dec = HybridCqmSolver::fast()
+            .to_builder()
+            .decompose(true)
+            .build()
+            .expect("valid config");
+        let mono = HybridCqmSolver::fast();
+        let a = dec.solve(&cqm, &[]);
+        let b = mono.solve(&cqm, &[]);
+        assert_eq!(a.samples[0].state, b.samples[0].state);
+        assert_eq!(a.samples[0].objective, b.samples[0].objective);
+    }
+}

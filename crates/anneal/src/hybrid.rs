@@ -235,6 +235,75 @@ impl std::fmt::Display for ModelRejected {
 
 impl std::error::Error for ModelRejected {}
 
+/// Returned by [`HybridCqmSolver::solve_checked`] when the model is wider
+/// than the tabu cap, the portfolio contains tabu reads, and the
+/// decomposition frontend is off. Before the decomposition frontend
+/// existed, such models silently downgraded their tabu reads to SA; this
+/// error replaces that silence on the checked path with an actionable
+/// verdict. Enable [`HybridSolverBuilder::decompose`] (CLI:
+/// `qlrb rebalance --decompose`) or raise
+/// [`HybridSolverBuilder::tabu_max_vars`] to proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelTooLarge {
+    /// Structural width of the rejected model.
+    pub vars: usize,
+    /// The configured tabu cap it exceeds.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for ModelTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model too large for the monolithic portfolio: {} variables exceed the {}-variable \
+             tabu cap; enable the decomposition frontend (`--decompose`) or raise tabu_max_vars",
+            self.vars, self.cap
+        )
+    }
+}
+
+impl std::error::Error for ModelTooLarge {}
+
+/// Everything [`HybridCqmSolver::solve_checked`] can refuse a model for.
+#[derive(Debug, Clone)]
+pub enum SolveError {
+    /// The model linter found error-severity problems under
+    /// [`LintMode::Deny`].
+    Rejected(ModelRejected),
+    /// The model exceeds the tabu cap and decomposition is off.
+    TooLarge(ModelTooLarge),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(e) => e.fmt(f),
+            Self::TooLarge(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected(e) => Some(e),
+            Self::TooLarge(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelRejected> for SolveError {
+    fn from(e: ModelRejected) -> Self {
+        Self::Rejected(e)
+    }
+}
+
+impl From<ModelTooLarge> for SolveError {
+    fn from(e: ModelTooLarge) -> Self {
+        Self::TooLarge(e)
+    }
+}
+
 /// Configuration of the hybrid solve.
 ///
 /// Constructed through [`HybridCqmSolver::builder`] (validating) or the
@@ -327,6 +396,12 @@ pub struct HybridCqmSolver {
     /// solves are deterministic but draw different (counter-based) RNG
     /// streams.
     batched: bool,
+    /// Opt-in decomposition frontend: models wider than `tabu_max_vars`
+    /// are solved through a sequence of active-variable windows instead of
+    /// erroring out of [`HybridCqmSolver::solve_checked`] (see
+    /// [`crate::decompose`]). Off by default — the monolithic path stays
+    /// byte-identical.
+    decompose: bool,
 }
 
 impl Default for HybridCqmSolver {
@@ -351,6 +426,7 @@ impl Default for HybridCqmSolver {
             max_retries: 2,
             read_deadline_proposals: None,
             batched: false,
+            decompose: false,
         }
     }
 }
@@ -571,6 +647,20 @@ impl HybridSolverBuilder {
         self
     }
 
+    /// Enables the decomposition frontend (DESIGN.md §Decomposition): a
+    /// model wider than the tabu cap is solved through a deterministic
+    /// sequence of ≤`tabu_max_vars`-variable active windows — score
+    /// variables by their structural flip impact, freeze the rest, solve
+    /// the window with this same portfolio, fold improvements back, and
+    /// repeat until no window improves. Off (the default), oversized
+    /// models make [`HybridCqmSolver::solve_checked`] return
+    /// [`SolveError::TooLarge`] instead of silently downgrading, and every
+    /// in-cap solve stays byte-identical to earlier releases.
+    pub fn decompose(mut self, decompose: bool) -> Self {
+        self.cfg.decompose = decompose;
+        self
+    }
+
     /// Validates and produces the solver. Rejects configurations that could
     /// only misbehave at solve time: zero reads or sweeps, an empty
     /// portfolio, and a tabu-only portfolio whose width guard would
@@ -741,6 +831,11 @@ impl HybridCqmSolver {
         self.batched
     }
 
+    /// Whether the decomposition frontend is enabled.
+    pub fn decomposes(&self) -> bool {
+        self.decompose
+    }
+
     /// Lanes per batched kernel invocation: the bitset word width when
     /// batched, 1 on the scalar path.
     pub fn batch_width(&self) -> usize {
@@ -786,6 +881,7 @@ impl HybridCqmSolver {
             batched: self.batched,
             batch_width: self.batch_width(),
             kernel: if self.batched { "batched" } else { "scalar" }.to_string(),
+            decompose: self.decompose,
         }
     }
 
@@ -840,23 +936,77 @@ impl HybridCqmSolver {
             let report = self.lint_model(cqm);
             self.record_lint(cqm.num_vars(), &report, false);
         }
+        if self.decompose && self.oversized(cqm) {
+            return self.solve_decomposed(cqm, seeds);
+        }
         self.solve_impl(cqm, seeds)
     }
 
-    /// [`HybridCqmSolver::solve`] with the lint verdict enforced: under
+    /// [`HybridCqmSolver::solve`] with the verdicts enforced: under
     /// [`LintMode::Deny`], a model with error-severity findings is refused
-    /// before any sampling happens. Under [`LintMode::Warn`] or
-    /// [`LintMode::Off`] this never fails.
-    pub fn solve_checked(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> Result<SampleSet, ModelRejected> {
+    /// before any sampling happens, and a model wider than the tabu cap is
+    /// refused with [`SolveError::TooLarge`] unless the decomposition
+    /// frontend is on (in which case it is solved through active windows).
+    /// Under [`LintMode::Warn`] / [`LintMode::Off`] and within the cap this
+    /// never fails.
+    pub fn solve_checked(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> Result<SampleSet, SolveError> {
         if self.lint != LintMode::Off {
             let report = self.lint_model(cqm);
             let denied = self.lint == LintMode::Deny && report.has_errors();
             self.record_lint(cqm.num_vars(), &report, denied);
             if denied {
-                return Err(ModelRejected { report });
+                return Err(SolveError::Rejected(ModelRejected { report }));
             }
         }
+        if self.oversized(cqm) {
+            if self.decompose {
+                return Ok(self.solve_decomposed(cqm, seeds));
+            }
+            return Err(SolveError::TooLarge(ModelTooLarge {
+                vars: cqm.num_vars(),
+                cap: self.tabu_max_vars,
+            }));
+        }
         Ok(self.solve_impl(cqm, seeds))
+    }
+
+    /// Whether this model would overflow the tabu width guard: wider than
+    /// the cap with tabu reads in the portfolio. (The unchecked
+    /// [`HybridCqmSolver::solve`] keeps the legacy behaviour for such
+    /// models — tabu reads silently downgrade to SA — unless decomposition
+    /// is on.)
+    fn oversized(&self, cqm: &Cqm) -> bool {
+        cqm.num_vars() > self.tabu_max_vars && self.samplers.contains(&SamplerKind::Tabu)
+    }
+
+    /// The active-window decomposition drive (see [`crate::decompose`]):
+    /// runs the window loop with sub-solvers that inherit this
+    /// configuration (minus sink and decomposition), then emits a single
+    /// sealed [`SolveRecord`] carrying the per-window telemetry.
+    fn solve_decomposed(&self, cqm: &Cqm, seeds: &[Vec<u8>]) -> SampleSet {
+        let started = Instant::now(); // qlrb-lint: allow(no-wallclock) — telemetry timing around a solve, not inside a sweep
+        let outcome = crate::decompose::solve_active_windows(self, cqm, seeds);
+        let mut set = outcome.set;
+        set.timing.cpu = started.elapsed();
+        if self.sink.enabled() {
+            let mut record = SolveRecord {
+                num_vars: cqm.num_vars(),
+                compiled_vars: 0,
+                requested_reads: self.num_reads,
+                reads: Vec::new(),
+                failed_reads: Vec::new(),
+                backend_usage: Vec::new(),
+                waves: Vec::new(),
+                termination: "decomposed".to_string(),
+                timing: timing_record(&set.timing),
+                summary: set.summary(),
+                trace_digest: String::new(),
+                decomposition: Some(outcome.record),
+            };
+            qlrb_telemetry::fingerprint::seal(&mut record);
+            self.sink.record_solve(record);
+        }
+        set
     }
 
     /// The solve proper; lint handled by the public entry points.
@@ -891,6 +1041,7 @@ impl HybridCqmSolver {
                     timing: timing_record(&set.timing),
                     summary: set.summary(),
                     trace_digest: String::new(),
+                    decomposition: None,
                 };
                 qlrb_telemetry::fingerprint::seal(&mut record);
                 self.sink.record_solve(record);
@@ -1091,6 +1242,7 @@ impl HybridCqmSolver {
                 timing: timing_record(&set.timing),
                 summary: set.summary(),
                 trace_digest: String::new(),
+                decomposition: None,
             };
             // Fingerprint emission (DESIGN.md §Determinism audit): the
             // digest is stamped where the record is born, so every sink —
@@ -2434,8 +2586,11 @@ mod tests {
             .build()
             .unwrap();
         let err = solver.solve_checked(&broken_cqm(), &[]).unwrap_err();
-        assert!(err.report.has_errors());
         assert!(err.to_string().contains("infeasible-bound"));
+        let SolveError::Rejected(err) = err else {
+            panic!("expected a lint rejection, got {err:?}");
+        };
+        assert!(err.report.has_errors());
         // A clean model sails through the same solver.
         let set = solver.solve_checked(&partition_cqm(), &[]).unwrap();
         assert!(set.best_feasible().is_some());

@@ -30,6 +30,13 @@
 //! * [`scheduler`] — deterministic adaptive wave scheduling for the hybrid
 //!   solver: plateau-based early termination, bandit read allocation, and
 //!   elite cross-seeding (see `HybridSolverBuilder::adaptive`).
+//! * [`decompose`] — the opt-in active-window decomposition frontend
+//!   (`HybridSolverBuilder::decompose`): models wider than the tabu cap are
+//!   solved through a deterministic sequence of frozen-complement windows
+//!   extracted with `qlrb_model::Cqm::subview`, each handed to the
+//!   unchanged portfolio; off, oversized models surface a structured
+//!   [`ModelTooLarge`] from `solve_checked` instead of silently
+//!   downgrading.
 //! * [`backend`] / [`faults`] — the fallible submission boundary: every
 //!   read goes through a [`backend::Backend`] whose `submit()` can fail
 //!   like a cloud sampler endpoint (timeout / transient / crash /
@@ -49,6 +56,7 @@
 pub mod backend;
 pub mod batch;
 pub mod crng;
+pub mod decompose;
 pub mod descent;
 pub mod faults;
 pub mod hybrid;
@@ -71,9 +79,11 @@ pub use batch::{
     TabuLaneOutcome,
 };
 pub use crng::CounterRng;
+pub use decompose::{solve_active_windows, ActiveWindowOutcome};
 pub use faults::{FaultEntry, FaultKind, FaultPlan};
 pub use hybrid::{
-    HybridCqmSolver, HybridSolverBuilder, LintMode, ModelRejected, SamplerKind, SolverBuildError,
+    HybridCqmSolver, HybridSolverBuilder, LintMode, ModelRejected, ModelTooLarge, SamplerKind,
+    SolveError, SolverBuildError,
 };
 pub use pt::PtParams;
 pub use run::{SamplerExtras, SamplerRun};

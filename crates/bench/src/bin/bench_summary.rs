@@ -17,6 +17,14 @@
 //!   legacy one-state-at-a-time path for comparison.
 //! * `sa_table5` / `sqa_table5` / `tabu_table5` — two single-sampler reads
 //!   each, isolating the three portfolio members.
+//! * `decompose_{1024,2048,4096}node` — the multilevel decomposition
+//!   frontend end-to-end ([`DecomposingRebalancer`]) on instances far past
+//!   the monolithic variable cap (4 tasks/node keeps the coarse core small
+//!   enough that the rows time the decomposition machinery — coarsening,
+//!   one coarse solve, per-level projection — rather than one huge anneal).
+//!   No monolithic companions: at these scales the `Q_CQM1` model is not
+//!   buildable — the monolithic path exits in microseconds with the
+//!   structured `ModelTooLarge` error, which is not worth a timing row.
 //! * `flip_delta_{scalar,batched}_{sparse,medium,dense}` — the flip-delta
 //!   kernel alone on synthetic CQMs of three CSR density tiers; the
 //!   batched rows traverse once for 64 lanes.
@@ -31,7 +39,7 @@ use std::time::Instant;
 
 use qlrb_anneal::hybrid::{HybridCqmSolver, SamplerKind};
 use qlrb_core::cqm::{LrpCqm, Variant};
-use qlrb_core::{QuantumRebalancer, Rebalancer};
+use qlrb_core::{DecomposingRebalancer, Instance, QuantumRebalancer, Rebalancer};
 use qlrb_model::batch::BatchedEvaluator;
 use qlrb_model::cqm::Cqm;
 use qlrb_model::eval::{CompiledCqm, CqmEvaluator, Evaluator};
@@ -92,6 +100,35 @@ fn rebalancer(variant: Variant, k: u64, batched: bool) -> QuantumRebalancer {
         prune_tolerance: 0.02,
         migration_penalty: 0.0,
     }
+}
+
+/// A `{nodes}`-process instance for the decomposition rows: the harness's
+/// cyclic MxM size mix at 4 tasks per node, so the dominant cost is the
+/// multilevel machinery (dense plans, projections) rather than the coarse
+/// anneal.
+fn decompose_instance(nodes: usize) -> Instance {
+    let sizes = qlrb_workloads::MXM_SIZES;
+    let weights: Vec<f64> = (0..nodes)
+        .map(|i| qlrb_workloads::load_model(sizes[i % sizes.len()]))
+        .collect();
+    Instance::uniform(4, weights).expect("generator parameters are valid")
+}
+
+/// The decomposing rebalancer the `decompose_*node` rows time: a small,
+/// fixed sub-solver budget and a 4096-variable refinement cap, so the rows
+/// track the frontend's own scaling across PRs instead of anneal noise.
+fn decompose_rebalancer(k: u64) -> DecomposingRebalancer {
+    let mut dr = DecomposingRebalancer::new(Variant::Reduced, k);
+    dr.solver = HybridCqmSolver::builder()
+        .num_reads(2)
+        .sweeps(100)
+        .seed(11)
+        .tabu_max_vars(4096)
+        .decompose(true)
+        .build()
+        .expect("fixed decompose bench config is valid");
+    dr.coarse_target = 16;
+    dr
 }
 
 /// A synthetic CQM whose CSR density is set by how many variables each
@@ -239,6 +276,30 @@ fn main() {
             Box::new(|| {
                 let set = single(SamplerKind::Tabu).solve(&lrp.cqm, &[]);
                 std::hint::black_box(set.summary().num_samples);
+            }),
+        ),
+        (
+            "decompose_1024node",
+            Box::new(|| {
+                let inst = decompose_instance(1024);
+                let m = decompose_rebalancer(inst.num_tasks() / 64);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "decompose_2048node",
+            Box::new(|| {
+                let inst = decompose_instance(2048);
+                let m = decompose_rebalancer(inst.num_tasks() / 64);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
+            }),
+        ),
+        (
+            "decompose_4096node",
+            Box::new(|| {
+                let inst = decompose_instance(4096);
+                let m = decompose_rebalancer(inst.num_tasks() / 64);
+                std::hint::black_box(m.rebalance(&inst).unwrap().matrix.num_migrated());
             }),
         ),
         (

@@ -1,0 +1,13 @@
+//! Extension: multilevel decomposition past the monolithic size ceiling —
+//! feasible plans at 1024/2048/4096 nodes, optimality gap vs Greedy/KK,
+//! plus the monolithic formulation's structured failure rows and peak-RSS
+//! accounting. `QLRB_FAST=1` keeps only the 1024-node case.
+fn main() {
+    let cfg = qlrb_bench::regen_config();
+    let mut cases = qlrb_workloads::node_scaling_large();
+    if std::env::var("QLRB_FAST").is_ok_and(|v| v == "1") {
+        cases.truncate(1);
+    }
+    let exp = qlrb_harness::extensions::decompose_scaling_cases(&cfg, cases);
+    qlrb_bench::emit(&exp, false);
+}

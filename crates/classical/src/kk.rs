@@ -20,22 +20,111 @@ use crate::partition::PartitionCounts;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KarmarkarKarp;
 
-/// One differencing tuple: `M` parts kept sorted by load descending, each
-/// carrying its per-class task counts.
+/// One differencing tuple: only the parts that carry tasks are
+/// materialized (sorted by load descending, ties in construction order);
+/// the remaining `M − parts.len()` parts are implicitly empty. A dense
+/// `M × M` count matrix per tuple makes the heap O(n·M²) — hundreds of
+/// gigabytes at the decomposition frontend's 1024-node scale — while the
+/// task-bearing parts across the whole heap never exceed the task count.
+/// Pairing against an implicit part is pairing against the zero tail of
+/// the old dense arrays, so plans are bit-identical to the dense form.
 #[derive(Debug, Clone)]
 struct Tuple {
-    /// Part loads, descending.
-    sums: Vec<f64>,
-    /// `counts[part][class]`.
-    counts: Vec<Vec<u64>>,
+    /// Task-bearing parts, load descending.
+    parts: Vec<Part>,
+    /// `max part − min part` over all `M` parts (0 for the implicit ones),
+    /// precomputed because the heap ordering cannot see `M`.
+    spread: f64,
     /// Insertion sequence number for deterministic tie-breaking.
     seq: u64,
 }
 
+/// One materialized part: its load and sparse per-class task counts.
+#[derive(Debug, Clone)]
+struct Part {
+    sum: f64,
+    /// `(class, count)` pairs, ascending by class.
+    counts: Vec<(u32, u64)>,
+}
+
 impl Tuple {
     fn spread(&self) -> f64 {
-        self.sums[0] - self.sums[self.sums.len() - 1]
+        self.spread
     }
+}
+
+/// Spread of a part list under `m`-way differencing: the implicit empty
+/// parts pin the minimum at zero until all `m` parts carry load.
+fn spread_of(parts: &[Part], m: usize) -> f64 {
+    let hi = parts.first().map_or(0.0, |p| p.sum);
+    let lo = if parts.len() < m {
+        0.0
+    } else {
+        parts[parts.len() - 1].sum
+    };
+    hi - lo
+}
+
+/// Sums two sparse class-count lists (both ascending by class).
+fn merge_counts(a: &[(u32, u64)], b: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Combines two tuples largest-against-smallest: `a`'s part `i` pairs
+/// with `b`'s part `m − 1 − i`. With `ka` and `kb` materialized parts,
+/// `b`'s contribution occupies indices `m − kb ..`, so the three ranges
+/// below are "a alone", the overlap, and "b alone"; anything else pairs
+/// empty-with-empty and stays implicit.
+fn combine(mut a: Tuple, mut b: Tuple, m: usize, seq: u64) -> Tuple {
+    let (ka, kb) = (a.parts.len(), b.parts.len());
+    let lo = m - kb;
+    let mut parts: Vec<Part> = Vec::with_capacity((ka + kb).min(m));
+    for i in 0..ka.min(lo) {
+        parts.push(Part {
+            sum: a.parts[i].sum,
+            counts: std::mem::take(&mut a.parts[i].counts),
+        });
+    }
+    for i in lo..ka {
+        let bp = &mut b.parts[m - 1 - i];
+        parts.push(Part {
+            sum: a.parts[i].sum + bp.sum,
+            counts: merge_counts(&a.parts[i].counts, &bp.counts),
+        });
+    }
+    for i in ka.max(lo)..m {
+        let bp = &mut b.parts[m - 1 - i];
+        parts.push(Part {
+            sum: bp.sum,
+            counts: std::mem::take(&mut bp.counts),
+        });
+    }
+    // Stable sort: equal sums keep construction order, exactly like the
+    // dense form's full-array sort.
+    parts.sort_by(|x, y| y.sum.total_cmp(&x.sum));
+    let spread = spread_of(&parts, m);
+    Tuple { parts, spread, seq }
 }
 
 struct HeapItem(Tuple);
@@ -74,11 +163,12 @@ impl KarmarkarKarp {
         let mut heap = BinaryHeap::with_capacity(inst.num_tasks() as usize);
         let mut seq = 0u64;
         for (w, class) in inst.tasks_by_weight_desc() {
-            let mut sums = vec![0.0; m];
-            sums[0] = w;
-            let mut counts = vec![vec![0u64; m]; m];
-            counts[0][class] = 1;
-            heap.push(HeapItem(Tuple { sums, counts, seq }));
+            let parts = vec![Part {
+                sum: w,
+                counts: vec![(class as u32, 1)],
+            }];
+            let spread = spread_of(&parts, m);
+            heap.push(HeapItem(Tuple { parts, spread, seq }));
             seq += 1;
         }
         while heap.len() > 1 {
@@ -86,27 +176,19 @@ impl KarmarkarKarp {
                 break; // unreachable: the loop guard holds at least two tuples
             };
             // Largest part of `a` pairs with smallest part of `b`, etc.
-            let mut parts: Vec<(f64, Vec<u64>)> = (0..m)
-                .map(|i| {
-                    let bi = m - 1 - i;
-                    let mut merged = a.counts[i].clone();
-                    for (dst, src) in merged.iter_mut().zip(&b.counts[bi]) {
-                        *dst += src;
-                    }
-                    (a.sums[i] + b.sums[bi], merged)
-                })
-                .collect();
-            parts.sort_by(|x, y| y.0.total_cmp(&x.0));
-            let (sums, counts) = parts.into_iter().unzip();
-            heap.push(HeapItem(Tuple { sums, counts, seq }));
+            heap.push(HeapItem(combine(a, b, m, seq)));
             seq += 1;
         }
         // Exactly one tuple survives differencing; an empty heap means the
         // instance had no tasks, where all-zero counts are the right answer.
-        let counts = heap
-            .pop()
-            .map(|HeapItem(t)| t.counts)
-            .unwrap_or_else(|| vec![vec![0; m]; m]);
+        let mut counts = vec![vec![0u64; m]; m];
+        if let Some(HeapItem(t)) = heap.pop() {
+            for (part, p) in t.parts.iter().enumerate() {
+                for &(class, n) in &p.counts {
+                    counts[part][class as usize] = n;
+                }
+            }
+        }
         PartitionCounts { counts }
     }
 }

@@ -1,0 +1,632 @@
+//! Multilevel coarsen / solve / uncoarsen frontend for the LRP
+//! (DESIGN.md §Decomposition).
+//!
+//! The paper's monolithic formulations stop being buildable long before
+//! they stop being solvable: at `M = 4096` processes the reduced CQM would
+//! allocate `M·(M−1)·⌈log₂ n +1⌉ ≈ 10⁸` binaries — far past the solver's
+//! tabu cap and past what is worth materializing at all. This module
+//! breaks that ceiling with the classic multilevel scheme:
+//!
+//! 1. **Coarsen** — repeatedly merge process *pairs* into super-processes
+//!    until at most `coarse_target` remain. Pairing is weight-aware and
+//!    deterministic: processes are sorted by task weight (descending,
+//!    index-ascending ties) and adjacent entries merge, so similarly-loaded
+//!    processes fuse and the imbalance *profile* survives coarsening. A
+//!    merged super-process carries `2n` tasks of the *mean* weight of its
+//!    children (an odd leftover keeps its tasks at half weight), which
+//!    makes every coarse load exactly the sum of its fine loads.
+//! 2. **Solve** — run the ordinary [`QuantumRebalancer`] portfolio on the
+//!    coarse instance, where the model fits the monolithic cap.
+//! 3. **Uncoarsen** — project the plan down one level at a time: each
+//!    coarse flow `B → A` is routed greedily in whole fine tasks from
+//!    `B`'s children to `A`'s children, never exceeding the donor's
+//!    resident tasks, the receiver's original-`L_max` capacity, or the
+//!    global migration budget — so the projection is feasible by
+//!    construction (worst case: nothing routes and the plan degrades
+//!    toward identity). Levels small enough for the monolithic cap get a
+//!    short *refinement solve* seeded with the projection; larger levels
+//!    get the classical migration-pruning repair pass instead.
+//!
+//! Determinism: pairing, flow enumeration, and routing are all
+//! index-ordered; sub-solver seeds derive from the master seed and the
+//! level index alone. One merged, sealed `SolveRecord` (termination
+//! `"decomposed"`, `decomposition.strategy = "multilevel"`) describes the
+//! whole run; sub-solves never emit their own records.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qlrb_anneal::hybrid::HybridCqmSolver;
+use qlrb_anneal::telemetry::{
+    DecompositionLevelRecord, DecompositionRecord, NoopSink, SolveRecord, TraceSink,
+};
+
+use crate::algorithm::{RebalanceOutcome, Rebalancer};
+use crate::cqm::{logical_qubits, Variant};
+use crate::error::RebalanceError;
+use crate::instance::Instance;
+use crate::migration::MigrationMatrix;
+use crate::solve::{prune_migrations, QuantumRebalancer};
+
+/// Above this process count the `O(M²)` pruning repair pass is skipped
+/// during uncoarsening (it would dominate the runtime it is meant to
+/// polish).
+const PRUNE_MAX_PROCS: usize = 512;
+
+/// One coarsening step: the coarse instance plus the coarse→fine
+/// parentage. Coarse process `c` merges fine processes `children[c]`.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The merged instance (`⌈M/2⌉` processes, `2n` tasks each).
+    pub inst: Instance,
+    /// Fine children of each coarse process; the second slot is `None`
+    /// for an odd leftover singleton.
+    pub children: Vec<(usize, Option<usize>)>,
+}
+
+/// Merges process pairs of `fine` into a half-size instance, preserving
+/// every merged load exactly (see the module docs for the pairing rule).
+///
+/// # Panics
+/// Panics if `fine` has fewer than two processes — there is nothing to
+/// merge, and the caller's coarsening loop should have stopped.
+pub fn coarsen(fine: &Instance) -> CoarseLevel {
+    let m = fine.num_procs();
+    assert!(m >= 2, "coarsening needs at least two processes");
+    let w = fine.weights();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then_with(|| a.cmp(&b)));
+
+    let mut children = Vec::with_capacity(m.div_ceil(2));
+    let mut weights = Vec::with_capacity(m.div_ceil(2));
+    let mut it = order.chunks_exact(2);
+    for pair in &mut it {
+        children.push((pair[0], Some(pair[1])));
+        weights.push((w[pair[0]] + w[pair[1]]) / 2.0);
+    }
+    if let [leftover] = *it.remainder() {
+        children.push((leftover, None));
+        weights.push(w[leftover] / 2.0);
+    }
+
+    let inst = Instance::uniform(2 * fine.tasks_per_proc(), weights)
+        .expect("merged weights stay finite and non-negative"); // qlrb-lint: allow(no-unwrap)
+    CoarseLevel { inst, children }
+}
+
+/// Projects a coarse migration plan onto the fine level it was coarsened
+/// from, routing each coarse flow greedily in whole fine tasks.
+///
+/// The returned plan always validates against `fine`: every routed move is
+/// bounded by the donor's resident tasks, the receiver's original-`L_max`
+/// capacity, and `budget` total migrations.
+pub fn project_plan(
+    fine: &Instance,
+    level: &CoarseLevel,
+    coarse_plan: &MigrationMatrix,
+    budget: u64,
+) -> MigrationMatrix {
+    let mut plan = MigrationMatrix::identity(fine);
+    let mut loads = fine.loads();
+    let cap = fine.stats().l_max * (1.0 + 1e-12) + 1e-12;
+    let wf = fine.weights();
+    let wc = level.inst.weights();
+    let m_c = level.inst.num_procs();
+    let mut budget = budget;
+
+    let kids = |c: usize| -> [Option<usize>; 2] {
+        let (a, b) = level.children[c];
+        [Some(a), b]
+    };
+
+    // Load of `c`'s sibling child seen from child `x`: +inf for singleton
+    // parents, so the gap never constrains them.
+    let sibling_load = |loads: &[f64], c: usize, x: usize| -> f64 {
+        let (p, q) = level.children[c];
+        match q {
+            Some(q) if p == x => loads[q],
+            Some(_) => loads[p],
+            None => f64::INFINITY,
+        }
+    };
+
+    for a in 0..m_c {
+        for b in 0..m_c {
+            if a == b || budget == 0 {
+                continue;
+            }
+            let t = coarse_plan.get(a, b);
+            if t == 0 {
+                continue;
+            }
+            // Load the coarse solver decided to move from B's territory
+            // into A's. Water-fill: drain B's heavier child, fill A's
+            // lighter child, and chunk transfers by the sibling gap — a
+            // single greedy dump into the first child would concentrate
+            // the whole inflow there and undo the coarse plan's balance
+            // one level down.
+            let mut load_to_move = t as f64 * wc[b];
+            loop {
+                if budget == 0 {
+                    break;
+                }
+                let Some(d) = kids(b)
+                    .into_iter()
+                    .flatten()
+                    .filter(|&d| wf[d] > 0.0 && plan.get(d, d) > 0)
+                    .max_by(|&x, &y| loads[x].total_cmp(&loads[y]))
+                else {
+                    break;
+                };
+                if load_to_move < wf[d] * 0.5 {
+                    break;
+                }
+                let Some(r) = kids(a)
+                    .into_iter()
+                    .flatten()
+                    .min_by(|&x, &y| loads[x].total_cmp(&loads[y]))
+                else {
+                    break;
+                };
+                // Chunk: close the donor's and receiver's sibling gaps
+                // first; once a pair is level, move half the remainder so
+                // both children share it. Always at least one task.
+                let d_gap = (loads[d] - sibling_load(&loads, b, d)).max(0.0);
+                let r_gap = (sibling_load(&loads, a, r) - loads[r]).max(0.0);
+                let chunk = load_to_move
+                    .min(d_gap.max(load_to_move / 2.0))
+                    .min(r_gap.max(load_to_move / 2.0))
+                    .max(wf[d]);
+                // Round to the nearest whole task (overshoot ≤ w/2,
+                // mirroring the greedy seed's receiver rounding).
+                let want = ((chunk / wf[d]) + 0.5).floor() as u64;
+                let headroom = (cap - loads[r]) / wf[d];
+                let headroom = if headroom >= 1.0 {
+                    headroom.floor() as u64
+                } else {
+                    0
+                };
+                let count = want.min(plan.get(d, d)).min(budget).min(headroom);
+                if count == 0 || plan.migrate(d, r, count).is_err() {
+                    break;
+                }
+                let moved = count as f64 * wf[d];
+                loads[d] -= moved;
+                loads[r] += moved;
+                load_to_move -= moved;
+                budget -= count;
+            }
+        }
+    }
+    plan
+}
+
+/// The quadratic imbalance objective `Σ_i (L_i − L_avg)²` the CQM
+/// formulations minimize; recorded per level so the telemetry shows what
+/// each fold-back and refinement bought.
+fn imbalance_objective(loads: &[f64]) -> f64 {
+    let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+    loads.iter().map(|l| (l - avg) * (l - avg)).sum()
+}
+
+/// Deterministic per-level sub-solver seed (splitmix64 over the master
+/// seed and level index).
+fn level_seed(master: u64, level: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(level.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A multilevel decomposing rebalancer: coarsen to `coarse_target`
+/// processes, solve there with the ordinary hybrid portfolio, and project
+/// the plan back down with per-level repair/refinement. The instance-size
+/// ceiling of [`QuantumRebalancer`] does not apply — this is what
+/// `qlrb rebalance --decompose` runs.
+#[derive(Debug, Clone)]
+pub struct DecomposingRebalancer {
+    /// Formulation used for the coarse and refinement solves.
+    pub variant: Variant,
+    /// Migration budget `k`, enforced at every level (a coarse task
+    /// carries the mean weight of its children, so one coarse move costs
+    /// about one fine move of load).
+    pub k: u64,
+    /// Template solver configuration for every sub-solve (its sink is
+    /// replaced by a private no-op; seeds are salted per level).
+    pub solver: HybridCqmSolver,
+    /// Stop coarsening at or below this many processes (min 2).
+    pub coarse_target: usize,
+    /// Optional display label; defaults to `"<variant>+ML(k=<k>)"`.
+    pub label: Option<String>,
+    /// Sink for the single merged solve record.
+    pub sink: Arc<dyn TraceSink>,
+    /// Pruning slack for the per-level repair pass (see
+    /// [`prune_migrations`]).
+    pub prune_tolerance: f64,
+}
+
+impl DecomposingRebalancer {
+    /// A decomposing rebalancer with default solver settings, a 32-process
+    /// coarse target, and no telemetry.
+    pub fn new(variant: Variant, k: u64) -> Self {
+        Self {
+            variant,
+            k,
+            solver: HybridCqmSolver::default(),
+            coarse_target: 32,
+            label: None,
+            sink: Arc::new(NoopSink),
+            prune_tolerance: 0.02,
+        }
+    }
+
+    /// A level sub-rebalancer: the template solver with a private sink, a
+    /// level-salted seed, and the anneal-side window frontend enabled (so
+    /// a coarse model that still overflows the cap degrades gracefully
+    /// instead of erroring).
+    fn sub_rebalancer(
+        &self,
+        level: u64,
+        extra_seed_plans: Vec<MigrationMatrix>,
+    ) -> Result<QuantumRebalancer, RebalanceError> {
+        let solver = self
+            .solver
+            .to_builder()
+            .sink(Arc::new(NoopSink))
+            .seed(level_seed(self.solver.seed(), level))
+            .decompose(true)
+            .build()
+            .map_err(|e| RebalanceError::InvalidInstance(format!("sub-solver config: {e}")))?;
+        let mut qr = QuantumRebalancer::new(self.variant, self.k);
+        qr.solver = solver;
+        qr.extra_seed_plans = extra_seed_plans;
+        qr.prune_tolerance = self.prune_tolerance;
+        Ok(qr)
+    }
+
+    /// Whether a level of `m` processes with `n` tasks each fits the
+    /// monolithic portfolio (and therefore earns a refinement solve).
+    fn fits_monolithic(&self, m: usize, n: u64) -> bool {
+        logical_qubits(self.variant, m as u64, n) <= self.solver.tabu_max_vars() as u64
+    }
+}
+
+impl Rebalancer for DecomposingRebalancer {
+    fn name(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("{}+ML(k={})", self.variant.label(), self.k))
+    }
+
+    fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        let started = Instant::now();
+        let coarse_target = self.coarse_target.max(2);
+
+        // Phase 1: build the hierarchy. insts[0] is the original;
+        // levels[i] coarsens insts[i] into insts[i + 1].
+        let mut insts: Vec<Instance> = vec![inst.clone()];
+        let mut levels: Vec<CoarseLevel> = Vec::new();
+        while insts[levels.len()].num_procs() > coarse_target {
+            let lvl = coarsen(&insts[levels.len()]);
+            insts.push(lvl.inst.clone());
+            levels.push(lvl);
+        }
+        let depth = levels.len();
+
+        // Phase 2: solve the coarsest level monolithically.
+        let mut level_records: Vec<DecompositionLevelRecord> = Vec::new();
+        let mut sub_solves = 0usize;
+        let mut qpu_total = std::time::Duration::ZERO;
+
+        let coarsest = &insts[depth];
+        let t0 = Instant::now();
+        let before = imbalance_objective(&coarsest.loads());
+        let coarse_out = self
+            .sub_rebalancer(depth as u64, Vec::new())?
+            .rebalance(coarsest)?;
+        sub_solves += 1;
+        if let Some(q) = coarse_out.qpu_time {
+            qpu_total += q;
+        }
+        level_records.push(DecompositionLevelRecord {
+            level: depth,
+            size: logical_qubits(
+                self.variant,
+                coarsest.num_procs() as u64,
+                coarsest.tasks_per_proc(),
+            ) as usize,
+            solved_vars: logical_qubits(
+                self.variant,
+                coarsest.num_procs() as u64,
+                coarsest.tasks_per_proc(),
+            ) as usize,
+            objective_before: before,
+            objective_after: imbalance_objective(&coarse_out.matrix.new_loads(coarsest)),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        let mut plan = coarse_out.matrix;
+
+        // Phase 3: uncoarsen level by level, repairing or refining.
+        for lvl in (0..depth).rev() {
+            let t0 = Instant::now();
+            let fine = &insts[lvl];
+            let mut projected = project_plan(fine, &levels[lvl], &plan, self.k);
+            let before = imbalance_objective(&projected.new_loads(fine));
+
+            let (solved_vars, refined) = if self
+                .fits_monolithic(fine.num_procs(), fine.tasks_per_proc())
+            {
+                let out = self
+                    .sub_rebalancer(lvl as u64, vec![projected.clone()])?
+                    .rebalance(fine)?;
+                sub_solves += 1;
+                if let Some(q) = out.qpu_time {
+                    qpu_total += q;
+                }
+                let vars =
+                    logical_qubits(self.variant, fine.num_procs() as u64, fine.tasks_per_proc());
+                // Keep whichever of projection and refinement balances
+                // better — the refinement portfolio is free to do worse on
+                // a bad day, the projection never is.
+                if imbalance_objective(&out.matrix.new_loads(fine)) <= before {
+                    (vars as usize, out.matrix)
+                } else {
+                    (vars as usize, projected)
+                }
+            } else {
+                if fine.num_procs() <= PRUNE_MAX_PROCS {
+                    prune_migrations(fine, &mut projected, self.prune_tolerance);
+                }
+                (0, projected)
+            };
+
+            level_records.push(DecompositionLevelRecord {
+                level: lvl,
+                size: logical_qubits(self.variant, fine.num_procs() as u64, fine.tasks_per_proc())
+                    as usize,
+                solved_vars,
+                objective_before: before,
+                objective_after: imbalance_objective(&refined.new_loads(fine)),
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+            plan = refined;
+        }
+
+        plan.validate(inst)?;
+        let runtime = started.elapsed();
+
+        if self.sink.enabled() {
+            let final_obj = imbalance_objective(&plan.new_loads(inst));
+            let mut record = SolveRecord {
+                num_vars: logical_qubits(
+                    self.variant,
+                    inst.num_procs() as u64,
+                    inst.tasks_per_proc(),
+                ) as usize,
+                compiled_vars: 0,
+                requested_reads: self.solver.num_reads(),
+                reads: Vec::new(),
+                failed_reads: Vec::new(),
+                backend_usage: Vec::new(),
+                waves: Vec::new(),
+                termination: "decomposed".to_string(),
+                timing: qlrb_anneal::telemetry::TimingRecord {
+                    cpu_ms: runtime.as_secs_f64() * 1e3,
+                    qpu_ms: qpu_total.as_secs_f64() * 1e3,
+                },
+                summary: qlrb_anneal::telemetry::SampleSetSummary {
+                    num_samples: 1,
+                    num_feasible: 1,
+                    best_objective: Some(final_obj),
+                    worst_objective: Some(final_obj),
+                    objective_spread: Some(0.0),
+                    best_feasible_objective: Some(final_obj),
+                },
+                trace_digest: String::new(),
+                decomposition: Some(DecompositionRecord {
+                    strategy: "multilevel".to_string(),
+                    window_cap: self.solver.tabu_max_vars(),
+                    levels: level_records,
+                    windows: Vec::new(),
+                    sub_solves,
+                }),
+            };
+            qlrb_anneal::telemetry::fingerprint::seal(&mut record);
+            self.sink.record_solve(record);
+        }
+
+        Ok(RebalanceOutcome {
+            matrix: plan,
+            runtime,
+            qpu_time: Some(qpu_total),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlrb_anneal::telemetry::MemorySink;
+
+    fn skewed_instance(m: usize, n: u64) -> Instance {
+        // Deterministic skew: weight grows with the index so roughly a
+        // quarter of the processes are heavy.
+        let weights: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
+        Instance::uniform(n, weights).expect("valid instance")
+    }
+
+    fn fast_solver() -> HybridCqmSolver {
+        HybridCqmSolver::fast()
+            .to_builder()
+            .num_reads(2)
+            .sweeps(80)
+            .seed(7)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn coarsening_preserves_total_and_per_merge_load() {
+        let fine = skewed_instance(9, 10); // odd: one singleton
+        let lvl = coarsen(&fine);
+        assert_eq!(lvl.inst.num_procs(), 5);
+        assert_eq!(lvl.inst.tasks_per_proc(), 20);
+        let fine_loads = fine.loads();
+        for (c, &(a, b)) in lvl.children.iter().enumerate() {
+            let merged = fine_loads[a] + b.map(|b| fine_loads[b]).unwrap_or(0.0);
+            let coarse = lvl.inst.loads()[c];
+            assert!(
+                (merged - coarse).abs() < 1e-9,
+                "coarse {c}: {coarse} != {merged}"
+            );
+        }
+        // Every fine process appears exactly once.
+        let mut seen = vec![false; 9];
+        for &(a, b) in &lvl.children {
+            assert!(!seen[a]);
+            seen[a] = true;
+            if let Some(b) = b {
+                assert!(!seen[b]);
+                seen[b] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn projection_is_always_feasible() {
+        let fine = skewed_instance(8, 12);
+        let lvl = coarsen(&fine);
+        // An aggressive coarse plan: shove tasks at the least-loaded
+        // super-process from everyone else.
+        let mut coarse_plan = MigrationMatrix::identity(&lvl.inst);
+        for j in 1..lvl.inst.num_procs() {
+            coarse_plan.migrate(j, 0, 5).expect("resident");
+        }
+        for budget in [0u64, 3, 10, 100] {
+            let plan = project_plan(&fine, &lvl, &coarse_plan, budget);
+            plan.validate(&fine).expect("projection must validate");
+            assert!(plan.num_migrated() <= budget, "budget {budget}");
+            // Projection never worsens the makespan past the original.
+            let after = fine.stats_after(&plan);
+            assert!(after.l_max <= fine.stats().l_max * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn coarsen_project_roundtrip_preserves_validity_and_load() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(
+                &(
+                    proptest::collection::vec(0.1f64..8.0, 2..24),
+                    proptest::collection::vec((0usize..12, 0usize..12, 1u64..6), 0..24),
+                    1u64..40,
+                ),
+                |(weights, moves, budget)| {
+                    let fine = Instance::uniform(10, weights).unwrap();
+                    let lvl = coarsen(&fine);
+
+                    // Coarsening preserves every merged node's total load
+                    // (and with it the global total).
+                    let fine_loads = fine.loads();
+                    let coarse_loads = lvl.inst.loads();
+                    for (c, &(a, b)) in lvl.children.iter().enumerate() {
+                        let merged = fine_loads[a] + b.map(|b| fine_loads[b]).unwrap_or(0.0);
+                        prop_assert!((coarse_loads[c] - merged).abs() < 1e-6 * (1.0 + merged));
+                    }
+
+                    // An arbitrary (possibly aggressive) coarse plan
+                    // projects back to a valid, budget-respecting fine plan.
+                    let m_c = lvl.inst.num_procs();
+                    let mut coarse_plan = MigrationMatrix::identity(&lvl.inst);
+                    for (from, to, count) in moves {
+                        if from < m_c && to < m_c && from != to {
+                            let _ = coarse_plan.migrate(from, to, count);
+                        }
+                    }
+                    let plan = project_plan(&fine, &lvl, &coarse_plan, budget);
+                    prop_assert!(plan.validate(&fine).is_ok());
+                    prop_assert!(plan.num_migrated() <= budget);
+                    // Conservation: the projected loads sum to the input's.
+                    let total: f64 = plan.new_loads(&fine).iter().sum();
+                    let expect: f64 = fine_loads.iter().sum();
+                    prop_assert!((total - expect).abs() < 1e-6 * (1.0 + expect));
+                    // Capacity: no receiver past the original makespan.
+                    prop_assert!(
+                        fine.stats_after(&plan).l_max <= fine.stats().l_max * (1.0 + 1e-9)
+                    );
+                    Ok(())
+                },
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn multilevel_rebalance_improves_and_respects_budget() {
+        let inst = skewed_instance(24, 8);
+        let mut dr = DecomposingRebalancer::new(Variant::Reduced, 20);
+        dr.solver = fast_solver();
+        dr.coarse_target = 6;
+        let out = dr.rebalance(&inst).expect("decomposed solve");
+        out.matrix.validate(&inst).expect("valid plan");
+        assert!(out.matrix.num_migrated() <= 20);
+        let after = inst.stats_after(&out.matrix);
+        assert!(
+            after.imbalance_ratio <= inst.stats().imbalance_ratio,
+            "{} !<= {}",
+            after.imbalance_ratio,
+            inst.stats().imbalance_ratio
+        );
+    }
+
+    #[test]
+    fn multilevel_is_deterministic_and_emits_one_merged_record() {
+        let inst = skewed_instance(24, 8);
+        let run = || {
+            let sink = Arc::new(MemorySink::default());
+            let mut dr = DecomposingRebalancer::new(Variant::Reduced, 16);
+            dr.solver = fast_solver();
+            dr.coarse_target = 6;
+            dr.sink = sink.clone();
+            let out = dr.rebalance(&inst).expect("decomposed solve");
+            (out.matrix, sink.take())
+        };
+        let (plan_a, recs_a) = run();
+        let (plan_b, recs_b) = run();
+        assert_eq!(plan_a, plan_b, "same seed, same plan");
+        assert_eq!(recs_a.len(), 1, "exactly one merged record");
+        assert_eq!(recs_b.len(), 1);
+        let (a, b) = (&recs_a[0], &recs_b[0]);
+        assert_eq!(a.termination, "decomposed");
+        assert_eq!(a.trace_digest, b.trace_digest, "sealed digests agree");
+        let d = a.decomposition.as_ref().expect("decomposition attached");
+        assert_eq!(d.strategy, "multilevel");
+        assert!(d.sub_solves >= 1);
+        // Levels cover coarsest..=0, coarsest first.
+        assert!(d.levels.len() >= 2);
+        assert_eq!(d.levels.last().expect("levels non-empty").level, 0);
+    }
+
+    #[test]
+    fn small_instances_skip_coarsening_entirely() {
+        let inst = skewed_instance(4, 6);
+        let mut dr = DecomposingRebalancer::new(Variant::Reduced, 6);
+        dr.solver = fast_solver();
+        let out = dr.rebalance(&inst).expect("plain solve");
+        out.matrix.validate(&inst).expect("valid plan");
+    }
+
+    #[test]
+    fn name_mentions_the_multilevel_frontend() {
+        let dr = DecomposingRebalancer::new(Variant::Reduced, 3);
+        assert_eq!(dr.name(), "Q_CQM1+ML(k=3)");
+        let mut dr = dr;
+        dr.label = Some("Q_CQM1_ML".into());
+        assert_eq!(dr.name(), "Q_CQM1_ML");
+    }
+}

@@ -13,6 +13,16 @@ pub enum RebalanceError {
     /// The model linter refused the CQM before solving (the hybrid solver's
     /// `LintMode::Deny` found error-severity diagnostics).
     ModelRejected(String),
+    /// The formulation needs more binary variables than the monolithic
+    /// solver's tabu cap allows. Surfaced *before* the CQM is built, so a
+    /// 4096-node instance fails in microseconds instead of after minutes of
+    /// model construction.
+    ModelTooLarge {
+        /// Logical qubits the formulation would allocate.
+        vars: u64,
+        /// The configured solver cap it exceeds.
+        cap: u64,
+    },
     /// CSV input/output failure.
     Io(String),
 }
@@ -24,6 +34,12 @@ impl std::fmt::Display for RebalanceError {
             RebalanceError::InvalidPlan(m) => write!(f, "invalid migration plan: {m}"),
             RebalanceError::NoFeasibleSolution(m) => write!(f, "no feasible solution: {m}"),
             RebalanceError::ModelRejected(m) => write!(f, "model rejected by lint: {m}"),
+            RebalanceError::ModelTooLarge { vars, cap } => write!(
+                f,
+                "model too large: {vars} variables exceed the {cap}-variable solver cap; \
+                 rerun with `--decompose` (multilevel decomposition frontend) or a smaller \
+                 instance"
+            ),
             RebalanceError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
@@ -40,5 +56,17 @@ mod tests {
         let e = RebalanceError::InvalidPlan("column 3 sums to 7, expected 5".into());
         assert!(e.to_string().contains("column 3"));
         assert!(e.to_string().starts_with("invalid migration plan"));
+    }
+
+    #[test]
+    fn model_too_large_points_at_decompose() {
+        let e = RebalanceError::ModelTooLarge {
+            vars: 117_379_584,
+            cap: 32_768,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("117379584"));
+        assert!(msg.contains("32768"));
+        assert!(msg.contains("--decompose"));
     }
 }

@@ -18,6 +18,9 @@
 //! * [`solve::QuantumRebalancer`] — the end-to-end hybrid workflow: build
 //!   the CQM, seed the hybrid solver with classical candidates, decode the
 //!   best feasible sample into a validated migration plan.
+//! * [`decompose::DecomposingRebalancer`] — the multilevel
+//!   coarsen/solve/uncoarsen frontend that lifts the monolithic size
+//!   ceiling to thousands of processes (`qlrb rebalance --decompose`).
 //! * [`io`] — the artifact's CSV input/output formats (Tables VI/VII).
 //!
 //! Classical baselines (Greedy, KK, ProactLB) live in `qlrb-classical`, and
@@ -26,6 +29,7 @@
 
 pub mod algorithm;
 pub mod cqm;
+pub mod decompose;
 pub mod error;
 pub mod general;
 pub mod instance;
@@ -36,6 +40,7 @@ pub mod solve;
 
 pub use algorithm::{RebalanceOutcome, Rebalancer};
 pub use cqm::{lint_lrp, lint_lrp_with_penalty, LrpCqm, Variant};
+pub use decompose::{coarsen, project_plan, CoarseLevel, DecomposingRebalancer};
 pub use error::RebalanceError;
 pub use instance::Instance;
 pub use metrics::ImbalanceStats;

@@ -5,10 +5,10 @@
 //! seeds, playing the role of Leap's classical frontend), and decode the best
 //! feasible sample into a validated [`MigrationMatrix`].
 
-use qlrb_anneal::hybrid::HybridCqmSolver;
+use qlrb_anneal::hybrid::{HybridCqmSolver, SolveError};
 
 use crate::algorithm::{RebalanceOutcome, Rebalancer};
-use crate::cqm::{LrpCqm, Variant};
+use crate::cqm::{logical_qubits, LrpCqm, Variant};
 use crate::error::RebalanceError;
 use crate::instance::Instance;
 use crate::migration::MigrationMatrix;
@@ -124,7 +124,13 @@ impl QuantumRebalancer {
         let set = self
             .solver
             .solve_checked(&lrp.cqm, &seeds)
-            .map_err(|e| RebalanceError::ModelRejected(e.report.render()))?;
+            .map_err(|e| match e {
+                SolveError::Rejected(r) => RebalanceError::ModelRejected(r.report.render()),
+                SolveError::TooLarge(t) => RebalanceError::ModelTooLarge {
+                    vars: t.vars as u64,
+                    cap: t.cap as u64,
+                },
+            })?;
 
         for sample in &set.samples {
             if !sample.feasible {
@@ -164,6 +170,21 @@ impl Rebalancer for QuantumRebalancer {
     }
 
     fn rebalance(&self, inst: &Instance) -> Result<RebalanceOutcome, RebalanceError> {
+        // Size precheck *before* model construction: the paper-exact qubit
+        // count is known in closed form, so an instance the monolithic
+        // portfolio would refuse fails here in O(1) instead of after the
+        // (possibly gigabyte-scale) CQM build. Mirrors the solver's own
+        // width guard: only tabu-carrying portfolios are capped, and the
+        // decomposition frontend lifts the ceiling.
+        let vars = logical_qubits(self.variant, inst.num_procs() as u64, inst.tasks_per_proc());
+        let cap = self.solver.tabu_max_vars() as u64;
+        let has_tabu = self
+            .solver
+            .samplers()
+            .contains(&qlrb_anneal::hybrid::SamplerKind::Tabu);
+        if vars > cap && has_tabu && !self.solver.decomposes() {
+            return Err(RebalanceError::ModelTooLarge { vars, cap });
+        }
         let lrp = LrpCqm::build(inst, self.variant, self.k)?;
         self.rebalance_prebuilt(inst, lrp)
     }
@@ -501,6 +522,36 @@ mod tests {
                 },
             )
             .unwrap();
+    }
+
+    #[test]
+    fn oversized_instance_fails_fast_with_model_too_large() {
+        // Reduced at m=16, n=10 allocates 16·15·4 = 960 logical qubits;
+        // capping the solver at 200 must produce the structured size error
+        // without ever building the CQM, and the decomposition frontend
+        // must lift the ceiling on the identical configuration.
+        let inst = Instance::uniform(10, vec![1.0; 16]).unwrap();
+        let solver = HybridCqmSolver::builder()
+            .num_reads(2)
+            .sweeps(60)
+            .seed(11)
+            .tabu_max_vars(200)
+            .build()
+            .unwrap();
+        let mut qr = QuantumRebalancer::new(Variant::Reduced, 4);
+        qr.solver = solver.clone();
+        match qr.rebalance(&inst) {
+            Err(RebalanceError::ModelTooLarge { vars, cap }) => {
+                assert_eq!(vars, 960);
+                assert_eq!(cap, 200);
+            }
+            other => panic!("expected ModelTooLarge, got {other:?}"),
+        }
+
+        qr.solver = solver.to_builder().decompose(true).build().unwrap();
+        let out = qr.rebalance(&inst).unwrap();
+        out.matrix.validate(&inst).unwrap();
+        assert!(out.matrix.num_migrated() <= 4);
     }
 
     #[test]

@@ -168,6 +168,7 @@ pub fn encoding_ablation(cfg: &HarnessConfig) -> ExperimentResult {
                 migrated_per_proc: per_proc,
                 runtime_ms: elapsed.as_secs_f64() * 1e3,
                 qpu_ms: Some(set.timing.qpu.as_secs_f64() * 1e3),
+                peak_rss_mb: 0.0,
             }
         })
         .collect();

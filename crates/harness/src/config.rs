@@ -2,7 +2,7 @@
 
 use qlrb_anneal::hybrid::{HybridCqmSolver, LintMode, SamplerKind};
 use qlrb_core::cqm::{logical_qubits, Variant};
-use qlrb_core::{Instance, QuantumRebalancer};
+use qlrb_core::{DecomposingRebalancer, Instance, QuantumRebalancer};
 
 /// Controls how much effort the hybrid solver spends per quantum method.
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +97,37 @@ impl HarnessConfig {
             prune_tolerance: 0.02,
             migration_penalty: 0.0,
         }
+    }
+
+    /// Builds a multilevel decomposing rebalancer
+    /// ([`DecomposingRebalancer`]) for instances past the monolithic size
+    /// ceiling. The sub-solver is sized for the *coarse core* (≈ 32
+    /// processes — the only model the portfolio actually compiles, whatever
+    /// the fine width), so the budget does not shrink with the fine
+    /// instance the way [`HarnessConfig::quantum`]'s does.
+    pub fn decomposing(
+        &self,
+        inst: &Instance,
+        variant: Variant,
+        k: u64,
+        label: &str,
+    ) -> DecomposingRebalancer {
+        let solver = HybridCqmSolver::builder()
+            .num_reads((self.reads / 2).max(2))
+            .sweeps((self.sweeps / 4).max(60))
+            .sqa_replicas(6)
+            .seed(self.seed ^ k.rotate_left(17) ^ (inst.num_procs() as u64))
+            .samplers(vec![SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu])
+            .adaptive(true)
+            .early_stop(true)
+            .lint(LintMode::Deny)
+            .decompose(true)
+            .build()
+            .expect("harness sizing always yields a valid configuration"); // qlrb-lint: allow(no-unwrap)
+        let mut dr = DecomposingRebalancer::new(variant, k);
+        dr.solver = solver;
+        dr.label = Some(label.to_string());
+        dr
     }
 }
 

@@ -133,6 +133,7 @@ mod tests {
             migrated_per_proc: v,
             runtime_ms: 1.0,
             qpu_ms: None,
+            peak_rss_mb: 0.0,
         };
         ExperimentResult {
             id: "fig".into(),

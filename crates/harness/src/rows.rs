@@ -27,6 +27,32 @@ pub struct MethodRow {
     pub runtime_ms: f64,
     /// Simulated QPU access time, milliseconds (hybrid methods only).
     pub qpu_ms: Option<f64>,
+    /// Process peak resident set (`VmHWM`) in MiB when the row was
+    /// produced; `0.0` where it is not sampled (classical sweeps,
+    /// non-Linux hosts, pre-v7 results files). A process-wide high-water
+    /// mark, so within one sweep it is monotone across rows.
+    #[serde(default)]
+    pub peak_rss_mb: f64,
+}
+
+/// The process's peak resident set size in MiB, from `/proc/self/status`
+/// (`VmHWM`). Returns `0.0` when the field is unavailable.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
 }
 
 impl MethodRow {
@@ -44,6 +70,7 @@ impl MethodRow {
             migrated_per_proc: 0.0,
             runtime_ms: 0.0,
             qpu_ms: None,
+            peak_rss_mb: 0.0,
         }
     }
 
@@ -58,6 +85,7 @@ impl MethodRow {
             migrated_per_proc: out.matrix.migrated_per_proc(),
             runtime_ms: out.runtime.as_secs_f64() * 1e3,
             qpu_ms: out.qpu_time.map(|d| d.as_secs_f64() * 1e3),
+            peak_rss_mb: 0.0,
         }
     }
 }
@@ -186,6 +214,7 @@ impl ExperimentResult {
                         rows.iter().filter_map(|r| r.qpu_ms).sum::<f64>()
                             / rows.iter().filter(|r| r.qpu_ms.is_some()).count().max(1) as f64
                     }),
+                    peak_rss_mb: rows.iter().map(|r| r.peak_rss_mb).fold(0.0, f64::max),
                 }
             })
             .collect()
@@ -210,6 +239,7 @@ mod tests {
             migrated_per_proc: migrated as f64 / 4.0,
             runtime_ms: 1.0,
             qpu_ms: name.starts_with("Q_").then_some(32.0),
+            peak_rss_mb: 0.0,
         }
     }
 

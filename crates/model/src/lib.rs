@@ -37,6 +37,7 @@ pub mod expr;
 pub mod penalty;
 pub mod presolve;
 pub mod state;
+pub mod subview;
 
 pub use batch::BatchedEvaluator;
 pub use bqm::BinaryQuadraticModel;
@@ -46,3 +47,4 @@ pub use eval::{CqmEvaluator, Evaluator};
 pub use expr::{LinearExpr, Var};
 pub use penalty::{PenaltyConfig, PenaltyStyle};
 pub use presolve::{presolve, Presolve};
+pub use subview::SubCqm;

@@ -1,0 +1,233 @@
+//! Frozen-complement sub-views of a CQM.
+//!
+//! The decomposition frontend (DESIGN.md §Decomposition) solves a large
+//! model through a sequence of small *windows*: pick an active variable
+//! subset, freeze every other variable at its incumbent value, and hand the
+//! induced subproblem to the monolithic portfolio. A [`SubCqm`] is that
+//! induced subproblem. It is extracted directly from the structural
+//! [`Cqm`] — squared terms, linear objective, constraints — without
+//! compiling the full model's CSR form: frozen variables fold into each
+//! squared term's target and each constraint's right-hand side as
+//! constants, so the window model is exactly the original restricted to
+//! the active coordinates (up to an additive constant dropped with the
+//! fully-frozen terms).
+
+use crate::cqm::Cqm;
+use crate::expr::{LinearExpr, Var};
+
+/// A window subproblem: the original model restricted to an active variable
+/// subset with the complement frozen at a reference state.
+///
+/// The contained [`Cqm`] is a self-contained model over
+/// `active_vars().len()` variables; window variable `w` corresponds to full
+/// variable `active_vars()[w]`. Objectives differ from the full model by an
+/// additive constant only, so any window improvement is a full-model
+/// improvement of the same magnitude.
+#[derive(Debug, Clone)]
+pub struct SubCqm {
+    cqm: Cqm,
+    active: Vec<usize>,
+}
+
+impl SubCqm {
+    /// The window model.
+    #[inline]
+    pub fn cqm(&self) -> &Cqm {
+        &self.cqm
+    }
+
+    /// Full-model indices of the window variables, in window order.
+    #[inline]
+    pub fn active_vars(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Restricts a full assignment to the window coordinates.
+    pub fn project(&self, full_state: &[u8]) -> Vec<u8> {
+        self.active.iter().map(|&v| full_state[v]).collect()
+    }
+
+    /// Writes a window assignment back into the full state, leaving frozen
+    /// coordinates untouched.
+    pub fn fold_back(&self, window_state: &[u8], full_state: &mut [u8]) {
+        for (w, &v) in self.active.iter().enumerate() {
+            full_state[v] = window_state[w];
+        }
+    }
+}
+
+impl Cqm {
+    /// Extracts the sub-view induced by `active` with every other variable
+    /// frozen at its value in `frozen` (which must be a full assignment).
+    ///
+    /// Squared terms and constraints whose support is entirely frozen are
+    /// dropped: the window cannot change them, and the decomposition loop
+    /// always re-scores candidate states against the full model.
+    ///
+    /// # Panics
+    /// Panics if an active index is out of range, repeated, or if `frozen`
+    /// is shorter than the model width.
+    pub fn subview(&self, active: &[usize], frozen: &[u8]) -> SubCqm {
+        assert!(
+            frozen.len() >= self.num_vars(),
+            "frozen state narrower than the model"
+        );
+        // Full index -> window index, usize::MAX = frozen.
+        let mut to_window = vec![usize::MAX; self.num_vars()];
+        for (w, &v) in active.iter().enumerate() {
+            assert!(v < self.num_vars(), "active var {v} out of range");
+            assert!(to_window[v] == usize::MAX, "active var {v} repeated");
+            to_window[v] = w;
+        }
+
+        // Splits an expression into its active-coordinate remap plus the
+        // frozen contribution (a plain constant under `frozen`).
+        let split = |expr: &LinearExpr| -> (LinearExpr, f64) {
+            let mut sub = LinearExpr::with_capacity(expr.len().min(active.len()));
+            let mut frozen_sum = 0.0;
+            for &(v, c) in expr.terms() {
+                let w = to_window[v.index()];
+                if w == usize::MAX {
+                    if frozen[v.index()] != 0 {
+                        frozen_sum += c;
+                    }
+                } else {
+                    sub.add_term(Var(w as u32), c);
+                }
+            }
+            (sub, frozen_sum)
+        };
+
+        let mut cqm = Cqm::new(active.len());
+        for t in &self.squared_terms {
+            let (mut sub, frozen_sum) = split(&t.expr);
+            if sub.is_empty() {
+                continue;
+            }
+            sub.add_constant(t.expr.constant_part());
+            cqm.add_squared_term(sub, t.target - frozen_sum, t.weight);
+        }
+        {
+            let (mut sub, frozen_sum) = split(&self.linear_objective);
+            sub.add_constant(self.linear_objective.constant_part() + frozen_sum);
+            cqm.linear_objective = sub;
+        }
+        for c in &self.constraints {
+            let (mut sub, frozen_sum) = split(&c.expr);
+            if sub.is_empty() {
+                continue;
+            }
+            sub.add_constant(c.expr.constant_part());
+            cqm.add_constraint(sub, c.sense, c.rhs - frozen_sum, c.label.clone());
+        }
+        SubCqm {
+            cqm,
+            active: active.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqm::Sense;
+
+    /// minimize (x0+x1+x2 − 2)² + (x1 − 1)²  s.t.  x0+x2 ≤ 1, x1+x3 = 1
+    fn model() -> Cqm {
+        let mut cqm = Cqm::new(4);
+        let mut a = LinearExpr::new();
+        a.add_term(Var(0), 1.0)
+            .add_term(Var(1), 1.0)
+            .add_term(Var(2), 1.0);
+        cqm.add_squared_term(a, 2.0, 1.0);
+        let mut b = LinearExpr::new();
+        b.add_term(Var(1), 1.0);
+        cqm.add_squared_term(b, 1.0, 1.0);
+        let mut cap = LinearExpr::new();
+        cap.add_term(Var(0), 1.0).add_term(Var(2), 1.0);
+        cqm.add_constraint(cap, Sense::Le, 1.0, "cap");
+        let mut cons = LinearExpr::new();
+        cons.add_term(Var(1), 1.0).add_term(Var(3), 1.0);
+        cqm.add_constraint(cons, Sense::Eq, 1.0, "cons");
+        cqm
+    }
+
+    /// Window objective must track the full objective up to a constant:
+    /// fold-back of any window state shifts both by the same amount.
+    #[test]
+    fn window_objective_tracks_full_objective() {
+        let cqm = model();
+        let frozen = [0u8, 1, 0, 0];
+        let sub = cqm.subview(&[0, 2], &frozen);
+        assert_eq!(sub.cqm().num_vars(), 2);
+        let mut full = frozen;
+        for w0 in 0..2u8 {
+            for w2 in 0..2u8 {
+                let window = [w0, w2];
+                sub.fold_back(&window, &mut full);
+                let d_full = cqm.objective(&full) - cqm.objective(&frozen);
+                let d_win =
+                    sub.cqm().objective(&window) - sub.cqm().objective(&sub.project(&frozen));
+                assert!(
+                    (d_full - d_win).abs() < 1e-12,
+                    "window delta {d_win} != full delta {d_full}"
+                );
+            }
+        }
+    }
+
+    /// Constraints with frozen support fold the frozen part into the rhs.
+    #[test]
+    fn frozen_vars_fold_into_rhs() {
+        let cqm = model();
+        // Freeze x1 = 1: "cons" becomes x3 = 0 in the window over {x3}.
+        let sub = cqm.subview(&[3], &[0, 1, 0, 0]);
+        // "cap" has no active support and is dropped; "cons" survives.
+        assert_eq!(sub.cqm().constraints.len(), 1);
+        let c = &sub.cqm().constraints[0];
+        assert_eq!(c.label, "cons");
+        assert_eq!(c.rhs, 0.0);
+        assert!(sub.cqm().is_feasible(&[0]));
+        assert!(!sub.cqm().is_feasible(&[1]));
+    }
+
+    /// Fully frozen squared terms disappear; the active ones keep their
+    /// weight and shift their target.
+    #[test]
+    fn fully_frozen_terms_drop() {
+        let cqm = model();
+        let sub = cqm.subview(&[0], &[0, 1, 0, 0]);
+        // (x1−1)² is fully frozen; (x0+x1+x2−2)² keeps x0 with target 2−1.
+        assert_eq!(sub.cqm().squared_terms.len(), 1);
+        assert_eq!(sub.cqm().squared_terms[0].target, 1.0);
+    }
+
+    /// Feasibility of a window state matches full-model feasibility of the
+    /// folded state whenever the frozen complement is itself clean.
+    #[test]
+    fn window_feasibility_matches_folded_feasibility() {
+        let cqm = model();
+        let frozen = [0u8, 1, 0, 0]; // feasible: cap 0≤1, cons 1=1
+        assert!(cqm.is_feasible(&frozen));
+        let sub = cqm.subview(&[0, 2], &frozen);
+        let mut full = frozen;
+        for w0 in 0..2u8 {
+            for w2 in 0..2u8 {
+                let window = [w0, w2];
+                sub.fold_back(&window, &mut full);
+                assert_eq!(
+                    sub.cqm().is_feasible(&window),
+                    cqm.is_feasible(&full),
+                    "window {window:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "active var 1 repeated")]
+    fn repeated_active_vars_panic() {
+        let cqm = model();
+        let _ = cqm.subview(&[1, 1], &[0, 0, 0, 0]);
+    }
+}

@@ -212,6 +212,10 @@ pub struct SolverConfig {
     pub batch_width: usize,
     /// Flip-delta kernel the solve used (`"scalar"` or `"batched"`).
     pub kernel: String,
+    /// Whether the multilevel / active-window decomposition frontend is on.
+    /// Absent in pre-v7 manifests (defaults to `false`).
+    #[serde(default)]
+    pub decompose: bool,
 }
 
 /// Per-backend dispatch accounting for one solve: how many reads each pool
@@ -269,6 +273,66 @@ pub struct LintRecord {
     pub diagnostics: Vec<LintDiagnosticRecord>,
 }
 
+/// One level of a decomposed solve. For the multilevel path a level is a
+/// coarsening stage (level 0 = the original instance); for the
+/// active-window path there is a single level covering the full model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionLevelRecord {
+    /// Level index, 0 = finest (the original problem).
+    pub level: usize,
+    /// Processes (multilevel) or variables (active-window) at this level.
+    pub size: usize,
+    /// Variable width of the model solved at this level (0 when the level
+    /// only projects a coarser plan without its own solve).
+    pub solved_vars: usize,
+    /// Objective (Σ(L'_i − L_avg)² for multilevel, CQM energy for
+    /// active-window) entering the level.
+    pub objective_before: f64,
+    /// Objective after the level's solve/projection/refinement.
+    pub objective_after: f64,
+    /// Wall-clock time spent on the level, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One refinement window solved during decomposition: a frozen-complement
+/// subproblem handed to the monolithic portfolio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionWindowRecord {
+    /// Level the window refines.
+    pub level: usize,
+    /// Window index within the level.
+    pub window: usize,
+    /// Variable width of the window subproblem.
+    pub vars: usize,
+    /// Objective of the full model before folding the window back.
+    pub objective_before: f64,
+    /// Objective of the full model after fold-back (equal to
+    /// `objective_before` when the window's solution was rejected).
+    pub objective_after: f64,
+    /// Whether the window's solution improved the incumbent and was kept.
+    pub accepted: bool,
+    /// Wall-clock time of the window solve, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// How a decomposed solve was orchestrated: the schema-v7 record attached
+/// to a [`SolveRecord`] when the decomposition frontend ran. Absent
+/// (`None`, and absent from pre-v7 manifests) for monolithic solves, in
+/// which case it contributes nothing to the trace digest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionRecord {
+    /// `"active-window"` or `"multilevel"`.
+    pub strategy: String,
+    /// Variable ceiling each subproblem was kept under.
+    pub window_cap: usize,
+    /// Per-level progression, coarse to fine.
+    pub levels: Vec<DecompositionLevelRecord>,
+    /// Every refinement window attempted, in solve order.
+    pub windows: Vec<DecompositionWindowRecord>,
+    /// Portfolio sub-solves launched in total.
+    pub sub_solves: usize,
+}
+
 /// One `solve()` call: its reads, waves, timing split, and sample-set
 /// summary. This is the unit a [`crate::sink::TraceSink`] receives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -304,6 +368,11 @@ pub struct SolveRecord {
     /// pre-v6 manifests.
     #[serde(default)]
     pub trace_digest: String,
+    /// Decomposition orchestration trace, present only when the solve ran
+    /// through the decomposing frontend (schema v7; absent — hence `None`
+    /// — in pre-v7 manifests and for monolithic solves).
+    #[serde(default)]
+    pub decomposition: Option<DecompositionRecord>,
 }
 
 #[cfg(test)]
@@ -390,6 +459,28 @@ mod tests {
                 best_feasible_objective: Some(0.5),
             },
             trace_digest: "0123456789abcdef".into(),
+            decomposition: Some(DecompositionRecord {
+                strategy: "multilevel".into(),
+                window_cap: 32_768,
+                levels: vec![DecompositionLevelRecord {
+                    level: 0,
+                    size: 8,
+                    solved_vars: 112,
+                    objective_before: 9.0,
+                    objective_after: 1.5,
+                    wall_ms: 4.0,
+                }],
+                windows: vec![DecompositionWindowRecord {
+                    level: 0,
+                    window: 0,
+                    vars: 56,
+                    objective_before: 2.0,
+                    objective_after: 1.5,
+                    accepted: true,
+                    wall_ms: 1.0,
+                }],
+                sub_solves: 2,
+            }),
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: SolveRecord = serde_json::from_str(&json).unwrap();
@@ -421,6 +512,7 @@ mod tests {
         }"#;
         let back: SolveRecord = serde_json::from_str(json).unwrap();
         assert_eq!(back.trace_digest, "");
+        assert_eq!(back.decomposition, None);
         assert_eq!(back.termination, "fast-exit");
     }
 }

@@ -172,6 +172,31 @@ pub fn solve_trace_digest(s: &SolveRecord) -> String {
         h.u64(w.elite_seeded as u64);
     }
     h.str(&s.termination);
+    // Decomposition fold (schema v7): `None` contributes nothing, so every
+    // digest sealed before v7 — and every monolithic solve — recomputes
+    // unchanged. Wall times are excluded, as everywhere else.
+    if let Some(d) = &s.decomposition {
+        h.str(&d.strategy);
+        h.u64(d.window_cap as u64);
+        h.u64(d.sub_solves as u64);
+        h.u64(d.levels.len() as u64);
+        for l in &d.levels {
+            h.u64(l.level as u64);
+            h.u64(l.size as u64);
+            h.u64(l.solved_vars as u64);
+            h.f64(l.objective_before);
+            h.f64(l.objective_after);
+        }
+        h.u64(d.windows.len() as u64);
+        for w in &d.windows {
+            h.u64(w.level as u64);
+            h.u64(w.window as u64);
+            h.u64(w.vars as u64);
+            h.f64(w.objective_before);
+            h.f64(w.objective_after);
+            h.bool(w.accepted);
+        }
+    }
     format!("{:016x}", h.0)
 }
 
@@ -230,6 +255,7 @@ mod tests {
             timing: TimingRecord::default(),
             summary: SampleSetSummary::default(),
             trace_digest: String::new(),
+            decomposition: None,
         }
     }
 
@@ -321,5 +347,38 @@ mod tests {
             }],
         });
         assert_ne!(solve_trace_digest(&s), base);
+    }
+
+    #[test]
+    fn decomposition_folds_into_the_digest_only_when_present() {
+        use crate::event::{DecompositionRecord, DecompositionWindowRecord};
+        // `None` must hash exactly like a pre-v7 record (field absent).
+        let base = solve_trace_digest(&solve(42));
+        let mut s = solve(42);
+        s.decomposition = Some(DecompositionRecord {
+            strategy: "multilevel".into(),
+            window_cap: 1024,
+            levels: vec![],
+            windows: vec![],
+            sub_solves: 1,
+        });
+        let with = solve_trace_digest(&s);
+        assert_ne!(with, base, "decomposition not fingerprinted");
+        // Window outcomes are digest inputs; wall times are not.
+        let d = s.decomposition.as_mut().expect("just set");
+        d.windows.push(DecompositionWindowRecord {
+            level: 0,
+            window: 0,
+            vars: 8,
+            objective_before: 2.0,
+            objective_after: 1.0,
+            accepted: true,
+            wall_ms: 3.5,
+        });
+        let with_window = solve_trace_digest(&s);
+        assert_ne!(with_window, with);
+        let d = s.decomposition.as_mut().expect("just set");
+        d.windows[0].wall_ms = 99.0;
+        assert_eq!(solve_trace_digest(&s), with_window);
     }
 }

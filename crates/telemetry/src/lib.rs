@@ -41,9 +41,9 @@ pub mod observer;
 pub mod sink;
 
 pub use event::{
-    BackendUsageRecord, FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord,
-    ReadRecord, SampleSetSummary, SolveRecord, SolverConfig, TimingRecord, WaveAllocation,
-    WaveRecord,
+    BackendUsageRecord, DecompositionLevelRecord, DecompositionRecord, DecompositionWindowRecord,
+    FailedReadRecord, FaultRecord, LintDiagnosticRecord, LintRecord, ReadRecord, SampleSetSummary,
+    SolveRecord, SolverConfig, TimingRecord, WaveAllocation, WaveRecord,
 };
 pub use fingerprint::{
     failed_read_fingerprint, read_fingerprint, solve_trace_digest, FINGERPRINT_VERSION,

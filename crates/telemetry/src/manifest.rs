@@ -37,7 +37,14 @@ use crate::event::{SolveRecord, SolverConfig};
 /// the deterministic fold of its per-read fingerprints (see
 /// [`crate::fingerprint`]); `validate` recomputes and cross-checks it, and
 /// `qlrb trace diff` / `qlrb audit` consume it.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 6;
+///
+/// v7: decomposition surface — a solve orchestrated by the decomposing
+/// frontend carries `decomposition` (strategy, window cap, per-level
+/// objective progression, per-window fold-back outcomes, sub-solve count);
+/// monolithic solves serialize it as `null` and pre-v7 records parse with
+/// `None`. The record folds into the trace digest only when present, so
+/// every digest sealed before v7 recomputes unchanged.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 7;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -380,6 +387,25 @@ impl RunManifest {
                         }
                     }
                 }
+                // The decomposition contract (schema v7): every window the
+                // frontend solved must have respected the declared cap.
+                if let Some(d) = &s.decomposition {
+                    if d.window_cap == 0 {
+                        return Err(format!(
+                            "case '{}' method '{}': decomposition with a zero window cap",
+                            case.label, m.method
+                        ));
+                    }
+                    for w in &d.windows {
+                        if w.vars > d.window_cap {
+                            return Err(format!(
+                                "case '{}' method '{}': decomposition window {}/{} has {} \
+                                 vars, above the declared cap {}",
+                                case.label, m.method, w.level, w.window, w.vars, d.window_cap
+                            ));
+                        }
+                    }
+                }
                 // The determinism-audit contract (schema v6): the recorded
                 // digest must recompute from the deterministic fields.
                 let expected = crate::fingerprint::solve_trace_digest(s);
@@ -463,6 +489,40 @@ impl RunManifest {
                     s.termination,
                     s.trace_digest
                 );
+                if let Some(d) = &s.decomposition {
+                    let _ = writeln!(
+                        out,
+                        "      decomposition: {} strategy, window cap {}, {} sub-solve(s)",
+                        d.strategy, d.window_cap, d.sub_solves
+                    );
+                    for l in &d.levels {
+                        let _ = writeln!(
+                            out,
+                            "        level {:>2}  size {:>6}  solved vars {:>7}  \
+                             objective {:>12.3} -> {:>12.3}  {:>8.1} ms",
+                            l.level,
+                            l.size,
+                            l.solved_vars,
+                            l.objective_before,
+                            l.objective_after,
+                            l.wall_ms
+                        );
+                    }
+                    for w in &d.windows {
+                        let _ = writeln!(
+                            out,
+                            "        window {}/{}  vars {:>6}  objective {:>12.3} -> {:>12.3}  \
+                             {}  {:>8.1} ms",
+                            w.level,
+                            w.window,
+                            w.vars,
+                            w.objective_before,
+                            w.objective_after,
+                            if w.accepted { "accepted" } else { "rejected" },
+                            w.wall_ms
+                        );
+                    }
+                }
             }
             if let Some(sim) = &case.sim {
                 let _ = writeln!(
@@ -543,6 +603,7 @@ mod tests {
                 best_feasible_objective: Some(0.0),
             },
             trace_digest: String::new(), // sealed by finalize()
+            decomposition: None,
         }
     }
 

@@ -109,6 +109,7 @@ mod tests {
             timing: TimingRecord::default(),
             summary: SampleSetSummary::default(),
             trace_digest: String::new(),
+            decomposition: None,
         }
     }
 

@@ -48,6 +48,21 @@ pub fn node_scaling() -> Vec<(usize, Instance)> {
         .collect()
 }
 
+/// Beyond-paper node scaling for the decomposition frontend: node counts
+/// {1024, 2048, 4096}, 100 tasks per node, the same cyclic size mix as
+/// [`node_scaling`]. At these scales the monolithic `Q_CQM*` formulations
+/// exceed the solver's variable cap (`Q_CQM1` at 4096 nodes is ≈ 1.2×10⁸
+/// logical qubits), so only the multilevel frontend can solve them.
+pub fn node_scaling_large() -> Vec<(usize, Instance)> {
+    [1024usize, 2048, 4096]
+        .iter()
+        .map(|&m| {
+            let sizes: Vec<u32> = (0..m).map(|i| MXM_SIZES[i % MXM_SIZES.len()]).collect();
+            (m, instance_from_sizes(100, &sizes))
+        })
+        .collect()
+}
+
 /// Group 3 (Fig. 5 / Table IV): 8 nodes, tasks per node doubling from 8 to
 /// 2048, the same cyclic size mix at every scale.
 pub fn task_scaling() -> Vec<(u64, Instance)> {
@@ -92,6 +107,22 @@ mod tests {
                 inst.stats().imbalance_ratio > 0.0,
                 "every scale is imbalanced"
             );
+        }
+    }
+
+    #[test]
+    fn node_scaling_large_shapes() {
+        let cases = node_scaling_large();
+        let ms: Vec<usize> = cases.iter().map(|c| c.0).collect();
+        assert_eq!(ms, vec![1024, 2048, 4096]);
+        for (m, inst) in &cases {
+            assert_eq!(inst.num_procs(), *m);
+            assert_eq!(inst.tasks_per_proc(), 100);
+            assert!(inst.stats().imbalance_ratio > 0.0);
+            // The whole point of the group: past the monolithic cap.
+            let qubits =
+                qlrb_core::cqm::logical_qubits(qlrb_core::Variant::Reduced, *m as u64, 100);
+            assert!(qubits > 32_768, "{m} nodes must exceed the tabu cap");
         }
     }
 

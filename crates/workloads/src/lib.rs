@@ -21,5 +21,5 @@ pub mod mxm;
 pub mod synthetic;
 
 pub use chamlog::{parse_log, write_log};
-pub use groups::{imbalance_levels, node_scaling, task_scaling, MXM_SIZES};
+pub use groups::{imbalance_levels, node_scaling, node_scaling_large, task_scaling, MXM_SIZES};
 pub use mxm::{load_model, Matrix};

@@ -48,9 +48,11 @@ median_of() {
 }
 
 fail=0
-# The ratchet tracks the paper's headline "Runtime" quantities only:
-# single-sampler rows wobble too much at 2 reads to gate on.
-for name in hybrid_solve_table5_reduced hybrid_solve_table5_full; do
+# The ratchet tracks the paper's headline "Runtime" quantities plus the
+# decomposition frontend's scaling rows; single-sampler rows wobble too
+# much at 2 reads to gate on.
+for name in hybrid_solve_table5_reduced hybrid_solve_table5_full \
+    decompose_1024node decompose_2048node decompose_4096node; do
   base="$(median_of "$baseline" "$name")"
   cur="$(median_of "$current" "$name")"
   if [[ -z "$base" || -z "$cur" ]]; then

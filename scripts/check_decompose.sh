@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Decomposition-frontend gate (DESIGN.md §Decomposition): a 1024-node
+# instance is far past the monolithic 32768-variable ceiling, so the
+# frontend must (a) make the monolithic path fail *fast* with the
+# structured model-too-large error that points at `--decompose`, and
+# (b) produce a feasible plan via multilevel coarsen/refine — twice,
+# byte-identically, with `qlrb trace diff` confirming the merged solve
+# records match bit-for-bit and `qlrb trace summarize` rendering the
+# per-level decomposition table (manifest schema v7).
+#
+# QLRB_SKIP_DECOMPOSE_GATE=1 skips the gate (e.g. while bisecting an
+# unrelated failure on a slow machine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${QLRB_SKIP_DECOMPOSE_GATE:-0}" = "1" ]; then
+  echo "check_decompose: SKIPPED (QLRB_SKIP_DECOMPOSE_GATE=1)"
+  exit 0
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+qlrb() { cargo run --release --quiet --bin qlrb -- "$@"; }
+
+input="$workdir/input.csv"
+qlrb generate --workload mxm-nodes-large --case 1024 --out "$input"
+
+# Monolithic path: must refuse, structurally, and point at the flag.
+# (The size precheck fires on the qubit count, before any model is built.)
+if err="$(qlrb rebalance --input "$input" --method qcqm1 --k-frac 0.5 --seed 7 \
+    --out "$workdir/mono_plan.csv" 2>&1)"; then
+  echo "monolithic solve of a 1024-node instance unexpectedly succeeded" >&2
+  exit 1
+fi
+echo "$err" | grep -q "model too large" \
+  || { echo "monolithic failure is not the structured size error: $err" >&2; exit 1; }
+echo "$err" | grep -q -- "--decompose" \
+  || { echo "size error does not point at --decompose: $err" >&2; exit 1; }
+echo "monolithic path refused with the structured size error"
+
+# Decomposed path: a non-trivial feasible plan, twice, identical down to
+# the trace. The budget is half the task count so the coarse solve has
+# real load to move (a toy budget prunes to the identity).
+for run in a b; do
+  out="$(qlrb rebalance --input "$input" --method qcqm1 --k-frac 0.5 --seed 7 \
+    --decompose --out "$workdir/plan_$run.csv" \
+    --telemetry "$workdir/trace_$run.json")"
+  echo "$out"
+done
+migrated="$(echo "$out" | sed -n 's/.*migrated \([0-9]*\).*/\1/p')"
+if [[ -z "$migrated" || "$migrated" == "0" ]]; then
+  echo "decomposed plan migrated nothing: $out" >&2
+  exit 1
+fi
+cmp -s "$workdir/plan_a.csv" "$workdir/plan_b.csv" \
+  || { echo "decomposed plans differ between identical-seed runs" >&2; exit 1; }
+qlrb trace diff "$workdir/trace_a.json" "$workdir/trace_b.json" \
+  || { echo "decomposed replay diverged" >&2; exit 1; }
+echo "decomposed replay identical (plan bytes and trace digest)"
+
+# The merged record must carry the per-level decomposition table.
+summary="$(qlrb trace summarize --input "$workdir/trace_a.json")"
+echo "$summary" | grep -q "decomposition:" \
+  || { echo "trace summarize shows no decomposition table: $summary" >&2; exit 1; }
+echo "$summary" | grep -q "multilevel" \
+  || { echo "decomposition table does not name the multilevel strategy" >&2; exit 1; }
+echo "decomposition table present in trace summarize"
+
+echo "check_decompose: OK"

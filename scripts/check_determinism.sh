@@ -31,13 +31,15 @@ faults="$workdir/faults.json"
 echo '[{"fail_attempts": 1, "kind": "transient"}]' > "$faults"
 
 # name|extra-flags — one replay pair per solver configuration. Covers the
-# scalar path, the batched bitset kernels, speculative federation, and
-# the fault-injecting backend.
+# scalar path, the batched bitset kernels, speculative federation, the
+# fault-injecting backend, and the decomposing frontend (whose merged
+# solve record must replay bit-for-bit like any other).
 matrix=(
   "scalar|"
   "batched|--batched"
   "speculate|--backends fast,strong,qpu --speculate"
   "faulty|--fault-plan $faults --max-retries 2"
+  "decompose|--decompose"
 )
 
 for entry in "${matrix[@]}"; do

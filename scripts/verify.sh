@@ -53,5 +53,13 @@ if [ "${QLRB_SKIP_DETERMINISM_GATE:-0}" = "1" ]; then
 else
   gate determinism ./scripts/check_determinism.sh
 fi
+# Decomposition smoke: a 1024-node instance past the monolithic ceiling
+# must fail structurally without --decompose and solve deterministically
+# with it (QLRB_SKIP_DECOMPOSE_GATE=1 opts out on slow machines).
+if [ "${QLRB_SKIP_DECOMPOSE_GATE:-0}" = "1" ]; then
+  skip decompose QLRB_SKIP_DECOMPOSE_GATE
+else
+  gate decompose ./scripts/check_decompose.sh
+fi
 
 echo "verify: ran [${ran[*]}]; skipped [${skipped[*]:-none}]"

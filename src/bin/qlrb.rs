@@ -35,7 +35,7 @@ use std::sync::Arc;
 use qlrb::classical::{BranchAndBound, Greedy, GreedyRelabeled, KarmarkarKarp, ProactLb};
 use qlrb::core::cqm::Variant;
 use qlrb::core::io::{read_input_csv, read_output_csv, write_input_csv, write_output_csv};
-use qlrb::core::{Instance, QuantumRebalancer, Rebalancer};
+use qlrb::core::{DecomposingRebalancer, Instance, QuantumRebalancer, Rebalancer};
 use qlrb::runtime::{render_gantt, simulate, SimConfig, SimInput};
 use qlrb::telemetry::{
     CaseTrace, ConfigSnapshot, MemorySink, MethodTrace, RunManifest, SimConfigSnapshot, TraceSink,
@@ -49,7 +49,7 @@ USAGE:
   qlrb info      --input <FILE>
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
                  [--seed <S>] [--early-stop] [--adaptive] [--batched]
-                 [--fault-plan <FILE>] [--max-retries <N>]
+                 [--decompose] [--fault-plan <FILE>] [--max-retries <N>]
                  [--backends <LIST>] [--speculate]
                  [--out <FILE>] [--telemetry <FILE>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
@@ -64,6 +64,8 @@ USAGE:
 WORKLOADS:
   mxm-imbalance   the paper's Fig. 3 group (pass --case Imb.0 … Imb.4)
   mxm-nodes       Fig. 4 group (pass --case 4|8|16|32|64)
+  mxm-nodes-large beyond-paper scaling group for the decomposition
+                  frontend (pass --case 1024|2048|4096)
   mxm-tasks       Fig. 5 group (pass --case 8|16|…|2048)
   samoa           small oscillating-lake scenario
   samoa-table5    the paper's Table V configuration (32 nodes x 208 tasks)
@@ -81,6 +83,13 @@ SCHEDULING (qcqm* only):
                  sampler states (lane-per-read SA/tabu, lane-per-replica
                  SQA). Deterministic per --seed but a different stream than
                  the default scalar path
+  --decompose    multilevel decomposition frontend: coarsen the instance to
+                 a solvable core, solve it with the unchanged portfolio,
+                 then uncoarsen with per-level repair/refinement solves.
+                 Lifts the monolithic size ceiling (without it, oversized
+                 instances fail with a structured model-too-large error);
+                 deterministic per --seed. Telemetry manifests gain a
+                 per-level decomposition table (schema v7)
 
 FAULT TOLERANCE (qcqm* only):
   --fault-plan    JSON fault schedule injected at the sampler submission
@@ -162,6 +171,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "--early-stop",
         "--adaptive",
         "--batched",
+        "--decompose",
         "--speculate",
     ];
     let json = args[1..].iter().any(|a| a == "--json");
@@ -169,6 +179,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         early_stop: args[1..].iter().any(|a| a == "--early-stop"),
         adaptive: args[1..].iter().any(|a| a == "--adaptive"),
         batched: args[1..].iter().any(|a| a == "--batched"),
+        decompose: args[1..].iter().any(|a| a == "--decompose"),
         speculate: args[1..].iter().any(|a| a == "--speculate"),
     };
     let rest: Vec<String> = args[1..]
@@ -219,6 +230,14 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
                 .into_iter()
                 .find(|(nodes, _)| *nodes == m)
                 .ok_or_else(|| format!("unknown node count {m} (4|8|16|32|64)"))?
+                .1
+        }
+        "mxm-nodes-large" => {
+            let m: usize = case.unwrap_or("1024").parse().map_err(|_| "bad --case")?;
+            qlrb::workloads::node_scaling_large()
+                .into_iter()
+                .find(|(nodes, _)| *nodes == m)
+                .ok_or_else(|| format!("unknown node count {m} (1024|2048|4096)"))?
                 .1
         }
         "mxm-tasks" => {
@@ -274,6 +293,7 @@ struct SchedulerFlags {
     early_stop: bool,
     adaptive: bool,
     batched: bool,
+    decompose: bool,
     speculate: bool,
 }
 
@@ -394,7 +414,8 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
             .seed(seed)
             .early_stop(sched.early_stop)
             .adaptive(sched.adaptive)
-            .batched(sched.batched);
+            .batched(sched.batched)
+            .decompose(sched.decompose);
         if let Some(sink) = &sink {
             builder = builder.sink(Arc::clone(sink) as Arc<dyn TraceSink>);
         }
@@ -418,6 +439,16 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         }
         q.solver = builder.build().map_err(|e| e.to_string())?;
         *solver_config = Some(q.solver.config());
+        if sched.decompose {
+            // The multilevel frontend wraps the same solver configuration;
+            // its merged solve record goes to the telemetry sink directly.
+            let mut dr = DecomposingRebalancer::new(variant, q.k);
+            dr.solver = q.solver;
+            if let Some(sink) = &sink {
+                dr.sink = Arc::clone(sink) as Arc<dyn TraceSink>;
+            }
+            return Ok(Box::new(dr));
+        }
         Ok(Box::new(q))
     };
     let method: Box<dyn Rebalancer> = match method_name {
@@ -436,9 +467,11 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
              (use qcqm1 or qcqm2)"
         ));
     }
-    if (sched.early_stop || sched.adaptive || sched.batched) && solver_config.is_none() {
+    if (sched.early_stop || sched.adaptive || sched.batched || sched.decompose)
+        && solver_config.is_none()
+    {
         return Err(format!(
-            "--early-stop/--adaptive/--batched configure the hybrid solver; \
+            "--early-stop/--adaptive/--batched/--decompose configure the hybrid solver; \
              method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }

@@ -14,7 +14,8 @@ use qlrb::anneal::{HybridCqmSolver, SamplerKind};
 use qlrb::core::cqm::{LrpCqm, Variant};
 use qlrb::core::Instance;
 use qlrb::telemetry::{
-    CaseTrace, ConfigSnapshot, HarnessSnapshot, MemorySink, MethodTrace, RunManifest,
+    CaseTrace, ConfigSnapshot, DecompositionLevelRecord, DecompositionRecord,
+    DecompositionWindowRecord, HarnessSnapshot, MemorySink, MethodTrace, RunManifest,
     SimConfigSnapshot, SimCounters, SolveRecord, SolverConfig, TraceSink,
 };
 
@@ -49,9 +50,36 @@ fn traced_solve() -> (SolveRecord, SolverConfig) {
 }
 
 /// A manifest populating every layer of the schema: solver + harness + sim
-/// config, a method-traced case, and a sim-counter case.
+/// config, a method-traced case (with a schema-v7 decomposition table
+/// attached), and a sim-counter case.
 fn full_manifest() -> RunManifest {
-    let (solve, config) = traced_solve();
+    let (mut solve, config) = traced_solve();
+    // Attach the decomposition orchestration trace so its key paths are
+    // part of the golden schema, then re-seal: the digest folds the
+    // decomposition record in when present.
+    solve.decomposition = Some(DecompositionRecord {
+        strategy: "multilevel".into(),
+        window_cap: 32_768,
+        levels: vec![DecompositionLevelRecord {
+            level: 0,
+            size: 3,
+            solved_vars: 48,
+            objective_before: 9.0,
+            objective_after: 1.5,
+            wall_ms: 4.0,
+        }],
+        windows: vec![DecompositionWindowRecord {
+            level: 0,
+            window: 0,
+            vars: 48,
+            objective_before: 2.0,
+            objective_after: 1.5,
+            accepted: true,
+            wall_ms: 1.0,
+        }],
+        sub_solves: 1,
+    });
+    qlrb::telemetry::fingerprint::seal(&mut solve);
     let mut manifest = RunManifest::new(
         "telemetry-test",
         ConfigSnapshot {
@@ -162,6 +190,55 @@ fn manifest_round_trips_through_json() {
     let digest = back.summarize();
     assert!(digest.contains("Q_CQM1"), "{digest}");
     assert!(digest.contains("migration msg"), "{digest}");
+}
+
+#[test]
+fn pre_v7_manifests_still_parse() {
+    // A manifest written before schema v7 carries neither the per-solve
+    // `decomposition` record nor the solver-config `decompose` switch.
+    // Parsing must fill both with their defaults (None / false); only
+    // `validate()` — which pins the current schema version — rejects it.
+    let (solve, config) = traced_solve();
+    assert_eq!(
+        solve.decomposition, None,
+        "monolithic solve stays monolithic"
+    );
+    let mut manifest = RunManifest::new(
+        "telemetry-test-pre-v7",
+        ConfigSnapshot {
+            solver: Some(config),
+            harness: None,
+            sim: None,
+        },
+    );
+    manifest.cases.push(CaseTrace {
+        label: "traced-case".into(),
+        methods: vec![MethodTrace {
+            method: "Q_CQM1".into(),
+            solve,
+        }],
+        sim: None,
+    });
+    manifest.finalize();
+    // Hide the v7 keys behind names an old writer never emitted; the
+    // parser must treat them as unknown fields and fall back to defaults.
+    let text = manifest
+        .to_json_pretty()
+        .replace("\"decomposition\"", "\"v7_key_a\"")
+        .replace("\"decompose\"", "\"v7_key_b\"");
+    assert!(!text.contains("decompos"), "v7 keys survived the strip");
+
+    let back = RunManifest::from_json(&text).expect("pre-v7 manifest parses");
+    let solve = &back.cases[0].methods[0].solve;
+    assert_eq!(solve.decomposition, None);
+    let solver = back.config.solver.as_ref().expect("solver config present");
+    assert!(!solver.decompose);
+    // The schema gate still fires — parse leniency is not version leniency.
+    let old = RunManifest {
+        schema: 6,
+        ..back.clone()
+    };
+    assert!(old.validate().is_err());
 }
 
 #[test]
