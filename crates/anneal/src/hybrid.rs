@@ -155,6 +155,12 @@ pub enum SolverBuildError {
     /// telemetry, and accounting key on the id, so duplicates would
     /// silently merge two backends' stories.
     DuplicateBackendId,
+    /// `read_deadline_proposals(0)`: a zero deadline is already exceeded
+    /// before any attempt is charged, so every retry would be skipped and,
+    /// under speculation, every read would count as an instant straggler
+    /// racing a pointless duplicate. Clear the deadline (`None`) to mean
+    /// "no deadline" instead.
+    ZeroReadDeadline,
 }
 
 impl std::fmt::Display for SolverBuildError {
@@ -181,6 +187,11 @@ impl std::fmt::Display for SolverBuildError {
             Self::DuplicateBackendId => {
                 write!(f, "backend pool members must have distinct ids")
             }
+            Self::ZeroReadDeadline => write!(
+                f,
+                "read_deadline_proposals must be at least 1 proposal; pass None to \
+                 disable the per-read deadline"
+            ),
         }
     }
 }
@@ -691,6 +702,13 @@ impl HybridSolverBuilder {
         // only the upper bound can be violated).
         if cfg.batched && cfg.sqa_replicas > MAX_LANES {
             return Err(SolverBuildError::BatchedReplicasExceedLanes);
+        }
+        // A zero deadline means "already expired": retries are all skipped
+        // (dead-on-arrival reads) and, under --speculate, every attempt is
+        // an instant straggler racing a duplicate. Reject the contradiction;
+        // `None` is the way to say "no deadline".
+        if cfg.read_deadline_proposals == Some(0) {
+            return Err(SolverBuildError::ZeroReadDeadline);
         }
         if cfg.pool.is_empty() {
             return Err(SolverBuildError::EmptyBackendPool);
@@ -3336,6 +3354,27 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_a_zero_read_deadline() {
+        // A zero deadline is already expired: every retry would be skipped
+        // (dead-on-arrival reads) and speculation would race a duplicate of
+        // every read. `None` is the supported "no deadline" spelling.
+        let err = HybridCqmSolver::builder()
+            .read_deadline_proposals(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SolverBuildError::ZeroReadDeadline);
+        assert!(err.to_string().contains("at least 1"));
+        assert!(HybridCqmSolver::builder()
+            .read_deadline_proposals(1)
+            .build()
+            .is_ok());
+        assert!(HybridCqmSolver::builder()
+            .read_deadline_proposals(None)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn builder_rejects_batched_replicas_over_lane_count() {
         let err = HybridCqmSolver::builder()
             .batched(true)
@@ -3606,6 +3645,142 @@ mod tests {
                 fingerprint(&legacy.solve(&cqm, &[])),
                 fingerprint(&pooled.solve(&cqm, &[]))
             );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// `config()` → `to_builder()` → `build()` → `config()` must be the
+        /// identity for every schema-v7/v8 field — the server snapshots a
+        /// request's configuration this way, so a field the round trip drops
+        /// would silently vanish from every service-side manifest.
+        #[test]
+        fn config_snapshot_round_trips_every_builder_field(
+            num_reads in 1usize..9,
+            sweeps in 1usize..500,
+            sqa_replicas in 2usize..16,
+            seed in proptest::prelude::any::<u64>(),
+            penalty_factor in 1.0f64..8.0,
+            style_unbalanced in proptest::prelude::any::<bool>(),
+            sampler_mask in 1usize..16,
+            tabu_max_vars in 1usize..40_000,
+            polish_sweeps in 0usize..100,
+            repair_steps in 0usize..10_000,
+            time_limit_ms in proptest::option::of(1u64..60_000),
+            lint_idx in 0usize..3,
+            adaptive in proptest::prelude::any::<bool>(),
+            early_stop in proptest::prelude::any::<bool>(),
+            wave_size in 0usize..8,
+            plateau_window in 1usize..6,
+            plateau_tolerance in 0.0f64..0.2,
+            elite_capacity in 0usize..16,
+            elite_fraction in 0.0f64..1.0,
+            max_retries in 0u32..5,
+            read_deadline in proptest::option::of(1u64..100_000),
+            speculate in proptest::prelude::any::<bool>(),
+            batched in proptest::prelude::any::<bool>(),
+            decompose in proptest::prelude::any::<bool>(),
+            pool_size in 1usize..4,
+        ) {
+            let all = [SamplerKind::Sa, SamplerKind::Sqa, SamplerKind::Tabu, SamplerKind::Pt];
+            let samplers: Vec<SamplerKind> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| sampler_mask & (1 << i) != 0)
+                .map(|(_, &s)| s)
+                .collect();
+            let style = if style_unbalanced {
+                PenaltyStyle::Unbalanced { l1: 0.5, l2: 1.5 }
+            } else {
+                PenaltyStyle::ViolationQuadratic
+            };
+            let lint = [LintMode::Deny, LintMode::Warn, LintMode::Off][lint_idx];
+            let members: Vec<Arc<dyn Backend>> = ["fast", "strong", "qpu"][..pool_size]
+                .iter()
+                .map(|name| {
+                    Arc::new(ProfiledBackend::new(
+                        BackendId::new(name),
+                        BackendProfile::default(),
+                        Arc::new(InProcessBackend),
+                    )) as Arc<dyn Backend>
+                })
+                .collect();
+            let solver = HybridCqmSolver::builder()
+                .num_reads(num_reads)
+                .sweeps(sweeps)
+                .sqa_replicas(sqa_replicas)
+                .seed(seed)
+                .penalty_factor(penalty_factor)
+                .style(style)
+                .samplers(samplers.clone())
+                .tabu_max_vars(tabu_max_vars)
+                .polish_sweeps(polish_sweeps)
+                .repair_steps(repair_steps)
+                .time_limit(time_limit_ms.map(Duration::from_millis))
+                .lint(lint)
+                .adaptive(adaptive)
+                .early_stop(early_stop)
+                .wave_size(wave_size)
+                .plateau_window(plateau_window)
+                .plateau_tolerance(plateau_tolerance)
+                .elite_capacity(elite_capacity)
+                .elite_fraction(elite_fraction)
+                .max_retries(max_retries)
+                .read_deadline_proposals(read_deadline)
+                .speculate(speculate)
+                .batched(batched)
+                .decompose(decompose)
+                .backends(BackendPool::new(members))
+                .build()
+                .unwrap();
+
+            // Every builder input must surface in the snapshot...
+            let cfg = solver.config();
+            proptest::prop_assert_eq!(cfg.num_reads, num_reads);
+            proptest::prop_assert_eq!(cfg.sweeps, sweeps);
+            proptest::prop_assert_eq!(cfg.sqa_replicas, sqa_replicas);
+            proptest::prop_assert_eq!(cfg.seed, seed);
+            proptest::prop_assert_eq!(cfg.penalty_factor, penalty_factor);
+            proptest::prop_assert_eq!(&cfg.style, &format!("{style:?}"));
+            proptest::prop_assert_eq!(
+                &cfg.samplers,
+                &samplers.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            );
+            proptest::prop_assert_eq!(cfg.tabu_max_vars, tabu_max_vars);
+            proptest::prop_assert_eq!(cfg.polish_sweeps, polish_sweeps);
+            proptest::prop_assert_eq!(cfg.repair_steps, repair_steps);
+            proptest::prop_assert_eq!(
+                cfg.time_limit_ms,
+                time_limit_ms.map(|ms| ms as f64)
+            );
+            proptest::prop_assert_eq!(&cfg.lint, &lint.to_string());
+            proptest::prop_assert_eq!(cfg.adaptive, adaptive);
+            proptest::prop_assert_eq!(cfg.early_stop, early_stop);
+            proptest::prop_assert_eq!(cfg.wave_size, wave_size);
+            proptest::prop_assert_eq!(cfg.plateau_window, plateau_window);
+            proptest::prop_assert_eq!(cfg.plateau_tolerance, plateau_tolerance);
+            proptest::prop_assert_eq!(cfg.elite_capacity, elite_capacity);
+            proptest::prop_assert_eq!(cfg.elite_fraction, elite_fraction);
+            proptest::prop_assert_eq!(cfg.max_retries, max_retries);
+            proptest::prop_assert_eq!(cfg.read_deadline_proposals, read_deadline);
+            proptest::prop_assert_eq!(&cfg.backend, "fast");
+            proptest::prop_assert_eq!(
+                &cfg.backends,
+                &["fast", "strong", "qpu"][..pool_size]
+            );
+            proptest::prop_assert_eq!(cfg.speculate, speculate);
+            proptest::prop_assert_eq!(cfg.batched, batched);
+            proptest::prop_assert_eq!(cfg.decompose, decompose);
+            proptest::prop_assert_eq!(cfg.batch_width, solver.batch_width());
+            proptest::prop_assert_eq!(
+                &cfg.kernel,
+                if batched { "batched" } else { "scalar" }
+            );
+
+            // ...and survive the snapshot → builder → snapshot round trip
+            // byte-for-byte (the server's config-echo path).
+            let rebuilt = solver.to_builder().build().unwrap();
+            proptest::prop_assert_eq!(rebuilt.config(), solver.config());
         }
     }
 

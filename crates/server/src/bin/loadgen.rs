@@ -1,0 +1,423 @@
+//! `qlrb-loadgen` — deterministic load generator for `qlrb serve`.
+//!
+//! Replays a seeded mix of MxM and sam(oa)² solve requests (several
+//! tenants, both formulations, a handful of instance shapes so the
+//! compiled-model cache sees repeats) against a running daemon from a
+//! configurable number of client threads, then writes the schema-v8 run
+//! manifest: the `server` record with one entry per request (outcome,
+//! cache hit/miss, queue depth, client-observed latency, trace digest)
+//! and the p50/p99 + throughput headline.
+//!
+//! Everything about the *schedule* is a pure function of `--seed`:
+//! workload, tenant, formulation, and per-request solver seed all come
+//! from splitmix64 streams. Combined with the solver's own determinism
+//! this makes replays comparable — `scripts/check_server.sh` runs the
+//! same schedule twice and requires byte-identical plans files and
+//! trace-diff-clean manifests. Latencies and queue depths are of course
+//! not reproducible; the determinism audit (`qlrb trace diff`) ignores
+//! the `server` record for exactly that reason.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use qlrb_server::http;
+use qlrb_server::protocol::{
+    ServerStats, SolveReply, SolveRequest, OUTCOME_COMPLETED, OUTCOME_REJECTED,
+};
+use qlrb_telemetry::{
+    percentile_ms, CaseTrace, ConfigSnapshot, MethodTrace, RunManifest, ServerLoadRecord,
+    ServerRequestRecord,
+};
+
+const USAGE: &str = "\
+qlrb-loadgen — deterministic load generator for the qlrb serve daemon
+
+USAGE:
+    qlrb-loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
+                 [--seed S] [--reads R] [--sweeps W] [--include-traces]
+                 [--out MANIFEST.json] [--plans PLANS.txt]
+
+OPTIONS:
+    --addr HOST:PORT     daemon to load (default 127.0.0.1:7077)
+    --requests N         total solve requests to send (default 200)
+    --concurrency C      client threads posting concurrently (default 8)
+    --seed S             schedule seed; the whole request mix derives from
+                         it (default 2024)
+    --reads R            num_reads sent with every request (default 2)
+    --sweeps W           sweeps sent with every request (default 120)
+    --include-traces     ask for full solve records and emit one manifest
+                         case per completed request (replay diffing)
+    --out PATH           write the schema-v8 run manifest here
+    --plans PATH         write the id-ordered plans file here (byte-identical
+                         across replays of the same seed)
+";
+
+/// The request mix: a few shapes, repeated, so the model cache earns hits.
+const WORKLOADS: &[(&str, &str)] = &[
+    ("mxm-imbalance", "Imb.1"),
+    ("mxm-imbalance", "Imb.3"),
+    ("mxm-nodes", "8"),
+    ("mxm-nodes", "16"),
+    ("samoa", ""),
+];
+const TENANTS: &[&str] = &["tenant-0", "tenant-1", "tenant-2", "tenant-3"];
+const METHODS: &[&str] = &["qcqm1", "qcqm2"];
+
+struct Options {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    reads: usize,
+    sweeps: usize,
+    include_traces: bool,
+    out: Option<String>,
+    plans: Option<String>,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("qlrb-loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        addr: "127.0.0.1:7077".into(),
+        requests: 200,
+        concurrency: 8,
+        seed: 2024,
+        reads: 2,
+        sweeps: 120,
+        include_traces: false,
+        out: None,
+        plans: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--requests" => {
+                opts.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--requests must be an integer"));
+            }
+            "--concurrency" => {
+                opts.concurrency = value("--concurrency")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--concurrency must be an integer"));
+            }
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed must be an integer"));
+            }
+            "--reads" => {
+                opts.reads = value("--reads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reads must be an integer"));
+            }
+            "--sweeps" => {
+                opts.sweeps = value("--sweeps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--sweeps must be an integer"));
+            }
+            "--include-traces" => opts.include_traces = true,
+            "--out" => opts.out = Some(value("--out")),
+            "--plans" => opts.plans = Some(value("--plans")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if opts.requests == 0 {
+        fail("--requests must be at least 1");
+    }
+    if opts.concurrency == 0 {
+        fail("--concurrency must be at least 1");
+    }
+    opts
+}
+
+/// splitmix64: the schedule's only randomness source — stateless per
+/// request, so request `i` is the same regardless of thread interleaving.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic request for slot `i` of the schedule.
+fn request_for(opts: &Options, i: usize) -> SolveRequest {
+    let mut state = opts.seed ^ (i as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+    let (workload, case) = WORKLOADS[(splitmix64(&mut state) % WORKLOADS.len() as u64) as usize];
+    let tenant = TENANTS[(splitmix64(&mut state) % TENANTS.len() as u64) as usize];
+    let method = METHODS[(splitmix64(&mut state) % METHODS.len() as u64) as usize];
+    let solver_seed = splitmix64(&mut state) % 100_000;
+    SolveRequest {
+        id: i as u64,
+        tenant: tenant.to_string(),
+        workload: workload.to_string(),
+        case: if case.is_empty() {
+            None
+        } else {
+            Some(case.to_string())
+        },
+        method: method.to_string(),
+        seed: Some(solver_seed),
+        num_reads: Some(opts.reads),
+        sweeps: Some(opts.sweeps),
+        include_trace: opts.include_traces,
+        ..SolveRequest::default()
+    }
+}
+
+struct Outcome {
+    id: u64,
+    request: SolveRequest,
+    reply: SolveReply,
+    latency_ms: f64,
+}
+
+fn main() {
+    let opts = Arc::new(parse_options());
+
+    // Readiness probe before unleashing the client threads.
+    if let Err(e) = http::get(&opts.addr, "/health") {
+        fail(&format!("daemon at {} is not answering: {e}", opts.addr));
+    }
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let run_start = Instant::now();
+
+    let mut handles = Vec::new();
+    for _ in 0..opts.concurrency {
+        let (opts, next, outcomes, errors) = (
+            Arc::clone(&opts),
+            Arc::clone(&next),
+            Arc::clone(&outcomes),
+            Arc::clone(&errors),
+        );
+        handles.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= opts.requests {
+                break;
+            }
+            let request = request_for(&opts, i);
+            let body = match serde_json::to_string(&request) {
+                Ok(b) => b,
+                Err(e) => {
+                    errors
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(format!("request {i}: serialize: {e}"));
+                    continue;
+                }
+            };
+            let sent = Instant::now();
+            let posted = http::post(&opts.addr, "/solve", &body);
+            let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+            match posted.and_then(|(_, text)| {
+                serde_json::from_str::<SolveReply>(&text)
+                    .map_err(|e| format!("unparsable reply: {e}: {text}"))
+            }) {
+                Ok(reply) => outcomes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Outcome {
+                        id: request.id,
+                        request,
+                        reply,
+                        latency_ms,
+                    }),
+                Err(e) => errors
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(format!("request {i}: {e}")),
+            }
+        }));
+    }
+    for h in handles {
+        if h.join().is_err() {
+            fail("a client thread panicked");
+        }
+    }
+    let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
+
+    let errors = std::mem::take(&mut *errors.lock().unwrap_or_else(PoisonError::into_inner));
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("qlrb-loadgen: {e}");
+        }
+        fail(&format!("{} request(s) failed in transport", errors.len()));
+    }
+
+    let mut outcomes =
+        std::mem::take(&mut *outcomes.lock().unwrap_or_else(PoisonError::into_inner));
+    outcomes.sort_by_key(|o| o.id);
+
+    // Aggregate from the replies themselves, not from /stats: a daemon
+    // serving several runs accumulates counters across them, but this
+    // run's evidence is exactly what came back on its own requests.
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut max_queue_depth = 0usize;
+    let mut completed_latencies: Vec<f64> = Vec::new();
+    for o in &outcomes {
+        match o.reply.outcome.as_str() {
+            OUTCOME_COMPLETED => {
+                completed += 1;
+                completed_latencies.push(o.latency_ms);
+                match o.reply.cache.as_str() {
+                    "hit" => cache_hits += 1,
+                    _ => cache_misses += 1,
+                }
+            }
+            OUTCOME_REJECTED => rejected += 1,
+            other => fail(&format!(
+                "request {} came back {other:?} ({}): the schedule only sends valid requests",
+                o.id, o.reply.detail
+            )),
+        }
+        max_queue_depth = max_queue_depth.max(o.reply.queue_depth);
+    }
+
+    // Shape metadata (workers, capacities) comes from the daemon.
+    let stats: ServerStats = match http::get(&opts.addr, "/stats") {
+        Ok((200, text)) => {
+            serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("unparsable /stats: {e}")))
+        }
+        Ok((status, _)) => fail(&format!("/stats answered {status}")),
+        Err(e) => fail(&format!("/stats: {e}")),
+    };
+
+    let record = ServerLoadRecord {
+        workers: stats.workers,
+        queue_capacity: stats.queue_capacity,
+        cache_capacity: stats.cache_capacity,
+        completed,
+        rejected,
+        cache_hits,
+        cache_misses,
+        max_queue_depth,
+        p50_latency_ms: percentile_ms(&completed_latencies, 50.0),
+        p99_latency_ms: percentile_ms(&completed_latencies, 99.0),
+        throughput_rps: if wall_ms > 0.0 {
+            completed as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        wall_ms,
+        requests: outcomes
+            .iter()
+            .map(|o| {
+                let done = o.reply.outcome == OUTCOME_COMPLETED;
+                ServerRequestRecord {
+                    request: o.id,
+                    tenant: o.reply.tenant.clone(),
+                    workload: match &o.request.case {
+                        Some(case) => format!("{}/{case}", o.request.workload),
+                        None => o.request.workload.clone(),
+                    },
+                    method: o.request.method.clone(),
+                    outcome: o.reply.outcome.clone(),
+                    cache: if done {
+                        o.reply.cache.clone()
+                    } else {
+                        String::new()
+                    },
+                    queue_depth: o.reply.queue_depth,
+                    latency_ms: o.latency_ms,
+                    trace_digest: o.reply.trace_digest.clone(),
+                }
+            })
+            .collect(),
+    };
+
+    let mut manifest = RunManifest::new("qlrb-loadgen", ConfigSnapshot::default());
+    if opts.include_traces {
+        // One case per completed request: `qlrb trace diff` between two
+        // replays of the same seed then checks full solver determinism,
+        // read by read, while ignoring the volatile server record.
+        for o in &outcomes {
+            if o.reply.outcome != OUTCOME_COMPLETED {
+                continue;
+            }
+            let Some(solve) = o.reply.solve.clone() else {
+                fail(&format!(
+                    "request {} completed without a solve record despite include_trace",
+                    o.id
+                ));
+            };
+            manifest.cases.push(CaseTrace {
+                label: format!("req-{:05}", o.id),
+                methods: vec![MethodTrace {
+                    method: o.reply.method_label.clone(),
+                    solve,
+                }],
+                sim: None,
+            });
+        }
+    }
+    manifest.server = Some(record);
+    manifest.finalize();
+    if let Err(e) = manifest.validate() {
+        fail(&format!("assembled manifest failed validation: {e}"));
+    }
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, manifest.to_json_pretty()) {
+            fail(&format!("write {path}: {e}"));
+        }
+    }
+    if let Some(path) = &opts.plans {
+        let mut plans = String::new();
+        for o in &outcomes {
+            if o.reply.outcome != OUTCOME_COMPLETED {
+                continue;
+            }
+            let case = o.request.case.as_deref().unwrap_or("-");
+            plans.push_str(&format!(
+                "# request {} tenant={} workload={} case={} method={} seed={} migrated={}\n",
+                o.id,
+                o.reply.tenant,
+                o.request.workload,
+                case,
+                o.request.method,
+                o.request.seed.unwrap_or(0),
+                o.reply.migrated,
+            ));
+            plans.push_str(&o.reply.plan_csv);
+            if !o.reply.plan_csv.ends_with('\n') {
+                plans.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(path, plans) {
+            fail(&format!("write {path}: {e}"));
+        }
+    }
+
+    let server = manifest.server.as_ref();
+    println!(
+        "qlrb-loadgen: {} request(s) → {completed} completed / {rejected} rejected; cache {cache_hits} hit(s) / {cache_misses} miss(es); peak queue {max_queue_depth}",
+        outcomes.len()
+    );
+    if let Some(s) = server {
+        println!(
+            "qlrb-loadgen: latency p50 {:.1} ms, p99 {:.1} ms, {:.1} req/s over {:.1} ms",
+            s.p50_latency_ms, s.p99_latency_ms, s.throughput_rps, s.wall_ms
+        );
+    }
+}

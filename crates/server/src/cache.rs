@@ -1,0 +1,336 @@
+//! The compiled-model cache: repeat tenants skip the CQM build.
+//!
+//! Building an LRP formulation is the expensive, shape-dependent part of a
+//! solve request (CSR compilation is quadratic in processes); the budget
+//! `k` only rewrites one right-hand side (see
+//! [`qlrb_core::cqm::LrpCqm::with_budget`]). The cache therefore keys on
+//! *(formulation, instance shape)* — variant label, process count, tasks
+//! per process, and a content digest of the weights — and stores one base
+//! model built at `k = 0` that every budget shares through
+//! [`qlrb_core::QuantumRebalancer::rebalance_with_base`].
+//!
+//! Concurrency contract: at most one build runs per key. The first
+//! requester of a key inserts a `Building` marker and compiles outside the
+//! lock; concurrent requesters of the same key wait on a condvar and are
+//! served the finished model as a *hit* (they skipped the compile, which
+//! is what the counter measures). This also makes the aggregate miss count
+//! deterministic under concurrency: one miss per distinct key, regardless
+//! of arrival interleaving. Capacity is bounded with FIFO eviction.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use qlrb_core::cqm::{LrpCqm, Variant};
+use qlrb_core::Instance;
+
+/// Cache key: the formulation and the instance's exact shape + content.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Formulation label (`"Q_CQM1"` / `"Q_CQM2"`).
+    pub formulation: String,
+    /// Process count.
+    pub procs: usize,
+    /// Tasks per process.
+    pub tasks: u64,
+    /// FNV-1a digest of the weight vector's bit patterns.
+    pub digest: u64,
+}
+
+impl ModelKey {
+    /// The key for solving `inst` under `variant`.
+    pub fn for_instance(variant: Variant, inst: &Instance) -> Self {
+        Self {
+            formulation: variant.label().to_string(),
+            procs: inst.num_procs(),
+            tasks: inst.tasks_per_proc(),
+            digest: instance_digest(inst),
+        }
+    }
+}
+
+/// FNV-1a over the instance's shape and weight bits: two instances collide
+/// only if they are bitwise-identical workloads (modulo 64-bit hashing).
+pub fn instance_digest(inst: &Instance) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(inst.num_procs() as u64);
+    fold(inst.tasks_per_proc());
+    for w in inst.weights() {
+        fold(w.to_bits());
+    }
+    drop(fold);
+    h
+}
+
+/// Whether a lookup was served from cache or compiled on the spot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served a previously compiled model (including "waited for the
+    /// in-flight build of the same key" — the compile was still skipped).
+    Hit,
+    /// Compiled the model on this call.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// The wire label the per-request telemetry records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+        }
+    }
+}
+
+enum Slot {
+    /// A build for this key is in flight on another thread.
+    Building,
+    /// The compiled base model (built at `k = 0`).
+    Ready(Arc<LrpCqm>),
+}
+
+struct CacheState {
+    slots: HashMap<ModelKey, Slot>,
+    /// Insertion order of `Ready` entries, oldest first (FIFO eviction).
+    order: VecDeque<ModelKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Bounded, blocking compiled-model cache. See the module docs for the
+/// keying and single-build-per-key contract.
+pub struct ModelCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    ready: Condvar,
+}
+
+impl ModelCache {
+    /// A cache holding at most `capacity` compiled models (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        // A worker that panicked mid-solve never holds this lock across a
+        // cache mutation (builds happen outside it), so the state is
+        // consistent; keep serving rather than poisoning the whole daemon.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the compiled model for `key`, building it with `build` if
+    /// absent. Concurrent callers of the same key block until the one
+    /// in-flight build finishes and then count as hits. A failed build
+    /// clears the marker (so the key can be retried) and propagates the
+    /// error to everyone who was waiting on it via their own retry.
+    pub fn get_or_build<F>(
+        &self,
+        key: &ModelKey,
+        build: F,
+    ) -> Result<(Arc<LrpCqm>, CacheOutcome), String>
+    where
+        F: FnOnce() -> Result<LrpCqm, String>,
+    {
+        let mut st = self.lock();
+        loop {
+            match st.slots.get(key) {
+                Some(Slot::Ready(model)) => {
+                    let model = Arc::clone(model);
+                    st.hits += 1;
+                    return Ok((model, CacheOutcome::Hit));
+                }
+                Some(Slot::Building) => {
+                    st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                None => break,
+            }
+        }
+        st.slots.insert(key.clone(), Slot::Building);
+        drop(st);
+
+        let built = build();
+        let mut st = self.lock();
+        match built {
+            Ok(model) => {
+                let model = Arc::new(model);
+                while st.order.len() + 1 > self.capacity {
+                    match st.order.pop_front() {
+                        Some(old) => {
+                            st.slots.remove(&old);
+                        }
+                        None => break,
+                    }
+                }
+                st.slots
+                    .insert(key.clone(), Slot::Ready(Arc::clone(&model)));
+                st.order.push_back(key.clone());
+                st.misses += 1;
+                self.ready.notify_all();
+                Ok((model, CacheOutcome::Miss))
+            }
+            Err(e) => {
+                st.slots.remove(key);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        let st = self.lock();
+        (st.hits, st.misses)
+    }
+
+    /// Compiled models currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().order.len()
+    }
+
+    /// Whether the cache holds no compiled models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(weights: Vec<f64>) -> Instance {
+        Instance::uniform(10, weights).unwrap()
+    }
+
+    fn build_for(inst: &Instance, variant: Variant) -> Result<LrpCqm, String> {
+        LrpCqm::build(inst, variant, 0).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let cache = ModelCache::new(8);
+        let i = inst(vec![1.0, 2.0, 4.0]);
+        let key = ModelKey::for_instance(Variant::Reduced, &i);
+        let (_, first) = cache
+            .get_or_build(&key, || build_for(&i, Variant::Reduced))
+            .unwrap();
+        let (model, second) = cache
+            .get_or_build(&key, || panic!("second lookup must not rebuild"))
+            .unwrap();
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(model.variant, Variant::Reduced);
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_and_formulations_get_distinct_slots() {
+        let cache = ModelCache::new(8);
+        let a = inst(vec![1.0, 2.0, 4.0]);
+        let b = inst(vec![1.0, 2.0, 5.0]);
+        for (i, variant) in [
+            (&a, Variant::Reduced),
+            (&a, Variant::Full),
+            (&b, Variant::Reduced),
+        ] {
+            let key = ModelKey::for_instance(variant, i);
+            let (_, outcome) = cache.get_or_build(&key, || build_for(i, variant)).unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+        }
+        assert_eq!(cache.counters(), (0, 3));
+        assert_ne!(
+            ModelKey::for_instance(Variant::Reduced, &a),
+            ModelKey::for_instance(Variant::Reduced, &b)
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ModelCache::new(2);
+        let weights = [
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 4.0],
+            vec![1.0, 2.0, 5.0],
+        ];
+        let insts: Vec<Instance> = weights.iter().map(|w| inst(w.clone())).collect();
+        for i in &insts {
+            let key = ModelKey::for_instance(Variant::Reduced, i);
+            cache
+                .get_or_build(&key, || build_for(i, Variant::Reduced))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // The first key was evicted; looking it up again rebuilds.
+        let key = ModelKey::for_instance(Variant::Reduced, &insts[0]);
+        let (_, outcome) = cache
+            .get_or_build(&key, || build_for(&insts[0], Variant::Reduced))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn failed_build_clears_the_marker() {
+        let cache = ModelCache::new(2);
+        let i = inst(vec![1.0, 2.0, 4.0]);
+        let key = ModelKey::for_instance(Variant::Full, &i);
+        let err = cache.get_or_build(&key, || Err("boom".into()));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(cache.counters(), (0, 0));
+        // The key is retryable.
+        let (_, outcome) = cache
+            .get_or_build(&key, || build_for(&i, Variant::Full))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(ModelCache::new(8));
+        let i = Arc::new(inst(vec![1.0, 2.0, 4.0, 8.0]));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (cache, i, builds) = (Arc::clone(&cache), Arc::clone(&i), Arc::clone(&builds));
+            handles.push(std::thread::spawn(move || {
+                let key = ModelKey::for_instance(Variant::Reduced, &i);
+                let (_, outcome) = cache
+                    .get_or_build(&key, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        build_for(&i, Variant::Reduced)
+                    })
+                    .unwrap();
+                outcome
+            }));
+        }
+        let outcomes: Vec<CacheOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one build per key");
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| **o == CacheOutcome::Miss)
+                .count(),
+            1
+        );
+        assert_eq!(cache.counters(), (7, 1));
+    }
+}

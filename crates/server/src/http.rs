@@ -1,0 +1,223 @@
+//! Just enough HTTP/1.1 to carry JSON over loopback.
+//!
+//! The daemon speaks a deliberately tiny dialect: one request per
+//! connection, `Connection: close`, bodies bounded at 1 MiB, and only the
+//! headers we need (`Content-Length`). Keeping the wire layer in-tree —
+//! rather than pulling a framework dependency — keeps the server inside
+//! the workspace's no-new-dependencies constraint and keeps every byte on
+//! the wire auditable by the determinism gate. The client half
+//! ([`post`] / [`get`]) exists for the load generator and the check
+//! scripts; it speaks the same dialect back.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server will read (1 MiB): an inline-weights
+/// solve for thousands of processes fits comfortably; anything bigger is
+/// a client bug or abuse.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed inbound request: method, path, and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET` / `POST`).
+    pub method: String,
+    /// Request path (`/solve`, `/stats`, `/health`).
+    pub path: String,
+    /// Raw body bytes as text (JSON for `/solve`).
+    pub body: String,
+}
+
+/// Reads one HTTP/1.1 request from `stream`. Fails with a description on
+/// malformed framing, oversized bodies, or a dropped connection.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_BODY_BYTES {
+            return Err("request headers exceed the size bound".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before the headers completed".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line: {request_line:?}"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length: {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte bound"
+        ));
+    }
+
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a one-shot JSON response and flushes. The connection is marked
+/// `close`; callers drop the stream afterwards.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), String> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write: {e}"))
+}
+
+/// Client half: POSTs `body` to `http://{addr}{path}` and returns
+/// `(status, body)`. One connection per call, read to EOF.
+pub fn post(addr: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Client half: GETs `http://{addr}{path}` and returns `(status, body)`.
+pub fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn roundtrip(addr: &str, raw: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(raw.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&response)
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let header_end =
+        find_header_end(raw).ok_or_else(|| "response missing header terminator".to_string())?;
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let body = String::from_utf8_lossy(&raw[header_end + 4..]).into_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/solve");
+            assert_eq!(req.body, "{\"workload\":\"samoa\"}");
+            write_response(&mut stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = post(&addr, "/solve", "{\"workload\":\"samoa\"}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_is_refused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream).unwrap_err()
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let err = server.join().unwrap();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn status_reasons_cover_the_emitted_codes() {
+        for code in [200u16, 400, 404, 429] {
+            assert!(!status_reason(code).is_empty());
+        }
+    }
+}

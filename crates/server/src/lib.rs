@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+//! # qlrb-server — rebalancing as a service
+//!
+//! The paper's workflow is batch: build a CQM, solve, write a plan. Real
+//! HPC schedulers rebalance *continuously* — many tenants, the same few
+//! instance shapes, arriving concurrently. This crate turns the batch
+//! pipeline into a long-running daemon (`qlrb serve`) without changing a
+//! single solver semantic:
+//!
+//! * [`protocol`] — the JSON wire vocabulary: [`protocol::SolveRequest`],
+//!   the unified [`protocol::SolveReply`] envelope (completed / rejected /
+//!   invalid), and the [`protocol::ServerStats`] counter snapshot.
+//! * [`http`] — a dependency-free HTTP/1.1 sliver (one request per
+//!   connection, bounded bodies) carrying that JSON over loopback, plus
+//!   the client half the load generator uses.
+//! * [`queue`] — [`queue::BoundedQueue`], the admission-control seam:
+//!   non-blocking push that sheds with the observed depth (the accept
+//!   loop turns that into a 429-style structured rejection), blocking pop
+//!   for workers, and drain-on-close so in-flight solves never drop.
+//! * [`cache`] — [`cache::ModelCache`], the compiled-model cache keyed on
+//!   *(formulation, instance shape)*: repeat tenants skip the quadratic
+//!   CSR build and share one base model via
+//!   [`qlrb_core::QuantumRebalancer::rebalance_with_base`], with
+//!   single-build-per-key concurrency and FIFO eviction.
+//! * [`server`] — [`server::Server`]: the accept thread, the bounded
+//!   worker pool, and the per-request solve path, every step of which is
+//!   validated through the same builder API as the CLI.
+//!
+//! The `qlrb-loadgen` binary (in `src/bin/`) replays deterministic mixed
+//! MxM / sam(oa)² request schedules against a daemon and writes the
+//! schema-v8 run manifest (`server` record: per-request admission and
+//! latency evidence, cache hit/miss totals, queue high-water, and the
+//! p50/p99 + throughput headline) that `scripts/check_server.sh` gates on.
+
+pub mod cache;
+pub mod http;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{instance_digest, CacheOutcome, ModelCache, ModelKey};
+pub use protocol::{ServerStats, SolveReply, SolveRequest};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig, ANONYMOUS_TENANT};

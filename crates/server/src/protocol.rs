@@ -1,0 +1,235 @@
+//! The wire vocabulary of `qlrb serve`: JSON solve requests, the unified
+//! reply envelope, and the daemon's counter snapshot.
+//!
+//! One request describes one solve: which workload instance (a named
+//! preset or inline weights), which formulation, and the per-tenant solver
+//! budget (reads, sweeps, per-read deadline). One reply describes one of
+//! three outcomes — `completed` (with the migration plan), `rejected`
+//! (admission control shed the request; the 429-style structured reply),
+//! or `invalid` (the request failed builder/model validation). A single
+//! envelope with outcome-gated fields keeps clients to one parse path.
+
+use serde::{Deserialize, Serialize};
+
+use qlrb_telemetry::SolveRecord;
+
+/// Reply outcome: the request produced a plan.
+pub const OUTCOME_COMPLETED: &str = "completed";
+/// Reply outcome: admission control shed the request (queue full).
+pub const OUTCOME_REJECTED: &str = "rejected";
+/// Reply outcome: the request failed validation before any solve ran.
+pub const OUTCOME_INVALID: &str = "invalid";
+
+/// `error` code on a [`OUTCOME_REJECTED`] reply.
+pub const ERROR_OVERLOADED: &str = "overloaded";
+/// `error` code on a [`OUTCOME_INVALID`] reply.
+pub const ERROR_BAD_REQUEST: &str = "bad-request";
+
+/// One solve request, as POSTed to `/solve`.
+///
+/// Only `workload` is required; everything else has a server-side default
+/// so a minimal `{"workload": "samoa"}` request solves. The server clamps
+/// `num_reads`/`sweeps` to its configured per-tenant ceiling and validates
+/// the whole configuration through the solver builder — a zero
+/// `read_deadline_proposals`, for example, comes back as a structured
+/// `invalid` reply, never a panic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// Client-assigned request id, echoed back in the reply.
+    #[serde(default)]
+    pub id: u64,
+    /// Tenant label for accounting; empty means `"anonymous"`.
+    #[serde(default)]
+    pub tenant: String,
+    /// Workload preset: `mxm-imbalance`, `mxm-nodes`, `mxm-tasks`,
+    /// `samoa`, `samoa-table5`, or `inline` (with `weights`).
+    pub workload: String,
+    /// Case selector within the preset (e.g. `"Imb.3"` or `"16"`).
+    #[serde(default)]
+    pub case: Option<String>,
+    /// Inline per-process task weights (workload `inline`).
+    #[serde(default)]
+    pub weights: Option<Vec<f64>>,
+    /// Tasks per process for an inline instance (default 16).
+    #[serde(default)]
+    pub tasks_per_proc: Option<u64>,
+    /// Formulation: `qcqm1` (reduced) or `qcqm2` (full); empty means
+    /// `qcqm1`.
+    #[serde(default)]
+    pub method: String,
+    /// Migration budget `k`; defaults to a quarter of the total tasks.
+    #[serde(default)]
+    pub k: Option<u64>,
+    /// Solver seed (default 2024, matching the CLI).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Reads per solve; clamped to the server's per-tenant ceiling.
+    #[serde(default)]
+    pub num_reads: Option<usize>,
+    /// Sweeps per read; clamped to the server's per-tenant ceiling.
+    #[serde(default)]
+    pub sweeps: Option<usize>,
+    /// Per-read deadline on the proposal clock (the builder rejects 0).
+    /// Falls back to the server's configured tenant default.
+    #[serde(default)]
+    pub read_deadline_proposals: Option<u64>,
+    /// Return the full per-read solve record in the reply (the load
+    /// generator uses this to assemble replay-diffable manifests).
+    #[serde(default)]
+    pub include_trace: bool,
+}
+
+/// The unified reply envelope for `/solve`.
+///
+/// `outcome` selects which fields are meaningful: a `completed` reply
+/// carries the plan and solve evidence, a `rejected` reply carries the
+/// queue pressure and a retry hint, an `invalid` reply carries the
+/// validation error. Unused fields keep their defaults.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolveReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the (normalized) tenant.
+    pub tenant: String,
+    /// [`OUTCOME_COMPLETED`] / [`OUTCOME_REJECTED`] / [`OUTCOME_INVALID`].
+    pub outcome: String,
+    /// `"hit"` / `"miss"` on completed solves: whether the compiled model
+    /// came from the (formulation, shape) cache. Empty otherwise.
+    pub cache: String,
+    /// Queue depth observed at admission (rejections report the depth
+    /// that triggered the shed).
+    pub queue_depth: usize,
+    /// Error code ([`ERROR_OVERLOADED`] / [`ERROR_BAD_REQUEST`]); empty
+    /// on success.
+    pub error: String,
+    /// Human-readable error detail; empty on success.
+    pub detail: String,
+    /// Suggested client backoff before retrying a rejected request.
+    pub retry_after_ms: u64,
+    /// The migration plan in the CLI's output-CSV layout.
+    pub plan_csv: String,
+    /// Imbalance ratio before rebalancing.
+    pub imbalance_before: f64,
+    /// Imbalance ratio after applying the plan.
+    pub imbalance_after: f64,
+    /// Tasks migrated by the plan.
+    pub migrated: u64,
+    /// Method label as the harness prints it (`"Q_CQM1"` / `"Q_CQM2"`).
+    pub method_label: String,
+    /// Sealed trace digest of the underlying solve.
+    pub trace_digest: String,
+    /// Full solve record, when the request set `include_trace`.
+    #[serde(default)]
+    pub solve: Option<SolveRecord>,
+}
+
+/// Counter snapshot served at `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Solve requests seen (admitted or not).
+    pub requests: u64,
+    /// Requests that completed with a plan.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Requests that failed validation.
+    pub invalid: u64,
+    /// Completed solves served from the compiled-model cache.
+    pub cache_hits: u64,
+    /// Completed solves that compiled their model.
+    pub cache_misses: u64,
+    /// Compiled models currently cached.
+    pub cache_entries: usize,
+    /// Cache capacity, in compiled models.
+    pub cache_capacity: usize,
+    /// Queue depth right now.
+    pub queue_depth: usize,
+    /// Highest queue depth observed since boot.
+    pub max_queue_depth: usize,
+    /// Bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads solving.
+    pub workers: usize,
+}
+
+impl SolveReply {
+    /// A `rejected` (429-style) reply: the queue was full at `depth`.
+    pub fn overloaded(
+        id: u64,
+        tenant: &str,
+        depth: usize,
+        capacity: usize,
+        retry_after_ms: u64,
+    ) -> Self {
+        Self {
+            id,
+            tenant: tenant.to_string(),
+            outcome: OUTCOME_REJECTED.into(),
+            error: ERROR_OVERLOADED.into(),
+            detail: format!(
+                "solve queue is full ({depth}/{capacity}); retry after {retry_after_ms} ms"
+            ),
+            queue_depth: depth,
+            retry_after_ms,
+            ..Self::default()
+        }
+    }
+
+    /// An `invalid` (400-style) reply: the request failed validation.
+    pub fn invalid(id: u64, tenant: &str, detail: impl Into<String>) -> Self {
+        Self {
+            id,
+            tenant: tenant.to_string(),
+            outcome: OUTCOME_INVALID.into(),
+            error: ERROR_BAD_REQUEST.into(),
+            detail: detail.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The HTTP status code this reply travels under.
+    pub fn http_status(&self) -> u16 {
+        match self.outcome.as_str() {
+            OUTCOME_COMPLETED => 200,
+            OUTCOME_REJECTED => 429,
+            _ => 400,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req: SolveRequest =
+            serde_json::from_str("{\"workload\": \"samoa\"}").expect("minimal request parses");
+        assert_eq!(req.workload, "samoa");
+        assert_eq!(req.id, 0);
+        assert_eq!(req.method, "");
+        assert_eq!(req.num_reads, None);
+        assert_eq!(req.read_deadline_proposals, None);
+        assert!(!req.include_trace);
+    }
+
+    #[test]
+    fn reply_round_trips_and_maps_status() {
+        let rej = SolveReply::overloaded(7, "tenant-a", 8, 8, 50);
+        assert_eq!(rej.http_status(), 429);
+        assert!(rej.detail.contains("8/8"), "{}", rej.detail);
+        let text = serde_json::to_string(&rej).expect("reply serializes");
+        let back: SolveReply = serde_json::from_str(&text).expect("reply parses");
+        assert_eq!(back, rej);
+
+        let bad = SolveReply::invalid(1, "t", "no such workload");
+        assert_eq!(bad.http_status(), 400);
+        assert_eq!(bad.error, ERROR_BAD_REQUEST);
+
+        let ok = SolveReply {
+            outcome: OUTCOME_COMPLETED.into(),
+            ..SolveReply::default()
+        };
+        assert_eq!(ok.http_status(), 200);
+    }
+}

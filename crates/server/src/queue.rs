@@ -1,0 +1,161 @@
+//! Bounded admission queue between the accept loop and the worker pool.
+//!
+//! Admission control lives entirely in [`BoundedQueue::try_push`]: when the
+//! queue is at capacity the push fails *immediately* with the observed
+//! depth, and the accept loop turns that into a structured 429-style
+//! rejection — the daemon never blocks accepts or buffers unboundedly
+//! under saturation. Workers block in [`BoundedQueue::pop`] until work
+//! arrives. Closing the queue wakes every worker, but jobs already
+//! admitted keep draining: `pop` hands out remaining items before
+//! returning `None`, so shutdown and overload never drop an in-flight
+//! solve.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    max_depth: usize,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with non-blocking admission and blocking
+/// consumption. See the module docs for the shed-don't-block contract.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                max_depth: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        // Pushes and pops only move items; no invariant can be left torn
+        // by a panicking holder, so recover rather than wedge the daemon.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits `item` if there is room. Returns `Ok(depth_after_push)` on
+    /// admission and `Err(observed_depth)` when the queue is full or
+    /// closed — the caller sheds the request with that depth as evidence.
+    pub fn try_push(&self, item: T) -> Result<usize, usize> {
+        let mut st = self.lock();
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(st.items.len());
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        if depth > st.max_depth {
+            st.max_depth = depth;
+        }
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available and returns it. Returns `None`
+    /// only once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .available
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admitting new items and wakes every blocked consumer.
+    /// Already-admitted items remain poppable.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Highest depth ever observed.
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_and_tracks_high_water() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(2), "full queue sheds with its depth");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_in_flight_items_before_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(2), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for v in 0..5 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

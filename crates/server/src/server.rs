@@ -1,0 +1,659 @@
+//! The `qlrb serve` daemon: accept loop, bounded worker pool, and the
+//! per-request solve path.
+//!
+//! Architecture (one box per module):
+//!
+//! ```text
+//!   accept thread ──► BoundedQueue ──► worker pool (N threads)
+//!        │                 │                 │
+//!        │ full? 429       │ high-water      ├─► ModelCache (hit/miss)
+//!        ▼                 ▼                 ▼
+//!   SolveReply::overloaded              builder-validated solve
+//! ```
+//!
+//! Every solve request flows through the same builder API the CLI uses
+//! ([`qlrb_anneal::hybrid::HybridCqmSolver::builder`]), so server-side
+//! validation is *identical* to batch validation: a zero read deadline, an
+//! unknown workload, or a malformed body all come back as structured
+//! `invalid` replies — the daemon never panics on input. Admission control
+//! is a bounded queue: when it is full the accept thread answers
+//! immediately with a 429-style `rejected` reply carrying the observed
+//! depth and a retry hint, and already-admitted solves always finish
+//! (the queue drains on close).
+//!
+//! Determinism: a request's plan depends only on the request itself (its
+//! workload, method, budget, and seed) — never on queue timing or cache
+//! state, because cached base models are observationally identical to
+//! fresh builds (regression-tested in `qlrb-core`). Replaying a request
+//! mix therefore reproduces byte-identical plans and trace digests, which
+//! `scripts/check_server.sh` gates on.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qlrb_anneal::hybrid::HybridCqmSolver;
+use qlrb_core::cqm::{LrpCqm, Variant};
+use qlrb_core::io::write_output_csv;
+use qlrb_core::{Instance, QuantumRebalancer};
+use qlrb_telemetry::{MemorySink, TraceSink};
+
+use crate::cache::{CacheOutcome, ModelCache, ModelKey};
+use crate::http;
+use crate::protocol::{ServerStats, SolveReply, SolveRequest, OUTCOME_COMPLETED};
+use crate::queue::BoundedQueue;
+
+/// Tenant label used when a request leaves `tenant` empty.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+/// Tunables for one daemon instance. `Default` matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests, gate scripts).
+    pub addr: String,
+    /// Worker threads solving concurrently.
+    pub workers: usize,
+    /// Bounded-queue capacity; pushes beyond it are shed with a 429.
+    pub queue_capacity: usize,
+    /// Compiled-model cache capacity, in models.
+    pub cache_capacity: usize,
+    /// Per-tenant ceiling on reads per solve (requests are clamped).
+    pub max_reads: usize,
+    /// Per-tenant ceiling on sweeps per read (requests are clamped).
+    pub max_sweeps: usize,
+    /// Reads per solve when the request does not say.
+    pub default_num_reads: usize,
+    /// Sweeps per read when the request does not say.
+    pub default_sweeps: usize,
+    /// Per-read proposal-clock deadline applied when the request does not
+    /// carry one; `None` leaves reads un-deadlined.
+    pub default_read_deadline_proposals: Option<u64>,
+    /// Backoff hint stamped on rejected replies.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 64,
+            cache_capacity: 64,
+            max_reads: 16,
+            max_sweeps: 2000,
+            default_num_reads: 2,
+            default_sweeps: 200,
+            default_read_deadline_proposals: None,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One admitted solve: the parsed request plus the connection to answer on.
+struct Job {
+    request: SolveRequest,
+    stream: TcpStream,
+    depth_at_admission: usize,
+}
+
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    invalid: AtomicU64,
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`Server::shutdown`] (or let the process exit).
+pub struct Server {
+    cfg: ServerConfig,
+    addr: std::net::SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ModelCache>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread and the worker pool, and returns.
+    pub fn start(cfg: ServerConfig) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let queue = Arc::new(BoundedQueue::<Job>::new(cfg.queue_capacity));
+        let cache = Arc::new(ModelCache::new(cfg.cache_capacity));
+        let counters = Arc::new(Counters {
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut worker_handles = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            let cfg = cfg.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                while let Some(mut job) = queue.pop() {
+                    let reply = solve_job(&cfg, &cache, &job.request, job.depth_at_admission);
+                    match reply.outcome.as_str() {
+                        OUTCOME_COMPLETED => counters.completed.fetch_add(1, Ordering::Relaxed),
+                        _ => counters.invalid.fetch_add(1, Ordering::Relaxed),
+                    };
+                    respond(&mut job.stream, &reply);
+                }
+            }));
+        }
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    handle_connection(&cfg, &queue, &cache, &counters, &mut stream);
+                }
+            })
+        };
+
+        Ok(Self {
+            cfg,
+            addr,
+            queue,
+            cache,
+            counters,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot, as served at `GET /stats`.
+    pub fn stats(&self) -> ServerStats {
+        let (cache_hits, cache_misses) = self.cache.counters();
+        ServerStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            invalid: self.counters.invalid.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_entries: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+            queue_depth: self.queue.depth(),
+            max_queue_depth: self.queue.max_depth(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.worker_handles.len(),
+        }
+    }
+
+    /// Stops accepting, drains the queue (admitted solves still finish),
+    /// and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.close();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept thread exits (i.e. forever, for the CLI
+    /// foreground daemon; until [`Server::shutdown`] from another thread
+    /// otherwise).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// The configuration this daemon was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+}
+
+fn respond(stream: &mut TcpStream, reply: &SolveReply) {
+    let body = serde_json::to_string(reply).unwrap_or_else(|_| "{}".into());
+    let _ = http::write_response(stream, reply.http_status(), &body);
+}
+
+/// One connection: route by method/path, answer, close.
+fn handle_connection(
+    cfg: &ServerConfig,
+    queue: &Arc<BoundedQueue<Job>>,
+    cache: &Arc<ModelCache>,
+    counters: &Arc<Counters>,
+    stream: &mut TcpStream,
+) {
+    let req = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let reply = SolveReply::invalid(0, ANONYMOUS_TENANT, format!("malformed request: {e}"));
+            respond(stream, &reply);
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            let _ = http::write_response(stream, 200, "{\"ok\":true}");
+        }
+        ("GET", "/stats") => {
+            let (cache_hits, cache_misses) = cache.counters();
+            let stats = ServerStats {
+                requests: counters.requests.load(Ordering::Relaxed),
+                completed: counters.completed.load(Ordering::Relaxed),
+                rejected: counters.rejected.load(Ordering::Relaxed),
+                invalid: counters.invalid.load(Ordering::Relaxed),
+                cache_hits,
+                cache_misses,
+                cache_entries: cache.len(),
+                cache_capacity: cache.capacity(),
+                queue_depth: queue.depth(),
+                max_queue_depth: queue.max_depth(),
+                queue_capacity: queue.capacity(),
+                workers: cfg.workers.max(1),
+            };
+            let body = serde_json::to_string(&stats).unwrap_or_else(|_| "{}".into());
+            let _ = http::write_response(stream, 200, &body);
+        }
+        ("POST", "/solve") => {
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            let solve: SolveRequest = match serde_json::from_str(&req.body) {
+                Ok(s) => s,
+                Err(e) => {
+                    counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    let reply =
+                        SolveReply::invalid(0, ANONYMOUS_TENANT, format!("bad JSON body: {e}"));
+                    respond(stream, &reply);
+                    return;
+                }
+            };
+            let id = solve.id;
+            let tenant = normalize_tenant(&solve.tenant);
+            // Admission control: try_push or shed, never block the accept
+            // loop. The stream travels with the job; the worker answers.
+            let stream_clone = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    counters.invalid.fetch_add(1, Ordering::Relaxed);
+                    let reply = SolveReply::invalid(id, &tenant, format!("connection error: {e}"));
+                    respond(stream, &reply);
+                    return;
+                }
+            };
+            let depth_at_admission = queue.depth();
+            match queue.try_push(Job {
+                request: solve,
+                stream: stream_clone,
+                depth_at_admission,
+            }) {
+                Ok(_depth) => {}
+                Err(depth) => {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let reply = SolveReply::overloaded(
+                        id,
+                        &tenant,
+                        depth,
+                        queue.capacity(),
+                        cfg.retry_after_ms,
+                    );
+                    respond(stream, &reply);
+                }
+            }
+        }
+        _ => {
+            let _ = http::write_response(
+                stream,
+                404,
+                &format!("{{\"error\":\"no such endpoint\",\"path\":{:?}}}", req.path),
+            );
+        }
+    }
+}
+
+fn normalize_tenant(tenant: &str) -> String {
+    if tenant.is_empty() {
+        ANONYMOUS_TENANT.into()
+    } else {
+        tenant.into()
+    }
+}
+
+/// Resolves the request's workload to an [`Instance`].
+fn resolve_instance(req: &SolveRequest) -> Result<Instance, String> {
+    let case = req.case.as_deref().unwrap_or("");
+    match req.workload.as_str() {
+        "mxm-imbalance" => {
+            let want = if case.is_empty() { "Imb.3" } else { case };
+            qlrb_workloads::imbalance_levels()
+                .into_iter()
+                .find(|(label, _)| label == want)
+                .map(|(_, inst)| inst)
+                .ok_or_else(|| format!("no imbalance case {want:?} (expected Imb.0 – Imb.4)"))
+        }
+        "mxm-nodes" => {
+            let want = if case.is_empty() { "8" } else { case };
+            qlrb_workloads::node_scaling()
+                .into_iter()
+                .find(|(m, _)| m.to_string() == want)
+                .map(|(_, inst)| inst)
+                .ok_or_else(|| format!("no node-scaling case {want:?} (expected 4/8/16/32/64)"))
+        }
+        "mxm-tasks" => {
+            let want = if case.is_empty() { "10" } else { case };
+            qlrb_workloads::task_scaling()
+                .into_iter()
+                .find(|(n, _)| n.to_string() == want)
+                .map(|(_, inst)| inst)
+                .ok_or_else(|| format!("no task-scaling case {want:?}"))
+        }
+        "samoa" => Ok(samoa_mini::LakeScenario::small().to_instance()),
+        "samoa-table5" => Ok(samoa_mini::scenario::table5_instance()),
+        "inline" => {
+            let weights = req
+                .weights
+                .clone()
+                .ok_or_else(|| "workload \"inline\" requires `weights`".to_string())?;
+            Instance::uniform(req.tasks_per_proc.unwrap_or(16), weights)
+                .map_err(|e| format!("invalid inline instance: {e}"))
+        }
+        other => Err(format!(
+            "no such workload {other:?} (expected mxm-imbalance, mxm-nodes, mxm-tasks, samoa, samoa-table5, or inline)"
+        )),
+    }
+}
+
+fn resolve_variant(method: &str) -> Result<Variant, String> {
+    match method {
+        "" | "qcqm1" => Ok(Variant::Reduced),
+        "qcqm2" => Ok(Variant::Full),
+        other => Err(format!(
+            "no such method {other:?} (expected qcqm1 or qcqm2)"
+        )),
+    }
+}
+
+/// The worker-side solve path: validate through the builder, fetch or
+/// compile the base model, solve against it, and assemble the reply.
+/// Infallible in the panic sense — every error becomes an `invalid` reply.
+fn solve_job(
+    cfg: &ServerConfig,
+    cache: &ModelCache,
+    req: &SolveRequest,
+    depth_at_admission: usize,
+) -> SolveReply {
+    let tenant = normalize_tenant(&req.tenant);
+    let inst = match resolve_instance(req) {
+        Ok(i) => i,
+        Err(e) => return SolveReply::invalid(req.id, &tenant, e),
+    };
+    let variant = match resolve_variant(&req.method) {
+        Ok(v) => v,
+        Err(e) => return SolveReply::invalid(req.id, &tenant, e),
+    };
+
+    // Per-tenant read budget: requests are clamped to the configured
+    // ceiling rather than rejected — a tenant asking for more work gets
+    // the most the server will grant.
+    let num_reads = req
+        .num_reads
+        .unwrap_or(cfg.default_num_reads)
+        .clamp(1, cfg.max_reads.max(1));
+    let sweeps = req
+        .sweeps
+        .unwrap_or(cfg.default_sweeps)
+        .clamp(1, cfg.max_sweeps.max(1));
+    // `Some(0)` must reach the builder so the ZeroReadDeadline validation
+    // fires as a structured reply, not get silently defaulted away.
+    let deadline = match req.read_deadline_proposals {
+        Some(d) => Some(d),
+        None => cfg.default_read_deadline_proposals,
+    };
+    let seed = req.seed.unwrap_or(2024);
+
+    let sink = Arc::new(MemorySink::new());
+    let solver = match HybridCqmSolver::builder()
+        .num_reads(num_reads)
+        .sweeps(sweeps)
+        .seed(seed)
+        .read_deadline_proposals(deadline)
+        .sink(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            return SolveReply::invalid(req.id, &tenant, format!("invalid solver config: {e}"))
+        }
+    };
+
+    // The compiled-model cache: one base CQM per (formulation, shape),
+    // built at k = 0; each request rewrites only the budget RHS.
+    let key = ModelKey::for_instance(variant, &inst);
+    let (base, outcome) = match cache.get_or_build(&key, || {
+        LrpCqm::build(&inst, variant, 0).map_err(|e| format!("model build failed: {e}"))
+    }) {
+        Ok(pair) => pair,
+        Err(e) => return SolveReply::invalid(req.id, &tenant, e),
+    };
+
+    let total_tasks = inst.tasks_per_proc() * inst.num_procs() as u64;
+    let k = req.k.unwrap_or_else(|| (total_tasks / 4).max(1));
+    let rebalancer = QuantumRebalancer {
+        variant,
+        k,
+        solver,
+        label: None,
+        extra_seed_plans: Vec::new(),
+        prune_tolerance: 0.02,
+        migration_penalty: 0.0,
+    };
+    let out = match rebalancer.rebalance_with_base(&inst, &base) {
+        Ok(o) => o,
+        Err(e) => return SolveReply::invalid(req.id, &tenant, format!("solve failed: {e}")),
+    };
+
+    let before = inst.stats();
+    let after = inst.stats_after(&out.matrix);
+    let record = sink.take().into_iter().next_back();
+    let trace_digest = record
+        .as_ref()
+        .map(|r| r.trace_digest.clone())
+        .unwrap_or_default();
+
+    SolveReply {
+        id: req.id,
+        tenant,
+        outcome: OUTCOME_COMPLETED.into(),
+        cache: match outcome {
+            CacheOutcome::Hit => "hit".into(),
+            CacheOutcome::Miss => "miss".into(),
+        },
+        queue_depth: depth_at_admission,
+        plan_csv: write_output_csv(&inst, &out.matrix),
+        imbalance_before: before.imbalance_ratio,
+        imbalance_after: after.imbalance_ratio,
+        migrated: out.matrix.num_migrated(),
+        method_label: variant.label().into(),
+        trace_digest,
+        solve: if req.include_trace { record } else { None },
+        ..SolveReply::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{OUTCOME_INVALID, OUTCOME_REJECTED};
+
+    fn test_server(queue_capacity: usize) -> Server {
+        Server::start(ServerConfig {
+            workers: 2,
+            queue_capacity,
+            default_num_reads: 2,
+            default_sweeps: 60,
+            ..ServerConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn post_solve(addr: &str, body: &str) -> (u16, SolveReply) {
+        let (status, text) = http::post(addr, "/solve", body).unwrap();
+        let reply: SolveReply = serde_json::from_str(&text).unwrap_or_else(|e| {
+            panic!("unparsable reply ({e}): {text}");
+        });
+        (status, reply)
+    }
+
+    #[test]
+    fn solves_and_caches_over_http() {
+        let server = test_server(16);
+        let addr = server.local_addr().to_string();
+
+        let (status, health) = http::get(&addr, "/health").unwrap();
+        assert_eq!((status, health.as_str()), (200, "{\"ok\":true}"));
+
+        let body = "{\"id\": 1, \"tenant\": \"t-a\", \"workload\": \"samoa\", \"seed\": 7}";
+        let (status, first) = post_solve(&addr, body);
+        assert_eq!(status, 200, "{first:?}");
+        assert_eq!(first.outcome, OUTCOME_COMPLETED);
+        assert_eq!(first.cache, "miss");
+        assert_eq!(first.method_label, "Q_CQM1");
+        assert!(!first.plan_csv.is_empty());
+        assert!(!first.trace_digest.is_empty());
+        assert!(first.imbalance_after <= first.imbalance_before);
+
+        // Same tenant shape again: the compiled model is reused and the
+        // solve (same seed) reproduces the identical plan + digest.
+        let (_, second) = post_solve(&addr, body);
+        assert_eq!(second.cache, "hit");
+        assert_eq!(second.plan_csv, first.plan_csv);
+        assert_eq!(second.trace_digest, first.trace_digest);
+
+        let stats = server.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+
+        let (status, text) = http::get(&addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        let wire_stats: ServerStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(wire_stats.completed, 2);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_get_structured_replies() {
+        let server = test_server(16);
+        let addr = server.local_addr().to_string();
+
+        let cases = [
+            "{\"workload\": \"no-such-workload\"}",
+            "{\"workload\": \"samoa\", \"method\": \"qaoa\"}",
+            "{\"workload\": \"inline\"}",
+            "{\"workload\": \"samoa\", \"read_deadline_proposals\": 0}",
+            "this is not json",
+        ];
+        for body in cases {
+            let (status, reply) = post_solve(&addr, body);
+            assert_eq!(status, 400, "{body}");
+            assert_eq!(reply.outcome, OUTCOME_INVALID, "{body}");
+            assert!(!reply.detail.is_empty(), "{body}");
+        }
+        // The zero-deadline rejection surfaces the builder's error text.
+        let (_, reply) = post_solve(
+            &addr,
+            "{\"workload\": \"samoa\", \"read_deadline_proposals\": 0}",
+        );
+        assert!(
+            reply.detail.contains("read_deadline_proposals"),
+            "builder error should name the deadline: {}",
+            reply.detail
+        );
+        assert_eq!(server.stats().invalid, cases.len() as u64 + 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_429_and_drains_in_flight() {
+        // One worker, capacity-1 queue, slow-ish solves: firing a burst
+        // concurrently must produce at least one rejection, and every
+        // admitted request must still complete.
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            default_num_reads: 4,
+            default_sweeps: 400,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let burst = 12;
+        let mut handles = Vec::new();
+        for i in 0..burst {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let body = format!(
+                    "{{\"id\": {i}, \"workload\": \"mxm-imbalance\", \"case\": \"Imb.3\", \"seed\": {i}}}"
+                );
+                post_solve(&addr, &body)
+            }));
+        }
+        let replies: Vec<(u16, SolveReply)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let completed = replies
+            .iter()
+            .filter(|(_, r)| r.outcome == OUTCOME_COMPLETED)
+            .count();
+        let rejected = replies
+            .iter()
+            .filter(|(s, r)| r.outcome == OUTCOME_REJECTED && *s == 429)
+            .count();
+        assert_eq!(completed + rejected, burst, "no request may vanish");
+        assert!(completed >= 1, "the admitted requests complete");
+        for (_, r) in replies
+            .iter()
+            .filter(|(_, r)| r.outcome == OUTCOME_REJECTED)
+        {
+            assert_eq!(r.error, crate::protocol::ERROR_OVERLOADED);
+            assert!(r.retry_after_ms > 0);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed + stats.rejected, burst as u64);
+        server.shutdown();
+    }
+}

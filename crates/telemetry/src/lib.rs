@@ -49,8 +49,9 @@ pub use fingerprint::{
     failed_read_fingerprint, read_fingerprint, solve_trace_digest, FINGERPRINT_VERSION,
 };
 pub use manifest::{
-    median_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming, MethodTrace, RunManifest,
-    SimConfigSnapshot, SimCounters, MANIFEST_SCHEMA_VERSION,
+    median_ms, percentile_ms, CaseTrace, ConfigSnapshot, HarnessSnapshot, MethodTiming,
+    MethodTrace, RunManifest, ServerLoadRecord, ServerRequestRecord, SimConfigSnapshot,
+    SimCounters, MANIFEST_SCHEMA_VERSION,
 };
 pub use observer::ReadObserver;
 pub use sink::{MemorySink, NoopSink, TraceSink};

@@ -44,7 +44,15 @@ use crate::event::{SolveRecord, SolverConfig};
 /// monolithic solves serialize it as `null` and pre-v7 records parse with
 /// `None`. The record folds into the trace digest only when present, so
 /// every digest sealed before v7 recomputes unchanged.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 7;
+///
+/// v8: service surface — a manifest written by the `qlrb serve` load path
+/// carries `server` (per-request admission/latency records, cache hit and
+/// miss totals, queue high-water, rejection counts, and the p50/p99 +
+/// throughput headline). Batch manifests serialize it as `null` and pre-v8
+/// manifests parse with `None`; a server manifest may have zero `cases`
+/// (per-request traces live in `server.requests`) unless the load
+/// generator ran with full traces enabled.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 8;
 
 /// What configuration produced the run: whichever of the three layers were
 /// in play (a CLI rebalance records a solver config; a harness run records
@@ -111,6 +119,65 @@ pub struct SimCounters {
     pub total_makespan: f64,
 }
 
+/// One request's journey through the `qlrb serve` admission pipeline
+/// (schema v8): what was asked, whether it was admitted, how the model
+/// cache treated it, and how long it took end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerRequestRecord {
+    /// Client-assigned request id (unique within the load run).
+    pub request: u64,
+    /// Tenant label the request was submitted under.
+    pub tenant: String,
+    /// Workload case label (e.g. `"mxm-64"` or `"samoa-small"`).
+    pub workload: String,
+    /// Requested formulation (`"qcqm1"` / `"qcqm2"`).
+    pub method: String,
+    /// `"completed"` or `"rejected"` (shed by admission control).
+    pub outcome: String,
+    /// `"hit"` / `"miss"` for completed solves; empty for rejected
+    /// requests, which never reach the model cache.
+    pub cache: String,
+    /// Queue depth observed at admission time (rejections record the
+    /// depth that triggered the shed).
+    pub queue_depth: usize,
+    /// End-to-end latency as the client saw it, milliseconds.
+    pub latency_ms: f64,
+    /// Sealed trace digest of the underlying solve; empty when rejected.
+    pub trace_digest: String,
+}
+
+/// Aggregate service-load results for one load-generator run (schema v8):
+/// the admission/cache/queue counters and the latency headline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerLoadRecord {
+    /// Worker threads the daemon solved on.
+    pub workers: usize,
+    /// Bounded-queue capacity; depth beyond this sheds load.
+    pub queue_capacity: usize,
+    /// Model-cache capacity, in compiled models.
+    pub cache_capacity: usize,
+    /// Requests that completed with a plan.
+    pub completed: usize,
+    /// Requests shed by admission control (structured 429-style reply).
+    pub rejected: usize,
+    /// Completed solves served from a cached compiled model.
+    pub cache_hits: usize,
+    /// Completed solves that compiled their model on the miss path.
+    pub cache_misses: usize,
+    /// Highest queue depth observed across the run.
+    pub max_queue_depth: usize,
+    /// Median end-to-end latency over completed requests, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile end-to-end latency (nearest-rank), milliseconds.
+    pub p99_latency_ms: f64,
+    /// Completed requests per second of load-run wall time.
+    pub throughput_rps: f64,
+    /// Load-run wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Per-request records, in request-id order.
+    pub requests: Vec<ServerRequestRecord>,
+}
+
 /// One workload case: its solver traces and, when the case was simulated,
 /// the runtime counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,6 +225,11 @@ pub struct RunManifest {
     pub cases: Vec<CaseTrace>,
     /// Per-method timing medians over all cases (see [`RunManifest::finalize`]).
     pub timing: Vec<MethodTiming>,
+    /// Service-load results, when the manifest came from the `qlrb serve`
+    /// load path (schema v8). Batch runs leave it `None`; pre-v8
+    /// manifests parse with the default.
+    #[serde(default)]
+    pub server: Option<ServerLoadRecord>,
 }
 
 /// Median of a slice in milliseconds; even lengths average the middle pair.
@@ -174,6 +246,20 @@ pub fn median_ms(values: &[f64]) -> f64 {
     } else {
         (sorted[mid - 1] + sorted[mid]) / 2.0
     }
+}
+
+/// Nearest-rank percentile of a slice in milliseconds: the smallest value
+/// with at least `pct`% of the samples at or below it. Empty input yields
+/// 0; `pct` is clamped to (0, 100].
+pub fn percentile_ms(values: &[f64], pct: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pct = pct.clamp(f64::EPSILON, 100.0);
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 /// `git describe --tags --always --dirty`, if the current directory is a
@@ -209,6 +295,7 @@ impl RunManifest {
             config,
             cases: Vec::new(),
             timing: Vec::new(),
+            server: None,
         }
     }
 
@@ -266,7 +353,7 @@ impl RunManifest {
         if self.command.is_empty() {
             return Err("empty command".into());
         }
-        if self.cases.is_empty() {
+        if self.cases.is_empty() && self.server.is_none() {
             return Err("no cases recorded".into());
         }
         for case in &self.cases {
@@ -418,6 +505,98 @@ impl RunManifest {
                 }
             }
         }
+        // The service contract (schema v8): admission accounting must add
+        // up — every request either completed or was shed, every completed
+        // solve either hit or missed the model cache, and the latency
+        // headline is well-formed.
+        if let Some(srv) = &self.server {
+            if srv.completed + srv.rejected != srv.requests.len() {
+                return Err(format!(
+                    "server: {} completed + {} rejected does not cover {} request(s)",
+                    srv.completed,
+                    srv.rejected,
+                    srv.requests.len()
+                ));
+            }
+            if srv.cache_hits + srv.cache_misses != srv.completed {
+                return Err(format!(
+                    "server: {} cache hits + {} misses do not cover {} completed solve(s)",
+                    srv.cache_hits, srv.cache_misses, srv.completed
+                ));
+            }
+            if srv.queue_capacity == 0 {
+                return Err("server: zero queue capacity".into());
+            }
+            if srv.workers == 0 {
+                return Err("server: zero workers".into());
+            }
+            for stat in [
+                ("p50_latency_ms", srv.p50_latency_ms),
+                ("p99_latency_ms", srv.p99_latency_ms),
+                ("throughput_rps", srv.throughput_rps),
+                ("wall_ms", srv.wall_ms),
+            ] {
+                if !stat.1.is_finite() || stat.1 < 0.0 {
+                    return Err(format!("server: bad {} {}", stat.0, stat.1));
+                }
+            }
+            if srv.p50_latency_ms > srv.p99_latency_ms {
+                return Err(format!(
+                    "server: p50 {} ms above p99 {} ms",
+                    srv.p50_latency_ms, srv.p99_latency_ms
+                ));
+            }
+            let (mut completed, mut rejected, mut hits, mut misses) = (0, 0, 0, 0);
+            for r in &srv.requests {
+                match (r.outcome.as_str(), r.cache.as_str()) {
+                    ("completed", "hit") => {
+                        completed += 1;
+                        hits += 1;
+                    }
+                    ("completed", "miss") => {
+                        completed += 1;
+                        misses += 1;
+                    }
+                    ("rejected", "") => rejected += 1,
+                    _ => {
+                        return Err(format!(
+                            "server request {}: bad outcome/cache pair '{}'/'{}'",
+                            r.request, r.outcome, r.cache
+                        ));
+                    }
+                }
+                if !r.latency_ms.is_finite() || r.latency_ms < 0.0 {
+                    return Err(format!(
+                        "server request {}: bad latency_ms {}",
+                        r.request, r.latency_ms
+                    ));
+                }
+                if r.outcome == "rejected" && !r.trace_digest.is_empty() {
+                    return Err(format!(
+                        "server request {}: rejected request carries a trace digest",
+                        r.request
+                    ));
+                }
+                if r.queue_depth > srv.max_queue_depth {
+                    return Err(format!(
+                        "server request {}: queue depth {} above recorded high-water {}",
+                        r.request, r.queue_depth, srv.max_queue_depth
+                    ));
+                }
+            }
+            if completed != srv.completed
+                || rejected != srv.rejected
+                || hits != srv.cache_hits
+                || misses != srv.cache_misses
+            {
+                return Err(format!(
+                    "server: per-request records ({completed} completed / {rejected} \
+                     rejected / {hits} hits / {misses} misses) disagree with the \
+                     totals ({} / {} / {} / {})",
+                    srv.completed, srv.rejected, srv.cache_hits, srv.cache_misses
+                ));
+            }
+        }
         for case in &self.cases {
             for m in &case.methods {
                 if !self.timing.iter().any(|t| t.method == m.method) {
@@ -464,6 +643,26 @@ impl RunManifest {
                 t.median_qpu_ms,
                 t.solves,
                 if t.solves == 1 { "" } else { "s" }
+            );
+        }
+        if let Some(srv) = &self.server {
+            let _ = writeln!(
+                out,
+                "  server: {} request(s), {} completed / {} rejected, cache {} \
+                 hit(s) / {} miss(es), peak queue {}/{} on {} worker(s)",
+                srv.requests.len(),
+                srv.completed,
+                srv.rejected,
+                srv.cache_hits,
+                srv.cache_misses,
+                srv.max_queue_depth,
+                srv.queue_capacity,
+                srv.workers
+            );
+            let _ = writeln!(
+                out,
+                "    latency p50 {:.1} ms, p99 {:.1} ms, {:.1} req/s over {:.1} ms",
+                srv.p50_latency_ms, srv.p99_latency_ms, srv.throughput_rps, srv.wall_ms
             );
         }
         for case in &self.cases {
@@ -734,6 +933,108 @@ mod tests {
         let mut m = manifest_with_cases();
         m.cases[0].methods[0].solve.backend_usage[0].cost = f64::NAN;
         assert!(m.validate().unwrap_err().contains("cost"));
+    }
+
+    fn server_request(
+        request: u64,
+        outcome: &str,
+        cache: &str,
+        latency_ms: f64,
+    ) -> ServerRequestRecord {
+        ServerRequestRecord {
+            request,
+            tenant: "tenant-a".into(),
+            workload: "mxm-64".into(),
+            method: "qcqm1".into(),
+            outcome: outcome.into(),
+            cache: cache.into(),
+            queue_depth: 1,
+            latency_ms,
+            trace_digest: if outcome == "completed" {
+                "deadbeefdeadbeef".into()
+            } else {
+                String::new()
+            },
+        }
+    }
+
+    fn server_manifest() -> RunManifest {
+        let mut m = RunManifest::new("loadgen", ConfigSnapshot::default());
+        m.server = Some(ServerLoadRecord {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            completed: 2,
+            rejected: 1,
+            cache_hits: 1,
+            cache_misses: 1,
+            max_queue_depth: 3,
+            p50_latency_ms: 5.0,
+            p99_latency_ms: 9.0,
+            throughput_rps: 100.0,
+            wall_ms: 20.0,
+            requests: vec![
+                server_request(0, "completed", "miss", 9.0),
+                server_request(1, "completed", "hit", 5.0),
+                server_request(2, "rejected", "", 0.5),
+            ],
+        });
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_ms(&[], 99.0), 0.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_ms(&v, 50.0), 50.0);
+        assert_eq!(percentile_ms(&v, 99.0), 99.0);
+        assert_eq!(percentile_ms(&v, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[7.0, 3.0], 50.0), 3.0);
+        assert_eq!(percentile_ms(&[7.0, 3.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn server_only_manifest_is_valid() {
+        let m = server_manifest();
+        m.validate().expect("server manifest validates");
+        let back = RunManifest::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(back, m);
+        let digest = m.summarize();
+        assert!(digest.contains("2 completed / 1 rejected"), "{digest}");
+        assert!(digest.contains("p99 9.0 ms"), "{digest}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_server_accounting() {
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().completed = 3;
+        assert!(m.validate().unwrap_err().contains("completed"));
+
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().cache_hits = 2;
+        assert!(m.validate().unwrap_err().contains("cache"));
+
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().requests[2].cache = "hit".into();
+        assert!(m.validate().unwrap_err().contains("outcome/cache"));
+
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().p50_latency_ms = 99.0;
+        assert!(m.validate().unwrap_err().contains("p50"));
+
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().requests[0].queue_depth = 64;
+        assert!(m.validate().unwrap_err().contains("high-water"));
+
+        let mut m = server_manifest();
+        m.server.as_mut().unwrap().requests[2].trace_digest = "deadbeef".into();
+        assert!(m.validate().unwrap_err().contains("digest"));
+
+        // And the batch rule still holds: no server record, no cases.
+        let mut m = server_manifest();
+        m.server = None;
+        assert!(m.validate().unwrap_err().contains("no cases"));
     }
 
     #[test]

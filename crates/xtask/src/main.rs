@@ -74,6 +74,7 @@ const LIB_CRATES: &[&str] = &[
     "harness",
     "model",
     "samoa-mini",
+    "server",
     "telemetry",
     "workloads",
 ];
@@ -524,8 +525,14 @@ fn scan_source(display: &str, scope: Scope, src: &str) -> Vec<Finding> {
                         .get(idx - 1)
                         .is_some_and(|l| l.contains("qlrb-float-order:")));
             if line_in_par && !float_order_documented {
-                for pat in [".sum::<f64", ".sum::<f32", ".sum()", ".product(", ".reduce(", ".fold("]
-                {
+                for pat in [
+                    ".sum::<f64",
+                    ".sum::<f32",
+                    ".sum()",
+                    ".product(",
+                    ".reduce(",
+                    ".fold(",
+                ] {
                     if line.contains(pat) {
                         hit(
                             "float-reduce-order",
@@ -933,7 +940,10 @@ mod tests {
         // A sequential sum after the par statement ended does not fire.
         let seq = "fn f(xs: &[f64]) -> f64 {\n    let v: Vec<f64> = xs.par_iter().map(|x| \
                    g(x)).collect();\n    v.iter().sum::<f64>()\n}\n";
-        assert!(scan_source("x.rs", SOLVER, seq).is_empty(), "sequential sum is fine");
+        assert!(
+            scan_source("x.rs", SOLVER, seq).is_empty(),
+            "sequential sum is fine"
+        );
         // Non-solver crates are out of scope.
         assert!(scan_source("x.rs", LIB, src).is_empty());
     }
@@ -951,7 +961,10 @@ mod tests {
     #[test]
     fn ambient_parallelism_fires_on_spawns() {
         for (snippet, pat) in [
-            ("fn f() {\n    std::thread::spawn(|| {});\n}\n", "thread::spawn("),
+            (
+                "fn f() {\n    std::thread::spawn(|| {});\n}\n",
+                "thread::spawn(",
+            ),
             (
                 "fn f() {\n    rayon::ThreadPoolBuilder::new().build();\n}\n",
                 "ThreadPoolBuilder",
@@ -969,7 +982,9 @@ mod tests {
                        owns\n    // qlrb-lint: allow(ambient-parallelism)\n    \
                        rayon::ThreadPoolBuilder::new().build();\n}\n";
         assert!(scan_source("x.rs", SOLVER, allowed).is_empty());
-        assert!(scan_source("x.rs", LIB, "fn f() {\n    std::thread::spawn(|| {});\n}\n").is_empty());
+        assert!(
+            scan_source("x.rs", LIB, "fn f() {\n    std::thread::spawn(|| {});\n}\n").is_empty()
+        );
     }
 
     #[test]

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Service gate (DESIGN.md §Service): boot the `qlrb serve` daemon on a
+# loopback port and hold it to the servable-determinism contract:
+#
+#  * replaying the same seeded request mix twice produces byte-identical
+#    plans files and trace-diff-clean manifests (`qlrb trace diff` ignores
+#    the volatile server record but checks every solve read);
+#  * repeat-tenant requests hit the compiled-model cache (the second
+#    replay, against the warm daemon, must be 100% cache hits);
+#  * under saturation (1 worker, queue depth 1, a 12-way client burst)
+#    overload comes back as structured 429-style rejections and every
+#    admitted request still completes — completed + rejected must equal
+#    the total, i.e. zero dropped in-flight solves, never a panic;
+#  * the load run's p50/p99 latency + throughput headline is recorded in
+#    results/server_load.json (refreshed on every gate run).
+#
+# QLRB_SKIP_SERVER_GATE=1 skips the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${QLRB_SKIP_SERVER_GATE:-0}" = "1" ]; then
+  echo "check_server: SKIPPED (QLRB_SKIP_SERVER_GATE=1)"
+  exit 0
+fi
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+cargo build --release --quiet --bin qlrb
+cargo build --release --quiet -p qlrb-server --bin qlrb-loadgen
+QLRB=target/release/qlrb
+LOADGEN=target/release/qlrb-loadgen
+
+# Boots a daemon on an OS-assigned loopback port; sets $daemon_pid and
+# $addr. The "listening on" line is printed only after the accept loop is
+# live, so its appearance is the readiness signal.
+start_daemon() {
+  local log=$1
+  shift
+  "$QLRB" serve --addr 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^qlrb serve: listening on \([0-9.:]*\).*/\1/p' "$log")"
+    [ -n "$addr" ] && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "daemon never reported readiness" >&2
+  cat "$log" >&2
+  return 1
+}
+
+stop_daemon() {
+  kill "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+}
+
+# --- Replay determinism + cache reuse -----------------------------------
+start_daemon "$workdir/daemon_replay.log" --workers 4 --queue-capacity 64
+
+for run in a b; do
+  "$LOADGEN" --addr "$addr" --requests 60 --concurrency 6 --seed 11 \
+    --reads 2 --sweeps 80 --include-traces \
+    --out "$workdir/run_$run.json" --plans "$workdir/plans_$run.txt"
+done
+
+cmp "$workdir/plans_a.txt" "$workdir/plans_b.txt" \
+  || { echo "replayed plans differ" >&2; exit 1; }
+echo "replay: plans byte-identical"
+
+"$QLRB" trace diff "$workdir/run_a.json" "$workdir/run_b.json" \
+  || { echo "replayed solve traces diverged" >&2; exit 1; }
+echo "replay: trace diff clean"
+
+python3 - "$workdir/run_a.json" "$workdir/run_b.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))["server"]
+b = json.load(open(sys.argv[2]))["server"]
+n = len(a["requests"])
+assert a["completed"] + a["rejected"] == n, "run a dropped a request"
+assert a["rejected"] == 0, f"unsaturated run shed load: {a['rejected']}"
+assert a["cache_hits"] > 0, "repeat-tenant requests never hit the cache"
+assert a["cache_misses"] > 0, "a cold cache must miss at least once"
+assert all(r["trace_digest"] for r in a["requests"]), "completed request without a digest"
+assert 0 < a["p50_latency_ms"] <= a["p99_latency_ms"], "latency percentiles inconsistent"
+assert a["throughput_rps"] > 0, "no throughput recorded"
+# Second replay ran against the warm daemon: every model is cached.
+assert b["rejected"] == 0 and b["completed"] == len(b["requests"])
+assert b["cache_hits"] == b["completed"], (
+    f"warm replay should be all hits: {b['cache_hits']}/{b['completed']}")
+print(f"replay: cache {a['cache_hits']} hit(s) / {a['cache_misses']} miss(es) cold, "
+      f"{b['cache_hits']}/{b['completed']} hits warm; "
+      f"p50 {a['p50_latency_ms']:.1f} ms, p99 {a['p99_latency_ms']:.1f} ms, "
+      f"{a['throughput_rps']:.1f} req/s")
+EOF
+
+stop_daemon
+
+# --- Overload: structured shedding, zero dropped in-flight solves -------
+start_daemon "$workdir/daemon_tiny.log" --workers 1 --queue-capacity 1
+
+"$LOADGEN" --addr "$addr" --requests 24 --concurrency 12 --seed 5 \
+  --reads 6 --sweeps 600 --out "$workdir/overload.json"
+
+python3 - "$workdir/overload.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["server"]
+n = len(s["requests"])
+assert s["completed"] + s["rejected"] == n, (
+    f"dropped in-flight solves: {s['completed']} + {s['rejected']} != {n}")
+assert s["rejected"] > 0, "saturation produced no rejections"
+assert s["completed"] >= 1, "admitted requests must still complete"
+assert s["max_queue_depth"] <= s["queue_capacity"], "queue exceeded its bound"
+rejected = [r for r in s["requests"] if r["outcome"] == "rejected"]
+assert all(not r["trace_digest"] and not r["cache"] for r in rejected), (
+    "rejections must be structured (no solve evidence)")
+print(f"overload: {s['completed']} completed / {s['rejected']} rejected of {n}, "
+      f"peak queue {s['max_queue_depth']}/{s['queue_capacity']}")
+EOF
+
+stop_daemon
+
+# Refresh the committed load-test evidence with this machine's run.
+mkdir -p results
+cp "$workdir/run_a.json" results/server_load.json
+echo "check_server: wrote results/server_load.json"
+
+echo "check_server: OK"

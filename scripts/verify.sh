@@ -61,5 +61,14 @@ if [ "${QLRB_SKIP_DECOMPOSE_GATE:-0}" = "1" ]; then
 else
   gate decompose ./scripts/check_decompose.sh
 fi
+# Service gate: the serve daemon must replay a seeded request mix to
+# byte-identical plans, reuse cached models for repeat tenants, and shed
+# overload with structured rejections — zero dropped in-flight solves
+# (QLRB_SKIP_SERVER_GATE=1 opts out on machines without loopback).
+if [ "${QLRB_SKIP_SERVER_GATE:-0}" = "1" ]; then
+  skip server QLRB_SKIP_SERVER_GATE
+else
+  gate server ./scripts/check_server.sh
+fi
 
 echo "verify: ran [${ran[*]}]; skipped [${skipped[*]:-none}]"

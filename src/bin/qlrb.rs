@@ -50,8 +50,12 @@ USAGE:
   qlrb rebalance --input <FILE> --method <NAME> [--k <N> | --k-frac <F>]
                  [--seed <S>] [--early-stop] [--adaptive] [--batched]
                  [--decompose] [--fault-plan <FILE>] [--max-retries <N>]
+                 [--read-deadline-proposals <N>]
                  [--backends <LIST>] [--speculate]
                  [--out <FILE>] [--telemetry <FILE>]
+  qlrb serve     [--addr <HOST:PORT>] [--workers <N>] [--queue-capacity <N>]
+                 [--cache-capacity <N>] [--max-reads <N>] [--max-sweeps <N>]
+                 [--read-deadline-proposals <N>] [--retry-after-ms <N>]
   qlrb simulate  --input <FILE> --plan <FILE> [--threads <N>]
                  [--latency <F>] [--cost <F>] [--iterations <N>]
                  [--telemetry <FILE>]
@@ -97,6 +101,22 @@ FAULT TOLERANCE (qcqm* only):
                   DESIGN.md §Fault tolerance). Deterministic per --seed.
   --max-retries   resubmissions per read after a backend failure
                   (default 2, exponential backoff on the proposal clock)
+  --read-deadline-proposals
+                  per-read deadline on the deterministic proposal clock:
+                  retries whose backoff would exceed it are skipped (the
+                  first attempt always runs). Must be >= 1; the builder
+                  rejects 0 with a structured error
+
+SERVE:
+  `qlrb serve` runs the rebalancer as a long-lived daemon: JSON solve
+  requests POSTed to /solve are validated through the same solver builder
+  as `rebalance`, sharded across a bounded worker pool, and answered with
+  the plan CSV plus solve evidence. Compiled formulations are cached per
+  (formulation, instance shape) so repeat tenants skip the model build;
+  when the bounded queue is full, requests are shed immediately with a
+  structured 429-style reply (never a panic, never unbounded memory).
+  GET /stats returns the counter snapshot, GET /health the liveness probe.
+  Load-test it with the `qlrb-loadgen` binary (see README §Serve).
 
 FEDERATION (qcqm* only):
   --backends      comma-separated pool of backend presets the portfolio
@@ -192,6 +212,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "generate" => generate(&flags).map(|()| ExitCode::SUCCESS),
         "info" => info(&flags).map(|()| ExitCode::SUCCESS),
         "rebalance" => rebalance(&flags, sched).map(|()| ExitCode::SUCCESS),
+        "serve" => serve_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "simulate" => simulate_cmd(&flags).map(|()| ExitCode::SUCCESS),
         "lint" => lint_cmd(&flags, json),
         "audit" => audit_cmd(&flags),
@@ -385,6 +406,16 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         .get("max-retries")
         .map(|s| s.parse::<u32>().map_err(|_| "bad --max-retries"))
         .transpose()?;
+    // Parsed here, validated by the solver builder: 0 is a contradiction
+    // (every retry would be skipped) and comes back as its structured
+    // build error rather than being silently clamped.
+    let read_deadline = flags
+        .get("read-deadline-proposals")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "bad --read-deadline-proposals")
+        })
+        .transpose()?;
 
     // Federation: a heterogeneous backend pool plus the speculative-dispatch
     // switch. --speculate without a pool would silently be a no-op (there is
@@ -437,6 +468,9 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
         if let Some(retries) = max_retries {
             builder = builder.max_retries(retries);
         }
+        if let Some(deadline) = read_deadline {
+            builder = builder.read_deadline_proposals(deadline);
+        }
         q.solver = builder.build().map_err(|e| e.to_string())?;
         *solver_config = Some(q.solver.config());
         if sched.decompose {
@@ -475,10 +509,12 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
              method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }
-    if (fault_plan.is_some() || max_retries.is_some()) && solver_config.is_none() {
+    if (fault_plan.is_some() || max_retries.is_some() || read_deadline.is_some())
+        && solver_config.is_none()
+    {
         return Err(format!(
-            "--fault-plan/--max-retries configure the hybrid solver's sampler backend; \
-             method '{method_name}' is classical (use qcqm1 or qcqm2)"
+            "--fault-plan/--max-retries/--read-deadline-proposals configure the hybrid \
+             solver's sampler backend; method '{method_name}' is classical (use qcqm1 or qcqm2)"
         ));
     }
     if (backends_spec.is_some() || sched.speculate) && solver_config.is_none() {
@@ -545,6 +581,63 @@ fn rebalance(flags: &HashMap<String, String>, sched: SchedulerFlags) -> Result<(
     Ok(())
 }
 
+/// `qlrb serve` — the long-running rebalancing daemon (DESIGN.md §Service).
+/// Binds, prints the resolved address, and blocks in the accept loop until
+/// the process is killed.
+fn serve_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let get_u = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse().map_err(|_| format!("bad --{name}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let get_u64 = |name: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(name)
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad --{name}")))
+            .transpose()
+    };
+    let defaults = qlrb::server::ServerConfig::default();
+    let cfg = qlrb::server::ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7077".into()),
+        workers: get_u("workers", defaults.workers)?,
+        queue_capacity: get_u("queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: get_u("cache-capacity", defaults.cache_capacity)?,
+        max_reads: get_u("max-reads", defaults.max_reads)?,
+        max_sweeps: get_u("max-sweeps", defaults.max_sweeps)?,
+        default_read_deadline_proposals: get_u64("read-deadline-proposals")?,
+        retry_after_ms: get_u64("retry-after-ms")?.unwrap_or(defaults.retry_after_ms),
+        ..defaults
+    };
+    // Fail fast on a misconfigured default instead of per-request: run the
+    // tenant defaults through the same builder every solve will use, so
+    // e.g. --read-deadline-proposals 0 dies here with the structured
+    // builder error.
+    qlrb::anneal::hybrid::HybridCqmSolver::builder()
+        .num_reads(cfg.default_num_reads.clamp(1, cfg.max_reads.max(1)))
+        .sweeps(cfg.default_sweeps.clamp(1, cfg.max_sweeps.max(1)))
+        .read_deadline_proposals(cfg.default_read_deadline_proposals)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let server = qlrb::server::Server::start(cfg).map_err(|e| e.to_string())?;
+    let c = server.config();
+    println!(
+        "qlrb serve: listening on {} ({} worker(s), queue {} deep, cache {} model(s))",
+        server.local_addr(),
+        c.workers,
+        c.queue_capacity,
+        c.cache_capacity
+    );
+    println!("qlrb serve: POST /solve, GET /stats, GET /health; Ctrl-C to stop");
+    server.join();
+    Ok(())
+}
+
 /// `qlrb lint` — static analysis of the formulations a rebalance would
 /// solve, with no solver time spent. Exit 0 when no rule reports an error
 /// (warnings are printed but tolerated), exit 1 otherwise.
@@ -608,11 +701,14 @@ fn lint_cmd(flags: &HashMap<String, String>, json: bool) -> Result<ExitCode, Str
 }
 
 fn simulate_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
-    if flags.contains_key("fault-plan") || flags.contains_key("max-retries") {
+    if flags.contains_key("fault-plan")
+        || flags.contains_key("max-retries")
+        || flags.contains_key("read-deadline-proposals")
+    {
         return Err(
-            "--fault-plan/--max-retries inject faults at the solver's sampler backend; \
-             simulate replays a finished plan and has no backend (use them with \
-             `qlrb rebalance --method qcqm1|qcqm2`)"
+            "--fault-plan/--max-retries/--read-deadline-proposals configure the solver's \
+             sampler backend; simulate replays a finished plan and has no backend (use them \
+             with `qlrb rebalance --method qcqm1|qcqm2`)"
                 .into(),
         );
     }

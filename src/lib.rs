@@ -23,6 +23,10 @@
 //!   sam(oa)².
 //! * [`harness`] — the runners that regenerate every table and figure of the
 //!   paper's evaluation section.
+//! * [`server`] — rebalancing as a service: the long-running `qlrb serve`
+//!   daemon (JSON-over-HTTP solve requests, bounded worker pool,
+//!   compiled-model cache, admission control) and its load generator
+//!   (see DESIGN.md §Service).
 //! * [`telemetry`] — the observability layer: per-read solve traces, trace
 //!   sinks, and the JSON run manifest (see DESIGN.md §Observability).
 //! * [`analyze`] — static analysis for the quadratic models: the lint-rule
@@ -52,6 +56,7 @@ pub use qlrb_classical as classical;
 pub use qlrb_core as core;
 pub use qlrb_harness as harness;
 pub use qlrb_model as model;
+pub use qlrb_server as server;
 pub use qlrb_telemetry as telemetry;
 pub use qlrb_workloads as workloads;
 pub use samoa_mini as samoa;

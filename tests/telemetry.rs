@@ -16,7 +16,8 @@ use qlrb::core::Instance;
 use qlrb::telemetry::{
     CaseTrace, ConfigSnapshot, DecompositionLevelRecord, DecompositionRecord,
     DecompositionWindowRecord, HarnessSnapshot, MemorySink, MethodTrace, RunManifest,
-    SimConfigSnapshot, SimCounters, SolveRecord, SolverConfig, TraceSink,
+    ServerLoadRecord, ServerRequestRecord, SimConfigSnapshot, SimCounters, SolveRecord,
+    SolverConfig, TraceSink,
 };
 
 fn small_lrp() -> LrpCqm {
@@ -118,6 +119,57 @@ fn full_manifest() -> RunManifest {
             total_makespan: 30.0,
         }),
     });
+    // A schema-v8 service-load record so the server key paths are part of
+    // the golden schema: one cache miss, one repeat-tenant hit, one shed.
+    manifest.server = Some(ServerLoadRecord {
+        workers: 2,
+        queue_capacity: 4,
+        cache_capacity: 64,
+        completed: 2,
+        rejected: 1,
+        cache_hits: 1,
+        cache_misses: 1,
+        max_queue_depth: 4,
+        p50_latency_ms: 4.0,
+        p99_latency_ms: 12.0,
+        throughput_rps: 125.0,
+        wall_ms: 16.0,
+        requests: vec![
+            ServerRequestRecord {
+                request: 0,
+                tenant: "tenant-a".into(),
+                workload: "mxm-64".into(),
+                method: "qcqm1".into(),
+                outcome: "completed".into(),
+                cache: "miss".into(),
+                queue_depth: 0,
+                latency_ms: 12.0,
+                trace_digest: "00f00f00f00f00f0".into(),
+            },
+            ServerRequestRecord {
+                request: 1,
+                tenant: "tenant-a".into(),
+                workload: "mxm-64".into(),
+                method: "qcqm1".into(),
+                outcome: "completed".into(),
+                cache: "hit".into(),
+                queue_depth: 1,
+                latency_ms: 4.0,
+                trace_digest: "00f00f00f00f00f0".into(),
+            },
+            ServerRequestRecord {
+                request: 2,
+                tenant: "tenant-b".into(),
+                workload: "samoa-small".into(),
+                method: "qcqm2".into(),
+                outcome: "rejected".into(),
+                cache: String::new(),
+                queue_depth: 4,
+                latency_ms: 0.5,
+                trace_digest: String::new(),
+            },
+        ],
+    });
     manifest.finalize();
     manifest
 }
@@ -190,6 +242,29 @@ fn manifest_round_trips_through_json() {
     let digest = back.summarize();
     assert!(digest.contains("Q_CQM1"), "{digest}");
     assert!(digest.contains("migration msg"), "{digest}");
+    assert!(digest.contains("2 completed / 1 rejected"), "{digest}");
+}
+
+#[test]
+fn pre_v8_manifests_still_parse() {
+    // A manifest written before schema v8 has no `server` record at all.
+    // Parsing must fill it with the default (None); only `validate()` —
+    // which pins the current schema version — rejects the old version tag.
+    let manifest = full_manifest();
+    let text = manifest
+        .to_json_pretty()
+        .replace("\"server\"", "\"v8_key\"");
+    assert!(!text.contains("\"server\""), "v8 key survived the strip");
+
+    let back = RunManifest::from_json(&text).expect("pre-v8 manifest parses");
+    assert_eq!(back.server, None);
+    back.validate()
+        .expect("cases still carry the run, so the manifest stays valid");
+    let old = RunManifest {
+        schema: 7,
+        ..back.clone()
+    };
+    assert!(old.validate().is_err());
 }
 
 #[test]
